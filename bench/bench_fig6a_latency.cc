@@ -1,0 +1,85 @@
+// Figure 6(a) reproduction: mean round-trip latency of a small two-sided
+// message between two machines on the same ToR switch, across five stack
+// configurations.
+//
+// Paper values: TCP 23us, TCP busy-poll 18us, Snap/Pony 18us, Snap/Pony
+// with app spin <10us, one-sided 8.8us.
+#include "bench/bench_common.h"
+
+namespace snap {
+namespace {
+
+constexpr int kIterations = 4000;
+
+SimHostOptions Dedicated(bool busy_poll = false) {
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  options.kernel.busy_poll = busy_poll;
+  return options;
+}
+
+Histogram RunTcpRR(bool busy_poll) {
+  Rack rack(2, 2, Dedicated(busy_poll));
+  TcpRRServerTask::Options so;
+  so.busy_poll = busy_poll;
+  TcpRRServerTask server("srv", rack.host(1)->cpu(),
+                         rack.host(1)->kstack(), so);
+  server.Start();
+  TcpRRClientTask::Options co;
+  co.dst_host = 1;
+  co.iterations = kIterations;
+  co.busy_poll = busy_poll;
+  TcpRRClientTask client("cli", rack.host(0)->cpu(),
+                         rack.host(0)->kstack(), co);
+  client.Start();
+  rack.sim().RunFor(5000 * kMsec);
+  return client.latency();
+}
+
+Histogram RunPony(bool app_spin, bool one_sided) {
+  Rack rack(2, 2, Dedicated());
+  PonyEngine* ea = rack.host(0)->CreatePonyEngine("ea");
+  PonyEngine* eb = rack.host(1)->CreatePonyEngine("eb");
+  auto ca = rack.host(0)->CreateClient(ea, "client");
+  auto cb = rack.host(1)->CreateClient(eb, "server");
+  uint64_t region = cb->RegisterRegion(1 << 16, false);
+  PonyEchoServerTask server("echo", rack.host(1)->cpu(), cb.get(),
+                            /*spin=*/false);
+  server.Start();
+  PonyPingTask::Options po;
+  po.peer = eb->address();
+  po.iterations = kIterations;
+  po.spin = app_spin;
+  po.one_sided = one_sided;
+  po.region_id = region;
+  po.message_bytes = 64;
+  PonyPingTask ping("ping", rack.host(0)->cpu(), ca.get(), po);
+  ping.Start();
+  rack.sim().RunFor(5000 * kMsec);
+  return ping.latency();
+}
+
+void Report(const std::string& label, const Histogram& h, double paper_us) {
+  std::printf(
+      "  %-34s mean %6.1f us   p50 %6.1f   p99 %6.1f   (paper mean: %g us)"
+      "  [n=%lld]\n",
+      label.c_str(), h.Mean() / 1000.0,
+      static_cast<double>(h.P50()) / 1000.0,
+      static_cast<double>(h.P99()) / 1000.0, paper_us,
+      static_cast<long long>(h.count()));
+}
+
+}  // namespace
+}  // namespace snap
+
+int main() {
+  using namespace snap;
+  PrintHeader("Figure 6(a): small two-sided op round-trip latency");
+  Report("Linux TCP (TCP_RR)", RunTcpRR(false), 23);
+  Report("Linux TCP busy-polling", RunTcpRR(true), 18);
+  Report("Snap/Pony (app blocks)", RunPony(false, false), 18);
+  Report("Snap/Pony (app spins)", RunPony(true, false), 9.7);
+  Report("Snap/Pony one-sided read", RunPony(true, true), 8.8);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Table 1 reproduction: single-application-thread throughput between two
+// machines on the same ToR switch, for kernel TCP (Neper-style) and
+// Snap/Pony with default MTU, 5000B MTU, and 5000B MTU + I/OAT RX copy
+// offload, at 1 and 200 streams. Reports Gbps and busiest-machine CPU.
+//
+// Paper values (Table 1):
+//   Linux TCP        1 stream: 22.0 Gbps / 1.17 CPU   200: 12.4 / 1.15
+//   Snap/Pony        1 stream: 38.5 Gbps / 1.05 CPU   200: 39.1 / 1.05
+//   Snap/Pony 5kMTU  1 stream: 67.5 Gbps / 1.05 CPU   200: 65.7 / 1.05
+//   Snap/Pony +I/OAT 1 stream: 82.2 Gbps / 1.05 CPU   200: 80.5 / 1.05
+#include "bench/bench_common.h"
+
+namespace snap {
+namespace {
+
+constexpr SimDuration kWarmup = 30 * kMsec;
+constexpr SimDuration kWindow = 100 * kMsec;
+
+struct RunResult {
+  double gbps = 0;
+  double cpu = 0;  // busiest machine, cores
+};
+
+RunResult RunTcp(int streams) {
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {7};  // Snap idle in this config
+  Rack rack(1, 2, options);
+  TcpStreamReceiverTask rx("rx", rack.host(1)->cpu(),
+                           rack.host(1)->kstack(), 5001);
+  rx.Start();
+  TcpStreamSenderTask::Options so;
+  so.dst_host = 1;
+  so.num_streams = streams;
+  TcpStreamSenderTask tx("tx", rack.host(0)->cpu(), rack.host(0)->kstack(),
+                         so);
+  tx.Start();
+  rack.sim().RunFor(kWarmup);
+  int64_t bytes0 = rx.bytes_received();
+  int64_t cpu_a0 = rack.host(0)->KernelCpuNs() + rack.host(0)->AppCpuNs();
+  int64_t cpu_b0 = rack.host(1)->KernelCpuNs() + rack.host(1)->AppCpuNs();
+  rack.sim().RunFor(kWindow);
+  RunResult result;
+  result.gbps = static_cast<double>(rx.bytes_received() - bytes0) * 8.0 /
+                ToSec(kWindow) / 1e9;
+  double cpu_a = static_cast<double>(rack.host(0)->KernelCpuNs() +
+                                     rack.host(0)->AppCpuNs() - cpu_a0) /
+                 static_cast<double>(kWindow);
+  double cpu_b = static_cast<double>(rack.host(1)->KernelCpuNs() +
+                                     rack.host(1)->AppCpuNs() - cpu_b0) /
+                 static_cast<double>(kWindow);
+  result.cpu = std::max(cpu_a, cpu_b);
+  return result;
+}
+
+RunResult RunPony(int streams, int mtu_payload, bool ioat) {
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  options.pony.mtu_payload = mtu_payload;
+  options.pony.ioat_copy_offload = ioat;
+  Rack rack(1, 2, options);
+  PonyEngine* ea = rack.host(0)->CreatePonyEngine("tx_engine");
+  PonyEngine* eb = rack.host(1)->CreatePonyEngine("rx_engine");
+  auto ca = rack.host(0)->CreateClient(ea, "sender");
+  auto cb = rack.host(1)->CreateClient(eb, "receiver");
+  PonyStreamReceiverTask rx("rx", rack.host(1)->cpu(), cb.get());
+  rx.Start();
+  PonyStreamSenderTask::Options so;
+  so.peer = eb->address();
+  so.num_streams = streams;
+  so.message_bytes = 64 * 1024;
+  PonyStreamSenderTask tx("tx", rack.host(0)->cpu(), ca.get(), so);
+  tx.Start();
+  rack.sim().RunFor(kWarmup);
+  int64_t bytes0 = rx.bytes_received();
+  auto cpu_of = [&](int host) {
+    return rack.host(host)->SnapCpuNs() + rack.host(host)->AppCpuNs();
+  };
+  int64_t cpu_a0 = cpu_of(0);
+  int64_t cpu_b0 = cpu_of(1);
+  rack.sim().RunFor(kWindow);
+  RunResult result;
+  result.gbps = static_cast<double>(rx.bytes_received() - bytes0) * 8.0 /
+                ToSec(kWindow) / 1e9;
+  result.cpu = static_cast<double>(std::max(cpu_of(0) - cpu_a0,
+                                            cpu_of(1) - cpu_b0)) /
+               static_cast<double>(kWindow);
+  return result;
+}
+
+}  // namespace
+}  // namespace snap
+
+int main() {
+  using namespace snap;
+  PrintHeader("Table 1: single-app-thread throughput (2 hosts, same ToR)");
+
+  struct PaperRow {
+    double gbps;
+    double cpu;
+  };
+  auto report = [](const std::string& label, RunResult r, PaperRow paper) {
+    std::printf(
+        "  %-34s %7.1f Gbps  %5.2f CPU/s   (paper: %5.1f Gbps, %4.2f CPU)\n",
+        label.c_str(), r.gbps, r.cpu, paper.gbps, paper.cpu);
+  };
+
+  report("Linux TCP, 1 stream", RunTcp(1), {22.0, 1.17});
+  report("Linux TCP, 200 streams", RunTcp(200), {12.4, 1.15});
+  report("Snap/Pony, 1 stream", RunPony(1, 1984, false), {38.5, 1.05});
+  report("Snap/Pony, 200 streams", RunPony(200, 1984, false), {39.1, 1.05});
+  report("Snap/Pony 5kB MTU, 1 stream", RunPony(1, 4936, false),
+         {67.5, 1.05});
+  report("Snap/Pony 5kB MTU, 200 streams", RunPony(200, 4936, false),
+         {65.7, 1.05});
+  report("Snap/Pony 5kB+I/OAT, 1 stream", RunPony(1, 4936, true),
+         {82.2, 1.05});
+  report("Snap/Pony 5kB+I/OAT, 200 streams", RunPony(200, 4936, true),
+         {80.5, 1.05});
+
+  // MTU ablation (design-choice sweep called out in DESIGN.md).
+  PrintHeader("Ablation: Snap/Pony single-stream throughput vs MTU");
+  for (int mtu : {1436, 1984, 2984, 4936, 8120}) {
+    RunResult r = RunPony(1, mtu, false);
+    std::printf("  MTU payload %5d B: %7.1f Gbps\n", mtu, r.gbps);
+  }
+  return 0;
+}

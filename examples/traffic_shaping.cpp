@@ -1,0 +1,83 @@
+// Traffic shaping / bandwidth enforcement example (the non-Pony engine of
+// Figure 2): host kernel traffic is injected into a Snap shaping engine
+// whose Click-style pipeline applies an ACL and a token-bucket rate
+// policy before the packets reach the NIC — the BwE-style enforcement the
+// paper cites. Demonstrates engine composition, the compacting scheduler,
+// and live policy updates through the engine mailbox.
+//
+//   ./build/examples/traffic_shaping
+#include <cstdio>
+
+#include "src/apps/simhost.h"
+#include "src/snap/shaping_engine.h"
+
+using namespace snap;
+
+int main() {
+  Simulator sim(4);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kCompactingEngines;
+  SimHost host(&sim, &fabric, &directory, options);
+  SimHost sink(&sim, &fabric, &directory, options);
+
+  // A shaping engine enforcing a 2 Gbps policy on injected kernel traffic.
+  ShapingEngine::Options shaping;
+  shaping.rate_bytes_per_sec = 250e6;  // 2 Gbps
+  shaping.burst_bytes = 128 * 1024;
+  ShapingEngine engine("shaper", &sim, host.nic(), shaping);
+  engine.acl()->Deny(/*src=*/host.host_id(), /*dst=*/99);  // dead route
+  host.default_group()->AddEngine(&engine);
+
+  // Offer 10 Gbps of 1500B kernel packets for 200 ms.
+  int64_t offered_bytes = 0;
+  for (int ms = 0; ms < 200; ++ms) {
+    for (int i = 0; i < 833; ++i) {  // ~10 Gbps
+      auto packet = std::make_unique<Packet>();
+      packet->src_host = host.host_id();
+      packet->dst_host = sink.host_id();
+      packet->proto = WireProtocol::kTcp;  // kernel traffic
+      packet->payload_bytes = 1436;
+      packet->wire_bytes = 1500;
+      offered_bytes += 1500;
+      engine.Inject(std::move(packet));
+    }
+    sim.RunFor(1 * kMsec);
+  }
+  double shaped_gbps = static_cast<double>(engine.stats().transmitted) *
+                       1500 * 8 / ToSec(sim.now()) / 1e9;
+  std::printf("offered ~10.0 Gbps, policy 2.0 Gbps -> shaped %.2f Gbps\n",
+              shaped_gbps);
+  std::printf("  transmitted %lld, shaper queue drops %lld, input drops "
+              "%lld, ACL drops %lld\n",
+              static_cast<long long>(engine.stats().transmitted),
+              static_cast<long long>(engine.shaper()->dropped()),
+              static_cast<long long>(engine.stats().input_drops),
+              static_cast<long long>(engine.acl()->dropped()));
+
+  // Live policy update: the control plane posts to the engine mailbox; the
+  // closure runs ON the engine thread, lock-free (Section 2.3).
+  host.snap()->PostToEngine(&engine, [&engine] {
+    engine.acl()->Deny(-1, 1);  // block everything to host 1
+  });
+  sim.RunFor(5 * kMsec);
+  int64_t before = engine.acl()->dropped();
+  for (int i = 0; i < 100; ++i) {
+    auto packet = std::make_unique<Packet>();
+    packet->src_host = host.host_id();
+    packet->dst_host = sink.host_id();
+    packet->proto = WireProtocol::kTcp;
+    packet->payload_bytes = 100;
+    packet->wire_bytes = 164;
+    engine.Inject(std::move(packet));
+  }
+  sim.RunFor(10 * kMsec);
+  std::printf("after mailbox ACL update: %lld newly dropped by policy\n",
+              static_cast<long long>(engine.acl()->dropped() - before));
+  std::printf("snap CPU for shaping: %.2f ms over %.0f ms (compacting "
+              "scheduler)\n",
+              ToMsec(host.SnapCpuNs()), ToMsec(sim.now()));
+  std::printf("traffic_shaping OK\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Transparent upgrade demo (Section 4): a new Snap release takes over a
+// running engine — flows, streams, pending operations and client channels
+// all survive — while an RPC workload keeps running. Prints the measured
+// brownout/blackout and shows traffic resuming.
+//
+//   ./build/examples/transparent_upgrade
+#include <cstdio>
+
+#include "src/apps/pony_apps.h"
+#include "src/apps/simhost.h"
+#include "src/snap/upgrade.h"
+
+using namespace snap;
+
+int main() {
+  Simulator sim(3);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  SimHost server_host(&sim, &fabric, &directory, options);
+  SimHost client_host(&sim, &fabric, &directory, options);
+
+  // A server engine ("snap-v1") with an RPC-serving app, plus a client
+  // pumping RPCs at it.
+  PonyEngine* server_engine = server_host.CreatePonyEngine("rpc_engine");
+  auto server_app = server_host.CreateClient(server_engine, "rpc_server");
+  PonyEngine* client_engine = client_host.CreatePonyEngine("cli_engine");
+  auto client_app = client_host.CreateClient(client_engine, "rpc_client");
+
+  PonyRpcServerTask server_task("server", server_host.cpu(),
+                                server_app.get());
+  server_task.Start();
+  PonyRpcClientTask::Options client_options;
+  client_options.peers = {server_engine->address()};
+  client_options.rpcs_per_sec = 2000;
+  client_options.request_bytes = 64;
+  client_options.response_bytes = 16 * 1024;
+  PonyRpcClientTask client_task("client", client_host.cpu(),
+                                client_app.get(), client_options);
+  client_task.Start();
+
+  sim.RunFor(100 * kMsec);
+  std::printf("before upgrade: %lld RPCs completed, p99 %.0f us\n",
+              static_cast<long long>(client_task.rpcs_completed()),
+              static_cast<double>(client_task.latency().P99()) / 1000.0);
+
+  // The Snap master launches the new release on the same host: same
+  // modules, same groups, new code.
+  SnapInstance v2("snap-v2", &sim, server_host.cpu(), server_host.nic());
+  v2.RegisterModule(std::make_unique<PonyModule>(
+      &sim, server_host.nic(), &directory, server_host.options().pony,
+      server_host.options().timely, server_host.options().app));
+  EngineGroup::Options group_options;
+  group_options.mode = SchedulingMode::kDedicatedCores;
+  group_options.dedicated_cores = {1};
+  v2.CreateGroup("default", group_options);
+
+  client_task.ResetStats();
+  UpgradeManager manager(&sim, UpgradeParams{});
+  manager.StartUpgrade(
+      server_host.snap(), &v2, [&](const UpgradeManager::Result& result) {
+        for (const auto& engine : result.engines) {
+          std::printf(
+              "engine %-12s migrated: brownout %.1f ms (background), "
+              "blackout %.1f ms (flows=%lld streams=%lld)\n",
+              engine.engine_name.c_str(), ToMsec(engine.brownout),
+              ToMsec(engine.blackout),
+              static_cast<long long>(engine.footprint.flows),
+              static_cast<long long>(engine.footprint.streams));
+        }
+      });
+  sim.RunFor(1000 * kMsec);
+
+  // The SAME client object keeps working — its shared-memory channel was
+  // rebound to the new engine; packets lost during the blackout were
+  // retransmitted by the restored flows.
+  int64_t after_blip = client_task.rpcs_completed();
+  sim.RunFor(200 * kMsec);
+  std::printf(
+      "after upgrade: engine now owned by \"%s\"; +%lld RPCs since the "
+      "blip, p99 %.0f us\n",
+      v2.version().c_str(),
+      static_cast<long long>(client_task.rpcs_completed() - after_blip),
+      static_cast<double>(client_task.latency().P99()) / 1000.0);
+  std::printf("old instance engines remaining: %zu (terminated)\n",
+              server_host.snap()->engines().size());
+  std::printf("transparent_upgrade OK\n");
+  return 0;
+}

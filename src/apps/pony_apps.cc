@@ -1,0 +1,420 @@
+#include "src/apps/pony_apps.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+std::vector<uint8_t> EncodeRpcRequest(int64_t response_bytes,
+                                      uint64_t corr) {
+  std::vector<uint8_t> data(16);
+  std::memcpy(data.data(), &response_bytes, 8);
+  std::memcpy(data.data() + 8, &corr, 8);
+  return data;
+}
+
+bool DecodeRpcRequest(const std::vector<uint8_t>& data,
+                      int64_t* response_bytes, uint64_t* corr) {
+  if (data.size() < 16) {
+    return false;
+  }
+  std::memcpy(response_bytes, data.data(), 8);
+  std::memcpy(corr, data.data() + 8, 8);
+  return true;
+}
+
+std::vector<uint8_t> EncodeRpcResponseHeader(uint64_t corr) {
+  std::vector<uint8_t> data(8);
+  std::memcpy(data.data(), &corr, 8);
+  return data;
+}
+
+bool DecodeRpcResponseHeader(const std::vector<uint8_t>& data,
+                             uint64_t* corr) {
+  if (data.size() < 8) {
+    return false;
+  }
+  std::memcpy(corr, data.data(), 8);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PonyAppTask
+// ---------------------------------------------------------------------------
+
+PonyAppTask::PonyAppTask(std::string name, CpuScheduler* sched,
+                         PonyClient* client, bool spin)
+    : SimTask(std::move(name), SchedClass::kCfs), sched_(sched),
+      client_(client), spin_(spin) {
+  set_container("app");
+}
+
+StepResult::Next PonyAppTask::IdleOutcome(CpuCostSink* cost) {
+  // Arm notifications so the engine wakes us; for spin mode the same
+  // mechanism models the poll loop noticing the completion-queue write
+  // (the CPU model charges spin time against this core while parked).
+  PonyAppTask* self = this;
+  client_->ArmCompletionNotify([self] { self->WakeSelf(); }, cost);
+  client_->ArmMessageNotify([self] { self->WakeSelf(); }, cost);
+  return spin_ ? StepResult::Next::kSpin : StepResult::Next::kBlock;
+}
+
+// ---------------------------------------------------------------------------
+// Stream throughput (Table 1)
+// ---------------------------------------------------------------------------
+
+PonyStreamSenderTask::PonyStreamSenderTask(std::string name,
+                                           CpuScheduler* sched,
+                                           PonyClient* client,
+                                           const Options& options)
+    : PonyAppTask(std::move(name), sched, client, options.spin),
+      options_(options) {
+  for (int i = 0; i < options.num_streams; ++i) {
+    streams_.push_back(client_->CreateStream(options.peer));
+  }
+}
+
+StepResult PonyStreamSenderTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  // Reap send completions.
+  while (cost.ns < budget_ns) {
+    auto c = client_->PollCompletion(&cost);
+    if (!c.has_value()) {
+      break;
+    }
+    --outstanding_;
+  }
+  // Keep the pipe full.
+  bool queue_full = false;
+  while (outstanding_ < options_.max_outstanding && cost.ns < budget_ns) {
+    uint64_t stream = streams_[next_stream_++ % streams_.size()];
+    uint64_t id = client_->SendMessage(options_.peer, stream,
+                                       options_.message_bytes, {}, &cost);
+    if (id == 0) {
+      queue_full = true;
+      break;
+    }
+    ++outstanding_;
+    bytes_submitted_ += options_.message_bytes;
+  }
+  result.cpu_ns = cost.ns;
+  if (outstanding_ < options_.max_outstanding && !queue_full) {
+    result.next = StepResult::Next::kYield;
+  } else {
+    result.next = IdleOutcome(&cost);
+    result.cpu_ns = cost.ns;
+  }
+  return result;
+}
+
+PonyStreamReceiverTask::PonyStreamReceiverTask(std::string name,
+                                               CpuScheduler* sched,
+                                               PonyClient* client, bool spin)
+    : PonyAppTask(std::move(name), sched, client, spin) {}
+
+StepResult PonyStreamReceiverTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  while (cost.ns < budget_ns) {
+    auto msg = client_->PollMessage(&cost);
+    if (!msg.has_value()) {
+      break;
+    }
+    bytes_received_ += msg->length;
+    ++messages_received_;
+  }
+  // Drain stray completions (none expected on a pure receiver).
+  while (cost.ns < budget_ns) {
+    auto c = client_->PollCompletion(&cost);
+    if (!c.has_value()) {
+      break;
+    }
+  }
+  result.next = IdleOutcome(&cost);
+  result.cpu_ns = cost.ns;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Ping-pong (Figure 6(a))
+// ---------------------------------------------------------------------------
+
+PonyEchoServerTask::PonyEchoServerTask(std::string name, CpuScheduler* sched,
+                                       PonyClient* client, bool spin)
+    : PonyAppTask(std::move(name), sched, client, spin) {}
+
+StepResult PonyEchoServerTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  while (cost.ns < budget_ns) {
+    auto msg = client_->PollMessage(&cost);
+    if (!msg.has_value()) {
+      break;
+    }
+    // Echo back on the same stream (bound at the initiator's engine).
+    client_->SendMessage(msg->from, msg->stream_id, msg->length, {}, &cost);
+  }
+  while (true) {
+    auto c = client_->PollCompletion(&cost);
+    if (!c.has_value()) {
+      break;
+    }
+  }
+  result.next = IdleOutcome(&cost);
+  result.cpu_ns = cost.ns;
+  return result;
+}
+
+PonyPingTask::PonyPingTask(std::string name, CpuScheduler* sched,
+                           PonyClient* client, const Options& options)
+    : PonyAppTask(std::move(name), sched, client, options.spin),
+      options_(options) {
+  if (!options.one_sided) {
+    stream_ = client_->CreateStream(options.peer);
+  }
+}
+
+void PonyPingTask::IssueNext(SimTime now, CpuCostSink* cost) {
+  if (options_.one_sided) {
+    client_->Read(options_.peer, options_.region_id, 0,
+                  options_.message_bytes, cost);
+  } else {
+    client_->SendMessage(options_.peer, stream_, options_.message_bytes, {},
+                         cost);
+  }
+  sent_at_ = now;
+  next_issue_ = now + options_.interval;
+  in_flight_ = true;
+}
+
+StepResult PonyPingTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  if (!in_flight_ && completed_ < options_.iterations &&
+      now >= next_issue_) {
+    IssueNext(now, &cost);
+  }
+  while (in_flight_) {
+    if (options_.one_sided) {
+      auto c = client_->PollCompletion(&cost);
+      if (!c.has_value()) {
+        break;
+      }
+      if (c->status != PonyOpStatus::kOk) {
+        SNAP_LOG(WARNING) << "one-sided ping failed: "
+                          << static_cast<int>(c->status);
+      }
+      latency_.Record(now - sent_at_);
+      in_flight_ = false;
+      ++completed_;
+    } else {
+      // Drain the send completion, then wait for the echoed message.
+      auto c = client_->PollCompletion(&cost);
+      auto msg = client_->PollMessage(&cost);
+      if (msg.has_value()) {
+        latency_.Record(now - sent_at_);
+        in_flight_ = false;
+        ++completed_;
+      } else if (!c.has_value()) {
+        break;
+      }
+    }
+  }
+  if (!in_flight_ && completed_ < options_.iterations &&
+      now >= next_issue_) {
+    IssueNext(now, &cost);
+  }
+  result.cpu_ns = cost.ns;
+  if (completed_ >= options_.iterations && !in_flight_) {
+    result.next = StepResult::Next::kBlock;  // done
+    return result;
+  }
+  if (!in_flight_ && now < next_issue_) {
+    // Paced prober waiting for its next issue slot.
+    issue_timer_.Cancel();
+    issue_timer_ = sched_->WakeAt(this, next_issue_, /*remote=*/false);
+  }
+  result.next = IdleOutcome(&cost);
+  result.cpu_ns = cost.ns;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop RPC (Figures 6(b)-(d), 7)
+// ---------------------------------------------------------------------------
+
+PonyRpcServerTask::PonyRpcServerTask(std::string name, CpuScheduler* sched,
+                                     PonyClient* client, bool spin)
+    : PonyAppTask(std::move(name), sched, client, spin) {}
+
+StepResult PonyRpcServerTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  while (cost.ns < budget_ns) {
+    auto msg = client_->PollMessage(&cost);
+    if (!msg.has_value()) {
+      break;
+    }
+    int64_t response_bytes = msg->length;
+    uint64_t corr = 0;
+    DecodeRpcRequest(msg->data, &response_bytes, &corr);
+    client_->SendMessage(msg->from, msg->stream_id, response_bytes,
+                         EncodeRpcResponseHeader(corr), &cost);
+    ++requests_served_;
+  }
+  while (true) {
+    auto c = client_->PollCompletion(&cost);
+    if (!c.has_value()) {
+      break;
+    }
+  }
+  result.next = IdleOutcome(&cost);
+  result.cpu_ns = cost.ns;
+  return result;
+}
+
+PonyRpcClientTask::PonyRpcClientTask(std::string name, CpuScheduler* sched,
+                                     PonyClient* client,
+                                     const Options& options)
+    : PonyAppTask(std::move(name), sched, client, options.spin),
+      options_(options),
+      rng_(options.rng_seed) {
+  SNAP_CHECK(!options.peers.empty());
+  for (const PonyAddress& peer : options.peers) {
+    streams_[peer] = client_->CreateStream(peer);
+  }
+}
+
+void PonyRpcClientTask::IssueRpc(SimTime now, CpuCostSink* cost) {
+  const PonyAddress& peer =
+      options_.peers[rng_.NextBounded(options_.peers.size())];
+  uint64_t corr = next_corr_++;
+  client_->SendMessage(peer, streams_[peer], options_.request_bytes,
+                       EncodeRpcRequest(options_.response_bytes, corr),
+                       cost);
+  pending_[corr] = now;
+  ++rpcs_issued_;
+  bytes_transferred_ += options_.request_bytes;
+}
+
+StepResult PonyRpcClientTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  // Completions of our own sends: discard.
+  while (true) {
+    auto c = client_->PollCompletion(&cost);
+    if (!c.has_value()) {
+      break;
+    }
+  }
+  // Responses.
+  while (cost.ns < budget_ns) {
+    auto msg = client_->PollMessage(&cost);
+    if (!msg.has_value()) {
+      break;
+    }
+    uint64_t corr = 0;
+    if (DecodeRpcResponseHeader(msg->data, &corr)) {
+      auto it = pending_.find(corr);
+      if (it != pending_.end()) {
+        latency_.Record(now - it->second);
+        pending_.erase(it);
+        ++rpcs_completed_;
+      }
+    }
+    bytes_transferred_ += msg->length;
+  }
+  // Open-loop arrivals.
+  if (next_arrival_ == 0) {
+    next_arrival_ = now + static_cast<SimDuration>(
+        rng_.NextExponential(1e9 / options_.rpcs_per_sec));
+  }
+  while (now >= next_arrival_ && cost.ns < budget_ns) {
+    IssueRpc(now, &cost);
+    next_arrival_ += static_cast<SimDuration>(
+        rng_.NextExponential(1e9 / options_.rpcs_per_sec));
+  }
+  arrival_timer_.Cancel();
+  arrival_timer_ = sched_->WakeAt(this, std::max(next_arrival_, now + 1),
+                                  /*remote=*/false);
+  result.next = IdleOutcome(&cost);
+  result.cpu_ns = cost.ns;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// One-sided load (Figure 8)
+// ---------------------------------------------------------------------------
+
+OneSidedLoadTask::OneSidedLoadTask(std::string name, CpuScheduler* sched,
+                                   PonyClient* client,
+                                   const Options& options)
+    : PonyAppTask(std::move(name), sched, client, options.spin),
+      options_(options),
+      rng_(options.rng_seed) {}
+
+bool OneSidedLoadTask::IssueOp(SimTime now, CpuCostSink* cost) {
+  uint64_t id = 0;
+  switch (options_.mode) {
+    case Mode::kRead:
+      id = client_->Read(options_.peer, options_.region_id,
+                         rng_.NextBounded(options_.table_entries) *
+                             options_.read_bytes,
+                         options_.read_bytes, cost);
+      break;
+    case Mode::kIndirectRead: {
+      uint64_t first = rng_.NextBounded(
+          std::max<uint64_t>(1, options_.table_entries - options_.batch));
+      id = client_->IndirectRead(options_.peer, options_.region_id, first,
+                                 options_.batch, options_.read_bytes, cost);
+      break;
+    }
+    case Mode::kScanAndRead:
+      id = client_->ScanAndRead(options_.peer, options_.region_id,
+                                rng_.NextBounded(options_.table_entries),
+                                options_.read_bytes, cost);
+      break;
+  }
+  if (id == 0) {
+    return false;
+  }
+  ++outstanding_;
+  return true;
+}
+
+StepResult OneSidedLoadTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  while (cost.ns < budget_ns) {
+    auto c = client_->PollCompletion(&cost);
+    if (!c.has_value()) {
+      break;
+    }
+    --outstanding_;
+    ++ops_completed_;
+    latency_.Record(now - c->submit_time);
+    if (c->status == PonyOpStatus::kOk) {
+      accesses_completed_ +=
+          options_.mode == Mode::kIndirectRead ? options_.batch : 1;
+    }
+  }
+  bool queue_full = false;
+  while (outstanding_ < options_.max_outstanding && cost.ns < budget_ns) {
+    if (!IssueOp(now, &cost)) {
+      queue_full = true;
+      break;
+    }
+  }
+  result.cpu_ns = cost.ns;
+  if (outstanding_ < options_.max_outstanding && !queue_full) {
+    result.next = StepResult::Next::kYield;
+    return result;
+  }
+  result.next = IdleOutcome(&cost);
+  result.cpu_ns = cost.ns;
+  return result;
+}
+
+}  // namespace snap

@@ -1,0 +1,257 @@
+// Application workload tasks over Pony Express, mirroring the paper's
+// benchmarks: single-thread stream throughput (Table 1), small-message
+// ping-pong with optional app spin-polling and one-sided access
+// (Figure 6(a)), open-loop Poisson RPC clients/servers and latency probers
+// (Figures 6(b)-(d), 7), and closed-loop one-sided load (Figure 8).
+//
+// Every task is a SimTask: application CPU (submit, completion poll, copies)
+// is charged to the simulated core the task runs on, and waiting is either
+// spin-polling (kSpin: burns the core, minimal wake latency) or blocking
+// (kBlock: pays scheduler wakeup costs).
+#ifndef SRC_APPS_PONY_APPS_H_
+#define SRC_APPS_PONY_APPS_H_
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pony/client.h"
+#include "src/pony/pony_engine.h"
+#include "src/sim/cpu.h"
+#include "src/stats/histogram.h"
+#include "src/util/rng.h"
+
+namespace snap {
+
+// Base for Pony app tasks: wake plumbing and notify-arm helpers.
+class PonyAppTask : public SimTask {
+ public:
+  PonyAppTask(std::string name, CpuScheduler* sched, PonyClient* client,
+              bool spin);
+
+  void Start() {
+    sched_->AddTask(this);
+    sched_->Wake(this, /*remote=*/false);
+  }
+
+ protected:
+  // Arms completion+message notifications that wake this task, then
+  // returns the appropriate idle outcome (spin or block).
+  StepResult::Next IdleOutcome(CpuCostSink* cost);
+  void WakeSelf() { sched_->Wake(this, /*remote=*/true); }
+
+  CpuScheduler* sched_;
+  PonyClient* client_;
+  bool spin_;
+};
+
+// --- Table 1: single-application-thread stream throughput ---------------
+
+class PonyStreamSenderTask : public PonyAppTask {
+ public:
+  struct Options {
+    PonyAddress peer;
+    int num_streams = 1;
+    int64_t message_bytes = 64 * 1024;
+    int max_outstanding = 64;  // commands in flight
+    bool spin = false;
+  };
+
+  PonyStreamSenderTask(std::string name, CpuScheduler* sched,
+                       PonyClient* client, const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  int64_t bytes_submitted() const { return bytes_submitted_; }
+
+ private:
+  Options options_;
+  std::vector<uint64_t> streams_;
+  int outstanding_ = 0;
+  size_t next_stream_ = 0;
+  int64_t bytes_submitted_ = 0;
+};
+
+class PonyStreamReceiverTask : public PonyAppTask {
+ public:
+  PonyStreamReceiverTask(std::string name, CpuScheduler* sched,
+                         PonyClient* client, bool spin = false);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  int64_t bytes_received() const { return bytes_received_; }
+  int64_t messages_received() const { return messages_received_; }
+
+ private:
+  int64_t bytes_received_ = 0;
+  int64_t messages_received_ = 0;
+};
+
+// --- Figure 6(a): two-sided ping-pong and one-sided read latency --------
+
+class PonyEchoServerTask : public PonyAppTask {
+ public:
+  PonyEchoServerTask(std::string name, CpuScheduler* sched,
+                     PonyClient* client, bool spin = false);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+ private:
+  std::map<PonyAddress, uint64_t> reply_streams_;
+};
+
+class PonyPingTask : public PonyAppTask {
+ public:
+  struct Options {
+    PonyAddress peer;
+    int64_t message_bytes = 64;
+    int iterations = 1000;
+    bool spin = false;  // app thread spin-polls the completion queue
+    // One-sided mode: latency of a remote Read instead of message RTT.
+    bool one_sided = false;
+    uint64_t region_id = 0;
+    // Minimum time between ping issues (0 = closed loop). A 1 ms interval
+    // gives the Figure 7(a) low-QPS prober its idle gaps.
+    SimDuration interval = 0;
+  };
+
+  PonyPingTask(std::string name, CpuScheduler* sched, PonyClient* client,
+               const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  const Histogram& latency() const { return latency_; }
+  bool done() const { return completed_ >= options_.iterations; }
+
+ private:
+  void IssueNext(SimTime now, CpuCostSink* cost);
+
+  Options options_;
+  uint64_t stream_ = 0;
+  int completed_ = 0;
+  bool in_flight_ = false;
+  SimTime sent_at_ = 0;
+  SimTime next_issue_ = 0;
+  EventHandle issue_timer_;
+  Histogram latency_;
+};
+
+// --- Figures 6(b)-(d), 7: open-loop Poisson RPC ------------------------
+
+// Serves RPCs: every incoming request message asks for a response of the
+// size encoded in its payload; the server sends it back on the same stream.
+class PonyRpcServerTask : public PonyAppTask {
+ public:
+  PonyRpcServerTask(std::string name, CpuScheduler* sched,
+                    PonyClient* client, bool spin = false);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  int64_t requests_served_ = 0;
+};
+
+// Open-loop Poisson generator: issues RPCs to random peers at a fixed
+// rate, records response latency, counts bidirectional bytes.
+class PonyRpcClientTask : public PonyAppTask {
+ public:
+  struct Options {
+    std::vector<PonyAddress> peers;
+    double rpcs_per_sec = 100.0;
+    int64_t request_bytes = 64;
+    int64_t response_bytes = 1 << 20;
+    bool spin = false;
+    uint64_t rng_seed = 1;
+  };
+
+  PonyRpcClientTask(std::string name, CpuScheduler* sched,
+                    PonyClient* client, const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  const Histogram& latency() const { return latency_; }
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+  int64_t rpcs_completed() const { return rpcs_completed_; }
+  int64_t rpcs_issued() const { return rpcs_issued_; }
+  void ResetStats() {
+    latency_.Reset();
+    bytes_transferred_ = 0;
+    rpcs_completed_ = 0;
+    rpcs_issued_ = 0;
+  }
+
+ private:
+  void IssueRpc(SimTime now, CpuCostSink* cost);
+
+  Options options_;
+  Rng rng_;
+  std::map<PonyAddress, uint64_t> streams_;  // stream per peer
+  std::map<uint64_t, SimTime> pending_;      // correlation -> send time
+  uint64_t next_corr_ = 1;
+  SimTime next_arrival_ = 0;
+  EventHandle arrival_timer_;
+  Histogram latency_;
+  int64_t bytes_transferred_ = 0;
+  int64_t rpcs_completed_ = 0;
+  int64_t rpcs_issued_ = 0;
+};
+
+// --- Figure 8: closed-loop one-sided operation load ---------------------
+
+class OneSidedLoadTask : public PonyAppTask {
+ public:
+  enum class Mode { kRead, kIndirectRead, kScanAndRead };
+
+  struct Options {
+    PonyAddress peer;
+    Mode mode = Mode::kIndirectRead;
+    uint64_t region_id = 0;
+    uint16_t batch = 8;         // indirections per op (Section 5.4)
+    int64_t read_bytes = 64;    // bytes per access
+    int max_outstanding = 32;
+    uint64_t table_entries = 1024;
+    bool spin = true;
+    uint64_t rng_seed = 7;
+  };
+
+  OneSidedLoadTask(std::string name, CpuScheduler* sched, PonyClient* client,
+                   const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  // Remote memory accesses completed (indirections count individually).
+  int64_t accesses_completed() const { return accesses_completed_; }
+  int64_t ops_completed() const { return ops_completed_; }
+  const Histogram& latency() const { return latency_; }
+  void ResetStats() {
+    accesses_completed_ = 0;
+    ops_completed_ = 0;
+    latency_.Reset();
+  }
+
+ private:
+  bool IssueOp(SimTime now, CpuCostSink* cost);
+
+  Options options_;
+  Rng rng_;
+  int outstanding_ = 0;
+  int64_t accesses_completed_ = 0;
+  int64_t ops_completed_ = 0;
+  Histogram latency_;
+};
+
+// Encodes/decodes the RPC request payload: [response_bytes u64][corr u64].
+std::vector<uint8_t> EncodeRpcRequest(int64_t response_bytes, uint64_t corr);
+bool DecodeRpcRequest(const std::vector<uint8_t>& data,
+                      int64_t* response_bytes, uint64_t* corr);
+std::vector<uint8_t> EncodeRpcResponseHeader(uint64_t corr);
+bool DecodeRpcResponseHeader(const std::vector<uint8_t>& data,
+                             uint64_t* corr);
+
+}  // namespace snap
+
+#endif  // SRC_APPS_PONY_APPS_H_

@@ -1,0 +1,38 @@
+#include "src/apps/simhost.h"
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+SimHost::SimHost(Simulator* sim, Fabric* fabric, PonyDirectory* directory,
+                 const SimHostOptions& options)
+    : sim_(sim), options_(options) {
+  nic_ = fabric->AddHost();
+  cpu_ = std::make_unique<CpuScheduler>(sim, options.cpu);
+  kstack_ = std::make_unique<KernelStack>(sim, cpu_.get(), nic_,
+                                          options.kernel);
+  if (options.start_kernel_stack) {
+    kstack_->Start();
+  }
+  snap_ = std::make_unique<SnapInstance>(
+      "snap-host" + std::to_string(nic_->host_id()), sim, cpu_.get(), nic_);
+  auto module = std::make_unique<PonyModule>(sim, nic_, directory,
+                                             options.pony, options.timely,
+                                             options.app);
+  pony_module_ = module.get();
+  snap_->RegisterModule(std::move(module));
+  default_group_ = snap_->CreateGroup("default", options.group);
+}
+
+PonyEngine* SimHost::CreatePonyEngine(const std::string& name) {
+  auto result = snap_->CreateEngine("pony", name, "default");
+  SNAP_CHECK(result.ok()) << result.status();
+  return static_cast<PonyEngine*>(*result);
+}
+
+std::unique_ptr<PonyClient> SimHost::CreateClient(
+    PonyEngine* engine, const std::string& app_name) {
+  return pony_module_->CreateClient(engine, app_name);
+}
+
+}  // namespace snap

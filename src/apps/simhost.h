@@ -1,0 +1,69 @@
+// SimHost: one simulated machine — its cores (a CpuScheduler), NIC, kernel
+// TCP stack, and a Snap instance with a Pony module. Benchmarks, tests and
+// examples assemble racks of SimHosts on a shared Fabric.
+#ifndef SRC_APPS_SIMHOST_H_
+#define SRC_APPS_SIMHOST_H_
+
+#include <memory>
+#include <string>
+
+#include "src/kernel/kstack.h"
+#include "src/net/fabric.h"
+#include "src/pony/pony_module.h"
+#include "src/sim/cpu.h"
+#include "src/snap/control.h"
+
+namespace snap {
+
+struct SimHostOptions {
+  CpuParams cpu;
+  KernelStackParams kernel;
+  PonyParams pony;
+  TimelyParams timely;
+  AppParams app;
+  // Default engine group configuration.
+  EngineGroup::Options group;
+  bool start_kernel_stack = true;
+};
+
+class SimHost {
+ public:
+  SimHost(Simulator* sim, Fabric* fabric, PonyDirectory* directory,
+          const SimHostOptions& options);
+
+  // Creates a Pony engine in the default group.
+  PonyEngine* CreatePonyEngine(const std::string& name);
+  // Bootstraps an application client channel on `engine`.
+  std::unique_ptr<PonyClient> CreateClient(PonyEngine* engine,
+                                           const std::string& app_name);
+
+  int host_id() const { return nic_->host_id(); }
+  Simulator* sim() { return sim_; }
+  CpuScheduler* cpu() { return cpu_.get(); }
+  Nic* nic() { return nic_; }
+  KernelStack* kstack() { return kstack_.get(); }
+  SnapInstance* snap() { return snap_.get(); }
+  PonyModule* pony_module() { return pony_module_; }
+  EngineGroup* default_group() { return default_group_; }
+  const SimHostOptions& options() const { return options_; }
+
+  // Per-host CPU totals (for Gbps/core style reporting).
+  int64_t SnapCpuNs() const { return snap_->TotalEngineCpuNs(); }
+  int64_t KernelCpuNs() const { return cpu_->ContainerCpuNs("kernel"); }
+  int64_t AppCpuNs() const { return cpu_->ContainerCpuNs("app"); }
+
+ private:
+  Simulator* sim_;
+  SimHostOptions options_;
+  Nic* nic_;
+  std::unique_ptr<CpuScheduler> cpu_;
+  std::unique_ptr<KernelStack> kstack_;
+  std::unique_ptr<SnapInstance> snap_;
+  PonyModule* pony_module_ = nullptr;
+  EngineGroup* default_group_ = nullptr;
+  int next_engine_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_APPS_SIMHOST_H_

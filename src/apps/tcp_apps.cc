@@ -1,0 +1,361 @@
+#include "src/apps/tcp_apps.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+TcpAppTask::TcpAppTask(std::string name, CpuScheduler* sched,
+                       KernelStack* kstack)
+    : SimTask(std::move(name), SchedClass::kCfs), sched_(sched),
+      kstack_(kstack) {
+  set_container("app");
+}
+
+void TcpAppTask::WatchSocket(TcpSocket* socket) {
+  TcpAppTask* self = this;
+  socket->SetReadableCallback([self] { self->WakeSelf(); });
+  socket->SetWritableCallback([self] { self->WakeSelf(); });
+  socket->SetEstablishedCallback([self] { self->WakeSelf(); });
+}
+
+// ---------------------------------------------------------------------------
+// Stream throughput
+// ---------------------------------------------------------------------------
+
+TcpStreamSenderTask::TcpStreamSenderTask(std::string name,
+                                         CpuScheduler* sched,
+                                         KernelStack* kstack,
+                                         const Options& options)
+    : TcpAppTask(std::move(name), sched, kstack), options_(options) {}
+
+StepResult TcpStreamSenderTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  if (!connected_) {
+    for (int i = 0; i < options_.num_streams; ++i) {
+      TcpSocket* sock =
+          kstack_->Connect(options_.dst_host, options_.port, &cost);
+      WatchSocket(sock);
+      sockets_.push_back(sock);
+    }
+    connected_ = true;
+  }
+  bool any_progress = true;
+  while (any_progress && cost.ns < budget_ns) {
+    any_progress = false;
+    for (size_t i = 0; i < sockets_.size() && cost.ns < budget_ns; ++i) {
+      TcpSocket* sock = sockets_[(cursor_ + i) % sockets_.size()];
+      if (sock->state() != TcpSocket::State::kEstablished) {
+        continue;
+      }
+      int64_t space = sock->send_space();
+      if (space <= 0) {
+        continue;
+      }
+      int64_t sent =
+          sock->Send(std::min(space, options_.write_chunk), &cost);
+      if (sent > 0) {
+        bytes_sent_ += sent;
+        any_progress = true;
+      }
+    }
+    cursor_ = (cursor_ + 1) % std::max<size_t>(1, sockets_.size());
+  }
+  result.cpu_ns = cost.ns;
+  // All send buffers full (or handshakes pending): wait for acks.
+  result.next = StepResult::Next::kBlock;
+  if (cost.ns >= budget_ns) {
+    result.next = StepResult::Next::kYield;
+  }
+  return result;
+}
+
+TcpStreamReceiverTask::TcpStreamReceiverTask(std::string name,
+                                             CpuScheduler* sched,
+                                             KernelStack* kstack,
+                                             uint16_t port)
+    : TcpAppTask(std::move(name), sched, kstack) {
+  TcpStreamReceiverTask* self = this;
+  kstack_->Listen(port, [self](TcpSocket* sock) {
+    self->WatchSocket(sock);
+    self->sockets_.push_back(sock);
+    self->WakeSelf();
+  });
+}
+
+StepResult TcpStreamReceiverTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  bool progress = true;
+  while (progress && cost.ns < budget_ns) {
+    progress = false;
+    for (TcpSocket* sock : sockets_) {
+      if (sock->readable_bytes() <= 0) {
+        continue;
+      }
+      // epoll_wait returned this socket as ready.
+      cost.Charge(kstack_->params().epoll_per_event);
+      int64_t got = sock->Recv(INT64_MAX / 2, &cost);
+      if (got > 0) {
+        bytes_received_ += got;
+        progress = true;
+      }
+      if (cost.ns >= budget_ns) {
+        break;
+      }
+    }
+  }
+  result.cpu_ns = cost.ns;
+  result.next = cost.ns >= budget_ns ? StepResult::Next::kYield
+                                     : StepResult::Next::kBlock;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// TCP_RR
+// ---------------------------------------------------------------------------
+
+TcpRRServerTask::TcpRRServerTask(std::string name, CpuScheduler* sched,
+                                 KernelStack* kstack, const Options& options)
+    : TcpAppTask(std::move(name), sched, kstack), options_(options) {
+  TcpRRServerTask* self = this;
+  kstack_->Listen(options.port, [self](TcpSocket* sock) {
+    self->WatchSocket(sock);
+    self->sockets_.push_back(sock);
+    self->WakeSelf();
+  });
+}
+
+StepResult TcpRRServerTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  // Answer requests received last step: their processing time has elapsed.
+  for (TcpSocket* sock : pending_replies_) {
+    sock->Send(options_.response_bytes, &cost);
+  }
+  pending_replies_.clear();
+  if (options_.busy_poll) {
+    kstack_->BusyPollRx(&cost);
+  }
+  for (TcpSocket* sock : sockets_) {
+    while (sock->readable_bytes() >= options_.request_bytes) {
+      sock->Recv(options_.request_bytes, &cost);
+      pending_replies_.push_back(sock);
+    }
+  }
+  result.cpu_ns = cost.ns;
+  if (!pending_replies_.empty()) {
+    result.next = StepResult::Next::kYield;
+  } else {
+    result.next = options_.busy_poll ? StepResult::Next::kYield
+                                     : StepResult::Next::kBlock;
+  }
+  if (result.next == StepResult::Next::kYield && result.cpu_ns == 0) {
+    result.cpu_ns = 100;
+  }
+  return result;
+}
+
+TcpRRClientTask::TcpRRClientTask(std::string name, CpuScheduler* sched,
+                                 KernelStack* kstack, const Options& options)
+    : TcpAppTask(std::move(name), sched, kstack), options_(options) {}
+
+StepResult TcpRRClientTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  if (socket_ == nullptr) {
+    socket_ = kstack_->Connect(options_.dst_host, options_.port, &cost);
+    WatchSocket(socket_);
+  }
+  if (options_.busy_poll) {
+    kstack_->BusyPollRx(&cost);
+  }
+  if (socket_->state() == TcpSocket::State::kEstablished) {
+    bool progress = true;
+    while (progress && cost.ns < budget_ns &&
+           completed_ < options_.iterations) {
+      progress = false;
+      if (!request_outstanding_ && now >= next_issue_) {
+        socket_->Send(options_.request_bytes, &cost);
+        sent_at_ = now;
+        next_issue_ = now + options_.interval;
+        request_outstanding_ = true;
+        resp_remaining_ = options_.response_bytes;
+        progress = true;
+      }
+      if (socket_->readable_bytes() > 0) {
+        int64_t got = socket_->Recv(resp_remaining_, &cost);
+        resp_remaining_ -= got;
+        if (got > 0 && resp_remaining_ == 0) {
+          latency_.Record(now - sent_at_);
+          ++completed_;
+          request_outstanding_ = false;
+          progress = true;
+        }
+      }
+    }
+  }
+  result.cpu_ns = cost.ns;
+  if (completed_ >= options_.iterations) {
+    result.next = StepResult::Next::kBlock;
+    return result;
+  }
+  if (!request_outstanding_ && now < next_issue_) {
+    issue_timer_.Cancel();
+    issue_timer_ = sched_->WakeAt(this, next_issue_, /*remote=*/false);
+  }
+  // Busy-poll clients spin on the NIC queue; others block on sk_data_ready.
+  result.next = options_.busy_poll ? StepResult::Next::kYield
+                                   : StepResult::Next::kBlock;
+  if (options_.busy_poll && result.cpu_ns == 0) {
+    result.cpu_ns = 100;  // poll loop iteration
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop RPC over TCP
+// ---------------------------------------------------------------------------
+
+TcpRpcServerTask::TcpRpcServerTask(std::string name, CpuScheduler* sched,
+                                   KernelStack* kstack, uint16_t port,
+                                   TcpRpcContext* ctx)
+    : TcpAppTask(std::move(name), sched, kstack), ctx_(ctx) {
+  TcpRpcServerTask* self = this;
+  kstack_->Listen(port, [self](TcpSocket* sock) {
+    self->WatchSocket(sock);
+    self->conns_.push_back(Conn{sock, 0, 0});
+    self->WakeSelf();
+  });
+}
+
+StepResult TcpRpcServerTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  for (Conn& conn : conns_) {
+    if (cost.ns >= budget_ns) {
+      break;
+    }
+    // Drain queued response bytes first (responses exceed socket buffers).
+    if (conn.write_backlog > 0) {
+      int64_t sent = conn.socket->Send(conn.write_backlog, &cost);
+      conn.write_backlog -= sent;
+    }
+    // Accept new requests (one outstanding per connection by protocol).
+    while (conn.socket->readable_bytes() >= ctx_->request_bytes &&
+           conn.write_backlog == 0 && cost.ns < budget_ns) {
+      cost.Charge(kstack_->params().epoll_per_event);
+      conn.socket->Recv(ctx_->request_bytes, &cost);
+      auto it = ctx_->response_bytes.find(conn.socket->id());
+      int64_t resp = it != ctx_->response_bytes.end() ? it->second : 64;
+      ++requests_served_;
+      int64_t sent = conn.socket->Send(resp, &cost);
+      conn.write_backlog = resp - sent;
+    }
+  }
+  result.cpu_ns = cost.ns;
+  result.next = cost.ns >= budget_ns ? StepResult::Next::kYield
+                                     : StepResult::Next::kBlock;
+  return result;
+}
+
+TcpRpcClientTask::TcpRpcClientTask(std::string name, CpuScheduler* sched,
+                                   KernelStack* kstack, TcpRpcContext* ctx,
+                                   const Options& options)
+    : TcpAppTask(std::move(name), sched, kstack), options_(options),
+      ctx_(ctx), rng_(options.rng_seed) {
+  SNAP_CHECK(!options.peer_hosts.empty());
+}
+
+TcpRpcClientTask::Conn* TcpRpcClientTask::AcquireConn(int host,
+                                                      CpuCostSink* cost) {
+  auto& pool = pools_[host];
+  for (auto& conn : pool) {
+    if (conn->established && !conn->busy) {
+      return conn.get();
+    }
+  }
+  if (static_cast<int>(pool.size()) < options_.max_conns_per_peer) {
+    auto conn = std::make_unique<Conn>();
+    conn->socket = kstack_->Connect(host, options_.port, cost);
+    WatchSocket(conn->socket);
+    Conn* raw = conn.get();
+    TcpRpcClientTask* self = this;
+    conn->socket->SetEstablishedCallback([self, raw] {
+      raw->established = true;
+      self->WakeSelf();
+    });
+    pool.push_back(std::move(conn));
+  }
+  return nullptr;  // connection warming up or pool exhausted
+}
+
+void TcpRpcClientTask::StartRpc(Conn* conn, SimTime arrival,
+                                CpuCostSink* cost) {
+  conn->busy = true;
+  conn->issued_at = arrival;
+  conn->resp_remaining = options_.response_bytes;
+  ctx_->response_bytes[conn->socket->id()] = options_.response_bytes;
+  int64_t sent = conn->socket->Send(ctx_->request_bytes, cost);
+  conn->request_backlog = ctx_->request_bytes - sent;
+  bytes_transferred_ += ctx_->request_bytes;
+}
+
+StepResult TcpRpcClientTask::Step(SimTime now, SimDuration budget_ns) {
+  CpuCostSink cost;
+  StepResult result;
+  // Progress in-flight RPCs.
+  for (auto& [host, pool] : pools_) {
+    for (auto& conn : pool) {
+      if (!conn->busy) {
+        continue;
+      }
+      if (conn->request_backlog > 0) {
+        int64_t sent = conn->socket->Send(conn->request_backlog, &cost);
+        conn->request_backlog -= sent;
+      }
+      if (conn->socket->readable_bytes() > 0) {
+        cost.Charge(kstack_->params().epoll_per_event);
+        int64_t got = conn->socket->Recv(conn->resp_remaining, &cost);
+        conn->resp_remaining -= got;
+        bytes_transferred_ += got;
+        if (conn->resp_remaining == 0) {
+          latency_.Record(now - conn->issued_at);
+          ++rpcs_completed_;
+          conn->busy = false;
+        }
+      }
+    }
+  }
+  // Open-loop arrivals (including any deferred while all conns were busy).
+  if (next_arrival_ == 0) {
+    next_arrival_ = now + static_cast<SimDuration>(
+        rng_.NextExponential(1e9 / options_.rpcs_per_sec));
+  }
+  while (now >= next_arrival_) {
+    deferred_.push_back(next_arrival_);
+    next_arrival_ += static_cast<SimDuration>(
+        rng_.NextExponential(1e9 / options_.rpcs_per_sec));
+  }
+  while (!deferred_.empty() && cost.ns < budget_ns) {
+    int host = options_.peer_hosts[rng_.NextBounded(
+        options_.peer_hosts.size())];
+    Conn* conn = AcquireConn(host, &cost);
+    if (conn == nullptr) {
+      break;  // wait for a connection to free up or establish
+    }
+    StartRpc(conn, deferred_.front(), &cost);
+    deferred_.pop_front();
+  }
+  arrival_timer_.Cancel();
+  arrival_timer_ = sched_->WakeAt(this, std::max(next_arrival_, now + 1),
+                                  /*remote=*/false);
+  result.cpu_ns = cost.ns;
+  result.next = cost.ns >= budget_ns ? StepResult::Next::kYield
+                                     : StepResult::Next::kBlock;
+  return result;
+}
+
+}  // namespace snap

@@ -1,0 +1,223 @@
+// Application workload tasks over the kernel TCP stack — the paper's
+// baselines: Neper-style stream throughput with 1..200 streams (Table 1),
+// TCP_RR ping-pong with optional SO_BUSY_POLL (Figure 6(a)), and open-loop
+// Poisson RPC with latency probers (Figures 6(b)-(d), 7).
+#ifndef SRC_APPS_TCP_APPS_H_
+#define SRC_APPS_TCP_APPS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kstack.h"
+#include "src/sim/cpu.h"
+#include "src/stats/histogram.h"
+#include "src/util/rng.h"
+
+namespace snap {
+
+class TcpAppTask : public SimTask {
+ public:
+  TcpAppTask(std::string name, CpuScheduler* sched, KernelStack* kstack);
+
+  void Start() {
+    sched_->AddTask(this);
+    sched_->Wake(this, /*remote=*/false);
+  }
+
+ protected:
+  void WakeSelf() { sched_->Wake(this, /*remote=*/true); }
+  // Installs readable/writable callbacks that wake this task.
+  void WatchSocket(TcpSocket* socket);
+
+  CpuScheduler* sched_;
+  KernelStack* kstack_;
+};
+
+// --- Table 1: Neper-style stream throughput -----------------------------
+
+class TcpStreamSenderTask : public TcpAppTask {
+ public:
+  struct Options {
+    int dst_host = 1;
+    uint16_t port = 5001;
+    int num_streams = 1;
+    int64_t write_chunk = 128 * 1024;
+  };
+
+  TcpStreamSenderTask(std::string name, CpuScheduler* sched,
+                      KernelStack* kstack, const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Options options_;
+  bool connected_ = false;
+  std::vector<TcpSocket*> sockets_;
+  size_t cursor_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+class TcpStreamReceiverTask : public TcpAppTask {
+ public:
+  TcpStreamReceiverTask(std::string name, CpuScheduler* sched,
+                        KernelStack* kstack, uint16_t port);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  int64_t bytes_received() const { return bytes_received_; }
+  int num_connections() const { return static_cast<int>(sockets_.size()); }
+
+ private:
+  std::vector<TcpSocket*> sockets_;
+  int64_t bytes_received_ = 0;
+};
+
+// --- Figure 6(a): TCP_RR -------------------------------------------------
+
+class TcpRRServerTask : public TcpAppTask {
+ public:
+  struct Options {
+    uint16_t port = 5002;
+    int64_t request_bytes = 64;
+    int64_t response_bytes = 64;
+    bool busy_poll = false;
+  };
+
+  TcpRRServerTask(std::string name, CpuScheduler* sched, KernelStack* kstack,
+                  const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+ private:
+  Options options_;
+  std::vector<TcpSocket*> sockets_;
+  // Requests received but not yet answered: the response goes out on the
+  // next step, after the receive-side processing cost has elapsed.
+  std::vector<TcpSocket*> pending_replies_;
+};
+
+class TcpRRClientTask : public TcpAppTask {
+ public:
+  struct Options {
+    int dst_host = 1;
+    uint16_t port = 5002;
+    int64_t request_bytes = 64;
+    int64_t response_bytes = 64;
+    int iterations = 1000;
+    bool busy_poll = false;  // SO_BUSY_POLL: app core polls the NIC
+    // Minimum time between requests (0 = closed loop).
+    SimDuration interval = 0;
+  };
+
+  TcpRRClientTask(std::string name, CpuScheduler* sched, KernelStack* kstack,
+                  const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  const Histogram& latency() const { return latency_; }
+  bool done() const { return completed_ >= options_.iterations; }
+
+ private:
+  Options options_;
+  TcpSocket* socket_ = nullptr;
+  bool request_outstanding_ = false;
+  int64_t resp_remaining_ = 0;
+  SimTime sent_at_ = 0;
+  SimTime next_issue_ = 0;
+  EventHandle issue_timer_;
+  int completed_ = 0;
+  Histogram latency_;
+};
+
+// --- Figures 6(b)-(d), 7: open-loop RPC over TCP ------------------------
+
+// Side channel aligning response sizes with connections (the simulated TCP
+// stream carries byte counts, not content). One outstanding RPC per
+// connection keeps the mapping unambiguous.
+struct TcpRpcContext {
+  std::map<uint64_t, int64_t> response_bytes;  // conn id -> pending size
+  int64_t request_bytes = 64;
+};
+
+class TcpRpcServerTask : public TcpAppTask {
+ public:
+  TcpRpcServerTask(std::string name, CpuScheduler* sched,
+                   KernelStack* kstack, uint16_t port, TcpRpcContext* ctx);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Conn {
+    TcpSocket* socket = nullptr;
+    int64_t request_pending = 0;  // unread request bytes
+    int64_t write_backlog = 0;    // response bytes not yet accepted
+  };
+
+  TcpRpcContext* ctx_;
+  std::vector<Conn> conns_;
+  int64_t requests_served_ = 0;
+};
+
+class TcpRpcClientTask : public TcpAppTask {
+ public:
+  struct Options {
+    std::vector<int> peer_hosts;
+    uint16_t port = 5003;
+    double rpcs_per_sec = 100.0;
+    int64_t response_bytes = 1 << 20;
+    int max_conns_per_peer = 4;
+    uint64_t rng_seed = 1;
+  };
+
+  TcpRpcClientTask(std::string name, CpuScheduler* sched,
+                   KernelStack* kstack, TcpRpcContext* ctx,
+                   const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  const Histogram& latency() const { return latency_; }
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+  int64_t rpcs_completed() const { return rpcs_completed_; }
+  void ResetStats() {
+    latency_.Reset();
+    bytes_transferred_ = 0;
+    rpcs_completed_ = 0;
+  }
+
+ private:
+  struct Conn {
+    TcpSocket* socket = nullptr;
+    bool busy = false;
+    bool established = false;
+    int64_t request_backlog = 0;  // request bytes not yet accepted
+    int64_t resp_remaining = 0;
+    SimTime issued_at = 0;        // arrival time (queueing included)
+  };
+
+  // Finds a free established connection to `host`, creating one if the
+  // pool has room. nullptr when all are busy.
+  Conn* AcquireConn(int host, CpuCostSink* cost);
+  void StartRpc(Conn* conn, SimTime arrival, CpuCostSink* cost);
+
+  Options options_;
+  TcpRpcContext* ctx_;
+  Rng rng_;
+  std::map<int, std::vector<std::unique_ptr<Conn>>> pools_;
+  std::deque<SimTime> deferred_;  // arrivals waiting for a free connection
+  SimTime next_arrival_ = 0;
+  EventHandle arrival_timer_;
+  Histogram latency_;
+  int64_t bytes_transferred_ = 0;
+  int64_t rpcs_completed_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_APPS_TCP_APPS_H_

@@ -1,0 +1,478 @@
+#include "src/kernel/kstack.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+
+constexpr int kTcpHeaderBytes = 66;   // eth + ip + tcp + timestamps
+constexpr SimDuration kTcpRto = 5 * kMsec;
+constexpr int64_t kRxSlackBytes = 64 * 1024;
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TcpSocket
+// --------------------------------------------------------------------------
+
+TcpSocket::TcpSocket(KernelStack* stack, uint64_t conn_id, int peer_host)
+    : stack_(stack), conn_id_(conn_id), peer_host_(peer_host) {
+  const auto& p = stack->params();
+  cwnd_ = 10 * p.mss_bytes;
+  ssthresh_ = INT64_MAX / 2;
+  peer_rwnd_ = p.socket_buffer_bytes;
+}
+
+int64_t TcpSocket::send_space() const {
+  int64_t used = write_seq_ - snd_una_;
+  return std::max<int64_t>(
+      0, stack_->params().socket_buffer_bytes - used);
+}
+
+int64_t TcpSocket::Send(int64_t bytes, CpuCostSink* cost) {
+  const auto& p = stack_->params();
+  cost->Charge(p.syscall_cost);
+  if (state_ != State::kEstablished) {
+    return 0;
+  }
+  int64_t accepted = std::min(bytes, send_space());
+  if (accepted <= 0) {
+    return 0;
+  }
+  // Copy user data into kernel socket buffer.
+  cost->Charge(static_cast<SimDuration>(p.copy_ns_per_byte *
+                                        static_cast<double>(accepted)));
+  write_seq_ += accepted;
+  stats_.bytes_sent += accepted;
+  stack_->TryTransmit(this, cost);
+  return accepted;
+}
+
+int64_t TcpSocket::Recv(int64_t max_bytes, CpuCostSink* cost) {
+  const auto& p = stack_->params();
+  cost->Charge(p.syscall_cost);
+  cost->Charge(static_cast<SimDuration>(
+      stack_->ColdFactor() * static_cast<double>(p.recv_cold_penalty)));
+  int64_t taken = std::min(max_bytes, rx_available_);
+  if (taken <= 0) {
+    return 0;
+  }
+  cost->Charge(static_cast<SimDuration>(p.copy_ns_per_byte *
+                                        static_cast<double>(taken)));
+  rx_available_ -= taken;
+  stats_.bytes_delivered += taken;
+  // Window update when substantial space opens up.
+  int64_t rwnd = p.socket_buffer_bytes - rx_available_;
+  if (rwnd - last_window_update_ >= p.socket_buffer_bytes / 2) {
+    stack_->SendAck(this, cost);
+  }
+  return taken;
+}
+
+// --------------------------------------------------------------------------
+// Softirq task
+// --------------------------------------------------------------------------
+
+class KernelStack::SoftirqTask : public SimTask {
+ public:
+  SoftirqTask(KernelStack* stack, const std::string& name)
+      : SimTask(name, SchedClass::kMicroQuanta), stack_(stack) {
+    set_container("kernel");
+    // Softirq processing is not bandwidth-capped.
+    sched.mq_runtime = 1 * kMsec;
+    sched.mq_period = 1 * kMsec;
+  }
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override {
+    CpuCostSink cost;
+    bool any = false;
+    // Deferred retransmission work (RTO fired).
+    while (!stack_->rto_work_.empty() && cost.ns < budget_ns) {
+      TcpSocket* sock = stack_->rto_work_.front();
+      stack_->rto_work_.pop_front();
+      cost.Charge(stack_->params_.tx_per_packet);
+      stack_->TryTransmit(sock, &cost);
+      stack_->ArmRto(sock);
+      any = true;
+    }
+    RxQueue* q = stack_->nic_->default_queue();
+    while (cost.ns < budget_ns) {
+      PacketPtr p = q->Poll();
+      if (p == nullptr) {
+        break;
+      }
+      any = true;
+      stack_->ProcessRxPacket(std::move(p), &cost);
+    }
+    stack_->FlushPendingAcks(&cost);
+    StepResult result;
+    result.cpu_ns = cost.ns;
+    if (q->pending() > 0 || !stack_->rto_work_.empty()) {
+      result.next = StepResult::Next::kYield;
+    } else {
+      // Nothing left: re-enable interrupts and sleep. Rearm() fires
+      // immediately if a packet raced in, which sets wake_pending.
+      q->Rearm();
+      result.next = StepResult::Next::kBlock;
+    }
+    if (!any && result.cpu_ns == 0) {
+      result.next = StepResult::Next::kBlock;
+    }
+    return result;
+  }
+
+ private:
+  KernelStack* stack_;
+};
+
+// --------------------------------------------------------------------------
+// KernelStack
+// --------------------------------------------------------------------------
+
+KernelStack::KernelStack(Simulator* sim, CpuScheduler* sched, Nic* nic,
+                         const KernelStackParams& params)
+    : sim_(sim), sched_(sched), nic_(nic), params_(params) {}
+
+KernelStack::~KernelStack() = default;
+
+void KernelStack::Start() {
+  softirq_ = std::make_unique<SoftirqTask>(
+      this, "softirq/host" + std::to_string(host_id()));
+  sched_->AddTask(softirq_.get());
+  if (params_.busy_poll) {
+    nic_->default_queue()->DisableInterrupts();
+  } else {
+    // RSS steers the IRQ to the softirq thread's own core, so the wakeup
+    // is local (no IPI).
+    nic_->default_queue()->SetInterruptHandler(
+        [this] { sched_->Wake(softirq_.get(), /*remote=*/false); });
+  }
+}
+
+SimTask* KernelStack::softirq_task() { return softirq_.get(); }
+
+int64_t KernelStack::SoftirqCpuNs() const {
+  return softirq_ == nullptr ? 0 : softirq_->cpu_consumed_ns();
+}
+
+void KernelStack::Listen(uint16_t port, AcceptCallback cb) {
+  listeners_[port] = std::move(cb);
+}
+
+uint64_t KernelStack::NextConnId() {
+  return (static_cast<uint64_t>(host_id()) << 32) | next_conn_++;
+}
+
+TcpSocket* KernelStack::Connect(int dst_host, uint16_t port,
+                                CpuCostSink* cost) {
+  cost->Charge(params_.syscall_cost);
+  uint64_t id = NextConnId();
+  auto sock = std::unique_ptr<TcpSocket>(new TcpSocket(this, id, dst_host));
+  TcpSocket* raw = sock.get();
+  conns_[id] = std::move(sock);
+  ++active_flows_;
+  SendControl(raw, /*syn=*/true, /*ack=*/false, port, cost);
+  return raw;
+}
+
+bool KernelStack::Output(PacketPtr packet) {
+  if (egress_divert_) {
+    return egress_divert_(std::move(packet));
+  }
+  return nic_->Transmit(std::move(packet));
+}
+
+void KernelStack::SendControl(TcpSocket* sock, bool syn, bool ack,
+                              uint16_t dst_port, CpuCostSink* cost) {
+  auto p = std::make_unique<Packet>();
+  p->src_host = host_id();
+  p->dst_host = sock->peer_host_;
+  p->proto = WireProtocol::kTcp;
+  p->tcp.conn_id = sock->conn_id_;
+  p->tcp.dst_port = dst_port;
+  p->tcp.syn = syn;
+  p->tcp.is_ack = ack;
+  p->tcp.ack = sock->rcv_nxt_;
+  p->tcp.window = static_cast<uint32_t>(EffectiveRwnd(sock));
+  p->wire_bytes = kTcpHeaderBytes;
+  cost->Charge(params_.tx_per_packet);
+  Output(std::move(p));
+}
+
+int64_t KernelStack::EffectiveRwnd(const TcpSocket* sock) const {
+  return std::max<int64_t>(
+      0, params_.socket_buffer_bytes - sock->rx_available_);
+}
+
+double KernelStack::ColdFactor() const {
+  if (active_flows_ <= params_.cold_flow_threshold) {
+    return 0;
+  }
+  double span = static_cast<double>(params_.cold_flow_saturation -
+                                    params_.cold_flow_threshold);
+  return std::min(
+      1.0, static_cast<double>(active_flows_ -
+                               params_.cold_flow_threshold) / span);
+}
+
+SimDuration KernelStack::PerPacketSoftirqCost() const {
+  return params_.softirq_per_packet +
+         static_cast<SimDuration>(
+             ColdFactor() *
+             static_cast<double>(params_.softirq_cold_penalty));
+}
+
+void KernelStack::TryTransmit(TcpSocket* sock, CpuCostSink* cost) {
+  if (sock->state_ != TcpSocket::State::kEstablished) {
+    return;
+  }
+  int64_t window = std::min(sock->cwnd_, sock->peer_rwnd_);
+  while (sock->snd_nxt_ < sock->write_seq_ &&
+         sock->snd_nxt_ - sock->snd_una_ < window &&
+         nic_->TxSlotsAvailable() > 0) {
+    int64_t payload = std::min<int64_t>(
+        params_.mss_bytes, sock->write_seq_ - sock->snd_nxt_);
+    payload = std::min(payload,
+                       window - (sock->snd_nxt_ - sock->snd_una_));
+    if (payload <= 0) {
+      break;
+    }
+    auto p = std::make_unique<Packet>();
+    p->src_host = host_id();
+    p->dst_host = sock->peer_host_;
+    p->proto = WireProtocol::kTcp;
+    p->tcp.conn_id = sock->conn_id_;
+    p->tcp.seq = static_cast<uint64_t>(sock->snd_nxt_);
+    p->tcp.window = static_cast<uint32_t>(EffectiveRwnd(sock));
+    p->tcp.ack = sock->rcv_nxt_;
+    p->payload_bytes = static_cast<int32_t>(payload);
+    p->wire_bytes = static_cast<int32_t>(payload) + kTcpHeaderBytes;
+    cost->Charge(params_.tx_per_packet);
+    if (!Output(std::move(p))) {
+      break;
+    }
+    sock->snd_nxt_ += payload;
+  }
+  ArmRto(sock);
+}
+
+void KernelStack::ArmRto(TcpSocket* sock) {
+  if (sock->snd_una_ >= sock->snd_nxt_) {
+    sock->rto_timer_.Cancel();
+    return;
+  }
+  if (sock->rto_timer_.pending()) {
+    return;
+  }
+  sock->rto_timer_ = sim_->Schedule(kTcpRto, [this, sock] { OnRto(sock); });
+}
+
+void KernelStack::OnRto(TcpSocket* sock) {
+  if (sock->snd_una_ >= sock->snd_nxt_) {
+    return;
+  }
+  ++sock->stats_.rto_events;
+  ++sock->stats_.retransmits;
+  // Go-back-N from the oldest unacked byte; collapse the window.
+  sock->snd_nxt_ = sock->snd_una_;
+  sock->ssthresh_ = std::max<int64_t>(
+      (sock->write_seq_ - sock->snd_una_) / 2, 2 * params_.mss_bytes);
+  sock->cwnd_ = params_.mss_bytes;
+  sock->dup_acks_ = 0;
+  sock->in_recovery_ = false;
+  rto_work_.push_back(sock);
+  sched_->Wake(softirq_.get(), /*remote=*/true);
+}
+
+void KernelStack::SendAck(TcpSocket* sock, CpuCostSink* cost) {
+  auto p = std::make_unique<Packet>();
+  p->src_host = host_id();
+  p->dst_host = sock->peer_host_;
+  p->proto = WireProtocol::kTcp;
+  p->tcp.conn_id = sock->conn_id_;
+  p->tcp.is_ack = true;
+  p->tcp.ack = static_cast<uint64_t>(sock->rcv_nxt_);
+  p->tcp.seq = static_cast<uint64_t>(sock->snd_nxt_);
+  p->tcp.window = static_cast<uint32_t>(EffectiveRwnd(sock));
+  p->wire_bytes = kTcpHeaderBytes;
+  sock->last_window_update_ = EffectiveRwnd(sock);
+  sock->ack_pending_ = false;
+  cost->Charge(params_.tx_per_packet);
+  Output(std::move(p));
+}
+
+void KernelStack::FlushPendingAcks(CpuCostSink* cost) {
+  for (TcpSocket* sock : ack_batch_) {
+    if (sock->ack_pending_) {
+      SendAck(sock, cost);
+    }
+  }
+  ack_batch_.clear();
+}
+
+int KernelStack::BusyPollRx(CpuCostSink* cost) {
+  // Busy-polling socket read: one sk_busy_loop iteration — a syscall that
+  // repeatedly invokes the driver poll routine until data or timeout.
+  cost->Charge(1500 * kNsec);
+  RxQueue* q = nic_->default_queue();
+  int processed = 0;
+  while (processed < 16) {
+    PacketPtr p = q->Poll();
+    if (p == nullptr) {
+      break;
+    }
+    ProcessRxPacket(std::move(p), cost);
+    ++processed;
+  }
+  FlushPendingAcks(cost);
+  return processed;
+}
+
+void KernelStack::ProcessRxPacket(PacketPtr packet, CpuCostSink* cost) {
+  if (packet->proto != WireProtocol::kTcp) {
+    // Unclaimed protocol (e.g. Pony packets arriving during an upgrade
+    // blackout, after the engine's steering filter was detached): dropped.
+    // End-to-end transports recover via retransmission (Section 4).
+    return;
+  }
+  cost->Charge(PerPacketSoftirqCost());
+  const TcpSegment& seg = packet->tcp;
+  auto it = conns_.find(seg.conn_id);
+  if (it == conns_.end()) {
+    if (seg.syn && !seg.is_ack) {
+      // Passive open.
+      auto lit = listeners_.find(seg.dst_port);
+      if (lit == listeners_.end()) {
+        return;  // RST in a real stack; silently drop here
+      }
+      auto sock = std::unique_ptr<TcpSocket>(
+          new TcpSocket(this, seg.conn_id, packet->src_host));
+      sock->state_ = TcpSocket::State::kEstablished;
+      sock->peer_rwnd_ = seg.window;
+      TcpSocket* raw = sock.get();
+      conns_[seg.conn_id] = std::move(sock);
+      ++active_flows_;
+      SendControl(raw, /*syn=*/true, /*ack=*/true, 0, cost);
+      lit->second(raw);
+    }
+    return;
+  }
+  TcpSocket* sock = it->second.get();
+  if (seg.syn && seg.is_ack &&
+      sock->state_ == TcpSocket::State::kConnecting) {
+    sock->state_ = TcpSocket::State::kEstablished;
+    sock->peer_rwnd_ = seg.window;
+    if (sock->established_cb_) {
+      sock->established_cb_();
+    }
+    // Data may already be buffered from before the handshake completed.
+    TryTransmit(sock, cost);
+    return;
+  }
+  if (packet->payload_bytes > 0) {
+    HandleData(sock, seg, packet->payload_bytes, cost);
+  }
+  if (seg.is_ack || seg.ack > 0) {
+    HandleAck(sock, seg, cost);
+  }
+}
+
+void KernelStack::HandleData(TcpSocket* sock, const TcpSegment& seg,
+                             int32_t payload, CpuCostSink* cost) {
+  int64_t start = static_cast<int64_t>(seg.seq);
+  int64_t end = start + payload;
+  // Receiver overload: past the buffer (plus in-flight slack), drop.
+  if (sock->rx_available_ + payload >
+      params_.socket_buffer_bytes + kRxSlackBytes) {
+    return;
+  }
+  if (end <= sock->rcv_nxt_) {
+    // Duplicate; ack again.
+  } else if (start <= sock->rcv_nxt_) {
+    int64_t advance = end - sock->rcv_nxt_;
+    sock->rcv_nxt_ = end;
+    // Absorb any out-of-order segments now contiguous.
+    auto it = sock->ooo_.begin();
+    while (it != sock->ooo_.end() && it->first <= sock->rcv_nxt_) {
+      if (it->second > sock->rcv_nxt_) {
+        advance += it->second - sock->rcv_nxt_;
+        sock->rcv_nxt_ = it->second;
+      }
+      it = sock->ooo_.erase(it);
+    }
+    sock->rx_available_ += advance;
+    if (sock->readable_cb_) {
+      cost->Charge(params_.socket_wakeup_cost);
+      sock->readable_cb_();
+    }
+  } else {
+    // Out of order: remember the range.
+    auto [it, inserted] = sock->ooo_.emplace(start, end);
+    if (!inserted) {
+      it->second = std::max(it->second, end);
+    }
+  }
+  if (!sock->ack_pending_) {
+    sock->ack_pending_ = true;
+    ack_batch_.push_back(sock);
+  }
+}
+
+void KernelStack::HandleAck(TcpSocket* sock, const TcpSegment& seg,
+                            CpuCostSink* cost) {
+  int64_t ack = static_cast<int64_t>(seg.ack);
+  sock->peer_rwnd_ = seg.window;
+  if (ack > sock->snd_una_) {
+    int64_t acked = ack - sock->snd_una_;
+    sock->snd_una_ = ack;
+    sock->dup_acks_ = 0;
+    if (sock->in_recovery_ && ack >= sock->recovery_end_) {
+      sock->in_recovery_ = false;
+    }
+    // Congestion control: slow start then AIMD.
+    if (sock->cwnd_ < sock->ssthresh_) {
+      sock->cwnd_ += acked;
+    } else {
+      sock->cwnd_ += std::max<int64_t>(
+          1, params_.mss_bytes * params_.mss_bytes / sock->cwnd_);
+    }
+    sock->rto_timer_.Cancel();
+    ArmRto(sock);
+    if (sock->writable_cb_ && sock->send_space() > 0) {
+      sock->writable_cb_();
+    }
+  } else if (ack == sock->snd_una_ && sock->snd_nxt_ > sock->snd_una_) {
+    ++sock->dup_acks_;
+    if (sock->dup_acks_ == 3 && !sock->in_recovery_) {
+      // Fast retransmit one MSS from snd_una.
+      ++sock->stats_.fast_retransmits;
+      ++sock->stats_.retransmits;
+      sock->in_recovery_ = true;
+      sock->recovery_end_ = sock->snd_nxt_;
+      sock->ssthresh_ = std::max<int64_t>(
+          (sock->snd_nxt_ - sock->snd_una_) / 2, 2 * params_.mss_bytes);
+      sock->cwnd_ = sock->ssthresh_;
+      int64_t payload = std::min<int64_t>(
+          params_.mss_bytes, sock->write_seq_ - sock->snd_una_);
+      if (payload > 0 && nic_->TxSlotsAvailable() > 0) {
+        auto p = std::make_unique<Packet>();
+        p->src_host = host_id();
+        p->dst_host = sock->peer_host_;
+        p->proto = WireProtocol::kTcp;
+        p->tcp.conn_id = sock->conn_id_;
+        p->tcp.seq = static_cast<uint64_t>(sock->snd_una_);
+        p->tcp.window = static_cast<uint32_t>(EffectiveRwnd(sock));
+        p->payload_bytes = static_cast<int32_t>(payload);
+        p->wire_bytes = static_cast<int32_t>(payload) + kTcpHeaderBytes;
+        cost->Charge(params_.tx_per_packet);
+        Output(std::move(p));
+      }
+    }
+  }
+  TryTransmit(sock, cost);
+}
+
+}  // namespace snap

@@ -1,0 +1,201 @@
+// Baseline kernel TCP/IP stack cost model (the paper's comparison point).
+//
+// This models the Linux TCP data path at the granularity the paper's
+// evaluation is sensitive to:
+//  - system-call and copy costs on the application side,
+//  - softirq RX processing on a kernel thread woken by NIC interrupts
+//    (whose CPU is stolen from whatever runs on that core — the accounting
+//    problem Section 2.5 cites),
+//  - window-based flow control (socket buffers), NewReno-style congestion
+//    control with fast retransmit and RTO,
+//  - per-flow cache pressure when many streams are active (Table 1's
+//    200-stream degradation),
+//  - SO_BUSY_POLL-style busy polling (Figure 6(a)'s 18us TCP_RR point).
+//
+// Applications are SimTasks; every socket call returns the CPU cost the
+// caller must charge to its current step, so all kernel time lands on the
+// right simulated core.
+#ifndef SRC_KERNEL_KSTACK_H_
+#define SRC_KERNEL_KSTACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/net/nic.h"
+#include "src/sim/cpu.h"
+#include "src/sim/model_params.h"
+#include "src/util/status.h"
+
+namespace snap {
+
+class KernelStack;
+
+// Accumulates CPU cost to charge to the calling task's current step.
+struct CpuCostSink {
+  SimDuration ns = 0;
+  void Charge(SimDuration d) { ns += d; }
+};
+
+// A TCP socket endpoint. Non-blocking API: Send/Recv move what they can and
+// return the CPU cost; readable/writable callbacks provide edge-triggered
+// wakeups (epoll-style).
+class TcpSocket {
+ public:
+  enum class State { kConnecting, kEstablished, kClosed };
+
+  // Sends up to `bytes` (synthetic payload). Returns bytes accepted into
+  // the send buffer (0 if full).
+  int64_t Send(int64_t bytes, CpuCostSink* cost);
+
+  // Receives up to `max_bytes` from the receive buffer.
+  int64_t Recv(int64_t max_bytes, CpuCostSink* cost);
+
+  int64_t readable_bytes() const { return rx_available_; }
+  int64_t send_space() const;
+  State state() const { return state_; }
+  uint64_t id() const { return conn_id_; }
+
+  // Edge-triggered: invoked when the socket becomes readable / writable /
+  // established. Invoked from kernel (softirq) context.
+  void SetReadableCallback(std::function<void()> cb) {
+    readable_cb_ = std::move(cb);
+  }
+  void SetWritableCallback(std::function<void()> cb) {
+    writable_cb_ = std::move(cb);
+  }
+  void SetEstablishedCallback(std::function<void()> cb) {
+    established_cb_ = std::move(cb);
+  }
+
+  struct Stats {
+    int64_t bytes_sent = 0;      // accepted from the application
+    int64_t bytes_delivered = 0; // handed to the application
+    int64_t retransmits = 0;
+    int64_t rto_events = 0;
+    int64_t fast_retransmits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class KernelStack;
+
+  TcpSocket(KernelStack* stack, uint64_t conn_id, int peer_host);
+
+  KernelStack* stack_;
+  uint64_t conn_id_;
+  int peer_host_;
+  State state_ = State::kConnecting;
+
+  // Sender state (byte sequences).
+  int64_t snd_una_ = 0;    // oldest unacknowledged
+  int64_t snd_nxt_ = 0;    // next to transmit
+  int64_t write_seq_ = 0;  // end of data the app has written
+  int64_t cwnd_ = 0;
+  int64_t ssthresh_ = 0;
+  int64_t peer_rwnd_ = 0;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  int64_t recovery_end_ = 0;
+  EventHandle rto_timer_;
+
+  // Receiver state.
+  int64_t rcv_nxt_ = 0;
+  int64_t rx_available_ = 0;  // contiguous bytes ready for the app
+  // Out-of-order segments: (start, end) byte ranges.
+  std::map<int64_t, int64_t> ooo_;
+  int64_t last_window_update_ = 0;
+
+  std::function<void()> readable_cb_;
+  std::function<void()> writable_cb_;
+  std::function<void()> established_cb_;
+  bool ack_pending_ = false;
+  Stats stats_;
+};
+
+// Per-host kernel stack instance.
+class KernelStack {
+ public:
+  using AcceptCallback = std::function<void(TcpSocket*)>;
+
+  KernelStack(Simulator* sim, CpuScheduler* sched, Nic* nic,
+              const KernelStackParams& params);
+  ~KernelStack();
+
+  // Starts the softirq processing task (call once after construction).
+  void Start();
+
+  // Egress divert hook (the Snap kernel packet-injection driver,
+  // Section 2): when set, outgoing packets are handed to the hook instead
+  // of the NIC. The hook returns false to drop (full ring == full qdisc).
+  void SetEgressDivert(std::function<bool(PacketPtr)> hook) {
+    egress_divert_ = std::move(hook);
+  }
+
+  // Listens on `port`; `cb` runs (kernel context) for each accepted socket.
+  void Listen(uint16_t port, AcceptCallback cb);
+
+  // Opens a connection; the returned socket completes the handshake
+  // asynchronously (SetEstablishedCallback to observe).
+  TcpSocket* Connect(int dst_host, uint16_t port, CpuCostSink* cost);
+
+  // SO_BUSY_POLL: the application polls the NIC queue directly, processing
+  // packets inline and bypassing interrupt + softirq wakeup. Returns the
+  // number of packets processed.
+  int BusyPollRx(CpuCostSink* cost);
+
+  const KernelStackParams& params() const { return params_; }
+  int host_id() const { return nic_->host_id(); }
+  SimTask* softirq_task();
+
+  // Total CPU consumed by kernel-context processing (softirq task).
+  int64_t SoftirqCpuNs() const;
+
+ private:
+  friend class TcpSocket;
+
+  class SoftirqTask;
+
+  // Shared RX processing used by both softirq and busy-poll paths.
+  // Returns the cost of processing one packet.
+  void ProcessRxPacket(PacketPtr packet, CpuCostSink* cost);
+  void HandleData(TcpSocket* sock, const TcpSegment& seg, int32_t payload,
+                  CpuCostSink* cost);
+  void HandleAck(TcpSocket* sock, const TcpSegment& seg, CpuCostSink* cost);
+  // Emits data packets while window and TX ring allow.
+  void TryTransmit(TcpSocket* sock, CpuCostSink* cost);
+  void SendAck(TcpSocket* sock, CpuCostSink* cost);
+  void SendControl(TcpSocket* sock, bool syn, bool ack, uint16_t dst_port,
+                   CpuCostSink* cost);
+  // All kernel egress funnels through here (NIC or the divert hook).
+  bool Output(PacketPtr packet);
+  void ArmRto(TcpSocket* sock);
+  void OnRto(TcpSocket* sock);
+  void FlushPendingAcks(CpuCostSink* cost);
+  int64_t EffectiveRwnd(const TcpSocket* sock) const;
+  SimDuration PerPacketSoftirqCost() const;
+  // 0..1 cache-pressure ramp with active flow count.
+  double ColdFactor() const;
+  uint64_t NextConnId();
+
+  Simulator* sim_;
+  CpuScheduler* sched_;
+  Nic* nic_;
+  KernelStackParams params_;
+  std::unique_ptr<SoftirqTask> softirq_;
+  std::map<uint64_t, std::unique_ptr<TcpSocket>> conns_;
+  std::map<uint16_t, AcceptCallback> listeners_;
+  std::function<bool(PacketPtr)> egress_divert_;
+  std::vector<TcpSocket*> ack_batch_;  // acks coalesced within one RX batch
+  std::deque<TcpSocket*> rto_work_;    // retransmissions deferred to softirq
+  uint64_t next_conn_ = 1;
+  int active_flows_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_KERNEL_KSTACK_H_

@@ -1,0 +1,55 @@
+#include "src/net/fabric.h"
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+Fabric::Fabric(Simulator* sim, const NicParams& params)
+    : sim_(sim), params_(params) {}
+
+Nic* Fabric::AddHost() {
+  int id = static_cast<int>(nics_.size());
+  nics_.push_back(std::make_unique<Nic>(sim_, this, id, params_));
+  ports_.emplace_back();
+  return nics_.back().get();
+}
+
+void Fabric::Route(PacketPtr packet, SimTime wire_time) {
+  if (packet->dst_host < 0 || packet->dst_host >= num_hosts()) {
+    ++stats_.dropped_bad_address;
+    return;
+  }
+  if (drop_probability_ > 0 &&
+      sim_->rng().NextBernoulli(drop_probability_)) {
+    ++stats_.dropped_random;
+    return;
+  }
+  // Propagate to the switch, then contend for the destination egress port.
+  SimTime switch_arrival = wire_time + params_.propagation_delay;
+  Port& port = ports_[packet->dst_host];
+  if (port.queued_bytes + packet->wire_bytes > params_.port_queue_bytes) {
+    ++stats_.dropped_queue_full;
+    return;
+  }
+  port.queued_bytes += packet->wire_bytes;
+  SimTime start = std::max(switch_arrival, port.busy_until);
+  SimTime done =
+      start + SerializationDelay(packet->wire_bytes, params_.link_gbps);
+  port.busy_until = done;
+  int64_t bytes = packet->wire_bytes;
+  int dst = packet->dst_host;
+  Packet* raw = packet.release();
+  // Delivery at the destination NIC after the final hop + NIC pipeline.
+  SimTime delivery = done + params_.nic_pipeline_delay;
+  sim_->ScheduleAt(delivery, [this, raw, bytes, dst] {
+    ports_[dst].queued_bytes -= bytes;
+    ++stats_.delivered;
+    nics_[dst]->DeliverFromWire(PacketPtr(raw));
+  });
+}
+
+int64_t Fabric::PortQueueBytes(int host) const {
+  return ports_[host].queued_bytes;
+}
+
+}  // namespace snap

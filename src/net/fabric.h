@@ -1,0 +1,73 @@
+// Simulated datacenter fabric: hosts attached to a switch, with per-
+// destination egress port queues that drain at line rate. The egress queue
+// is where congestion appears: incast traffic inflates queueing delay
+// (which Timely's RTT-gradient congestion control reacts to) and overflows
+// drop (the lossy fabric of Section 5.4: no PFC pauses; losses are handled
+// end-to-end).
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/net/nic.h"
+#include "src/packet/packet.h"
+#include "src/sim/model_params.h"
+#include "src/sim/simulator.h"
+
+namespace snap {
+
+class Fabric {
+ public:
+  Fabric(Simulator* sim, const NicParams& params);
+
+  // Creates a new host with one NIC attached to the fabric; hosts are
+  // numbered densely from 0.
+  Nic* AddHost();
+
+  Nic* nic(int host) { return nics_[host].get(); }
+  int num_hosts() const { return static_cast<int>(nics_.size()); }
+
+  // Called by a NIC when a packet finishes serializing onto its uplink at
+  // time `wire_time`. Routes through the destination's egress port.
+  void Route(PacketPtr packet, SimTime wire_time);
+
+  // Fault injection: drop each packet independently with this probability.
+  void set_random_drop_probability(double p) { drop_probability_ = p; }
+
+  struct Stats {
+    int64_t delivered = 0;
+    int64_t dropped_queue_full = 0;
+    int64_t dropped_random = 0;
+    int64_t dropped_bad_address = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Instantaneous queue depth (bytes) at a destination's egress port.
+  int64_t PortQueueBytes(int host) const;
+
+  Simulator* sim() { return sim_; }
+  const NicParams& params() const { return params_; }
+
+ private:
+  struct Port {
+    SimTime busy_until = 0;
+    int64_t queued_bytes = 0;
+  };
+
+  Simulator* sim_;
+  NicParams params_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<Port> ports_;
+  double drop_probability_ = 0;
+  Stats stats_;
+};
+
+// Nanoseconds to serialize `bytes` at `gbps`.
+inline SimDuration SerializationDelay(int64_t bytes, double gbps) {
+  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace snap
+
+#endif  // SRC_NET_FABRIC_H_

@@ -1,0 +1,159 @@
+#include "src/net/nic.h"
+
+#include "src/net/fabric.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+// --------------------------------------------------------------------------
+// RxQueue
+// --------------------------------------------------------------------------
+
+RxQueue::RxQueue(Simulator* sim, const NicParams& params, int id)
+    : sim_(sim), params_(params), id_(id) {}
+
+PacketPtr RxQueue::Poll() {
+  if (ring_.empty()) {
+    return nullptr;
+  }
+  PacketPtr p = std::move(ring_.front());
+  ring_.pop_front();
+  return p;
+}
+
+void RxQueue::SetInterruptHandler(std::function<void()> handler) {
+  handler_ = std::move(handler);
+  has_handler_ = true;
+  interrupts_armed_ = true;
+}
+
+void RxQueue::DisableInterrupts() {
+  interrupts_disabled_ = true;
+  interrupts_armed_ = false;
+  itr_timer_.Cancel();
+}
+
+void RxQueue::Rearm() {
+  if (interrupts_disabled_ || !has_handler_) {
+    return;
+  }
+  interrupts_armed_ = true;
+  if (!ring_.empty()) {
+    // Packets arrived while masked: fire immediately (no lost wakeups).
+    Fire();
+  }
+}
+
+void RxQueue::Deliver(PacketPtr packet) {
+  if (static_cast<int>(ring_.size()) >= params_.rx_ring_entries) {
+    ++stats_.dropped_ring_full;
+    return;
+  }
+  ++stats_.received;
+  ring_.push_back(std::move(packet));
+  MaybeInterrupt();
+  last_arrival_ = sim_->now();
+  if (watcher_) {
+    watcher_();
+  }
+}
+
+void RxQueue::MaybeInterrupt() {
+  if (!interrupts_armed_ || !has_handler_) {
+    return;
+  }
+  ++coalesced_frames_;
+  SimTime now = sim_->now();
+  // Adaptive moderation: an isolated packet (low rate) interrupts
+  // immediately; under a burst we coalesce until the frame or time limit.
+  bool low_rate = (now - last_arrival_) > 5 * kUsec;
+  if (low_rate || coalesced_frames_ >= params_.itr_max_frames) {
+    Fire();
+    return;
+  }
+  if (!itr_timer_.pending()) {
+    itr_timer_ = sim_->Schedule(params_.itr_max_wait, [this] { Fire(); });
+  }
+}
+
+void RxQueue::Fire() {
+  itr_timer_.Cancel();
+  coalesced_frames_ = 0;
+  // Mask until the consumer rearms (NAPI discipline).
+  interrupts_armed_ = false;
+  ++stats_.interrupts;
+  handler_();
+}
+
+// --------------------------------------------------------------------------
+// Nic
+// --------------------------------------------------------------------------
+
+Nic::Nic(Simulator* sim, Fabric* fabric, int host_id, const NicParams& params)
+    : sim_(sim), fabric_(fabric), host_id_(host_id), params_(params) {
+  // Queue 0: the host kernel's default queue.
+  queues_.push_back(std::make_unique<RxQueue>(sim_, params_, 0));
+}
+
+RxQueue* Nic::CreateRxQueue() {
+  queues_.push_back(std::make_unique<RxQueue>(
+      sim_, params_, static_cast<int>(queues_.size())));
+  return queues_.back().get();
+}
+
+Status Nic::InstallSteeringFilter(uint32_t key, RxQueue* queue) {
+  auto [it, inserted] = steering_.emplace(key, queue);
+  if (!inserted) {
+    return AlreadyExistsError("steering filter exists for key");
+  }
+  return OkStatus();
+}
+
+Status Nic::RemoveSteeringFilter(uint32_t key) {
+  if (steering_.erase(key) == 0) {
+    return NotFoundError("no steering filter for key");
+  }
+  return OkStatus();
+}
+
+int Nic::TxSlotsAvailable() const {
+  return params_.tx_ring_entries - tx_outstanding_;
+}
+
+bool Nic::Transmit(PacketPtr packet) {
+  if (tx_outstanding_ >= params_.tx_ring_entries) {
+    ++stats_.tx_ring_full;
+    return false;
+  }
+  SNAP_CHECK_GT(packet->wire_bytes, 0) << "packet must have wire_bytes set";
+  SimTime now = sim_->now();
+  packet->enqueue_time = now;
+  ++tx_outstanding_;
+  ++stats_.tx_packets;
+  stats_.tx_bytes += packet->wire_bytes;
+  // Serialize onto the uplink behind any packets already queued in the
+  // ring. The NIC pipeline delay is pure latency: it delays delivery but
+  // does not occupy the link.
+  SimTime start = std::max(now, tx_busy_until_);
+  SimTime serialized =
+      start + SerializationDelay(packet->wire_bytes, params_.link_gbps);
+  tx_busy_until_ = serialized;
+  SimTime done = serialized + params_.nic_pipeline_delay;
+  Packet* raw = packet.release();
+  sim_->ScheduleAt(done, [this, raw, done] {
+    --tx_outstanding_;
+    fabric_->Route(PacketPtr(raw), done);
+  });
+  return true;
+}
+
+void Nic::DeliverFromWire(PacketPtr packet) {
+  ++stats_.rx_packets;
+  stats_.rx_bytes += packet->wire_bytes;
+  packet->rx_time = sim_->now();
+  auto it = steering_.find(packet->steering_hash);
+  RxQueue* q = it != steering_.end() ? it->second : queues_.front().get();
+  q->Deliver(std::move(packet));
+}
+
+}  // namespace snap

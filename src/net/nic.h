@@ -1,0 +1,144 @@
+// Simulated NIC: receive queues with descriptor rings, exact-match steering
+// filters, adaptive interrupt moderation, and a transmit path that
+// serializes onto the link.
+//
+// Engines interact with the NIC exactly the way Snap does with real
+// hardware: they poll RX descriptor rings (OS-bypass), transmit only when
+// descriptor slots are available (Section 3.1's "just-in-time generation of
+// packets based on slot availability"), and install/detach steering filters
+// (used by transparent upgrade to hand a queue to the new engine,
+// Section 4). Interrupt-driven consumers (the kernel stack, "spreading"
+// engines) arm interrupts and get woken through a handler callback.
+#ifndef SRC_NET_NIC_H_
+#define SRC_NET_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/sim/model_params.h"
+#include "src/sim/simulator.h"
+#include "src/util/status.h"
+
+namespace snap {
+
+class Fabric;
+class Nic;
+
+// One NIC receive queue: a bounded descriptor ring plus interrupt state.
+class RxQueue {
+ public:
+  RxQueue(Simulator* sim, const NicParams& params, int id);
+
+  // Consumer side: takes the next received packet, or nullptr.
+  PacketPtr Poll();
+  int pending() const { return static_cast<int>(ring_.size()); }
+  // RX time of the oldest undelivered packet; kSimTimeNever when empty.
+  SimTime OldestArrival() const {
+    return ring_.empty() ? kSimTimeNever : ring_.front()->rx_time;
+  }
+
+  // Interrupt control (NAPI-style): the handler fires once per interrupt;
+  // the NIC then masks further interrupts until Rearm(). Rearm() with
+  // packets still pending fires immediately (no lost wakeups).
+  void SetInterruptHandler(std::function<void()> handler);
+  void Rearm();
+  bool interrupts_enabled() const { return interrupts_armed_; }
+  // Disables interrupt generation entirely (spin-polling consumers).
+  void DisableInterrupts();
+
+  // Lightweight per-delivery notification for engine runtimes: invoked on
+  // every packet arrival regardless of interrupt state. The CPU scheduler
+  // models the cost of the resulting wakeup (IPI/IRQ for blocked tasks,
+  // poll-loop detection latency for spinning ones).
+  void SetPollWatcher(std::function<void()> watcher) {
+    watcher_ = std::move(watcher);
+  }
+
+  int id() const { return id_; }
+
+  struct Stats {
+    int64_t received = 0;
+    int64_t dropped_ring_full = 0;
+    int64_t interrupts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Nic;
+
+  // NIC side: a packet arrived from the wire.
+  void Deliver(PacketPtr packet);
+  void MaybeInterrupt();
+  void Fire();
+
+  Simulator* sim_;
+  const NicParams params_;
+  int id_;
+  std::deque<PacketPtr> ring_;
+  std::function<void()> handler_;
+  std::function<void()> watcher_;
+  bool has_handler_ = false;
+  bool interrupts_armed_ = false;
+  bool interrupts_disabled_ = false;
+  int coalesced_frames_ = 0;
+  SimTime last_arrival_ = -kSec;
+  EventHandle itr_timer_;
+  Stats stats_;
+};
+
+class Nic {
+ public:
+  Nic(Simulator* sim, Fabric* fabric, int host_id, const NicParams& params);
+
+  // Creates an additional RX queue (queue 0 exists by default and is the
+  // default steering target, i.e. the host kernel's queue).
+  RxQueue* CreateRxQueue();
+  RxQueue* default_queue() { return queues_.front().get(); }
+  RxQueue* queue(int id) { return queues_[id].get(); }
+  int num_queues() const { return static_cast<int>(queues_.size()); }
+
+  // Steering: exact-match on Packet::steering_hash.
+  Status InstallSteeringFilter(uint32_t key, RxQueue* queue);
+  Status RemoveSteeringFilter(uint32_t key);
+
+  // Transmit path. Returns false when no TX descriptor slots are free.
+  bool Transmit(PacketPtr packet);
+  int TxSlotsAvailable() const;
+
+  // Fabric side: a packet arrived addressed to this host.
+  void DeliverFromWire(PacketPtr packet);
+
+  int host_id() const { return host_id_; }
+  const NicParams& params() const { return params_; }
+
+  struct Stats {
+    int64_t tx_packets = 0;
+    int64_t tx_bytes = 0;
+    int64_t rx_packets = 0;
+    int64_t rx_bytes = 0;
+    int64_t tx_ring_full = 0;
+    int64_t rx_no_filter_drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator* sim_;
+  Fabric* fabric_;
+  int host_id_;
+  NicParams params_;
+  std::vector<std::unique_ptr<RxQueue>> queues_;
+  std::map<uint32_t, RxQueue*> steering_;
+  // TX serialization onto the link.
+  SimTime tx_busy_until_ = 0;
+  int tx_outstanding_ = 0;
+  Stats stats_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_NET_NIC_H_

@@ -1,0 +1,39 @@
+#include "src/packet/crc32.h"
+
+namespace snap {
+
+namespace {
+
+// Table-driven CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const Crc32cTable& table = Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace snap

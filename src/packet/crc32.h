@@ -1,0 +1,19 @@
+// CRC32C (Castagnoli) implementation. Pony Express offloads "an end-to-end
+// invariant CRC32 calculation over each packet" to the NIC (Section 3.4);
+// the simulated NIC uses this software implementation, and tests verify
+// corruption detection end-to-end.
+#ifndef SRC_PACKET_CRC32_H_
+#define SRC_PACKET_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace snap {
+
+// Computes CRC32C over `data[0..len)`, seeded with `seed` (pass 0 for a
+// fresh computation; chain calls to extend coverage).
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace snap
+
+#endif  // SRC_PACKET_CRC32_H_

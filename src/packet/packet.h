@@ -1,0 +1,113 @@
+// Packet representation shared by every transport in the simulation.
+//
+// A Packet models one fabric frame. Header fields are first-class struct
+// members (the simulation routes on them); the Pony Express header
+// additionally has a real byte-level wire encoding (src/packet/wire.h) used
+// for version negotiation and CRC coverage tests.
+//
+// Payloads can be carried two ways:
+//  - `data` holds real bytes (correctness tests, one-sided reads), or
+//  - `payload_bytes` alone describes a synthetic payload of that size
+//    (throughput benchmarks; no memory traffic in the simulator).
+#ifndef SRC_PACKET_PACKET_H_
+#define SRC_PACKET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/time_types.h"
+
+namespace snap {
+
+enum class WireProtocol : uint8_t {
+  kTcp = 6,
+  kEncap = 47,  // virtualization encapsulation (GRE-like)
+  kPony = 253,  // experimental protocol number
+};
+
+enum class PonyPacketType : uint8_t {
+  kData = 0,        // two-sided message fragment
+  kAck = 1,         // pure acknowledgment
+  kOpRequest = 2,   // one-sided operation request
+  kOpResponse = 3,  // one-sided operation response
+  kCredit = 4,      // flow-control credit grant
+  kSetup = 5,       // wire-version negotiation handshake
+};
+
+enum class PonyOpCode : uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kIndirectRead = 3,
+  kScanAndRead = 4,
+};
+
+// Pony Express wire header (Section 3.1: custom, versioned wire protocol).
+struct PonyHeader {
+  uint16_t version = 1;
+  uint64_t flow_id = 0;
+  uint64_t seq = 0;        // per-flow packet sequence number
+  uint64_t ack = 0;        // cumulative ack (highest contiguously received)
+  PonyPacketType type = PonyPacketType::kData;
+  PonyOpCode op = PonyOpCode::kNone;
+  uint64_t op_id = 0;      // initiator-assigned operation id
+  uint64_t stream_id = 0;  // message stream (two-sided ops)
+  uint32_t msg_offset = 0; // byte offset of this fragment within the message
+  uint32_t msg_length = 0; // total message length
+  uint64_t region_id = 0;  // one-sided target region
+  uint64_t region_offset = 0;
+  uint32_t op_length = 0;  // one-sided access length
+  uint16_t batch = 0;      // indirections in a batched indirect read
+  uint32_t credit = 0;     // credit grant (kCredit)
+  uint16_t status = 0;     // op response status (0 = OK)
+  // Transmit timestamp for RTT measurement (Timely congestion control uses
+  // NIC hardware timestamps; Section 3.1) and its echo on the reverse path.
+  int64_t tx_timestamp = 0;
+  int64_t ts_echo = 0;
+  uint32_t crc32 = 0;      // end-to-end invariant CRC over header+payload
+};
+
+// Kernel TCP segment header (the baseline stack).
+struct TcpSegment {
+  uint64_t conn_id = 0;
+  uint16_t dst_port = 0;   // listener demux (SYN only)
+  uint64_t seq = 0;        // byte sequence
+  uint64_t ack = 0;        // cumulative byte ack
+  uint32_t window = 0;     // receiver window in bytes
+  bool syn = false;
+  bool fin = false;
+  bool is_ack = false;
+};
+
+struct Packet {
+  // Fabric addressing.
+  int src_host = -1;
+  int dst_host = -1;
+  // Steering key: selects the destination NIC RX queue.
+  uint32_t steering_hash = 0;
+
+  WireProtocol proto = WireProtocol::kPony;
+  PonyHeader pony;
+  TcpSegment tcp;
+  // Virtualization inner addressing (kEncap and VM-to-VM traffic).
+  uint32_t virt_src_vm = 0;
+  uint32_t virt_dst_vm = 0;
+
+  // Synthetic payload size (bytes); `data` may carry the real bytes.
+  int32_t payload_bytes = 0;
+  std::vector<uint8_t> data;
+
+  // Total size on the wire (headers + payload), set by the sender.
+  int32_t wire_bytes = 0;
+
+  // Simulation bookkeeping.
+  SimTime enqueue_time = 0;  // when it entered the TX path
+  SimTime rx_time = 0;       // when the destination NIC received it
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+}  // namespace snap
+
+#endif  // SRC_PACKET_PACKET_H_

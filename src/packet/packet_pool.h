@@ -1,0 +1,78 @@
+// Bounded packet allocator. Pony Express "implements custom memory
+// allocators to optimize the dynamic creation and management of state"
+// (Section 3.1); packet memory is drawn from per-engine pools that are
+// charged to application memory containers (Section 2.5).
+//
+// The pool recycles Packet objects through a freelist and enforces a hard
+// capacity so engine memory use is bounded; exhaustion surfaces as
+// allocation failure (backpressure), never unbounded growth.
+#ifndef SRC_PACKET_PACKET_POOL_H_
+#define SRC_PACKET_PACKET_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/packet/packet.h"
+
+namespace snap {
+
+class PacketPool {
+ public:
+  struct Stats {
+    int64_t allocated = 0;      // currently outstanding
+    int64_t peak_allocated = 0;
+    int64_t total_allocs = 0;
+    int64_t failed_allocs = 0;  // exhaustion events
+  };
+
+  explicit PacketPool(int64_t capacity, std::string owner = "")
+      : capacity_(capacity), owner_(std::move(owner)) {}
+
+  // Allocates a zero-initialized packet; nullptr when the pool is exhausted.
+  PacketPtr Allocate() {
+    if (stats_.allocated >= capacity_) {
+      ++stats_.failed_allocs;
+      return nullptr;
+    }
+    ++stats_.allocated;
+    stats_.peak_allocated = std::max(stats_.peak_allocated, stats_.allocated);
+    ++stats_.total_allocs;
+    if (!free_list_.empty()) {
+      PacketPtr p = std::move(free_list_.back());
+      free_list_.pop_back();
+      *p = Packet{};
+      return p;
+    }
+    return std::make_unique<Packet>();
+  }
+
+  // Returns a packet to the pool.
+  void Free(PacketPtr packet) {
+    if (packet == nullptr) {
+      return;
+    }
+    --stats_.allocated;
+    if (free_list_.size() < kMaxRecycled) {
+      packet->data.clear();
+      free_list_.push_back(std::move(packet));
+    }
+  }
+
+  int64_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+  const std::string& owner() const { return owner_; }
+
+ private:
+  static constexpr size_t kMaxRecycled = 4096;
+
+  int64_t capacity_;
+  std::string owner_;
+  Stats stats_;
+  std::vector<PacketPtr> free_list_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PACKET_PACKET_POOL_H_

@@ -1,0 +1,146 @@
+#include "src/packet/wire.h"
+
+#include <cstring>
+
+#include "src/packet/crc32.h"
+
+namespace snap {
+
+namespace {
+
+constexpr int kV1Size = 2 + 8 + 8 + 8 + 1 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 4 +
+                        4 + 2 + 4;  // = 82
+constexpr int kV2Extra = 8 + 8 + 2;  // tx_timestamp + ts_echo + batch
+constexpr int kV2Size = kV1Size + kV2Extra;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t pos = out_->size();
+    out_->resize(pos + sizeof(T));
+    std::memcpy(out_->data() + pos, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    if (pos_ + sizeof(T) > len_) {
+      return false;
+    }
+    std::memcpy(value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+int PonyHeaderWireSize(uint16_t version) {
+  return version >= 2 ? kV2Size : kV1Size;
+}
+
+Status EncodePonyHeader(const PonyHeader& h, std::vector<uint8_t>* out) {
+  if (h.version < kPonyWireVersionMin || h.version > kPonyWireVersionMax) {
+    return InvalidArgumentError("unsupported wire version");
+  }
+  out->clear();
+  out->reserve(PonyHeaderWireSize(h.version));
+  Writer w(out);
+  w.Put<uint16_t>(h.version);
+  w.Put<uint64_t>(h.flow_id);
+  w.Put<uint64_t>(h.seq);
+  w.Put<uint64_t>(h.ack);
+  w.Put<uint8_t>(static_cast<uint8_t>(h.type));
+  w.Put<uint8_t>(static_cast<uint8_t>(h.op));
+  w.Put<uint64_t>(h.op_id);
+  w.Put<uint64_t>(h.stream_id);
+  w.Put<uint32_t>(h.msg_offset);
+  w.Put<uint32_t>(h.msg_length);
+  w.Put<uint64_t>(h.region_id);
+  w.Put<uint64_t>(h.region_offset);
+  w.Put<uint32_t>(h.op_length);
+  w.Put<uint32_t>(h.credit);
+  w.Put<uint16_t>(h.status);
+  w.Put<uint32_t>(h.crc32);
+  if (h.version >= 2) {
+    w.Put<int64_t>(h.tx_timestamp);
+    w.Put<int64_t>(h.ts_echo);
+    w.Put<uint16_t>(h.batch);
+  }
+  return OkStatus();
+}
+
+StatusOr<PonyHeader> DecodePonyHeader(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  PonyHeader h;
+  if (!r.Get(&h.version)) {
+    return InvalidArgumentError("truncated header: version");
+  }
+  if (h.version < kPonyWireVersionMin || h.version > kPonyWireVersionMax) {
+    return InvalidArgumentError("unsupported wire version");
+  }
+  uint8_t type = 0;
+  uint8_t op = 0;
+  bool ok = r.Get(&h.flow_id) && r.Get(&h.seq) && r.Get(&h.ack) &&
+            r.Get(&type) && r.Get(&op) && r.Get(&h.op_id) &&
+            r.Get(&h.stream_id) && r.Get(&h.msg_offset) &&
+            r.Get(&h.msg_length) && r.Get(&h.region_id) &&
+            r.Get(&h.region_offset) && r.Get(&h.op_length) &&
+            r.Get(&h.credit) && r.Get(&h.status) && r.Get(&h.crc32);
+  if (!ok) {
+    return InvalidArgumentError("truncated header");
+  }
+  h.type = static_cast<PonyPacketType>(type);
+  h.op = static_cast<PonyOpCode>(op);
+  if (h.version >= 2) {
+    if (!r.Get(&h.tx_timestamp) || !r.Get(&h.ts_echo) || !r.Get(&h.batch)) {
+      return InvalidArgumentError("truncated v2 header");
+    }
+  }
+  return h;
+}
+
+uint32_t PonyPacketCrc(const PonyHeader& header,
+                       const std::vector<uint8_t>& payload) {
+  PonyHeader copy = header;
+  copy.crc32 = 0;
+  std::vector<uint8_t> encoded;
+  Status st = EncodePonyHeader(copy, &encoded);
+  if (!st.ok()) {
+    return 0;
+  }
+  uint32_t crc = Crc32c(encoded.data(), encoded.size());
+  if (!payload.empty()) {
+    crc = Crc32c(payload.data(), payload.size(), crc);
+  }
+  return crc;
+}
+
+StatusOr<uint16_t> NegotiateWireVersion(uint16_t local_min, uint16_t local_max,
+                                        uint16_t remote_min,
+                                        uint16_t remote_max) {
+  uint16_t lo = std::max(local_min, remote_min);
+  uint16_t hi = std::min(local_max, remote_max);
+  if (lo > hi) {
+    return FailedPreconditionError("no common wire version");
+  }
+  return hi;
+}
+
+}  // namespace snap

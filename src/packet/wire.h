@@ -1,0 +1,56 @@
+// Byte-level wire encoding of the Pony Express header.
+//
+// Section 3.1: "we periodically extend and change our internal wire
+// protocol while maintaining compatibility with prior versions... We use an
+// out-of-band mechanism to advertise the wire protocol versions available
+// when connecting to a remote engine, and select the least common
+// denominator."
+//
+// Two versions exist here:
+//  - v1: base header.
+//  - v2: adds the TX timestamp + echo used for RTT measurement (Timely) and
+//    the batched-indirection count; v1 peers ignore both (the transport
+//    falls back to software timestamps and unbatched reads).
+//
+// Encoding is little-endian, fixed layout per version. The CRC field covers
+// the header (with the CRC field itself zeroed) plus the payload.
+#ifndef SRC_PACKET_WIRE_H_
+#define SRC_PACKET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/util/status.h"
+
+namespace snap {
+
+inline constexpr uint16_t kPonyWireVersionMin = 1;
+inline constexpr uint16_t kPonyWireVersionMax = 2;
+
+// Encoded sizes (bytes) per version.
+int PonyHeaderWireSize(uint16_t version);
+
+// Serializes `header` at wire version `header.version` into `out`
+// (overwritten). Fails on unsupported versions.
+Status EncodePonyHeader(const PonyHeader& header, std::vector<uint8_t>* out);
+
+// Parses a header from `data`; the version is read from the first two
+// bytes. Fails on truncation or unsupported versions.
+StatusOr<PonyHeader> DecodePonyHeader(const uint8_t* data, size_t len);
+
+// Computes the end-to-end CRC over an encoded header (crc field zeroed)
+// plus payload bytes.
+uint32_t PonyPacketCrc(const PonyHeader& header,
+                       const std::vector<uint8_t>& payload);
+
+// Negotiates the wire version between two peers advertising inclusive
+// ranges; returns the highest mutually supported version, or an error when
+// the ranges do not overlap.
+StatusOr<uint16_t> NegotiateWireVersion(uint16_t local_min, uint16_t local_max,
+                                        uint16_t remote_min,
+                                        uint16_t remote_max);
+
+}  // namespace snap
+
+#endif  // SRC_PACKET_WIRE_H_

@@ -1,0 +1,206 @@
+#include "src/pony/client.h"
+
+#include "src/pony/pony_engine.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+constexpr size_t kCommandQueueEntries = 1024;
+constexpr size_t kCompletionQueueEntries = 2048;
+constexpr size_t kMessageQueueEntries = 1024;
+}  // namespace
+
+PonyClient::PonyClient(std::string app_name, uint64_t client_id,
+                       PonyEngine* engine, const AppParams& params)
+    : app_name_(std::move(app_name)),
+      client_id_(client_id),
+      engine_(engine),
+      params_(params),
+      commands_(kCommandQueueEntries),
+      completions_(kCompletionQueueEntries),
+      messages_(kMessageQueueEntries) {}
+
+PonyClient::~PonyClient() = default;
+
+uint64_t PonyClient::Submit(PonyCommand cmd, CpuCostSink* cost) {
+  cost->Charge(params_.submit_cost);
+  // Op ids are globally unique per initiating engine: client id in the
+  // upper bits, per-client sequence below.
+  uint64_t op_id = (client_id_ << 32) | next_op_;
+  cmd.op_id = op_id;
+  cmd.submit_time = engine_->now();
+  if (!commands_.TryPush(std::move(cmd))) {
+    return 0;  // queue full; the application retries
+  }
+  ++next_op_;
+  // Doorbell: make the engine runnable (a syscall under the spreading
+  // scheduler; a shared-memory flag noticed by polling otherwise — the CPU
+  // model charges the appropriate wakeup cost).
+  engine_->NotifyWork();
+  return op_id;
+}
+
+uint64_t PonyClient::SendMessage(PonyAddress peer, uint64_t stream_id,
+                                 int64_t bytes, std::vector<uint8_t> data,
+                                 CpuCostSink* cost) {
+  PonyCommand cmd;
+  cmd.type = PonyCommandType::kSendMessage;
+  cmd.peer = peer;
+  cmd.stream_id = stream_id;
+  cmd.length = bytes;
+  cmd.data = std::move(data);
+  return Submit(std::move(cmd), cost);
+}
+
+uint64_t PonyClient::Read(PonyAddress peer, uint64_t region_id,
+                          uint64_t offset, int64_t length,
+                          CpuCostSink* cost) {
+  PonyCommand cmd;
+  cmd.type = PonyCommandType::kRead;
+  cmd.peer = peer;
+  cmd.region_id = region_id;
+  cmd.region_offset = offset;
+  cmd.length = length;
+  return Submit(std::move(cmd), cost);
+}
+
+uint64_t PonyClient::Write(PonyAddress peer, uint64_t region_id,
+                           uint64_t offset, int64_t length,
+                           std::vector<uint8_t> data, CpuCostSink* cost) {
+  PonyCommand cmd;
+  cmd.type = PonyCommandType::kWrite;
+  cmd.peer = peer;
+  cmd.region_id = region_id;
+  cmd.region_offset = offset;
+  cmd.length = length;
+  cmd.data = std::move(data);
+  return Submit(std::move(cmd), cost);
+}
+
+uint64_t PonyClient::IndirectRead(PonyAddress peer, uint64_t table_region_id,
+                                  uint64_t first_index, uint16_t batch,
+                                  int64_t length, CpuCostSink* cost) {
+  PonyCommand cmd;
+  cmd.type = PonyCommandType::kIndirectRead;
+  cmd.peer = peer;
+  cmd.region_id = table_region_id;
+  cmd.region_offset = first_index;  // index into the indirection table
+  cmd.batch = batch;
+  cmd.length = length;              // bytes per indirection
+  return Submit(std::move(cmd), cost);
+}
+
+uint64_t PonyClient::ScanAndRead(PonyAddress peer, uint64_t region_id,
+                                 uint64_t match_value, int64_t length,
+                                 CpuCostSink* cost) {
+  PonyCommand cmd;
+  cmd.type = PonyCommandType::kScanAndRead;
+  cmd.peer = peer;
+  cmd.region_id = region_id;
+  cmd.scan_match = match_value;
+  cmd.length = length;
+  return Submit(std::move(cmd), cost);
+}
+
+std::optional<PonyCompletion> PonyClient::PollCompletion(CpuCostSink* cost) {
+  cost->Charge(params_.completion_cost);
+  bool was_full = completions_.full();
+  auto completion = completions_.TryPop();
+  if (was_full && completion.has_value()) {
+    // The engine may be holding stalled deliveries for this ring; ring
+    // space is the doorbell that resumes them.
+    engine_->NotifyWork();
+  }
+  return completion;
+}
+
+std::optional<PonyIncomingMessage> PonyClient::PollMessage(
+    CpuCostSink* cost) {
+  cost->Charge(params_.completion_cost);
+  bool was_full = messages_.full();
+  auto msg = messages_.TryPop();
+  if (was_full && msg.has_value()) {
+    engine_->NotifyWork();
+  }
+  return msg;
+}
+
+void PonyClient::ArmCompletionNotify(std::function<void()> cb,
+                                     CpuCostSink* cost) {
+  cost->Charge(params_.notify_arm_cost);
+  completion_notify_ = std::move(cb);
+  if (!completions_.empty() && completion_notify_) {
+    auto cb2 = std::move(completion_notify_);
+    completion_notify_ = nullptr;
+    cb2();
+  }
+}
+
+void PonyClient::ArmMessageNotify(std::function<void()> cb,
+                                  CpuCostSink* cost) {
+  cost->Charge(params_.notify_arm_cost);
+  message_notify_ = std::move(cb);
+  if (!messages_.empty() && message_notify_) {
+    auto cb2 = std::move(message_notify_);
+    message_notify_ = nullptr;
+    cb2();
+  }
+}
+
+uint64_t PonyClient::RegisterRegion(size_t bytes, bool allow_remote_write) {
+  uint64_t id = (client_id_ << 32) | next_region_++;
+  auto region = std::make_unique<MemoryRegion>();
+  region->id = id;
+  region->owner_client = client_id_;
+  region->allow_remote_write = allow_remote_write;
+  region->data.resize(bytes);
+  MemoryRegion* raw = region.get();
+  regions_[id] = std::move(region);
+  engine_->RegisterRegion(raw);
+  return id;
+}
+
+MemoryRegion* PonyClient::region(uint64_t id) {
+  auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+uint64_t PonyClient::CreateStream(PonyAddress peer) {
+  uint64_t stream_id = (client_id_ << 32) | next_stream_++;
+  engine_->BindStream(stream_id, this, peer);
+  return stream_id;
+}
+
+bool PonyClient::DeliverCompletion(PonyCompletion&& completion) {
+  if (completions_.full()) {
+    return false;
+  }
+  completions_.TryPush(std::move(completion));
+  if (completion_notify_) {
+    auto cb = std::move(completion_notify_);
+    completion_notify_ = nullptr;
+    cb();
+  }
+  return true;
+}
+
+bool PonyClient::DeliverMessage(PonyIncomingMessage&& message) {
+  if (messages_.full()) {
+    return false;
+  }
+  messages_.TryPush(std::move(message));
+  if (message_notify_) {
+    auto cb = std::move(message_notify_);
+    message_notify_ = nullptr;
+    cb();
+  }
+  return true;
+}
+
+SimTime PonyClient::OldestCommandTime() const {
+  const PonyCommand* head = commands_.Peek();
+  return head == nullptr ? kSimTimeNever : head->submit_time;
+}
+
+}  // namespace snap

@@ -1,0 +1,116 @@
+// Pony Express client library (Section 3.1): applications bootstrap shared
+// memory with Snap over a Unix domain socket, then interact exclusively
+// through lock-free command/completion queues. "Application threads can
+// then either spin-poll the completion queue, or can request to receive a
+// thread notification when a completion is written."
+//
+// All methods return their modeled application-side CPU cost through a
+// CpuCostSink so calling SimTasks charge the right cores.
+#ifndef SRC_PONY_CLIENT_H_
+#define SRC_PONY_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/kernel/kstack.h"  // CpuCostSink
+#include "src/pony/memory_region.h"
+#include "src/pony/pony_types.h"
+#include "src/queue/spsc_ring.h"
+#include "src/sim/model_params.h"
+
+namespace snap {
+
+class PonyEngine;
+
+class PonyClient {
+ public:
+  PonyClient(std::string app_name, uint64_t client_id, PonyEngine* engine,
+             const AppParams& params);
+  ~PonyClient();
+
+  PonyClient(const PonyClient&) = delete;
+  PonyClient& operator=(const PonyClient&) = delete;
+
+  // --- Command submission (async; completion arrives later). Returns the
+  // op id, or 0 if the command queue is full. ---
+  uint64_t SendMessage(PonyAddress peer, uint64_t stream_id, int64_t bytes,
+                       std::vector<uint8_t> data, CpuCostSink* cost);
+  uint64_t Read(PonyAddress peer, uint64_t region_id, uint64_t offset,
+                int64_t length, CpuCostSink* cost);
+  uint64_t Write(PonyAddress peer, uint64_t region_id, uint64_t offset,
+                 int64_t length, std::vector<uint8_t> data,
+                 CpuCostSink* cost);
+  uint64_t IndirectRead(PonyAddress peer, uint64_t table_region_id,
+                        uint64_t first_index, uint16_t batch, int64_t length,
+                        CpuCostSink* cost);
+  uint64_t ScanAndRead(PonyAddress peer, uint64_t region_id,
+                       uint64_t match_value, int64_t length,
+                       CpuCostSink* cost);
+
+  // --- Completion / receive queues ---
+  std::optional<PonyCompletion> PollCompletion(CpuCostSink* cost);
+  std::optional<PonyIncomingMessage> PollMessage(CpuCostSink* cost);
+
+  // One-shot notification instead of spinning (edge-triggered).
+  void ArmCompletionNotify(std::function<void()> cb, CpuCostSink* cost);
+  void ArmMessageNotify(std::function<void()> cb, CpuCostSink* cost);
+
+  // --- Memory registration (proxied through the control plane) ---
+  uint64_t RegisterRegion(size_t bytes, bool allow_remote_write);
+  MemoryRegion* region(uint64_t id);
+  // Iterates registered regions (upgrade re-registration path).
+  void ForEachRegion(
+      const std::function<void(uint64_t, MemoryRegion*)>& fn) const {
+    for (const auto& [id, region] : regions_) {
+      fn(id, region.get());
+    }
+  }
+
+  // Creates a message stream to `peer` (Section 3.3: streams avoid
+  // head-of-line blocking between independent messages).
+  uint64_t CreateStream(PonyAddress peer);
+
+  uint64_t client_id() const { return client_id_; }
+  const std::string& app_name() const { return app_name_; }
+  PonyEngine* engine() { return engine_; }
+
+  // Upgrade support: shared memory (rings, regions) survives; only the
+  // engine pointer is swapped (Section 4: "authenticated application
+  // connections remain established").
+  void Rebind(PonyEngine* engine) { engine_ = engine; }
+
+  // --- Engine-side interface ---
+  SpscRing<PonyCommand>& command_queue() { return commands_; }
+  // Deliver into the app-visible rings. Return false WITHOUT consuming the
+  // argument when the ring is full (receiver-driven flow control: the
+  // engine holds the item and the sender's credits stay unreplenished).
+  bool DeliverCompletion(PonyCompletion&& completion);
+  bool DeliverMessage(PonyIncomingMessage&& message);
+  // Oldest unserviced command's submit time (engine queueing-delay metric).
+  SimTime OldestCommandTime() const;
+
+ private:
+  uint64_t Submit(PonyCommand cmd, CpuCostSink* cost);
+
+  std::string app_name_;
+  uint64_t client_id_;
+  PonyEngine* engine_;
+  AppParams params_;
+  SpscRing<PonyCommand> commands_;
+  SpscRing<PonyCompletion> completions_;
+  SpscRing<PonyIncomingMessage> messages_;
+  std::map<uint64_t, std::unique_ptr<MemoryRegion>> regions_;
+  std::function<void()> completion_notify_;
+  std::function<void()> message_notify_;
+  uint64_t next_op_ = 1;
+  uint64_t next_region_ = 1;
+  uint64_t next_stream_ = 1;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PONY_CLIENT_H_

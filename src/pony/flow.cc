@@ -1,0 +1,487 @@
+#include "src/pony/flow.h"
+
+#include <algorithm>
+
+#include "src/packet/wire.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+
+// Bound on in-flight packets per flow (memory and loss-recovery bound).
+constexpr size_t kMaxUnackedPackets = 1024;
+// Initial two-sided message credit granted by a new peer.
+constexpr int64_t kInitialCreditBytes = 1024 * 1024;
+// Receiver grants accumulated credit once it crosses this threshold.
+constexpr int64_t kCreditGrantThreshold = 32 * 1024;
+// Ack coalescing: one ack per this many received packets...
+constexpr int kAckEvery = 8;
+// ...or once this much time has passed since the first unacked arrival.
+constexpr SimDuration kAckDelay = 20 * kUsec;
+// Pacing burst allowance: a flow that fell behind its pacing schedule may
+// catch up with a burst of this many packets (paced NICs and Snap's
+// just-in-time generation both emit short line-rate bursts).
+constexpr int kPacingBurstPackets = 16;
+
+}  // namespace
+
+Flow::Flow(FlowKey key, int local_host, uint32_t local_engine,
+           uint16_t wire_version, const TimelyParams& timely_params,
+           const PonyParams* pony_params)
+    : key_(key),
+      local_host_(local_host),
+      local_engine_(local_engine),
+      wire_version_(wire_version),
+      params_(pony_params),
+      timely_(timely_params),
+      credit_(kInitialCreditBytes) {}
+
+void Flow::QueueTx(TxRecord record) {
+  if (record.uses_credit) {
+    uint64_t stream = record.header.stream_id;
+    auto& queue = msg_queues_[stream];
+    if (queue.empty()) {
+      msg_rr_.push_back(stream);
+    }
+    queue.push_back(std::move(record));
+    ++msg_backlog_;
+  } else {
+    op_queue_.push_back(std::move(record));
+  }
+}
+
+bool Flow::StreamEligible(uint64_t stream) const {
+  const TxRecord& head = msg_queues_.at(stream).front();
+  if (started_streams_.count(stream) > 0) {
+    // Reserved at start: the invariant credit_ >= reserved_ guarantees
+    // this fragment is covered.
+    return true;
+  }
+  // Starting a new message requires unreserved credit for all of it.
+  return credit_ - reserved_ >=
+         static_cast<int64_t>(head.header.msg_length);
+}
+
+bool Flow::MsgReady() const {
+  for (uint64_t stream : msg_rr_) {
+    if (StreamEligible(stream)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Flow::AnythingSendable() const {
+  return MsgReady() || !op_queue_.empty();
+}
+
+TxRecord Flow::PopNextRecord() {
+  bool msg_ready = MsgReady();
+  bool op_ready = !op_queue_.empty();
+  bool take_op = op_ready && (!msg_ready || prefer_op_);
+  prefer_op_ = !prefer_op_;
+  if (take_op) {
+    TxRecord record = std::move(op_queue_.front());
+    op_queue_.pop_front();
+    return record;
+  }
+  // Round-robin across streams: rotate to the next eligible stream and
+  // send one fragment of its head message.
+  for (size_t i = 0; i < msg_rr_.size(); ++i) {
+    if (StreamEligible(msg_rr_.front())) {
+      break;
+    }
+    msg_rr_.push_back(msg_rr_.front());
+    msg_rr_.pop_front();
+  }
+  uint64_t stream = msg_rr_.front();
+  msg_rr_.pop_front();
+  auto it = msg_queues_.find(stream);
+  TxRecord record = std::move(it->second.front());
+  it->second.pop_front();
+  --msg_backlog_;
+  // Credit reservation bookkeeping.
+  if (started_streams_.count(stream) == 0) {
+    started_streams_.insert(stream);
+    reserved_ += record.header.msg_length;
+  }
+  reserved_ -= record.payload_bytes;
+  if (record.header.msg_offset + record.payload_bytes >=
+      record.header.msg_length) {
+    started_streams_.erase(stream);  // message complete
+  }
+  if (it->second.empty()) {
+    msg_queues_.erase(it);
+  } else {
+    msg_rr_.push_back(stream);
+  }
+  return record;
+}
+
+void Flow::RebuildCreditReservations() {
+  started_streams_.clear();
+  reserved_ = 0;
+  for (const auto& [stream, queue] : msg_queues_) {
+    const TxRecord& head = queue.front();
+    if (head.header.msg_offset > 0) {
+      // Mid-message after a restore: the remainder stays reserved.
+      started_streams_.insert(stream);
+      reserved_ += head.header.msg_length - head.header.msg_offset;
+    }
+  }
+}
+
+bool Flow::CanSend(SimTime now) const {
+  if (unacked_.size() >= kMaxUnackedPackets) {
+    return false;
+  }
+  if (!retx_queue_.empty()) {
+    return true;  // retransmits bypass pacing
+  }
+  if (!AnythingSendable()) {
+    return false;
+  }
+  return now >= next_send_time_;
+}
+
+SimTime Flow::NextSendTime() const {
+  if (unacked_.size() >= kMaxUnackedPackets) {
+    return kSimTimeNever;  // unblocked by an ack, not by time
+  }
+  if (!retx_queue_.empty()) {
+    return 0;
+  }
+  if (!AnythingSendable()) {
+    return kSimTimeNever;  // unblocked by a credit grant or new work
+  }
+  return next_send_time_;
+}
+
+PacketPtr Flow::MakePacket(const TxRecord& record, SimTime now,
+                           uint64_t seq) {
+  auto p = std::make_unique<Packet>();
+  p->src_host = local_host_;
+  p->dst_host = key_.remote_host;
+  p->steering_hash = key_.remote_engine;
+  p->proto = WireProtocol::kPony;
+  p->pony = record.header;
+  p->pony.version = wire_version_;
+  p->pony.flow_id = WireFlowId();
+  p->pony.seq = seq;
+  p->pony.ack = rcv_nxt_ - 1;
+  if (wire_version_ >= 2) {
+    p->pony.tx_timestamp = now;
+    // One-shot echo: a received timestamp is echoed by exactly one
+    // outgoing packet (the batch ack). Later packets (e.g. credit grants
+    // delayed by application consumption) must not re-echo stale values or
+    // Timely sees phantom RTT inflation.
+    p->pony.ts_echo = ts_echo_;
+    ts_echo_ = 0;
+  }
+  p->payload_bytes = record.payload_bytes;
+  p->data = record.data;  // copy retained for retransmission
+  p->wire_bytes = record.payload_bytes + params_->header_bytes;
+  ack_pending_ = false;  // piggybacked
+  unacked_rx_ = 0;
+  first_unacked_rx_ = kSimTimeNever;
+  if (!p->data.empty()) {
+    // End-to-end CRC over the final wire header + payload (recomputed per
+    // transmission: seq/ack/timestamps differ across retransmits).
+    p->pony.crc32 = 0;
+    p->pony.crc32 = PonyPacketCrc(p->pony, p->data);
+  }
+  return p;
+}
+
+PacketPtr Flow::BuildNextPacket(SimTime now) {
+  // Retransmissions first; they bypass pacing.
+  while (!retx_queue_.empty()) {
+    uint64_t seq = retx_queue_.front();
+    auto it = unacked_.find(seq);
+    if (it == unacked_.end()) {
+      retx_queue_.pop_front();  // acked since being queued
+      continue;
+    }
+    retx_queue_.pop_front();
+    it->second.sent_at = now;
+    ++stats_.retransmits;
+    return MakePacket(it->second.record, now, seq);
+  }
+  if (!CanSend(now)) {
+    return nullptr;
+  }
+  TxRecord record = PopNextRecord();
+  if (record.uses_credit) {
+    credit_ -= record.payload_bytes;
+  }
+  uint64_t seq = next_seq_++;
+  PacketPtr p = MakePacket(record, now, seq);
+  // Pace at the Timely rate, allowing a bounded catch-up burst.
+  double rate = timely_.rate_bytes_per_sec();
+  SimDuration gap = static_cast<SimDuration>(
+      static_cast<double>(p->wire_bytes) / rate * 1e9);
+  SimTime base = std::max(next_send_time_, now - kPacingBurstPackets * gap);
+  next_send_time_ = base + gap;
+  ++stats_.data_packets_sent;
+  unacked_[seq] = Unacked{std::move(record), now};
+  return p;
+}
+
+SimTime Flow::AckDeadline() const {
+  if (unacked_rx_ == 0) {
+    return kSimTimeNever;
+  }
+  if (ack_pending_) {
+    return 0;  // due now
+  }
+  return first_unacked_rx_ + kAckDelay;
+}
+
+PacketPtr Flow::MaybeBuildAck(SimTime now) {
+  if (unacked_rx_ > 0 && now >= first_unacked_rx_ + kAckDelay) {
+    ack_pending_ = true;
+  }
+  if (!ack_pending_) {
+    return nullptr;
+  }
+  TxRecord record;
+  record.header.type = PonyPacketType::kAck;
+  PacketPtr p = MakePacket(record, now, /*seq=*/0);  // acks are unsequenced
+  ++stats_.acks_sent;
+  return p;
+}
+
+PacketPtr Flow::MaybeBuildCreditGrant(SimTime now) {
+  if (pending_grant_ < kCreditGrantThreshold) {
+    return nullptr;
+  }
+  TxRecord record;
+  record.header.type = PonyPacketType::kCredit;
+  record.header.credit = static_cast<uint32_t>(
+      std::min<int64_t>(pending_grant_, UINT32_MAX));
+  pending_grant_ -= record.header.credit;
+  return MakePacket(record, now, /*seq=*/0);
+}
+
+Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
+  RxResult result;
+  const PonyHeader& h = packet.pony;
+
+  // RTT sample: prefer the hardware-timestamp echo (v2 wire); fall back to
+  // software send-time lookup on cumulative-ack advance for v1 peers.
+  if (h.ts_echo != 0) {
+    timely_.OnRttSample(now - h.ts_echo, now);
+    ++stats_.rtt_samples;
+  }
+
+  // Ack processing (every packet carries the peer's cumulative ack).
+  uint64_t ack = h.ack;
+  if (ack > last_ack_seen_) {
+    SimTime newest_sent = -1;
+    auto it = unacked_.begin();
+    while (it != unacked_.end() && it->first <= ack) {
+      newest_sent = std::max(newest_sent, it->second.sent_at);
+      if (ack_observer_) {
+        ack_observer_(it->second.record);
+      }
+      it = unacked_.erase(it);
+    }
+    if (h.ts_echo == 0 && newest_sent >= 0) {
+      timely_.OnRttSample(now - newest_sent, now);
+      ++stats_.rtt_samples;
+    }
+    last_ack_seen_ = ack;
+    dup_acks_ = 0;
+  } else if (ack == last_ack_seen_ && !unacked_.empty() &&
+             h.type == PonyPacketType::kAck) {
+    if (++dup_acks_ == 3) {
+      // Fast retransmit the first hole.
+      uint64_t missing = ack + 1;
+      if (unacked_.count(missing) > 0) {
+        retx_queue_.push_back(missing);
+      }
+      dup_acks_ = 0;
+    }
+  }
+
+  if (h.type == PonyPacketType::kCredit) {
+    credit_ += h.credit;
+    return result;  // control only
+  }
+  if (h.type == PonyPacketType::kAck) {
+    return result;  // pure ack: no sequenced payload
+  }
+
+  // Sequenced packet: dedup, advance cumulative state, schedule an ack.
+  uint64_t seq = h.seq;
+  ++unacked_rx_;
+  if (first_unacked_rx_ == kSimTimeNever) {
+    first_unacked_rx_ = now;
+  }
+  if (unacked_rx_ >= kAckEvery) {
+    ack_pending_ = true;
+  }
+  if (h.tx_timestamp != 0) {
+    ts_echo_ = h.tx_timestamp;
+  }
+  if (seq < rcv_nxt_ || ooo_.count(seq) > 0) {
+    ++stats_.duplicates_received;
+    ack_pending_ = true;  // duplicate: re-ack immediately
+    result.duplicate = true;
+    return result;
+  }
+  if (seq == rcv_nxt_) {
+    ++rcv_nxt_;
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && *it == rcv_nxt_) {
+      ++rcv_nxt_;
+      it = ooo_.erase(it);
+    }
+  } else {
+    ooo_.insert(seq);
+    ack_pending_ = true;  // out of order: dup-ack for fast retransmit
+  }
+  result.deliver = true;
+  return result;
+}
+
+SimTime Flow::rto_deadline() const {
+  if (unacked_.empty()) {
+    return kSimTimeNever;
+  }
+  SimTime oldest = kSimTimeNever;
+  for (const auto& [seq, u] : unacked_) {
+    oldest = std::min(oldest, u.sent_at);
+  }
+  return oldest + params_->min_rto;
+}
+
+bool Flow::OnTimerCheck(SimTime now) {
+  if (unacked_.empty()) {
+    return false;
+  }
+  bool fired = false;
+  for (auto& [seq, u] : unacked_) {
+    if (u.sent_at + params_->min_rto <= now) {
+      // Retransmit the expired packet; mark as freshly sent so it does not
+      // immediately re-expire while queued.
+      if (std::find(retx_queue_.begin(), retx_queue_.end(), seq) ==
+          retx_queue_.end()) {
+        retx_queue_.push_back(seq);
+        u.sent_at = now;
+        fired = true;
+      }
+    }
+  }
+  if (fired) {
+    ++stats_.rto_events;
+    timely_.OnRetransmitTimeout();
+  }
+  return fired;
+}
+
+void Flow::Serialize(StateWriter* w) const {
+  w->BeginSection("flow");
+  w->PutI64(key_.remote_host);
+  w->PutU32(key_.remote_engine);
+  w->PutU16(wire_version_);
+  w->PutU64(next_seq_);
+  w->PutU64(last_ack_seen_);
+  w->PutU64(rcv_nxt_);
+  w->PutI64(credit_);
+  w->PutI64(pending_grant_);
+  w->PutDouble(timely_.rate_bytes_per_sec());
+  w->PutU32(static_cast<uint32_t>(ooo_.size()));
+  for (uint64_t seq : ooo_) {
+    w->PutU64(seq);
+  }
+  // Unacked + untransmitted data moves so nothing in flight is lost beyond
+  // what end-to-end retransmission recovers.
+  auto put_record = [w](const TxRecord& r) {
+    w->PutU8(static_cast<uint8_t>(r.header.type));
+    w->PutU8(static_cast<uint8_t>(r.header.op));
+    w->PutU64(r.header.op_id);
+    w->PutU64(r.header.stream_id);
+    w->PutU32(r.header.msg_offset);
+    w->PutU32(r.header.msg_length);
+    w->PutU64(r.header.region_id);
+    w->PutU64(r.header.region_offset);
+    w->PutU32(r.header.op_length);
+    w->PutU16(r.header.batch);
+    w->PutU16(r.header.status);
+    w->PutI64(r.payload_bytes);
+    w->PutBool(r.uses_credit);
+    w->PutBytes(r.data);
+  };
+  w->PutU32(static_cast<uint32_t>(unacked_.size()));
+  for (const auto& [seq, u] : unacked_) {
+    w->PutU64(seq);
+    put_record(u.record);
+  }
+  w->PutU32(static_cast<uint32_t>(msg_backlog_ + op_queue_.size()));
+  for (const auto& [stream, queue] : msg_queues_) {
+    for (const TxRecord& r : queue) {
+      put_record(r);
+    }
+  }
+  for (const TxRecord& r : op_queue_) {
+    put_record(r);
+  }
+}
+
+Flow Flow::Deserialize(StateReader* r, int local_host, uint32_t local_engine,
+                       const TimelyParams& timely_params,
+                       const PonyParams* pony_params) {
+  r->ExpectSection("flow");
+  FlowKey key;
+  key.remote_host = static_cast<int>(r->GetI64());
+  key.remote_engine = r->GetU32();
+  uint16_t wire_version = r->GetU16();
+  Flow flow(key, local_host, local_engine, wire_version, timely_params,
+            pony_params);
+  flow.next_seq_ = r->GetU64();
+  flow.last_ack_seen_ = r->GetU64();
+  flow.rcv_nxt_ = r->GetU64();
+  flow.credit_ = r->GetI64();
+  flow.pending_grant_ = r->GetI64();
+  flow.timely_.RestoreRate(r->GetDouble());
+  uint32_t n_ooo = r->GetU32();
+  for (uint32_t i = 0; i < n_ooo; ++i) {
+    flow.ooo_.insert(r->GetU64());
+  }
+  auto get_record = [r]() {
+    TxRecord rec;
+    rec.header.type = static_cast<PonyPacketType>(r->GetU8());
+    rec.header.op = static_cast<PonyOpCode>(r->GetU8());
+    rec.header.op_id = r->GetU64();
+    rec.header.stream_id = r->GetU64();
+    rec.header.msg_offset = r->GetU32();
+    rec.header.msg_length = r->GetU32();
+    rec.header.region_id = r->GetU64();
+    rec.header.region_offset = r->GetU64();
+    rec.header.op_length = r->GetU32();
+    rec.header.batch = r->GetU16();
+    rec.header.status = r->GetU16();
+    rec.payload_bytes = static_cast<int32_t>(r->GetI64());
+    rec.uses_credit = r->GetBool();
+    rec.data = r->GetBytes();
+    return rec;
+  };
+  uint32_t n_unacked = r->GetU32();
+  for (uint32_t i = 0; i < n_unacked; ++i) {
+    uint64_t seq = r->GetU64();
+    // In-flight packets at blackout are treated as lost and queued for
+    // immediate retransmission by the new engine.
+    flow.unacked_[seq] = Unacked{get_record(), 0};
+    flow.retx_queue_.push_back(seq);
+  }
+  uint32_t n_queued = r->GetU32();
+  for (uint32_t i = 0; i < n_queued; ++i) {
+    flow.QueueTx(get_record());
+  }
+  flow.RebuildCreditReservations();
+  return flow;
+}
+
+}  // namespace snap

@@ -1,0 +1,201 @@
+// The Pony Express lower transport layer (Section 3.1): "the lower layer
+// implements reliable flows between a pair of engines across the network...
+// only responsible for reliably delivering individual packets whereas the
+// upper layer handles reordering, reassembly, and semantics associated with
+// specific operations."
+//
+// A Flow provides: per-packet sequencing with cumulative acks and duplicate
+// suppression, fast retransmit on dup-acks, a retransmission timeout,
+// Timely-paced transmission, and credit-based flow control for two-sided
+// message data (one-sided operations intentionally bypass credits and fall
+// back to congestion control + CPU scheduling, Section 3.3).
+#ifndef SRC_PONY_FLOW_H_
+#define SRC_PONY_FLOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/pony/timely.h"
+#include "src/sim/model_params.h"
+#include "src/snap/state_codec.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+struct FlowKey {
+  int remote_host = -1;
+  uint32_t remote_engine = 0;
+
+  friend bool operator<(const FlowKey& a, const FlowKey& b) {
+    if (a.remote_host != b.remote_host) {
+      return a.remote_host < b.remote_host;
+    }
+    return a.remote_engine < b.remote_engine;
+  }
+  friend bool operator==(const FlowKey& a, const FlowKey& b) {
+    return a.remote_host == b.remote_host &&
+           a.remote_engine == b.remote_engine;
+  }
+};
+
+// A packet queued for (re)transmission; headers are completed (seq, ack,
+// timestamps) when the packet goes on the wire.
+struct TxRecord {
+  PonyHeader header;
+  int32_t payload_bytes = 0;
+  std::vector<uint8_t> data;
+  bool uses_credit = false;  // two-sided message fragments
+};
+
+class Flow {
+ public:
+  Flow(FlowKey key, int local_host, uint32_t local_engine,
+       uint16_t wire_version, const TimelyParams& timely_params,
+       const PonyParams* pony_params);
+
+  const FlowKey& key() const { return key_; }
+  uint16_t wire_version() const { return wire_version_; }
+
+  // --- Transmit side ---
+  // Message data (uses_credit) queues per stream and is serviced
+  // round-robin so one large message cannot head-of-line block others
+  // (Section 3.3's stream semantics); one-sided ops queue separately and
+  // bypass credit flow control entirely.
+  void QueueTx(TxRecord record);
+  size_t tx_backlog() const {
+    return msg_backlog_ + op_queue_.size() + retx_queue_.size();
+  }
+  // True if BuildNextPacket would produce a packet now.
+  bool CanSend(SimTime now) const;
+  // Earliest future time a queued packet becomes sendable (pacing);
+  // kSimTimeNever when nothing is queued or the window is full.
+  SimTime NextSendTime() const;
+  // Builds the next wire packet (assigns seq, piggybacks ack, stamps
+  // timestamps, paces). nullptr when nothing is sendable.
+  PacketPtr BuildNextPacket(SimTime now);
+
+  // Pure ack / credit-grant generation (bypass pacing). Acks coalesce:
+  // one per kAckEvery received packets, or when the ack deadline passes,
+  // or immediately on out-of-order arrival (fast-retransmit signal).
+  bool ack_pending() const { return ack_pending_; }
+  // Earliest time a coalesced ack must go out; kSimTimeNever if none owed.
+  SimTime AckDeadline() const;
+  PacketPtr MaybeBuildAck(SimTime now);
+  PacketPtr MaybeBuildCreditGrant(SimTime now);
+
+  // --- Receive side ---
+  struct RxResult {
+    bool duplicate = false;
+    bool deliver = false;  // hand the packet to the upper layer
+  };
+  RxResult OnReceive(const Packet& packet, SimTime now);
+
+  // --- Timers ---
+  // Earliest deadline needing service (RTO); kSimTimeNever if none.
+  SimTime rto_deadline() const;
+  // Services expired timers; returns true if a retransmit was queued.
+  bool OnTimerCheck(SimTime now);
+
+  // --- Two-sided credit flow control ---
+  bool HasCredit(int64_t bytes) const { return credit_ >= bytes; }
+  // Receiver side: the application consumed `bytes` of delivered messages.
+  void NoteDelivered(int64_t bytes) { pending_grant_ += bytes; }
+
+  TimelyController& timely() { return timely_; }
+  int64_t credit() const { return credit_; }
+  size_t unacked_packets() const { return unacked_.size(); }
+
+  // Invoked once per packet when the peer's cumulative ack covers it (the
+  // upper layer completes send operations on reliable delivery).
+  void set_ack_observer(std::function<void(const TxRecord&)> observer) {
+    ack_observer_ = std::move(observer);
+  }
+
+  struct Stats {
+    int64_t data_packets_sent = 0;
+    int64_t acks_sent = 0;
+    int64_t retransmits = 0;
+    int64_t rto_events = 0;
+    int64_t duplicates_received = 0;
+    int64_t rtt_samples = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // --- Upgrade serialization (Section 4): the entire flow state moves. ---
+  void Serialize(StateWriter* w) const;
+  static Flow Deserialize(StateReader* r, int local_host,
+                          uint32_t local_engine,
+                          const TimelyParams& timely_params,
+                          const PonyParams* pony_params);
+
+ private:
+  struct Unacked {
+    TxRecord record;
+    SimTime sent_at = 0;
+  };
+
+  PacketPtr MakePacket(const TxRecord& record, SimTime now, uint64_t seq);
+  // True if any stream's head fragment may be sent under the credit
+  // reservation rules.
+  bool MsgReady() const;
+  bool StreamEligible(uint64_t stream) const;
+  // Rebuilds started/reserved bookkeeping from queue contents (restore).
+  void RebuildCreditReservations();
+  // Pops the next sendable record (stream round-robin vs op alternation).
+  TxRecord PopNextRecord();
+  bool AnythingSendable() const;
+  uint64_t WireFlowId() const {
+    return (static_cast<uint64_t>(local_engine_) << 32) |
+           static_cast<uint64_t>(key_.remote_engine);
+  }
+
+  FlowKey key_;
+  int local_host_;
+  uint32_t local_engine_;
+  uint16_t wire_version_;
+  const PonyParams* params_;
+  TimelyController timely_;
+
+  // TX.
+  // Credit-gated message fragments, one queue per stream, serviced in
+  // round-robin order (msg_rr_ holds the active stream ids). Starting a
+  // message RESERVES its full length against the credit pool, so every
+  // in-progress message is guaranteed to finish (otherwise round-robin
+  // could strand more partial messages than the pool can complete and the
+  // receiver would never grant credit back — deadlock).
+  std::map<uint64_t, std::deque<TxRecord>> msg_queues_;
+  std::deque<uint64_t> msg_rr_;
+  std::set<uint64_t> started_streams_;  // head message mid-transmission
+  int64_t reserved_ = 0;  // unsent bytes of started messages
+  size_t msg_backlog_ = 0;
+  std::deque<TxRecord> op_queue_;   // one-sided ops, acks-with-payload
+  bool prefer_op_ = false;          // alternation when both are ready
+  std::deque<uint64_t> retx_queue_;  // seqs to retransmit (from unacked_)
+  std::map<uint64_t, Unacked> unacked_;
+  uint64_t next_seq_ = 1;
+  int dup_acks_ = 0;
+  uint64_t last_ack_seen_ = 0;
+  SimTime next_send_time_ = 0;
+  int64_t credit_;
+
+  // RX.
+  std::function<void(const TxRecord&)> ack_observer_;
+  uint64_t rcv_nxt_ = 1;  // next expected seq (all below received)
+  std::set<uint64_t> ooo_;
+  bool ack_pending_ = false;
+  int unacked_rx_ = 0;          // packets received since our last ack
+  SimTime first_unacked_rx_ = kSimTimeNever;
+  int64_t ts_echo_ = 0;   // tx_timestamp of the newest received packet
+  int64_t pending_grant_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PONY_FLOW_H_

@@ -1,0 +1,48 @@
+// Application-shared memory regions for one-sided operations (Section 3.2:
+// "since the one-sided logic executes in the address space of Snap,
+// applications must explicitly share remotely-accessible memory").
+//
+// Regions are owned by the application (client); engines hold a registry of
+// references with permissions and validate every remote access (bounds and
+// write permission), since engines "do work on behalf of potentially
+// multiple applications with differing levels of trust" (Section 2.6).
+#ifndef SRC_PONY_MEMORY_REGION_H_
+#define SRC_PONY_MEMORY_REGION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace snap {
+
+struct MemoryRegion {
+  uint64_t id = 0;
+  uint64_t owner_client = 0;
+  bool allow_remote_write = false;
+  std::vector<uint8_t> data;
+};
+
+// Engine-side registry of remotely accessible regions.
+class RegionRegistry {
+ public:
+  void Register(MemoryRegion* region) { regions_[region->id] = region; }
+  void Unregister(uint64_t id) { regions_.erase(id); }
+
+  MemoryRegion* Find(uint64_t id) {
+    auto it = regions_.find(id);
+    return it == regions_.end() ? nullptr : it->second;
+  }
+
+  size_t size() const { return regions_.size(); }
+  const std::map<uint64_t, MemoryRegion*>& regions() const {
+    return regions_;
+  }
+
+ private:
+  std::map<uint64_t, MemoryRegion*> regions_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PONY_MEMORY_REGION_H_

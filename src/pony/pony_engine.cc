@@ -1,0 +1,859 @@
+#include "src/pony/pony_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/packet/wire.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+PonyEngine::PonyEngine(std::string name, Simulator* sim, Nic* nic,
+                       uint32_t engine_id, const PonyParams& params,
+                       const TimelyParams& timely_params,
+                       PonyDirectory* directory)
+    : Engine(std::move(name)),
+      sim_(sim),
+      nic_(nic),
+      engine_id_(engine_id),
+      params_(params),
+      timely_params_(timely_params),
+      directory_(directory) {
+  rx_ = nic_->CreateRxQueue();
+  rx_->DisableInterrupts();
+  PonyEngine* self = this;
+  rx_->SetPollWatcher([self] { self->NotifyWork(); });
+  Attach();
+  if (directory_ != nullptr) {
+    directory_->Register(address(),
+                         PonyDirectory::Entry{wire_min_, wire_max_, this});
+  }
+}
+
+PonyEngine::~PonyEngine() {
+  wake_timer_.Cancel();
+  if (attached_) {
+    (void)nic_->RemoveSteeringFilter(engine_id_);
+  }
+}
+
+void PonyEngine::SetWireVersions(uint16_t min_version, uint16_t max_version) {
+  SNAP_CHECK_LE(min_version, max_version);
+  wire_min_ = min_version;
+  wire_max_ = max_version;
+  if (directory_ != nullptr) {
+    directory_->Register(address(),
+                         PonyDirectory::Entry{wire_min_, wire_max_, this});
+  }
+}
+
+void PonyEngine::Attach() {
+  if (!attached_) {
+    SNAP_CHECK_OK(nic_->InstallSteeringFilter(engine_id_, rx_));
+    attached_ = true;
+  }
+}
+
+void PonyEngine::Detach() {
+  if (attached_) {
+    SNAP_CHECK_OK(nic_->RemoveSteeringFilter(engine_id_));
+    attached_ = false;
+  }
+  wake_timer_.Cancel();
+}
+
+void PonyEngine::AttachClient(PonyClient* client) {
+  clients_.push_back(client);
+  if (default_sink_ == nullptr) {
+    default_sink_ = client;
+  }
+}
+
+void PonyEngine::DetachClient(PonyClient* client) {
+  clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
+                 clients_.end());
+  if (default_sink_ == client) {
+    default_sink_ = clients_.empty() ? nullptr : clients_.front();
+  }
+}
+
+void PonyEngine::BindStream(uint64_t stream_id, PonyClient* client,
+                            PonyAddress peer) {
+  streams_[stream_id] = StreamBinding{client->client_id(), peer};
+}
+
+void PonyEngine::NoteMessageConsumed(PonyAddress peer, int64_t bytes) {
+  Flow* flow = FindFlow(peer);
+  if (flow != nullptr) {
+    flow->NoteDelivered(bytes);
+  }
+}
+
+Flow* PonyEngine::FindFlow(PonyAddress peer) {
+  auto it = flows_.find(FlowKey{peer.host, peer.engine_id});
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+Flow& PonyEngine::GetOrCreateFlow(PonyAddress peer,
+                                  uint16_t wire_version_hint) {
+  FlowKey key{peer.host, peer.engine_id};
+  auto it = flows_.find(key);
+  if (it != flows_.end()) {
+    return it->second;
+  }
+  // Version negotiation over the out-of-band channel: highest version both
+  // ends support. A hint from an arriving packet pins the version the peer
+  // already chose.
+  uint16_t version = wire_version_hint;
+  if (version == 0) {
+    version = wire_max_;
+    if (directory_ != nullptr) {
+      const PonyDirectory::Entry* remote = directory_->Find(peer);
+      if (remote != nullptr) {
+        auto negotiated = NegotiateWireVersion(
+            wire_min_, wire_max_, remote->wire_min, remote->wire_max);
+        SNAP_CHECK(negotiated.ok()) << "no common wire version with peer";
+        version = *negotiated;
+      }
+    }
+  }
+  auto [fit, inserted] = flows_.emplace(
+      key, Flow(key, nic_->host_id(), engine_id_, version, timely_params_,
+                &params_));
+  InstallAckObserver(&fit->second);
+  return fit->second;
+}
+
+void PonyEngine::InstallAckObserver(Flow* flow) {
+  PonyEngine* self = this;
+  flow->set_ack_observer(
+      [self](const TxRecord& record) { self->OnFragmentAcked(record); });
+}
+
+void PonyEngine::OnFragmentAcked(const TxRecord& record) {
+  if (record.header.type != PonyPacketType::kData) {
+    return;
+  }
+  auto it = send_ops_.find(record.header.op_id);
+  if (it == send_ops_.end()) {
+    return;
+  }
+  SendOp& op = it->second;
+  op.remaining -= record.payload_bytes;
+  if (op.remaining > 0) {
+    return;
+  }
+  // Reliable delivery achieved: complete the send to the application.
+  PonyClient* client = FindClient(op.client_id);
+  if (client != nullptr) {
+    PonyCompletion completion;
+    completion.op_id = it->first;
+    completion.status = PonyOpStatus::kOk;
+    completion.length = op.total;
+    completion.submit_time = op.submit_time;
+    completion.complete_time = sim_->now();
+    ++stats_.completions;
+    if (!client->DeliverCompletion(std::move(completion))) {
+      stalled_completions_.emplace_back(client, std::move(completion));
+    }
+  }
+  send_ops_.erase(it);
+}
+
+SimDuration PonyEngine::RxCopyCost(int64_t bytes) const {
+  if (params_.ioat_copy_offload) {
+    // The copy engine moves the bytes; the core pays only descriptor setup.
+    return params_.ioat_setup_cost;
+  }
+  return static_cast<SimDuration>(params_.rx_copy_ns_per_byte *
+                                  static_cast<double>(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Poll loop
+// ---------------------------------------------------------------------------
+
+Engine::PollResult PonyEngine::Poll(SimTime now, SimDuration budget_ns) {
+  PollResult result;
+  result.cpu_ns += params_.poll_overhead;
+
+  // 1. RX batch (default 16 packets, Section 3.1).
+  for (int i = 0; i < params_.rx_batch && result.cpu_ns < budget_ns; ++i) {
+    PacketPtr p = rx_->Poll();
+    if (p == nullptr) {
+      break;
+    }
+    ++result.work_items;
+    HandleRxPacket(std::move(p), now, &result.cpu_ns);
+  }
+
+  // 2. Application command queues.
+  for (PonyClient* client : clients_) {
+    for (int i = 0; i < params_.cmd_batch && result.cpu_ns < budget_ns;
+         ++i) {
+      auto cmd = client->command_queue().TryPop();
+      if (!cmd.has_value()) {
+        break;
+      }
+      ++result.work_items;
+      result.cpu_ns += params_.per_op_cost;
+      HandleCommand(client, std::move(*cmd), now, &result.cpu_ns);
+    }
+  }
+
+  // 3. Deliveries that previously hit full client queues.
+  RetryPendingDeliveries(&result.work_items);
+
+  // 4. Timers (RTO) and just-in-time packet generation.
+  TransmitFromFlows(now, budget_ns, &result.cpu_ns, &result.work_items);
+
+  // 5. Acks and credit grants for flows touched this pass.
+  FlushAcksAndCredits(now, &result.cpu_ns, &result.work_items);
+
+  // 6. If future work exists (pacing gaps, RTOs), arm a wake timer so
+  // blocking schedulers resume us.
+  UpdateWakeTimer(now);
+  return result;
+}
+
+void PonyEngine::HandleRxPacket(PacketPtr packet, SimTime now,
+                                SimDuration* cost) {
+  ++stats_.rx_packets;
+  if (packet->pony.type == PonyPacketType::kAck ||
+      packet->pony.type == PonyPacketType::kCredit) {
+    // Header-only control packets take a short path through the engine.
+    *cost += 100 * kNsec;
+  } else {
+    *cost += params_.per_packet_cost +
+             static_cast<SimDuration>(params_.proc_ns_per_byte *
+                                      static_cast<double>(
+                                          packet->payload_bytes));
+  }
+  // End-to-end CRC verification (offloaded on real NICs; Section 3.4).
+  if (!packet->data.empty() && packet->pony.crc32 != 0) {
+    uint32_t crc = PonyPacketCrc(packet->pony, packet->data);
+    if (crc != packet->pony.crc32) {
+      ++stats_.crc_drops;
+      return;
+    }
+  }
+  PonyAddress peer{packet->src_host,
+                   static_cast<uint32_t>(packet->pony.flow_id >> 32)};
+  Flow& flow = GetOrCreateFlow(peer, packet->pony.version);
+  Flow::RxResult rx = flow.OnReceive(*packet, now);
+  if (!rx.deliver) {
+    return;
+  }
+  switch (packet->pony.type) {
+    case PonyPacketType::kData:
+      HandleDataFragment(flow, *packet, now, cost);
+      break;
+    case PonyPacketType::kOpRequest:
+      HandleOpRequest(flow, *packet, now, cost);
+      break;
+    case PonyPacketType::kOpResponse:
+      HandleOpResponse(*packet, now, cost);
+      break;
+    default:
+      break;
+  }
+}
+
+void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
+                                    SimTime now, SimDuration* cost) {
+  const PonyHeader& h = packet.pony;
+  auto key = std::make_pair(h.flow_id, h.op_id);
+  Assembly& assembly = assemblies_[key];
+  if (assembly.total == 0) {
+    assembly.from = PonyAddress{packet.src_host,
+                                static_cast<uint32_t>(h.flow_id >> 32)};
+    assembly.stream_id = h.stream_id;
+    assembly.total = h.msg_length;
+    assembly.first_rx = now;
+  }
+  // Copy fragment payload into the application-visible buffer. The buffer
+  // is sized lazily on the first fragment that carries real bytes (pure
+  // synthetic payloads never allocate).
+  *cost += RxCopyCost(packet.payload_bytes);
+  if (!packet.data.empty()) {
+    if (assembly.data.size() < h.msg_length) {
+      assembly.data.resize(h.msg_length);
+    }
+    size_t end = std::min<size_t>(assembly.data.size(),
+                                  h.msg_offset + packet.data.size());
+    if (end > h.msg_offset) {
+      std::copy(packet.data.begin(),
+                packet.data.begin() + (end - h.msg_offset),
+                assembly.data.begin() + h.msg_offset);
+    }
+  }
+  assembly.received += packet.payload_bytes;
+  if (assembly.received < assembly.total) {
+    return;
+  }
+  // Message complete: deliver to the bound client (or the default sink for
+  // streams initiated remotely).
+  PonyIncomingMessage msg;
+  msg.from = assembly.from;
+  msg.stream_id = assembly.stream_id;
+  msg.op_id = h.op_id;
+  msg.length = assembly.total;
+  msg.data = std::move(assembly.data);
+  msg.receive_time = now;
+  assemblies_.erase(key);
+
+  PonyClient* target = default_sink_;
+  auto sit = streams_.find(msg.stream_id);
+  if (sit != streams_.end()) {
+    PonyClient* bound = FindClient(sit->second.client_id);
+    if (bound != nullptr) {
+      target = bound;
+    }
+  }
+  if (target == nullptr) {
+    return;  // no application attached; drop (credits never granted)
+  }
+  int64_t len = msg.length;
+  if (target->DeliverMessage(std::move(msg))) {
+    ++stats_.messages_delivered;
+    stats_.message_bytes_delivered += len;
+    // Receiver-driven flow control: delivering into the application's
+    // posted receive ring frees pool buffers; grant credit back. Large
+    // (posted-buffer) messages never consumed pool credit.
+    if (len <= params_.credit_message_threshold) {
+      flow.NoteDelivered(len);
+    }
+  } else {
+    stalled_messages_.emplace_back(target, std::move(msg));
+  }
+}
+
+void PonyEngine::HandleOpRequest(Flow& flow, const Packet& packet,
+                                 SimTime now, SimDuration* cost) {
+  const PonyHeader& h = packet.pony;
+  ++stats_.ops_executed;
+  *cost += params_.onesided_exec_cost;
+
+  TxRecord reply;
+  reply.header.type = PonyPacketType::kOpResponse;
+  reply.header.op = h.op;
+  reply.header.op_id = h.op_id;
+  reply.header.status = static_cast<uint16_t>(PonyOpStatus::kOk);
+  reply.uses_credit = false;
+
+  MemoryRegion* region = regions_.Find(h.region_id);
+  auto fail = [&](PonyOpStatus status) {
+    ++stats_.op_errors;
+    reply.header.status = static_cast<uint16_t>(status);
+    reply.payload_bytes = 0;
+  };
+
+  if (region == nullptr) {
+    fail(PonyOpStatus::kNoSuchRegion);
+  } else {
+    switch (h.op) {
+      case PonyOpCode::kRead: {
+        if (h.region_offset + h.op_length > region->data.size()) {
+          fail(PonyOpStatus::kOutOfBounds);
+          break;
+        }
+        reply.payload_bytes = static_cast<int32_t>(h.op_length);
+        if (!region->data.empty() && h.op_length <= (1 << 16)) {
+          reply.data.assign(
+              region->data.begin() + h.region_offset,
+              region->data.begin() + h.region_offset + h.op_length);
+        }
+        break;
+      }
+      case PonyOpCode::kWrite: {
+        if (h.region_offset + h.op_length > region->data.size()) {
+          fail(PonyOpStatus::kOutOfBounds);
+          break;
+        }
+        if (!region->allow_remote_write) {
+          fail(PonyOpStatus::kPermissionDenied);
+          break;
+        }
+        if (!packet.data.empty()) {
+          std::copy(packet.data.begin(), packet.data.end(),
+                    region->data.begin() + h.region_offset);
+        }
+        *cost += RxCopyCost(h.op_length);
+        reply.payload_bytes = 0;
+        reply.header.op_length = h.op_length;
+        break;
+      }
+      case PonyOpCode::kIndirectRead: {
+        // The indirection table holds u64 byte-offsets into the same
+        // region; entry i of the request batch is table index
+        // (region_offset + i). Each indirection fetches op_length bytes.
+        uint16_t batch = std::max<uint16_t>(1, h.batch);
+        uint64_t table_end = (h.region_offset + batch) * 8;
+        if (table_end > region->data.size()) {
+          fail(PonyOpStatus::kOutOfBounds);
+          break;
+        }
+        int64_t total = 0;
+        bool ok = true;
+        for (uint16_t i = 0; i < batch && ok; ++i) {
+          *cost += params_.indirection_cost;
+          ++stats_.indirections_executed;
+          uint64_t entry_off = (h.region_offset + i) * 8;
+          uint64_t target = 0;
+          std::memcpy(&target, region->data.data() + entry_off, 8);
+          if (target + h.op_length > region->data.size()) {
+            fail(PonyOpStatus::kOutOfBounds);
+            ok = false;
+            break;
+          }
+          if (h.op_length <= (1 << 16)) {
+            reply.data.insert(
+                reply.data.end(), region->data.begin() + target,
+                region->data.begin() + target + h.op_length);
+          }
+          total += h.op_length;
+        }
+        if (ok) {
+          reply.payload_bytes = static_cast<int32_t>(total);
+          reply.header.batch = batch;
+        }
+        break;
+      }
+      case PonyOpCode::kScanAndRead: {
+        // Region layout: (key u64, offset u64) pairs; match the key, fetch
+        // op_length bytes at the associated offset.
+        size_t pairs = region->data.size() / 16;
+        bool found = false;
+        for (size_t i = 0; i < pairs; ++i) {
+          *cost += 5 * kNsec;  // per-entry scan cost
+          uint64_t entry_key = 0;
+          std::memcpy(&entry_key, region->data.data() + i * 16, 8);
+          if (entry_key == h.region_offset) {
+            uint64_t target = 0;
+            std::memcpy(&target, region->data.data() + i * 16 + 8, 8);
+            if (target + h.op_length > region->data.size()) {
+              fail(PonyOpStatus::kOutOfBounds);
+            } else {
+              reply.payload_bytes = static_cast<int32_t>(h.op_length);
+              if (h.op_length <= (1 << 16)) {
+                reply.data.assign(
+                    region->data.begin() + target,
+                    region->data.begin() + target + h.op_length);
+              }
+            }
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          fail(PonyOpStatus::kNoMatch);
+        }
+        break;
+      }
+      default:
+        fail(PonyOpStatus::kAborted);
+        break;
+    }
+  }
+  flow.QueueTx(std::move(reply));
+}
+
+void PonyEngine::HandleOpResponse(const Packet& packet, SimTime now,
+                                  SimDuration* cost) {
+  const PonyHeader& h = packet.pony;
+  auto it = pending_ops_.find(h.op_id);
+  if (it == pending_ops_.end()) {
+    return;  // duplicate response after completion
+  }
+  PendingOp op = it->second;
+  pending_ops_.erase(it);
+  PonyClient* client = FindClient(op.client_id);
+  if (client == nullptr) {
+    return;
+  }
+  *cost += RxCopyCost(packet.payload_bytes);
+  PonyCompletion completion;
+  completion.op_id = h.op_id;
+  completion.status = static_cast<PonyOpStatus>(h.status);
+  completion.length = packet.payload_bytes;
+  completion.data = packet.data;
+  completion.submit_time = op.submit_time;
+  completion.complete_time = now;
+  ++stats_.completions;
+  if (!client->DeliverCompletion(std::move(completion))) {
+    stalled_completions_.emplace_back(client, std::move(completion));
+  }
+}
+
+void PonyEngine::HandleCommand(PonyClient* client, PonyCommand cmd,
+                               SimTime now, SimDuration* cost) {
+  Flow& flow = GetOrCreateFlow(cmd.peer, 0);
+  switch (cmd.type) {
+    case PonyCommandType::kSendMessage: {
+      // Fragment the message across MTU-sized packets; all fragments share
+      // the op id for reassembly. TX is zero-copy (Section 6.2).
+      int64_t length = std::max<int64_t>(
+          cmd.length, static_cast<int64_t>(cmd.data.size()));
+      if (length == 0) {
+        length = 1;  // zero-length messages still occupy one packet
+      }
+      // Small messages draw on the credit-managed shared pool; large ones
+      // use receiver-driven buffer posting and bypass credits.
+      bool uses_credit = length <= params_.credit_message_threshold;
+      int64_t offset = 0;
+      while (offset < length) {
+        int64_t chunk =
+            std::min<int64_t>(params_.mtu_payload, length - offset);
+        TxRecord rec;
+        rec.header.type = PonyPacketType::kData;
+        rec.header.op_id = cmd.op_id;
+        rec.header.stream_id = cmd.stream_id;
+        rec.header.msg_offset = static_cast<uint32_t>(offset);
+        rec.header.msg_length = static_cast<uint32_t>(length);
+        rec.payload_bytes = static_cast<int32_t>(chunk);
+        rec.uses_credit = uses_credit;
+        // Real payload bytes may cover only a prefix of the (synthetic)
+        // message length — e.g. an RPC header riding a larger request.
+        if (offset < static_cast<int64_t>(cmd.data.size())) {
+          int64_t data_end = std::min<int64_t>(
+              static_cast<int64_t>(cmd.data.size()), offset + chunk);
+          rec.data.assign(cmd.data.begin() + offset,
+                          cmd.data.begin() + data_end);
+        }
+        flow.QueueTx(std::move(rec));
+        offset += chunk;
+      }
+      // The send completes when every fragment has been acked (reliable
+      // delivery), throttling applications to transport progress.
+      SendOp op;
+      op.client_id = client->client_id();
+      op.submit_time = cmd.submit_time;
+      op.remaining = length;
+      op.total = length;
+      send_ops_[cmd.op_id] = op;
+      break;
+    }
+    case PonyCommandType::kRead:
+    case PonyCommandType::kWrite:
+    case PonyCommandType::kIndirectRead:
+    case PonyCommandType::kScanAndRead: {
+      TxRecord rec;
+      rec.header.type = PonyPacketType::kOpRequest;
+      rec.header.op_id = cmd.op_id;
+      rec.header.region_id = cmd.region_id;
+      rec.uses_credit = false;
+      switch (cmd.type) {
+        case PonyCommandType::kRead:
+          rec.header.op = PonyOpCode::kRead;
+          rec.header.region_offset = cmd.region_offset;
+          rec.header.op_length = static_cast<uint32_t>(cmd.length);
+          break;
+        case PonyCommandType::kWrite:
+          rec.header.op = PonyOpCode::kWrite;
+          rec.header.region_offset = cmd.region_offset;
+          rec.header.op_length = static_cast<uint32_t>(
+              std::max<int64_t>(cmd.length,
+                                static_cast<int64_t>(cmd.data.size())));
+          rec.payload_bytes = static_cast<int32_t>(rec.header.op_length);
+          rec.data = std::move(cmd.data);
+          break;
+        case PonyCommandType::kIndirectRead:
+          rec.header.op = PonyOpCode::kIndirectRead;
+          rec.header.region_offset = cmd.region_offset;  // first table index
+          rec.header.op_length = static_cast<uint32_t>(cmd.length);
+          rec.header.batch = cmd.batch;
+          break;
+        case PonyCommandType::kScanAndRead:
+          rec.header.op = PonyOpCode::kScanAndRead;
+          rec.header.region_offset = cmd.scan_match;  // value to match
+          rec.header.op_length = static_cast<uint32_t>(cmd.length);
+          break;
+        default:
+          break;
+      }
+      PendingOp pending;
+      pending.client_id = client->client_id();
+      pending.type = cmd.type;
+      pending.submit_time = cmd.submit_time;
+      pending.expected_bytes = cmd.length;
+      pending_ops_[cmd.op_id] = pending;
+      flow.QueueTx(std::move(rec));
+      break;
+    }
+  }
+}
+
+PonyClient* PonyEngine::FindClient(uint64_t client_id) {
+  for (PonyClient* c : clients_) {
+    if (c->client_id() == client_id) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+bool PonyEngine::TransmitFromFlows(SimTime now, SimDuration budget,
+                                   SimDuration* cost, int* work) {
+  if (flows_.empty()) {
+    return false;
+  }
+  bool sent_any = false;
+  // Round-robin across flows for fairness; just-in-time generation bounded
+  // by NIC TX descriptor availability.
+  size_t n = flows_.size();
+  auto it = flows_.begin();
+  std::advance(it, flow_cursor_ % n);
+  for (size_t visited = 0; visited < n; ++visited, ++it) {
+    if (it == flows_.end()) {
+      it = flows_.begin();
+    }
+    Flow& flow = it->second;
+    flow.OnTimerCheck(now);
+    while (*cost < budget && nic_->TxSlotsAvailable() > 0) {
+      PacketPtr p = flow.BuildNextPacket(now);
+      if (p == nullptr) {
+        break;
+      }
+      *cost += params_.per_packet_cost +
+               static_cast<SimDuration>(params_.proc_ns_per_byte *
+                                        static_cast<double>(
+                                            p->payload_bytes));
+      ++stats_.tx_packets;
+      ++(*work);
+      sent_any = true;
+      nic_->Transmit(std::move(p));
+    }
+    if (*cost >= budget) {
+      break;
+    }
+  }
+  flow_cursor_ = (flow_cursor_ + 1) % n;
+  return sent_any;
+}
+
+void PonyEngine::FlushAcksAndCredits(SimTime now, SimDuration* cost,
+                                     int* work) {
+  for (auto& [key, flow] : flows_) {
+    if (nic_->TxSlotsAvailable() <= 0) {
+      break;
+    }
+    PacketPtr credit = flow.MaybeBuildCreditGrant(now);
+    if (credit != nullptr) {
+      *cost += 100 * kNsec;
+      ++stats_.tx_packets;
+      ++(*work);
+      nic_->Transmit(std::move(credit));
+    }
+    PacketPtr ack = flow.MaybeBuildAck(now);
+    if (ack != nullptr) {
+      *cost += 100 * kNsec;
+      ++stats_.tx_packets;
+      ++(*work);
+      nic_->Transmit(std::move(ack));
+    }
+  }
+}
+
+void PonyEngine::RetryPendingDeliveries(int* work) {
+  while (!stalled_completions_.empty()) {
+    auto& [client, completion] = stalled_completions_.front();
+    if (!client->DeliverCompletion(std::move(completion))) {
+      break;  // still full; retry next poll
+    }
+    stalled_completions_.erase(stalled_completions_.begin());
+    ++(*work);
+  }
+  while (!stalled_messages_.empty()) {
+    auto& [client, message] = stalled_messages_.front();
+    PonyAddress from = message.from;
+    int64_t len = message.length;
+    if (!client->DeliverMessage(std::move(message))) {
+      break;
+    }
+    stalled_messages_.erase(stalled_messages_.begin());
+    ++stats_.messages_delivered;
+    stats_.message_bytes_delivered += len;
+    if (len <= params_.credit_message_threshold) {
+      Flow* flow = FindFlow(from);
+      if (flow != nullptr) {
+        flow->NoteDelivered(len);
+      }
+    }
+    ++(*work);
+  }
+}
+
+void PonyEngine::UpdateWakeTimer(SimTime now) {
+  SimTime earliest = kSimTimeNever;
+  for (auto& [key, flow] : flows_) {
+    earliest = std::min(earliest, flow.NextSendTime());
+    earliest = std::min(earliest, flow.rto_deadline());
+    earliest = std::min(earliest, flow.AckDeadline());
+  }
+  wake_timer_.Cancel();
+  if (earliest == kSimTimeNever) {
+    return;
+  }
+  if (earliest <= now) {
+    return;  // immediate work; HasWork() reports it
+  }
+  if (HasWork(now)) {
+    return;  // the host will poll again anyway; avoid timer churn
+  }
+  PonyEngine* self = this;
+  wake_timer_ = sim_->ScheduleAt(earliest, [self] { self->NotifyWork(); });
+}
+
+bool PonyEngine::HasWork(SimTime now) const {
+  if (rx_->pending() > 0) {
+    return true;
+  }
+  for (PonyClient* client : clients_) {
+    if (!client->command_queue().empty()) {
+      return true;
+    }
+  }
+  if (!stalled_messages_.empty() || !stalled_completions_.empty()) {
+    return true;
+  }
+  for (const auto& [key, flow] : flows_) {
+    if (flow.CanSend(now) || flow.ack_pending()) {
+      return true;
+    }
+    if (flow.rto_deadline() <= now || flow.AckDeadline() <= now) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration PonyEngine::QueueingDelay(SimTime now) const {
+  SimDuration worst = 0;
+  SimTime oldest_rx = rx_->OldestArrival();
+  if (oldest_rx != kSimTimeNever) {
+    worst = std::max(worst, now - oldest_rx);
+  }
+  for (PonyClient* client : clients_) {
+    SimTime oldest_cmd = client->OldestCommandTime();
+    if (oldest_cmd != kSimTimeNever) {
+      worst = std::max(worst, now - oldest_cmd);
+    }
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Upgrade serialization (Section 4)
+// ---------------------------------------------------------------------------
+
+Engine::StateFootprint PonyEngine::Footprint() const {
+  StateFootprint fp;
+  fp.flows = static_cast<int64_t>(flows_.size());
+  fp.streams = static_cast<int64_t>(streams_.size() + assemblies_.size() +
+                                    pending_ops_.size() + send_ops_.size());
+  fp.regions = static_cast<int64_t>(regions_.size());
+  return fp;
+}
+
+void PonyEngine::SerializeState(StateWriter* w) const {
+  w->BeginSection("pony_engine");
+  w->PutU32(engine_id_);
+  w->PutU16(wire_min_);
+  w->PutU16(wire_max_);
+  w->PutU32(static_cast<uint32_t>(flows_.size()));
+  for (const auto& [key, flow] : flows_) {
+    flow.Serialize(w);
+  }
+  w->PutU32(static_cast<uint32_t>(streams_.size()));
+  for (const auto& [stream_id, binding] : streams_) {
+    w->PutU64(stream_id);
+    w->PutU64(binding.client_id);
+    w->PutI64(binding.peer.host);
+    w->PutU32(binding.peer.engine_id);
+  }
+  w->PutU32(static_cast<uint32_t>(pending_ops_.size()));
+  for (const auto& [op_id, op] : pending_ops_) {
+    w->PutU64(op_id);
+    w->PutU64(op.client_id);
+    w->PutU8(static_cast<uint8_t>(op.type));
+    w->PutI64(op.submit_time);
+    w->PutI64(op.expected_bytes);
+  }
+  w->PutU32(static_cast<uint32_t>(send_ops_.size()));
+  for (const auto& [op_id, op] : send_ops_) {
+    w->PutU64(op_id);
+    w->PutU64(op.client_id);
+    w->PutI64(op.submit_time);
+    w->PutI64(op.remaining);
+    w->PutI64(op.total);
+  }
+  w->PutU32(static_cast<uint32_t>(assemblies_.size()));
+  for (const auto& [key, assembly] : assemblies_) {
+    w->PutU64(key.first);
+    w->PutU64(key.second);
+    w->PutI64(assembly.from.host);
+    w->PutU32(assembly.from.engine_id);
+    w->PutU64(assembly.stream_id);
+    w->PutI64(assembly.received);
+    w->PutI64(assembly.total);
+    w->PutBytes(assembly.data);
+  }
+}
+
+void PonyEngine::DeserializeState(StateReader* r) {
+  r->ExpectSection("pony_engine");
+  engine_id_ = r->GetU32();
+  wire_min_ = r->GetU16();
+  wire_max_ = r->GetU16();
+  uint32_t n_flows = r->GetU32();
+  for (uint32_t i = 0; i < n_flows; ++i) {
+    Flow flow = Flow::Deserialize(r, nic_->host_id(), engine_id_,
+                                  timely_params_, &params_);
+    auto [it, inserted] = flows_.emplace(flow.key(), std::move(flow));
+    InstallAckObserver(&it->second);
+  }
+  uint32_t n_streams = r->GetU32();
+  for (uint32_t i = 0; i < n_streams; ++i) {
+    uint64_t stream_id = r->GetU64();
+    StreamBinding binding;
+    binding.client_id = r->GetU64();
+    binding.peer.host = static_cast<int>(r->GetI64());
+    binding.peer.engine_id = r->GetU32();
+    streams_[stream_id] = binding;
+  }
+  uint32_t n_ops = r->GetU32();
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    uint64_t op_id = r->GetU64();
+    PendingOp op;
+    op.client_id = r->GetU64();
+    op.type = static_cast<PonyCommandType>(r->GetU8());
+    op.submit_time = r->GetI64();
+    op.expected_bytes = r->GetI64();
+    pending_ops_[op_id] = op;
+  }
+  uint32_t n_sends = r->GetU32();
+  for (uint32_t i = 0; i < n_sends; ++i) {
+    uint64_t op_id = r->GetU64();
+    SendOp op;
+    op.client_id = r->GetU64();
+    op.submit_time = r->GetI64();
+    op.remaining = r->GetI64();
+    op.total = r->GetI64();
+    send_ops_[op_id] = op;
+  }
+  uint32_t n_asm = r->GetU32();
+  for (uint32_t i = 0; i < n_asm; ++i) {
+    uint64_t k1 = r->GetU64();
+    uint64_t k2 = r->GetU64();
+    Assembly assembly;
+    assembly.from.host = static_cast<int>(r->GetI64());
+    assembly.from.engine_id = r->GetU32();
+    assembly.stream_id = r->GetU64();
+    assembly.received = r->GetI64();
+    assembly.total = r->GetI64();
+    assembly.data = r->GetBytes();
+    assemblies_[std::make_pair(k1, k2)] = std::move(assembly);
+  }
+}
+
+}  // namespace snap

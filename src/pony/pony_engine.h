@@ -1,0 +1,208 @@
+// A Pony Express engine (Section 3.1, Figure 4): "services incoming
+// packets, interacts with applications, runs state machines to advance
+// messaging and one-sided operations, and generates outgoing packets."
+//
+// Structure per the paper:
+//  - upper layer: operation state machines (two-sided messaging with
+//    streams; one-sided read/write/indirect-read/scan-and-read) and a flow
+//    mapper from application connections to flows;
+//  - lower layer: reliable flows with Timely congestion control
+//    (src/pony/flow.h).
+//
+// Packets are generated just-in-time against NIC TX descriptor
+// availability; RX and command queues are polled in bounded batches
+// (default 16) to trade latency against bandwidth.
+#ifndef SRC_PONY_PONY_ENGINE_H_
+#define SRC_PONY_PONY_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/nic.h"
+#include "src/pony/client.h"
+#include "src/pony/flow.h"
+#include "src/pony/memory_region.h"
+#include "src/pony/pony_types.h"
+#include "src/sim/model_params.h"
+#include "src/sim/simulator.h"
+#include "src/snap/engine.h"
+
+namespace snap {
+
+class PonyDirectory;
+
+class PonyEngine : public Engine {
+ public:
+  PonyEngine(std::string name, Simulator* sim, Nic* nic, uint32_t engine_id,
+             const PonyParams& params, const TimelyParams& timely_params,
+             PonyDirectory* directory);
+  ~PonyEngine() override;
+
+  PonyAddress address() const {
+    return PonyAddress{nic_->host_id(), engine_id_};
+  }
+  uint32_t engine_id() const { return engine_id_; }
+  SimTime now() const { return sim_->now(); }
+  const PonyParams& params() const { return params_; }
+
+  // --- Engine interface ---
+  PollResult Poll(SimTime now, SimDuration budget_ns) override;
+  bool HasWork(SimTime now) const override;
+  SimDuration QueueingDelay(SimTime now) const override;
+
+  // --- Upgrade hooks ---
+  void Detach() override;
+  void Attach() override;
+  void SerializeState(StateWriter* w) const override;
+  void DeserializeState(StateReader* r) override;
+  StateFootprint Footprint() const override;
+
+  // --- Client attachment (control plane) ---
+  void AttachClient(PonyClient* client);
+  void DetachClient(PonyClient* client);
+  const std::vector<PonyClient*>& clients() const { return clients_; }
+  // Incoming messages on unbound streams go to this client.
+  void SetDefaultSink(PonyClient* client) { default_sink_ = client; }
+  PonyClient* default_sink() { return default_sink_; }
+
+  // --- Client-library hooks ---
+  void RegisterRegion(MemoryRegion* region) { regions_.Register(region); }
+  void UnregisterRegion(uint64_t id) { regions_.Unregister(id); }
+  void BindStream(uint64_t stream_id, PonyClient* client, PonyAddress peer);
+  void NoteMessageConsumed(PonyAddress peer, int64_t bytes);
+
+  // Version range this engine advertises (tests exercise negotiation).
+  void SetWireVersions(uint16_t min_version, uint16_t max_version);
+
+  struct Stats {
+    int64_t rx_packets = 0;
+    int64_t tx_packets = 0;
+    int64_t messages_delivered = 0;
+    int64_t message_bytes_delivered = 0;
+    int64_t ops_executed = 0;          // target-side one-sided executions
+    int64_t indirections_executed = 0;
+    int64_t completions = 0;
+    int64_t op_errors = 0;
+    int64_t crc_drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  Flow* FindFlow(PonyAddress peer);
+  size_t flow_count() const { return flows_.size(); }
+
+ private:
+  struct PendingOp {
+    uint64_t client_id = 0;
+    PonyCommandType type = PonyCommandType::kRead;
+    SimTime submit_time = 0;
+    int64_t expected_bytes = 0;
+  };
+
+  // A two-sided send in flight: completes when every fragment is acked.
+  struct SendOp {
+    uint64_t client_id = 0;
+    SimTime submit_time = 0;
+    int64_t remaining = 0;
+    int64_t total = 0;
+  };
+
+  struct Assembly {
+    PonyAddress from;
+    uint64_t stream_id = 0;
+    int64_t received = 0;
+    int64_t total = 0;
+    std::vector<uint8_t> data;
+    SimTime first_rx = 0;
+  };
+
+  struct StreamBinding {
+    uint64_t client_id = 0;
+    PonyAddress peer;
+  };
+
+  Flow& GetOrCreateFlow(PonyAddress peer, uint16_t wire_version_hint);
+  void InstallAckObserver(Flow* flow);
+  void OnFragmentAcked(const TxRecord& record);
+  void HandleRxPacket(PacketPtr packet, SimTime now, SimDuration* cost);
+  void HandleDataFragment(Flow& flow, const Packet& packet, SimTime now,
+                          SimDuration* cost);
+  void HandleOpRequest(Flow& flow, const Packet& packet, SimTime now,
+                       SimDuration* cost);
+  void HandleOpResponse(const Packet& packet, SimTime now,
+                        SimDuration* cost);
+  void HandleCommand(PonyClient* client, PonyCommand cmd, SimTime now,
+                     SimDuration* cost);
+  PonyClient* FindClient(uint64_t client_id);
+  bool TransmitFromFlows(SimTime now, SimDuration budget, SimDuration* cost,
+                         int* work);
+  void FlushAcksAndCredits(SimTime now, SimDuration* cost, int* work);
+  void RetryPendingDeliveries(int* work);
+  void UpdateWakeTimer(SimTime now);
+  SimDuration RxCopyCost(int64_t bytes) const;
+
+  std::string module_name_;
+  Simulator* sim_;
+  Nic* nic_;
+  uint32_t engine_id_;
+  PonyParams params_;
+  TimelyParams timely_params_;
+  PonyDirectory* directory_;
+  RxQueue* rx_ = nullptr;
+  bool attached_ = false;
+  uint16_t wire_min_ = 1;
+  uint16_t wire_max_ = 2;
+
+  std::map<FlowKey, Flow> flows_;
+  std::map<uint64_t, StreamBinding> streams_;
+  std::map<uint64_t, PendingOp> pending_ops_;
+  std::map<uint64_t, SendOp> send_ops_;
+  // Reassembly of in-flight messages, keyed by (wire flow id, op id).
+  std::map<std::pair<uint64_t, uint64_t>, Assembly> assemblies_;
+  RegionRegistry regions_;
+  std::vector<PonyClient*> clients_;
+  PonyClient* default_sink_ = nullptr;
+  // Deliveries that found the client queue full (receiver-driven flow
+  // control: credits are only granted once delivery succeeds).
+  std::vector<std::pair<PonyClient*, PonyIncomingMessage>> stalled_messages_;
+  std::vector<std::pair<PonyClient*, PonyCompletion>> stalled_completions_;
+
+  EventHandle wake_timer_;
+  size_t flow_cursor_ = 0;
+  Stats stats_;
+};
+
+// Directory of Pony engines on the fabric: models the out-of-band TCP
+// channel used to advertise wire-protocol version ranges (Section 3.1) and
+// to resolve engine addresses.
+class PonyDirectory {
+ public:
+  struct Entry {
+    uint16_t wire_min = 1;
+    uint16_t wire_max = 2;
+    PonyEngine* engine = nullptr;
+  };
+
+  void Register(PonyAddress address, Entry entry) {
+    entries_[address] = entry;
+  }
+  void Unregister(PonyAddress address) { entries_.erase(address); }
+
+  const Entry* Find(PonyAddress address) const {
+    auto it = entries_.find(address);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  uint32_t AllocateEngineId() { return next_engine_id_++; }
+
+ private:
+  std::map<PonyAddress, Entry> entries_;
+  uint32_t next_engine_id_ = 1;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PONY_PONY_ENGINE_H_

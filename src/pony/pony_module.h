@@ -1,0 +1,69 @@
+// The "Pony module" (Section 2.3, Figure 2): sets up control-plane RPC
+// services for Pony Express, authenticates users, bootstraps shared memory
+// client channels (the Unix-domain-socket handshake), creates engines, and
+// implements the upgrade restore path that moves an engine — flows,
+// streams, pending ops — into a new Snap instance while client channels
+// (shared memory) survive untouched.
+#ifndef SRC_PONY_PONY_MODULE_H_
+#define SRC_PONY_PONY_MODULE_H_
+
+#include <memory>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "src/pony/client.h"
+#include "src/pony/pony_engine.h"
+#include "src/sim/model_params.h"
+#include "src/snap/control.h"
+
+namespace snap {
+
+class PonyModule : public Module {
+ public:
+  PonyModule(Simulator* sim, Nic* nic, PonyDirectory* directory,
+             const PonyParams& pony_params, const TimelyParams& timely_params,
+             const AppParams& app_params)
+      : Module("pony"),
+        sim_(sim),
+        nic_(nic),
+        directory_(directory),
+        pony_params_(pony_params),
+        timely_params_(timely_params),
+        app_params_(app_params) {}
+
+  std::unique_ptr<Engine> CreateEngine(
+      const std::string& engine_name) override {
+    return std::make_unique<PonyEngine>(engine_name, sim_, nic_,
+                                        directory_->AllocateEngineId(),
+                                        pony_params_, timely_params_,
+                                        directory_);
+  }
+
+  std::unique_ptr<Engine> RestoreEngine(const std::string& engine_name,
+                                        StateReader* state,
+                                        Engine* old_engine) override;
+
+  // Application bootstrap (Section 3.1): authenticates the app and sets up
+  // command/completion queues in shared memory. The caller owns the client.
+  std::unique_ptr<PonyClient> CreateClient(PonyEngine* engine,
+                                           const std::string& app_name);
+
+  const PonyParams& pony_params() const { return pony_params_; }
+
+ private:
+  static std::vector<std::pair<uint64_t, MemoryRegion*>> RegionsOf(
+      PonyClient* client);
+
+  Simulator* sim_;
+  Nic* nic_;
+  PonyDirectory* directory_;
+  PonyParams pony_params_;
+  TimelyParams timely_params_;
+  AppParams app_params_;
+  uint64_t next_client_id_ = 1;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PONY_PONY_MODULE_H_

@@ -1,0 +1,51 @@
+#include "src/pony/timely.h"
+
+namespace snap {
+
+void TimelyController::OnRttSample(SimDuration rtt, SimTime now) {
+  if (rtt <= 0) {
+    return;
+  }
+  if (prev_rtt_ == 0) {
+    prev_rtt_ = rtt;
+    return;
+  }
+  if (now - last_update_ < params_.update_interval) {
+    return;
+  }
+  last_update_ = now;
+  double new_diff = static_cast<double>(rtt - prev_rtt_);
+  prev_rtt_ = rtt;
+  rtt_diff_ = (1.0 - params_.ewma_alpha) * rtt_diff_ +
+              params_.ewma_alpha * new_diff;
+  double gradient = rtt_diff_ / static_cast<double>(params_.min_rtt);
+
+  if (rtt < params_.t_low) {
+    // Far from congestion: additive increase.
+    increase_streak_ = 0;
+    rate_ += params_.additive_increment;
+  } else if (rtt > params_.t_high) {
+    // Hard bound on tail latency: decrease proportional to overshoot.
+    increase_streak_ = 0;
+    rate_ *= 1.0 - params_.beta *
+                       (1.0 - static_cast<double>(params_.t_high) /
+                                  static_cast<double>(rtt));
+  } else if (gradient <= 0) {
+    // Queues draining: increase; repeated negatives enter
+    // hyperactive-increase (HAI) mode with a larger step.
+    ++increase_streak_;
+    double step = params_.additive_increment;
+    if (increase_streak_ >= params_.hai_threshold) {
+      step *= 5;
+    }
+    rate_ += step;
+  } else {
+    // Queues building: decrease proportional to the gradient.
+    increase_streak_ = 0;
+    rate_ *= 1.0 - params_.beta * std::min(gradient, 1.0);
+  }
+  rate_ = std::clamp(rate_, params_.min_rate_bytes_per_sec,
+                     params_.max_rate_bytes_per_sec);
+}
+
+}  // namespace snap

@@ -1,0 +1,69 @@
+// Timely congestion control (Mittal et al., SIGCOMM '15) — "the congestion
+// control algorithm we deploy with Pony Express is a variant of Timely"
+// (Section 3.1). Rate-based control driven by the gradient of RTT samples:
+// RTT below Tlow -> additive increase; above Thigh -> multiplicative
+// decrease proportional to overshoot; otherwise follow the gradient
+// (increase on negative, decrease proportional to positive).
+#ifndef SRC_PONY_TIMELY_H_
+#define SRC_PONY_TIMELY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/time_types.h"
+
+namespace snap {
+
+struct TimelyParams {
+  double min_rate_bytes_per_sec = 10e6;     // 80 Mbps floor
+  double max_rate_bytes_per_sec = 12.5e9;   // 100 Gbps line rate
+  double additive_increment = 200e6;        // bytes/sec per update
+  double beta = 0.3;                        // multiplicative decrease factor
+  double ewma_alpha = 0.46;                 // RTT-gradient EWMA weight
+  // RTT here includes remote engine batching/queueing (acks are generated
+  // by the engine), so the thresholds sit above the engine-loaded RTT of a
+  // healthy receiver and below pathological switch-queue buildup.
+  SimDuration t_low = 15 * kUsec;
+  SimDuration t_high = 250 * kUsec;
+  SimDuration min_rtt = 10 * kUsec;
+  int hai_threshold = 5;  // consecutive gradient increases before HAI mode
+  // Timely updates once per RTT of data, not per ack ("Timely" Section 4):
+  // rate decisions are spaced at least this far apart.
+  SimDuration update_interval = 25 * kUsec;
+};
+
+class TimelyController {
+ public:
+  explicit TimelyController(const TimelyParams& params)
+      : params_(params), rate_(params.max_rate_bytes_per_sec) {}
+
+  // Feeds one RTT sample observed at `now`; updates the pacing rate at
+  // most once per update_interval.
+  void OnRttSample(SimDuration rtt, SimTime now);
+
+  // Severe loss signal (RTO): halve the rate.
+  void OnRetransmitTimeout() {
+    rate_ = std::max(params_.min_rate_bytes_per_sec, rate_ * 0.5);
+  }
+
+  double rate_bytes_per_sec() const { return rate_; }
+  SimDuration last_rtt() const { return prev_rtt_; }
+
+  // For state migration (upgrades preserve congestion state).
+  void RestoreRate(double rate) {
+    rate_ = std::clamp(rate, params_.min_rate_bytes_per_sec,
+                       params_.max_rate_bytes_per_sec);
+  }
+
+ private:
+  TimelyParams params_;
+  double rate_;
+  double rtt_diff_ = 0;
+  SimDuration prev_rtt_ = 0;
+  SimTime last_update_ = -kSec;
+  int increase_streak_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_PONY_TIMELY_H_

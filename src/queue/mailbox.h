@@ -1,0 +1,65 @@
+// Engine mailbox (Section 2.3): a depth-1, lock-free queue on which control
+// components post short sections of work for synchronous execution *on the
+// engine's thread*, non-blocking with respect to the engine.
+//
+// Control plane: Post() returns false while a previous item is pending
+// (callers retry from their RPC loop). Engine: RunPending() executes at most
+// one posted closure per call, from the engine's own Poll loop.
+#ifndef SRC_QUEUE_MAILBOX_H_
+#define SRC_QUEUE_MAILBOX_H_
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+namespace snap {
+
+class EngineMailbox {
+ public:
+  using WorkItem = std::function<void()>;
+
+  EngineMailbox() = default;
+  EngineMailbox(const EngineMailbox&) = delete;
+  EngineMailbox& operator=(const EngineMailbox&) = delete;
+
+  // Control-plane side: posts `work` for the engine thread. Returns false
+  // if the mailbox already holds a pending item.
+  bool Post(WorkItem work) {
+    State expected = State::kEmpty;
+    if (!state_.compare_exchange_strong(expected, State::kWriting,
+                                        std::memory_order_acquire)) {
+      return false;
+    }
+    work_ = std::move(work);
+    state_.store(State::kReady, std::memory_order_release);
+    return true;
+  }
+
+  // Engine side: runs the pending item if any. Returns true if work ran.
+  bool RunPending() {
+    State expected = State::kReady;
+    if (!state_.compare_exchange_strong(expected, State::kRunning,
+                                        std::memory_order_acquire)) {
+      return false;
+    }
+    WorkItem work = std::move(work_);
+    work_ = nullptr;
+    state_.store(State::kEmpty, std::memory_order_release);
+    work();
+    return true;
+  }
+
+  bool pending() const {
+    return state_.load(std::memory_order_acquire) == State::kReady;
+  }
+
+ private:
+  enum class State : int { kEmpty, kWriting, kReady, kRunning };
+
+  std::atomic<State> state_{State::kEmpty};
+  WorkItem work_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_QUEUE_MAILBOX_H_

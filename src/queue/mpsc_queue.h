@@ -1,0 +1,82 @@
+// Lock-free multi-producer/single-consumer intrusive queue (Vyukov-style).
+// Used where multiple control threads or support threads feed one engine
+// (e.g. load-balancing messages between engine-group scheduler threads,
+// Section 2.4: "a message passing mechanism similar to the engine mailbox,
+// but non-blocking on both sides").
+#ifndef SRC_QUEUE_MPSC_QUEUE_H_
+#define SRC_QUEUE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace snap {
+
+// Node type to embed in queued objects.
+struct MpscNode {
+  std::atomic<MpscNode*> next{nullptr};
+};
+
+// Intrusive MPSC queue. Push is lock-free and safe from any thread;
+// Pop must be called from a single consumer thread. Objects must outlive
+// their time in the queue; the queue does not own them.
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Producer: enqueue `node`. Wait-free.
+  void Push(MpscNode* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    MpscNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Consumer: dequeue one node, or nullptr if empty (or momentarily
+  // inconsistent while a producer is mid-push — caller retries later).
+  MpscNode* Pop() {
+    MpscNode* tail = tail_;
+    MpscNode* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) {
+        return nullptr;
+      }
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    MpscNode* head = head_.load(std::memory_order_acquire);
+    if (tail != head) {
+      return nullptr;  // producer mid-push; retry later
+    }
+    Push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;
+  }
+
+  bool empty() const {
+    return tail_ == &stub_ &&
+           stub_.next.load(std::memory_order_acquire) == nullptr &&
+           head_.load(std::memory_order_acquire) == &stub_;
+  }
+
+ private:
+  std::atomic<MpscNode*> head_;
+  MpscNode* tail_;  // consumer-owned
+  MpscNode stub_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_QUEUE_MPSC_QUEUE_H_

@@ -1,0 +1,107 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// This is the communication primitive Snap uses everywhere on the data
+// plane: application command/completion queues, engine-to-engine links,
+// packet rings shared with the kernel packet-injection driver, and NIC
+// descriptor rings all map onto bounded SPSC rings over shared memory
+// (Section 2.2: "lock-free communication occurs over memory-mapped regions
+// shared with the input or output").
+//
+// The implementation is a standard power-of-two ring with cached
+// head/tail indices to minimize cross-core cache traffic. It is safe for
+// exactly one producer thread and one consumer thread.
+#ifndef SRC_QUEUE_SPSC_RING_H_
+#define SRC_QUEUE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; the ring holds up to
+  // `capacity` elements.
+  explicit SpscRing(size_t capacity) {
+    SNAP_CHECK_GT(capacity, 0u);
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false when full.
+  bool TryPush(T value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) {
+        return std::nullopt;
+      }
+    }
+    T value = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer side: peek without consuming.
+  const T* Peek() const {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  // Approximate size; exact when called from either endpoint's thread
+  // between operations.
+  size_t size() const {
+    size_t tail = tail_.load(std::memory_order_acquire);
+    size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() > mask_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) size_t cached_tail_ = 0;   // consumer-local
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) size_t cached_head_ = 0;   // producer-local
+};
+
+}  // namespace snap
+
+#endif  // SRC_QUEUE_SPSC_RING_H_

@@ -1,0 +1,88 @@
+#include "src/sim/antagonist.h"
+
+#include <algorithm>
+
+namespace snap {
+
+CpuHogTask::CpuHogTask(std::string name, CpuScheduler* sched, Rng* rng,
+                       const Options& options)
+    : SimTask(std::move(name), SchedClass::kCfs, options.weight),
+      sched_(sched),
+      rng_(rng),
+      options_(options) {
+  set_container("antagonist");
+}
+
+void CpuHogTask::Start() {
+  sched_->AddTask(this);
+  sched_->Wake(this, /*remote=*/false);
+}
+
+StepResult CpuHogTask::Step(SimTime now, SimDuration budget_ns) {
+  if (work_remaining_ == 0) {
+    // Woken: draw the next compute burst.
+    work_remaining_ = std::max<SimDuration>(
+        1 * kUsec,
+        static_cast<SimDuration>(rng_->NextExponential(
+            static_cast<double>(options_.burst_mean))));
+  }
+  SimDuration used = std::min(work_remaining_, budget_ns);
+  work_remaining_ -= used;
+  StepResult result;
+  result.cpu_ns = used;
+  if (work_remaining_ > 0) {
+    result.next = StepResult::Next::kYield;
+    return result;
+  }
+  // Burst done: sleep, then wake again.
+  SimDuration sleep = std::max<SimDuration>(
+      1 * kUsec, static_cast<SimDuration>(rng_->NextExponential(
+                     static_cast<double>(options_.sleep_mean))));
+  sched_->WakeAt(this, now + used + sleep, /*remote=*/false);
+  result.next = StepResult::Next::kBlock;
+  return result;
+}
+
+KernelSectionTask::KernelSectionTask(std::string name, CpuScheduler* sched,
+                                     Rng* rng, const Options& options)
+    : SimTask(std::move(name), SchedClass::kCfs, options.weight),
+      sched_(sched),
+      rng_(rng),
+      options_(options) {
+  set_container("antagonist");
+}
+
+void KernelSectionTask::Start() {
+  sched_->AddTask(this);
+  sched_->Wake(this, /*remote=*/false);
+}
+
+StepResult KernelSectionTask::Step(SimTime now, SimDuration budget_ns) {
+  StepResult result;
+  if (phase_ == Phase::kUser) {
+    if (user_remaining_ == 0) {
+      user_remaining_ = options_.user_work;
+    }
+    SimDuration used = std::min(user_remaining_, budget_ns);
+    user_remaining_ -= used;
+    result.cpu_ns = used;
+    if (user_remaining_ == 0) {
+      phase_ = Phase::kKernel;
+    }
+    result.next = StepResult::Next::kYield;
+    return result;
+  }
+  // Kernel phase: one long, non-preemptible section (mmap/munmap teardown).
+  SimDuration np = rng_->NextInt(options_.np_min, options_.np_max);
+  result.cpu_ns = np;
+  result.non_preemptible = true;
+  phase_ = Phase::kUser;
+  SimDuration sleep = std::max<SimDuration>(
+      1 * kUsec, static_cast<SimDuration>(rng_->NextExponential(
+                     static_cast<double>(options_.sleep_mean))));
+  sched_->WakeAt(this, now + np + sleep, /*remote=*/false);
+  result.next = StepResult::Next::kBlock;
+  return result;
+}
+
+}  // namespace snap

@@ -1,0 +1,80 @@
+// Antagonist workloads from the paper's evaluation:
+//
+//  - CpuHogTask models the Figure 6(d) antagonists: reduced-priority
+//    processes that "continually wake threads to perform MD5 computations",
+//    placing pressure on the scheduler with frequent wakeups and bursts of
+//    compute.
+//  - KernelSectionTask models the Figure 7(b) antagonist: threads that
+//    repeatedly mmap()/munmap() large buffers, spending long stretches in
+//    kernel code that cannot be preempted by any userspace process (not even
+//    a MicroQuanta thread).
+#ifndef SRC_SIM_ANTAGONIST_H_
+#define SRC_SIM_ANTAGONIST_H_
+
+#include <string>
+
+#include "src/sim/cpu.h"
+#include "src/util/rng.h"
+
+namespace snap {
+
+class CpuHogTask : public SimTask {
+ public:
+  struct Options {
+    // Compute burst per wakeup (one MD5-ish work item).
+    SimDuration burst_mean = 40 * kUsec;
+    // Sleep between wakeups (exponential); small => constant wakeup churn.
+    SimDuration sleep_mean = 20 * kUsec;
+    // CFS weight; antagonists run at reduced priority (weight < 1).
+    double weight = 0.5;
+  };
+
+  CpuHogTask(std::string name, CpuScheduler* sched, Rng* rng,
+             const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  // Begins the wake/compute/sleep cycle.
+  void Start();
+
+ private:
+  CpuScheduler* sched_;
+  Rng* rng_;
+  Options options_;
+  SimDuration work_remaining_ = 0;
+};
+
+class KernelSectionTask : public SimTask {
+ public:
+  struct Options {
+    // User-mode work between kernel sections.
+    SimDuration user_work = 3 * kUsec;
+    // Non-preemptible kernel section length (uniform range); mmap/munmap of
+    // a 50MB buffer with page-table teardown lands in this range.
+    SimDuration np_min = 50 * kUsec;
+    SimDuration np_max = 900 * kUsec;
+    // Pause between iterations.
+    SimDuration sleep_mean = 30 * kUsec;
+    double weight = 1.0;
+  };
+
+  KernelSectionTask(std::string name, CpuScheduler* sched, Rng* rng,
+                    const Options& options);
+
+  StepResult Step(SimTime now, SimDuration budget_ns) override;
+
+  void Start();
+
+ private:
+  enum class Phase { kUser, kKernel };
+
+  CpuScheduler* sched_;
+  Rng* rng_;
+  Options options_;
+  Phase phase_ = Phase::kUser;
+  SimDuration user_remaining_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SIM_ANTAGONIST_H_

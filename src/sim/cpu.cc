@@ -1,0 +1,549 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+
+namespace snap {
+
+CpuScheduler::CpuScheduler(Simulator* sim, const CpuParams& params)
+    : sim_(sim), params_(params) {
+  SNAP_CHECK_GT(params.num_cores, 0);
+  cores_.resize(params.num_cores);
+  for (int i = 0; i < params.num_cores; ++i) {
+    cores_[i].id = i;
+  }
+}
+
+void CpuScheduler::AddTask(SimTask* task) {
+  SNAP_CHECK(task != nullptr);
+  task->sched.state = SimTask::SchedState::RunState::kBlocked;
+  if (task->sched_class() == SchedClass::kMicroQuanta &&
+      task->sched.mq_period == 0) {
+    task->sched.mq_runtime = params_.mq_default_runtime;
+    task->sched.mq_period = params_.mq_default_period;
+  }
+  tasks_.push_back(task);
+}
+
+void CpuScheduler::PinTask(SimTask* task, int core) {
+  SNAP_CHECK_GE(core, 0);
+  SNAP_CHECK_LT(core, num_cores());
+  task->sched.pinned_core = core;
+}
+
+void CpuScheduler::ReserveCore(SimTask* task, int core) {
+  SNAP_CHECK_GE(core, 0);
+  SNAP_CHECK_LT(core, num_cores());
+  SNAP_CHECK(cores_[core].reserved_for == nullptr ||
+             cores_[core].reserved_for == task)
+      << "core " << core << " already reserved";
+  cores_[core].reserved_for = task;
+  PinTask(task, core);
+}
+
+void CpuScheduler::ReleaseCore(int core) {
+  SNAP_CHECK_GE(core, 0);
+  SNAP_CHECK_LT(core, num_cores());
+  cores_[core].reserved_for = nullptr;
+}
+
+void CpuScheduler::SetMicroQuantaBandwidth(SimTask* task, SimDuration runtime,
+                                           SimDuration period) {
+  SNAP_CHECK_GT(period, 0);
+  SNAP_CHECK_GT(runtime, 0);
+  SNAP_CHECK_LE(runtime, period);
+  task->sched.mq_runtime = runtime;
+  task->sched.mq_period = period;
+}
+
+SimDuration CpuScheduler::CStateExitLatency(const Core& core) const {
+  if (!params_.enable_cstates) {
+    return 0;
+  }
+  SimDuration idle = sim_->now() - core.idle_since;
+  if (idle >= params_.c6_entry_after) {
+    return params_.c6_exit_latency;
+  }
+  if (idle >= params_.c1e_entry_after) {
+    return params_.c1e_exit_latency;
+  }
+  return params_.c1_exit_latency;
+}
+
+SimDuration CpuScheduler::MqRemainingBudget(SimTask* task) {
+  auto& s = task->sched;
+  SimTime now = sim_->now();
+  if (now >= s.mq_period_start + s.mq_period) {
+    s.mq_period_start = now;
+    s.mq_used = 0;
+  }
+  return s.mq_runtime - s.mq_used;
+}
+
+void CpuScheduler::Wake(SimTask* task, bool remote) {
+  using RunState = SimTask::SchedState::RunState;
+  auto& s = task->sched;
+  switch (s.state) {
+    case RunState::kRunning: {
+      s.wake_pending = true;
+      // If the task is spin-parked, new work resumes it immediately.
+      int core_id = s.last_core;
+      if (core_id >= 0 && cores_[core_id].current == task &&
+          cores_[core_id].spin_parked) {
+        UnparkSpin(cores_[core_id], params_.spin_detect_latency);
+      }
+      return;
+    }
+    case RunState::kRunnable:
+    case RunState::kThrottled:
+      return;
+    case RunState::kBlocked:
+      break;
+  }
+  s.state = RunState::kRunnable;
+  s.wake_time = sim_->now();
+  s.latency_pending = true;
+  int core_id = PlaceTask(task);
+  SimDuration extra = remote ? params_.ipi_cost : 0;
+  EnqueueTask(cores_[core_id], task, extra);
+}
+
+EventHandle CpuScheduler::WakeAt(SimTask* task, SimTime when, bool remote) {
+  return sim_->ScheduleAt(when, [this, task, remote] { Wake(task, remote); });
+}
+
+int CpuScheduler::PlaceTask(SimTask* task) {
+  auto& s = task->sched;
+  if (s.pinned_core >= 0) {
+    return s.pinned_core;
+  }
+  auto usable = [&](const Core& c) {
+    return c.reserved_for == nullptr || c.reserved_for == task;
+  };
+  auto idle = [&](const Core& c) {
+    return c.current == nullptr && !c.step_in_progress && !c.waking &&
+           c.mq_queue.empty() && c.cfs_queue.empty();
+  };
+  // Prefer the previous core for cache locality.
+  if (s.last_core >= 0 && usable(cores_[s.last_core]) &&
+      idle(cores_[s.last_core])) {
+    return s.last_core;
+  }
+  // Any idle core, round-robin to spread interrupt load.
+  int n = num_cores();
+  for (int i = 0; i < n; ++i) {
+    int id = (rr_cursor_ + i) % n;
+    if (usable(cores_[id]) && idle(cores_[id])) {
+      rr_cursor_ = (id + 1) % n;
+      return id;
+    }
+  }
+  // No idle core: queue on the least-loaded usable core, penalizing cores
+  // stuck in non-preemptible sections and (for MicroQuanta wakers) cores
+  // already running MicroQuanta work.
+  SimTime now = sim_->now();
+  int best = -1;
+  int64_t best_score = INT64_MAX;
+  for (int id = 0; id < n; ++id) {
+    Core& c = cores_[id];
+    if (!usable(c)) {
+      continue;
+    }
+    int64_t score =
+        static_cast<int64_t>(c.mq_queue.size() + c.cfs_queue.size()) *
+        1000000;
+    if (c.np_until > now) {
+      score += c.np_until - now;
+    }
+    if (task->sched_class() == SchedClass::kMicroQuanta && c.current &&
+        c.current->sched_class() != SchedClass::kCfs) {
+      score += 500000;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = id;
+    }
+  }
+  SNAP_CHECK_GE(best, 0) << "no usable core for task " << task->name();
+  return best;
+}
+
+void CpuScheduler::EnqueueTask(Core& core, SimTask* task,
+                               SimDuration extra_delay) {
+  task->sched.queued_core = core.id;
+  if (task->sched_class() == SchedClass::kCfs) {
+    core.cfs_queue.push_back(task);
+  } else {
+    core.mq_queue.push_back(task);
+  }
+  if (core.spin_parked) {
+    // A busy-polling task shares dispatch decisions at poll granularity.
+    UnparkSpin(core, params_.spin_detect_latency);
+    return;
+  }
+  if (core.current == nullptr && !core.step_in_progress && !core.waking) {
+    core.waking = true;
+    SimDuration delay = extra_delay + CStateExitLatency(core) +
+                        params_.irq_overhead;
+    overhead_ns_ += params_.irq_overhead;
+    int core_id = core.id;
+    sim_->Schedule(delay, [this, core_id] {
+      cores_[core_id].waking = false;
+      Dispatch(cores_[core_id]);
+    });
+  }
+}
+
+SimTask* CpuScheduler::PickNext(Core& core) {
+  using RunState = SimTask::SchedState::RunState;
+  // Reserved cores only run their reserved task.
+  if (core.reserved_for != nullptr) {
+    if (!core.mq_queue.empty()) {
+      SimTask* t = core.mq_queue.front();
+      core.mq_queue.pop_front();
+      return t;
+    }
+    if (!core.cfs_queue.empty()) {
+      SimTask* t = core.cfs_queue.front();
+      core.cfs_queue.pop_front();
+      return t;
+    }
+    return nullptr;
+  }
+  while (!core.mq_queue.empty()) {
+    SimTask* t = core.mq_queue.front();
+    core.mq_queue.pop_front();
+    if (t->sched_class() == SchedClass::kMicroQuanta &&
+        MqRemainingBudget(t) <= 0) {
+      ThrottleMq(core, t);
+      continue;
+    }
+    return t;
+  }
+  if (!core.cfs_queue.empty()) {
+    // Pick the heaviest waiter (approximates vruntime order under mixed
+    // nice levels without per-task vruntime bookkeeping).
+    auto it = std::max_element(
+        core.cfs_queue.begin(), core.cfs_queue.end(),
+        [](const SimTask* a, const SimTask* b) {
+          return a->weight() < b->weight();
+        });
+    SimTask* t = *it;
+    core.cfs_queue.erase(it);
+    return t;
+  }
+  SimTask* stolen = TrySteal(core);
+  if (stolen != nullptr) {
+    return stolen;
+  }
+  (void)RunState::kRunnable;
+  return nullptr;
+}
+
+SimTask* CpuScheduler::TrySteal(Core& thief) {
+  // Steal runnable, migratable work from busy cores; MicroQuanta first.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Core& victim : cores_) {
+      if (victim.id == thief.id) {
+        continue;
+      }
+      bool victim_busy = victim.current != nullptr || victim.step_in_progress;
+      if (!victim_busy) {
+        continue;
+      }
+      auto& queue = (pass == 0) ? victim.mq_queue : victim.cfs_queue;
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        SimTask* t = *it;
+        if (t->sched.pinned_core >= 0) {
+          continue;
+        }
+        if (thief.reserved_for != nullptr && thief.reserved_for != t) {
+          continue;
+        }
+        queue.erase(it);
+        t->sched.queued_core = thief.id;
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void CpuScheduler::Dispatch(Core& core) {
+  if (core.current != nullptr || core.step_in_progress) {
+    return;
+  }
+  SimTask* next = PickNext(core);
+  if (next == nullptr) {
+    core.idle_since = sim_->now();
+    return;
+  }
+  core.current = next;
+  core.turn_start = sim_->now();
+  next->sched.state = SimTask::SchedState::RunState::kRunning;
+  next->sched.queued_core = -1;
+  next->sched.last_core = core.id;
+  core.pending_switch_cost = params_.dispatch_cost;
+  if (core.last_task != next) {
+    core.pending_switch_cost += params_.ctx_switch_cost;
+  }
+  core.last_task = next;
+  StepOnce(core);
+}
+
+void CpuScheduler::StepOnce(Core& core) {
+  SimTask* task = core.current;
+  SNAP_CHECK(task != nullptr);
+  SimTime now = sim_->now();
+  auto& s = task->sched;
+  if (s.latency_pending) {
+    s.latency_pending = false;
+    if (s.latency_hist != nullptr) {
+      s.latency_hist->Record(now - s.wake_time);
+    }
+  }
+  SimDuration budget = params_.max_step;
+  if (task->sched_class() == SchedClass::kMicroQuanta) {
+    SimDuration rem = MqRemainingBudget(task);
+    if (rem <= 0) {
+      ThrottleMq(core, task);
+      core.current = nullptr;
+      Dispatch(core);
+      return;
+    }
+    budget = std::min(budget, rem);
+  }
+  StepResult result = task->Step(now, budget);
+  SimDuration charged = result.cpu_ns;
+  SNAP_CHECK_GE(charged, 0);
+  if (!result.non_preemptible && charged > budget) {
+    charged = budget;
+  }
+  if (charged == 0 && core.pending_switch_cost == 0) {
+    // Nothing consumed: resolve the outcome without simulating time.
+    if (result.next == StepResult::Next::kSpin) {
+      ParkSpin(core);
+      return;
+    }
+    SNAP_CHECK(result.next == StepResult::Next::kBlock)
+        << "task " << task->name() << " yielded without consuming CPU";
+    FinishStep(core, task, result, 0);
+    return;
+  }
+  SimDuration total = charged + core.pending_switch_cost;
+  overhead_ns_ += core.pending_switch_cost;
+  core.pending_switch_cost = 0;
+  core.step_in_progress = true;
+  core.busy_until = now + total;
+  core.np_until = result.non_preemptible ? core.busy_until : 0;
+  int core_id = core.id;
+  sim_->Schedule(total, [this, core_id, task, result, charged] {
+    FinishStep(cores_[core_id], task, result, charged);
+  });
+}
+
+void CpuScheduler::FinishStep(Core& core, SimTask* task, StepResult result,
+                              SimDuration charged) {
+  using RunState = SimTask::SchedState::RunState;
+  core.step_in_progress = false;
+  auto& s = task->sched;
+  s.cpu_ns += charged;
+  if (task->sched_class() == SchedClass::kMicroQuanta) {
+    s.mq_used += charged;
+  }
+
+  if (result.next == StepResult::Next::kBlock) {
+    if (s.wake_pending) {
+      // A wakeup raced with the decision to block; stay runnable (Snap
+      // engines re-check their queues before sleeping for the same reason).
+      s.wake_pending = false;
+    } else {
+      s.state = RunState::kBlocked;
+      core.current = nullptr;
+      Dispatch(core);
+      return;
+    }
+  }
+  if (result.next == StepResult::Next::kSpin && s.wake_pending) {
+    // Work arrived during the step: poll again instead of parking.
+    result.next = StepResult::Next::kYield;
+  }
+  s.wake_pending = false;
+
+  // Bandwidth enforcement for MicroQuanta tasks.
+  if (task->sched_class() == SchedClass::kMicroQuanta &&
+      MqRemainingBudget(task) <= 0) {
+    ThrottleMq(core, task);
+    core.current = nullptr;
+    Dispatch(core);
+    return;
+  }
+
+  if (ShouldSwitch(core, *task)) {
+    s.state = RunState::kRunnable;
+    s.queued_core = core.id;
+    if (task->sched_class() == SchedClass::kCfs) {
+      core.cfs_queue.push_back(task);
+    } else {
+      core.mq_queue.push_back(task);
+    }
+    core.current = nullptr;
+    Dispatch(core);
+    return;
+  }
+
+  if (result.next == StepResult::Next::kSpin) {
+    ParkSpin(core);
+    return;
+  }
+  StepOnce(core);
+}
+
+bool CpuScheduler::ShouldSwitch(const Core& core, const SimTask& current) const {
+  if (core.reserved_for == &current) {
+    return false;
+  }
+  SimTime now = sim_->now();
+  SimDuration turn = now - core.turn_start;
+  switch (current.sched_class()) {
+    case SchedClass::kDedicated:
+      return false;
+    case SchedClass::kMicroQuanta:
+      // Fair-share between engines at mq_slice granularity.
+      return !core.mq_queue.empty() && turn >= params_.mq_slice;
+    case SchedClass::kCfs: {
+      if (!core.mq_queue.empty()) {
+        return true;  // MicroQuanta has priority over CFS.
+      }
+      if (core.cfs_queue.empty()) {
+        return false;
+      }
+      if (turn >= params_.cfs_slice) {
+        return true;
+      }
+      // Wakeup preemption at tick granularity for much-heavier waiters.
+      if (turn >= params_.cfs_tick) {
+        double max_weight = 0;
+        for (const SimTask* t : core.cfs_queue) {
+          max_weight = std::max(max_weight, t->weight());
+        }
+        if (max_weight >= params_.cfs_wakeup_preempt_ratio * current.weight()) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void CpuScheduler::ThrottleMq(Core& core, SimTask* task) {
+  using RunState = SimTask::SchedState::RunState;
+  auto& s = task->sched;
+  s.state = RunState::kThrottled;
+  s.queued_core = -1;
+  SimTime refill = s.mq_period_start + s.mq_period;
+  if (refill <= sim_->now()) {
+    refill = sim_->now() + 1;
+  }
+  sim_->ScheduleAt(refill, [this, task] {
+    auto& ts = task->sched;
+    if (ts.state != SimTask::SchedState::RunState::kThrottled) {
+      return;
+    }
+    ts.mq_period_start = sim_->now();
+    ts.mq_used = 0;
+    ts.state = SimTask::SchedState::RunState::kBlocked;
+    Wake(task, /*remote=*/false);
+  });
+}
+
+void CpuScheduler::ParkSpin(Core& core) {
+  SNAP_CHECK(core.current != nullptr);
+  core.spin_parked = true;
+  core.spin_park_start = sim_->now();
+}
+
+void CpuScheduler::UnparkSpin(Core& core, SimDuration detect_latency) {
+  SNAP_CHECK(core.spin_parked);
+  SNAP_CHECK(core.current != nullptr);
+  core.spin_parked = false;
+  SimTask* task = core.current;
+  SimDuration spun = sim_->now() - core.spin_park_start;
+  task->sched.cpu_ns += spun;
+  if (task->sched_class() == SchedClass::kMicroQuanta) {
+    task->sched.mq_used += spun;
+  }
+  // Resume stepping after the poll loop notices the new work. Model the
+  // detection latency as a (charged) step so time passes on this core.
+  core.step_in_progress = true;
+  int core_id = core.id;
+  sim_->Schedule(detect_latency, [this, core_id, task, detect_latency] {
+    StepResult r;
+    r.cpu_ns = 0;
+    r.next = StepResult::Next::kYield;
+    FinishStep(cores_[core_id], task, r, detect_latency);
+  });
+}
+
+void CpuScheduler::RemoveFromQueues(Core& core, SimTask* task) {
+  auto erase = [task](std::deque<SimTask*>& q) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (*it == task) {
+        q.erase(it);
+        return;
+      }
+    }
+  };
+  erase(core.mq_queue);
+  erase(core.cfs_queue);
+}
+
+bool CpuScheduler::CoreBusy(int core) const {
+  const Core& c = cores_[core];
+  return c.current != nullptr || !c.mq_queue.empty() || !c.cfs_queue.empty();
+}
+
+void CpuScheduler::FlushSpinAccounting() {
+  for (Core& core : cores_) {
+    if (core.spin_parked && core.current != nullptr) {
+      SimDuration spun = sim_->now() - core.spin_park_start;
+      core.current->sched.cpu_ns += spun;
+      if (core.current->sched_class() == SchedClass::kMicroQuanta) {
+        core.current->sched.mq_used += spun;
+      }
+      core.spin_park_start = sim_->now();
+    }
+  }
+}
+
+int64_t CpuScheduler::ContainerCpuNs(const std::string& container) const {
+  int64_t total = 0;
+  for (const SimTask* t : tasks_) {
+    if (t->container() == container) {
+      total += t->sched.cpu_ns;
+    }
+  }
+  // Include live spin time of parked tasks in the container.
+  for (const Core& core : cores_) {
+    if (core.spin_parked && core.current != nullptr &&
+        core.current->container() == container) {
+      total += sim_->now() - core.spin_park_start;
+    }
+  }
+  return total;
+}
+
+int64_t CpuScheduler::TotalCpuNs() const {
+  int64_t total = 0;
+  for (const SimTask* t : tasks_) {
+    total += t->sched.cpu_ns;
+  }
+  for (const Core& core : cores_) {
+    if (core.spin_parked && core.current != nullptr) {
+      total += sim_->now() - core.spin_park_start;
+    }
+  }
+  return total;
+}
+
+}  // namespace snap

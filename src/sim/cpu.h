@@ -1,0 +1,229 @@
+// Simulated multicore CPU with three scheduling classes:
+//
+//  - kCfs: a CFS-like fair class. A running task holds the core for up to a
+//    slice; equal-priority preemption happens at slice expiry, and a waking
+//    task with a much larger weight (nice -20) preempts at the next sched
+//    tick. This reproduces the millisecond-scale scheduling tails the paper
+//    measures for kernel TCP and CFS-hosted Snap (Figure 6(d)).
+//  - kMicroQuanta: the paper's custom kernel class (Section 2.4.1). Runs
+//    with priority over CFS, preempting within the bounded step granularity,
+//    subject to a runtime/period bandwidth cap enforced with per-CPU
+//    high-resolution timers.
+//  - kDedicated: the task owns a reserved core (Snap "dedicating cores"
+//    engine scheduling mode).
+//
+// Execution model: when scheduled, a task's Step() performs up to budget_ns
+// of simulated work. Steps are atomic (non-preemptible for their duration),
+// which models preemption granularity; antagonists that enter long
+// non-preemptible kernel sections simply return oversized steps flagged
+// non_preemptible (Figure 7(b)).
+//
+// Idle cores descend through C-states; wakeups from deeper states pay higher
+// exit latency (Figure 7(a)). Wake placement prefers the task's previous
+// core, then any idle core, then queues behind running tasks.
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/model_params.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/util/logging.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+class CpuScheduler;
+
+enum class SchedClass : int {
+  kCfs = 0,
+  kMicroQuanta = 1,
+  kDedicated = 2,
+};
+
+struct StepResult {
+  enum class Next {
+    kYield,  // more work available; reschedulable
+    kBlock,  // no work; sleep until woken
+    kSpin,   // no work, but keep polling (charge CPU)
+  };
+
+  SimDuration cpu_ns = 0;
+  Next next = Next::kBlock;
+  // When true, cpu_ns may exceed the offered budget: the task is inside a
+  // non-preemptible kernel section for the whole step.
+  bool non_preemptible = false;
+};
+
+// A schedulable entity. Subclasses implement Step(); the scheduler owns all
+// run-state bookkeeping in `sched` (treated as private to CpuScheduler).
+class SimTask {
+ public:
+  SimTask(std::string name, SchedClass sched_class, double weight = 1.0)
+      : name_(std::move(name)), sched_class_(sched_class), weight_(weight) {}
+  virtual ~SimTask() = default;
+
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+
+  // Performs up to `budget_ns` of simulated work starting at `now`.
+  virtual StepResult Step(SimTime now, SimDuration budget_ns) = 0;
+
+  const std::string& name() const { return name_; }
+  SchedClass sched_class() const { return sched_class_; }
+  double weight() const { return weight_; }
+
+  // Accounting container this task's CPU is charged to (Section 2.5).
+  void set_container(std::string container) {
+    container_ = std::move(container);
+  }
+  const std::string& container() const { return container_; }
+
+  int64_t cpu_consumed_ns() const { return sched.cpu_ns; }
+
+  // Optional: record wake-to-run scheduling latency into this histogram.
+  void set_sched_latency_histogram(Histogram* h) { sched.latency_hist = h; }
+
+  // --- Scheduler-internal state. Only CpuScheduler mutates this. ---
+  struct SchedState {
+    enum class RunState { kBlocked, kRunnable, kRunning, kThrottled };
+    RunState state = RunState::kBlocked;
+    int pinned_core = -1;  // -1 = migratable
+    int queued_core = -1;  // core whose runqueue holds us (when kRunnable)
+    int last_core = -1;
+    // MicroQuanta bandwidth control.
+    SimDuration mq_runtime = 0;
+    SimDuration mq_period = 0;
+    SimDuration mq_used = 0;
+    SimTime mq_period_start = 0;
+    // Metrics.
+    int64_t cpu_ns = 0;
+    SimTime wake_time = 0;
+    bool latency_pending = false;
+    bool wake_pending = false;  // Wake() arrived while kRunning
+    Histogram* latency_hist = nullptr;
+  };
+  SchedState sched;
+
+ private:
+  std::string name_;
+  SchedClass sched_class_;
+  double weight_;
+  std::string container_;
+};
+
+class CpuScheduler {
+ public:
+  CpuScheduler(Simulator* sim, const CpuParams& params);
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  // Registers a task. Tasks start blocked; call Wake() to start them.
+  // Dedicated-class tasks must be pinned with ReserveCore() first.
+  void AddTask(SimTask* task);
+
+  // Pins `task` to `core` (it will only ever run there).
+  void PinTask(SimTask* task, int core);
+
+  // Reserves `core` exclusively for `task` and pins it there.
+  void ReserveCore(SimTask* task, int core);
+
+  // Releases a reservation made by ReserveCore (used when an upgrade
+  // retires an engine's dedicated core).
+  void ReleaseCore(int core);
+
+  // Overrides the MicroQuanta bandwidth for one task.
+  void SetMicroQuantaBandwidth(SimTask* task, SimDuration runtime,
+                               SimDuration period);
+
+  // Makes a blocked task runnable. `remote` wakeups (interrupts, cross-core
+  // doorbells) pay IPI + interrupt-entry costs. No-op if already runnable.
+  void Wake(SimTask* task, bool remote = true);
+
+  // Schedules a Wake at absolute time `when`; cancellable.
+  EventHandle WakeAt(SimTask* task, SimTime when, bool remote = false);
+
+  // Total CPU consumed across all tasks in `container`.
+  int64_t ContainerCpuNs(const std::string& container) const;
+  // Total CPU consumed across every task.
+  int64_t TotalCpuNs() const;
+  // CPU consumed in scheduler/IRQ overhead (not attributed to any task).
+  int64_t OverheadNs() const { return overhead_ns_; }
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const CpuParams& params() const { return params_; }
+  Simulator* sim() { return sim_; }
+
+  // True if the given core currently has a running or queued task.
+  bool CoreBusy(int core) const;
+
+  // Flushes lazily-accounted spin-poll CPU time up to now into the parked
+  // tasks' counters. Call before reading CPU accounting mid-run.
+  void FlushSpinAccounting();
+
+ private:
+  struct Core {
+    int id = 0;
+    SimTask* current = nullptr;
+    SimTask* last_task = nullptr;     // for context-switch cost
+    SimTask* reserved_for = nullptr;  // dedicated reservation
+    bool step_in_progress = false;
+    bool waking = false;      // dispatch event pending (idle -> running)
+    // Spin-park: the current task is busy-polling with no work. No events
+    // are simulated; a Wake dispatches immediately and the polling CPU time
+    // is charged lazily on unpark.
+    bool spin_parked = false;
+    SimTime spin_park_start = 0;
+    SimTime idle_since = 0;
+    SimTime np_until = 0;     // inside non-preemptible section until
+    SimTime busy_until = 0;   // current step completes at
+    SimTime turn_start = 0;   // when `current` was last switched in
+    SimDuration pending_switch_cost = 0;
+    std::deque<SimTask*> mq_queue;
+    std::deque<SimTask*> cfs_queue;
+  };
+
+  // Picks the best core for a waking task; returns core id.
+  int PlaceTask(SimTask* task);
+  // Enqueues a runnable task on a core and kicks dispatch if it is idle.
+  void EnqueueTask(Core& core, SimTask* task, SimDuration extra_delay);
+  // Dispatch loop entry: selects and starts the next task on an idle core.
+  void Dispatch(Core& core);
+  // Picks the next runnable task for a core (nullptr if none; may steal).
+  SimTask* PickNext(Core& core);
+  // Runs one step of core.current.
+  void StepOnce(Core& core);
+  void FinishStep(Core& core, SimTask* task, StepResult result,
+                  SimDuration charged);
+  // C-state exit latency given how long the core has been idle.
+  SimDuration CStateExitLatency(const Core& core) const;
+  // MicroQuanta: refresh the period window; returns remaining budget.
+  SimDuration MqRemainingBudget(SimTask* task);
+  void ThrottleMq(Core& core, SimTask* task);
+  // True if the core should switch away from `current` given waiters.
+  bool ShouldSwitch(const Core& core, const SimTask& current) const;
+  // Tries to steal a migratable task from another core's queue.
+  SimTask* TrySteal(Core& thief);
+  void RemoveFromQueues(Core& core, SimTask* task);
+  void ParkSpin(Core& core);
+  // Charges parked spin time and resumes stepping the parked task.
+  void UnparkSpin(Core& core, SimDuration detect_latency);
+
+  Simulator* sim_;
+  CpuParams params_;
+  std::vector<Core> cores_;
+  std::vector<SimTask*> tasks_;
+  int64_t overhead_ns_ = 0;
+  int rr_cursor_ = 0;  // round-robin start point for idle-core search
+};
+
+}  // namespace snap
+
+#endif  // SRC_SIM_CPU_H_

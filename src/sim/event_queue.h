@@ -1,0 +1,98 @@
+// Discrete-event queue: a time-ordered heap of callbacks with stable
+// FIFO ordering for equal timestamps and O(1) cancellation via handles.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/time_types.h"
+
+namespace snap {
+
+// Cancellable reference to a scheduled event. Copyable; cheap.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Idempotent.
+  void Cancel() {
+    if (alive_) {
+      *alive_ = false;
+    }
+  }
+
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` to run at absolute time `when`. Events at the same time
+  // fire in scheduling order.
+  EventHandle ScheduleAt(SimTime when, Callback cb) {
+    auto alive = std::make_shared<bool>(true);
+    heap_.push(Event{when, next_seq_++, alive, std::move(cb)});
+    return EventHandle(std::move(alive));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; kSimTimeNever when empty.
+  SimTime NextEventTime() const {
+    return heap_.empty() ? kSimTimeNever : heap_.top().when;
+  }
+
+  // Pops the earliest live event WITHOUT running it. Returns false when
+  // empty. The caller advances its clock before invoking the callback so
+  // that work scheduled from inside the callback sees the correct time.
+  bool PopNext(SimTime* when, Callback* cb) {
+    while (!heap_.empty()) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      if (!*ev.alive) {
+        continue;
+      }
+      *when = ev.when;
+      *cb = std::move(ev.cb);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::shared_ptr<bool> alive;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,81 @@
+// The global discrete-event simulator: a clock plus an event queue.
+// Every run with the same seed is bit-identical; there is no wall-clock
+// dependence anywhere in the simulation.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `cb` to run `delay` from now (delay >= 0).
+  EventHandle Schedule(SimDuration delay, EventQueue::Callback cb) {
+    SNAP_CHECK_GE(delay, 0);
+    return events_.ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  EventHandle ScheduleAt(SimTime when, EventQueue::Callback cb) {
+    SNAP_CHECK_GE(when, now_);
+    return events_.ScheduleAt(when, std::move(cb));
+  }
+
+  // Runs events until the queue is empty or the clock passes `until`.
+  // The clock ends at min(until, last event time). Events exactly at
+  // `until` do run. The clock advances before each callback runs, so
+  // callbacks always observe now() == their scheduled time.
+  void RunUntil(SimTime until) {
+    SimTime when = 0;
+    EventQueue::Callback cb;
+    while (!events_.empty() && events_.NextEventTime() <= until) {
+      if (!events_.PopNext(&when, &cb)) {
+        break;
+      }
+      SNAP_CHECK_GE(when, now_);
+      now_ = when;
+      cb();
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+  }
+
+  // Runs `duration` more simulated time.
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  // Runs all pending events (caller must guarantee termination).
+  void RunAll() {
+    SimTime when = 0;
+    EventQueue::Callback cb;
+    while (events_.PopNext(&when, &cb)) {
+      SNAP_CHECK_GE(when, now_);
+      now_ = when;
+      cb();
+    }
+  }
+
+  size_t pending_events() const { return events_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue events_;
+  Rng rng_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,133 @@
+#include "src/snap/control.h"
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+SnapInstance::SnapInstance(std::string version, Simulator* sim,
+                           CpuScheduler* sched, Nic* nic)
+    : version_(std::move(version)), sim_(sim), sched_(sched), nic_(nic) {}
+
+Module* SnapInstance::RegisterModule(std::unique_ptr<Module> module) {
+  module->set_instance(this);
+  Module* raw = module.get();
+  auto [it, inserted] = modules_.emplace(module->name(), std::move(module));
+  SNAP_CHECK(inserted) << "duplicate module " << raw->name();
+  return raw;
+}
+
+Module* SnapInstance::module(const std::string& name) {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second.get();
+}
+
+EngineGroup* SnapInstance::CreateGroup(const std::string& name,
+                                       const EngineGroup::Options& options) {
+  auto group = EngineGroup::Create(version_ + "/" + name, sim_, sched_,
+                                   options);
+  EngineGroup* raw = group.get();
+  auto [it, inserted] = groups_.emplace(name, std::move(group));
+  SNAP_CHECK(inserted) << "duplicate group " << name;
+  return raw;
+}
+
+EngineGroup* SnapInstance::group(const std::string& name) {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<Engine*> SnapInstance::CreateEngine(const std::string& module_name,
+                                             const std::string& engine_name,
+                                             const std::string& group_name) {
+  Module* m = module(module_name);
+  if (m == nullptr) {
+    return NotFoundError("no module " + module_name);
+  }
+  EngineGroup* g = group(group_name);
+  if (g == nullptr) {
+    return NotFoundError("no group " + group_name);
+  }
+  if (engines_.count(engine_name) > 0) {
+    return AlreadyExistsError("engine " + engine_name);
+  }
+  std::unique_ptr<Engine> engine = m->CreateEngine(engine_name);
+  Engine* raw = engine.get();
+  g->AddEngine(raw);
+  engines_[engine_name] =
+      EngineRecord{std::move(engine), module_name, group_name};
+  return raw;
+}
+
+std::unique_ptr<Engine> SnapInstance::ExtractEngine(
+    const std::string& engine_name) {
+  auto it = engines_.find(engine_name);
+  if (it == engines_.end()) {
+    return nullptr;
+  }
+  EngineGroup* g = group(it->second.group_name);
+  if (g != nullptr) {
+    g->RemoveEngine(it->second.engine.get());
+  }
+  std::unique_ptr<Engine> engine = std::move(it->second.engine);
+  engines_.erase(it);
+  return engine;
+}
+
+Status SnapInstance::AdoptEngine(std::unique_ptr<Engine> engine,
+                                 const std::string& module_name,
+                                 const std::string& group_name) {
+  EngineGroup* g = group(group_name);
+  if (g == nullptr) {
+    return NotFoundError("no group " + group_name);
+  }
+  if (engines_.count(engine->name()) > 0) {
+    return AlreadyExistsError("engine " + engine->name());
+  }
+  Engine* raw = engine.get();
+  std::string name = engine->name();
+  engines_[name] = EngineRecord{std::move(engine), module_name, group_name};
+  g->AddEngine(raw);
+  return OkStatus();
+}
+
+Engine* SnapInstance::engine(const std::string& name) {
+  auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : it->second.engine.get();
+}
+
+void SnapInstance::PostToEngine(Engine* engine,
+                                EngineMailbox::WorkItem work) {
+  // The mailbox has depth 1; an occupied mailbox means the control thread
+  // retries from its RPC loop (non-blocking on both sides, Section 2.3).
+  auto shared = std::make_shared<EngineMailbox::WorkItem>(std::move(work));
+  std::function<void()> attempt = [this, engine, shared]() {
+    if (engine->mailbox()->Post([shared] { (*shared)(); })) {
+      engine->NotifyWork();
+      return;
+    }
+    sim_->Schedule(5 * kUsec, [this, engine, shared] {
+      PostToEngineRetry(engine, shared);
+    });
+  };
+  attempt();
+}
+
+void SnapInstance::PostToEngineRetry(
+    Engine* engine, std::shared_ptr<EngineMailbox::WorkItem> work) {
+  if (engine->mailbox()->Post([work] { (*work)(); })) {
+    engine->NotifyWork();
+    return;
+  }
+  sim_->Schedule(5 * kUsec,
+                 [this, engine, work] { PostToEngineRetry(engine, work); });
+}
+
+int64_t SnapInstance::TotalEngineCpuNs() const {
+  int64_t total = 0;
+  for (const auto& [name, group] : groups_) {
+    total += group->CpuNs();
+  }
+  return total;
+}
+
+}  // namespace snap

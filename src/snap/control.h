@@ -1,0 +1,127 @@
+// Snap control plane (Section 2.3): modules set up control-plane services,
+// instantiate engines, load them into engine groups, and proxy user setup
+// interactions. Control components synchronize with engines only through
+// the lock-free engine mailbox.
+//
+// A SnapInstance models one Snap process (one release version) on a host;
+// transparent upgrade migrates engines between two instances
+// (src/snap/upgrade.h).
+#ifndef SRC_SNAP_CONTROL_H_
+#define SRC_SNAP_CONTROL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/nic.h"
+#include "src/sim/cpu.h"
+#include "src/snap/engine.h"
+#include "src/snap/engine_group.h"
+#include "src/util/status.h"
+
+namespace snap {
+
+class SnapInstance;
+
+// A Snap module (e.g. the "Pony module"): authenticates users, creates
+// engines, and services control RPCs for them.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  const std::string& name() const { return name_; }
+
+  // Creates a fresh engine.
+  virtual std::unique_ptr<Engine> CreateEngine(
+      const std::string& engine_name) = 0;
+
+  // Upgrade path: creates an engine of the new version restoring serialized
+  // state; `old_engine` (still quiesced in the old instance) lets the
+  // module move external attachments (client channels, NIC queues).
+  virtual std::unique_ptr<Engine> RestoreEngine(
+      const std::string& engine_name, StateReader* state,
+      Engine* old_engine) {
+    auto e = CreateEngine(engine_name);
+    e->DeserializeState(state);
+    return e;
+  }
+
+  void set_instance(SnapInstance* instance) { instance_ = instance; }
+  SnapInstance* instance() { return instance_; }
+
+ private:
+  std::string name_;
+  SnapInstance* instance_ = nullptr;
+};
+
+class SnapInstance {
+ public:
+  struct EngineRecord {
+    std::unique_ptr<Engine> engine;
+    std::string module_name;
+    std::string group_name;
+  };
+
+  SnapInstance(std::string version, Simulator* sim, CpuScheduler* sched,
+               Nic* nic);
+
+  // Registers a module; the instance owns it.
+  Module* RegisterModule(std::unique_ptr<Module> module);
+  Module* module(const std::string& name);
+
+  // Creates an engine group with the given scheduling mode.
+  EngineGroup* CreateGroup(const std::string& name,
+                           const EngineGroup::Options& options);
+  EngineGroup* group(const std::string& name);
+
+  // Control RPC surface: creates an engine through `module_name` and loads
+  // it into `group_name`.
+  StatusOr<Engine*> CreateEngine(const std::string& module_name,
+                                 const std::string& engine_name,
+                                 const std::string& group_name);
+
+  // Detaches an engine from its group and releases it to the caller
+  // (used by upgrade to take ownership of a quiesced engine).
+  std::unique_ptr<Engine> ExtractEngine(const std::string& engine_name);
+
+  // Adopts an already-built engine (upgrade restore path).
+  Status AdoptEngine(std::unique_ptr<Engine> engine,
+                     const std::string& module_name,
+                     const std::string& group_name);
+
+  Engine* engine(const std::string& name);
+  const std::map<std::string, EngineRecord>& engines() const {
+    return engines_;
+  }
+
+  // Posts control work to an engine's mailbox, retrying (with backoff in
+  // simulated time) while the mailbox is occupied.
+  void PostToEngine(Engine* engine, EngineMailbox::WorkItem work);
+
+  const std::string& version() const { return version_; }
+  Simulator* sim() { return sim_; }
+  CpuScheduler* sched() { return sched_; }
+  Nic* nic() { return nic_; }
+
+  // Total Snap CPU across all engine groups.
+  int64_t TotalEngineCpuNs() const;
+
+ private:
+  void PostToEngineRetry(Engine* engine,
+                         std::shared_ptr<EngineMailbox::WorkItem> work);
+
+  std::string version_;
+  Simulator* sim_;
+  CpuScheduler* sched_;
+  Nic* nic_;
+  std::map<std::string, std::unique_ptr<Module>> modules_;
+  std::map<std::string, std::unique_ptr<EngineGroup>> groups_;
+  std::map<std::string, EngineRecord> engines_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_CONTROL_H_

@@ -1,0 +1,117 @@
+#include "src/snap/elements.h"
+
+#include <algorithm>
+
+#include "src/packet/wire.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+Pipeline::RunResult Pipeline::Run(SimTime now, PacketPtr& packet) {
+  RunResult result;
+  for (auto& element : elements_) {
+    result.cpu_ns += element->cost_ns();
+    result.verdict = element->Process(now, packet);
+    if (result.verdict != ElementVerdict::kPass) {
+      return result;
+    }
+  }
+  result.verdict = ElementVerdict::kPass;
+  return result;
+}
+
+ElementVerdict AclElement::Process(SimTime now, PacketPtr& packet) {
+  for (const Rule& rule : deny_) {
+    bool src_match = rule.src == -1 || rule.src == packet->src_host;
+    bool dst_match = rule.dst == -1 || rule.dst == packet->dst_host;
+    if (src_match && dst_match) {
+      ++dropped_;
+      packet.reset();
+      return ElementVerdict::kDrop;
+    }
+  }
+  return ElementVerdict::kPass;
+}
+
+RateLimiterElement::RateLimiterElement(std::string name,
+                                       double rate_bytes_per_sec,
+                                       int64_t burst_bytes,
+                                       size_t max_queue_packets)
+    : Element(std::move(name)),
+      rate_(rate_bytes_per_sec),
+      burst_(burst_bytes),
+      max_queue_(max_queue_packets),
+      tokens_(static_cast<double>(burst_bytes)) {}
+
+void RateLimiterElement::Refill(SimTime now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + rate_ * ToSec(now - last_refill_));
+  last_refill_ = now;
+}
+
+ElementVerdict RateLimiterElement::Process(SimTime now, PacketPtr& packet) {
+  Refill(now);
+  double need = static_cast<double>(packet->wire_bytes);
+  if (queue_.empty() && tokens_ >= need) {
+    tokens_ -= need;
+    return ElementVerdict::kPass;
+  }
+  if (queue_.size() >= max_queue_) {
+    ++dropped_;
+    packet.reset();
+    return ElementVerdict::kDrop;
+  }
+  queue_.push_back(Queued{std::move(packet), now});
+  return ElementVerdict::kConsume;
+}
+
+int RateLimiterElement::Release(SimTime now,
+                                const std::function<void(PacketPtr)>& out) {
+  Refill(now);
+  int released = 0;
+  while (!queue_.empty()) {
+    double need = static_cast<double>(queue_.front().packet->wire_bytes);
+    if (tokens_ < need) {
+      break;
+    }
+    tokens_ -= need;
+    out(std::move(queue_.front().packet));
+    queue_.pop_front();
+    ++released;
+  }
+  return released;
+}
+
+SimTime RateLimiterElement::NextReleaseTime() const {
+  if (queue_.empty()) {
+    return kSimTimeNever;
+  }
+  double need = static_cast<double>(queue_.front().packet->wire_bytes);
+  if (tokens_ >= need) {
+    return last_refill_;
+  }
+  double wait_sec = (need - tokens_) / rate_;
+  return last_refill_ + static_cast<SimDuration>(wait_sec * 1e9);
+}
+
+ElementVerdict CrcCheckElement::Process(SimTime now, PacketPtr& packet) {
+  if (packet->proto != WireProtocol::kPony || packet->data.empty()) {
+    return ElementVerdict::kPass;  // nothing to verify
+  }
+  uint32_t expected = packet->pony.crc32;
+  if (expected == 0) {
+    return ElementVerdict::kPass;  // sender did not stamp a CRC
+  }
+  uint32_t actual = PonyPacketCrc(packet->pony, packet->data);
+  if (actual != expected) {
+    ++corrupt_drops_;
+    packet.reset();
+    return ElementVerdict::kDrop;
+  }
+  return ElementVerdict::kPass;
+}
+
+}  // namespace snap

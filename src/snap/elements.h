@@ -1,0 +1,196 @@
+// Click-style pluggable packet-processing elements (Section 2.2: Snap
+// exposes "a library of Click-style pluggable 'elements' to construct
+// packet processing pipelines").
+//
+// An Element processes one packet at a time and either passes it on,
+// consumes it, or drops it. A Pipeline chains elements; engines embed
+// pipelines between their input queues and outputs. Implemented elements
+// cover the network functions the paper names: ACL enforcement, rate
+// limiting / traffic shaping (BwE-style), classification, counting, and
+// CRC verification.
+#ifndef SRC_SNAP_ELEMENTS_H_
+#define SRC_SNAP_ELEMENTS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/packet/packet.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+enum class ElementVerdict {
+  kPass,     // continue down the pipeline
+  kDrop,     // packet dropped (freed)
+  kConsume,  // element took ownership (e.g. queued for shaping)
+};
+
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+  virtual ~Element() = default;
+
+  // Processes `packet`; on kPass the packet stays owned by the caller.
+  virtual ElementVerdict Process(SimTime now, PacketPtr& packet) = 0;
+
+  // Per-packet modeled CPU cost of this element.
+  virtual SimDuration cost_ns() const { return 25 * kNsec; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// Runs a packet through a chain of elements.
+class Pipeline {
+ public:
+  void Append(std::unique_ptr<Element> element) {
+    elements_.push_back(std::move(element));
+  }
+
+  struct RunResult {
+    ElementVerdict verdict = ElementVerdict::kPass;
+    SimDuration cpu_ns = 0;
+  };
+
+  RunResult Run(SimTime now, PacketPtr& packet);
+
+  size_t size() const { return elements_.size(); }
+  Element* element(size_t i) { return elements_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Element>> elements_;
+};
+
+// Counts packets and bytes.
+class CounterElement : public Element {
+ public:
+  explicit CounterElement(std::string name) : Element(std::move(name)) {}
+
+  ElementVerdict Process(SimTime now, PacketPtr& packet) override {
+    ++packets_;
+    bytes_ += packet->wire_bytes;
+    return ElementVerdict::kPass;
+  }
+
+  int64_t packets() const { return packets_; }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  int64_t packets_ = 0;
+  int64_t bytes_ = 0;
+};
+
+// ACL enforcement: drops packets matching deny rules (src/dst host pairs).
+class AclElement : public Element {
+ public:
+  explicit AclElement(std::string name) : Element(std::move(name)) {}
+
+  void Deny(int src_host, int dst_host) {
+    deny_.push_back({src_host, dst_host});
+  }
+
+  ElementVerdict Process(SimTime now, PacketPtr& packet) override;
+  SimDuration cost_ns() const override {
+    return 20 * kNsec + 5 * kNsec * static_cast<SimDuration>(deny_.size());
+  }
+
+  int64_t dropped() const { return dropped_; }
+
+ private:
+  struct Rule {
+    int src;  // -1 = wildcard
+    int dst;  // -1 = wildcard
+  };
+  std::vector<Rule> deny_;
+  int64_t dropped_ = 0;
+};
+
+// Token-bucket rate limiter ("shaping" for bandwidth enforcement). Packets
+// over the rate are queued and released as tokens refill; queue overflow
+// drops.
+class RateLimiterElement : public Element {
+ public:
+  RateLimiterElement(std::string name, double rate_bytes_per_sec,
+                     int64_t burst_bytes, size_t max_queue_packets);
+
+  ElementVerdict Process(SimTime now, PacketPtr& packet) override;
+
+  // Releases packets whose transmit time has arrived; passes them to `out`.
+  // Returns the number released.
+  int Release(SimTime now, const std::function<void(PacketPtr)>& out);
+
+  // Earliest time a queued packet becomes eligible (kSimTimeNever if none).
+  SimTime NextReleaseTime() const;
+
+  size_t queued() const { return queue_.size(); }
+  int64_t dropped() const { return dropped_; }
+  SimDuration QueueingDelay(SimTime now) const {
+    return queue_.empty() ? 0 : now - queue_.front().arrival;
+  }
+
+ private:
+  void Refill(SimTime now);
+
+  double rate_;  // bytes per second
+  int64_t burst_;
+  size_t max_queue_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+  struct Queued {
+    PacketPtr packet;
+    SimTime arrival;
+  };
+  std::deque<Queued> queue_;
+  int64_t dropped_ = 0;
+};
+
+// Steers packets into classes by predicate; used for QoS class selection.
+class ClassifierElement : public Element {
+ public:
+  using Classify = std::function<int(const Packet&)>;
+
+  ClassifierElement(std::string name, Classify fn)
+      : Element(std::move(name)), fn_(std::move(fn)) {}
+
+  ElementVerdict Process(SimTime now, PacketPtr& packet) override {
+    last_class_ = fn_(*packet);
+    ++class_counts_[last_class_];
+    return ElementVerdict::kPass;
+  }
+
+  int last_class() const { return last_class_; }
+  int64_t class_count(int c) const {
+    auto it = class_counts_.find(c);
+    return it == class_counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  Classify fn_;
+  int last_class_ = 0;
+  std::map<int, int64_t> class_counts_;
+};
+
+// Verifies the end-to-end CRC of Pony packets carrying real payload bytes.
+class CrcCheckElement : public Element {
+ public:
+  explicit CrcCheckElement(std::string name) : Element(std::move(name)) {}
+
+  ElementVerdict Process(SimTime now, PacketPtr& packet) override;
+  SimDuration cost_ns() const override { return 40 * kNsec; }
+
+  int64_t corrupt_drops() const { return corrupt_drops_; }
+
+ private:
+  int64_t corrupt_drops_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_ELEMENTS_H_

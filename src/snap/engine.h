@@ -1,0 +1,96 @@
+// The engine abstraction (Section 2.2): "stateful, single-threaded tasks
+// that are scheduled and run by a Snap engine scheduling runtime."
+//
+// Engines never block; they are polled by their group's scheduler and
+// communicate only through lock-free queues and the depth-1 mailbox.
+// The interface deliberately exposes everything the three scheduling modes
+// need: HasWork() for idle detection (spreading mode blocks on it),
+// QueueingDelay() for the compacting scheduler's SLO-driven rebalancing,
+// and the Serialize/Detach/Attach trio for transparent upgrades.
+#ifndef SRC_SNAP_ENGINE_H_
+#define SRC_SNAP_ENGINE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/queue/mailbox.h"
+#include "src/snap/state_codec.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+class Engine {
+ public:
+  struct PollResult {
+    SimDuration cpu_ns = 0;  // modeled cost of this poll pass
+    int work_items = 0;      // packets/operations processed
+  };
+
+  explicit Engine(std::string name) : name_(std::move(name)) {}
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs one bounded poll pass: service inputs, advance state machines,
+  // produce outputs. Must respect `budget_ns` (engines "return control to
+  // the scheduler within a fixed latency budget", Section 2.4).
+  virtual PollResult Poll(SimTime now, SimDuration budget_ns) = 0;
+
+  // True if a Poll right now would make progress.
+  virtual bool HasWork(SimTime now) const = 0;
+
+  // Age of the oldest item waiting on any input (0 when idle). Drives the
+  // compacting scheduler's queueing-delay SLO.
+  virtual SimDuration QueueingDelay(SimTime now) const { return 0; }
+
+  // --- Transparent upgrade hooks (Section 4). ---
+  // Stops packet reception (detach NIC steering filters). Blackout begins.
+  virtual void Detach() {}
+  // Serializes all engine state into the intermediate format.
+  virtual void SerializeState(StateWriter* w) const {}
+  // Restores state in a fresh engine of the new Snap instance.
+  virtual void DeserializeState(StateReader* r) {}
+  // Re-installs NIC filters and resumes. Blackout ends.
+  virtual void Attach() {}
+  // State size in (flows, streams, regions) units for blackout modeling.
+  struct StateFootprint {
+    int64_t flows = 0;
+    int64_t streams = 0;
+    int64_t regions = 0;
+  };
+  virtual StateFootprint Footprint() const { return {}; }
+
+  const std::string& name() const { return name_; }
+  EngineMailbox* mailbox() { return &mailbox_; }
+
+  // Hosting scheduler's wake hook; producers call NotifyWork() when they
+  // make the engine runnable (NIC interrupt, application doorbell, an
+  // upstream engine's output queue).
+  void SetWakeHook(std::function<void()> hook) { wake_hook_ = std::move(hook); }
+  void NotifyWork() {
+    if (wake_hook_) {
+      wake_hook_();
+    }
+  }
+
+  // Runs at most one pending mailbox item (call from the engine's thread
+  // at the top of Poll). Returns the modeled cost.
+  SimDuration RunMailbox() {
+    if (mailbox_.RunPending()) {
+      return kMailboxWorkCost;
+    }
+    return 0;
+  }
+
+ private:
+  static constexpr SimDuration kMailboxWorkCost = 250 * kNsec;
+
+  std::string name_;
+  EngineMailbox mailbox_;
+  std::function<void()> wake_hook_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_ENGINE_H_

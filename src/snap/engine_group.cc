@@ -1,0 +1,450 @@
+#include "src/snap/engine_group.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+
+// Cost of one rebalancer pass (queue-delay estimation reads shared
+// variables; decisions message affected threads).
+constexpr SimDuration kRebalanceBaseCost = 400 * kNsec;
+constexpr SimDuration kRebalancePerEngineCost = 80 * kNsec;
+
+// Polls `engines` round-robin starting at *cursor until budget exhausts or
+// nothing makes progress. Shared by all three modes.
+Engine::PollResult PollEngines(std::vector<Engine*>& engines, size_t* cursor,
+                               SimTime now, SimDuration budget) {
+  Engine::PollResult total;
+  if (engines.empty()) {
+    return total;
+  }
+  size_t n = engines.size();
+  size_t idle_streak = 0;
+  size_t i = *cursor;
+  while (total.cpu_ns < budget && idle_streak < n) {
+    Engine* e = engines[i % n];
+    SimDuration mailbox_cost = e->RunMailbox();
+    total.cpu_ns += mailbox_cost;
+    Engine::PollResult r = e->Poll(now, budget - total.cpu_ns);
+    total.cpu_ns += r.cpu_ns;
+    total.work_items += r.work_items;
+    if (r.work_items == 0 && mailbox_cost == 0) {
+      ++idle_streak;
+    } else {
+      idle_streak = 0;
+    }
+    ++i;
+  }
+  *cursor = i % n;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Dedicating cores (Section 2.4, "Dedicating cores"): engines pinned to
+// reserved hyperthreads, spin polling, fair-shared round-robin.
+// ---------------------------------------------------------------------------
+class DedicatedGroup : public EngineGroup {
+ public:
+  DedicatedGroup(std::string name, Simulator* sim, CpuScheduler* sched,
+                 const Options& options)
+      : name_(std::move(name)), sim_(sim), sched_(sched) {
+    SNAP_CHECK(!options.dedicated_cores.empty())
+        << "dedicated mode requires reserved cores";
+    for (int core : options.dedicated_cores) {
+      auto task = std::make_unique<CoreTask>(name_ + "/core" +
+                                             std::to_string(core));
+      sched_->AddTask(task.get());
+      sched_->ReserveCore(task.get(), core);
+      sched_->Wake(task.get(), /*remote=*/false);
+      tasks_.push_back(std::move(task));
+    }
+  }
+
+  void AddEngine(Engine* engine) override {
+    // Assign to the least-loaded core task.
+    CoreTask* best = tasks_.front().get();
+    for (auto& t : tasks_) {
+      if (t->engines.size() < best->engines.size()) {
+        best = t.get();
+      }
+    }
+    best->engines.push_back(engine);
+    CoreTask* task = best;
+    CpuScheduler* sched = sched_;
+    engine->SetWakeHook([sched, task] { sched->Wake(task, false); });
+    // An adopted engine may arrive with pending work (upgrade restore
+    // queues retransmissions); make sure it gets polled.
+    sched_->Wake(task, /*remote=*/false);
+  }
+
+  void RemoveEngine(Engine* engine) override {
+    for (auto& t : tasks_) {
+      auto& v = t->engines;
+      v.erase(std::remove(v.begin(), v.end(), engine), v.end());
+    }
+    engine->SetWakeHook(nullptr);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  int64_t CpuNs() const override {
+    const_cast<CpuScheduler*>(sched_)->FlushSpinAccounting();
+    int64_t total = 0;
+    for (const auto& t : tasks_) {
+      total += t->cpu_consumed_ns();
+    }
+    return total;
+  }
+
+ private:
+  class CoreTask : public SimTask {
+   public:
+    explicit CoreTask(std::string name)
+        : SimTask(std::move(name), SchedClass::kDedicated) {
+      set_container("snap");
+    }
+
+    StepResult Step(SimTime now, SimDuration budget_ns) override {
+      Engine::PollResult r = PollEngines(engines, &cursor_, now, budget_ns);
+      StepResult out;
+      out.cpu_ns = r.cpu_ns;
+      out.next = (r.work_items > 0) ? StepResult::Next::kYield
+                                    : StepResult::Next::kSpin;
+      return out;
+    }
+
+    std::vector<Engine*> engines;
+
+   private:
+    size_t cursor_ = 0;
+  };
+
+  std::string name_;
+  Simulator* sim_;
+  CpuScheduler* sched_;
+  std::vector<std::unique_ptr<CoreTask>> tasks_;
+};
+
+// ---------------------------------------------------------------------------
+// Spreading engines: one MicroQuanta thread per engine; blocks on
+// notification when idle, schedules with priority to an available core.
+// ---------------------------------------------------------------------------
+class SpreadingGroup : public EngineGroup {
+ public:
+  SpreadingGroup(std::string name, Simulator* sim, CpuScheduler* sched,
+                 const Options& options)
+      : name_(std::move(name)),
+        sim_(sim),
+        sched_(sched),
+        options_(options) {}
+
+  void AddEngine(Engine* engine) override {
+    auto task = std::make_unique<EngineTask>(
+        name_ + "/" + engine->name(), engine,
+        options_.spreading_use_cfs ? SchedClass::kCfs
+                                   : SchedClass::kMicroQuanta,
+        options_.spreading_cfs_weight);
+    sched_->AddTask(task.get());
+    if (!options_.spreading_use_cfs) {
+      sched_->SetMicroQuantaBandwidth(task.get(), options_.mq_runtime,
+                                      options_.mq_period);
+    }
+    EngineTask* raw = task.get();
+    CpuScheduler* sched = sched_;
+    engine->SetWakeHook([sched, raw] { sched->Wake(raw, /*remote=*/true); });
+    tasks_.push_back(std::move(task));
+    // Poll once immediately: adopted engines may carry pending work.
+    sched_->Wake(raw, /*remote=*/false);
+  }
+
+  void RemoveEngine(Engine* engine) override {
+    for (auto& t : tasks_) {
+      if (t->engine() == engine) {
+        t->Retire();
+      }
+    }
+    engine->SetWakeHook(nullptr);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  int64_t CpuNs() const override {
+    int64_t total = 0;
+    for (const auto& t : tasks_) {
+      total += t->cpu_consumed_ns();
+    }
+    return total;
+  }
+
+ private:
+  class EngineTask : public SimTask {
+   public:
+    EngineTask(std::string name, Engine* engine, SchedClass sched_class,
+               double weight)
+        : SimTask(std::move(name), sched_class, weight), engine_(engine) {
+      set_container("snap");
+    }
+
+    Engine* engine() const { return engine_; }
+    void Retire() { retired_ = true; }
+
+    StepResult Step(SimTime now, SimDuration budget_ns) override {
+      StepResult out;
+      if (retired_) {
+        out.next = StepResult::Next::kBlock;
+        return out;
+      }
+      out.cpu_ns += engine_->RunMailbox();
+      Engine::PollResult r = engine_->Poll(now, budget_ns - out.cpu_ns);
+      out.cpu_ns += r.cpu_ns;
+      if (r.work_items > 0 || engine_->HasWork(now)) {
+        out.next = StepResult::Next::kYield;
+        // A zero-cost yield would livelock the scheduler; charge the poll.
+        if (out.cpu_ns == 0) {
+          out.cpu_ns = 50 * kNsec;
+        }
+      } else {
+        out.next = StepResult::Next::kBlock;
+      }
+      return out;
+    }
+
+   private:
+    Engine* engine_;
+    bool retired_ = false;
+  };
+
+  std::string name_;
+  Simulator* sim_;
+  CpuScheduler* sched_;
+  Options options_;
+  std::vector<std::unique_ptr<EngineTask>> tasks_;
+};
+
+// ---------------------------------------------------------------------------
+// Compacting engines: engines multiplexed onto as few threads as possible;
+// a rebalancer (run from the primary worker) polls engine queueing delays
+// against an SLO and scales out / compacts / swaps (Section 2.4).
+// ---------------------------------------------------------------------------
+class CompactingGroup : public EngineGroup {
+ public:
+  CompactingGroup(std::string name, Simulator* sim, CpuScheduler* sched,
+                  const Options& options)
+      : name_(std::move(name)),
+        sim_(sim),
+        sched_(sched),
+        options_(options) {
+    SNAP_CHECK_GT(options.max_workers, 0);
+    for (int i = 0; i < options.max_workers; ++i) {
+      auto w = std::make_unique<Worker>(
+          name_ + "/worker" + std::to_string(i), this, i);
+      sched_->AddTask(w.get());
+      sched_->SetMicroQuantaBandwidth(w.get(), options_.mq_runtime,
+                                      options_.mq_period);
+      workers_.push_back(std::move(w));
+    }
+    // The primary spin-polls by default.
+    sched_->Wake(workers_.front().get(), /*remote=*/false);
+  }
+
+  void AddEngine(Engine* engine) override {
+    workers_.front()->engines.push_back(engine);
+    owner_[engine] = 0;
+    CompactingGroup* group = this;
+    engine->SetWakeHook([group, engine] { group->OnEngineWork(engine); });
+    sched_->Wake(workers_.front().get(), /*remote=*/false);
+  }
+
+  void RemoveEngine(Engine* engine) override {
+    for (auto& w : workers_) {
+      auto& v = w->engines;
+      v.erase(std::remove(v.begin(), v.end(), engine), v.end());
+    }
+    owner_.erase(engine);
+    engine->SetWakeHook(nullptr);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  int64_t CpuNs() const override {
+    const_cast<CpuScheduler*>(sched_)->FlushSpinAccounting();
+    int64_t total = 0;
+    for (const auto& w : workers_) {
+      total += w->cpu_consumed_ns();
+    }
+    return total;
+  }
+
+  int active_workers() const {
+    int n = 0;
+    for (const auto& w : workers_) {
+      if (!w->engines.empty()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  int64_t rebalance_scale_outs() const { return scale_outs_; }
+  int64_t rebalance_compactions() const { return compactions_; }
+
+ private:
+  class Worker : public SimTask {
+   public:
+    Worker(std::string name, CompactingGroup* group, int index)
+        : SimTask(std::move(name), SchedClass::kMicroQuanta),
+          group_(group),
+          index_(index) {
+      set_container("snap");
+    }
+
+    StepResult Step(SimTime now, SimDuration budget_ns) override {
+      StepResult out;
+      Engine::PollResult r = PollEngines(engines, &cursor_, now, budget_ns);
+      out.cpu_ns = r.cpu_ns;
+      // The primary interleaves rebalancing with engine execution.
+      if (index_ == 0 && now >= next_rebalance_) {
+        out.cpu_ns += group_->Rebalance(now);
+        next_rebalance_ = now + group_->options_.rebalance_interval;
+      }
+      if (r.work_items > 0) {
+        last_work_ = now;
+        out.next = StepResult::Next::kYield;
+        return out;
+      }
+      // Idle: the primary spins (its most-compacted state, Section 5.3);
+      // secondaries spin briefly, then block to scale down.
+      bool keep_spinning =
+          index_ == 0 ||
+          (!engines.empty() &&
+           now - last_work_ < group_->options_.idle_block_after);
+      out.next = keep_spinning ? StepResult::Next::kSpin
+                               : StepResult::Next::kBlock;
+      return out;
+    }
+
+    std::vector<Engine*> engines;
+
+   private:
+    friend class CompactingGroup;
+    CompactingGroup* group_;
+    int index_;
+    size_t cursor_ = 0;
+    SimTime next_rebalance_ = 0;
+    SimTime last_work_ = 0;
+  };
+
+  void OnEngineWork(Engine* engine) {
+    auto it = owner_.find(engine);
+    if (it == owner_.end()) {
+      return;
+    }
+    sched_->Wake(workers_[it->second].get(), /*remote=*/true);
+  }
+
+  // One rebalancer pass; returns its modeled CPU cost.
+  SimDuration Rebalance(SimTime now) {
+    SimDuration cost = kRebalanceBaseCost +
+                       kRebalancePerEngineCost *
+                           static_cast<SimDuration>(owner_.size());
+    // Find the engine with the worst queueing delay.
+    Engine* worst = nullptr;
+    SimDuration worst_delay = 0;
+    SimDuration total_delay = 0;
+    for (auto& [engine, worker] : owner_) {
+      SimDuration d = engine->QueueingDelay(now);
+      total_delay += d;
+      if (d > worst_delay) {
+        worst_delay = d;
+        worst = engine;
+      }
+    }
+    if (worst != nullptr && worst_delay > options_.compacting_slo) {
+      // Scale out: move the worst engine off a shared worker to the
+      // emptiest other worker (waking it if necessary).
+      int from = owner_[worst];
+      if (workers_[from]->engines.size() > 1) {
+        int to = -1;
+        size_t fewest = SIZE_MAX;
+        for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+          if (i == from) {
+            continue;
+          }
+          if (workers_[i]->engines.size() < fewest) {
+            fewest = workers_[i]->engines.size();
+            to = i;
+          }
+        }
+        if (to >= 0 && fewest < workers_[from]->engines.size()) {
+          MoveEngine(worst, from, to);
+          ++scale_outs_;
+          sched_->Wake(workers_[to].get(), /*remote=*/true);
+        }
+      }
+      idle_rounds_ = 0;
+      return cost;
+    }
+    // Compaction: after consecutive low-load rounds, migrate an engine from
+    // the busiest secondary back toward the primary.
+    if (total_delay < options_.compacting_slo / 4) {
+      if (++idle_rounds_ >= 4) {
+        idle_rounds_ = 0;
+        for (int i = static_cast<int>(workers_.size()) - 1; i >= 1; --i) {
+          if (!workers_[i]->engines.empty()) {
+            MoveEngine(workers_[i]->engines.back(), i, 0);
+            ++compactions_;
+            break;
+          }
+        }
+      }
+    } else {
+      idle_rounds_ = 0;
+    }
+    return cost;
+  }
+
+  void MoveEngine(Engine* engine, int from, int to) {
+    auto& src = workers_[from]->engines;
+    src.erase(std::remove(src.begin(), src.end(), engine), src.end());
+    workers_[to]->engines.push_back(engine);
+    owner_[engine] = to;
+  }
+
+  std::string name_;
+  Simulator* sim_;
+  CpuScheduler* sched_;
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::map<Engine*, int> owner_;
+  int idle_rounds_ = 0;
+  int64_t scale_outs_ = 0;
+  int64_t compactions_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EngineGroup> EngineGroup::Create(std::string name,
+                                                 Simulator* sim,
+                                                 CpuScheduler* sched,
+                                                 const Options& options) {
+  switch (options.mode) {
+    case SchedulingMode::kDedicatedCores:
+      return std::make_unique<DedicatedGroup>(std::move(name), sim, sched,
+                                              options);
+    case SchedulingMode::kSpreadingEngines:
+      return std::make_unique<SpreadingGroup>(std::move(name), sim, sched,
+                                              options);
+    case SchedulingMode::kCompactingEngines:
+      return std::make_unique<CompactingGroup>(std::move(name), sim, sched,
+                                               options);
+  }
+  return nullptr;
+}
+
+}  // namespace snap

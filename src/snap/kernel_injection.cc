@@ -1,0 +1,28 @@
+#include "src/snap/kernel_injection.h"
+
+namespace snap {
+
+KernelInjectionDriver::KernelInjectionDriver(KernelStack* kstack,
+                                             ShapingEngine* engine)
+    : kstack_(kstack), engine_(engine), attached_(true) {
+  KernelInjectionDriver* self = this;
+  kstack_->SetEgressDivert([self](PacketPtr packet) {
+    ++self->stats_.diverted;
+    if (!self->engine_->Inject(std::move(packet))) {
+      ++self->stats_.drops;
+      return false;
+    }
+    return true;
+  });
+}
+
+KernelInjectionDriver::~KernelInjectionDriver() { Detach(); }
+
+void KernelInjectionDriver::Detach() {
+  if (attached_) {
+    kstack_->SetEgressDivert(nullptr);
+    attached_ = false;
+  }
+}
+
+}  // namespace snap

@@ -1,0 +1,53 @@
+// Kernel packet-injection driver (Section 2): "for use cases that
+// integrate with existing kernel functionality, Snap supports an
+// internally-developed driver for efficiently moving packets between Snap
+// and the kernel."
+//
+// The driver owns a pair of lock-free packet rings shared between the host
+// kernel stack and a Snap engine. Kernel egress traffic that matches the
+// divert policy is pushed onto the TX ring instead of the NIC; the engine
+// (typically a shaping engine, Figure 2's "host kernel traffic" path)
+// applies its pipeline and forwards to the NIC. The reverse ring lets an
+// engine hand packets up into the kernel stack.
+#ifndef SRC_SNAP_KERNEL_INJECTION_H_
+#define SRC_SNAP_KERNEL_INJECTION_H_
+
+#include <functional>
+
+#include "src/kernel/kstack.h"
+#include "src/queue/spsc_ring.h"
+#include "src/snap/shaping_engine.h"
+
+namespace snap {
+
+class KernelInjectionDriver {
+ public:
+  // Diverts the kernel stack's egress through `engine` (which forwards to
+  // the NIC after applying its pipeline). Packets the engine-side ring
+  // cannot absorb are dropped, exactly like a full qdisc.
+  KernelInjectionDriver(KernelStack* kstack, ShapingEngine* engine);
+  ~KernelInjectionDriver();
+
+  KernelInjectionDriver(const KernelInjectionDriver&) = delete;
+  KernelInjectionDriver& operator=(const KernelInjectionDriver&) = delete;
+
+  // Detaches the divert hook; kernel traffic goes straight to the NIC
+  // again (used when the engine is migrated away without a successor).
+  void Detach();
+
+  struct Stats {
+    int64_t diverted = 0;
+    int64_t drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  KernelStack* kstack_;
+  ShapingEngine* engine_;
+  bool attached_ = false;
+  Stats stats_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_KERNEL_INJECTION_H_

@@ -1,0 +1,91 @@
+#include "src/snap/shaping_engine.h"
+
+#include <utility>
+
+namespace snap {
+
+ShapingEngine::ShapingEngine(std::string name, Simulator* sim, Nic* nic,
+                             const Options& options)
+    : Engine(std::move(name)),
+      sim_(sim),
+      nic_(nic),
+      options_(options),
+      input_(options.input_ring_entries) {
+  auto acl = std::make_unique<AclElement>("acl");
+  auto counter = std::make_unique<CounterElement>("counter");
+  auto shaper = std::make_unique<RateLimiterElement>(
+      "shaper", options.rate_bytes_per_sec, options.burst_bytes,
+      options.shaper_queue_packets);
+  acl_ = acl.get();
+  counter_ = counter.get();
+  shaper_ = shaper.get();
+  pipeline_.Append(std::move(acl));
+  pipeline_.Append(std::move(counter));
+  pipeline_.Append(std::move(shaper));
+}
+
+bool ShapingEngine::Inject(PacketPtr packet) {
+  packet->enqueue_time = 0;  // stamped by the NIC on transmit
+  if (!input_.TryPush(std::move(packet))) {
+    ++stats_.input_drops;
+    return false;
+  }
+  ++stats_.injected;
+  NotifyWork();
+  return true;
+}
+
+Engine::PollResult ShapingEngine::Poll(SimTime now, SimDuration budget_ns) {
+  PollResult result;
+  // Release any packets the shaper has accumulated tokens for.
+  int released = shaper_->Release(now, [this, &result](PacketPtr p) {
+    if (nic_->Transmit(std::move(p))) {
+      ++stats_.transmitted;
+    }
+  });
+  if (released > 0) {
+    result.cpu_ns += released * options_.per_packet_cost;
+    result.work_items += released;
+  }
+  // Pull a batch from the input ring through the pipeline.
+  for (int i = 0; i < options_.batch && result.cpu_ns < budget_ns; ++i) {
+    auto popped = input_.TryPop();
+    if (!popped.has_value()) {
+      break;
+    }
+    PacketPtr packet = std::move(*popped);
+    result.cpu_ns += options_.per_packet_cost;
+    ++result.work_items;
+    Pipeline::RunResult run = pipeline_.Run(now, packet);
+    result.cpu_ns += run.cpu_ns;
+    if (run.verdict == ElementVerdict::kPass) {
+      if (nic_->Transmit(std::move(packet))) {
+        ++stats_.transmitted;
+      }
+    }
+    // kDrop / kConsume: the pipeline took care of the packet.
+  }
+  // Tokens refill with time, not events: if shaped packets are waiting,
+  // arm a timer so blocking/parking schedulers resume us at release time.
+  wake_timer_.Cancel();
+  SimTime next_release = shaper_->NextReleaseTime();
+  if (next_release != kSimTimeNever && next_release > now) {
+    ShapingEngine* self = this;
+    wake_timer_ = sim_->ScheduleAt(next_release,
+                                   [self] { self->NotifyWork(); });
+  }
+  return result;
+}
+
+bool ShapingEngine::HasWork(SimTime now) const {
+  if (!input_.empty()) {
+    return true;
+  }
+  return shaper_->queued() > 0 && shaper_->NextReleaseTime() <= now;
+}
+
+SimDuration ShapingEngine::QueueingDelay(SimTime now) const {
+  return shaper_->QueueingDelay(now);
+}
+
+}  // namespace snap

@@ -1,0 +1,105 @@
+#include "src/snap/upgrade.h"
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+void UpgradeManager::StartUpgrade(SnapInstance* from, SnapInstance* to,
+                                  std::function<void(const Result&)> done) {
+  auto m = std::make_shared<Migration>();
+  m->from = from;
+  m->to = to;
+  m->done = std::move(done);
+  m->start_time = sim_->now();
+  for (const auto& [name, record] : from->engines()) {
+    m->pending.push_back(name);
+  }
+  MigrateNext(std::move(m));
+}
+
+SimDuration UpgradeManager::SerializeCost(
+    const Engine::StateFootprint& fp) const {
+  return params_.per_flow_cost * fp.flows +
+         params_.per_stream_cost * fp.streams +
+         params_.per_region_cost * fp.regions;
+}
+
+void UpgradeManager::MigrateNext(std::shared_ptr<Migration> m) {
+  if (m->pending.empty()) {
+    // All engines transferred: the old Snap is terminated.
+    m->result.total = sim_->now() - m->start_time;
+    m->result.ok = true;
+    if (m->done) {
+      m->done(m->result);
+    }
+    return;
+  }
+  std::string name = m->pending.front();
+  m->pending.erase(m->pending.begin());
+
+  Engine* old_engine = m->from->engine(name);
+  if (old_engine == nullptr) {
+    SNAP_LOG(WARNING) << "engine " << name << " vanished before migration";
+    MigrateNext(std::move(m));
+    return;
+  }
+  auto it = m->from->engines().find(name);
+  std::string module_name = it->second.module_name;
+  std::string group_name = it->second.group_name;
+
+  // --- Brownout: background transfer of control connections and shared
+  // memory fd handles while the old engine keeps running. ---
+  Engine::StateFootprint fp = old_engine->Footprint();
+  int64_t control_bytes =
+      64 * 1024 + 256 * (fp.flows + fp.streams + fp.regions);
+  SimDuration brownout = static_cast<SimDuration>(
+      static_cast<double>(control_bytes) / params_.brownout_bytes_per_sec *
+      1e9);
+
+  sim_->Schedule(brownout, [this, m, name, module_name, group_name, fp,
+                            brownout]() mutable {
+    // --- Blackout: cease packet processing, detach RX filters, serialize.
+    SimTime blackout_start = sim_->now();
+    std::unique_ptr<Engine> old_engine = m->from->ExtractEngine(name);
+    if (old_engine == nullptr) {
+      MigrateNext(std::move(m));
+      return;
+    }
+    old_engine->Detach();
+    auto writer = std::make_shared<StateWriter>();
+    old_engine->SerializeState(writer.get());
+    SimDuration transfer = params_.blackout_fixed + SerializeCost(fp);
+
+    // Keep the old engine alive (quiesced) until the new engine adopts its
+    // external attachments.
+    auto old_holder =
+        std::make_shared<std::unique_ptr<Engine>>(std::move(old_engine));
+    sim_->Schedule(transfer, [this, m, name, module_name, group_name, fp,
+                              brownout, writer, old_holder,
+                              blackout_start]() mutable {
+      Module* module = m->to->module(module_name);
+      SNAP_CHECK(module != nullptr)
+          << "new instance missing module " << module_name;
+      StateReader reader(writer->buffer());
+      std::unique_ptr<Engine> fresh =
+          module->RestoreEngine(name, &reader, old_holder->get());
+      fresh->Attach();
+      Status st = m->to->AdoptEngine(std::move(fresh), module_name,
+                                     group_name);
+      SNAP_CHECK_OK(st);
+      SimDuration blackout = sim_->now() - blackout_start;
+      blackout_hist_.Record(blackout);
+      EngineResult er;
+      er.engine_name = name;
+      er.brownout = brownout;
+      er.blackout = blackout;
+      er.state_bytes = writer->size_bytes();
+      er.footprint = fp;
+      m->result.engines.push_back(er);
+      old_holder->reset();
+      MigrateNext(std::move(m));
+    });
+  });
+}
+
+}  // namespace snap

@@ -1,0 +1,78 @@
+// Transparent upgrade (Section 4, Figure 5): a Snap "master" launches the
+// new Snap instance; the running instance connects to it and migrates
+// engines one at a time, each in its entirety:
+//
+//  brownout  — background transfer of control-plane connections and shared
+//              memory handles; minimal performance impact, the old engine
+//              keeps processing packets.
+//  blackout  — the old engine ceases packet processing, detaches NIC
+//              receive filters, serializes remaining state into a shared
+//              memory volume; the new engine attaches identical filters and
+//              deserializes. Packets arriving during the gap are dropped
+//              and recovered by end-to-end transports as congestion loss.
+//
+// Blackout duration is modeled from the engine's state footprint using
+// UpgradeParams and measured into a histogram (Figure 9).
+#ifndef SRC_SNAP_UPGRADE_H_
+#define SRC_SNAP_UPGRADE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/model_params.h"
+#include "src/snap/control.h"
+#include "src/stats/histogram.h"
+
+namespace snap {
+
+class UpgradeManager {
+ public:
+  struct EngineResult {
+    std::string engine_name;
+    SimDuration brownout = 0;
+    SimDuration blackout = 0;
+    size_t state_bytes = 0;
+    Engine::StateFootprint footprint;
+  };
+
+  struct Result {
+    std::vector<EngineResult> engines;
+    SimDuration total = 0;
+    bool ok = false;
+  };
+
+  UpgradeManager(Simulator* sim, const UpgradeParams& params)
+      : sim_(sim), params_(params) {}
+
+  // Starts migrating every engine from `from` to `to`, one at a time.
+  // `done` runs (in simulated time) when the last engine has moved and the
+  // old instance would be terminated.
+  void StartUpgrade(SnapInstance* from, SnapInstance* to,
+                    std::function<void(const Result&)> done);
+
+  // Blackout distribution across all upgrades run through this manager.
+  const Histogram& blackout_histogram() const { return blackout_hist_; }
+
+ private:
+  struct Migration {
+    SnapInstance* from;
+    SnapInstance* to;
+    std::vector<std::string> pending;  // engine names, in order
+    Result result;
+    std::function<void(const Result&)> done;
+    SimTime start_time = 0;
+  };
+
+  void MigrateNext(std::shared_ptr<Migration> m);
+  SimDuration SerializeCost(const Engine::StateFootprint& fp) const;
+
+  Simulator* sim_;
+  UpgradeParams params_;
+  Histogram blackout_hist_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_UPGRADE_H_

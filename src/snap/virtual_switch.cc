@@ -1,0 +1,294 @@
+#include "src/snap/virtual_switch.h"
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+bool GuestVnic::Send(uint32_t dst_vm, int payload_bytes,
+                     std::vector<uint8_t> data) {
+  auto packet = std::make_unique<Packet>();
+  packet->proto = WireProtocol::kEncap;
+  packet->virt_src_vm = vm_id_;
+  packet->virt_dst_vm = dst_vm;
+  packet->payload_bytes = payload_bytes;
+  packet->wire_bytes = payload_bytes + 64;  // inner headers
+  packet->data = std::move(data);
+  if (!tx_.TryPush(std::move(packet))) {
+    ++stats_.tx_ring_full;
+    return false;
+  }
+  ++stats_.tx_packets;
+  if (doorbell_) {
+    doorbell_();
+  }
+  return true;
+}
+
+PacketPtr GuestVnic::Receive() {
+  auto packet = rx_.TryPop();
+  if (!packet.has_value()) {
+    return nullptr;
+  }
+  return std::move(*packet);
+}
+
+VirtualSwitchEngine::VirtualSwitchEngine(std::string name, Simulator* sim,
+                                         Nic* nic, uint32_t engine_id,
+                                         const Options& options)
+    : Engine(std::move(name)),
+      sim_(sim),
+      nic_(nic),
+      engine_id_(engine_id),
+      options_(options) {
+  rx_ = nic_->CreateRxQueue();
+  rx_->DisableInterrupts();
+  VirtualSwitchEngine* self = this;
+  rx_->SetPollWatcher([self] { self->NotifyWork(); });
+  auto acl = std::make_unique<AclElement>("guest_acl");
+  acl_ = acl.get();
+  policy_.Append(std::move(acl));
+  Attach();
+}
+
+VirtualSwitchEngine::~VirtualSwitchEngine() {
+  wake_timer_.Cancel();
+  if (attached_) {
+    (void)nic_->RemoveSteeringFilter(engine_id_);
+  }
+}
+
+void VirtualSwitchEngine::Attach() {
+  if (!attached_) {
+    SNAP_CHECK_OK(nic_->InstallSteeringFilter(engine_id_, rx_));
+    attached_ = true;
+  }
+}
+
+void VirtualSwitchEngine::Detach() {
+  if (attached_) {
+    SNAP_CHECK_OK(nic_->RemoveSteeringFilter(engine_id_));
+    attached_ = false;
+  }
+  wake_timer_.Cancel();
+}
+
+GuestVnic* VirtualSwitchEngine::AddGuest(uint32_t vm_id) {
+  auto guest = std::make_unique<GuestVnic>(vm_id, options_.ring_entries);
+  GuestVnic* raw = guest.get();
+  VirtualSwitchEngine* self = this;
+  raw->doorbell_ = [self] { self->NotifyWork(); };
+  guests_[vm_id] = std::move(guest);
+  if (options_.guest_rate_bytes_per_sec > 0) {
+    shapers_[vm_id] = std::make_unique<RateLimiterElement>(
+        "guest" + std::to_string(vm_id),
+        options_.guest_rate_bytes_per_sec, options_.guest_burst_bytes,
+        options_.ring_entries);
+  }
+  return raw;
+}
+
+void VirtualSwitchEngine::AddRoute(uint32_t vm_id, int host,
+                                   uint32_t remote_engine_id) {
+  routes_[vm_id] = Route{host, remote_engine_id};
+}
+
+void VirtualSwitchEngine::DeliverToGuest(uint32_t vm_id, PacketPtr packet) {
+  auto it = guests_.find(vm_id);
+  if (it == guests_.end()) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  GuestVnic& guest = *it->second;
+  if (!guest.rx_.TryPush(std::move(packet))) {
+    ++guest.stats_.rx_ring_full;
+    ++stats_.guest_rx_drops;
+    return;
+  }
+  ++guest.stats_.rx_packets;
+}
+
+void VirtualSwitchEngine::SwitchPacket(PacketPtr packet, SimTime now,
+                                       SimDuration* cost) {
+  *cost += options_.per_packet_cost;
+  // Policy: ACL on inner addresses (src/dst vm ids ride the host fields
+  // for element compatibility).
+  packet->src_host = static_cast<int>(packet->virt_src_vm);
+  packet->dst_host = static_cast<int>(packet->virt_dst_vm);
+  Pipeline::RunResult verdict = policy_.Run(now, packet);
+  *cost += verdict.cpu_ns;
+  if (verdict.verdict == ElementVerdict::kDrop) {
+    ++stats_.acl_drops;
+    return;
+  }
+  // Per-guest egress shaping.
+  auto shaper_it = shapers_.find(packet->virt_src_vm);
+  if (shaper_it != shapers_.end()) {
+    ElementVerdict v = shaper_it->second->Process(now, packet);
+    if (v == ElementVerdict::kDrop) {
+      ++stats_.shaped_drops;
+      return;
+    }
+    if (v == ElementVerdict::kConsume) {
+      return;  // queued in the shaper; released on a later poll
+    }
+  }
+  uint32_t dst_vm = packet->virt_dst_vm;
+  if (guests_.count(dst_vm) > 0) {
+    // Same-host VM-to-VM: no wire involved.
+    ++stats_.switched_local;
+    DeliverToGuest(dst_vm, std::move(packet));
+    return;
+  }
+  auto route = routes_.find(dst_vm);
+  if (route == routes_.end()) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  // Encapsulate: outer fabric header addressed to the peer host's
+  // virtual-switch engine.
+  packet->src_host = nic_->host_id();
+  packet->dst_host = route->second.host;
+  packet->steering_hash = route->second.remote_engine;
+  packet->wire_bytes += options_.encap_bytes;
+  ++stats_.encapsulated;
+  nic_->Transmit(std::move(packet));
+}
+
+Engine::PollResult VirtualSwitchEngine::Poll(SimTime now,
+                                             SimDuration budget_ns) {
+  PollResult result;
+  // Fabric ingress: decapsulate and deliver to local guests.
+  for (int i = 0; i < options_.batch && result.cpu_ns < budget_ns; ++i) {
+    PacketPtr packet = rx_->Poll();
+    if (packet == nullptr) {
+      break;
+    }
+    result.cpu_ns += options_.per_packet_cost;
+    ++result.work_items;
+    packet->wire_bytes -= options_.encap_bytes;
+    ++stats_.decapsulated;
+    // Read the destination before the move (argument evaluation order).
+    uint32_t dst_vm = packet->virt_dst_vm;
+    DeliverToGuest(dst_vm, std::move(packet));
+  }
+  // Shaped packets whose release time arrived.
+  for (auto& [vm, shaper] : shapers_) {
+    result.work_items += shaper->Release(now, [&](PacketPtr released) {
+      result.cpu_ns += options_.per_packet_cost;
+      // Re-run the switching decision (policy already passed).
+      uint32_t dst_vm = released->virt_dst_vm;
+      if (guests_.count(dst_vm) > 0) {
+        ++stats_.switched_local;
+        DeliverToGuest(dst_vm, std::move(released));
+        return;
+      }
+      auto route = routes_.find(dst_vm);
+      if (route == routes_.end()) {
+        ++stats_.no_route_drops;
+        return;
+      }
+      released->src_host = nic_->host_id();
+      released->dst_host = route->second.host;
+      released->steering_hash = route->second.remote_engine;
+      released->wire_bytes += options_.encap_bytes;
+      ++stats_.encapsulated;
+      nic_->Transmit(std::move(released));
+    });
+  }
+  // Guest egress rings, round-robin.
+  if (!guests_.empty()) {
+    size_t n = guests_.size();
+    auto it = guests_.begin();
+    std::advance(it, guest_cursor_ % n);
+    for (size_t visited = 0; visited < n && result.cpu_ns < budget_ns;
+         ++visited, ++it) {
+      if (it == guests_.end()) {
+        it = guests_.begin();
+      }
+      for (int i = 0; i < options_.batch && result.cpu_ns < budget_ns;
+           ++i) {
+        auto packet = it->second->tx_.TryPop();
+        if (!packet.has_value()) {
+          break;
+        }
+        ++result.work_items;
+        SwitchPacket(std::move(*packet), now, &result.cpu_ns);
+      }
+    }
+    guest_cursor_ = (guest_cursor_ + 1) % n;
+  }
+  // Wake timer for shaped packets waiting on tokens.
+  wake_timer_.Cancel();
+  SimTime earliest = kSimTimeNever;
+  for (auto& [vm, shaper] : shapers_) {
+    earliest = std::min(earliest, shaper->NextReleaseTime());
+  }
+  if (earliest != kSimTimeNever && earliest > now) {
+    VirtualSwitchEngine* self = this;
+    wake_timer_ =
+        sim_->ScheduleAt(earliest, [self] { self->NotifyWork(); });
+  }
+  return result;
+}
+
+bool VirtualSwitchEngine::HasWork(SimTime now) const {
+  if (rx_->pending() > 0) {
+    return true;
+  }
+  for (const auto& [vm, guest] : guests_) {
+    if (!guest->tx_.empty()) {
+      return true;
+    }
+  }
+  for (const auto& [vm, shaper] : shapers_) {
+    if (shaper->queued() > 0 && shaper->NextReleaseTime() <= now) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration VirtualSwitchEngine::QueueingDelay(SimTime now) const {
+  SimDuration worst = 0;
+  SimTime oldest = rx_->OldestArrival();
+  if (oldest != kSimTimeNever) {
+    worst = std::max(worst, now - oldest);
+  }
+  for (const auto& [vm, shaper] : shapers_) {
+    worst = std::max(worst, shaper->QueueingDelay(now));
+  }
+  return worst;
+}
+
+Engine::StateFootprint VirtualSwitchEngine::Footprint() const {
+  StateFootprint fp;
+  fp.flows = static_cast<int64_t>(routes_.size());
+  fp.streams = static_cast<int64_t>(guests_.size());
+  return fp;
+}
+
+void VirtualSwitchEngine::SerializeState(StateWriter* w) const {
+  w->BeginSection("virtual_switch");
+  w->PutU32(engine_id_);
+  w->PutU32(static_cast<uint32_t>(routes_.size()));
+  for (const auto& [vm, route] : routes_) {
+    w->PutU32(vm);
+    w->PutI64(route.host);
+    w->PutU32(route.remote_engine);
+  }
+}
+
+void VirtualSwitchEngine::DeserializeState(StateReader* r) {
+  r->ExpectSection("virtual_switch");
+  engine_id_ = r->GetU32();
+  uint32_t n = r->GetU32();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t vm = r->GetU32();
+    Route route;
+    route.host = static_cast<int>(r->GetI64());
+    route.remote_engine = r->GetU32();
+    routes_[vm] = route;
+  }
+}
+
+}  // namespace snap

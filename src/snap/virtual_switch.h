@@ -1,0 +1,134 @@
+// Network-virtualization engine (Figure 2: "engines are shown handling all
+// guest VM I/O traffic"; the paper cites Andromeda for the dataplane).
+//
+// Guests attach virtual NICs (lock-free TX/RX rings in shared memory). The
+// engine switches guest egress: destinations on the same host are delivered
+// VM-to-VM without touching the wire; remote destinations are encapsulated
+// (outer fabric header addressed to the peer host's virtual-switch engine)
+// and transmitted. Per-guest policy — ACL and egress rate limiting — is
+// applied with the same Click-style elements as the shaping engine.
+#ifndef SRC_SNAP_VIRTUAL_SWITCH_H_
+#define SRC_SNAP_VIRTUAL_SWITCH_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/nic.h"
+#include "src/queue/spsc_ring.h"
+#include "src/sim/simulator.h"
+#include "src/snap/elements.h"
+#include "src/snap/engine.h"
+
+namespace snap {
+
+// A guest VM's virtual NIC: two rings shared with the engine.
+class GuestVnic {
+ public:
+  GuestVnic(uint32_t vm_id, size_t ring_entries)
+      : vm_id_(vm_id), tx_(ring_entries), rx_(ring_entries) {}
+
+  uint32_t vm_id() const { return vm_id_; }
+
+  // Guest side: send a packet to another VM on the virtual network.
+  // Returns false when the TX ring is full.
+  bool Send(uint32_t dst_vm, int payload_bytes,
+            std::vector<uint8_t> data = {});
+  // Guest side: receive the next delivered packet (nullptr when empty).
+  PacketPtr Receive();
+  int pending_rx() const { return static_cast<int>(rx_.size()); }
+
+  struct Stats {
+    int64_t tx_packets = 0;
+    int64_t tx_ring_full = 0;
+    int64_t rx_packets = 0;
+    int64_t rx_ring_full = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class VirtualSwitchEngine;
+
+  uint32_t vm_id_;
+  SpscRing<PacketPtr> tx_;
+  SpscRing<PacketPtr> rx_;
+  std::function<void()> doorbell_;  // wakes the hosting engine
+  Stats stats_;
+};
+
+class VirtualSwitchEngine : public Engine {
+ public:
+  struct Options {
+    size_t ring_entries = 512;
+    int batch = 16;
+    SimDuration per_packet_cost = 220 * kNsec;  // lookup + encap/decap
+    int encap_bytes = 46;                       // outer headers
+    // Per-guest egress rate limit (0 = unlimited).
+    double guest_rate_bytes_per_sec = 0;
+    int64_t guest_burst_bytes = 128 * 1024;
+  };
+
+  VirtualSwitchEngine(std::string name, Simulator* sim, Nic* nic,
+                      uint32_t engine_id, const Options& options);
+  ~VirtualSwitchEngine() override;
+
+  // Control plane: attaches a guest VM. The engine owns the vNIC.
+  GuestVnic* AddGuest(uint32_t vm_id);
+  // Control plane: vm -> (physical host, remote switch engine steering key).
+  void AddRoute(uint32_t vm_id, int host, uint32_t remote_engine_id);
+
+  uint32_t engine_id() const { return engine_id_; }
+
+  // --- Engine interface ---
+  PollResult Poll(SimTime now, SimDuration budget_ns) override;
+  bool HasWork(SimTime now) const override;
+  SimDuration QueueingDelay(SimTime now) const override;
+
+  // --- Upgrade hooks ---
+  void Detach() override;
+  void Attach() override;
+  void SerializeState(StateWriter* w) const override;
+  void DeserializeState(StateReader* r) override;
+  StateFootprint Footprint() const override;
+
+  struct Stats {
+    int64_t switched_local = 0;   // VM-to-VM on this host
+    int64_t encapsulated = 0;     // sent onto the fabric
+    int64_t decapsulated = 0;     // received from the fabric
+    int64_t no_route_drops = 0;
+    int64_t guest_rx_drops = 0;   // guest RX ring full
+    int64_t acl_drops = 0;
+    int64_t shaped_drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  AclElement* acl() { return acl_; }
+
+ private:
+  struct Route {
+    int host = -1;
+    uint32_t remote_engine = 0;
+  };
+
+  // Moves one guest-egress packet through policy + switching.
+  void SwitchPacket(PacketPtr packet, SimTime now, SimDuration* cost);
+  void DeliverToGuest(uint32_t vm_id, PacketPtr packet);
+
+  Simulator* sim_;
+  Nic* nic_;
+  uint32_t engine_id_;
+  Options options_;
+  RxQueue* rx_ = nullptr;
+  bool attached_ = false;
+  std::map<uint32_t, std::unique_ptr<GuestVnic>> guests_;
+  std::map<uint32_t, Route> routes_;
+  Pipeline policy_;
+  AclElement* acl_ = nullptr;
+  std::map<uint32_t, std::unique_ptr<RateLimiterElement>> shapers_;
+  EventHandle wake_timer_;
+  size_t guest_cursor_ = 0;
+  Stats stats_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SNAP_VIRTUAL_SWITCH_H_

@@ -1,0 +1,143 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+Histogram::Histogram() : buckets_(kMagnitudes * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);
+  }
+  // Magnitude = position of the highest set bit above the sub-bucket range;
+  // shifting by it leaves the top (kSubBucketBits+1) bits, whose low
+  // kSubBucketBits select the sub-bucket within the power-of-two band.
+  int msb = 63 - __builtin_clzll(v);
+  int magnitude = msb - kSubBucketBits;
+  int sub = static_cast<int>(v >> magnitude) & (kSubBuckets - 1);
+  int index = (magnitude + 1) * kSubBuckets + sub;
+  if (index >= static_cast<int>(kMagnitudes * kSubBuckets)) {
+    index = kMagnitudes * kSubBuckets - 1;
+  }
+  return index;
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  int magnitude = index / kSubBuckets - 1;
+  int sub = index % kSubBuckets;
+  if (magnitude < 0) {
+    return sub;
+  }
+  uint64_t base = (static_cast<uint64_t>(kSubBuckets) | sub)
+                  << magnitude;
+  uint64_t width = 1ULL << magnitude;
+  return static_cast<int64_t>(base + width - 1);
+}
+
+void Histogram::Record(int64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(int64_t value, int64_t n) {
+  SNAP_CHECK_GE(n, 0);
+  if (n == 0) {
+    return;
+  }
+  if (value < 0) {
+    value = 0;
+  }
+  buckets_[BucketIndex(value)] += n;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  SNAP_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0) {
+    return min_;
+  }
+  if (p >= 100) {
+    return max_;
+  }
+  // Rank of the requested percentile (1-based).
+  int64_t target = static_cast<int64_t>(
+      (p / 100.0) * static_cast<double>(count_) + 0.5);
+  if (target < 1) {
+    target = 1;
+  }
+  if (target > count_) {
+    target = count_;
+  }
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      int64_t bound = BucketUpperBound(static_cast<int>(i));
+      return std::min(bound, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::SummaryNs() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.1fus p50=%.1fus p99=%.1fus p999=%.1fus "
+                "max=%.1fus",
+                static_cast<long long>(count_), Mean() / 1000.0,
+                static_cast<double>(P50()) / 1000.0,
+                static_cast<double>(P99()) / 1000.0,
+                static_cast<double>(P999()) / 1000.0,
+                static_cast<double>(max()) / 1000.0);
+  return buf;
+}
+
+}  // namespace snap

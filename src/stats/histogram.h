@@ -1,0 +1,62 @@
+// Log-linear histogram (HdrHistogram-style) for latency and size
+// distributions. Values are bucketed with bounded relative error
+// (~1/32 per bucket), supporting fast Record() on the data plane and
+// percentile queries for reporting.
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snap {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void RecordN(int64_t value, int64_t count);
+
+  // Merge another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  double Sum() const { return sum_; }
+
+  // Value at percentile p in [0, 100]. Returns an upper bound of the bucket
+  // containing the requested rank (standard HDR convention).
+  int64_t Percentile(double p) const;
+
+  int64_t P50() const { return Percentile(50); }
+  int64_t P90() const { return Percentile(90); }
+  int64_t P99() const { return Percentile(99); }
+  int64_t P999() const { return Percentile(99.9); }
+
+  // Human-readable one-line summary, values interpreted as nanoseconds.
+  std::string SummaryNs() const;
+
+ private:
+  // 32 linear sub-buckets per power-of-two magnitude.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMagnitudes = 64 - kSubBucketBits;
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_STATS_HISTOGRAM_H_

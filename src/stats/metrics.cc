@@ -1,0 +1,54 @@
+#include "src/stats/metrics.h"
+
+#include <algorithm>
+
+namespace snap {
+
+void RateSeries::Sample(SimTime now, int64_t cumulative) {
+  if (!started_) {
+    started_ = true;
+    window_start_ = now;
+    last_count_ = cumulative;
+    return;
+  }
+  while (now >= window_start_ + window_) {
+    // Close the current window. We attribute all the delta to the closing
+    // window; sub-window interpolation is unnecessary for dashboards.
+    double delta = static_cast<double>(cumulative - last_count_);
+    rates_.push_back(delta / ToSec(window_));
+    last_count_ = cumulative;
+    window_start_ += window_;
+  }
+}
+
+double RateSeries::MaxRate() const {
+  if (rates_.empty()) {
+    return 0;
+  }
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+double RateSeries::MeanRate() const {
+  if (rates_.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (double r : rates_) {
+    sum += r;
+  }
+  return sum / static_cast<double>(rates_.size());
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter.value();
+  }
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,93 @@
+// Lightweight logging and assertion macros. Severity-filtered stderr logging
+// plus CHECK macros that abort with file:line context. Data-plane code keeps
+// logging out of hot paths; CHECKs guard invariants that must never break.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace snap {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum severity; messages below it are dropped. Default: kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log statement is disabled.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace snap
+
+#define SNAP_LOG_SEVERITY_DEBUG ::snap::LogSeverity::kDebug
+#define SNAP_LOG_SEVERITY_INFO ::snap::LogSeverity::kInfo
+#define SNAP_LOG_SEVERITY_WARNING ::snap::LogSeverity::kWarning
+#define SNAP_LOG_SEVERITY_ERROR ::snap::LogSeverity::kError
+#define SNAP_LOG_SEVERITY_FATAL ::snap::LogSeverity::kFatal
+
+#define SNAP_LOG(severity)                                             \
+  (SNAP_LOG_SEVERITY_##severity < ::snap::MinLogSeverity())            \
+      ? (void)0                                                        \
+      : ::snap::LogMessageVoidify() &                                  \
+            ::snap::LogMessage(SNAP_LOG_SEVERITY_##severity, __FILE__, \
+                               __LINE__)                               \
+                .stream()
+
+#define SNAP_CHECK(cond)                                                      \
+  (cond) ? (void)0                                                           \
+         : ::snap::LogMessageVoidify() &                                     \
+               ::snap::LogMessage(::snap::LogSeverity::kFatal, __FILE__,     \
+                                  __LINE__)                                  \
+                   .stream()                                                 \
+               << "Check failed: " #cond " "
+
+#define SNAP_CHECK_OP(op, a, b)                                            \
+  ((a)op(b)) ? (void)0                                                     \
+             : ::snap::LogMessageVoidify() &                               \
+                   ::snap::LogMessage(::snap::LogSeverity::kFatal,         \
+                                      __FILE__, __LINE__)                  \
+                       .stream()                                           \
+                   << "Check failed: " #a " " #op " " #b " (" << (a)       \
+                   << " vs " << (b) << ") "
+
+#define SNAP_CHECK_EQ(a, b) SNAP_CHECK_OP(==, a, b)
+#define SNAP_CHECK_NE(a, b) SNAP_CHECK_OP(!=, a, b)
+#define SNAP_CHECK_LT(a, b) SNAP_CHECK_OP(<, a, b)
+#define SNAP_CHECK_LE(a, b) SNAP_CHECK_OP(<=, a, b)
+#define SNAP_CHECK_GT(a, b) SNAP_CHECK_OP(>, a, b)
+#define SNAP_CHECK_GE(a, b) SNAP_CHECK_OP(>=, a, b)
+
+#define SNAP_CHECK_OK(expr)                                    \
+  do {                                                         \
+    ::snap::Status _st = (expr);                               \
+    SNAP_CHECK(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,180 @@
+// Minimal Status / StatusOr error-propagation types, in the style of
+// absl::Status. Used throughout the Snap reproduction instead of exceptions:
+// data-plane code must never throw, and control-plane errors are values.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace snap {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kNotFound = 5,
+  kAlreadyExists = 6,
+  kPermissionDenied = 7,
+  kResourceExhausted = 8,
+  kFailedPrecondition = 9,
+  kAborted = 10,
+  kOutOfRange = 11,
+  kUnimplemented = 12,
+  kInternal = 13,
+  kUnavailable = 14,
+};
+
+std::string_view StatusCodeToString(StatusCode code);
+
+// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDeniedError(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status AbortedError(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status CancelledError(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+
+// A value or an error. Accessing value() on an error aborts, mirroring
+// absl::StatusOr's CHECK semantics.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : rep_(value) {}                   // NOLINT
+  StatusOr(T&& value) : rep_(std::move(value)) {}             // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {}        // NOLINT
+  StatusOr(StatusCode code, std::string msg)
+      : rep_(Status(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<Status, T> rep_;
+};
+
+[[noreturn]] void StatusOrValueAbort(const Status& status);
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) {
+    StatusOrValueAbort(std::get<Status>(rep_));
+  }
+}
+
+#define SNAP_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::snap::Status _st = (expr);          \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+#define SNAP_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) {                                  \
+    return var.status();                            \
+  }                                                 \
+  lhs = std::move(var).value()
+
+#define SNAP_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SNAP_ASSIGN_OR_RETURN_NAME(x, y) SNAP_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define SNAP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SNAP_ASSIGN_OR_RETURN_IMPL(             \
+      SNAP_ASSIGN_OR_RETURN_NAME(_statusor_, __LINE__), lhs, rexpr)
+
+}  // namespace snap
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,34 @@
+// Simulated-time units. All simulation time is int64 nanoseconds; these
+// helpers keep magnitudes readable at call sites (e.g. `5 * kUsec`).
+#ifndef SRC_UTIL_TIME_TYPES_H_
+#define SRC_UTIL_TIME_TYPES_H_
+
+#include <cstdint>
+
+namespace snap {
+
+// Absolute simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+// A span of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNsec = 1;
+inline constexpr SimDuration kUsec = 1000;
+inline constexpr SimDuration kMsec = 1000 * kUsec;
+inline constexpr SimDuration kSec = 1000 * kMsec;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+inline constexpr double ToUsec(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kUsec);
+}
+inline constexpr double ToMsec(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMsec);
+}
+inline constexpr double ToSec(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSec);
+}
+
+}  // namespace snap
+
+#endif  // SRC_UTIL_TIME_TYPES_H_

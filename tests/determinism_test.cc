@@ -1,0 +1,138 @@
+// System-level properties:
+//  - determinism: identical seeds produce bit-identical end-to-end results
+//    (the property transparent-upgrade debugging and CI depend on);
+//  - packet conservation: every packet transmitted is delivered or
+//    accounted to exactly one drop counter;
+//  - message conservation under loss: bytes delivered to applications
+//    never exceed bytes submitted, and eventually match them.
+#include <gtest/gtest.h>
+
+#include "src/apps/pony_apps.h"
+#include "src/apps/simhost.h"
+
+namespace snap {
+namespace {
+
+struct RunOutcome {
+  int64_t bytes_received = 0;
+  int64_t tx_packets = 0;
+  int64_t rx_packets = 0;
+  int64_t retransmits = 0;
+  int64_t snap_cpu = 0;
+  int64_t prober_p99 = 0;
+
+  bool operator==(const RunOutcome& other) const {
+    return bytes_received == other.bytes_received &&
+           tx_packets == other.tx_packets &&
+           rx_packets == other.rx_packets &&
+           retransmits == other.retransmits &&
+           snap_cpu == other.snap_cpu && prober_p99 == other.prober_p99;
+  }
+};
+
+RunOutcome RunWorkload(uint64_t seed, double drop_probability) {
+  Simulator sim(seed);
+  Fabric fabric(&sim, NicParams{});
+  fabric.set_random_drop_probability(drop_probability);
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kCompactingEngines;
+  SimHost a(&sim, &fabric, &directory, options);
+  SimHost b(&sim, &fabric, &directory, options);
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+  PonyEngine* eb = b.CreatePonyEngine("eb");
+  auto ca = a.CreateClient(ea, "appA");
+  auto cb = b.CreateClient(eb, "appB");
+
+  PonyStreamReceiverTask receiver("rx", b.cpu(), cb.get());
+  receiver.Start();
+  PonyStreamSenderTask::Options so;
+  so.peer = eb->address();
+  so.message_bytes = 16 * 1024;
+  so.num_streams = 4;
+  PonyStreamSenderTask sender("tx", a.cpu(), ca.get(), so);
+  sender.Start();
+  PonyEchoServerTask echo("echo", b.cpu(), cb.get());
+  sim.RunFor(40 * kMsec);
+
+  RunOutcome outcome;
+  outcome.bytes_received = receiver.bytes_received();
+  outcome.tx_packets = ea->stats().tx_packets;
+  outcome.rx_packets = eb->stats().rx_packets;
+  Flow* flow = ea->FindFlow(eb->address());
+  outcome.retransmits = flow == nullptr ? 0 : flow->stats().retransmits;
+  outcome.snap_cpu = a.SnapCpuNs() + b.SnapCpuNs();
+  return outcome;
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalOutcomes) {
+  RunOutcome first = RunWorkload(1234, 0.0);
+  RunOutcome second = RunWorkload(1234, 0.0);
+  EXPECT_TRUE(first == second);
+  EXPECT_GT(first.bytes_received, 0);
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalUnderLoss) {
+  RunOutcome first = RunWorkload(99, 0.03);
+  RunOutcome second = RunWorkload(99, 0.03);
+  EXPECT_TRUE(first == second);
+  EXPECT_GT(first.retransmits, 0);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Loss patterns differ, so retransmit counts almost surely differ.
+  RunOutcome a = RunWorkload(1, 0.05);
+  RunOutcome b = RunWorkload(2, 0.05);
+  EXPECT_FALSE(a == b);
+}
+
+// Conservation: every transmitted packet is delivered or counted dropped.
+class ConservationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConservationTest, PacketsNeverVanish) {
+  double drop_probability = GetParam();
+  Simulator sim(7);
+  Fabric fabric(&sim, NicParams{});
+  fabric.set_random_drop_probability(drop_probability);
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  SimHost a(&sim, &fabric, &directory, options);
+  SimHost b(&sim, &fabric, &directory, options);
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+  PonyEngine* eb = b.CreatePonyEngine("eb");
+  auto ca = a.CreateClient(ea, "appA");
+  auto cb = b.CreateClient(eb, "appB");
+  PonyStreamReceiverTask receiver("rx", b.cpu(), cb.get());
+  receiver.Start();
+  PonyStreamSenderTask::Options so;
+  so.peer = eb->address();
+  so.message_bytes = 8 * 1024;
+  PonyStreamSenderTask sender("tx", a.cpu(), ca.get(), so);
+  sender.Start();
+  sim.RunFor(30 * kMsec);
+
+  // Fabric-level conservation.
+  const Fabric::Stats& fs = fabric.stats();
+  int64_t wire_tx =
+      a.nic()->stats().tx_packets + b.nic()->stats().tx_packets;
+  int64_t wire_rx =
+      a.nic()->stats().rx_packets + b.nic()->stats().rx_packets;
+  // Packets still in flight at the cut are bounded by ring sizes.
+  int64_t accounted = wire_rx + fs.dropped_random + fs.dropped_queue_full +
+                      fs.dropped_bad_address;
+  EXPECT_GE(wire_tx, accounted - 8);
+  EXPECT_LE(wire_tx - accounted, 2048);
+  if (drop_probability > 0) {
+    EXPECT_GT(fs.dropped_random, 0);
+  }
+  // Application-level: never deliver more than was submitted.
+  EXPECT_LE(receiver.bytes_received(), sender.bytes_submitted());
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, ConservationTest,
+                         ::testing::Values(0.0, 0.01, 0.1));
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,309 @@
+// Flow-layer unit tests: sequencing, acks, dedup, fast retransmit, RTO,
+// pacing, credits, and state serialization — exercised directly, without
+// engines or a fabric.
+#include <gtest/gtest.h>
+
+#include "src/pony/flow.h"
+
+namespace snap {
+namespace {
+
+class FlowTest : public ::testing::Test {
+ protected:
+  FlowTest()
+      : key_{1, 10},
+        flow_(key_, 0, 5, 2, TimelyParams{}, &params_) {}
+
+  TxRecord DataRecord(int payload = 1000, bool credit = true) {
+    TxRecord rec;
+    rec.header.type = PonyPacketType::kData;
+    rec.header.op_id = 1;
+    rec.header.msg_length = static_cast<uint32_t>(payload);
+    rec.payload_bytes = payload;
+    rec.uses_credit = credit;
+    return rec;
+  }
+
+  // Builds an incoming packet as the peer would send it.
+  Packet PeerPacket(uint64_t seq, uint64_t ack,
+                    PonyPacketType type = PonyPacketType::kData) {
+    Packet p;
+    p.src_host = 1;
+    p.pony.version = 2;
+    p.pony.flow_id = (10ull << 32) | 5ull;  // peer engine 10 -> us (5)
+    p.pony.seq = seq;
+    p.pony.ack = ack;
+    p.pony.type = type;
+    p.pony.tx_timestamp = type == PonyPacketType::kData ? 1000 : 0;
+    p.payload_bytes = 100;
+    p.wire_bytes = 164;
+    return p;
+  }
+
+  PonyParams params_;
+  FlowKey key_;
+  Flow flow_;
+};
+
+TEST_F(FlowTest, AssignsMonotonicSequenceNumbers) {
+  flow_.QueueTx(DataRecord());
+  flow_.QueueTx(DataRecord());
+  PacketPtr p1 = flow_.BuildNextPacket(0);
+  PacketPtr p2 = flow_.BuildNextPacket(1 * kMsec);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p1->pony.seq, 1u);
+  EXPECT_EQ(p2->pony.seq, 2u);
+  EXPECT_EQ(p1->pony.flow_id, (5ull << 32) | 10ull);
+  EXPECT_EQ(p1->dst_host, 1);
+  EXPECT_EQ(p1->steering_hash, 10u);
+}
+
+TEST_F(FlowTest, NothingToSendReturnsNull) {
+  EXPECT_EQ(flow_.BuildNextPacket(0), nullptr);
+  EXPECT_FALSE(flow_.CanSend(0));
+  EXPECT_EQ(flow_.NextSendTime(), kSimTimeNever);
+}
+
+TEST_F(FlowTest, CumulativeAckClearsUnacked) {
+  for (int i = 0; i < 3; ++i) {
+    flow_.QueueTx(DataRecord());
+    flow_.BuildNextPacket(i * 10 * kUsec);
+  }
+  EXPECT_EQ(flow_.unacked_packets(), 3u);
+  flow_.OnReceive(PeerPacket(0, 2, PonyPacketType::kAck), 100 * kUsec);
+  EXPECT_EQ(flow_.unacked_packets(), 1u);
+  flow_.OnReceive(PeerPacket(0, 3, PonyPacketType::kAck), 110 * kUsec);
+  EXPECT_EQ(flow_.unacked_packets(), 0u);
+}
+
+TEST_F(FlowTest, AckObserverFiresPerAckedPacket) {
+  int observed = 0;
+  flow_.set_ack_observer([&observed](const TxRecord&) { ++observed; });
+  for (int i = 0; i < 5; ++i) {
+    flow_.QueueTx(DataRecord());
+    flow_.BuildNextPacket(i * 10 * kUsec);
+  }
+  flow_.OnReceive(PeerPacket(0, 5, PonyPacketType::kAck), 1 * kMsec);
+  EXPECT_EQ(observed, 5);
+}
+
+TEST_F(FlowTest, InOrderReceiveDelivers) {
+  Flow::RxResult r = flow_.OnReceive(PeerPacket(1, 0), 0);
+  EXPECT_TRUE(r.deliver);
+  EXPECT_FALSE(r.duplicate);
+  r = flow_.OnReceive(PeerPacket(2, 0), 1000);
+  EXPECT_TRUE(r.deliver);
+}
+
+TEST_F(FlowTest, DuplicatesSuppressedButReacked) {
+  flow_.OnReceive(PeerPacket(1, 0), 0);
+  Flow::RxResult r = flow_.OnReceive(PeerPacket(1, 0), 1000);
+  EXPECT_TRUE(r.duplicate);
+  EXPECT_FALSE(r.deliver);
+  EXPECT_TRUE(flow_.ack_pending());  // immediate re-ack for dup
+  EXPECT_EQ(flow_.stats().duplicates_received, 1);
+}
+
+TEST_F(FlowTest, OutOfOrderDeliveredToUpperLayerAndAcked) {
+  // The lower layer delivers individual packets; reassembly is the upper
+  // layer's job (Section 3.1).
+  Flow::RxResult r = flow_.OnReceive(PeerPacket(3, 0), 0);
+  EXPECT_TRUE(r.deliver);
+  EXPECT_TRUE(flow_.ack_pending());  // dup-ack signal
+  // Cumulative ack still reflects only in-order delivery.
+  flow_.QueueTx(DataRecord());
+  PacketPtr p = flow_.BuildNextPacket(1000);
+  EXPECT_EQ(p->pony.ack, 0u);
+  // Filling the hole advances the cumulative ack past both.
+  flow_.OnReceive(PeerPacket(1, 0), 2000);
+  flow_.OnReceive(PeerPacket(2, 0), 3000);
+  flow_.QueueTx(DataRecord());
+  p = flow_.BuildNextPacket(2 * kMsec);
+  EXPECT_EQ(p->pony.ack, 3u);
+}
+
+TEST_F(FlowTest, ThreeDupAcksTriggerFastRetransmit) {
+  for (int i = 0; i < 4; ++i) {
+    flow_.QueueTx(DataRecord());
+    flow_.BuildNextPacket(i * 10 * kUsec);
+  }
+  // Peer acks nothing (seq 1 lost) three times.
+  for (int i = 0; i < 3; ++i) {
+    flow_.OnReceive(PeerPacket(0, 0, PonyPacketType::kAck),
+                    200 * kUsec + i * 1000);
+  }
+  // The missing packet (seq 1) is queued for retransmission.
+  PacketPtr p = flow_.BuildNextPacket(300 * kUsec);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->pony.seq, 1u);
+  EXPECT_EQ(flow_.stats().retransmits, 1);
+}
+
+TEST_F(FlowTest, RtoRetransmitsAndBacksOffRate) {
+  flow_.QueueTx(DataRecord());
+  flow_.BuildNextPacket(0);
+  double rate_before = flow_.timely().rate_bytes_per_sec();
+  EXPECT_EQ(flow_.rto_deadline(), params_.min_rto);
+  EXPECT_FALSE(flow_.OnTimerCheck(params_.min_rto - 1));
+  EXPECT_TRUE(flow_.OnTimerCheck(params_.min_rto + 1));
+  EXPECT_EQ(flow_.stats().rto_events, 1);
+  EXPECT_LT(flow_.timely().rate_bytes_per_sec(), rate_before);
+  PacketPtr p = flow_.BuildNextPacket(params_.min_rto + 2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->pony.seq, 1u);
+}
+
+TEST_F(FlowTest, PacingSpacesPackets) {
+  flow_.timely().RestoreRate(1e9);  // 1 GB/s -> ~2us per 2kB packet
+  for (int i = 0; i < 64; ++i) {
+    flow_.QueueTx(DataRecord(params_.mtu_payload));
+  }
+  // Prime the pacer, then let deficit accrue over a long idle gap: at one
+  // later instant, only the burst allowance goes out.
+  ASSERT_NE(flow_.BuildNextPacket(0), nullptr);
+  int sent_now = 0;
+  while (flow_.BuildNextPacket(1 * kMsec) != nullptr) {
+    ++sent_now;
+  }
+  EXPECT_LE(sent_now, 17);
+  EXPECT_GT(sent_now, 4);
+  // After the pacing gap, more become sendable.
+  SimTime next = flow_.NextSendTime();
+  ASSERT_NE(next, kSimTimeNever);
+  EXPECT_FALSE(flow_.CanSend(next - 1));
+  EXPECT_TRUE(flow_.CanSend(next));
+}
+
+TEST_F(FlowTest, CreditGatesMessageDataButNotOneSidedOps) {
+  // Exhaust the initial credit with message data.
+  int64_t initial = flow_.credit();
+  int sent = 0;
+  while (true) {
+    flow_.QueueTx(DataRecord(params_.mtu_payload, /*credit=*/true));
+    if (flow_.BuildNextPacket(sent * kMsec) == nullptr) {
+      break;
+    }
+    ++sent;
+  }
+  EXPECT_NEAR(static_cast<double>(sent),
+              static_cast<double>(initial) / params_.mtu_payload, 2);
+  EXPECT_FALSE(flow_.CanSend(kSec));
+  // One-sided ops bypass credit (Section 3.3): they still go out. The
+  // credit-starved message stays queued behind... so use a fresh flow.
+  Flow flow2(key_, 0, 5, 2, TimelyParams{}, &params_);
+  int i2 = 0;
+  while (flow2.credit() >= params_.mtu_payload) {
+    flow2.QueueTx(DataRecord(params_.mtu_payload, true));
+    ASSERT_NE(flow2.BuildNextPacket(kSec + (++i2) * kMsec), nullptr);
+  }
+  TxRecord op;
+  op.header.type = PonyPacketType::kOpRequest;
+  op.header.op = PonyOpCode::kRead;
+  op.payload_bytes = 0;
+  op.uses_credit = false;
+  flow2.QueueTx(std::move(op));
+  PacketPtr op_packet = flow2.BuildNextPacket(kSec + (i2 + 1) * kMsec);
+  ASSERT_NE(op_packet, nullptr);
+  EXPECT_EQ(op_packet->pony.type, PonyPacketType::kOpRequest);
+}
+
+TEST_F(FlowTest, CreditGrantRestoresSending) {
+  // Drain credit (advance time so pacing never gates the drain).
+  int i = 0;
+  while (flow_.credit() >= params_.mtu_payload) {
+    flow_.QueueTx(DataRecord(params_.mtu_payload, true));
+    ASSERT_NE(flow_.BuildNextPacket(kSec + (++i) * kMsec), nullptr);
+  }
+  flow_.QueueTx(DataRecord(params_.mtu_payload, true));
+  EXPECT_FALSE(flow_.CanSend(2 * kSec));
+  // Peer grants credit.
+  Packet grant = PeerPacket(0, 0, PonyPacketType::kCredit);
+  grant.pony.credit = 64 * 1024;
+  flow_.OnReceive(grant, 2 * kSec);
+  EXPECT_TRUE(flow_.CanSend(2 * kSec));
+}
+
+TEST_F(FlowTest, ReceiverGrantsAfterDeliveryThreshold) {
+  flow_.NoteDelivered(10 * 1024);
+  EXPECT_EQ(flow_.MaybeBuildCreditGrant(0), nullptr);  // below threshold
+  flow_.NoteDelivered(30 * 1024);
+  PacketPtr grant = flow_.MaybeBuildCreditGrant(0);
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(grant->pony.type, PonyPacketType::kCredit);
+  EXPECT_EQ(grant->pony.credit, 40u * 1024u);
+}
+
+TEST_F(FlowTest, AckCoalescingEveryEighthOrDeadline) {
+  // 7 packets: no ack owed yet (but a deadline exists).
+  for (int i = 1; i <= 7; ++i) {
+    flow_.OnReceive(PeerPacket(static_cast<uint64_t>(i), 0), i * 1000);
+  }
+  EXPECT_FALSE(flow_.ack_pending());
+  EXPECT_NE(flow_.AckDeadline(), kSimTimeNever);
+  EXPECT_EQ(flow_.MaybeBuildAck(8000), nullptr);  // before deadline
+  // Eighth packet forces the ack.
+  flow_.OnReceive(PeerPacket(8, 0), 8000);
+  EXPECT_TRUE(flow_.ack_pending());
+  PacketPtr ack = flow_.MaybeBuildAck(9000);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->pony.ack, 8u);
+  EXPECT_EQ(flow_.stats().acks_sent, 1);
+  // Lone packet: the delayed-ack deadline forces one out.
+  flow_.OnReceive(PeerPacket(9, 0), 10000);
+  EXPECT_EQ(flow_.MaybeBuildAck(11000), nullptr);
+  PacketPtr late = flow_.MaybeBuildAck(10000 + 25 * kUsec);
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->pony.ack, 9u);
+}
+
+TEST_F(FlowTest, RttSamplesFeedTimely) {
+  flow_.QueueTx(DataRecord());
+  flow_.BuildNextPacket(0);
+  Packet ack = PeerPacket(0, 1, PonyPacketType::kAck);
+  ack.pony.ts_echo = 0;  // force the software-timestamp fallback
+  flow_.OnReceive(ack, 30 * kUsec);
+  EXPECT_EQ(flow_.stats().rtt_samples, 1);
+  EXPECT_EQ(flow_.timely().last_rtt(), 30 * kUsec);
+}
+
+TEST_F(FlowTest, SerializeDeserializeRoundTrip) {
+  // Build up nontrivial state: some sent, some queued, some received.
+  for (int i = 0; i < 5; ++i) {
+    flow_.QueueTx(DataRecord(500));
+  }
+  flow_.BuildNextPacket(0);
+  flow_.BuildNextPacket(10 * kUsec);
+  // Peer packets carry ack=0 so both of our sent packets stay unacked.
+  flow_.OnReceive(PeerPacket(1, 0), 50 * kUsec);
+  flow_.OnReceive(PeerPacket(3, 0), 60 * kUsec);  // out of order
+  flow_.timely().RestoreRate(3.3e9);
+  flow_.NoteDelivered(1000);
+
+  StateWriter w;
+  flow_.Serialize(&w);
+  StateReader r(w.buffer());
+  Flow restored = Flow::Deserialize(&r, 0, 5, TimelyParams{}, &params_);
+  EXPECT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.key(), key_);
+  EXPECT_EQ(restored.wire_version(), 2);
+  EXPECT_DOUBLE_EQ(restored.timely().rate_bytes_per_sec(), 3.3e9);
+  EXPECT_EQ(restored.credit(), flow_.credit());
+  // In-flight packets are queued for retransmission in the new engine.
+  EXPECT_EQ(restored.unacked_packets(), 2u);
+  PacketPtr retx = restored.BuildNextPacket(kSec);
+  ASSERT_NE(retx, nullptr);
+  EXPECT_EQ(retx->pony.seq, 1u);
+  // Receive state is preserved: a duplicate of seq 1 is recognized.
+  Flow::RxResult rx = restored.OnReceive(PeerPacket(1, 0), kSec);
+  EXPECT_TRUE(rx.duplicate);
+  // The out-of-order seq 3 is remembered too.
+  rx = restored.OnReceive(PeerPacket(3, 0), kSec);
+  EXPECT_TRUE(rx.duplicate);
+  rx = restored.OnReceive(PeerPacket(2, 0), kSec);
+  EXPECT_TRUE(rx.deliver);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/stats/histogram.h"
+#include "src/stats/metrics.h"
+#include "src/util/rng.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.Mean(), 1000);
+  // Bucketed value has bounded relative error.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 1000.0, 1000.0 / 16);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  // Values below the sub-bucket count are stored exactly.
+  Histogram h;
+  for (int i = 0; i <= 31; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+  EXPECT_EQ(h.Percentile(100), 31);
+}
+
+TEST(HistogramTest, PercentilesOfUniformDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Record(i);
+  }
+  // Each percentile lands within one bucket width (~3%) of truth.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 5000, 5000 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.P90()), 9000, 9000 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 9900, 9900 * 0.04);
+}
+
+TEST(HistogramTest, PercentileMonotonicity) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(1000000)));
+  }
+  int64_t prev = 0;
+  for (double p = 0; p <= 100; p += 0.5) {
+    int64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "at percentile " << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-500);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, RecordNMultiplies) {
+  Histogram h;
+  h.RecordN(100, 50);
+  EXPECT_EQ(h.count(), 50);
+  EXPECT_EQ(h.Mean(), 100);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000000);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(INT64_MAX / 2);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GE(h.Percentile(100), INT64_MAX / 4);
+}
+
+// Property: for many random datasets, histogram percentile approximates the
+// true percentile within the bucket's relative-error budget.
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, ApproximatesTruePercentiles) {
+  Rng rng(GetParam());
+  Histogram h;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = static_cast<int64_t>(
+        rng.NextExponential(50000.0));  // latency-like distribution
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    size_t index = std::min(
+        values.size() - 1,
+        static_cast<size_t>(p / 100.0 * static_cast<double>(values.size())));
+    double truth = static_cast<double>(values[index]);
+    double est = static_cast<double>(h.Percentile(p));
+    EXPECT_NEAR(est, truth, std::max(32.0, truth * 0.05))
+        << "p" << p << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- RateSeries -----------------------------------------------------------
+
+TEST(RateSeriesTest, EmitsOneRatePerWindow) {
+  RateSeries series(1 * kMsec);
+  series.Sample(0, 0);
+  series.Sample(1 * kMsec, 1000);
+  series.Sample(2 * kMsec, 3000);
+  ASSERT_EQ(series.rates_per_sec().size(), 2u);
+  EXPECT_NEAR(series.rates_per_sec()[0], 1e6, 1);     // 1000 per ms
+  EXPECT_NEAR(series.rates_per_sec()[1], 2e6, 1);
+  EXPECT_NEAR(series.MaxRate(), 2e6, 1);
+  EXPECT_NEAR(series.MeanRate(), 1.5e6, 1);
+}
+
+TEST(RateSeriesTest, SkippedWindowsCountAsBursts) {
+  RateSeries series(1 * kMsec);
+  series.Sample(0, 0);
+  // Jump three windows at once: delta attributed to the first closing
+  // window, then two zero windows.
+  series.Sample(3 * kMsec, 900);
+  ASSERT_EQ(series.rates_per_sec().size(), 3u);
+  EXPECT_NEAR(series.rates_per_sec()[0], 9e5, 1);
+  EXPECT_NEAR(series.rates_per_sec()[1], 0, 1);
+}
+
+TEST(MetricRegistryTest, CountersByName) {
+  MetricRegistry registry;
+  registry.GetCounter("rx")->Add(5);
+  registry.GetCounter("rx")->Increment();
+  registry.GetCounter("tx")->Add(2);
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot["rx"], 6);
+  EXPECT_EQ(snapshot["tx"], 2);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,246 @@
+// Cross-module integration tests: Snap and kernel TCP sharing hosts,
+// wire-version negotiation fallback, multi-client engines, control plane
+// surface, scheduling-mode latency ordering, and antagonist interference
+// (the qualitative claims of Sections 5.2-5.3).
+#include <gtest/gtest.h>
+
+#include "src/apps/pony_apps.h"
+#include "src/apps/simhost.h"
+#include "src/apps/tcp_apps.h"
+#include "src/sim/antagonist.h"
+
+namespace snap {
+namespace {
+
+SimHostOptions DedicatedOptions() {
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  return options;
+}
+
+TEST(IntegrationTest, PonyAndTcpShareHostsAndFabric) {
+  Simulator sim(51);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHost a(&sim, &fabric, &directory, DedicatedOptions());
+  SimHost b(&sim, &fabric, &directory, DedicatedOptions());
+
+  // Kernel TCP stream and Pony messaging at the same time on one NIC.
+  TcpStreamReceiverTask tcp_rx("tcp_rx", b.cpu(), b.kstack(), 5001);
+  tcp_rx.Start();
+  TcpStreamSenderTask::Options tcp_options;
+  tcp_options.dst_host = b.host_id();
+  TcpStreamSenderTask tcp_tx("tcp_tx", a.cpu(), a.kstack(), tcp_options);
+  tcp_tx.Start();
+
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+  PonyEngine* eb = b.CreatePonyEngine("eb");
+  auto ca = a.CreateClient(ea, "appA");
+  auto cb = b.CreateClient(eb, "appB");
+  PonyStreamReceiverTask pony_rx("pony_rx", b.cpu(), cb.get());
+  pony_rx.Start();
+  PonyStreamSenderTask::Options pony_options;
+  pony_options.peer = eb->address();
+  PonyStreamSenderTask pony_tx("pony_tx", a.cpu(), ca.get(), pony_options);
+  pony_tx.Start();
+
+  sim.RunFor(50 * kMsec);
+  // Both stacks made progress; steering kept them apart.
+  EXPECT_GT(tcp_rx.bytes_received(), 10 << 20);
+  EXPECT_GT(pony_rx.bytes_received(), 10 << 20);
+  EXPECT_EQ(eb->stats().crc_drops, 0);
+}
+
+TEST(IntegrationTest, WireVersionNegotiationFallsBackToV1) {
+  Simulator sim(52);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHost a(&sim, &fabric, &directory, DedicatedOptions());
+  SimHost b(&sim, &fabric, &directory, DedicatedOptions());
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+  PonyEngine* eb = b.CreatePonyEngine("eb");
+  // The peer only speaks v1 (an older release still in the fleet).
+  eb->SetWireVersions(1, 1);
+  auto ca = a.CreateClient(ea, "appA");
+  auto cb = b.CreateClient(eb, "appB");
+
+  CpuCostSink cost;
+  uint64_t stream = ca->CreateStream(eb->address());
+  ca->SendMessage(eb->address(), stream, 0, {5, 5, 5}, &cost);
+  sim.RunFor(10 * kMsec);
+  auto msg = cb->PollMessage(&cost);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->data, (std::vector<uint8_t>{5, 5, 5}));
+  // The flow negotiated down to v1 (no hardware timestamps); RTT samples
+  // still flow via the software fallback.
+  Flow* flow = ea->FindFlow(eb->address());
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->wire_version(), 1);
+  EXPECT_GT(flow->stats().rtt_samples, 0);
+}
+
+TEST(IntegrationTest, TwoClientsOnOneEngineAreDemuxedByStream) {
+  Simulator sim(53);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHost a(&sim, &fabric, &directory, DedicatedOptions());
+  SimHost b(&sim, &fabric, &directory, DedicatedOptions());
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+  PonyEngine* eb = b.CreatePonyEngine("eb");
+  // Two applications sharing one engine on host A (Section 3.1: "use a
+  // set of pre-loaded shared engines").
+  auto app1 = a.CreateClient(ea, "app1");
+  auto app2 = a.CreateClient(ea, "app2");
+  auto server = b.CreateClient(eb, "server");
+
+  PonyEchoServerTask echo("echo", b.cpu(), server.get());
+  echo.Start();
+  CpuCostSink cost;
+  uint64_t s1 = app1->CreateStream(eb->address());
+  uint64_t s2 = app2->CreateStream(eb->address());
+  app1->SendMessage(eb->address(), s1, 0, {1}, &cost);
+  app2->SendMessage(eb->address(), s2, 0, {2}, &cost);
+  sim.RunFor(20 * kMsec);
+
+  // Echoes come back on the right client's stream.
+  auto m1 = app1->PollMessage(&cost);
+  auto m2 = app2->PollMessage(&cost);
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m1->stream_id, s1);
+  EXPECT_EQ(m2->stream_id, s2);
+  // No crossover.
+  EXPECT_FALSE(app1->PollMessage(&cost).has_value());
+  EXPECT_FALSE(app2->PollMessage(&cost).has_value());
+}
+
+TEST(IntegrationTest, ControlPlaneRejectsBadRequests) {
+  Simulator sim(54);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHost a(&sim, &fabric, &directory, DedicatedOptions());
+  auto result = a.snap()->CreateEngine("nonexistent_module", "e", "default");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  result = a.snap()->CreateEngine("pony", "e", "nonexistent_group");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  result = a.snap()->CreateEngine("pony", "e", "default");
+  ASSERT_TRUE(result.ok());
+  result = a.snap()->CreateEngine("pony", "e", "default");
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(IntegrationTest, MailboxControlActionRunsOnEngineThread) {
+  Simulator sim(55);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHost a(&sim, &fabric, &directory, DedicatedOptions());
+  PonyEngine* engine = a.CreatePonyEngine("e");
+  sim.RunFor(1 * kMsec);
+  // Post a control action (e.g. a policy update) through the instance.
+  bool ran = false;
+  a.snap()->PostToEngine(engine, [&ran] { ran = true; });
+  sim.RunFor(1 * kMsec);
+  EXPECT_TRUE(ran);
+}
+
+// Scheduling-mode latency ordering under idle conditions (Figure 7(a)
+// mechanism): a spin-polling mode dodges C-state exit latency; a blocking
+// mode pays it.
+TEST(IntegrationTest, SpinPollingAvoidsCStateLatencyAtLowQps) {
+  auto run = [&](SchedulingMode mode) {
+    Simulator sim(56);
+    Fabric fabric(&sim, NicParams{});
+    PonyDirectory directory;
+    SimHostOptions options;
+    options.group.mode = mode;
+    options.group.dedicated_cores = {0};
+    SimHost a(&sim, &fabric, &directory, options);
+    SimHost b(&sim, &fabric, &directory, options);
+    PonyEngine* ea = a.CreatePonyEngine("ea");
+    PonyEngine* eb = b.CreatePonyEngine("eb");
+    auto ca = a.CreateClient(ea, "appA");
+    auto cb = b.CreateClient(eb, "appB");
+    uint64_t region = cb->RegisterRegion(4096, false);
+    // Low QPS one-sided pings: 1 per ms, enough idle time for deep
+    // C-states on blocking designs. Client app spins (isolates transport
+    // wakeup, Section 5.3).
+    PonyPingTask::Options ping_options;
+    ping_options.peer = eb->address();
+    ping_options.one_sided = true;
+    ping_options.region_id = region;
+    ping_options.spin = true;
+    ping_options.iterations = 1;
+    Histogram latency;
+    for (int i = 0; i < 50; ++i) {
+      PonyPingTask ping("ping" + std::to_string(i), a.cpu(), ca.get(),
+                        ping_options);
+      ping.Start();
+      sim.RunFor(1 * kMsec);
+      latency.Merge(ping.latency());
+    }
+    return latency;
+  };
+  Histogram compacting = run(SchedulingMode::kCompactingEngines);
+  Histogram spreading = run(SchedulingMode::kSpreadingEngines);
+  EXPECT_EQ(compacting.count(), 50);
+  EXPECT_EQ(spreading.count(), 50);
+  // Spreading blocks between pings -> C-state exits inflate latency;
+  // compacting's primary spins and dodges them.
+  EXPECT_GT(spreading.Mean(), compacting.Mean() * 1.5);
+}
+
+// Figure 7(b) mechanism: a non-preemptible-kernel-section antagonist hurts
+// interrupt-driven (spreading) engines but not a spinning primary that
+// owns its core.
+TEST(IntegrationTest, KernelSectionAntagonistHurtsBlockingModes) {
+  auto run = [&](SchedulingMode mode, bool antagonist) {
+    Simulator sim(57);
+    Fabric fabric(&sim, NicParams{});
+    PonyDirectory directory;
+    SimHostOptions options;
+    options.group.mode = mode;
+    options.group.dedicated_cores = {0};
+    options.cpu.num_cores = 2;  // tight machine: interference is likely
+    SimHost a(&sim, &fabric, &directory, options);
+    SimHost b(&sim, &fabric, &directory, options);
+    PonyEngine* ea = a.CreatePonyEngine("ea");
+    PonyEngine* eb = b.CreatePonyEngine("eb");
+    auto ca = a.CreateClient(ea, "appA");
+    auto cb = b.CreateClient(eb, "appB");
+    uint64_t region = cb->RegisterRegion(4096, false);
+    Rng rng(99);
+    std::vector<std::unique_ptr<KernelSectionTask>> antagonists;
+    if (antagonist) {
+      for (SimHost* h : {&a, &b}) {
+        for (int i = 0; i < 2; ++i) {
+          antagonists.push_back(std::make_unique<KernelSectionTask>(
+              "mmap" + std::to_string(i), h->cpu(), &rng,
+              KernelSectionTask::Options{}));
+          antagonists.back()->Start();
+        }
+      }
+    }
+    PonyPingTask::Options ping_options;
+    ping_options.peer = eb->address();
+    ping_options.one_sided = true;
+    ping_options.region_id = region;
+    ping_options.spin = true;
+    ping_options.iterations = 300;
+    PonyPingTask ping("ping", a.cpu(), ca.get(), ping_options);
+    ping.Start();
+    sim.RunFor(3000 * kMsec);
+    EXPECT_TRUE(ping.done());
+    return ping.latency().P99();
+  };
+  int64_t spreading_clean =
+      run(SchedulingMode::kSpreadingEngines, false);
+  int64_t spreading_antagonized =
+      run(SchedulingMode::kSpreadingEngines, true);
+  // The antagonist's non-preemptible sections visibly inflate the tail of
+  // the interrupt-driven engine.
+  EXPECT_GT(spreading_antagonized, spreading_clean * 2);
+}
+
+}  // namespace
+}  // namespace snap

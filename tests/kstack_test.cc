@@ -1,0 +1,217 @@
+// Kernel TCP stack tests: handshake, data transfer, flow control, loss
+// recovery, busy polling, and accounting — the full baseline substrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/simhost.h"
+#include "src/apps/tcp_apps.h"
+
+namespace snap {
+namespace {
+
+class KstackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<Simulator>(11);
+    fabric_ = std::make_unique<Fabric>(sim_.get(), NicParams{});
+    directory_ = std::make_unique<PonyDirectory>();
+    SimHostOptions options;
+    options.group.mode = SchedulingMode::kDedicatedCores;
+    options.group.dedicated_cores = {7};
+    a_ = std::make_unique<SimHost>(sim_.get(), fabric_.get(),
+                                   directory_.get(), options);
+    b_ = std::make_unique<SimHost>(sim_.get(), fabric_.get(),
+                                   directory_.get(), options);
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<PonyDirectory> directory_;
+  std::unique_ptr<SimHost> a_;
+  std::unique_ptr<SimHost> b_;
+};
+
+TEST_F(KstackTest, HandshakeEstablishesBothEnds) {
+  TcpSocket* accepted = nullptr;
+  b_->kstack()->Listen(80, [&](TcpSocket* s) { accepted = s; });
+  CpuCostSink cost;
+  TcpSocket* client = a_->kstack()->Connect(b_->host_id(), 80, &cost);
+  EXPECT_EQ(client->state(), TcpSocket::State::kConnecting);
+  bool established_cb = false;
+  client->SetEstablishedCallback([&] { established_cb = true; });
+  sim_->RunFor(1 * kMsec);
+  EXPECT_EQ(client->state(), TcpSocket::State::kEstablished);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->state(), TcpSocket::State::kEstablished);
+  EXPECT_TRUE(established_cb);
+  EXPECT_GT(cost.ns, 0);
+}
+
+TEST_F(KstackTest, ConnectToClosedPortGoesNowhere) {
+  CpuCostSink cost;
+  TcpSocket* client = a_->kstack()->Connect(b_->host_id(), 9999, &cost);
+  sim_->RunFor(10 * kMsec);
+  EXPECT_EQ(client->state(), TcpSocket::State::kConnecting);
+}
+
+TEST_F(KstackTest, BytesFlowEndToEnd) {
+  TcpSocket* server_sock = nullptr;
+  b_->kstack()->Listen(80, [&](TcpSocket* s) { server_sock = s; });
+  CpuCostSink cost;
+  TcpSocket* client = a_->kstack()->Connect(b_->host_id(), 80, &cost);
+  sim_->RunFor(1 * kMsec);
+  ASSERT_NE(server_sock, nullptr);
+
+  int64_t sent = client->Send(50000, &cost);
+  EXPECT_GT(sent, 0);
+  sim_->RunFor(5 * kMsec);
+  EXPECT_EQ(server_sock->readable_bytes(), sent);
+  EXPECT_EQ(server_sock->Recv(INT64_MAX / 2, &cost), sent);
+  EXPECT_EQ(server_sock->readable_bytes(), 0);
+}
+
+TEST_F(KstackTest, SendBufferBoundsAcceptedBytes) {
+  TcpSocket* server_sock = nullptr;
+  b_->kstack()->Listen(80, [&](TcpSocket* s) { server_sock = s; });
+  CpuCostSink cost;
+  TcpSocket* client = a_->kstack()->Connect(b_->host_id(), 80, &cost);
+  sim_->RunFor(1 * kMsec);
+  int64_t buffer = a_->options().kernel.socket_buffer_bytes;
+  int64_t sent = client->Send(10 * buffer, &cost);
+  EXPECT_LE(sent, buffer);
+}
+
+TEST_F(KstackTest, ReceiverStallExertsBackpressure) {
+  TcpSocket* server_sock = nullptr;
+  b_->kstack()->Listen(80, [&](TcpSocket* s) { server_sock = s; });
+  CpuCostSink cost;
+  TcpSocket* client = a_->kstack()->Connect(b_->host_id(), 80, &cost);
+  sim_->RunFor(1 * kMsec);
+  // Keep sending without the receiver ever reading.
+  int64_t total_accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    total_accepted += client->Send(64 * 1024, &cost);
+    sim_->RunFor(1 * kMsec);
+  }
+  // Bounded by roughly sndbuf + rwnd, not 6.4MB.
+  int64_t buffer = a_->options().kernel.socket_buffer_bytes;
+  EXPECT_LE(total_accepted, 3 * buffer);
+  // Receiver drains; window reopens; more bytes flow.
+  ASSERT_NE(server_sock, nullptr);
+  int64_t drained = server_sock->Recv(INT64_MAX / 2, &cost);
+  EXPECT_GT(drained, 0);
+  sim_->RunFor(5 * kMsec);
+  EXPECT_GT(client->Send(64 * 1024, &cost), 0);
+}
+
+TEST_F(KstackTest, LossIsRecoveredTransparently) {
+  fabric_->set_random_drop_probability(0.02);
+  TcpSocket* server_sock = nullptr;
+  b_->kstack()->Listen(80, [&](TcpSocket* s) { server_sock = s; });
+  CpuCostSink cost;
+  TcpSocket* client = a_->kstack()->Connect(b_->host_id(), 80, &cost);
+  sim_->RunFor(2 * kMsec);
+  ASSERT_NE(server_sock, nullptr);
+
+  int64_t total_sent = 0;
+  int64_t total_received = 0;
+  for (int i = 0; i < 400; ++i) {
+    total_sent += client->Send(16 * 1024, &cost);
+    sim_->RunFor(500 * kUsec);
+    total_received += server_sock->Recv(INT64_MAX / 2, &cost);
+  }
+  sim_->RunFor(200 * kMsec);
+  total_received += server_sock->Recv(INT64_MAX / 2, &cost);
+  EXPECT_EQ(total_received, total_sent);
+  EXPECT_GT(client->stats().retransmits, 0);
+}
+
+TEST_F(KstackTest, SoftirqCpuIsAttributedToKernelContainer) {
+  TcpStreamReceiverTask rx("rx", b_->cpu(), b_->kstack(), 5001);
+  rx.Start();
+  TcpStreamSenderTask::Options so;
+  so.dst_host = b_->host_id();
+  TcpStreamSenderTask tx("tx", a_->cpu(), a_->kstack(), so);
+  tx.Start();
+  sim_->RunFor(20 * kMsec);
+  EXPECT_GT(rx.bytes_received(), 1 << 20);
+  EXPECT_GT(b_->KernelCpuNs(), 1 * kMsec);
+  EXPECT_GT(b_->AppCpuNs(), 0);
+}
+
+TEST_F(KstackTest, RRLatencyIsTensOfMicroseconds) {
+  TcpRRServerTask::Options so;
+  TcpRRServerTask server("srv", b_->cpu(), b_->kstack(), so);
+  server.Start();
+  TcpRRClientTask::Options co;
+  co.dst_host = b_->host_id();
+  co.iterations = 500;
+  TcpRRClientTask client("cli", a_->cpu(), a_->kstack(), co);
+  client.Start();
+  sim_->RunFor(1000 * kMsec);
+  EXPECT_TRUE(client.done());
+  EXPECT_GT(client.latency().Mean(), 10 * kUsec);
+  EXPECT_LT(client.latency().Mean(), 80 * kUsec);
+}
+
+TEST_F(KstackTest, BusyPollCutsRRLatency) {
+  auto run = [&](bool busy) {
+    Simulator sim(13);
+    Fabric fabric(&sim, NicParams{});
+    PonyDirectory dir;
+    SimHostOptions options;
+    options.group.mode = SchedulingMode::kDedicatedCores;
+    options.group.dedicated_cores = {7};
+    options.kernel.busy_poll = busy;
+    SimHost a(&sim, &fabric, &dir, options);
+    SimHost b(&sim, &fabric, &dir, options);
+    TcpRRServerTask::Options so;
+    so.busy_poll = busy;
+    TcpRRServerTask server("srv", b.cpu(), b.kstack(), so);
+    server.Start();
+    TcpRRClientTask::Options co;
+    co.dst_host = b.host_id();
+    co.iterations = 500;
+    co.busy_poll = busy;
+    TcpRRClientTask client("cli", a.cpu(), a.kstack(), co);
+    client.Start();
+    sim.RunFor(1000 * kMsec);
+    EXPECT_TRUE(client.done());
+    return client.latency().Mean();
+  };
+  double interrupt_mode = run(false);
+  double busy_mode = run(true);
+  EXPECT_LT(busy_mode, interrupt_mode * 0.7)
+      << "busy-polling should cut RR latency substantially";
+}
+
+TEST_F(KstackTest, ManyStreamsDegradeThroughput) {
+  auto run = [&](int streams) {
+    Simulator sim(17);
+    Fabric fabric(&sim, NicParams{});
+    PonyDirectory dir;
+    SimHostOptions options;
+    options.group.mode = SchedulingMode::kDedicatedCores;
+    options.group.dedicated_cores = {7};
+    SimHost a(&sim, &fabric, &dir, options);
+    SimHost b(&sim, &fabric, &dir, options);
+    TcpStreamReceiverTask rx("rx", b.cpu(), b.kstack(), 5001);
+    rx.Start();
+    TcpStreamSenderTask::Options so;
+    so.dst_host = b.host_id();
+    so.num_streams = streams;
+    TcpStreamSenderTask tx("tx", a.cpu(), a.kstack(), so);
+    tx.Start();
+    sim.RunFor(60 * kMsec);
+    return rx.bytes_received() * 8.0 / ToSec(60 * kMsec) / 1e9;
+  };
+  double one = run(1);
+  double many = run(200);
+  // Table 1 shape: 200 streams run at roughly half the single-stream rate.
+  EXPECT_GT(one, 15.0);
+  EXPECT_LT(many, one * 0.75);
+}
+
+}  // namespace
+}  // namespace snap

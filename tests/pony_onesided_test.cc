@@ -1,0 +1,240 @@
+// One-sided operation tests (Section 3.2): reads, writes, custom indirect
+// reads and scan-and-read, access validation/security, and the property
+// that no application thread runs on the target host.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/apps/pony_apps.h"
+#include "src/apps/simhost.h"
+
+namespace snap {
+namespace {
+
+class OneSidedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<Simulator>(23);
+    fabric_ = std::make_unique<Fabric>(sim_.get(), NicParams{});
+    directory_ = std::make_unique<PonyDirectory>();
+    SimHostOptions options;
+    options.group.mode = SchedulingMode::kDedicatedCores;
+    options.group.dedicated_cores = {0};
+    a_ = std::make_unique<SimHost>(sim_.get(), fabric_.get(),
+                                   directory_.get(), options);
+    b_ = std::make_unique<SimHost>(sim_.get(), fabric_.get(),
+                                   directory_.get(), options);
+    ea_ = a_->CreatePonyEngine("ea");
+    eb_ = b_->CreatePonyEngine("eb");
+    ca_ = a_->CreateClient(ea_, "initiator");
+    cb_ = b_->CreateClient(eb_, "target");
+  }
+
+  PonyCompletion WaitCompletion() {
+    CpuCostSink cost;
+    for (int i = 0; i < 1000; ++i) {
+      sim_->RunFor(100 * kUsec);
+      auto c = ca_->PollCompletion(&cost);
+      if (c.has_value()) {
+        return *c;
+      }
+    }
+    ADD_FAILURE() << "no completion arrived";
+    return PonyCompletion{};
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<PonyDirectory> directory_;
+  std::unique_ptr<SimHost> a_;
+  std::unique_ptr<SimHost> b_;
+  PonyEngine* ea_ = nullptr;
+  PonyEngine* eb_ = nullptr;
+  std::unique_ptr<PonyClient> ca_;
+  std::unique_ptr<PonyClient> cb_;
+};
+
+TEST_F(OneSidedTest, ReadReturnsRegionBytes) {
+  uint64_t region = cb_->RegisterRegion(4096, false);
+  MemoryRegion* mem = cb_->region(region);
+  for (size_t i = 0; i < mem->data.size(); ++i) {
+    mem->data[i] = static_cast<uint8_t>(i * 3);
+  }
+  CpuCostSink cost;
+  uint64_t op = ca_->Read(eb_->address(), region, 128, 256, &cost);
+  ASSERT_NE(op, 0u);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.op_id, op);
+  EXPECT_EQ(c.status, PonyOpStatus::kOk);
+  EXPECT_EQ(c.length, 256);
+  ASSERT_EQ(c.data.size(), 256u);
+  for (size_t i = 0; i < c.data.size(); ++i) {
+    EXPECT_EQ(c.data[i], static_cast<uint8_t>((i + 128) * 3));
+  }
+}
+
+TEST_F(OneSidedTest, ReadOutOfBoundsFails) {
+  uint64_t region = cb_->RegisterRegion(1024, false);
+  CpuCostSink cost;
+  ca_->Read(eb_->address(), region, 1000, 256, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kOutOfBounds);
+  EXPECT_EQ(eb_->stats().op_errors, 1);
+}
+
+TEST_F(OneSidedTest, ReadUnknownRegionFails) {
+  CpuCostSink cost;
+  ca_->Read(eb_->address(), 0xDEAD, 0, 64, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kNoSuchRegion);
+}
+
+TEST_F(OneSidedTest, WriteModifiesRemoteRegion) {
+  uint64_t region = cb_->RegisterRegion(4096, /*allow_remote_write=*/true);
+  std::vector<uint8_t> payload(100);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(200 - i);
+  }
+  CpuCostSink cost;
+  ca_->Write(eb_->address(), region, 50, 0, payload, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kOk);
+  MemoryRegion* mem = cb_->region(region);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(mem->data[50 + i], payload[i]);
+  }
+}
+
+TEST_F(OneSidedTest, WriteToReadOnlyRegionDenied) {
+  uint64_t region = cb_->RegisterRegion(4096, /*allow_remote_write=*/false);
+  CpuCostSink cost;
+  ca_->Write(eb_->address(), region, 0, 0, {1, 2, 3}, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kPermissionDenied);
+  // Region untouched.
+  EXPECT_EQ(cb_->region(region)->data[0], 0);
+}
+
+TEST_F(OneSidedTest, IndirectReadFollowsApplicationFilledTable) {
+  // Region layout: a table of u64 offsets at the front, data behind it.
+  uint64_t region = cb_->RegisterRegion(64 * 1024, false);
+  MemoryRegion* mem = cb_->region(region);
+  // 16 table entries pointing at scattered 64-byte records.
+  for (uint64_t i = 0; i < 16; ++i) {
+    uint64_t target = 1024 + (15 - i) * 512;  // reversed order
+    std::memcpy(mem->data.data() + i * 8, &target, 8);
+    for (int b = 0; b < 64; ++b) {
+      mem->data[target + b] = static_cast<uint8_t>(i);
+    }
+  }
+  CpuCostSink cost;
+  ca_->IndirectRead(eb_->address(), region, /*first_index=*/4, /*batch=*/8,
+                    /*length=*/64, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kOk);
+  EXPECT_EQ(c.length, 8 * 64);
+  ASSERT_EQ(c.data.size(), 8u * 64u);
+  // Entry j of the response corresponds to table index 4+j.
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ(c.data[j * 64], static_cast<uint8_t>(4 + j));
+    EXPECT_EQ(c.data[j * 64 + 63], static_cast<uint8_t>(4 + j));
+  }
+  EXPECT_EQ(eb_->stats().indirections_executed, 8);
+}
+
+TEST_F(OneSidedTest, IndirectReadBadPointerFails) {
+  uint64_t region = cb_->RegisterRegion(1024, false);
+  MemoryRegion* mem = cb_->region(region);
+  uint64_t bogus = 100000;  // beyond the region
+  std::memcpy(mem->data.data(), &bogus, 8);
+  CpuCostSink cost;
+  ca_->IndirectRead(eb_->address(), region, 0, 1, 64, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kOutOfBounds);
+}
+
+TEST_F(OneSidedTest, ScanAndReadMatchesKey) {
+  // Region: (key, offset) pairs followed by data.
+  uint64_t region = cb_->RegisterRegion(8192, false);
+  MemoryRegion* mem = cb_->region(region);
+  for (uint64_t i = 0; i < 8; ++i) {
+    uint64_t key = 1000 + i;
+    uint64_t offset = 4096 + i * 128;
+    std::memcpy(mem->data.data() + i * 16, &key, 8);
+    std::memcpy(mem->data.data() + i * 16 + 8, &offset, 8);
+    for (int b = 0; b < 128; ++b) {
+      mem->data[offset + b] = static_cast<uint8_t>(i + 100);
+    }
+  }
+  CpuCostSink cost;
+  ca_->ScanAndRead(eb_->address(), region, /*match=*/1005, /*length=*/128,
+                   &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kOk);
+  ASSERT_EQ(c.data.size(), 128u);
+  EXPECT_EQ(c.data[0], static_cast<uint8_t>(105));
+}
+
+TEST_F(OneSidedTest, ScanAndReadNoMatchFails) {
+  uint64_t region = cb_->RegisterRegion(256, false);
+  CpuCostSink cost;
+  ca_->ScanAndRead(eb_->address(), region, 424242, 64, &cost);
+  PonyCompletion c = WaitCompletion();
+  EXPECT_EQ(c.status, PonyOpStatus::kNoMatch);
+}
+
+TEST_F(OneSidedTest, NoTargetApplicationThreadInvolved) {
+  // The target host runs NO application task at all; one-sided ops still
+  // execute entirely within the engine (Section 3.2).
+  uint64_t region = cb_->RegisterRegion(4096, false);
+  CpuCostSink cost;
+  for (int i = 0; i < 20; ++i) {
+    ca_->Read(eb_->address(), region, 0, 64, &cost);
+  }
+  sim_->RunFor(50 * kMsec);
+  int completions = 0;
+  while (ca_->PollCompletion(&cost).has_value()) {
+    ++completions;
+  }
+  EXPECT_EQ(completions, 20);
+  EXPECT_EQ(eb_->stats().ops_executed, 20);
+  EXPECT_EQ(b_->AppCpuNs(), 0);  // no app CPU on the target
+}
+
+TEST_F(OneSidedTest, BatchedIndirectReadIsCheaperPerAccess) {
+  // The headline Figure 8 effect: batch=8 roughly doubles achievable op
+  // rate vs plain reads by amortizing per-packet costs.
+  uint64_t region = cb_->RegisterRegion(64 * 1024, false);
+  MemoryRegion* mem = cb_->region(region);
+  for (uint64_t i = 0; i < 1024; ++i) {
+    uint64_t target = 8192 + (i % 64) * 64;
+    std::memcpy(mem->data.data() + i * 8, &target, 8);
+  }
+  auto measure = [&](OneSidedLoadTask::Mode mode, uint16_t batch) {
+    OneSidedLoadTask::Options options;
+    options.peer = eb_->address();
+    options.mode = mode;
+    options.region_id = region;
+    options.batch = batch;
+    options.read_bytes = 64;
+    options.table_entries = 64;
+    options.max_outstanding = 32;
+    OneSidedLoadTask task("load", a_->cpu(), ca_.get(), options);
+    task.Start();
+    sim_->RunFor(20 * kMsec);
+    int64_t start = task.accesses_completed();
+    sim_->RunFor(100 * kMsec);
+    double rate = static_cast<double>(task.accesses_completed() - start) /
+                  ToSec(100 * kMsec);
+    return rate;
+  };
+  double batched = measure(OneSidedLoadTask::Mode::kIndirectRead, 8);
+  // A separate sim would be cleaner, but sequential runs on the same pair
+  // are fine: measure plain reads after.
+  double plain = measure(OneSidedLoadTask::Mode::kRead, 1);
+  EXPECT_GT(batched, 2.0 * plain);
+  EXPECT_GT(batched, 2e6);  // millions of accesses/sec (Figure 8 scale)
+}
+
+}  // namespace
+}  // namespace snap

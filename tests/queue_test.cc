@@ -1,0 +1,226 @@
+// Tests of the lock-free primitives, including real multi-threaded stress
+// (the rings are Snap's shared-memory dataplane interfaces, Section 2.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/queue/mailbox.h"
+#include "src/queue/mpsc_queue.h"
+#include "src/queue/spsc_ring.h"
+
+namespace snap {
+namespace {
+
+// --- SpscRing -------------------------------------------------------------
+
+TEST(SpscRingTest, PushPopBasic) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.TryPop().value(), 1);
+  EXPECT_EQ(ring.TryPop().value(), 2);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, FullRejectsPush) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.TryPush(3));
+  ring.TryPop();
+  EXPECT_TRUE(ring.TryPush(3));
+}
+
+TEST(SpscRingTest, PeekDoesNotConsume) {
+  SpscRing<int> ring(4);
+  ring.TryPush(42);
+  ASSERT_NE(ring.Peek(), nullptr);
+  EXPECT_EQ(*ring.Peek(), 42);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.TryPop().value(), 42);
+  EXPECT_EQ(ring.Peek(), nullptr);
+}
+
+TEST(SpscRingTest, MoveOnlyElements) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(9)));
+  auto out = ring.TryPop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 9);
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_EQ(ring.TryPop().value(), i);
+  }
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumerPreservesFifo) {
+  SpscRing<int> ring(64);
+  // Modest count with yields: the CI machine may have a single core, so
+  // raw spin-waiting between two threads would crawl.
+  constexpr int kItems = 20000;
+  std::atomic<bool> failed{false};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!ring.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      std::optional<int> v;
+      do {
+        v = ring.TryPop();
+        if (!v.has_value()) {
+          std::this_thread::yield();
+        }
+      } while (!v.has_value());
+      if (*v != i) {
+        failed = true;
+        return;
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_FALSE(failed) << "FIFO order violated under concurrency";
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- EngineMailbox --------------------------------------------------------
+
+TEST(MailboxTest, PostAndRun) {
+  EngineMailbox mailbox;
+  int ran = 0;
+  EXPECT_TRUE(mailbox.Post([&ran] { ++ran; }));
+  EXPECT_TRUE(mailbox.pending());
+  EXPECT_TRUE(mailbox.RunPending());
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(mailbox.pending());
+  EXPECT_FALSE(mailbox.RunPending());
+}
+
+TEST(MailboxTest, DepthOneRejectsSecondPost) {
+  EngineMailbox mailbox;
+  EXPECT_TRUE(mailbox.Post([] {}));
+  EXPECT_FALSE(mailbox.Post([] {}));  // occupied
+  EXPECT_TRUE(mailbox.RunPending());
+  EXPECT_TRUE(mailbox.Post([] {}));   // free again
+}
+
+TEST(MailboxTest, ConcurrentPostersSerializeThroughEngine) {
+  EngineMailbox mailbox;
+  constexpr int kPerThread = 500;
+  constexpr int kThreads = 4;
+  std::atomic<int> executed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread engine([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      mailbox.RunPending();
+    }
+    while (mailbox.RunPending()) {
+    }
+  });
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        while (!mailbox.Post([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        })) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : posters) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  engine.join();
+  EXPECT_EQ(executed.load(), kPerThread * kThreads);
+}
+
+// --- MpscQueue ------------------------------------------------------------
+
+struct TestNode {
+  MpscNode node;
+  int value = 0;
+};
+
+TEST(MpscQueueTest, PushPopSingleThread) {
+  MpscQueue queue;
+  EXPECT_TRUE(queue.empty());
+  TestNode a;
+  a.value = 1;
+  TestNode b;
+  b.value = 2;
+  queue.Push(&a.node);
+  queue.Push(&b.node);
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.Pop(), &a.node);
+  EXPECT_EQ(queue.Pop(), &b.node);
+  EXPECT_EQ(queue.Pop(), nullptr);
+}
+
+TEST(MpscQueueTest, MultiProducerDeliversEverything) {
+  MpscQueue queue;
+  constexpr int kPerThread = 2000;
+  constexpr int kThreads = 4;
+  // Nodes contain atomics (non-movable): allocate in place.
+  std::vector<std::vector<std::unique_ptr<TestNode>>> nodes(kThreads);
+  for (auto& v : nodes) {
+    for (int i = 0; i < kPerThread; ++i) {
+      v.push_back(std::make_unique<TestNode>());
+    }
+  }
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&queue, &nodes, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        nodes[t][i]->value = t * kPerThread + i;
+        queue.Push(&nodes[t][i]->node);
+      }
+    });
+  }
+  int popped = 0;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (popped < kPerThread * kThreads) {
+      if (queue.Pop() != nullptr) {
+        ++popped;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    done = true;
+  });
+  for (auto& t : producers) {
+    t.join();
+  }
+  consumer.join();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(popped, kPerThread * kThreads);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace snap

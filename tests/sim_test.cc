@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace snap {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(EventQueueTest, FifoForEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CallbackSeesItsOwnScheduledTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.Schedule(500, [&] { observed = sim.now(); });
+  sim.RunAll();
+  EXPECT_EQ(observed, 500);
+}
+
+TEST(EventQueueTest, NestedSchedulingUsesCurrentTime) {
+  // An event scheduling a relative delay must be relative to ITS time,
+  // not the time RunUntil started (regression test for the clock-advance
+  // ordering bug).
+  Simulator sim;
+  SimTime second_fire = -1;
+  sim.Schedule(100, [&] {
+    sim.Schedule(50, [&] { second_fire = sim.now(); });
+  });
+  sim.Schedule(1000, [] {});
+  sim.RunAll();
+  EXPECT_EQ(second_fire, 150);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle = sim.Schedule(100, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int runs = 0;
+  EventHandle handle = sim.Schedule(10, [&] { ++runs; });
+  sim.RunAll();
+  EXPECT_EQ(runs, 1);
+  handle.Cancel();  // after fire: no-op
+  handle.Cancel();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&] { ++fired; });
+  sim.Schedule(200, [&] { ++fired; });
+  sim.Schedule(201, [&] { ++fired; });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 200);
+  sim.RunUntil(300);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(SimulatorTest, RunForAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunFor(12345);
+  EXPECT_EQ(sim.now(), 12345);
+}
+
+TEST(SimulatorTest, PeriodicSelfRescheduling) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) {
+      sim.Schedule(1000, tick);
+    }
+  };
+  sim.Schedule(1000, tick);
+  sim.RunUntil(100000);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim(99);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 100; ++i) {
+      SimDuration d = static_cast<SimDuration>(sim.rng().NextBounded(1000));
+      sim.Schedule(d, [&trace, &sim] { trace.push_back(
+          static_cast<uint64_t>(sim.now())); });
+    }
+    sim.RunAll();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace snap

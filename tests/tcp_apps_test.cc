@@ -1,0 +1,148 @@
+// Tests of the TCP RPC workload tasks (the Figure 6(b)-(d) substrate):
+// open-loop Poisson generation, response matching, connection pooling, and
+// multi-host all-to-all wiring.
+#include <gtest/gtest.h>
+
+#include "src/apps/simhost.h"
+#include "src/apps/tcp_apps.h"
+
+namespace snap {
+namespace {
+
+class TcpRpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<Simulator>(41);
+    fabric_ = std::make_unique<Fabric>(sim_.get(), NicParams{});
+    directory_ = std::make_unique<PonyDirectory>();
+  }
+
+  SimHost* AddHost() {
+    SimHostOptions options;
+    options.group.mode = SchedulingMode::kDedicatedCores;
+    options.group.dedicated_cores = {7};
+    hosts_.push_back(std::make_unique<SimHost>(
+        sim_.get(), fabric_.get(), directory_.get(), options));
+    return hosts_.back().get();
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<PonyDirectory> directory_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+};
+
+TEST_F(TcpRpcTest, SingleClientServerExchangesRpcs) {
+  SimHost* a = AddHost();
+  SimHost* b = AddHost();
+  TcpRpcContext ctx;
+  TcpRpcServerTask server("srv", b->cpu(), b->kstack(), 5003, &ctx);
+  server.Start();
+  TcpRpcClientTask::Options options;
+  options.peer_hosts = {b->host_id()};
+  options.rpcs_per_sec = 2000;
+  options.response_bytes = 32 * 1024;
+  TcpRpcClientTask client("cli", a->cpu(), a->kstack(), &ctx, options);
+  client.Start();
+  sim_->RunFor(200 * kMsec);
+  // Roughly rate * time RPCs completed (open loop).
+  EXPECT_GT(client.rpcs_completed(), 300);
+  EXPECT_EQ(server.requests_served(), client.rpcs_completed());
+  EXPECT_GT(client.latency().Mean(), 10 * kUsec);
+  EXPECT_LT(client.latency().P99(), 10 * kMsec);
+  // Bidirectional byte accounting: requests + responses.
+  EXPECT_GE(client.bytes_transferred(),
+            client.rpcs_completed() * (32 * 1024 + 64));
+}
+
+TEST_F(TcpRpcTest, LargeResponsesStreamThroughSocketBuffers) {
+  SimHost* a = AddHost();
+  SimHost* b = AddHost();
+  TcpRpcContext ctx;
+  TcpRpcServerTask server("srv", b->cpu(), b->kstack(), 5003, &ctx);
+  server.Start();
+  TcpRpcClientTask::Options options;
+  options.peer_hosts = {b->host_id()};
+  options.rpcs_per_sec = 300;
+  options.response_bytes = 1 << 20;  // 1MB >> socket buffer
+  TcpRpcClientTask client("cli", a->cpu(), a->kstack(), &ctx, options);
+  client.Start();
+  sim_->RunFor(300 * kMsec);
+  EXPECT_GT(client.rpcs_completed(), 50);
+  // A 1MB response at ~20Gbps takes ~450us minimum.
+  EXPECT_GT(client.latency().P50(), 300 * kUsec);
+}
+
+TEST_F(TcpRpcTest, AllToAllRackExchanges) {
+  constexpr int kHosts = 4;
+  std::vector<SimHost*> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    hosts.push_back(AddHost());
+  }
+  TcpRpcContext ctx;
+  std::vector<std::unique_ptr<TcpRpcServerTask>> servers;
+  std::vector<std::unique_ptr<TcpRpcClientTask>> clients;
+  for (int i = 0; i < kHosts; ++i) {
+    servers.push_back(std::make_unique<TcpRpcServerTask>(
+        "srv" + std::to_string(i), hosts[i]->cpu(), hosts[i]->kstack(),
+        5003, &ctx));
+    servers.back()->Start();
+  }
+  for (int i = 0; i < kHosts; ++i) {
+    TcpRpcClientTask::Options options;
+    for (int j = 0; j < kHosts; ++j) {
+      if (j != i) {
+        options.peer_hosts.push_back(j);
+      }
+    }
+    options.rpcs_per_sec = 500;
+    options.response_bytes = 64 * 1024;
+    options.rng_seed = 100 + i;
+    clients.push_back(std::make_unique<TcpRpcClientTask>(
+        "cli" + std::to_string(i), hosts[i]->cpu(), hosts[i]->kstack(),
+        &ctx, options));
+    clients.back()->Start();
+  }
+  sim_->RunFor(200 * kMsec);
+  int64_t total_rpcs = 0;
+  int64_t total_served = 0;
+  for (auto& c : clients) {
+    total_rpcs += c->rpcs_completed();
+  }
+  for (auto& s : servers) {
+    total_served += s->requests_served();
+  }
+  EXPECT_GT(total_rpcs, 200);
+  // A handful of RPCs may be mid-flight (served, response still in the
+  // receive path) when the window closes.
+  EXPECT_GE(total_served, total_rpcs);
+  EXPECT_LE(total_served - total_rpcs, kHosts);
+  // Every host both served and initiated.
+  for (auto& s : servers) {
+    EXPECT_GT(s->requests_served(), 0);
+  }
+}
+
+TEST_F(TcpRpcTest, ResetStatsClearsWarmup) {
+  SimHost* a = AddHost();
+  SimHost* b = AddHost();
+  TcpRpcContext ctx;
+  TcpRpcServerTask server("srv", b->cpu(), b->kstack(), 5003, &ctx);
+  server.Start();
+  TcpRpcClientTask::Options options;
+  options.peer_hosts = {b->host_id()};
+  options.rpcs_per_sec = 1000;
+  options.response_bytes = 4096;
+  TcpRpcClientTask client("cli", a->cpu(), a->kstack(), &ctx, options);
+  client.Start();
+  sim_->RunFor(100 * kMsec);
+  EXPECT_GT(client.rpcs_completed(), 0);
+  client.ResetStats();
+  EXPECT_EQ(client.rpcs_completed(), 0);
+  EXPECT_EQ(client.latency().count(), 0);
+  sim_->RunFor(100 * kMsec);
+  EXPECT_GT(client.rpcs_completed(), 50);
+}
+
+}  // namespace
+}  // namespace snap

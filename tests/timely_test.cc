@@ -1,0 +1,193 @@
+// Timely congestion-control unit tests: the four regimes (below Tlow,
+// above Thigh, negative/positive gradient), HAI mode, clamping, update
+// pacing, and RTO backoff.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/pony/timely.h"
+
+namespace snap {
+namespace {
+
+TimelyParams FastUpdateParams() {
+  TimelyParams p;
+  p.update_interval = 0;  // let unit tests feed every sample
+  return p;
+}
+
+TEST(TimelyTest, StartsAtLineRate) {
+  TimelyParams p;
+  TimelyController timely(p);
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), p.max_rate_bytes_per_sec);
+}
+
+TEST(TimelyTest, FirstSampleOnlyPrimes) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  double before = timely.rate_bytes_per_sec();
+  timely.OnRttSample(100 * kUsec, 0);
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), before);
+}
+
+TEST(TimelyTest, BelowTlowAlwaysIncreases) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(1e9);
+  timely.OnRttSample(10 * kUsec, 0);
+  double prev = timely.rate_bytes_per_sec();
+  for (int i = 1; i <= 10; ++i) {
+    // Even a *growing* RTT increases the rate while it stays below Tlow.
+    timely.OnRttSample(10 * kUsec + i * 400, i * 1000);
+    EXPECT_GT(timely.rate_bytes_per_sec(), prev);
+    prev = timely.rate_bytes_per_sec();
+  }
+  EXPECT_NEAR(prev, 1e9 + 10 * p.additive_increment, 1);
+}
+
+TEST(TimelyTest, AboveThighDecreasesProportionallyToOvershoot) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(10e9);
+  timely.OnRttSample(p.t_high + 1 * kUsec, 0);
+  timely.OnRttSample(2 * p.t_high, 1000);
+  double after_mild = 10e9;
+  // rate *= 1 - beta*(1 - Thigh/rtt) with rtt = 2*Thigh -> *= 1 - beta/2.
+  EXPECT_NEAR(timely.rate_bytes_per_sec(),
+              after_mild * (1 - p.beta * 0.5), after_mild * 0.01);
+}
+
+TEST(TimelyTest, NegativeGradientIncreases) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(1e9);
+  // RTTs in band and falling: gradient negative -> increase.
+  SimDuration rtt = 120 * kUsec;
+  timely.OnRttSample(rtt, 0);
+  double prev = timely.rate_bytes_per_sec();
+  for (int i = 1; i <= 4; ++i) {
+    rtt -= 10 * kUsec;
+    timely.OnRttSample(rtt, i * 1000);
+    EXPECT_GT(timely.rate_bytes_per_sec(), prev);
+    prev = timely.rate_bytes_per_sec();
+  }
+}
+
+TEST(TimelyTest, HaiModeAcceleratesAfterStreak) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(1e9);
+  SimDuration rtt = 200 * kUsec;
+  timely.OnRttSample(rtt, 0);
+  std::vector<double> deltas;
+  double prev = timely.rate_bytes_per_sec();
+  for (int i = 1; i <= 8; ++i) {
+    rtt -= 8 * kUsec;
+    timely.OnRttSample(rtt, i * 1000);
+    deltas.push_back(timely.rate_bytes_per_sec() - prev);
+    prev = timely.rate_bytes_per_sec();
+  }
+  // After hai_threshold consecutive increases, steps grow 5x.
+  EXPECT_NEAR(deltas.back(), 5 * p.additive_increment, 1);
+  EXPECT_NEAR(deltas.front(), p.additive_increment, 1);
+}
+
+TEST(TimelyTest, PositiveGradientDecreases) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(8e9);
+  SimDuration rtt = 100 * kUsec;
+  timely.OnRttSample(rtt, 0);
+  for (int i = 1; i <= 5; ++i) {
+    rtt += 20 * kUsec;  // strongly rising RTT in band... until Thigh
+    if (rtt > p.t_high) {
+      break;
+    }
+    timely.OnRttSample(rtt, i * 1000);
+  }
+  EXPECT_LT(timely.rate_bytes_per_sec(), 8e9);
+}
+
+TEST(TimelyTest, RateClampedToBounds) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  // Push far above max.
+  timely.OnRttSample(5 * kUsec, 0);
+  for (int i = 1; i < 500; ++i) {
+    timely.OnRttSample(5 * kUsec, i * 1000);
+  }
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), p.max_rate_bytes_per_sec);
+  // Crash far below min.
+  for (int i = 0; i < 200; ++i) {
+    timely.OnRttSample(5 * kMsec, 1000000 + i * 1000);
+  }
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), p.min_rate_bytes_per_sec);
+}
+
+TEST(TimelyTest, UpdatesAreRateLimited) {
+  TimelyParams p;  // default 25us update interval
+  TimelyController timely(p);
+  timely.RestoreRate(1e9);
+  timely.OnRttSample(10 * kUsec, 0);
+  timely.OnRttSample(10 * kUsec, 1000);
+  double after_first = timely.rate_bytes_per_sec();
+  // Samples within the update interval are ignored.
+  for (int i = 0; i < 10; ++i) {
+    timely.OnRttSample(10 * kUsec, 2000 + i * 1000);
+  }
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), after_first);
+  // After the interval, updates resume.
+  timely.OnRttSample(10 * kUsec, 1000 + p.update_interval);
+  EXPECT_GT(timely.rate_bytes_per_sec(), after_first);
+}
+
+TEST(TimelyTest, RtoHalvesRate) {
+  TimelyParams p;
+  TimelyController timely(p);
+  timely.RestoreRate(4e9);
+  timely.OnRetransmitTimeout();
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), 2e9);
+  // Never below the floor.
+  timely.RestoreRate(p.min_rate_bytes_per_sec);
+  timely.OnRetransmitTimeout();
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), p.min_rate_bytes_per_sec);
+}
+
+TEST(TimelyTest, IgnoresNonPositiveRtt) {
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(1e9);
+  timely.OnRttSample(0, 0);
+  timely.OnRttSample(-5, 1000);
+  EXPECT_DOUBLE_EQ(timely.rate_bytes_per_sec(), 1e9);
+}
+
+// Property sweep: from any starting rate and any steady RTT, the
+// controller converges into a sane regime (no NaN, stays in bounds).
+class TimelySweepTest
+    : public ::testing::TestWithParam<std::tuple<double, SimDuration>> {};
+
+TEST_P(TimelySweepTest, StaysBoundedAndFinite) {
+  auto [start_rate, rtt] = GetParam();
+  TimelyParams p = FastUpdateParams();
+  TimelyController timely(p);
+  timely.RestoreRate(start_rate);
+  for (int i = 0; i < 1000; ++i) {
+    // Small deterministic jitter.
+    SimDuration sample = rtt + (i % 7) * kUsec - 3 * kUsec;
+    timely.OnRttSample(sample, i * 1000);
+    double rate = timely.rate_bytes_per_sec();
+    ASSERT_TRUE(std::isfinite(rate));
+    ASSERT_GE(rate, p.min_rate_bytes_per_sec);
+    ASSERT_LE(rate, p.max_rate_bytes_per_sec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndRtts, TimelySweepTest,
+    ::testing::Combine(::testing::Values(1e7, 1e9, 12.5e9),
+                       ::testing::Values(5 * kUsec, 30 * kUsec,
+                                         100 * kUsec, 1 * kMsec)));
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,197 @@
+// Tests of the virtualization engine (guest VM I/O switching, encap across
+// the fabric, per-guest policy) and the kernel packet-injection driver
+// (kernel TCP egress diverted through a Snap shaping engine).
+#include <gtest/gtest.h>
+
+#include "src/apps/simhost.h"
+#include "src/apps/tcp_apps.h"
+#include "src/snap/kernel_injection.h"
+#include "src/snap/virtual_switch.h"
+
+namespace snap {
+namespace {
+
+SimHostOptions Dedicated() {
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  return options;
+}
+
+class VirtualSwitchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = std::make_unique<Simulator>(71);
+    fabric_ = std::make_unique<Fabric>(sim_.get(), NicParams{});
+    directory_ = std::make_unique<PonyDirectory>();
+    a_ = std::make_unique<SimHost>(sim_.get(), fabric_.get(),
+                                   directory_.get(), Dedicated());
+    b_ = std::make_unique<SimHost>(sim_.get(), fabric_.get(),
+                                   directory_.get(), Dedicated());
+  }
+
+  // Builds a virtual switch on `host` and registers it with its group.
+  VirtualSwitchEngine* MakeSwitch(SimHost* host, uint32_t engine_id,
+                                  const VirtualSwitchEngine::Options& o =
+                                      VirtualSwitchEngine::Options{}) {
+    auto engine = std::make_unique<VirtualSwitchEngine>(
+        "vswitch" + std::to_string(engine_id), sim_.get(), host->nic(),
+        engine_id, o);
+    VirtualSwitchEngine* raw = engine.get();
+    switches_.push_back(std::move(engine));
+    host->default_group()->AddEngine(raw);
+    return raw;
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<PonyDirectory> directory_;
+  std::unique_ptr<SimHost> a_;
+  std::unique_ptr<SimHost> b_;
+  std::vector<std::unique_ptr<VirtualSwitchEngine>> switches_;
+};
+
+TEST_F(VirtualSwitchTest, LocalVmToVmNeverTouchesTheWire) {
+  VirtualSwitchEngine* vs = MakeSwitch(a_.get(), 1000);
+  GuestVnic* vm1 = vs->AddGuest(1);
+  GuestVnic* vm2 = vs->AddGuest(2);
+  int64_t wire_before = a_->nic()->stats().tx_packets;
+
+  ASSERT_TRUE(vm1->Send(2, 1400, {7, 7, 7}));
+  sim_->RunFor(1 * kMsec);
+
+  PacketPtr got = vm2->Receive();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->virt_src_vm, 1u);
+  EXPECT_EQ(got->data, (std::vector<uint8_t>{7, 7, 7}));
+  EXPECT_EQ(vs->stats().switched_local, 1);
+  EXPECT_EQ(vs->stats().encapsulated, 0);
+  EXPECT_EQ(a_->nic()->stats().tx_packets, wire_before);
+}
+
+TEST_F(VirtualSwitchTest, CrossHostTrafficIsEncapsulated) {
+  VirtualSwitchEngine* vs_a = MakeSwitch(a_.get(), 1000);
+  VirtualSwitchEngine* vs_b = MakeSwitch(b_.get(), 1000);
+  GuestVnic* vm1 = vs_a->AddGuest(1);
+  GuestVnic* vm9 = vs_b->AddGuest(9);
+  vs_a->AddRoute(9, b_->host_id(), vs_b->engine_id());
+
+  ASSERT_TRUE(vm1->Send(9, 1400, {1, 2, 3, 4}));
+  sim_->RunFor(2 * kMsec);
+
+  PacketPtr got = vm9->Receive();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->virt_src_vm, 1u);
+  EXPECT_EQ(got->virt_dst_vm, 9u);
+  EXPECT_EQ(got->data, (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(vs_a->stats().encapsulated, 1);
+  EXPECT_EQ(vs_b->stats().decapsulated, 1);
+  (void)vm1;
+}
+
+TEST_F(VirtualSwitchTest, UnroutableDestinationDropped) {
+  VirtualSwitchEngine* vs = MakeSwitch(a_.get(), 1000);
+  GuestVnic* vm1 = vs->AddGuest(1);
+  ASSERT_TRUE(vm1->Send(42, 100));
+  sim_->RunFor(1 * kMsec);
+  EXPECT_EQ(vs->stats().no_route_drops, 1);
+}
+
+TEST_F(VirtualSwitchTest, GuestAclBlocksPairs) {
+  VirtualSwitchEngine* vs = MakeSwitch(a_.get(), 1000);
+  GuestVnic* vm1 = vs->AddGuest(1);
+  GuestVnic* vm2 = vs->AddGuest(2);
+  vs->acl()->Deny(1, 2);  // inner (vm) addresses
+  ASSERT_TRUE(vm1->Send(2, 100));
+  sim_->RunFor(1 * kMsec);
+  EXPECT_EQ(vm2->Receive(), nullptr);
+  EXPECT_EQ(vs->stats().acl_drops, 1);
+  // Reverse direction unaffected.
+  ASSERT_TRUE(vm2->Send(1, 100));
+  sim_->RunFor(1 * kMsec);
+  EXPECT_NE(vm1->Receive(), nullptr);
+}
+
+TEST_F(VirtualSwitchTest, PerGuestRateLimitShapesEgress) {
+  VirtualSwitchEngine::Options options;
+  options.guest_rate_bytes_per_sec = 12.5e6;  // 100 Mbps per guest
+  options.guest_burst_bytes = 16 * 1024;
+  VirtualSwitchEngine* vs = MakeSwitch(a_.get(), 1000, options);
+  GuestVnic* vm1 = vs->AddGuest(1);
+  GuestVnic* vm2 = vs->AddGuest(2);
+  // Offer ~1 Gbps for 100ms; the receiving guest drains its ring.
+  int64_t drained = 0;
+  for (int ms = 0; ms < 100; ++ms) {
+    for (int i = 0; i < 85; ++i) {
+      vm1->Send(2, 1436);
+    }
+    sim_->RunFor(1 * kMsec);
+    while (vm2->Receive() != nullptr) {
+      ++drained;
+    }
+  }
+  double delivered_rate =
+      static_cast<double>(drained) * 1500.0 / ToSec(sim_->now());
+  EXPECT_LT(delivered_rate, 15e6);  // near the 12.5 MB/s policy
+  EXPECT_GT(delivered_rate, 9e6);
+  EXPECT_GT(vs->stats().shaped_drops + vm1->stats().tx_ring_full, 0);
+}
+
+TEST_F(VirtualSwitchTest, RoutesSurviveSerialization) {
+  VirtualSwitchEngine* vs = MakeSwitch(a_.get(), 1000);
+  vs->AddRoute(5, 1, 77);
+  vs->AddRoute(6, 2, 88);
+  StateWriter w;
+  vs->SerializeState(&w);
+
+  VirtualSwitchEngine::Options options;
+  VirtualSwitchEngine restored("restored", sim_.get(), b_->nic(), 2000,
+                               options);
+  StateReader r(w.buffer());
+  restored.DeserializeState(&r);
+  EXPECT_EQ(restored.engine_id(), 1000u);
+  EXPECT_EQ(restored.Footprint().flows, 2);
+}
+
+// --- Kernel packet-injection driver --------------------------------------
+
+TEST(KernelInjectionTest, KernelTcpIsShapedBySnapEngine) {
+  Simulator sim(73);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHost a(&sim, &fabric, &directory, Dedicated());
+  SimHost b(&sim, &fabric, &directory, Dedicated());
+
+  // Divert host A's kernel egress through a 1 Gbps shaping engine.
+  ShapingEngine::Options shaping;
+  shaping.rate_bytes_per_sec = 125e6;
+  ShapingEngine engine("shaper", &sim, a.nic(), shaping);
+  a.default_group()->AddEngine(&engine);
+  KernelInjectionDriver driver(a.kstack(), &engine);
+
+  TcpStreamReceiverTask rx("rx", b.cpu(), b.kstack(), 5001);
+  rx.Start();
+  TcpStreamSenderTask::Options so;
+  so.dst_host = b.host_id();
+  TcpStreamSenderTask tx("tx", a.cpu(), a.kstack(), so);
+  tx.Start();
+  sim.RunFor(200 * kMsec);
+
+  // Unshaped TCP runs >20 Gbps; the policy caps it near 1 Gbps.
+  double gbps = static_cast<double>(rx.bytes_received()) * 8.0 /
+                ToSec(sim.now()) / 1e9;
+  EXPECT_GT(driver.stats().diverted, 0);
+  EXPECT_LT(gbps, 1.2);
+  EXPECT_GT(gbps, 0.5);
+
+  // Detaching restores the direct path at full speed.
+  driver.Detach();
+  int64_t bytes0 = rx.bytes_received();
+  sim.RunFor(100 * kMsec);
+  double after = static_cast<double>(rx.bytes_received() - bytes0) * 8.0 /
+                 ToSec(100 * kMsec) / 1e9;
+  EXPECT_GT(after, 5.0);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d_antagonist.dir/bench_fig6d_antagonist.cc.o"
+  "CMakeFiles/bench_fig6d_antagonist.dir/bench_fig6d_antagonist.cc.o.d"
+  "bench_fig6d_antagonist"
+  "bench_fig6d_antagonist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d_antagonist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

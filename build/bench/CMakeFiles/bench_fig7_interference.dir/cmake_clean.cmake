@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_interference.dir/bench_fig7_interference.cc.o"
+  "CMakeFiles/bench_fig7_interference.dir/bench_fig7_interference.cc.o.d"
+  "bench_fig7_interference"
+  "bench_fig7_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_onesided_iops.dir/bench_fig8_onesided_iops.cc.o"
+  "CMakeFiles/bench_fig8_onesided_iops.dir/bench_fig8_onesided_iops.cc.o.d"
+  "bench_fig8_onesided_iops"
+  "bench_fig8_onesided_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_onesided_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_upgrade.dir/bench_fig9_upgrade.cc.o"
+  "CMakeFiles/bench_fig9_upgrade.dir/bench_fig9_upgrade.cc.o.d"
+  "bench_fig9_upgrade"
+  "bench_fig9_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

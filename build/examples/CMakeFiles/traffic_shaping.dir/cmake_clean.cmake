@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_shaping.dir/traffic_shaping.cpp.o"
+  "CMakeFiles/traffic_shaping.dir/traffic_shaping.cpp.o.d"
+  "traffic_shaping"
+  "traffic_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

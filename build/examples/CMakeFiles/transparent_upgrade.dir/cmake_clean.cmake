@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_upgrade.dir/transparent_upgrade.cpp.o"
+  "CMakeFiles/transparent_upgrade.dir/transparent_upgrade.cpp.o.d"
+  "transparent_upgrade"
+  "transparent_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_apps.dir/pony_apps.cc.o"
+  "CMakeFiles/snap_apps.dir/pony_apps.cc.o.d"
+  "CMakeFiles/snap_apps.dir/simhost.cc.o"
+  "CMakeFiles/snap_apps.dir/simhost.cc.o.d"
+  "CMakeFiles/snap_apps.dir/tcp_apps.cc.o"
+  "CMakeFiles/snap_apps.dir/tcp_apps.cc.o.d"
+  "libsnap_apps.a"
+  "libsnap_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_kernel.dir/kstack.cc.o"
+  "CMakeFiles/snap_kernel.dir/kstack.cc.o.d"
+  "libsnap_kernel.a"
+  "libsnap_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

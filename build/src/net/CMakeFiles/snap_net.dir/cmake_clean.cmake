@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_net.dir/fabric.cc.o"
+  "CMakeFiles/snap_net.dir/fabric.cc.o.d"
+  "CMakeFiles/snap_net.dir/nic.cc.o"
+  "CMakeFiles/snap_net.dir/nic.cc.o.d"
+  "libsnap_net.a"
+  "libsnap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

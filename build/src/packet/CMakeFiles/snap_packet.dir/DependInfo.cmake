@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/crc32.cc" "src/packet/CMakeFiles/snap_packet.dir/crc32.cc.o" "gcc" "src/packet/CMakeFiles/snap_packet.dir/crc32.cc.o.d"
+  "/root/repo/src/packet/wire.cc" "src/packet/CMakeFiles/snap_packet.dir/wire.cc.o" "gcc" "src/packet/CMakeFiles/snap_packet.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

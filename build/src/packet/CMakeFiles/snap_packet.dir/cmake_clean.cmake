@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_packet.dir/crc32.cc.o"
+  "CMakeFiles/snap_packet.dir/crc32.cc.o.d"
+  "CMakeFiles/snap_packet.dir/wire.cc.o"
+  "CMakeFiles/snap_packet.dir/wire.cc.o.d"
+  "libsnap_packet.a"
+  "libsnap_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pony/client.cc" "src/pony/CMakeFiles/snap_pony.dir/client.cc.o" "gcc" "src/pony/CMakeFiles/snap_pony.dir/client.cc.o.d"
+  "/root/repo/src/pony/flow.cc" "src/pony/CMakeFiles/snap_pony.dir/flow.cc.o" "gcc" "src/pony/CMakeFiles/snap_pony.dir/flow.cc.o.d"
+  "/root/repo/src/pony/pony_engine.cc" "src/pony/CMakeFiles/snap_pony.dir/pony_engine.cc.o" "gcc" "src/pony/CMakeFiles/snap_pony.dir/pony_engine.cc.o.d"
+  "/root/repo/src/pony/pony_module.cc" "src/pony/CMakeFiles/snap_pony.dir/pony_module.cc.o" "gcc" "src/pony/CMakeFiles/snap_pony.dir/pony_module.cc.o.d"
+  "/root/repo/src/pony/timely.cc" "src/pony/CMakeFiles/snap_pony.dir/timely.cc.o" "gcc" "src/pony/CMakeFiles/snap_pony.dir/timely.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/snap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/snap/CMakeFiles/snap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/snap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/snap_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

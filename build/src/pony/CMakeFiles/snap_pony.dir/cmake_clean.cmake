@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_pony.dir/client.cc.o"
+  "CMakeFiles/snap_pony.dir/client.cc.o.d"
+  "CMakeFiles/snap_pony.dir/flow.cc.o"
+  "CMakeFiles/snap_pony.dir/flow.cc.o.d"
+  "CMakeFiles/snap_pony.dir/pony_engine.cc.o"
+  "CMakeFiles/snap_pony.dir/pony_engine.cc.o.d"
+  "CMakeFiles/snap_pony.dir/pony_module.cc.o"
+  "CMakeFiles/snap_pony.dir/pony_module.cc.o.d"
+  "CMakeFiles/snap_pony.dir/timely.cc.o"
+  "CMakeFiles/snap_pony.dir/timely.cc.o.d"
+  "libsnap_pony.a"
+  "libsnap_pony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_pony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/antagonist.cc" "src/sim/CMakeFiles/snap_sim.dir/antagonist.cc.o" "gcc" "src/sim/CMakeFiles/snap_sim.dir/antagonist.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/snap_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/snap_sim.dir/cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/snap_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

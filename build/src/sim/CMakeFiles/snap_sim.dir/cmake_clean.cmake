@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_sim.dir/antagonist.cc.o"
+  "CMakeFiles/snap_sim.dir/antagonist.cc.o.d"
+  "CMakeFiles/snap_sim.dir/cpu.cc.o"
+  "CMakeFiles/snap_sim.dir/cpu.cc.o.d"
+  "libsnap_sim.a"
+  "libsnap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snap/control.cc" "src/snap/CMakeFiles/snap_core.dir/control.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/control.cc.o.d"
+  "/root/repo/src/snap/elements.cc" "src/snap/CMakeFiles/snap_core.dir/elements.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/elements.cc.o.d"
+  "/root/repo/src/snap/engine_group.cc" "src/snap/CMakeFiles/snap_core.dir/engine_group.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/engine_group.cc.o.d"
+  "/root/repo/src/snap/kernel_injection.cc" "src/snap/CMakeFiles/snap_core.dir/kernel_injection.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/kernel_injection.cc.o.d"
+  "/root/repo/src/snap/shaping_engine.cc" "src/snap/CMakeFiles/snap_core.dir/shaping_engine.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/shaping_engine.cc.o.d"
+  "/root/repo/src/snap/upgrade.cc" "src/snap/CMakeFiles/snap_core.dir/upgrade.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/upgrade.cc.o.d"
+  "/root/repo/src/snap/virtual_switch.cc" "src/snap/CMakeFiles/snap_core.dir/virtual_switch.cc.o" "gcc" "src/snap/CMakeFiles/snap_core.dir/virtual_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/snap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/snap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/snap_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_core.dir/control.cc.o"
+  "CMakeFiles/snap_core.dir/control.cc.o.d"
+  "CMakeFiles/snap_core.dir/elements.cc.o"
+  "CMakeFiles/snap_core.dir/elements.cc.o.d"
+  "CMakeFiles/snap_core.dir/engine_group.cc.o"
+  "CMakeFiles/snap_core.dir/engine_group.cc.o.d"
+  "CMakeFiles/snap_core.dir/kernel_injection.cc.o"
+  "CMakeFiles/snap_core.dir/kernel_injection.cc.o.d"
+  "CMakeFiles/snap_core.dir/shaping_engine.cc.o"
+  "CMakeFiles/snap_core.dir/shaping_engine.cc.o.d"
+  "CMakeFiles/snap_core.dir/upgrade.cc.o"
+  "CMakeFiles/snap_core.dir/upgrade.cc.o.d"
+  "CMakeFiles/snap_core.dir/virtual_switch.cc.o"
+  "CMakeFiles/snap_core.dir/virtual_switch.cc.o.d"
+  "libsnap_core.a"
+  "libsnap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

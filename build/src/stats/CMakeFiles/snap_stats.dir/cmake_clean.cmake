@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_stats.dir/histogram.cc.o"
+  "CMakeFiles/snap_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/snap_stats.dir/metrics.cc.o"
+  "CMakeFiles/snap_stats.dir/metrics.cc.o.d"
+  "libsnap_stats.a"
+  "libsnap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_util.dir/logging.cc.o"
+  "CMakeFiles/snap_util.dir/logging.cc.o.d"
+  "CMakeFiles/snap_util.dir/status.cc.o"
+  "CMakeFiles/snap_util.dir/status.cc.o.d"
+  "libsnap_util.a"
+  "libsnap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

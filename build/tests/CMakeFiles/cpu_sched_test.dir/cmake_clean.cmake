@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_sched_test.dir/cpu_sched_test.cc.o"
+  "CMakeFiles/cpu_sched_test.dir/cpu_sched_test.cc.o.d"
+  "cpu_sched_test"
+  "cpu_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

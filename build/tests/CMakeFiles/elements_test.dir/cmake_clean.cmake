@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elements_test.dir/elements_test.cc.o"
+  "CMakeFiles/elements_test.dir/elements_test.cc.o.d"
+  "elements_test"
+  "elements_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

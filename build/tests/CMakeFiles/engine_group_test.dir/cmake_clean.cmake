@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_group_test.dir/engine_group_test.cc.o"
+  "CMakeFiles/engine_group_test.dir/engine_group_test.cc.o.d"
+  "engine_group_test"
+  "engine_group_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

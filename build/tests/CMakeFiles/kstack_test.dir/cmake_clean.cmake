@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kstack_test.dir/kstack_test.cc.o"
+  "CMakeFiles/kstack_test.dir/kstack_test.cc.o.d"
+  "kstack_test"
+  "kstack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

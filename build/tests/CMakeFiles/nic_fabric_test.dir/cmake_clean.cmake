@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_fabric_test.dir/nic_fabric_test.cc.o"
+  "CMakeFiles/nic_fabric_test.dir/nic_fabric_test.cc.o.d"
+  "nic_fabric_test"
+  "nic_fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pony_flowcontrol_test.dir/pony_flowcontrol_test.cc.o"
+  "CMakeFiles/pony_flowcontrol_test.dir/pony_flowcontrol_test.cc.o.d"
+  "pony_flowcontrol_test"
+  "pony_flowcontrol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pony_flowcontrol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

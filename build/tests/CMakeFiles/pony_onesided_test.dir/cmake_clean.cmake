@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pony_onesided_test.dir/pony_onesided_test.cc.o"
+  "CMakeFiles/pony_onesided_test.dir/pony_onesided_test.cc.o.d"
+  "pony_onesided_test"
+  "pony_onesided_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pony_onesided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_codec_test.dir/state_codec_test.cc.o"
+  "CMakeFiles/state_codec_test.dir/state_codec_test.cc.o.d"
+  "state_codec_test"
+  "state_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_apps_test.dir/tcp_apps_test.cc.o"
+  "CMakeFiles/tcp_apps_test.dir/tcp_apps_test.cc.o.d"
+  "tcp_apps_test"
+  "tcp_apps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

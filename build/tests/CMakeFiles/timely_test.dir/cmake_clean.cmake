@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_test.dir/timely_test.cc.o"
+  "CMakeFiles/timely_test.dir/timely_test.cc.o.d"
+  "timely_test"
+  "timely_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_test.dir/upgrade_test.cc.o"
+  "CMakeFiles/upgrade_test.dir/upgrade_test.cc.o.d"
+  "upgrade_test"
+  "upgrade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

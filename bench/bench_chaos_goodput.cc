@@ -1,0 +1,94 @@
+// Chaos goodput sweep: how Pony Express goodput degrades as injected
+// fault rates rise. Each row runs the deterministic two-host echo scenario
+// (seed-averaged) under one chaos setting and reports achieved goodput,
+// retransmission overhead, and invariant status — reliability must hold at
+// every point; only performance is allowed to degrade.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/testing/seed_sweep.h"
+#include "src/util/logging.h"
+
+namespace {
+
+struct Row {
+  std::string label;
+  snap::ChaosProfile profile;
+};
+
+}  // namespace
+
+int main() {
+  using namespace snap;
+  PrintHeader("Chaos goodput: echo workload vs injected fault rate");
+
+  std::vector<Row> rows;
+  {
+    ChaosProfile clean;
+    clean.name = "clean";
+    rows.push_back({"loss 0%", clean});
+  }
+  for (double loss_bad : {0.2, 0.4, 0.6}) {
+    ChaosProfile p;
+    p.p_good_to_bad = 0.02;
+    p.p_bad_to_good = 0.25;
+    p.loss_bad = loss_bad;
+    // Stationary bad fraction ~7.4% -> average loss ~ 0.074 * loss_bad.
+    char label[32];
+    std::snprintf(label, sizeof(label), "burst loss ~%.1f%%",
+                  7.4 * loss_bad);
+    p.name = label;
+    rows.push_back({label, p});
+  }
+  for (double reorder : {0.05, 0.15, 0.30}) {
+    ChaosProfile p;
+    p.reorder_probability = reorder;
+    p.reorder_span = 8;
+    char label[32];
+    std::snprintf(label, sizeof(label), "reorder %2.0f%% k=8",
+                  reorder * 100);
+    p.name = label;
+    rows.push_back({label, p});
+  }
+
+  SeedSweepOptions opt;
+  opt.num_seeds = 4;
+  opt.check_replay = false;
+  opt.num_streams = 4;
+  opt.messages_per_stream = 32;
+  opt.message_bytes = 4096;
+  opt.send_interval = 5 * kUsec;
+  SeedSweepRunner runner(opt);
+
+  std::printf("  %-18s %13s %8s %10s %10s %6s\n", "profile",
+              "goodput(Gbps)", "retx", "spurious", "held", "ok");
+  for (const Row& row : rows) {
+    double goodput_sum = 0;
+    int64_t retx = 0;
+    int64_t spurious = 0;
+    int64_t held = 0;
+    bool all_ok = true;
+    for (int s = 0; s < opt.num_seeds; ++s) {
+      SweepRunResult r = runner.RunOne(
+          opt.first_seed + static_cast<uint64_t>(s), row.profile);
+      all_ok = all_ok && r.ok && r.completed;
+      if (r.finish_time > 0) {
+        goodput_sum += static_cast<double>(r.delivered_messages) *
+                       static_cast<double>(opt.message_bytes) * 8.0 /
+                       static_cast<double>(r.finish_time);  // Gbps
+      }
+      retx += r.retransmits;
+      spurious += r.spurious_retransmits;
+      held += r.messages_held_for_order;
+    }
+    std::printf("  %-18s %13.3f %8lld %10lld %10lld %6s\n",
+                row.label.c_str(), goodput_sum / opt.num_seeds,
+                static_cast<long long>(retx),
+                static_cast<long long>(spurious),
+                static_cast<long long>(held), all_ok ? "yes" : "NO");
+    SNAP_CHECK(all_ok) << "invariants must hold at every fault rate";
+  }
+  return 0;
+}

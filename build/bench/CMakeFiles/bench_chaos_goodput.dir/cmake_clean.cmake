@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaos_goodput.dir/bench_chaos_goodput.cc.o"
+  "CMakeFiles/bench_chaos_goodput.dir/bench_chaos_goodput.cc.o.d"
+  "bench_chaos_goodput"
+  "bench_chaos_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaos_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/snap_testing.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/snap_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/pony/CMakeFiles/snap_pony.dir/DependInfo.cmake"
   "/root/repo/build/src/snap/CMakeFiles/snap_core.dir/DependInfo.cmake"

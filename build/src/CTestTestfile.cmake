@@ -14,3 +14,4 @@ subdirs("kernel")
 subdirs("snap")
 subdirs("pony")
 subdirs("apps")
+subdirs("testing")

@@ -92,3 +92,8 @@ if(NOT CMAKE_INSTALL_LOCAL_ONLY)
   include("/root/repo/build/src/apps/cmake_install.cmake")
 endif()
 
+if(NOT CMAKE_INSTALL_LOCAL_ONLY)
+  # Include the install script for the subdirectory.
+  include("/root/repo/build/src/testing/cmake_install.cmake")
+endif()
+

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_testing.dir/chaos.cc.o"
+  "CMakeFiles/snap_testing.dir/chaos.cc.o.d"
+  "CMakeFiles/snap_testing.dir/invariants.cc.o"
+  "CMakeFiles/snap_testing.dir/invariants.cc.o.d"
+  "CMakeFiles/snap_testing.dir/seed_sweep.cc.o"
+  "CMakeFiles/snap_testing.dir/seed_sweep.cc.o.d"
+  "libsnap_testing.a"
+  "libsnap_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnap_testing.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pony_chaos_e2e_test.cc" "tests/CMakeFiles/pony_chaos_e2e_test.dir/pony_chaos_e2e_test.cc.o" "gcc" "tests/CMakeFiles/pony_chaos_e2e_test.dir/pony_chaos_e2e_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/snap_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/snap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pony/CMakeFiles/snap_pony.dir/DependInfo.cmake"
+  "/root/repo/build/src/snap/CMakeFiles/snap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/snap_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/snap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/snap_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/snap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

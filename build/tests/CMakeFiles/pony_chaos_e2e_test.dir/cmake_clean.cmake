@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pony_chaos_e2e_test.dir/pony_chaos_e2e_test.cc.o"
+  "CMakeFiles/pony_chaos_e2e_test.dir/pony_chaos_e2e_test.cc.o.d"
+  "pony_chaos_e2e_test"
+  "pony_chaos_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pony_chaos_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_chaos_test.dir/upgrade_chaos_test.cc.o"
+  "CMakeFiles/upgrade_chaos_test.dir/upgrade_chaos_test.cc.o.d"
+  "upgrade_chaos_test"
+  "upgrade_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

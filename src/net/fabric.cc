@@ -24,6 +24,17 @@ void Fabric::Route(PacketPtr packet, SimTime wire_time) {
     ++stats_.dropped_random;
     return;
   }
+  if (packet->dst_host < static_cast<int>(delivery_hooks_.size())) {
+    auto& hook = delivery_hooks_[packet->dst_host];
+    if (hook) {
+      hook(std::move(packet), wire_time);
+      return;
+    }
+  }
+  EnqueueAtPort(std::move(packet), wire_time);
+}
+
+void Fabric::EnqueueAtPort(PacketPtr packet, SimTime wire_time) {
   // Propagate to the switch, then contend for the destination egress port.
   SimTime switch_arrival = wire_time + params_.propagation_delay;
   Port& port = ports_[packet->dst_host];

@@ -32,8 +32,24 @@ class Fabric {
   // time `wire_time`. Routes through the destination's egress port.
   void Route(PacketPtr packet, SimTime wire_time);
 
+  // Second half of Route: contend for the destination's egress port queue
+  // and schedule delivery. Public so delivery hooks can re-inject packets
+  // they intercepted (possibly delayed/cloned/corrupted).
+  void EnqueueAtPort(PacketPtr packet, SimTime wire_time);
+
   // Fault injection: drop each packet independently with this probability.
   void set_random_drop_probability(double p) { drop_probability_ = p; }
+
+  // Interposes on every packet routed toward `dst_host`, after the random-
+  // drop stage and before port queueing. The hook owns the packet; it
+  // delivers (or drops) via EnqueueAtPort. Used by src/testing/chaos.h.
+  void SetDeliveryHook(int dst_host,
+                       std::function<void(PacketPtr, SimTime)> hook) {
+    if (dst_host >= static_cast<int>(delivery_hooks_.size())) {
+      delivery_hooks_.resize(dst_host + 1);
+    }
+    delivery_hooks_[dst_host] = std::move(hook);
+  }
 
   struct Stats {
     int64_t delivered = 0;
@@ -59,6 +75,7 @@ class Fabric {
   NicParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<Port> ports_;
+  std::vector<std::function<void(PacketPtr, SimTime)>> delivery_hooks_;
   double drop_probability_ = 0;
   Stats stats_;
 };

@@ -131,6 +131,9 @@ bool Nic::Transmit(PacketPtr packet) {
   ++tx_outstanding_;
   ++stats_.tx_packets;
   stats_.tx_bytes += packet->wire_bytes;
+  if (tx_tap_) {
+    tx_tap_(*packet);
+  }
   // Serialize onto the uplink behind any packets already queued in the
   // ring. The NIC pipeline delay is pure latency: it delays delivery but
   // does not occupy the link.
@@ -151,6 +154,9 @@ void Nic::DeliverFromWire(PacketPtr packet) {
   ++stats_.rx_packets;
   stats_.rx_bytes += packet->wire_bytes;
   packet->rx_time = sim_->now();
+  if (rx_tap_) {
+    rx_tap_(*packet);
+  }
   auto it = steering_.find(packet->steering_hash);
   RxQueue* q = it != steering_.end() ? it->second : queues_.front().get();
   q->Deliver(std::move(packet));

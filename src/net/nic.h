@@ -116,6 +116,16 @@ class Nic {
   int host_id() const { return host_id_; }
   const NicParams& params() const { return params_; }
 
+  // Observation taps (invariant checkers, src/testing/invariants.h): fire
+  // for every packet the NIC accepts for transmission / receives from the
+  // wire. Purely passive; never mutate delivery.
+  void SetTxTap(std::function<void(const Packet&)> tap) {
+    tx_tap_ = std::move(tap);
+  }
+  void SetRxTap(std::function<void(const Packet&)> tap) {
+    rx_tap_ = std::move(tap);
+  }
+
   struct Stats {
     int64_t tx_packets = 0;
     int64_t tx_bytes = 0;
@@ -136,6 +146,8 @@ class Nic {
   // TX serialization onto the link.
   SimTime tx_busy_until_ = 0;
   int tx_outstanding_ = 0;
+  std::function<void(const Packet&)> tx_tap_;
+  std::function<void(const Packet&)> rx_tap_;
   Stats stats_;
 };
 

@@ -104,6 +104,12 @@ struct Packet {
   // Simulation bookkeeping.
   SimTime enqueue_time = 0;  // when it entered the TX path
   SimTime rx_time = 0;       // when the destination NIC received it
+
+  // Set by fault injection (src/testing/chaos.h) when the packet's CRC-
+  // covered bytes were flipped in flight. Receivers must never consume such
+  // a packet: the end-to-end CRC is expected to catch it, and the chaos
+  // harness asserts it did.
+  bool chaos_corrupted = false;
 };
 
 using PacketPtr = std::unique_ptr<Packet>;

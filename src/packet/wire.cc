@@ -132,6 +132,11 @@ uint32_t PonyPacketCrc(const PonyHeader& header,
   return crc;
 }
 
+bool VerifyPonyPacketCrc(const PonyHeader& header,
+                         const std::vector<uint8_t>& payload) {
+  return header.crc32 == PonyPacketCrc(header, payload);
+}
+
 StatusOr<uint16_t> NegotiateWireVersion(uint16_t local_min, uint16_t local_max,
                                         uint16_t remote_min,
                                         uint16_t remote_max) {

@@ -44,6 +44,10 @@ StatusOr<PonyHeader> DecodePonyHeader(const uint8_t* data, size_t len);
 uint32_t PonyPacketCrc(const PonyHeader& header,
                        const std::vector<uint8_t>& payload);
 
+// True if `header.crc32` matches the CRC recomputed over header + payload.
+bool VerifyPonyPacketCrc(const PonyHeader& header,
+                         const std::vector<uint8_t>& payload);
+
 // Negotiates the wire version between two peers advertising inclusive
 // ranges; returns the highest mutually supported version, or an error when
 // the ranges do not overlap.

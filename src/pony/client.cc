@@ -189,6 +189,9 @@ bool PonyClient::DeliverMessage(PonyIncomingMessage&& message) {
   if (messages_.full()) {
     return false;
   }
+  if (delivery_observer_) {
+    delivery_observer_(message);
+  }
   messages_.TryPush(std::move(message));
   if (message_notify_) {
     auto cb = std::move(message_notify_);

@@ -83,6 +83,14 @@ class PonyClient {
   // connections remain established").
   void Rebind(PonyEngine* engine) { engine_ = engine; }
 
+  // Observes every message that reaches the application-visible ring
+  // (invariant checkers, src/testing/invariants.h). Fires after the push
+  // succeeds; never fires for messages the engine is still holding.
+  void SetDeliveryObserver(
+      std::function<void(const PonyIncomingMessage&)> observer) {
+    delivery_observer_ = std::move(observer);
+  }
+
   // --- Engine-side interface ---
   SpscRing<PonyCommand>& command_queue() { return commands_; }
   // Deliver into the app-visible rings. Return false WITHOUT consuming the
@@ -106,6 +114,7 @@ class PonyClient {
   std::map<uint64_t, std::unique_ptr<MemoryRegion>> regions_;
   std::function<void()> completion_notify_;
   std::function<void()> message_notify_;
+  std::function<void(const PonyIncomingMessage&)> delivery_observer_;
   uint64_t next_op_ = 1;
   uint64_t next_region_ = 1;
   uint64_t next_stream_ = 1;

@@ -11,8 +11,6 @@ namespace {
 
 // Bound on in-flight packets per flow (memory and loss-recovery bound).
 constexpr size_t kMaxUnackedPackets = 1024;
-// Initial two-sided message credit granted by a new peer.
-constexpr int64_t kInitialCreditBytes = 1024 * 1024;
 // Receiver grants accumulated credit once it crosses this threshold.
 constexpr int64_t kCreditGrantThreshold = 32 * 1024;
 // Ack coalescing: one ack per this many received packets...
@@ -179,18 +177,23 @@ PacketPtr Flow::MakePacket(const TxRecord& record, SimTime now,
     p->pony.ts_echo = ts_echo_;
     ts_echo_ = 0;
   }
+  // Every outgoing packet carries this side's cumulative credit grant: a
+  // lost kCredit packet would otherwise leak its bytes from the sender's
+  // pool forever (grants are unsequenced and never retransmitted); the
+  // cumulative count makes any later packet heal the loss.
+  p->pony.credit = granted_total_;
   p->payload_bytes = record.payload_bytes;
   p->data = record.data;  // copy retained for retransmission
   p->wire_bytes = record.payload_bytes + params_->header_bytes;
   ack_pending_ = false;  // piggybacked
   unacked_rx_ = 0;
   first_unacked_rx_ = kSimTimeNever;
-  if (!p->data.empty()) {
-    // End-to-end CRC over the final wire header + payload (recomputed per
-    // transmission: seq/ack/timestamps differ across retransmits).
-    p->pony.crc32 = 0;
-    p->pony.crc32 = PonyPacketCrc(p->pony, p->data);
-  }
+  // End-to-end CRC over the final wire header + payload (recomputed per
+  // transmission: seq/ack/timestamps differ across retransmits). Header-
+  // only packets are covered too: a flipped ack, seq, or credit field is as
+  // dangerous as a flipped payload byte.
+  p->pony.crc32 = 0;
+  p->pony.crc32 = PonyPacketCrc(p->pony, p->data);
   return p;
 }
 
@@ -205,6 +208,8 @@ PacketPtr Flow::BuildNextPacket(SimTime now) {
     }
     retx_queue_.pop_front();
     it->second.sent_at = now;
+    ++it->second.transmissions;
+    it->second.last_retx_at = now;
     ++stats_.retransmits;
     return MakePacket(it->second.record, now, seq);
   }
@@ -256,11 +261,13 @@ PacketPtr Flow::MaybeBuildCreditGrant(SimTime now) {
   if (pending_grant_ < kCreditGrantThreshold) {
     return nullptr;
   }
+  int64_t grant = std::min<int64_t>(pending_grant_, INT32_MAX);
+  pending_grant_ -= grant;
+  // Fold into the cumulative count; MakePacket stamps it on this packet
+  // (and on every later one, healing this grant if it gets lost).
+  granted_total_ += static_cast<uint32_t>(grant);
   TxRecord record;
   record.header.type = PonyPacketType::kCredit;
-  record.header.credit = static_cast<uint32_t>(
-      std::min<int64_t>(pending_grant_, UINT32_MAX));
-  pending_grant_ -= record.header.credit;
   return MakePacket(record, now, /*seq=*/0);
 }
 
@@ -275,6 +282,16 @@ Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
     ++stats_.rtt_samples;
   }
 
+  // Credit processing (every packet carries the peer's cumulative grant;
+  // see granted_total() in flow.h). Serial arithmetic: a reordered packet
+  // carrying an older cumulative value yields a delta >= 2^31 and is
+  // ignored (applying it would inflate the pool catastrophically).
+  uint32_t credit_delta = h.credit - last_credit_seen_;
+  if (credit_delta != 0 && credit_delta < 0x80000000u) {
+    credit_ += credit_delta;
+    last_credit_seen_ = h.credit;
+  }
+
   // Ack processing (every packet carries the peer's cumulative ack).
   uint64_t ack = h.ack;
   if (ack > last_ack_seen_) {
@@ -282,6 +299,12 @@ Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
     auto it = unacked_.begin();
     while (it != unacked_.end() && it->first <= ack) {
       newest_sent = std::max(newest_sent, it->second.sent_at);
+      if (it->second.transmissions > 1 &&
+          now - it->second.last_retx_at < params_->spurious_rtt_floor) {
+        // The ack arrived before the retransmit could have plausibly
+        // round-tripped: the original was never lost.
+        ++stats_.spurious_retransmits;
+      }
       if (ack_observer_) {
         ack_observer_(it->second.record);
       }
@@ -306,8 +329,7 @@ Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
   }
 
   if (h.type == PonyPacketType::kCredit) {
-    credit_ += h.credit;
-    return result;  // control only
+    return result;  // control only; the grant was applied above
   }
   if (h.type == PonyPacketType::kAck) {
     return result;  // pure ack: no sequenced payload
@@ -391,6 +413,8 @@ void Flow::Serialize(StateWriter* w) const {
   w->PutU64(rcv_nxt_);
   w->PutI64(credit_);
   w->PutI64(pending_grant_);
+  w->PutU32(granted_total_);
+  w->PutU32(last_credit_seen_);
   w->PutDouble(timely_.rate_bytes_per_sec());
   w->PutU32(static_cast<uint32_t>(ooo_.size()));
   for (uint64_t seq : ooo_) {
@@ -445,6 +469,8 @@ Flow Flow::Deserialize(StateReader* r, int local_host, uint32_t local_engine,
   flow.rcv_nxt_ = r->GetU64();
   flow.credit_ = r->GetI64();
   flow.pending_grant_ = r->GetI64();
+  flow.granted_total_ = r->GetU32();
+  flow.last_credit_seen_ = r->GetU32();
   flow.timely_.RestoreRate(r->GetDouble());
   uint32_t n_ooo = r->GetU32();
   for (uint32_t i = 0; i < n_ooo; ++i) {

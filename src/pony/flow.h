@@ -54,6 +54,9 @@ struct TxRecord {
 
 class Flow {
  public:
+  // Initial two-sided message credit granted by a new peer.
+  static constexpr int64_t kInitialCreditBytes = 1024 * 1024;
+
   Flow(FlowKey key, int local_host, uint32_t local_engine,
        uint16_t wire_version, const TimelyParams& timely_params,
        const PonyParams* pony_params);
@@ -110,6 +113,19 @@ class Flow {
   int64_t credit() const { return credit_; }
   size_t unacked_packets() const { return unacked_.size(); }
 
+  // --- Introspection (invariant checkers, src/testing/invariants.h) ---
+  uint64_t rcv_nxt() const { return rcv_nxt_; }
+  uint64_t last_ack_seen() const { return last_ack_seen_; }
+  int64_t pending_grant() const { return pending_grant_; }
+  int64_t reserved() const { return reserved_; }
+  size_t retx_queue_size() const { return retx_queue_.size(); }
+  // Cumulative credit granted by this side / observed from the peer. Credit
+  // grants ride every outgoing packet as a cumulative count (mod 2^32) so a
+  // lost kCredit packet is healed by any later packet: the receiver applies
+  // the serial-arithmetic delta against last_credit_seen().
+  uint32_t granted_total() const { return granted_total_; }
+  uint32_t last_credit_seen() const { return last_credit_seen_; }
+
   // Invoked once per packet when the peer's cumulative ack covers it (the
   // upper layer completes send operations on reliable delivery).
   void set_ack_observer(std::function<void(const TxRecord&)> observer) {
@@ -123,6 +139,11 @@ class Flow {
     int64_t rto_events = 0;
     int64_t duplicates_received = 0;
     int64_t rtt_samples = 0;
+    // Retransmits of packets that were never lost: the covering ack arrived
+    // sooner after the retransmit left than the fabric's minimum RTT, so it
+    // was triggered by the original transmission (reordering-induced
+    // dup-acks or an early RTO, not loss).
+    int64_t spurious_retransmits = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -137,6 +158,8 @@ class Flow {
   struct Unacked {
     TxRecord record;
     SimTime sent_at = 0;
+    int transmissions = 1;          // 1 = original only
+    SimTime last_retx_at = kSimTimeNever;
   };
 
   PacketPtr MakePacket(const TxRecord& record, SimTime now, uint64_t seq);
@@ -192,6 +215,9 @@ class Flow {
   SimTime first_unacked_rx_ = kSimTimeNever;
   int64_t ts_echo_ = 0;   // tx_timestamp of the newest received packet
   int64_t pending_grant_ = 0;
+  // Cumulative credit handshake (see granted_total() / last_credit_seen()).
+  uint32_t granted_total_ = 0;     // total bytes this side has granted
+  uint32_t last_credit_seen_ = 0;  // newest cumulative grant from the peer
 
   Stats stats_;
 };

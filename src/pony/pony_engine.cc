@@ -230,12 +230,17 @@ void PonyEngine::HandleRxPacket(PacketPtr packet, SimTime now,
                                           packet->payload_bytes));
   }
   // End-to-end CRC verification (offloaded on real NICs; Section 3.4).
-  if (!packet->data.empty() && packet->pony.crc32 != 0) {
-    uint32_t crc = PonyPacketCrc(packet->pony, packet->data);
-    if (crc != packet->pony.crc32) {
-      ++stats_.crc_drops;
-      return;
-    }
+  // Every packet built by a Flow carries a CRC over header + payload;
+  // crc32 == 0 marks hand-built test packets that opted out.
+  if (packet->pony.crc32 != 0 &&
+      !VerifyPonyPacketCrc(packet->pony, packet->data)) {
+    ++stats_.crc_drops;
+    return;
+  }
+  if (packet->chaos_corrupted) {
+    // Fault injection flipped CRC-covered bytes yet verification passed:
+    // a corrupt packet is about to be consumed. Must never happen.
+    ++stats_.corrupt_accepted;
   }
   PonyAddress peer{packet->src_host,
                    static_cast<uint32_t>(packet->pony.flow_id >> 32)};
@@ -257,6 +262,11 @@ void PonyEngine::HandleRxPacket(PacketPtr packet, SimTime now,
     default:
       break;
   }
+  if (packet->pony.seq != 0) {
+    // A sequenced packet may have filled a receive hole; completed messages
+    // parked behind that hole are now releasable.
+    ReleaseHeldMessages(packet->pony.flow_id, flow);
+  }
 }
 
 void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
@@ -271,6 +281,7 @@ void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
     assembly.total = h.msg_length;
     assembly.first_rx = now;
   }
+  assembly.last_seq = std::max(assembly.last_seq, h.seq);
   // Copy fragment payload into the application-visible buffer. The buffer
   // is sized lazily on the first fragment that carries real bytes (pure
   // synthetic payloads never allocate).
@@ -291,8 +302,12 @@ void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
   if (assembly.received < assembly.total) {
     return;
   }
-  // Message complete: deliver to the bound client (or the default sink for
-  // streams initiated remotely).
+  // Message complete. It is handed over only once the flow's cumulative
+  // receive point passes its last fragment (ReleaseHeldMessages, called by
+  // HandleRxPacket after every sequenced packet): per-stream fragment seqs
+  // are monotone across messages, so this restores submission order when
+  // fragments of a later message overtake an earlier message's hole. The
+  // in-order arrival case releases on this very packet.
   PonyIncomingMessage msg;
   msg.from = assembly.from;
   msg.stream_id = assembly.stream_id;
@@ -300,8 +315,31 @@ void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
   msg.length = assembly.total;
   msg.data = std::move(assembly.data);
   msg.receive_time = now;
+  uint64_t release_seq = assembly.last_seq;
   assemblies_.erase(key);
+  if (flow.rcv_nxt() <= release_seq) {
+    ++stats_.messages_held_for_order;
+  }
+  held_[h.flow_id][release_seq] = std::move(msg);
+}
 
+void PonyEngine::ReleaseHeldMessages(uint64_t wire_flow_id, Flow& flow) {
+  auto hit = held_.find(wire_flow_id);
+  if (hit == held_.end()) {
+    return;
+  }
+  auto& by_seq = hit->second;
+  while (!by_seq.empty() && by_seq.begin()->first < flow.rcv_nxt()) {
+    PonyIncomingMessage msg = std::move(by_seq.begin()->second);
+    by_seq.erase(by_seq.begin());
+    DeliverOrStall(flow, std::move(msg));
+  }
+  if (by_seq.empty()) {
+    held_.erase(hit);
+  }
+}
+
+void PonyEngine::DeliverOrStall(Flow& flow, PonyIncomingMessage&& msg) {
   PonyClient* target = default_sink_;
   auto sit = streams_.find(msg.stream_id);
   if (sit != streams_.end()) {
@@ -314,7 +352,8 @@ void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
     return;  // no application attached; drop (credits never granted)
   }
   int64_t len = msg.length;
-  if (target->DeliverMessage(std::move(msg))) {
+  // Earlier stalled deliveries must drain first or they would be overtaken.
+  if (stalled_messages_.empty() && target->DeliverMessage(std::move(msg))) {
     ++stats_.messages_delivered;
     stats_.message_bytes_delivered += len;
     // Receiver-driven flow control: delivering into the application's
@@ -751,6 +790,9 @@ Engine::StateFootprint PonyEngine::Footprint() const {
   fp.flows = static_cast<int64_t>(flows_.size());
   fp.streams = static_cast<int64_t>(streams_.size() + assemblies_.size() +
                                     pending_ops_.size() + send_ops_.size());
+  for (const auto& [flow_id, by_seq] : held_) {
+    fp.streams += static_cast<int64_t>(by_seq.size());
+  }
   fp.regions = static_cast<int64_t>(regions_.size());
   return fp;
 }
@@ -797,6 +839,29 @@ void PonyEngine::SerializeState(StateWriter* w) const {
     w->PutI64(assembly.received);
     w->PutI64(assembly.total);
     w->PutBytes(assembly.data);
+    w->PutU64(assembly.last_seq);
+  }
+  uint32_t held_flows = 0;
+  for (const auto& [flow_id, by_seq] : held_) {
+    held_flows += by_seq.empty() ? 0 : 1;
+  }
+  w->PutU32(held_flows);
+  for (const auto& [flow_id, by_seq] : held_) {
+    if (by_seq.empty()) {
+      continue;
+    }
+    w->PutU64(flow_id);
+    w->PutU32(static_cast<uint32_t>(by_seq.size()));
+    for (const auto& [seq, msg] : by_seq) {
+      w->PutU64(seq);
+      w->PutI64(msg.from.host);
+      w->PutU32(msg.from.engine_id);
+      w->PutU64(msg.stream_id);
+      w->PutU64(msg.op_id);
+      w->PutI64(msg.length);
+      w->PutBytes(msg.data);
+      w->PutI64(msg.receive_time);
+    }
   }
 }
 
@@ -852,7 +917,25 @@ void PonyEngine::DeserializeState(StateReader* r) {
     assembly.received = r->GetI64();
     assembly.total = r->GetI64();
     assembly.data = r->GetBytes();
+    assembly.last_seq = r->GetU64();
     assemblies_[std::make_pair(k1, k2)] = std::move(assembly);
+  }
+  uint32_t n_held_flows = r->GetU32();
+  for (uint32_t i = 0; i < n_held_flows; ++i) {
+    uint64_t flow_id = r->GetU64();
+    uint32_t n_msgs = r->GetU32();
+    for (uint32_t j = 0; j < n_msgs; ++j) {
+      uint64_t seq = r->GetU64();
+      PonyIncomingMessage msg;
+      msg.from.host = static_cast<int>(r->GetI64());
+      msg.from.engine_id = r->GetU32();
+      msg.stream_id = r->GetU64();
+      msg.op_id = r->GetU64();
+      msg.length = r->GetI64();
+      msg.data = r->GetBytes();
+      msg.receive_time = r->GetI64();
+      held_[flow_id][seq] = std::move(msg);
+    }
   }
 }
 

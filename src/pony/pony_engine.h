@@ -88,11 +88,25 @@ class PonyEngine : public Engine {
     int64_t completions = 0;
     int64_t op_errors = 0;
     int64_t crc_drops = 0;
+    // Packets marked corrupted by fault injection that nevertheless passed
+    // CRC verification and were consumed. Must stay 0: the end-to-end CRC
+    // is the only thing standing between a flipped bit and the application.
+    int64_t corrupt_accepted = 0;
+    // Completed messages held back so a stream delivers in send order (a
+    // later message's fragments can all arrive before an earlier message's
+    // retransmitted hole fills).
+    int64_t messages_held_for_order = 0;
   };
   const Stats& stats() const { return stats_; }
 
   Flow* FindFlow(PonyAddress peer);
   size_t flow_count() const { return flows_.size(); }
+  // Read-only flow iteration (invariant checkers).
+  void ForEachFlow(const std::function<void(const Flow&)>& fn) const {
+    for (const auto& [key, flow] : flows_) {
+      fn(flow);
+    }
+  }
 
  private:
   struct PendingOp {
@@ -117,6 +131,11 @@ class PonyEngine : public Engine {
     int64_t total = 0;
     std::vector<uint8_t> data;
     SimTime first_rx = 0;
+    // Highest flow seq among this message's fragments: the message may only
+    // be handed to the application once the flow's cumulative receive point
+    // passes it (all earlier messages on the flow are then complete too, so
+    // per-stream submission order is preserved under packet reordering).
+    uint64_t last_seq = 0;
   };
 
   struct StreamBinding {
@@ -130,6 +149,12 @@ class PonyEngine : public Engine {
   void HandleRxPacket(PacketPtr packet, SimTime now, SimDuration* cost);
   void HandleDataFragment(Flow& flow, const Packet& packet, SimTime now,
                           SimDuration* cost);
+  // Delivers a completed message, or appends it to stalled_messages_ when
+  // the client ring is full (or earlier stalls exist — FIFO preserved).
+  void DeliverOrStall(Flow& flow, PonyIncomingMessage&& msg);
+  // Hands over every held message whose last_seq the flow's cumulative
+  // receive point has passed, in seq order.
+  void ReleaseHeldMessages(uint64_t wire_flow_id, Flow& flow);
   void HandleOpRequest(Flow& flow, const Packet& packet, SimTime now,
                        SimDuration* cost);
   void HandleOpResponse(const Packet& packet, SimTime now,
@@ -162,6 +187,9 @@ class PonyEngine : public Engine {
   std::map<uint64_t, SendOp> send_ops_;
   // Reassembly of in-flight messages, keyed by (wire flow id, op id).
   std::map<std::pair<uint64_t, uint64_t>, Assembly> assemblies_;
+  // Completed messages awaiting in-order release, keyed wire flow id ->
+  // last fragment seq -> message (see Assembly::last_seq).
+  std::map<uint64_t, std::map<uint64_t, PonyIncomingMessage>> held_;
   RegionRegistry regions_;
   std::vector<PonyClient*> clients_;
   PonyClient* default_sink_ = nullptr;

@@ -169,6 +169,11 @@ struct PonyParams {
   int64_t credit_message_threshold = 256 * 1024;
   // Retransmission timeout floor.
   SimDuration min_rto = 400 * kUsec;
+  // Spurious-retransmit detection floor: an ack that arrives sooner than
+  // this after a retransmit left cannot have been triggered by it (the
+  // fabric's minimum RTT is ~2x propagation + 2x NIC pipeline ≈ 4.8 us), so
+  // the original packet was never lost and the retransmit was spurious.
+  SimDuration spurious_rtt_floor = 4 * kUsec;
 };
 
 // ---------------------------------------------------------------------------

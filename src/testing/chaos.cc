@@ -1,0 +1,193 @@
+#include "src/testing/chaos.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+
+// SplitMix64 step: derives per-port seeds so two links built from the same
+// profile (one per direction) draw independent streams.
+uint64_t DeriveSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ChaosLink::ChaosLink(Simulator* sim, const ChaosProfile& profile,
+                     DeliverFn deliver)
+    : sim_(sim),
+      profile_(profile),
+      deliver_(std::move(deliver)),
+      rng_(profile.seed) {
+  SNAP_CHECK(deliver_ != nullptr);
+  SNAP_CHECK_GT(profile_.reorder_span, 0);
+}
+
+ChaosLink::~ChaosLink() {
+  for (auto& [id, held] : held_) {
+    held.timeout.Cancel();
+  }
+}
+
+std::unique_ptr<ChaosLink> ChaosLink::AttachToFabric(
+    Fabric* fabric, int dst_host, const ChaosProfile& profile) {
+  ChaosProfile derived = profile;
+  derived.seed = DeriveSeed(profile.seed, static_cast<uint64_t>(dst_host));
+  auto link = std::make_unique<ChaosLink>(
+      fabric->sim(), derived, [fabric](PacketPtr p, SimTime wire_time) {
+        fabric->EnqueueAtPort(std::move(p), wire_time);
+      });
+  ChaosLink* raw = link.get();
+  fabric->SetDeliveryHook(dst_host, [raw](PacketPtr p, SimTime wire_time) {
+    raw->Process(std::move(p), wire_time);
+  });
+  return link;
+}
+
+void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
+  ++stats_.processed;
+
+  // 1. Gilbert-Elliott loss: advance the channel state, then draw against
+  // the state's loss rate.
+  if (bad_state_) {
+    if (rng_.NextBernoulli(profile_.p_bad_to_good)) {
+      bad_state_ = false;
+    }
+  } else {
+    if (rng_.NextBernoulli(profile_.p_good_to_bad)) {
+      bad_state_ = true;
+    }
+  }
+  if (bad_state_) {
+    ++stats_.bad_state_packets;
+  }
+  double loss = bad_state_ ? profile_.loss_bad : profile_.loss_good;
+  if (loss > 0 && rng_.NextBernoulli(loss)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  // 2. Duplication: clone BEFORE corruption so the duplicate is clean (a
+  // corrupted duplicate would just be dropped by CRC; a clean one actually
+  // exercises the receiver's duplicate suppression).
+  if (profile_.duplicate_probability > 0 &&
+      rng_.NextBernoulli(profile_.duplicate_probability)) {
+    ++stats_.duplicated;
+    auto clone = std::make_unique<Packet>(*packet);
+    Packet* raw = clone.release();
+    sim_->Schedule(profile_.duplicate_delay, [this, raw] {
+      deliver_(PacketPtr(raw), sim_->now());
+    });
+  }
+
+  // 3. Corruption: only packets that carry a CRC (every flow-built Pony
+  // packet does), so the flip is always detectable end-to-end.
+  if (profile_.corrupt_probability > 0 &&
+      packet->proto == WireProtocol::kPony && packet->pony.crc32 != 0 &&
+      rng_.NextBernoulli(profile_.corrupt_probability)) {
+    Corrupt(packet.get());
+  }
+
+  // 4. Reordering: hold until reorder_span later packets have passed.
+  if (profile_.reorder_probability > 0 &&
+      rng_.NextBernoulli(profile_.reorder_probability)) {
+    ++stats_.reordered;
+    int64_t id = next_held_id_++;
+    Held held;
+    held.packet = std::move(packet);
+    held.remaining = profile_.reorder_span;
+    held.timeout = sim_->Schedule(profile_.reorder_max_hold, [this, id] {
+      ReleaseHeld(id, /*timed_out=*/true);
+    });
+    held_.emplace(id, std::move(held));
+    return;
+  }
+
+  Forward(std::move(packet), wire_time);
+}
+
+void ChaosLink::Forward(PacketPtr packet, SimTime wire_time) {
+  // Every packet that passes counts down the held packets' displacement.
+  std::vector<int64_t> due;
+  for (auto& [id, held] : held_) {
+    if (--held.remaining <= 0) {
+      due.push_back(id);
+    }
+  }
+
+  ++stats_.forwarded;
+  if (profile_.jitter_max > 0) {
+    SimDuration delay = static_cast<SimDuration>(
+        rng_.NextBounded(static_cast<uint64_t>(profile_.jitter_max) + 1));
+    if (delay > 0) {
+      ++stats_.jittered;
+      Packet* raw = packet.release();
+      sim_->Schedule(delay, [this, raw] {
+        deliver_(PacketPtr(raw), sim_->now());
+      });
+    } else {
+      deliver_(std::move(packet), wire_time);
+    }
+  } else {
+    deliver_(std::move(packet), wire_time);
+  }
+
+  for (int64_t id : due) {
+    ReleaseHeld(id, /*timed_out=*/false);
+  }
+}
+
+void ChaosLink::ReleaseHeld(int64_t id, bool timed_out) {
+  auto it = held_.find(id);
+  if (it == held_.end()) {
+    return;
+  }
+  PacketPtr packet = std::move(it->second.packet);
+  it->second.timeout.Cancel();
+  held_.erase(it);
+  if (timed_out) {
+    ++stats_.reorder_timeouts;
+  }
+  ++stats_.forwarded;
+  deliver_(std::move(packet), sim_->now());
+}
+
+void ChaosLink::FlushHeld() {
+  while (!held_.empty()) {
+    ReleaseHeld(held_.begin()->first, /*timed_out=*/false);
+  }
+}
+
+void ChaosLink::Corrupt(Packet* packet) {
+  ++stats_.corrupted;
+  packet->chaos_corrupted = true;
+  if (!packet->data.empty()) {
+    // Flip one payload bit.
+    uint64_t bit = rng_.NextBounded(packet->data.size() * 8);
+    packet->data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    return;
+  }
+  // Header-only packet (ack, credit grant, synthetic payload): flip a bit
+  // in a CRC-covered header field. A flipped ack/seq/credit is every bit as
+  // dangerous as a flipped payload byte.
+  switch (rng_.NextBounded(3)) {
+    case 0:
+      packet->pony.seq ^= 1ull << rng_.NextBounded(64);
+      break;
+    case 1:
+      packet->pony.ack ^= 1ull << rng_.NextBounded(48);
+      break;
+    default:
+      packet->pony.credit ^= 1u << rng_.NextBounded(32);
+      break;
+  }
+}
+
+}  // namespace snap

@@ -1,0 +1,131 @@
+// Network chaos injection for the simulated fabric.
+//
+// A ChaosLink interposes on packets routed toward one destination host
+// (Fabric::SetDeliveryHook) and subjects them, in order, to:
+//   1. Gilbert-Elliott bursty loss (two-state Markov chain: a good state
+//      with low loss and a bad state with high loss, so drops arrive in
+//      bursts like real fabric congestion/link flaps);
+//   2. duplication (a clean copy re-delivered after a delay);
+//   3. bit-flip corruption of CRC-covered bytes (payload or header), which
+//      the end-to-end Pony CRC must catch — the packet is tagged
+//      chaos_corrupted so receivers can prove they never consumed one;
+//   4. bounded reordering (hold a packet until `reorder_span` later packets
+//      have passed, or a timeout) and uniform latency jitter.
+//
+// All randomness comes from the link's own Rng, seeded from the profile, so
+// a run is bit-identical for the same seed regardless of other simulator
+// RNG consumers.
+#ifndef SRC_TESTING_CHAOS_H_
+#define SRC_TESTING_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/net/fabric.h"
+#include "src/packet/packet.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace snap {
+
+struct ChaosProfile {
+  std::string name = "none";
+
+  // Gilbert-Elliott loss model. Per-packet state transitions; stationary
+  // bad-state fraction is p_good_to_bad / (p_good_to_bad + p_bad_to_good),
+  // mean burst length (packets) is 1 / p_bad_to_good.
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;
+  double loss_bad = 0.0;
+
+  // Reordering: with this probability a packet is held until reorder_span
+  // later packets have passed it (bounded displacement), or until
+  // reorder_max_hold elapses, whichever comes first.
+  double reorder_probability = 0.0;
+  int reorder_span = 8;
+  SimDuration reorder_max_hold = 2 * kMsec;
+
+  // Duplication: a clean (uncorrupted) copy is delivered duplicate_delay
+  // after the original.
+  double duplicate_probability = 0.0;
+  SimDuration duplicate_delay = 5 * kUsec;
+
+  // Corruption: flip one CRC-covered bit (payload if present, else a header
+  // field). Only applied to Pony packets that carry a CRC, so every
+  // corruption is detectable — and must be detected.
+  double corrupt_probability = 0.0;
+
+  // Extra per-packet delivery delay, uniform in [0, jitter_max].
+  SimDuration jitter_max = 0;
+
+  uint64_t seed = 1;
+};
+
+class ChaosLink {
+ public:
+  // Downstream delivery: (packet, wire_time), normally
+  // Fabric::EnqueueAtPort.
+  using DeliverFn = std::function<void(PacketPtr, SimTime)>;
+
+  ChaosLink(Simulator* sim, const ChaosProfile& profile, DeliverFn deliver);
+  ~ChaosLink();
+
+  ChaosLink(const ChaosLink&) = delete;
+  ChaosLink& operator=(const ChaosLink&) = delete;
+
+  // Creates a link delivering into `fabric`'s port queue for `dst_host` and
+  // installs it as that host's delivery hook. The link's RNG seed is
+  // derived from profile.seed and dst_host so each direction of a
+  // conversation sees independent (but reproducible) chaos.
+  static std::unique_ptr<ChaosLink> AttachToFabric(
+      Fabric* fabric, int dst_host, const ChaosProfile& profile);
+
+  // Entry point: takes ownership, eventually forwards or drops.
+  void Process(PacketPtr packet, SimTime wire_time);
+
+  // Releases every held (reordering) packet immediately.
+  void FlushHeld();
+
+  struct Stats {
+    int64_t processed = 0;       // originals entering the link
+    int64_t forwarded = 0;       // originals handed downstream
+    int64_t dropped = 0;         // Gilbert-Elliott losses
+    int64_t duplicated = 0;      // clean clones injected
+    int64_t corrupted = 0;       // bit-flips applied
+    int64_t reordered = 0;       // packets held for reordering
+    int64_t reorder_timeouts = 0;
+    int64_t jittered = 0;
+    int64_t bad_state_packets = 0;  // packets seen while in the bad state
+  };
+  const Stats& stats() const { return stats_; }
+  int64_t held_now() const { return static_cast<int64_t>(held_.size()); }
+  const ChaosProfile& profile() const { return profile_; }
+
+ private:
+  struct Held {
+    PacketPtr packet;
+    int remaining = 0;  // forwarded packets until release
+    EventHandle timeout;
+  };
+
+  void Forward(PacketPtr packet, SimTime wire_time);
+  void ReleaseHeld(int64_t id, bool timed_out);
+  void Corrupt(Packet* packet);
+
+  Simulator* sim_;
+  ChaosProfile profile_;
+  DeliverFn deliver_;
+  Rng rng_;
+  bool bad_state_ = false;
+  std::map<int64_t, Held> held_;
+  int64_t next_held_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_TESTING_CHAOS_H_

@@ -1,0 +1,439 @@
+#include "src/testing/invariants.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+
+constexpr uint32_t kPayloadMagic = 0x43484F53;  // "CHOS"
+constexpr size_t kPayloadHeader = 4 + 4 + 8 + 8;
+constexpr size_t kMaxViolations = 200;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t PatternSeed(uint64_t stream_id, uint64_t index) {
+  return stream_id * 0x9E3779B97F4A7C15ULL ^ (index + 1);
+}
+
+template <typename T>
+void PutLe(std::vector<uint8_t>* out, T value) {
+  size_t pos = out->size();
+  out->resize(pos + sizeof(T));
+  std::memcpy(out->data() + pos, &value, sizeof(T));
+}
+
+template <typename T>
+T GetLe(const std::vector<uint8_t>& in, size_t pos) {
+  T value;
+  std::memcpy(&value, in.data() + pos, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeChaosPayload(uint64_t stream_id, uint64_t index,
+                                        int64_t length) {
+  SNAP_CHECK_GE(length, kChaosPayloadMinBytes);
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(length));
+  PutLe<uint32_t>(&out, kPayloadMagic);
+  PutLe<uint32_t>(&out, static_cast<uint32_t>(length));
+  PutLe<uint64_t>(&out, stream_id);
+  PutLe<uint64_t>(&out, index);
+  uint64_t state = PatternSeed(stream_id, index);
+  uint64_t word = 0;
+  int bits = 0;
+  while (out.size() < static_cast<size_t>(length)) {
+    if (bits == 0) {
+      word = SplitMix64(&state);
+      bits = 64;
+    }
+    out.push_back(static_cast<uint8_t>(word));
+    word >>= 8;
+    bits -= 8;
+  }
+  return out;
+}
+
+bool DecodeChaosPayload(const std::vector<uint8_t>& data, uint64_t* stream_id,
+                        uint64_t* index, std::string* error) {
+  if (data.size() < kPayloadHeader) {
+    *error = "payload shorter than chaos header";
+    return false;
+  }
+  if (GetLe<uint32_t>(data, 0) != kPayloadMagic) {
+    *error = "bad magic (header bytes corrupted)";
+    return false;
+  }
+  uint32_t length = GetLe<uint32_t>(data, 4);
+  if (length != data.size()) {
+    *error = "length field mismatch";
+    return false;
+  }
+  *stream_id = GetLe<uint64_t>(data, 8);
+  *index = GetLe<uint64_t>(data, 16);
+  uint64_t state = PatternSeed(*stream_id, *index);
+  uint64_t word = 0;
+  int bits = 0;
+  for (size_t i = kPayloadHeader; i < data.size(); ++i) {
+    if (bits == 0) {
+      word = SplitMix64(&state);
+      bits = 64;
+    }
+    if (data[i] != static_cast<uint8_t>(word)) {
+      std::ostringstream os;
+      os << "pattern mismatch at byte " << i;
+      *error = os.str();
+      return false;
+    }
+    word >>= 8;
+    bits -= 8;
+  }
+  return true;
+}
+
+void InvariantChecker::AttachFabric(Fabric* fabric) {
+  fabric_ = fabric;
+  for (int h = 0; h < fabric->num_hosts(); ++h) {
+    fabric->nic(h)->SetRxTap(
+        [this, h](const Packet& p) { RecordTrace(h, p); });
+  }
+}
+
+void InvariantChecker::RecordTrace(int host, const Packet& packet) {
+  TraceRecord rec;
+  rec.t = sim_->now();
+  rec.host = host;
+  rec.flow_id = packet.pony.flow_id;
+  rec.seq = packet.pony.seq;
+  rec.type = static_cast<uint8_t>(packet.pony.type);
+  rec.crc = packet.pony.crc32;
+  rec.wire_bytes = packet.wire_bytes;
+  trace_.push_back(rec);
+}
+
+uint64_t InvariantChecker::TraceDigest() const {
+  // FNV-1a over every field of every record.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const TraceRecord& r : trace_) {
+    mix(static_cast<uint64_t>(r.t));
+    mix(static_cast<uint64_t>(r.host));
+    mix(r.flow_id);
+    mix(r.seq);
+    mix(r.type);
+    mix(r.crc);
+    mix(static_cast<uint64_t>(r.wire_bytes));
+  }
+  return h;
+}
+
+void InvariantChecker::WatchClient(PonyClient* client,
+                                   const std::string& label) {
+  client->SetDeliveryObserver(
+      [this, label](const PonyIncomingMessage& msg) {
+        OnDelivery(label, msg);
+      });
+}
+
+void InvariantChecker::ExpectDeliveries(const std::string& label,
+                                        uint64_t stream_id, int64_t count) {
+  expected_[{label, stream_id}] = count;
+}
+
+int64_t InvariantChecker::delivered(const std::string& label,
+                                    uint64_t stream_id) const {
+  auto it = delivered_.find({label, stream_id});
+  return it == delivered_.end() ? 0 : it->second;
+}
+
+void InvariantChecker::OnDelivery(const std::string& label,
+                                  const PonyIncomingMessage& msg) {
+  ++total_delivered_;
+  ++delivered_[{label, msg.stream_id}];
+  uint64_t stream_id = 0;
+  uint64_t index = 0;
+  std::string error;
+  if (!DecodeChaosPayload(msg.data, &stream_id, &index, &error)) {
+    std::ostringstream os;
+    os << label << " stream " << msg.stream_id
+       << ": corrupt/unverifiable payload delivered to application ("
+       << error << ")";
+    AddViolation("payload-integrity", os.str());
+    return;
+  }
+  if (stream_id != msg.stream_id) {
+    std::ostringstream os;
+    os << label << ": payload encoded for stream " << stream_id
+       << " arrived on stream " << msg.stream_id;
+    AddViolation("stream-mismatch", os.str());
+    return;
+  }
+  uint64_t& next = next_index_[{label, msg.stream_id}];
+  if (index < next) {
+    std::ostringstream os;
+    os << label << " stream " << msg.stream_id << ": message " << index
+       << " delivered again (next expected " << next << ")";
+    AddViolation("duplicate-delivery", os.str());
+  } else if (index > next) {
+    std::ostringstream os;
+    os << label << " stream " << msg.stream_id << ": message " << index
+       << " overtook message " << next;
+    AddViolation("out-of-order-delivery", os.str());
+  }
+  next = std::max(next, index + 1);
+}
+
+void InvariantChecker::NoteFlowSample(const std::string& flow_label,
+                                      uint64_t ack, uint64_t rcv_nxt) {
+  auto it = flow_samples_.find(flow_label);
+  if (it != flow_samples_.end()) {
+    if (ack < it->second.first) {
+      std::ostringstream os;
+      os << flow_label << ": cumulative ack regressed " << it->second.first
+         << " -> " << ack;
+      AddViolation("ack-monotonicity", os.str());
+    }
+    if (rcv_nxt < it->second.second) {
+      std::ostringstream os;
+      os << flow_label << ": receive point regressed " << it->second.second
+         << " -> " << rcv_nxt;
+      AddViolation("rcv-monotonicity", os.str());
+    }
+  }
+  flow_samples_[flow_label] = {ack, rcv_nxt};
+}
+
+void InvariantChecker::SampleFlowsNow() {
+  if (!engine_lister_) {
+    return;
+  }
+  for (const PonyEngine* engine : engine_lister_()) {
+    engine->ForEachFlow([this, engine](const Flow& flow) {
+      std::ostringstream os;
+      os << "h" << engine->address().host << ":e"
+         << engine->address().engine_id << "->h" << flow.key().remote_host
+         << ":e" << flow.key().remote_engine;
+      std::string label = os.str();
+      NoteFlowSample(label, flow.last_ack_seen(), flow.rcv_nxt());
+      if (flow.credit() < 0 || flow.credit() > Flow::kInitialCreditBytes) {
+        std::ostringstream v;
+        v << label << ": credit pool " << flow.credit()
+          << " outside [0, " << Flow::kInitialCreditBytes << "]";
+        AddViolation("credit-bounds", v.str());
+      }
+      if (flow.pending_grant() < 0) {
+        AddViolation("credit-bounds", label + ": negative pending grant");
+      }
+      if (flow.stats().spurious_retransmits > flow.stats().retransmits) {
+        std::ostringstream v;
+        v << label << ": spurious retransmits ("
+          << flow.stats().spurious_retransmits << ") exceed retransmits ("
+          << flow.stats().retransmits << ")";
+        AddViolation("spurious-accounting", v.str());
+      }
+    });
+  }
+}
+
+void InvariantChecker::StartSampling(SimDuration period) {
+  sample_period_ = period;
+  sample_timer_.Cancel();
+  sample_timer_ = sim_->Schedule(period, [this] {
+    SampleFlowsNow();
+    StartSampling(sample_period_);
+  });
+}
+
+void InvariantChecker::CheckCreditConservation(const Flow& sender,
+                                               const Flow& receiver,
+                                               const std::string& label) {
+  // Grants issued by the receiver that the sender has not applied yet
+  // (lost-and-not-yet-healed or genuinely in flight at non-quiesce).
+  int64_t on_wire = static_cast<int64_t>(static_cast<uint32_t>(
+      receiver.granted_total() - sender.last_credit_seen()));
+  int64_t total = sender.credit() + receiver.pending_grant() + on_wire;
+  if (total != Flow::kInitialCreditBytes) {
+    std::ostringstream os;
+    os << label << ": credit pool leaks " << std::showpos
+       << (Flow::kInitialCreditBytes - total) << std::noshowpos
+       << " bytes (sender pool " << sender.credit() << " + pending grant "
+       << receiver.pending_grant() << " + on-wire " << on_wire << " != "
+       << Flow::kInitialCreditBytes << ")";
+    AddViolation("credit-conservation", os.str());
+  }
+}
+
+void InvariantChecker::CheckFinal(bool require_quiesce) {
+  // 1. Completeness: every expected (label, stream) delivered exactly.
+  for (const auto& [key, count] : expected_) {
+    int64_t got = delivered(key.first, key.second);
+    if (got != count) {
+      std::ostringstream os;
+      os << key.first << " stream " << key.second << ": delivered " << got
+         << " of " << count << " expected messages";
+      AddViolation("completeness", os.str());
+    }
+  }
+
+  // 2. Engine-level accounting.
+  int64_t crc_drops = 0;
+  int64_t corrupt_accepted = 0;
+  std::vector<const PonyEngine*> engines;
+  if (engine_lister_) {
+    engines = engine_lister_();
+  }
+  for (const PonyEngine* engine : engines) {
+    crc_drops += engine->stats().crc_drops;
+    corrupt_accepted += engine->stats().corrupt_accepted;
+  }
+  if (corrupt_accepted != 0) {
+    std::ostringstream os;
+    os << corrupt_accepted
+       << " corrupted packet(s) passed CRC verification and were consumed";
+    AddViolation("corruption-accepted", os.str());
+  }
+
+  // 3. Flow-level checks (monotonicity state, bounds, quiesce, credit).
+  SampleFlowsNow();
+  std::map<PonyAddress, const PonyEngine*> by_addr;
+  for (const PonyEngine* engine : engines) {
+    by_addr[engine->address()] = engine;
+  }
+  for (const PonyEngine* engine : engines) {
+    engine->ForEachFlow([&](const Flow& flow) {
+      std::ostringstream os;
+      os << "h" << engine->address().host << ":e"
+         << engine->address().engine_id << "->h" << flow.key().remote_host
+         << ":e" << flow.key().remote_engine;
+      std::string label = os.str();
+      if (require_quiesce &&
+          (flow.unacked_packets() > 0 || flow.tx_backlog() > 0)) {
+        std::ostringstream v;
+        v << label << ": not quiesced (" << flow.unacked_packets()
+          << " unacked, backlog " << flow.tx_backlog() << ")";
+        AddViolation("not-quiesced", v.str());
+      }
+      PonyAddress peer{flow.key().remote_host, flow.key().remote_engine};
+      auto pit = by_addr.find(peer);
+      if (pit == by_addr.end()) {
+        return;
+      }
+      const Flow* reverse = nullptr;
+      pit->second->ForEachFlow([&](const Flow& r) {
+        if (r.key().remote_host == engine->address().host &&
+            r.key().remote_engine == engine->address().engine_id) {
+          reverse = &r;
+        }
+      });
+      if (reverse != nullptr && require_quiesce) {
+        CheckCreditConservation(flow, *reverse, label);
+      }
+    });
+  }
+
+  // 4. Fabric packet conservation.
+  if (fabric_ != nullptr) {
+    int64_t tx = 0;
+    int64_t rx = 0;
+    int64_t ring_drops = 0;
+    int64_t no_filter = 0;
+    for (int h = 0; h < fabric_->num_hosts(); ++h) {
+      Nic* nic = fabric_->nic(h);
+      tx += nic->stats().tx_packets;
+      rx += nic->stats().rx_packets;
+      no_filter += nic->stats().rx_no_filter_drops;
+      for (int q = 0; q < nic->num_queues(); ++q) {
+        ring_drops += nic->queue(q)->stats().dropped_ring_full;
+      }
+    }
+    int64_t chaos_dropped = 0;
+    int64_t chaos_duplicated = 0;
+    int64_t chaos_corrupted = 0;
+    int64_t chaos_held = 0;
+    for (const ChaosLink* link : chaos_) {
+      chaos_dropped += link->stats().dropped;
+      chaos_duplicated += link->stats().duplicated;
+      chaos_corrupted += link->stats().corrupted;
+      chaos_held += link->held_now();
+    }
+    const Fabric::Stats& fs = fabric_->stats();
+    if (fs.delivered != rx) {
+      std::ostringstream os;
+      os << "fabric delivered " << fs.delivered << " != NIC rx " << rx;
+      AddViolation("delivery-accounting", os.str());
+    }
+    if (require_quiesce) {
+      int64_t sent = tx + chaos_duplicated;
+      int64_t accounted = fs.delivered + fs.dropped_queue_full +
+                          fs.dropped_random + fs.dropped_bad_address +
+                          chaos_dropped + chaos_held;
+      if (sent != accounted) {
+        std::ostringstream os;
+        os << "packet conservation: tx " << tx << " + dup "
+           << chaos_duplicated << " = " << sent << " but accounted "
+           << accounted << " (delivered " << fs.delivered << ", queue-drop "
+           << fs.dropped_queue_full << ", random-drop " << fs.dropped_random
+           << ", bad-addr " << fs.dropped_bad_address << ", chaos-drop "
+           << chaos_dropped << ", chaos-held " << chaos_held << ")";
+        AddViolation("packet-conservation", os.str());
+      }
+    }
+
+    // 5. CRC accounting: drops can only come from injected corruption, and
+    // when nothing was lost after injection, every corruption is caught.
+    if (crc_drops > chaos_corrupted) {
+      std::ostringstream os;
+      os << crc_drops << " CRC drops but only " << chaos_corrupted
+         << " injected corruptions";
+      AddViolation("crc-accounting", os.str());
+    }
+    if (require_quiesce && fs.dropped_queue_full == 0 && ring_drops == 0 &&
+        no_filter == 0 && chaos_held == 0 && crc_drops != chaos_corrupted) {
+      std::ostringstream os;
+      os << "injected " << chaos_corrupted << " corruptions but CRC caught "
+         << crc_drops;
+      AddViolation("crc-accounting", os.str());
+    }
+  }
+}
+
+void InvariantChecker::AddViolation(const std::string& check,
+                                    const std::string& detail) {
+  if (violations_.size() >= kMaxViolations) {
+    ++suppressed_violations_;
+    return;
+  }
+  violations_.push_back(Violation{check, detail});
+}
+
+std::string InvariantChecker::ViolationSummary() const {
+  std::ostringstream os;
+  size_t shown = std::min<size_t>(violations_.size(), 10);
+  for (size_t i = 0; i < shown; ++i) {
+    os << "[" << violations_[i].check << "] " << violations_[i].detail
+       << "\n";
+  }
+  if (violations_.size() > shown) {
+    os << "... and " << (violations_.size() - shown + suppressed_violations_)
+       << " more\n";
+  }
+  return os.str();
+}
+
+}  // namespace snap

@@ -1,0 +1,169 @@
+// Invariant checking for Pony Express under chaos.
+//
+// The InvariantChecker observes a running simulation through passive hooks
+// (NIC taps, client delivery observers, flow introspection accessors) and
+// records violations of properties that must hold no matter what the
+// network does to packets:
+//
+//  - exactly-once, in-order delivery per stream (payloads carry a
+//    self-verifying sequence pattern);
+//  - no corrupted payload ever reaches an application (the end-to-end CRC
+//    must catch every chaos bit-flip);
+//  - cumulative acks and receive points only move forward;
+//  - credit conservation: at quiesce, every byte of a flow pair's credit
+//    pool is accounted for (sender pool + receiver pending grant + grants
+//    still on the wire == the initial pool) — a leak here is the kind of
+//    bug that turns into a silent throughput collapse or deadlock;
+//  - fabric packet conservation: every transmitted packet is delivered or
+//    shows up in exactly one drop counter (chaos, queue overflow, CRC).
+//
+// It also records a per-packet RX trace whose digest is bit-identical
+// across same-seed runs (determinism / replay checking).
+#ifndef SRC_TESTING_INVARIANTS_H_
+#define SRC_TESTING_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/pony/client.h"
+#include "src/pony/flow.h"
+#include "src/pony/pony_engine.h"
+#include "src/sim/simulator.h"
+#include "src/testing/chaos.h"
+
+namespace snap {
+
+struct Violation {
+  std::string check;   // which invariant, e.g. "duplicate-delivery"
+  std::string detail;  // human-readable specifics
+};
+
+// --- Self-verifying payloads -----------------------------------------------
+// Layout: [magic u32][length u32][stream_id u64][index u64][pattern bytes].
+// The pattern is a SplitMix64 keystream keyed by (stream_id, index), so any
+// surviving bit-flip anywhere in the payload is detected at delivery.
+inline constexpr int64_t kChaosPayloadMinBytes = 24;
+
+std::vector<uint8_t> EncodeChaosPayload(uint64_t stream_id, uint64_t index,
+                                        int64_t length);
+// Returns false (with *error set) when `data` is not an intact chaos
+// payload; fills *stream_id and *index on success.
+bool DecodeChaosPayload(const std::vector<uint8_t>& data, uint64_t* stream_id,
+                        uint64_t* index, std::string* error);
+
+// One received packet, as seen at a destination NIC.
+struct TraceRecord {
+  SimTime t = 0;
+  int host = -1;
+  uint64_t flow_id = 0;
+  uint64_t seq = 0;
+  uint8_t type = 0;
+  uint32_t crc = 0;
+  int32_t wire_bytes = 0;
+
+  friend bool operator==(const TraceRecord& a, const TraceRecord& b) {
+    return a.t == b.t && a.host == b.host && a.flow_id == b.flow_id &&
+           a.seq == b.seq && a.type == b.type && a.crc == b.crc &&
+           a.wire_bytes == b.wire_bytes;
+  }
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(Simulator* sim) : sim_(sim) {}
+  ~InvariantChecker() { sample_timer_.Cancel(); }
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // Installs RX taps on every NIC currently on the fabric (trace recording)
+  // and remembers the fabric for conservation checks. Call after all hosts
+  // exist.
+  void AttachFabric(Fabric* fabric);
+
+  // Includes a chaos link's drops/duplicates in packet conservation.
+  void AttachChaos(ChaosLink* link) { chaos_.push_back(link); }
+
+  // Source of engines for flow/credit checks; re-queried on every check so
+  // transparent upgrades (engine replacement) are followed naturally.
+  void SetEngineLister(std::function<std::vector<const PonyEngine*>()> fn) {
+    engine_lister_ = std::move(fn);
+  }
+
+  // Installs a delivery observer on `client`; every message that reaches
+  // its ring is checked for exactly-once in-order delivery and payload
+  // integrity, tracked per (label, stream).
+  void WatchClient(PonyClient* client, const std::string& label);
+
+  // CheckFinal fails unless exactly `count` messages were delivered for
+  // (label, stream_id).
+  void ExpectDeliveries(const std::string& label, uint64_t stream_id,
+                        int64_t count);
+  int64_t delivered(const std::string& label, uint64_t stream_id) const;
+  int64_t total_delivered() const { return total_delivered_; }
+
+  // Periodic flow sampling (ack/rcv_nxt monotonicity, credit bounds).
+  void StartSampling(SimDuration period);
+  void StopSampling() { sample_timer_.Cancel(); }
+
+  // --- Individual predicates (public so unit tests can drive them with
+  // hand-built violations) ---
+  void OnDelivery(const std::string& label, const PonyIncomingMessage& msg);
+  // Feeds one (cumulative ack, receive point) observation for a flow;
+  // flags regressions against the previous observation.
+  void NoteFlowSample(const std::string& flow_label, uint64_t ack,
+                      uint64_t rcv_nxt);
+  // Credit conservation for one direction: `sender` is the flow that
+  // spends credit, `receiver` its peer that grants it. Only meaningful at
+  // quiesce (no message bytes in flight, everything delivered).
+  void CheckCreditConservation(const Flow& sender, const Flow& receiver,
+                               const std::string& label);
+  // Samples every flow of every listed engine now.
+  void SampleFlowsNow();
+
+  // End-of-run checks: completeness, packet conservation, CRC accounting,
+  // credit conservation, corruption acceptance. `require_quiesce` also
+  // flags flows that still have unacked packets or queued transmissions
+  // (the caller promised the run drained).
+  void CheckFinal(bool require_quiesce = true);
+
+  void AddViolation(const std::string& check, const std::string& detail);
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::string ViolationSummary() const;
+
+  const std::vector<TraceRecord>& trace() const { return trace_; }
+  uint64_t TraceDigest() const;
+
+ private:
+  void RecordTrace(int host, const Packet& packet);
+
+  Simulator* sim_;
+  Fabric* fabric_ = nullptr;
+  std::vector<ChaosLink*> chaos_;
+  std::function<std::vector<const PonyEngine*>()> engine_lister_;
+
+  // Per (label, stream): next expected payload index and delivered count.
+  std::map<std::pair<std::string, uint64_t>, uint64_t> next_index_;
+  std::map<std::pair<std::string, uint64_t>, int64_t> delivered_;
+  std::map<std::pair<std::string, uint64_t>, int64_t> expected_;
+  int64_t total_delivered_ = 0;
+
+  // Per flow label: last observed (ack, rcv_nxt).
+  std::map<std::string, std::pair<uint64_t, uint64_t>> flow_samples_;
+
+  std::vector<TraceRecord> trace_;
+  std::vector<Violation> violations_;
+  int64_t suppressed_violations_ = 0;
+  EventHandle sample_timer_;
+  SimDuration sample_period_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_TESTING_INVARIANTS_H_

@@ -1,0 +1,89 @@
+// Seed-sweep harness: runs a deterministic two-host Pony Express echo
+// workload under a grid of chaos profiles x RNG seeds, checking every
+// invariant (src/testing/invariants.h) and — optionally — that a same-seed
+// replay produces a bit-identical packet trace.
+//
+// The scenario per run: host A opens N streams to host B and sends M
+// self-verifying messages per stream; B echoes every message back on the
+// same stream; both directions traverse a ChaosLink. The run drains to
+// quiesce and then CheckFinal() audits delivery, ordering, credit and
+// packet conservation.
+#ifndef SRC_TESTING_SEED_SWEEP_H_
+#define SRC_TESTING_SEED_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/testing/chaos.h"
+#include "src/testing/invariants.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+struct SeedSweepOptions {
+  int num_seeds = 32;
+  uint64_t first_seed = 1;
+  // Chaos profiles to sweep; empty means SeedSweepRunner::DefaultProfiles().
+  std::vector<ChaosProfile> profiles;
+
+  int num_streams = 2;
+  int messages_per_stream = 8;
+  int64_t message_bytes = 1200;
+  SimDuration send_interval = 20 * kUsec;
+  SimDuration echo_poll_interval = 20 * kUsec;
+  SimDuration sample_period = 100 * kUsec;
+  // Sim-time cap per run; a run that cannot complete by then fails the
+  // completeness invariant.
+  SimDuration run_limit = 2 * kSec;
+  // Run every (seed, profile) cell twice and require identical traces.
+  bool check_replay = true;
+};
+
+struct SweepRunResult {
+  uint64_t seed = 0;
+  std::string profile;
+  bool ok = false;          // no invariant violations
+  bool completed = false;   // every message and echo arrived in time
+  bool replay_identical = true;
+  std::vector<Violation> violations;
+  uint64_t trace_digest = 0;
+  SimTime finish_time = 0;
+  int64_t delivered_messages = 0;
+  int64_t chaos_dropped = 0;
+  int64_t chaos_duplicated = 0;
+  int64_t chaos_corrupted = 0;
+  int64_t chaos_reordered = 0;
+  int64_t crc_drops = 0;
+  int64_t retransmits = 0;
+  int64_t spurious_retransmits = 0;
+  int64_t messages_held_for_order = 0;
+};
+
+class SeedSweepRunner {
+ public:
+  explicit SeedSweepRunner(SeedSweepOptions options);
+
+  // The five standard profiles: bursty loss, bounded reordering,
+  // duplication, corruption, and everything combined.
+  static std::vector<ChaosProfile> DefaultProfiles();
+
+  // One deterministic echo scenario under (seed, profile).
+  SweepRunResult RunOne(uint64_t seed, const ChaosProfile& profile);
+
+  // The full grid (num_seeds x profiles); with check_replay every cell runs
+  // twice and replay_identical reports whether the traces matched.
+  std::vector<SweepRunResult> RunAll();
+
+  // Per-profile aggregate table (for test logs / bench output).
+  static std::string SummaryTable(const std::vector<SweepRunResult>& results);
+
+  const SeedSweepOptions& options() const { return options_; }
+
+ private:
+  SeedSweepOptions options_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_TESTING_SEED_SWEEP_H_

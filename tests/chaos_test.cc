@@ -1,0 +1,436 @@
+// Unit tests for the chaos-injection link and the invariant checker:
+// each ChaosLink failure mode in isolation (Gilbert-Elliott loss
+// statistics, bounded reordering, clean duplication, CRC-detectable
+// corruption, timeout release, determinism), the cumulative-credit
+// healing path at the flow layer, and every InvariantChecker predicate
+// firing on a hand-built violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/packet/wire.h"
+#include "src/pony/flow.h"
+#include "src/sim/simulator.h"
+#include "src/testing/chaos.h"
+#include "src/testing/invariants.h"
+
+namespace snap {
+namespace {
+
+// A wire-realistic Pony data packet (CRC stamped like Flow::MakePacket).
+PacketPtr MakePacket(uint64_t seq, int payload_bytes = 64) {
+  auto p = std::make_unique<Packet>();
+  p->src_host = 0;
+  p->dst_host = 1;
+  p->proto = WireProtocol::kPony;
+  p->pony.version = 2;
+  p->pony.flow_id = 5;
+  p->pony.seq = seq;
+  p->pony.type = PonyPacketType::kData;
+  if (payload_bytes > 0) {
+    p->data.assign(static_cast<size_t>(payload_bytes),
+                   static_cast<uint8_t>(seq));
+  }
+  p->payload_bytes = payload_bytes;
+  p->wire_bytes = payload_bytes + 64;
+  p->pony.crc32 = 0;
+  p->pony.crc32 = PonyPacketCrc(p->pony, p->data);
+  return p;
+}
+
+class ChaosLinkTest : public ::testing::Test {
+ protected:
+  ChaosLinkTest() : sim_(7) {}
+
+  // Builds a link whose output lands in delivered_.
+  std::unique_ptr<ChaosLink> MakeLink(const ChaosProfile& profile) {
+    return std::make_unique<ChaosLink>(
+        &sim_, profile, [this](PacketPtr p, SimTime) {
+          delivered_.push_back(std::move(p));
+        });
+  }
+
+  Simulator sim_;
+  std::vector<PacketPtr> delivered_;
+};
+
+TEST_F(ChaosLinkTest, CleanProfileForwardsEverythingInOrder) {
+  auto link = MakeLink(ChaosProfile{});
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    link->Process(MakePacket(i), sim_.now());
+  }
+  ASSERT_EQ(delivered_.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(delivered_[i]->pony.seq, i + 1);
+  }
+  EXPECT_EQ(link->stats().dropped, 0);
+  EXPECT_EQ(link->stats().duplicated, 0);
+  EXPECT_EQ(link->stats().corrupted, 0);
+  EXPECT_EQ(link->stats().reordered, 0);
+  EXPECT_EQ(link->stats().forwarded, 1000);
+}
+
+TEST_F(ChaosLinkTest, GilbertElliottLossIsBurstyAtConfiguredRate) {
+  ChaosProfile profile;
+  profile.name = "ge";
+  profile.p_good_to_bad = 0.02;
+  profile.p_bad_to_good = 0.25;
+  profile.loss_good = 0.0;
+  profile.loss_bad = 1.0;  // drops == packets seen in the bad state
+  profile.seed = 99;
+  auto link = MakeLink(profile);
+
+  constexpr int kPackets = 20000;
+  std::vector<bool> dropped;
+  dropped.reserve(kPackets);
+  for (uint64_t i = 1; i <= kPackets; ++i) {
+    size_t before = delivered_.size();
+    link->Process(MakePacket(i), sim_.now());
+    dropped.push_back(delivered_.size() == before);
+  }
+
+  // Stationary bad-state fraction: 0.02 / (0.02 + 0.25) ~= 7.4%.
+  double loss_rate =
+      static_cast<double>(link->stats().dropped) / kPackets;
+  EXPECT_GT(loss_rate, 0.04);
+  EXPECT_LT(loss_rate, 0.12);
+
+  // Mean drop-burst length: geometric with exit probability 0.25 -> ~4.
+  int bursts = 0;
+  int64_t burst_packets = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    if (dropped[i]) {
+      ++burst_packets;
+      if (i == 0 || !dropped[i - 1]) {
+        ++bursts;
+      }
+    }
+  }
+  ASSERT_GT(bursts, 0);
+  double mean_burst = static_cast<double>(burst_packets) / bursts;
+  EXPECT_GT(mean_burst, 2.5);
+  EXPECT_LT(mean_burst, 6.0);
+}
+
+TEST_F(ChaosLinkTest, ReorderDisplacementBounded) {
+  ChaosProfile profile;
+  profile.reorder_probability = 0.3;
+  profile.reorder_span = 4;
+  profile.seed = 3;
+  auto link = MakeLink(profile);
+
+  constexpr uint64_t kPackets = 2000;
+  for (uint64_t i = 1; i <= kPackets; ++i) {
+    link->Process(MakePacket(i), sim_.now());
+  }
+  link->FlushHeld();
+
+  ASSERT_EQ(delivered_.size(), kPackets);
+  EXPECT_GT(link->stats().reordered, 0);
+  // Exactly-once: every seq appears once.
+  std::vector<uint64_t> seqs;
+  for (const auto& p : delivered_) {
+    seqs.push_back(p->pony.seq);
+  }
+  std::vector<uint64_t> sorted = seqs;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < kPackets; ++i) {
+    ASSERT_EQ(sorted[i], i + 1);
+  }
+  // Bounded displacement: at most reorder_span later packets overtake any
+  // held packet.
+  bool any_displaced = false;
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    int overtakers = 0;
+    for (size_t j = 0; j < i; ++j) {
+      if (seqs[j] > seqs[i]) {
+        ++overtakers;
+      }
+    }
+    EXPECT_LE(overtakers, profile.reorder_span)
+        << "seq " << seqs[i] << " overtaken by " << overtakers;
+    if (overtakers > 0) {
+      any_displaced = true;
+    }
+  }
+  EXPECT_TRUE(any_displaced);
+}
+
+TEST_F(ChaosLinkTest, DuplicationDeliversCleanExtraCopies) {
+  ChaosProfile profile;
+  profile.duplicate_probability = 0.5;
+  profile.seed = 11;
+  auto link = MakeLink(profile);
+
+  constexpr int kPackets = 1000;
+  for (uint64_t i = 1; i <= kPackets; ++i) {
+    link->Process(MakePacket(i), sim_.now());
+  }
+  sim_.RunAll();  // flush delayed duplicate deliveries
+
+  EXPECT_GT(link->stats().duplicated, 350);
+  EXPECT_LT(link->stats().duplicated, 650);
+  EXPECT_EQ(delivered_.size(),
+            static_cast<size_t>(kPackets + link->stats().duplicated));
+  // Every copy (original and duplicate) still passes CRC.
+  for (const auto& p : delivered_) {
+    EXPECT_FALSE(p->chaos_corrupted);
+    EXPECT_TRUE(VerifyPonyPacketCrc(p->pony, p->data));
+  }
+}
+
+TEST_F(ChaosLinkTest, CorruptionAlwaysCaughtByCrc) {
+  ChaosProfile profile;
+  profile.corrupt_probability = 1.0;
+  profile.seed = 17;
+  auto link = MakeLink(profile);
+
+  constexpr int kPackets = 200;
+  for (uint64_t i = 1; i <= kPackets; ++i) {
+    // Half with payloads (payload bit flips), half header-only (header
+    // field bit flips); both must be CRC-detectable.
+    link->Process(MakePacket(i, i % 2 == 0 ? 128 : 0), sim_.now());
+  }
+
+  EXPECT_EQ(link->stats().corrupted, kPackets);
+  ASSERT_EQ(delivered_.size(), static_cast<size_t>(kPackets));
+  for (const auto& p : delivered_) {
+    EXPECT_TRUE(p->chaos_corrupted);
+    EXPECT_FALSE(VerifyPonyPacketCrc(p->pony, p->data))
+        << "seq " << p->pony.seq << ": bit flip not detected by CRC";
+  }
+}
+
+TEST_F(ChaosLinkTest, ReorderTimeoutReleasesStarvedHolds) {
+  ChaosProfile profile;
+  profile.reorder_probability = 1.0;  // everything held, nothing passes
+  profile.reorder_span = 8;
+  profile.reorder_max_hold = 1 * kMsec;
+  auto link = MakeLink(profile);
+
+  for (uint64_t i = 1; i <= 5; ++i) {
+    link->Process(MakePacket(i), sim_.now());
+  }
+  EXPECT_EQ(link->held_now(), 5);
+  sim_.RunFor(2 * kMsec);
+  EXPECT_EQ(link->held_now(), 0);
+  EXPECT_EQ(delivered_.size(), 5u);
+  EXPECT_EQ(link->stats().reorder_timeouts, 5);
+}
+
+TEST_F(ChaosLinkTest, SameSeedSameChaos) {
+  ChaosProfile profile;
+  profile.p_good_to_bad = 0.05;
+  profile.p_bad_to_good = 0.3;
+  profile.loss_bad = 0.8;
+  profile.reorder_probability = 0.1;
+  profile.duplicate_probability = 0.05;
+  profile.corrupt_probability = 0.05;
+  profile.seed = 1234;
+
+  auto run = [&profile]() {
+    Simulator sim(7);
+    std::vector<std::pair<uint64_t, bool>> out;  // (seq, corrupted)
+    ChaosLink link(&sim, profile, [&out](PacketPtr p, SimTime) {
+      out.emplace_back(p->pony.seq, p->chaos_corrupted);
+    });
+    for (uint64_t i = 1; i <= 3000; ++i) {
+      link.Process(MakePacket(i), sim.now());
+    }
+    sim.RunAll();
+    link.FlushHeld();
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Cumulative-credit healing (flow layer) -------------------------------
+
+TEST(FlowCreditChaosTest, LaterPacketHealsLostCreditGrant) {
+  PonyParams params;
+  Flow sender({1, 10}, /*local_host=*/0, /*local_engine=*/5, 2,
+              TimelyParams{}, &params);
+  Flow receiver({0, 5}, /*local_host=*/1, /*local_engine=*/10, 2,
+                TimelyParams{}, &params);
+
+  auto send_message = [&](SimTime now) {
+    TxRecord rec;
+    rec.header.type = PonyPacketType::kData;
+    rec.header.op_id = 1;
+    rec.header.stream_id = 1;
+    rec.header.msg_length = 64 * 1024;
+    rec.payload_bytes = 64 * 1024;
+    rec.uses_credit = true;
+    sender.QueueTx(std::move(rec));
+    PacketPtr p = sender.BuildNextPacket(now);
+    EXPECT_NE(p, nullptr);
+    receiver.OnReceive(*p, now);
+    receiver.NoteDelivered(64 * 1024);
+  };
+
+  send_message(0);
+  EXPECT_EQ(sender.credit(), Flow::kInitialCreditBytes - 64 * 1024);
+  PacketPtr grant1 = receiver.MaybeBuildCreditGrant(10 * kUsec);
+  ASSERT_NE(grant1, nullptr);
+  // grant1 is LOST: without the cumulative scheme those 64 KiB would leak
+  // from the sender's pool forever (grants are unsequenced, never
+  // retransmitted).
+
+  send_message(1 * kMsec);
+  EXPECT_EQ(sender.credit(), Flow::kInitialCreditBytes - 2 * 64 * 1024);
+  PacketPtr grant2 = receiver.MaybeBuildCreditGrant(1 * kMsec + 10 * kUsec);
+  ASSERT_NE(grant2, nullptr);
+  // The second grant carries the cumulative count (both grants).
+  EXPECT_EQ(grant2->pony.credit, 2u * 64 * 1024);
+  sender.OnReceive(*grant2, 2 * kMsec);
+  EXPECT_EQ(sender.credit(), Flow::kInitialCreditBytes);
+
+  // And the checker's conservation equation balances.
+  Simulator sim(1);
+  InvariantChecker checker(&sim);
+  checker.CheckCreditConservation(sender, receiver, "pair");
+  EXPECT_TRUE(checker.ok()) << checker.ViolationSummary();
+}
+
+// --- Self-verifying payloads ----------------------------------------------
+
+TEST(ChaosPayloadTest, RoundTripAndTamperDetection) {
+  auto payload = EncodeChaosPayload(7, 42, 300);
+  ASSERT_EQ(payload.size(), 300u);
+  uint64_t stream = 0;
+  uint64_t index = 0;
+  std::string error;
+  EXPECT_TRUE(DecodeChaosPayload(payload, &stream, &index, &error)) << error;
+  EXPECT_EQ(stream, 7u);
+  EXPECT_EQ(index, 42u);
+
+  // Any single flipped bit is caught, wherever it lands.
+  for (size_t pos : {size_t{0}, size_t{5}, size_t{20}, size_t{299}}) {
+    auto tampered = payload;
+    tampered[pos] ^= 0x10;
+    EXPECT_FALSE(DecodeChaosPayload(tampered, &stream, &index, &error))
+        << "flip at byte " << pos << " undetected";
+  }
+  // Truncation is caught (length field mismatch).
+  auto truncated = payload;
+  truncated.resize(200);
+  EXPECT_FALSE(DecodeChaosPayload(truncated, &stream, &index, &error));
+}
+
+// --- InvariantChecker predicates on hand-built violations -----------------
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest() : sim_(5), checker_(&sim_) {}
+
+  PonyIncomingMessage Message(uint64_t stream_id, uint64_t index) {
+    PonyIncomingMessage msg;
+    msg.stream_id = stream_id;
+    msg.data = EncodeChaosPayload(stream_id, index, 64);
+    msg.length = static_cast<int64_t>(msg.data.size());
+    return msg;
+  }
+
+  bool Fired(const std::string& check) const {
+    for (const Violation& v : checker_.violations()) {
+      if (v.check == check) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Simulator sim_;
+  InvariantChecker checker_;
+};
+
+TEST_F(CheckerTest, AcceptsCleanInOrderDeliveries) {
+  for (uint64_t i = 0; i < 5; ++i) {
+    checker_.OnDelivery("A", Message(1, i));
+  }
+  EXPECT_TRUE(checker_.ok()) << checker_.ViolationSummary();
+  EXPECT_EQ(checker_.delivered("A", 1), 5);
+}
+
+TEST_F(CheckerTest, DetectsDuplicateDelivery) {
+  checker_.OnDelivery("A", Message(1, 0));
+  checker_.OnDelivery("A", Message(1, 1));
+  checker_.OnDelivery("A", Message(1, 0));  // replayed
+  EXPECT_TRUE(Fired("duplicate-delivery")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsOutOfOrderDelivery) {
+  checker_.OnDelivery("A", Message(1, 1));  // overtook message 0
+  EXPECT_TRUE(Fired("out-of-order-delivery")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsCorruptPayloadDelivery) {
+  PonyIncomingMessage msg = Message(1, 0);
+  msg.data[30] ^= 0x01;  // bit flip that slipped past every CRC
+  checker_.OnDelivery("A", msg);
+  EXPECT_TRUE(Fired("payload-integrity")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsStreamMismatch) {
+  PonyIncomingMessage msg = Message(1, 0);
+  msg.stream_id = 2;  // delivered on the wrong stream
+  checker_.OnDelivery("A", msg);
+  EXPECT_TRUE(Fired("stream-mismatch")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsAckRegression) {
+  checker_.NoteFlowSample("f", 10, 10);
+  checker_.NoteFlowSample("f", 5, 10);
+  EXPECT_TRUE(Fired("ack-monotonicity")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsReceivePointRegression) {
+  checker_.NoteFlowSample("f", 10, 10);
+  checker_.NoteFlowSample("f", 10, 3);
+  EXPECT_TRUE(Fired("rcv-monotonicity")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsCreditLeak) {
+  PonyParams params;
+  Flow sender({1, 10}, 0, 5, 2, TimelyParams{}, &params);
+  Flow receiver({0, 5}, 1, 10, 2, TimelyParams{}, &params);
+  // A forged grant inflates the sender's pool past what the receiver ever
+  // granted — conservation must flag it.
+  Packet forged;
+  forged.pony.flow_id = (10ull << 32) | 5ull;
+  forged.pony.type = PonyPacketType::kCredit;
+  forged.pony.seq = 0;
+  forged.pony.credit = 1000;
+  sender.OnReceive(forged, 0);
+  EXPECT_EQ(sender.credit(), Flow::kInitialCreditBytes + 1000);
+  checker_.CheckCreditConservation(sender, receiver, "pair");
+  EXPECT_TRUE(Fired("credit-conservation")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsIncompleteDelivery) {
+  checker_.ExpectDeliveries("A", 1, 5);
+  checker_.OnDelivery("A", Message(1, 0));
+  checker_.OnDelivery("A", Message(1, 1));
+  checker_.CheckFinal(/*require_quiesce=*/false);
+  EXPECT_TRUE(Fired("completeness")) << checker_.ViolationSummary();
+}
+
+TEST_F(CheckerTest, DetectsPacketConservationViolation) {
+  Fabric fabric(&sim_, NicParams{});
+  fabric.AddHost();
+  fabric.AddHost();
+  checker_.AttachFabric(&fabric);
+  // A packet materializes at the port queue without ever being transmitted
+  // by a NIC: conservation must notice the books don't balance.
+  auto p = MakePacket(1);
+  fabric.EnqueueAtPort(std::move(p), sim_.now());
+  sim_.RunAll();
+  checker_.CheckFinal(/*require_quiesce=*/true);
+  EXPECT_TRUE(Fired("packet-conservation")) << checker_.ViolationSummary();
+}
+
+}  // namespace
+}  // namespace snap

@@ -104,6 +104,52 @@ TEST(SpscRingTest, ConcurrentProducerConsumerPreservesFifo) {
   EXPECT_TRUE(ring.empty());
 }
 
+TEST(SpscRingTest, MillionOpThreadedStress) {
+  // High-volume soak of the shared-memory dataplane ring: one real
+  // producer thread, one real consumer thread, a million elements through
+  // a small ring (constant wrap pressure). Run under -DSNAP_SANITIZE=thread
+  // to prove the memory ordering, not just the happy path.
+  SpscRing<uint64_t> ring(256);
+  constexpr uint64_t kItems = 1'000'000;
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> consumed_checksum{0};
+
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::thread consumer([&] {
+    uint64_t checksum = 0;
+    for (uint64_t i = 0; i < kItems; ++i) {
+      std::optional<uint64_t> v;
+      do {
+        v = ring.TryPop();
+        if (!v.has_value()) {
+          std::this_thread::yield();
+        }
+      } while (!v.has_value());
+      if (*v != i) {
+        failed = true;
+        return;
+      }
+      checksum += *v * 31 + 7;
+    }
+    consumed_checksum = checksum;
+  });
+  producer.join();
+  consumer.join();
+  ASSERT_FALSE(failed) << "FIFO order violated during 1M-op stress";
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < kItems; ++i) {
+    expected += i * 31 + 7;
+  }
+  EXPECT_EQ(consumed_checksum.load(), expected);
+  EXPECT_TRUE(ring.empty());
+}
+
 // --- EngineMailbox --------------------------------------------------------
 
 TEST(MailboxTest, PostAndRun) {
@@ -157,6 +203,45 @@ TEST(MailboxTest, ConcurrentPostersSerializeThroughEngine) {
   stop.store(true, std::memory_order_release);
   engine.join();
   EXPECT_EQ(executed.load(), kPerThread * kThreads);
+}
+
+TEST(MailboxTest, HighVolumePosterStress) {
+  // ~200k messages from four posting threads against one running engine
+  // thread; the mailbox is depth-one so posters constantly contend for the
+  // slot. TSan-clean under -DSNAP_SANITIZE=thread.
+  EngineMailbox mailbox;
+  constexpr int kPerThread = 50000;
+  constexpr int kThreads = 4;
+  std::atomic<int64_t> executed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread engine([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!mailbox.RunPending()) {
+        std::this_thread::yield();
+      }
+    }
+    while (mailbox.RunPending()) {
+    }
+  });
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        while (!mailbox.Post([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        })) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : posters) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  engine.join();
+  EXPECT_EQ(executed.load(), int64_t{kPerThread} * kThreads);
 }
 
 // --- MpscQueue ------------------------------------------------------------

@@ -129,6 +129,79 @@ void BM_SimulatorEventChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventChurn);
 
+void BM_PacketPoolRecycleWithPayload(benchmark::State& state) {
+  // Alloc + payload write + free with a hot freelist: measures whether the
+  // pool actually avoids payload reallocation (state.range is the payload
+  // size, covering the ack and 5kB-MTU classes).
+  const size_t payload = static_cast<size_t>(state.range(0));
+  PacketPool pool(1024);
+  pool.Free(pool.Allocate(payload));  // prime the size class
+  for (auto _ : state) {
+    PacketPtr p = pool.Allocate(payload);
+    p->data.resize(payload);
+    benchmark::DoNotOptimize(p->data.data());
+    pool.Free(std::move(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolRecycleWithPayload)->Arg(64)->Arg(1984)->Arg(4936);
+
+// The next three run against both event-queue implementations: arg 0 is
+// the timer wheel, arg 1 the legacy binary heap.
+EventQueueKind KindArg(const benchmark::State& state) {
+  return state.range(0) == 0 ? EventQueueKind::kTimerWheel
+                             : EventQueueKind::kLegacyHeap;
+}
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  // Steady-state schedule+fire with a populated queue (the simulation hot
+  // loop shape: each fired event schedules a successor).
+  Simulator sim(1, KindArg(state));
+  int64_t fired = 0;
+  for (int i = 0; i < 512; ++i) {
+    sim.Schedule(1 + i, [] {});
+  }
+  sim.RunFor(600);
+  for (auto _ : state) {
+    sim.Schedule(100, [&fired] { ++fired; });
+    sim.RunFor(100);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(0)->Arg(1);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Schedule-then-cancel, the RTO-timer pattern: most timers never fire.
+  Simulator sim(1, KindArg(state));
+  for (auto _ : state) {
+    EventHandle h = sim.Schedule(1000 * kUsec, [] {});
+    h.Cancel();
+    sim.RunFor(1);  // let the queue reap
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(0)->Arg(1);
+
+void BM_TimerWheelCascade(benchmark::State& state) {
+  // Far-horizon timers that cascade through far wheel -> near wheel (or
+  // sift through the heap) before firing: the worst case for the wheel.
+  const SimDuration horizon = 2 * kMsec;  // far-wheel range, forces cascade
+  Simulator sim(1, KindArg(state));
+  for (auto _ : state) {
+    state.PauseTiming();
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(horizon + i * 64, [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    sim.RunFor(horizon + 1000 * 64 + 1);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TimerWheelCascade)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace snap
 

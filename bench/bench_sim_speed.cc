@@ -1,0 +1,319 @@
+// Wall-clock speed of the simulation hot path, A/B-ing the hierarchical
+// timer wheel against the legacy binary-heap event queue on:
+//   - a micro event-churn loop (pure queue cost),
+//   - a schedule-then-cancel loop (the RTO-timer pattern),
+//   - the Fig. 6(b) all-to-all RPC rack workload (the real thing).
+// Reports events/sec, ns/event, allocs/event (via a counting operator
+// new) and packets/sec, plus the wheel-vs-heap speedup.
+//
+// Usage:
+//   bench_sim_speed [--smoke] [--json PATH] [--only CASE]
+// --smoke shrinks every workload for CI (runs in ~seconds, labeled
+// `bench` in ctest); --json writes machine-readable results for
+// tools/bench_trajectory.py, which maintains BENCH_sim_speed.json;
+// --only runs a single case (event_churn / cancel_churn / rack_fig6b),
+// mainly so a profiler sees one workload (incompatible with --json).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bench/rpc_rack.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every global new/delete in this binary bumps a
+// counter, so each measurement can report allocs/event. The counter's
+// overhead applies equally to both queue implementations.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<int64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace snap {
+namespace {
+
+struct Measurement {
+  double wall_sec = 0;
+  int64_t events = 0;   // events fired
+  int64_t allocs = 0;   // global operator new calls during the run
+  int64_t packets = 0;  // fabric deliveries (rack only)
+  double sim_sec = 0;   // simulated seconds covered (rack only)
+
+  double events_per_sec() const {
+    return wall_sec > 0 ? static_cast<double>(events) / wall_sec : 0;
+  }
+  double ns_per_event() const {
+    return events > 0 ? wall_sec * 1e9 / static_cast<double>(events) : 0;
+  }
+  double allocs_per_event() const {
+    return events > 0
+               ? static_cast<double>(allocs) / static_cast<double>(events)
+               : 0;
+  }
+  double packets_per_sec() const {
+    return wall_sec > 0 ? static_cast<double>(packets) / wall_sec : 0;
+  }
+};
+
+class Timed {
+ public:
+  Timed() : allocs0_(g_alloc_count.load(std::memory_order_relaxed)) {}
+  void Finish(Measurement* m) const {
+    m->wall_sec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    m->allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  int64_t allocs0_;
+};
+
+// Pure queue throughput: a self-rescheduling event population, the shape
+// of the simulation main loop (every pop schedules a successor).
+Measurement MeasureEventChurn(EventQueueKind kind, int64_t total_events) {
+  Simulator sim(1, kind);
+  const int kPopulation = 512;
+  int64_t remaining = total_events;
+  struct Ticker {
+    Simulator* sim;
+    int64_t* remaining;
+    void Tick() {
+      if (--*remaining <= 0) {
+        return;
+      }
+      sim->Schedule(1 + (*remaining % 700), [t = *this]() mutable { t.Tick(); });
+    }
+  };
+  Ticker ticker{&sim, &remaining};
+  for (int i = 0; i < kPopulation; ++i) {
+    sim.Schedule(1 + i, [t = ticker]() mutable { t.Tick(); });
+  }
+  Timed timed;
+  sim.RunAll();
+  Measurement m;
+  timed.Finish(&m);
+  m.events = sim.event_queue().stats().fired;
+  return m;
+}
+
+// Schedule-then-cancel: most timers (RTO, interrupt moderation) never
+// fire; the queue must absorb and reap them cheaply.
+Measurement MeasureCancelChurn(EventQueueKind kind, int64_t total_events) {
+  Simulator sim(1, kind);
+  Timed timed;
+  for (int64_t i = 0; i < total_events; ++i) {
+    EventHandle h = sim.Schedule(1000 * kUsec, [] {});
+    h.Cancel();
+    if ((i & 1023) == 0) {
+      sim.RunFor(1);
+    }
+  }
+  sim.RunAll();
+  Measurement m;
+  timed.Finish(&m);
+  m.events = total_events;  // scheduled+cancelled pairs processed
+  return m;
+}
+
+// The Fig. 6(b) rack: 6 hosts x 3 jobs of all-to-all 1MB RPCs plus
+// latency probers, at 20 Gbps offered load per host. The headline case
+// runs kRackTrials identical simulations and keeps the fastest: the
+// simulation is deterministic, so the trials differ only by external
+// machine noise (other tenants, thermal state), and best-of-N is the
+// standard estimator for the code's actual speed under that noise. The
+// recorded pre-PR baseline in BENCH_sim_speed.json is best-of-N the same
+// way.
+constexpr int kRackTrials = 3;
+
+Measurement MeasureRack(EventQueueKind kind, SimDuration warmup,
+                        SimDuration window) {
+  RpcRackConfig config;
+  config.hosts = 6;
+  config.jobs_per_host = 3;
+  config.offered_gbps_per_host = 20.0;
+  config.queue_kind = kind;
+  // The legacy-heap leg is the faithful pre-PR configuration: binary-heap
+  // queue AND per-packet fabric delivery (batching did not exist yet).
+  config.nic_params.batched_delivery = (kind == EventQueueKind::kTimerWheel);
+  config.host_options.group.mode = SchedulingMode::kSpreadingEngines;
+  config.host_options.group.dedicated_cores = {0, 1};
+  config.host_options.cpu.num_cores = 10;
+  Measurement best;
+  for (int trial = 0; trial < kRackTrials; ++trial) {
+    Timed timed;
+    RpcRackResult result = RunPonyRpcRack(config, warmup, window);
+    Measurement m;
+    timed.Finish(&m);
+    m.events = result.sim_events;
+    m.packets = result.fabric_packets;
+    m.sim_sec = ToSec(result.sim_end_time);
+    if (trial == 0 || m.wall_sec < best.wall_sec) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+void PrintMeasurement(const char* name, const char* kind,
+                      const Measurement& m) {
+  std::printf(
+      "  %-18s %-11s %10.3fs wall  %9.2fM events  %8.2fM ev/s  %7.1f "
+      "ns/ev  %6.3f allocs/ev",
+      name, kind, m.wall_sec, static_cast<double>(m.events) / 1e6,
+      m.events_per_sec() / 1e6, m.ns_per_event(), m.allocs_per_event());
+  if (m.packets > 0) {
+    std::printf("  %8.2fM pkt/s", m.packets_per_sec() / 1e6);
+  }
+  std::printf("\n");
+}
+
+void JsonMeasurement(FILE* f, const char* kind, const Measurement& m,
+                     bool last) {
+  std::fprintf(f,
+               "      \"%s\": {\"wall_sec\": %.6f, \"events\": %lld, "
+               "\"events_per_sec\": %.1f, \"ns_per_event\": %.3f, "
+               "\"allocs\": %lld, \"allocs_per_event\": %.4f, "
+               "\"packets\": %lld, \"packets_per_sec\": %.1f, "
+               "\"sim_sec\": %.6f}%s\n",
+               kind, m.wall_sec, static_cast<long long>(m.events),
+               m.events_per_sec(), m.ns_per_event(),
+               static_cast<long long>(m.allocs), m.allocs_per_event(),
+               static_cast<long long>(m.packets), m.packets_per_sec(),
+               m.sim_sec, last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH] [--only CASE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!only.empty() && !json_path.empty()) {
+    std::fprintf(stderr, "--only and --json are mutually exclusive\n");
+    return 2;
+  }
+
+  const int64_t churn_events = smoke ? 200'000 : 4'000'000;
+  const int64_t cancel_events = smoke ? 100'000 : 2'000'000;
+  const SimDuration rack_warmup = smoke ? 5 * kMsec : 20 * kMsec;
+  const SimDuration rack_window = smoke ? 15 * kMsec : 100 * kMsec;
+
+  PrintHeader(smoke ? "Simulator speed (smoke)" : "Simulator speed");
+
+  struct Case {
+    const char* name;
+    Measurement wheel;
+    Measurement heap;
+  };
+  Case cases[3];
+
+  auto want = [&only](const char* name) {
+    return only.empty() || only == name;
+  };
+  // The rack workload runs first: it is the headline comparison against
+  // the recorded pre-PR baseline, which was measured on a cold machine.
+  // Running it after seconds of churn load would measure it on a
+  // thermally throttled core that the baseline never saw.
+  cases[0].name = "rack_fig6b";
+  if (want(cases[0].name)) {
+    cases[0].wheel = MeasureRack(EventQueueKind::kTimerWheel, rack_warmup,
+                                 rack_window);
+    cases[0].heap = MeasureRack(EventQueueKind::kLegacyHeap, rack_warmup,
+                                rack_window);
+  }
+  cases[1].name = "event_churn";
+  if (want(cases[1].name)) {
+    cases[1].wheel = MeasureEventChurn(EventQueueKind::kTimerWheel,
+                                       churn_events);
+    cases[1].heap = MeasureEventChurn(EventQueueKind::kLegacyHeap,
+                                      churn_events);
+  }
+  cases[2].name = "cancel_churn";
+  if (want(cases[2].name)) {
+    cases[2].wheel = MeasureCancelChurn(EventQueueKind::kTimerWheel,
+                                        cancel_events);
+    cases[2].heap = MeasureCancelChurn(EventQueueKind::kLegacyHeap,
+                                       cancel_events);
+  }
+
+  for (const Case& c : cases) {
+    if (c.wheel.events == 0 && c.heap.events == 0) {
+      continue;  // skipped by --only
+    }
+    PrintMeasurement(c.name, "timer_wheel", c.wheel);
+    PrintMeasurement(c.name, "legacy_heap", c.heap);
+    const double speedup =
+        c.heap.events_per_sec() > 0
+            ? c.wheel.events_per_sec() / c.heap.events_per_sec()
+            : 0;
+    std::printf("  %-18s speedup (events/sec, wheel vs heap): %.2fx\n",
+                c.name, speedup);
+  }
+  const Measurement& rack = cases[0].wheel;
+  if (rack.wall_sec > 0) {
+    std::printf("  rack sim-time/wall-time: %.1fx (%.3f sim-sec in %.3f s)\n",
+                rack.sim_sec / rack.wall_sec, rack.sim_sec, rack.wall_sec);
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"smoke\": %s,\n  \"benchmarks\": {\n",
+                 smoke ? "true" : "false");
+    for (size_t i = 0; i < 3; ++i) {
+      const Case& c = cases[i];
+      std::fprintf(f, "    \"%s\": {\n", c.name);
+      JsonMeasurement(f, "timer_wheel", c.wheel, false);
+      JsonMeasurement(f, "legacy_heap", c.heap, false);
+      const double speedup =
+          c.heap.events_per_sec() > 0
+              ? c.wheel.events_per_sec() / c.heap.events_per_sec()
+              : 0;
+      std::fprintf(f, "      \"speedup_events_per_sec\": %.4f\n    }%s\n",
+                   speedup, i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace snap
+
+int main(int argc, char** argv) { return snap::Main(argc, argv); }

@@ -20,6 +20,10 @@ struct RpcRackConfig {
   bool prober_spins = false;  // isolate app wakeup from transport wakeup
   uint64_t seed = 7;
   SimHostOptions host_options;
+  // Simulator internals under test (bench_sim_speed A/Bs these; results
+  // are identical either way).
+  EventQueueKind queue_kind = kDefaultEventQueueKind;
+  NicParams nic_params;
 };
 
 struct RpcRackResult {
@@ -27,12 +31,18 @@ struct RpcRackResult {
   double gbps_per_machine = 0;    // bidirectional application bytes
   Histogram prober_latency;       // tiny-RPC latency across all probers
   int64_t background_rpcs = 0;
+  // Simulator-side totals over the whole run (bench_sim_speed divides
+  // these by wall time for events/sec and packets/sec).
+  int64_t sim_events = 0;         // events fired by the event queue
+  int64_t fabric_packets = 0;     // packets delivered by the fabric
+  SimTime sim_end_time = 0;       // total simulated time covered
 };
 
 // Runs the rack over Pony Express engines.
 inline RpcRackResult RunPonyRpcRack(const RpcRackConfig& config,
                                     SimDuration warmup, SimDuration window) {
-  Rack rack(config.seed, config.hosts, config.host_options);
+  Rack rack(config.seed, config.hosts, config.host_options,
+            config.queue_kind, config.nic_params);
   double per_job_rate =
       config.offered_gbps_per_host * 1e9 /
       (8.0 * static_cast<double>(config.response_bytes) *
@@ -141,13 +151,17 @@ inline RpcRackResult RunPonyRpcRack(const RpcRackConfig& config,
   for (auto& p : probers) {
     result.prober_latency.Merge(p->latency());
   }
+  result.sim_events = rack.sim().event_queue().stats().fired;
+  result.fabric_packets = rack.fabric().stats().delivered;
+  result.sim_end_time = rack.sim().now();
   return result;
 }
 
 // Runs the rack over kernel TCP.
 inline RpcRackResult RunTcpRpcRack(const RpcRackConfig& config,
                                    SimDuration warmup, SimDuration window) {
-  Rack rack(config.seed, config.hosts, config.host_options);
+  Rack rack(config.seed, config.hosts, config.host_options,
+            config.queue_kind, config.nic_params);
   double per_job_rate =
       config.offered_gbps_per_host * 1e9 /
       (8.0 * static_cast<double>(config.response_bytes) *
@@ -237,6 +251,9 @@ inline RpcRackResult RunTcpRpcRack(const RpcRackConfig& config,
   for (auto& p : probers) {
     result.prober_latency.Merge(p->latency());
   }
+  result.sim_events = rack.sim().event_queue().stats().fired;
+  result.fabric_packets = rack.fabric().stats().delivered;
+  result.sim_end_time = rack.sim().now();
   return result;
 }
 

@@ -47,16 +47,53 @@ void Fabric::EnqueueAtPort(PacketPtr packet, SimTime wire_time) {
   SimTime done =
       start + SerializationDelay(packet->wire_bytes, params_.link_gbps);
   port.busy_until = done;
-  int64_t bytes = packet->wire_bytes;
   int dst = packet->dst_host;
-  Packet* raw = packet.release();
   // Delivery at the destination NIC after the final hop + NIC pipeline.
   SimTime delivery = done + params_.nic_pipeline_delay;
-  sim_->ScheduleAt(delivery, [this, raw, bytes, dst] {
-    ports_[dst].queued_bytes -= bytes;
-    ++stats_.delivered;
-    nics_[dst]->DeliverFromWire(PacketPtr(raw));
-  });
+
+  if (!params_.batched_delivery) {
+    // Per-packet event (pre-batching behavior, kept for A/B benchmarks).
+    // The event owns the packet, so packets in flight when a simulation is
+    // torn down are reclaimed with the queue.
+    sim_->ScheduleAt(delivery,
+                     [this, dst, p = std::move(packet)]() mutable {
+                       DeliverOne(dst, std::move(p));
+                     });
+    return;
+  }
+
+  // Batched path: park the packet on the port (delivery times are
+  // monotone per port, so push_back keeps `pending` time-sorted) and make
+  // sure one drain event is armed at the earliest pending delivery.
+  port.pending.push_back(PendingDelivery{delivery, std::move(packet)});
+  if (!port.drain_armed) {
+    port.drain_armed = true;
+    sim_->ScheduleAt(port.pending.front().at, [this, dst] { DrainPort(dst); });
+  }
+}
+
+void Fabric::DeliverOne(int dst, PacketPtr packet) {
+  ports_[dst].queued_bytes -= packet->wire_bytes;
+  ++stats_.delivered;
+  nics_[dst]->DeliverFromWire(std::move(packet));
+}
+
+void Fabric::DrainPort(int dst) {
+  Port& port = ports_[dst];
+  port.drain_armed = false;
+  ++stats_.drain_events;
+  const SimTime now = sim_->now();
+  while (!port.pending.empty() && port.pending.front().at <= now) {
+    // Every packet drained here has at == now exactly: the drain event is
+    // always armed at pending.front().at, and later entries are later.
+    PacketPtr p = std::move(port.pending.front().packet);
+    port.pending.pop_front();
+    DeliverOne(dst, std::move(p));
+  }
+  if (!port.pending.empty() && !port.drain_armed) {
+    port.drain_armed = true;
+    sim_->ScheduleAt(port.pending.front().at, [this, dst] { DrainPort(dst); });
+  }
 }
 
 int64_t Fabric::PortQueueBytes(int host) const {

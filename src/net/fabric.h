@@ -7,6 +7,7 @@
 #ifndef SRC_NET_FABRIC_H_
 #define SRC_NET_FABRIC_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,9 @@ class Fabric {
     int64_t dropped_queue_full = 0;
     int64_t dropped_random = 0;
     int64_t dropped_bad_address = 0;
+    // Drain events fired (batched path); delivered / drain_events is the
+    // mean delivery batch size.
+    int64_t drain_events = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -66,15 +70,32 @@ class Fabric {
   const NicParams& params() const { return params_; }
 
  private:
+  // A packet in flight toward a port's NIC with its exact modeled delivery
+  // time. `pending` stays sorted by `at` because a port's busy_until (and
+  // so each successive delivery time) is monotonically nondecreasing.
+  struct PendingDelivery {
+    SimTime at;
+    PacketPtr packet;
+  };
   struct Port {
     SimTime busy_until = 0;
     int64_t queued_bytes = 0;
+    std::deque<PendingDelivery> pending;
+    // Exactly one drain event is in flight per port while pending is
+    // non-empty; it fires at pending.front().at.
+    bool drain_armed = false;
   };
+
+  // Delivers every pending packet whose time has come, then re-arms at the
+  // next pending delivery time (batched path).
+  void DrainPort(int dst);
+  void DeliverOne(int dst, PacketPtr packet);
 
   Simulator* sim_;
   NicParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  std::vector<Port> ports_;
+  // deque: Port holds a move-only pending queue and must not relocate.
+  std::deque<Port> ports_;
   std::vector<std::function<void(PacketPtr, SimTime)>> delivery_hooks_;
   double drop_probability_ = 0;
   Stats stats_;

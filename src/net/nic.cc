@@ -142,10 +142,11 @@ bool Nic::Transmit(PacketPtr packet) {
       start + SerializationDelay(packet->wire_bytes, params_.link_gbps);
   tx_busy_until_ = serialized;
   SimTime done = serialized + params_.nic_pipeline_delay;
-  Packet* raw = packet.release();
-  sim_->ScheduleAt(done, [this, raw, done] {
+  // The event owns the packet (EventCallback supports move-only captures),
+  // so packets still in flight when the simulation ends are reclaimed.
+  sim_->ScheduleAt(done, [this, done, p = std::move(packet)]() mutable {
     --tx_outstanding_;
-    fabric_->Route(PacketPtr(raw), done);
+    fabric_->Route(std::move(p), done);
   });
   return true;
 }

@@ -1,5 +1,12 @@
 #include "src/packet/crc32.h"
 
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
 namespace snap {
 
 namespace {
@@ -24,16 +31,66 @@ const Crc32cTable& Table() {
   return table;
 }
 
+uint32_t Crc32cSoftware(const uint8_t* bytes, size_t len, uint32_t crc) {
+  const Crc32cTable& table = Table();
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__)
+// The SSE4.2 crc32 instruction implements exactly this reflected CRC32C,
+// ~20x faster than the table loop. Every packet is CRC'd (and re-CRC'd on
+// corruption checks), making this one of the simulator's hottest leaves.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    const uint8_t* bytes, size_t len, uint32_t crc) {
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, bytes, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    bytes += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  if (len >= 4) {
+    uint32_t chunk;
+    std::memcpy(&chunk, bytes, 4);
+    crc = _mm_crc32_u32(crc, chunk);
+    bytes += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    crc = _mm_crc32_u8(crc, *bytes);
+    ++bytes;
+    --len;
+  }
+  return crc;
+}
+
+bool CpuHasSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    return false;
+  }
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+const bool kUseHardwareCrc = CpuHasSse42();
+#endif  // __x86_64__
+
 }  // namespace
 
 uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
   const auto* bytes = static_cast<const uint8_t*>(data);
-  const Crc32cTable& table = Table();
   uint32_t crc = ~seed;
-  for (size_t i = 0; i < len; ++i) {
-    crc = table.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+#if defined(__x86_64__)
+  if (kUseHardwareCrc) {
+    return ~Crc32cHardware(bytes, len, crc);
   }
-  return ~crc;
+#endif
+  return ~Crc32cSoftware(bytes, len, crc);
 }
 
 }  // namespace snap

@@ -110,9 +110,38 @@ struct Packet {
   // a packet: the end-to-end CRC is expected to catch it, and the chaos
   // harness asserts it did.
   bool chaos_corrupted = false;
+
+  // Packets are created and destroyed at fabric line rate, so both
+  // allocations a packet needs are recycled transparently:
+  //  - a class-level freelist recycles the fixed-size Packet block
+  //    (operator new/delete below);
+  //  - construction adopts a previously used payload buffer (empty, but
+  //    with capacity) and destruction returns `data`'s buffer to that
+  //    cache, so the `p->data = record.data` copy in the TX path reuses
+  //    capacity instead of hitting malloc.
+  // Neither changes observable behavior: a fresh packet still starts with
+  // an empty `data` and default header fields.
+  Packet();
+  ~Packet();
+  Packet(const Packet&) = default;
+  Packet(Packet&&) = default;
+  Packet& operator=(const Packet&) = default;
+  Packet& operator=(Packet&&) = default;
+
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p) noexcept;
+  static void operator delete(void* p, std::size_t) noexcept;
 };
 
 using PacketPtr = std::unique_ptr<Packet>;
+
+// The thread-local payload-buffer cache behind Packet's constructor /
+// destructor, exposed so other per-packet payload carriers (e.g. the
+// transport's TX records) can recycle through the same pool. Take returns
+// an EMPTY vector that may already own capacity; Stash clears the vector
+// and keeps its allocation for the next Take.
+std::vector<uint8_t> TakePayloadBuffer();
+void StashPayloadBuffer(std::vector<uint8_t> buf);
 
 }  // namespace snap
 

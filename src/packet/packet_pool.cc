@@ -1,0 +1,23 @@
+#include "src/packet/packet_pool.h"
+
+#include "src/stats/metrics.h"
+
+namespace snap {
+
+void PacketPool::ExportStats(MetricRegistry* registry,
+                             const std::string& prefix) const {
+  auto set = [&](const char* name, int64_t v) {
+    Counter* c = registry->GetCounter(prefix + "." + name);
+    c->Reset();
+    c->Add(v);
+  };
+  set("allocated", stats_.allocated);
+  set("peak_allocated", stats_.peak_allocated);
+  set("total_allocs", stats_.total_allocs);
+  set("failed_allocs", stats_.failed_allocs);
+  set("fresh_allocs", stats_.fresh_allocs);
+  set("recycled", stats_.recycled);
+  set("recycled_with_capacity", stats_.recycled_with_capacity);
+}
+
+}  // namespace snap

@@ -3,20 +3,30 @@
 // (Section 3.1); packet memory is drawn from per-engine pools that are
 // charged to application memory containers (Section 2.5).
 //
-// The pool recycles Packet objects through a freelist and enforces a hard
-// capacity so engine memory use is bounded; exhaustion surfaces as
-// allocation failure (backpressure), never unbounded growth.
+// The pool recycles Packet objects through per-size-class freelists and
+// enforces a hard capacity so engine memory use is bounded; exhaustion
+// surfaces as allocation failure (backpressure), never unbounded growth.
+//
+// Recycling preserves payload capacity: a freed packet keeps its `data`
+// vector's heap buffer, and Allocate(payload_hint) hands it to the next
+// caller of a compatible size, so steady-state traffic allocates no
+// payload memory at all. Size classes keep 5kB-MTU data packets and
+// ~100-byte acks from thrashing each other's buffers.
 #ifndef SRC_PACKET_PACKET_POOL_H_
 #define SRC_PACKET_PACKET_POOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/packet/packet.h"
 
 namespace snap {
+
+class MetricRegistry;
 
 class PacketPool {
  public:
@@ -25,13 +35,24 @@ class PacketPool {
     int64_t peak_allocated = 0;
     int64_t total_allocs = 0;
     int64_t failed_allocs = 0;  // exhaustion events
+    int64_t fresh_allocs = 0;   // served by make_unique (freelists empty)
+    int64_t recycled = 0;       // served from a freelist
+    // Recycled packets whose retained `data` capacity already covered the
+    // caller's payload_hint -- i.e. recycling actually avoided a payload
+    // reallocation (the point of keeping the buffers).
+    int64_t recycled_with_capacity = 0;
   };
 
   explicit PacketPool(int64_t capacity, std::string owner = "")
       : capacity_(capacity), owner_(std::move(owner)) {}
 
-  // Allocates a zero-initialized packet; nullptr when the pool is exhausted.
-  PacketPtr Allocate() {
+  // Allocates a zero-initialized packet; nullptr when the pool is
+  // exhausted. `payload_hint` is the payload size (bytes) the caller
+  // expects to write; the pool prefers a recycled packet whose retained
+  // buffer already fits it and pre-reserves the hint on a fresh packet.
+  // The returned packet is indistinguishable from a fresh Packet{} except
+  // for `data.capacity()`.
+  PacketPtr Allocate(size_t payload_hint = 0) {
     if (stats_.allocated >= capacity_) {
       ++stats_.failed_allocs;
       return nullptr;
@@ -39,24 +60,39 @@ class PacketPool {
     ++stats_.allocated;
     stats_.peak_allocated = std::max(stats_.peak_allocated, stats_.allocated);
     ++stats_.total_allocs;
-    if (!free_list_.empty()) {
-      PacketPtr p = std::move(free_list_.back());
-      free_list_.pop_back();
-      *p = Packet{};
-      return p;
+
+    // Prefer the smallest class that fits the hint; fall back to smaller
+    // classes (their buffers grow to fit) rather than allocating fresh.
+    const int want = ClassForSize(payload_hint);
+    for (int c = want; c < kNumClasses; ++c) {
+      if (!free_lists_[c].empty()) {
+        return TakeRecycled(c, payload_hint);
+      }
     }
-    return std::make_unique<Packet>();
+    for (int c = want - 1; c >= 0; --c) {
+      if (!free_lists_[c].empty()) {
+        return TakeRecycled(c, payload_hint);
+      }
+    }
+    ++stats_.fresh_allocs;
+    auto p = std::make_unique<Packet>();
+    if (payload_hint > 0) {
+      p->data.reserve(payload_hint);
+    }
+    return p;
   }
 
-  // Returns a packet to the pool.
+  // Returns a packet to the pool. The payload buffer is kept (cleared,
+  // not shrunk) and filed by its capacity.
   void Free(PacketPtr packet) {
     if (packet == nullptr) {
       return;
     }
     --stats_.allocated;
-    if (free_list_.size() < kMaxRecycled) {
-      packet->data.clear();
-      free_list_.push_back(std::move(packet));
+    const int c = ClassForSize(packet->data.capacity());
+    if (free_lists_[c].size() < kMaxRecycledPerClass) {
+      ResetPreservingCapacity(packet.get());
+      free_lists_[c].push_back(std::move(packet));
     }
   }
 
@@ -64,13 +100,52 @@ class PacketPool {
   const Stats& stats() const { return stats_; }
   const std::string& owner() const { return owner_; }
 
+  // Publishes pool counters as "<prefix>.allocated" etc. (defined in
+  // packet_pool.cc to keep the MetricRegistry dependency out of line).
+  void ExportStats(MetricRegistry* registry, const std::string& prefix) const;
+
+  // Resets every field to its default while keeping `data`'s heap buffer.
+  // Exposed for tests and for callers that recycle packets privately.
+  static void ResetPreservingCapacity(Packet* p) {
+    std::vector<uint8_t> data = std::move(p->data);
+    *p = Packet{};
+    data.clear();
+    p->data = std::move(data);
+  }
+
+  // Size-class boundaries (payload bytes): acks/control, headers+small
+  // RPCs, standard-MTU payloads, 5kB-MTU and larger.
+  static constexpr size_t kClassLimit[] = {0, 128, 2048, SIZE_MAX};
+  static constexpr int kNumClasses = 4;
+
+  static int ClassForSize(size_t bytes) {
+    for (int c = 0; c < kNumClasses - 1; ++c) {
+      if (bytes <= kClassLimit[c]) {
+        return c;
+      }
+    }
+    return kNumClasses - 1;
+  }
+
  private:
-  static constexpr size_t kMaxRecycled = 4096;
+  static constexpr size_t kMaxRecycledPerClass = 1024;
+
+  PacketPtr TakeRecycled(int c, size_t payload_hint) {
+    PacketPtr p = std::move(free_lists_[c].back());
+    free_lists_[c].pop_back();
+    ++stats_.recycled;
+    if (payload_hint > 0 && p->data.capacity() >= payload_hint) {
+      ++stats_.recycled_with_capacity;
+    } else if (payload_hint > 0) {
+      p->data.reserve(payload_hint);
+    }
+    return p;
+  }
 
   int64_t capacity_;
   std::string owner_;
   Stats stats_;
-  std::vector<PacketPtr> free_list_;
+  std::vector<PacketPtr> free_lists_[kNumClasses];
 };
 
 }  // namespace snap

@@ -13,21 +13,53 @@ constexpr int kV1Size = 2 + 8 + 8 + 8 + 1 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 4 +
 constexpr int kV2Extra = 8 + 8 + 2;  // tx_timestamp + ts_echo + batch
 constexpr int kV2Size = kV1Size + kV2Extra;
 
+// Writes into a caller-provided buffer of at least kV2Size bytes. CRC
+// computation encodes every header twice per packet (tx stamp + rx
+// verify), so this path must not touch the heap.
 class Writer {
  public:
-  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+  explicit Writer(uint8_t* out) : out_(out) {}
 
   template <typename T>
   void Put(T value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    size_t pos = out_->size();
-    out_->resize(pos + sizeof(T));
-    std::memcpy(out_->data() + pos, &value, sizeof(T));
+    std::memcpy(out_ + pos_, &value, sizeof(T));
+    pos_ += sizeof(T);
   }
 
+  size_t pos() const { return pos_; }
+
  private:
-  std::vector<uint8_t>* out_;
+  uint8_t* out_;
+  size_t pos_ = 0;
 };
+
+// Encodes into `out` (>= kV2Size bytes); returns the encoded length.
+size_t EncodePonyHeaderRaw(const PonyHeader& h, uint8_t* out) {
+  Writer w(out);
+  w.Put<uint16_t>(h.version);
+  w.Put<uint64_t>(h.flow_id);
+  w.Put<uint64_t>(h.seq);
+  w.Put<uint64_t>(h.ack);
+  w.Put<uint8_t>(static_cast<uint8_t>(h.type));
+  w.Put<uint8_t>(static_cast<uint8_t>(h.op));
+  w.Put<uint64_t>(h.op_id);
+  w.Put<uint64_t>(h.stream_id);
+  w.Put<uint32_t>(h.msg_offset);
+  w.Put<uint32_t>(h.msg_length);
+  w.Put<uint64_t>(h.region_id);
+  w.Put<uint64_t>(h.region_offset);
+  w.Put<uint32_t>(h.op_length);
+  w.Put<uint32_t>(h.credit);
+  w.Put<uint16_t>(h.status);
+  w.Put<uint32_t>(h.crc32);
+  if (h.version >= 2) {
+    w.Put<int64_t>(h.tx_timestamp);
+    w.Put<int64_t>(h.ts_echo);
+    w.Put<uint16_t>(h.batch);
+  }
+  return w.pos();
+}
 
 class Reader {
  public:
@@ -59,30 +91,8 @@ Status EncodePonyHeader(const PonyHeader& h, std::vector<uint8_t>* out) {
   if (h.version < kPonyWireVersionMin || h.version > kPonyWireVersionMax) {
     return InvalidArgumentError("unsupported wire version");
   }
-  out->clear();
-  out->reserve(PonyHeaderWireSize(h.version));
-  Writer w(out);
-  w.Put<uint16_t>(h.version);
-  w.Put<uint64_t>(h.flow_id);
-  w.Put<uint64_t>(h.seq);
-  w.Put<uint64_t>(h.ack);
-  w.Put<uint8_t>(static_cast<uint8_t>(h.type));
-  w.Put<uint8_t>(static_cast<uint8_t>(h.op));
-  w.Put<uint64_t>(h.op_id);
-  w.Put<uint64_t>(h.stream_id);
-  w.Put<uint32_t>(h.msg_offset);
-  w.Put<uint32_t>(h.msg_length);
-  w.Put<uint64_t>(h.region_id);
-  w.Put<uint64_t>(h.region_offset);
-  w.Put<uint32_t>(h.op_length);
-  w.Put<uint32_t>(h.credit);
-  w.Put<uint16_t>(h.status);
-  w.Put<uint32_t>(h.crc32);
-  if (h.version >= 2) {
-    w.Put<int64_t>(h.tx_timestamp);
-    w.Put<int64_t>(h.ts_echo);
-    w.Put<uint16_t>(h.batch);
-  }
+  out->resize(PonyHeaderWireSize(h.version));
+  EncodePonyHeaderRaw(h, out->data());
   return OkStatus();
 }
 
@@ -118,14 +128,15 @@ StatusOr<PonyHeader> DecodePonyHeader(const uint8_t* data, size_t len) {
 
 uint32_t PonyPacketCrc(const PonyHeader& header,
                        const std::vector<uint8_t>& payload) {
-  PonyHeader copy = header;
-  copy.crc32 = 0;
-  std::vector<uint8_t> encoded;
-  Status st = EncodePonyHeader(copy, &encoded);
-  if (!st.ok()) {
+  if (header.version < kPonyWireVersionMin ||
+      header.version > kPonyWireVersionMax) {
     return 0;
   }
-  uint32_t crc = Crc32c(encoded.data(), encoded.size());
+  PonyHeader copy = header;
+  copy.crc32 = 0;
+  uint8_t encoded[kV2Size];
+  size_t len = EncodePonyHeaderRaw(copy, encoded);
+  uint32_t crc = Crc32c(encoded, len);
   if (!payload.empty()) {
     crc = Crc32c(payload.data(), payload.size(), crc);
   }

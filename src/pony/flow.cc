@@ -11,8 +11,6 @@ namespace {
 
 // Bound on in-flight packets per flow (memory and loss-recovery bound).
 constexpr size_t kMaxUnackedPackets = 1024;
-// Receiver grants accumulated credit once it crosses this threshold.
-constexpr int64_t kCreditGrantThreshold = 32 * 1024;
 // Ack coalescing: one ack per this many received packets...
 constexpr int kAckEvery = 8;
 // ...or once this much time has passed since the first unacked arrival.
@@ -38,20 +36,22 @@ Flow::Flow(FlowKey key, int local_host, uint32_t local_engine,
 void Flow::QueueTx(TxRecord record) {
   if (record.uses_credit) {
     uint64_t stream = record.header.stream_id;
-    auto& queue = msg_queues_[stream];
-    if (queue.empty()) {
-      msg_rr_.push_back(stream);
+    auto [qit, inserted] = msg_queues_.try_emplace(stream);
+    if (qit->second.empty()) {
+      msg_rr_.push_back(&*qit);
     }
-    queue.push_back(std::move(record));
+    qit->second.push_back(std::move(record));
     ++msg_backlog_;
+    MarkMsgReadyDirty();
   } else {
     op_queue_.push_back(std::move(record));
   }
+  RecomputeInert();
 }
 
-bool Flow::StreamEligible(uint64_t stream) const {
-  const TxRecord& head = msg_queues_.at(stream).front();
-  if (started_streams_.count(stream) > 0) {
+bool Flow::StreamEligible(const MsgQueueEntry* entry) const {
+  const TxRecord& head = entry->second.front();
+  if (started_streams_.count(entry->first) > 0) {
     // Reserved at start: the invariant credit_ >= reserved_ guarantees
     // this fragment is covered.
     return true;
@@ -61,13 +61,21 @@ bool Flow::StreamEligible(uint64_t stream) const {
          static_cast<int64_t>(head.header.msg_length);
 }
 
-bool Flow::MsgReady() const {
-  for (uint64_t stream : msg_rr_) {
-    if (StreamEligible(stream)) {
+bool Flow::ComputeMsgReady() const {
+  for (const MsgQueueEntry* entry : msg_rr_) {
+    if (StreamEligible(entry)) {
       return true;
     }
   }
   return false;
+}
+
+bool Flow::MsgReady() const {
+  if (msg_ready_dirty_) {
+    msg_ready_cache_ = ComputeMsgReady();
+    msg_ready_dirty_ = false;
+  }
+  return msg_ready_cache_;
 }
 
 bool Flow::AnythingSendable() const {
@@ -93,11 +101,11 @@ TxRecord Flow::PopNextRecord() {
     msg_rr_.push_back(msg_rr_.front());
     msg_rr_.pop_front();
   }
-  uint64_t stream = msg_rr_.front();
+  MsgQueueEntry* entry = msg_rr_.front();
   msg_rr_.pop_front();
-  auto it = msg_queues_.find(stream);
-  TxRecord record = std::move(it->second.front());
-  it->second.pop_front();
+  uint64_t stream = entry->first;
+  TxRecord record = std::move(entry->second.front());
+  entry->second.pop_front();
   --msg_backlog_;
   // Credit reservation bookkeeping.
   if (started_streams_.count(stream) == 0) {
@@ -109,11 +117,14 @@ TxRecord Flow::PopNextRecord() {
       record.header.msg_length) {
     started_streams_.erase(stream);  // message complete
   }
-  if (it->second.empty()) {
-    msg_queues_.erase(it);
-  } else {
-    msg_rr_.push_back(stream);
+  if (!entry->second.empty()) {
+    msg_rr_.push_back(entry);
   }
+  // A drained queue stays in msg_queues_ (it just leaves msg_rr_, which is
+  // what the eligibility scans walk): stream ids are long-lived bindings,
+  // so the same stream sends again soon and reuses the deque's buffer
+  // instead of re-allocating map node + deque block per message.
+  MarkMsgReadyDirty();
   return record;
 }
 
@@ -121,6 +132,9 @@ void Flow::RebuildCreditReservations() {
   started_streams_.clear();
   reserved_ = 0;
   for (const auto& [stream, queue] : msg_queues_) {
+    if (queue.empty()) {
+      continue;  // drained queue kept for buffer reuse
+    }
     const TxRecord& head = queue.front();
     if (head.header.msg_offset > 0) {
       // Mid-message after a restore: the remainder stays reserved.
@@ -128,6 +142,7 @@ void Flow::RebuildCreditReservations() {
       reserved_ += head.header.msg_length - head.header.msg_offset;
     }
   }
+  MarkMsgReadyDirty();
 }
 
 bool Flow::CanSend(SimTime now) const {
@@ -198,6 +213,14 @@ PacketPtr Flow::MakePacket(const TxRecord& record, SimTime now,
 }
 
 PacketPtr Flow::BuildNextPacket(SimTime now) {
+  PacketPtr p = BuildNextPacketImpl(now);
+  // Even a nullptr return may have mutated state (stale retransmission
+  // entries reaped below), so re-derive on every path.
+  RecomputeInert();
+  return p;
+}
+
+PacketPtr Flow::BuildNextPacketImpl(SimTime now) {
   // Retransmissions first; they bypass pacing.
   while (!retx_queue_.empty()) {
     uint64_t seq = retx_queue_.front();
@@ -207,6 +230,7 @@ PacketPtr Flow::BuildNextPacket(SimTime now) {
       continue;
     }
     retx_queue_.pop_front();
+    NoteSentAtDisturbed(it->second.sent_at);
     it->second.sent_at = now;
     ++it->second.transmissions;
     it->second.last_retx_at = now;
@@ -219,6 +243,7 @@ PacketPtr Flow::BuildNextPacket(SimTime now) {
   TxRecord record = PopNextRecord();
   if (record.uses_credit) {
     credit_ -= record.payload_bytes;
+    MarkMsgReadyDirty();
   }
   uint64_t seq = next_seq_++;
   PacketPtr p = MakePacket(record, now, seq);
@@ -230,6 +255,7 @@ PacketPtr Flow::BuildNextPacket(SimTime now) {
   next_send_time_ = base + gap;
   ++stats_.data_packets_sent;
   unacked_[seq] = Unacked{std::move(record), now};
+  NoteSentAtInserted(now);
   return p;
 }
 
@@ -245,6 +271,8 @@ SimTime Flow::AckDeadline() const {
 
 PacketPtr Flow::MaybeBuildAck(SimTime now) {
   if (unacked_rx_ > 0 && now >= first_unacked_rx_ + kAckDelay) {
+    // No RecomputeInert() needed for this write alone: it requires
+    // unacked_rx_ > 0, which already makes the flow non-inert.
     ack_pending_ = true;
   }
   if (!ack_pending_) {
@@ -254,6 +282,7 @@ PacketPtr Flow::MaybeBuildAck(SimTime now) {
   record.header.type = PonyPacketType::kAck;
   PacketPtr p = MakePacket(record, now, /*seq=*/0);  // acks are unsequenced
   ++stats_.acks_sent;
+  RecomputeInert();  // MakePacket cleared the ack-owed state
   return p;
 }
 
@@ -268,10 +297,18 @@ PacketPtr Flow::MaybeBuildCreditGrant(SimTime now) {
   granted_total_ += static_cast<uint32_t>(grant);
   TxRecord record;
   record.header.type = PonyPacketType::kCredit;
-  return MakePacket(record, now, /*seq=*/0);
+  PacketPtr p = MakePacket(record, now, /*seq=*/0);
+  RecomputeInert();  // the grant drained; ack-owed state cleared
+  return p;
 }
 
 Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
+  RxResult result = OnReceiveImpl(packet, now);
+  RecomputeInert();
+  return result;
+}
+
+Flow::RxResult Flow::OnReceiveImpl(const Packet& packet, SimTime now) {
   RxResult result;
   const PonyHeader& h = packet.pony;
 
@@ -290,6 +327,7 @@ Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
   if (credit_delta != 0 && credit_delta < 0x80000000u) {
     credit_ += credit_delta;
     last_credit_seen_ = h.credit;
+    MarkMsgReadyDirty();
   }
 
   // Ack processing (every packet carries the peer's cumulative ack).
@@ -308,6 +346,7 @@ Flow::RxResult Flow::OnReceive(const Packet& packet, SimTime now) {
       if (ack_observer_) {
         ack_observer_(it->second.record);
       }
+      NoteSentAtDisturbed(it->second.sent_at);
       it = unacked_.erase(it);
     }
     if (h.ts_echo == 0 && newest_sent >= 0) {
@@ -372,16 +411,23 @@ SimTime Flow::rto_deadline() const {
   if (unacked_.empty()) {
     return kSimTimeNever;
   }
-  SimTime oldest = kSimTimeNever;
-  for (const auto& [seq, u] : unacked_) {
-    oldest = std::min(oldest, u.sent_at);
+  if (!oldest_sent_valid_) {
+    SimTime oldest = kSimTimeNever;
+    for (const auto& [seq, u] : unacked_) {
+      oldest = std::min(oldest, u.sent_at);
+    }
+    oldest_sent_ = oldest;
+    oldest_sent_valid_ = true;
   }
-  return oldest + params_->min_rto;
+  return oldest_sent_ + params_->min_rto;
 }
 
 bool Flow::OnTimerCheck(SimTime now) {
   if (unacked_.empty()) {
     return false;
+  }
+  if (rto_deadline() > now) {
+    return false;  // earliest deadline not reached: nothing can fire
   }
   bool fired = false;
   for (auto& [seq, u] : unacked_) {
@@ -391,6 +437,7 @@ bool Flow::OnTimerCheck(SimTime now) {
       if (std::find(retx_queue_.begin(), retx_queue_.end(), seq) ==
           retx_queue_.end()) {
         retx_queue_.push_back(seq);
+        NoteSentAtDisturbed(u.sent_at);
         u.sent_at = now;
         fired = true;
       }
@@ -507,6 +554,7 @@ Flow Flow::Deserialize(StateReader* r, int local_host, uint32_t local_engine,
     flow.QueueTx(get_record());
   }
   flow.RebuildCreditReservations();
+  flow.RecomputeInert();
   return flow;
 }
 

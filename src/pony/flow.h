@@ -50,12 +50,24 @@ struct TxRecord {
   int32_t payload_bytes = 0;
   std::vector<uint8_t> data;
   bool uses_credit = false;  // two-sided message fragments
+
+  // One record is built per transmitted fragment; recycling `data`'s
+  // buffer through the shared payload cache (see packet.h) keeps record
+  // construction off malloc. Behavior is unchanged: data starts empty.
+  TxRecord() : data(TakePayloadBuffer()) {}
+  ~TxRecord() { StashPayloadBuffer(std::move(data)); }
+  TxRecord(const TxRecord&) = default;
+  TxRecord(TxRecord&&) = default;
+  TxRecord& operator=(const TxRecord&) = default;
+  TxRecord& operator=(TxRecord&&) = default;
 };
 
 class Flow {
  public:
   // Initial two-sided message credit granted by a new peer.
   static constexpr int64_t kInitialCreditBytes = 1024 * 1024;
+  // Receiver grants accumulated credit once it crosses this threshold.
+  static constexpr int64_t kCreditGrantThreshold = 32 * 1024;
 
   Flow(FlowKey key, int local_host, uint32_t local_engine,
        uint16_t wire_version, const TimelyParams& timely_params,
@@ -73,6 +85,15 @@ class Flow {
   size_t tx_backlog() const {
     return msg_backlog_ + op_queue_.size() + retx_queue_.size();
   }
+  // True iff the flow is a provable no-op for every per-poll engine query:
+  // BuildNextPacket returns nullptr, OnTimerCheck / MaybeBuildAck /
+  // MaybeBuildCreditGrant do nothing, CanSend is false and every deadline
+  // is kSimTimeNever — independent of `now`. The engine polls each flow
+  // many times per iteration; inert flows can be skipped with bit-identical
+  // results. The answer is cached as one flag (the full predicate reads
+  // seven fields across several cache lines): every mutating method ends
+  // with RecomputeInert(), so the flag is always exact.
+  bool inert() const { return inert_; }
   // True if BuildNextPacket would produce a packet now.
   bool CanSend(SimTime now) const;
   // Earliest future time a queued packet becomes sendable (pacing);
@@ -107,7 +128,10 @@ class Flow {
   // --- Two-sided credit flow control ---
   bool HasCredit(int64_t bytes) const { return credit_ >= bytes; }
   // Receiver side: the application consumed `bytes` of delivered messages.
-  void NoteDelivered(int64_t bytes) { pending_grant_ += bytes; }
+  void NoteDelivered(int64_t bytes) {
+    pending_grant_ += bytes;
+    RecomputeInert();
+  }
 
   TimelyController& timely() { return timely_; }
   int64_t credit() const { return credit_; }
@@ -163,10 +187,15 @@ class Flow {
   };
 
   PacketPtr MakePacket(const TxRecord& record, SimTime now, uint64_t seq);
+  // Bodies of the public mutators; the public wrappers re-derive inert_
+  // on every exit path.
+  PacketPtr BuildNextPacketImpl(SimTime now);
+  RxResult OnReceiveImpl(const Packet& packet, SimTime now);
   // True if any stream's head fragment may be sent under the credit
   // reservation rules.
   bool MsgReady() const;
-  bool StreamEligible(uint64_t stream) const;
+  bool StreamEligible(
+      const std::pair<const uint64_t, std::deque<TxRecord>>* entry) const;
   // Rebuilds started/reserved bookkeeping from queue contents (restore).
   void RebuildCreditReservations();
   // Pops the next sendable record (stream round-robin vs op alternation).
@@ -175,6 +204,41 @@ class Flow {
   uint64_t WireFlowId() const {
     return (static_cast<uint64_t>(local_engine_) << 32) |
            static_cast<uint64_t>(key_.remote_engine);
+  }
+
+  // Cache of min(sent_at) over unacked_. rto_deadline() and OnTimerCheck()
+  // are polled every engine iteration; without the cache each poll scans
+  // the whole retransmission window. Invariant when oldest_sent_valid_:
+  // unacked_ is non-empty and oldest_sent_ == min sent_at. The cache is
+  // exact (never stale), so timer behavior is bit-identical to a scan.
+  void NoteSentAtInserted(SimTime sent) {
+    if (oldest_sent_valid_ && sent < oldest_sent_) {
+      oldest_sent_ = sent;
+    }
+  }
+  // Call BEFORE raising or erasing an entry's sent_at; drops the cache
+  // only if that entry could be the current minimum.
+  void NoteSentAtDisturbed(SimTime sent) {
+    if (oldest_sent_valid_ && sent <= oldest_sent_) {
+      oldest_sent_valid_ = false;
+    }
+  }
+
+  // MsgReady() is polled by the engine every iteration (via CanSend /
+  // NextSendTime) but its inputs — the stream queues, the credit pool and
+  // the reservation bookkeeping — only change when a packet is queued,
+  // built, or received. Every mutation site marks the cache dirty, so the
+  // cached answer is always exactly what a fresh scan would return.
+  bool ComputeMsgReady() const;
+  void MarkMsgReadyDirty() { msg_ready_dirty_ = true; }
+
+  // Re-derives inert_ from the fields it summarizes (see inert()). Each
+  // conjunct guards one engine query: empty tx queues (nothing to send),
+  // empty unacked_ (no RTO), no ack owed, no grant ripe.
+  void RecomputeInert() {
+    inert_ = msg_backlog_ == 0 && op_queue_.empty() &&
+             retx_queue_.empty() && unacked_.empty() && !ack_pending_ &&
+             unacked_rx_ == 0 && pending_grant_ < kCreditGrantThreshold;
   }
 
   FlowKey key_;
@@ -186,20 +250,29 @@ class Flow {
 
   // TX.
   // Credit-gated message fragments, one queue per stream, serviced in
-  // round-robin order (msg_rr_ holds the active stream ids). Starting a
-  // message RESERVES its full length against the credit pool, so every
-  // in-progress message is guaranteed to finish (otherwise round-robin
-  // could strand more partial messages than the pool can complete and the
-  // receiver would never grant credit back — deadlock).
-  std::map<uint64_t, std::deque<TxRecord>> msg_queues_;
-  std::deque<uint64_t> msg_rr_;
+  // round-robin order (msg_rr_ holds pointers to the active map entries —
+  // map nodes are address-stable and never erased, so the rotation and the
+  // eligibility scans touch no map lookups). Starting a message RESERVES
+  // its full length against the credit pool, so every in-progress message
+  // is guaranteed to finish (otherwise round-robin could strand more
+  // partial messages than the pool can complete and the receiver would
+  // never grant credit back — deadlock).
+  using MsgQueueMap = std::map<uint64_t, std::deque<TxRecord>>;
+  using MsgQueueEntry = MsgQueueMap::value_type;
+  MsgQueueMap msg_queues_;
+  std::deque<MsgQueueEntry*> msg_rr_;
   std::set<uint64_t> started_streams_;  // head message mid-transmission
   int64_t reserved_ = 0;  // unsent bytes of started messages
   size_t msg_backlog_ = 0;
   std::deque<TxRecord> op_queue_;   // one-sided ops, acks-with-payload
   bool prefer_op_ = false;          // alternation when both are ready
+  mutable bool msg_ready_cache_ = false;   // see MarkMsgReadyDirty()
+  mutable bool msg_ready_dirty_ = true;
+  bool inert_ = true;  // see RecomputeInert(); a fresh flow is inert
   std::deque<uint64_t> retx_queue_;  // seqs to retransmit (from unacked_)
   std::map<uint64_t, Unacked> unacked_;
+  mutable SimTime oldest_sent_ = 0;        // see NoteSentAtInserted()
+  mutable bool oldest_sent_valid_ = false;
   uint64_t next_seq_ = 1;
   int dup_acks_ = 0;
   uint64_t last_ack_seen_ = 0;

@@ -97,8 +97,12 @@ Flow* PonyEngine::FindFlow(PonyAddress peer) {
 Flow& PonyEngine::GetOrCreateFlow(PonyAddress peer,
                                   uint16_t wire_version_hint) {
   FlowKey key{peer.host, peer.engine_id};
+  if (last_flow_ != nullptr && last_flow_->key() == key) {
+    return *last_flow_;
+  }
   auto it = flows_.find(key);
   if (it != flows_.end()) {
+    last_flow_ = &it->second;
     return it->second;
   }
   // Version negotiation over the out-of-band channel: highest version both
@@ -121,7 +125,17 @@ Flow& PonyEngine::GetOrCreateFlow(PonyAddress peer,
       key, Flow(key, nic_->host_id(), engine_id_, version, timely_params_,
                 &params_));
   InstallAckObserver(&fit->second);
+  RebuildFlowSeq();
+  last_flow_ = &fit->second;
   return fit->second;
+}
+
+void PonyEngine::RebuildFlowSeq() {
+  flow_seq_.clear();
+  flow_seq_.reserve(flows_.size());
+  for (auto& [key, flow] : flows_) {
+    flow_seq_.push_back(&flow);
+  }
 }
 
 void PonyEngine::InstallAckObserver(Flow* flow) {
@@ -273,7 +287,19 @@ void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
                                     SimTime now, SimDuration* cost) {
   const PonyHeader& h = packet.pony;
   auto key = std::make_pair(h.flow_id, h.op_id);
-  Assembly& assembly = assemblies_[key];
+  auto ait = assemblies_.find(key);
+  if (ait == assemblies_.end()) {
+    if (!assembly_spare_.empty()) {
+      auto node = std::move(assembly_spare_.back());
+      assembly_spare_.pop_back();
+      node.key() = key;
+      node.mapped() = Assembly{};
+      ait = assemblies_.insert(std::move(node)).position;
+    } else {
+      ait = assemblies_.try_emplace(key).first;
+    }
+  }
+  Assembly& assembly = ait->second;
   if (assembly.total == 0) {
     assembly.from = PonyAddress{packet.src_host,
                                 static_cast<uint32_t>(h.flow_id >> 32)};
@@ -316,11 +342,30 @@ void PonyEngine::HandleDataFragment(Flow& flow, const Packet& packet,
   msg.data = std::move(assembly.data);
   msg.receive_time = now;
   uint64_t release_seq = assembly.last_seq;
-  assemblies_.erase(key);
+  {
+    auto node = assemblies_.extract(ait);
+    if (assembly_spare_.size() < kSpareNodeCap) {
+      assembly_spare_.push_back(std::move(node));
+    }
+  }
   if (flow.rcv_nxt() <= release_seq) {
     ++stats_.messages_held_for_order;
   }
-  held_[h.flow_id][release_seq] = std::move(msg);
+  auto& by_seq = held_[h.flow_id];
+  auto hit = by_seq.find(release_seq);
+  if (hit != by_seq.end()) {
+    // Duplicate completion (retransmitted fragments): overwrite, matching
+    // the old operator[] semantics.
+    hit->second = std::move(msg);
+  } else if (!held_spare_.empty()) {
+    auto node = std::move(held_spare_.back());
+    held_spare_.pop_back();
+    node.key() = release_seq;
+    node.mapped() = std::move(msg);
+    by_seq.insert(std::move(node));
+  } else {
+    by_seq.emplace(release_seq, std::move(msg));
+  }
 }
 
 void PonyEngine::ReleaseHeldMessages(uint64_t wire_flow_id, Flow& flow) {
@@ -331,12 +376,14 @@ void PonyEngine::ReleaseHeldMessages(uint64_t wire_flow_id, Flow& flow) {
   auto& by_seq = hit->second;
   while (!by_seq.empty() && by_seq.begin()->first < flow.rcv_nxt()) {
     PonyIncomingMessage msg = std::move(by_seq.begin()->second);
-    by_seq.erase(by_seq.begin());
+    auto node = by_seq.extract(by_seq.begin());
+    if (held_spare_.size() < kSpareNodeCap) {
+      held_spare_.push_back(std::move(node));
+    }
     DeliverOrStall(flow, std::move(msg));
   }
-  if (by_seq.empty()) {
-    held_.erase(hit);
-  }
+  // A drained inner map stays in held_ (flow ids are long-lived and
+  // bounded); serialization and Footprint() already skip empty entries.
 }
 
 void PonyEngine::DeliverOrStall(Flow& flow, PonyIncomingMessage&& msg) {
@@ -639,28 +686,29 @@ bool PonyEngine::TransmitFromFlows(SimTime now, SimDuration budget,
   bool sent_any = false;
   // Round-robin across flows for fairness; just-in-time generation bounded
   // by NIC TX descriptor availability.
-  size_t n = flows_.size();
-  auto it = flows_.begin();
-  std::advance(it, flow_cursor_ % n);
-  for (size_t visited = 0; visited < n; ++visited, ++it) {
-    if (it == flows_.end()) {
-      it = flows_.begin();
-    }
-    Flow& flow = it->second;
-    flow.OnTimerCheck(now);
-    while (*cost < budget && nic_->TxSlotsAvailable() > 0) {
-      PacketPtr p = flow.BuildNextPacket(now);
-      if (p == nullptr) {
-        break;
+  size_t n = flow_seq_.size();
+  size_t start = flow_cursor_ % n;
+  for (size_t visited = 0; visited < n; ++visited) {
+    Flow& flow = *flow_seq_[(start + visited) % n];
+    // An inert flow's visit is a no-op (OnTimerCheck does nothing and
+    // BuildNextPacket returns nullptr), but the budget break below must
+    // still run: the poll can arrive here already over budget.
+    if (!flow.inert()) {
+      flow.OnTimerCheck(now);
+      while (*cost < budget && nic_->TxSlotsAvailable() > 0) {
+        PacketPtr p = flow.BuildNextPacket(now);
+        if (p == nullptr) {
+          break;
+        }
+        *cost += params_.per_packet_cost +
+                 static_cast<SimDuration>(params_.proc_ns_per_byte *
+                                          static_cast<double>(
+                                              p->payload_bytes));
+        ++stats_.tx_packets;
+        ++(*work);
+        sent_any = true;
+        nic_->Transmit(std::move(p));
       }
-      *cost += params_.per_packet_cost +
-               static_cast<SimDuration>(params_.proc_ns_per_byte *
-                                        static_cast<double>(
-                                            p->payload_bytes));
-      ++stats_.tx_packets;
-      ++(*work);
-      sent_any = true;
-      nic_->Transmit(std::move(p));
     }
     if (*cost >= budget) {
       break;
@@ -672,7 +720,11 @@ bool PonyEngine::TransmitFromFlows(SimTime now, SimDuration budget,
 
 void PonyEngine::FlushAcksAndCredits(SimTime now, SimDuration* cost,
                                      int* work) {
-  for (auto& [key, flow] : flows_) {
+  for (Flow* flow_ptr : flow_seq_) {
+    Flow& flow = *flow_ptr;
+    if (flow.inert()) {
+      continue;
+    }
     if (nic_->TxSlotsAvailable() <= 0) {
       break;
     }
@@ -724,10 +776,13 @@ void PonyEngine::RetryPendingDeliveries(int* work) {
 
 void PonyEngine::UpdateWakeTimer(SimTime now) {
   SimTime earliest = kSimTimeNever;
-  for (auto& [key, flow] : flows_) {
-    earliest = std::min(earliest, flow.NextSendTime());
-    earliest = std::min(earliest, flow.rto_deadline());
-    earliest = std::min(earliest, flow.AckDeadline());
+  for (const Flow* flow : flow_seq_) {
+    if (flow->inert()) {
+      continue;  // all three deadlines are kSimTimeNever
+    }
+    earliest = std::min(earliest, flow->NextSendTime());
+    earliest = std::min(earliest, flow->rto_deadline());
+    earliest = std::min(earliest, flow->AckDeadline());
   }
   wake_timer_.Cancel();
   if (earliest == kSimTimeNever) {
@@ -755,11 +810,14 @@ bool PonyEngine::HasWork(SimTime now) const {
   if (!stalled_messages_.empty() || !stalled_completions_.empty()) {
     return true;
   }
-  for (const auto& [key, flow] : flows_) {
-    if (flow.CanSend(now) || flow.ack_pending()) {
+  for (const Flow* flow : flow_seq_) {
+    if (flow->inert()) {
+      continue;  // cannot send, no ack owed, no deadline due
+    }
+    if (flow->CanSend(now) || flow->ack_pending()) {
       return true;
     }
-    if (flow.rto_deadline() <= now || flow.AckDeadline() <= now) {
+    if (flow->rto_deadline() <= now || flow->AckDeadline() <= now) {
       return true;
     }
   }
@@ -877,6 +935,7 @@ void PonyEngine::DeserializeState(StateReader* r) {
     auto [it, inserted] = flows_.emplace(flow.key(), std::move(flow));
     InstallAckObserver(&it->second);
   }
+  RebuildFlowSeq();
   uint32_t n_streams = r->GetU32();
   for (uint32_t i = 0; i < n_streams; ++i) {
     uint64_t stream_id = r->GetU64();

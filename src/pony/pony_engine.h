@@ -144,6 +144,8 @@ class PonyEngine : public Engine {
   };
 
   Flow& GetOrCreateFlow(PonyAddress peer, uint16_t wire_version_hint);
+  // Rebuilds flow_seq_ (key-ordered Flow pointers) after a flows_ insert.
+  void RebuildFlowSeq();
   void InstallAckObserver(Flow* flow);
   void OnFragmentAcked(const TxRecord& record);
   void HandleRxPacket(PacketPtr packet, SimTime now, SimDuration* cost);
@@ -182,6 +184,15 @@ class PonyEngine : public Engine {
   uint16_t wire_max_ = 2;
 
   std::map<FlowKey, Flow> flows_;
+  // flows_ in key order as raw pointers: the engine's poll loops walk every
+  // flow several times per iteration, and map nodes are pointer-chases.
+  // Valid because flows are never erased (map nodes are address-stable);
+  // rebuilt on every insert. Same order as iterating flows_ directly.
+  std::vector<Flow*> flow_seq_;
+  // Single-entry lookup cache: RX batches land on the same flow back to
+  // back, so GetOrCreateFlow is a map find per packet without it. Never
+  // invalidated (flows are never erased).
+  Flow* last_flow_ = nullptr;
   std::map<uint64_t, StreamBinding> streams_;
   std::map<uint64_t, PendingOp> pending_ops_;
   std::map<uint64_t, SendOp> send_ops_;
@@ -190,6 +201,15 @@ class PonyEngine : public Engine {
   // Completed messages awaiting in-order release, keyed wire flow id ->
   // last fragment seq -> message (see Assembly::last_seq).
   std::map<uint64_t, std::map<uint64_t, PonyIncomingMessage>> held_;
+  // Spare map nodes for assemblies_/held_ inner maps. Both maps see one
+  // insert + one erase per message (op ids are monotone, so keys never
+  // repeat); recycling the extracted nodes turns that churn into
+  // pointer swaps. Bounded: overflow nodes are simply freed.
+  static constexpr size_t kSpareNodeCap = 64;
+  std::vector<std::map<std::pair<uint64_t, uint64_t>, Assembly>::node_type>
+      assembly_spare_;
+  std::vector<std::map<uint64_t, PonyIncomingMessage>::node_type>
+      held_spare_;
   RegionRegistry regions_;
   std::vector<PonyClient*> clients_;
   PonyClient* default_sink_ = nullptr;

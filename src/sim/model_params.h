@@ -85,6 +85,11 @@ struct NicParams {
   // until `itr_max_wait` or `itr_max_frames` packets (adaptive, like ixgbe).
   SimDuration itr_max_wait = 10 * kUsec;
   int itr_max_frames = 64;
+  // Simulator-internal optimization (no effect on modeled behavior): a
+  // burst crossing an egress port schedules one drain event instead of one
+  // event per packet; each packet is still delivered at its exact modeled
+  // time. OFF reverts to per-packet events for A/B benchmarking.
+  bool batched_delivery = true;
 };
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,9 @@ namespace snap {
 
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1,
+                     EventQueueKind queue_kind = kDefaultEventQueueKind)
+      : events_(queue_kind), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -69,6 +71,9 @@ class Simulator {
   }
 
   size_t pending_events() const { return events_.size(); }
+
+  // The backing event queue (stats, implementation kind).
+  const EventQueue& event_queue() const { return events_; }
 
  private:
   SimTime now_ = 0;

@@ -95,7 +95,7 @@ std::vector<ChaosProfile> SeedSweepRunner::DefaultProfiles() {
 SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
                                        const ChaosProfile& profile) {
   const SeedSweepOptions& opt = options_;
-  Simulator sim(seed);
+  Simulator sim(seed, opt.queue_kind);
   Fabric fabric(&sim, NicParams{});
   PonyDirectory directory;
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/event_queue.h"
 #include "src/testing/chaos.h"
 #include "src/testing/invariants.h"
 #include "src/util/time_types.h"
@@ -38,6 +39,10 @@ struct SeedSweepOptions {
   SimDuration run_limit = 2 * kSec;
   // Run every (seed, profile) cell twice and require identical traces.
   bool check_replay = true;
+  // Event-queue implementation backing each run's Simulator. Sweeping the
+  // same (seed, profile) grid under both kinds and comparing trace digests
+  // proves the implementations are observably identical.
+  EventQueueKind queue_kind = kDefaultEventQueueKind;
 };
 
 struct SweepRunResult {

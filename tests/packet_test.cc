@@ -7,6 +7,7 @@
 #include "src/packet/crc32.h"
 #include "src/packet/packet_pool.h"
 #include "src/packet/wire.h"
+#include "src/stats/metrics.h"
 
 namespace snap {
 namespace {
@@ -213,6 +214,83 @@ TEST(PacketPoolTest, PeakTracksHighWaterMark) {
   }
   EXPECT_EQ(pool.stats().peak_allocated, 7);
   EXPECT_EQ(pool.stats().allocated, 0);
+}
+
+TEST(PacketPoolTest, RecyclingPreservesPayloadCapacity) {
+  // Regression for `*p = Packet{}` discarding the recycled data buffer:
+  // a recycled packet must come back with its old capacity intact so the
+  // payload write does not reallocate.
+  PacketPool pool(4);
+  PacketPtr p = pool.Allocate(5000);
+  p->data.assign(5000, 0xAB);
+  const uint8_t* buffer = p->data.data();
+  pool.Free(std::move(p));
+
+  PacketPtr q = pool.Allocate(5000);
+  ASSERT_NE(q, nullptr);
+  EXPECT_TRUE(q->data.empty());          // clean...
+  EXPECT_GE(q->data.capacity(), 5000u);  // ...but capacity retained
+  q->data.assign(5000, 0xCD);
+  EXPECT_EQ(q->data.data(), buffer);  // same heap buffer, no realloc
+  EXPECT_EQ(pool.stats().recycled, 1);
+  EXPECT_EQ(pool.stats().recycled_with_capacity, 1);
+}
+
+TEST(PacketPoolTest, SizeClassesKeepBigAndSmallBuffersApart) {
+  // A stream of ack-sized allocations must not burn through the recycled
+  // 5kB MTU buffers (and vice versa): each class prefers its own list.
+  PacketPool pool(16);
+  PacketPtr big = pool.Allocate(5000);
+  big->data.resize(5000);
+  PacketPtr small = pool.Allocate(64);
+  small->data.resize(64);
+  pool.Free(std::move(big));
+  pool.Free(std::move(small));
+
+  PacketPtr ack = pool.Allocate(64);
+  EXPECT_LT(ack->data.capacity(), 5000u);  // got the small buffer
+  PacketPtr mtu = pool.Allocate(5000);
+  EXPECT_GE(mtu->data.capacity(), 5000u);  // big buffer still available
+  EXPECT_EQ(pool.stats().recycled_with_capacity, 2);
+}
+
+TEST(PacketPoolTest, FallbackCrossesClassesRatherThanAllocatingFresh) {
+  PacketPool pool(4);
+  PacketPtr p = pool.Allocate(64);
+  p->data.resize(64);
+  pool.Free(std::move(p));
+  // Only a small buffer is pooled; a big request still recycles it (the
+  // buffer grows) instead of minting a new Packet.
+  PacketPtr q = pool.Allocate(5000);
+  EXPECT_EQ(pool.stats().recycled, 1);
+  EXPECT_EQ(pool.stats().fresh_allocs, 1);  // just the first Allocate
+  EXPECT_EQ(pool.stats().recycled_with_capacity, 0);
+  EXPECT_GE(q->data.capacity(), 5000u);  // hint pre-reserved
+}
+
+TEST(PacketPoolTest, ClassForSizeBoundaries) {
+  EXPECT_EQ(PacketPool::ClassForSize(0), 0);
+  EXPECT_EQ(PacketPool::ClassForSize(1), 1);
+  EXPECT_EQ(PacketPool::ClassForSize(128), 1);
+  EXPECT_EQ(PacketPool::ClassForSize(129), 2);
+  EXPECT_EQ(PacketPool::ClassForSize(2048), 2);
+  EXPECT_EQ(PacketPool::ClassForSize(2049), 3);
+  EXPECT_EQ(PacketPool::ClassForSize(5000), 3);
+}
+
+TEST(PacketPoolTest, ExportStatsPublishesCounters) {
+  MetricRegistry registry;
+  PacketPool pool(4, "engine0");
+  PacketPtr p = pool.Allocate(100);
+  p->data.resize(100);
+  pool.Free(std::move(p));
+  pool.Allocate(100);
+  pool.ExportStats(&registry, "pool.engine0");
+  auto snap = registry.Snapshot();
+  EXPECT_EQ(snap["pool.engine0.total_allocs"], 2);
+  EXPECT_EQ(snap["pool.engine0.recycled"], 1);
+  EXPECT_EQ(snap["pool.engine0.recycled_with_capacity"], 1);
+  EXPECT_EQ(snap["pool.engine0.allocated"], 1);
 }
 
 }  // namespace

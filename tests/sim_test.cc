@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -121,6 +125,192 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Both event-queue implementations (timer wheel and legacy heap) must be
+// observably identical; everything below runs against each.
+// ---------------------------------------------------------------------------
+
+class EventQueueImplTest : public ::testing::TestWithParam<EventQueueKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EventQueueImplTest,
+                         ::testing::Values(EventQueueKind::kTimerWheel,
+                                           EventQueueKind::kLegacyHeap),
+                         [](const auto& info) {
+                           return std::string(EventQueueKindName(info.param));
+                         });
+
+TEST_P(EventQueueImplTest, HeavyChurnCancelAndMove) {
+  // Regression for the old PopNext const_cast-on-priority_queue UB and for
+  // slab/generation bookkeeping: schedule, cancel, and "move" (cancel +
+  // reschedule) thousands of events with a seeded RNG, checking that
+  // exactly the surviving events fire, in time order.
+  Simulator sim(1234, GetParam());
+  Rng rng(42);
+  std::vector<EventHandle> handles;
+  std::vector<SimTime> expected;  // times of events that must fire
+  std::vector<SimTime> fired;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      SimTime when = sim.now() + 1 +
+                     static_cast<SimDuration>(rng.NextBounded(500 * 1000));
+      handles.push_back(
+          sim.ScheduleAt(when, [&fired, &sim] { fired.push_back(sim.now()); }));
+      expected.push_back(when);
+    }
+    // Cancel a third, move (cancel + reschedule) another third.
+    for (size_t i = handles.size() - 100; i < handles.size(); ++i) {
+      uint64_t coin = rng.NextBounded(3);
+      if (coin == 0) {
+        handles[i].Cancel();
+        handles[i].Cancel();  // idempotent
+        expected[i] = -1;
+      } else if (coin == 1) {
+        handles[i].Cancel();
+        SimTime when = sim.now() + 1 +
+                       static_cast<SimDuration>(rng.NextBounded(500 * 1000));
+        handles[i] = sim.ScheduleAt(
+            when, [&fired, &sim] { fired.push_back(sim.now()); });
+        expected[i] = when;
+      }
+    }
+    sim.RunFor(10 * kUsec);  // interleave execution with churn
+  }
+  sim.RunAll();
+
+  std::vector<SimTime> want;
+  for (SimTime t : expected) {
+    if (t >= 0) {
+      want.push_back(t);
+    }
+  }
+  std::sort(want.begin(), want.end());
+  ASSERT_EQ(fired.size(), want.size());
+  std::vector<SimTime> got = fired;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+  // Events must have fired in nondecreasing time order as executed.
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST_P(EventQueueImplTest, StaleHandleAfterSlotReuseIsInert) {
+  // After an event fires, its slab slot may be reused by a new event; the
+  // old handle must neither cancel nor report the new occupant as pending.
+  Simulator sim(1, GetParam());
+  bool first_ran = false;
+  EventHandle stale = sim.Schedule(10, [&] { first_ran = true; });
+  sim.RunFor(100);
+  ASSERT_TRUE(first_ran);
+  EXPECT_FALSE(stale.pending());
+
+  // The wheel reuses the freed slot for the next record.
+  bool second_ran = false;
+  sim.Schedule(10, [&] { second_ran = true; });
+  stale.Cancel();  // must not touch the new event
+  sim.RunAll();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST_P(EventQueueImplTest, CancelledHeadDoesNotStallNextEventTime) {
+  // RunUntil(t) must not execute an event scheduled after t just because a
+  // cancelled event tops the queue (regression: the old heap reported the
+  // cancelled event's time from NextEventTime).
+  Simulator sim(1, GetParam());
+  bool late_ran = false;
+  EventHandle early = sim.Schedule(100, [] {});
+  sim.Schedule(1000, [&] { late_ran = true; });
+  early.Cancel();
+  sim.RunUntil(500);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), 500);
+  sim.RunAll();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST_P(EventQueueImplTest, FarWheelAndOverflowHorizons) {
+  // Cover every filing tier: same 16us block (near), within ~4.2ms (far),
+  // and beyond (overflow heap), plus re-scheduling into the past-most tier
+  // as the clock advances across block boundaries.
+  Simulator sim(1, GetParam());
+  std::vector<int> order;
+  sim.Schedule(3 * kUsec, [&] { order.push_back(0); });        // near
+  sim.Schedule(1 * kMsec, [&] { order.push_back(1); });        // far
+  sim.Schedule(100 * kMsec, [&] { order.push_back(2); });      // overflow
+  sim.Schedule(2 * kSec, [&] { order.push_back(3); });         // deep overflow
+  // Cascade stress: as each fires, schedule short follow-ups that land in
+  // the (rebased) near wheel.
+  sim.Schedule(1 * kMsec + 1, [&] { order.push_back(4); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 4, 2, 3}));
+  EXPECT_EQ(sim.now(), 2 * kSec);
+}
+
+TEST_P(EventQueueImplTest, EqualTimeFifoAcrossBlockBoundary) {
+  // Events scheduled at the exact same instant from different "eras" of
+  // the wheel (before and after block advances) must still fire FIFO.
+  Simulator sim(1, GetParam());
+  std::vector<int> order;
+  const SimTime t = 10 * kMsec;  // lives in far wheel when first scheduled
+  sim.Schedule(t, [&] { order.push_back(0); });
+  sim.Schedule(5 * kMsec, [&] {
+    sim.ScheduleAt(t, [&] { order.push_back(1); });  // scheduled later: after
+  });
+  sim.Schedule(t, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST_P(EventQueueImplTest, MoveOnlyCaptureIsSupported) {
+  // EventCallback (unlike std::function) must hold move-only captures.
+  Simulator sim(1, GetParam());
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  sim.Schedule(5, [&result, p = std::move(payload)] { result = *p + 1; });
+  sim.RunAll();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueueParityTest, IdenticalFireOrderAcrossImplementations) {
+  // The same randomized schedule/cancel workload must produce the exact
+  // same (time, tag) execution sequence on both implementations.
+  auto run = [](EventQueueKind kind) {
+    Simulator sim(7, kind);
+    Rng rng(7);
+    std::vector<std::pair<SimTime, int>> trace;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 2000; ++i) {
+      SimTime when = static_cast<SimDuration>(rng.NextBounded(20 * kMsec));
+      handles.push_back(sim.ScheduleAt(
+          when, [&trace, &sim, i] { trace.emplace_back(sim.now(), i); }));
+    }
+    for (int i = 0; i < 2000; i += 5) {
+      handles[i].Cancel();
+    }
+    sim.RunAll();
+    return trace;
+  };
+  EXPECT_EQ(run(EventQueueKind::kTimerWheel),
+            run(EventQueueKind::kLegacyHeap));
+}
+
+TEST(EventQueueStatsTest, WheelCountersTrackTiersAndCancels) {
+  Simulator sim(1, EventQueueKind::kTimerWheel);
+  sim.Schedule(1 * kUsec, [] {});            // near
+  sim.Schedule(1 * kMsec, [] {});            // far
+  sim.Schedule(1 * kSec, [] {});             // overflow
+  EventHandle h = sim.Schedule(2 * kUsec, [] {});
+  h.Cancel();
+  sim.RunAll();
+  const EventQueueStats& s = sim.event_queue().stats();
+  EXPECT_EQ(s.scheduled, 4);
+  EXPECT_EQ(s.fired, 3);
+  EXPECT_EQ(s.cancelled, 1);
+  EXPECT_GE(s.near_inserts, 2);
+  EXPECT_GE(s.far_inserts, 1);
+  EXPECT_GE(s.overflow_inserts, 1);
+  EXPECT_GE(s.block_jumps, 2);
+  EXPECT_EQ(s.callback_heap_allocs, 0);  // all captures fit inline
 }
 
 }  // namespace

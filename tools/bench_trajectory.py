@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Perf-trajectory runner: executes bench_sim_speed and appends the results
+to BENCH_sim_speed.json so every PR leaves a recorded speed datapoint.
+
+Usage:
+    tools/bench_trajectory.py [--build-dir build] [--out BENCH_sim_speed.json]
+                              [--smoke] [--baseline-check]
+
+Runs <build-dir>/bench/bench_sim_speed (building is the caller's job),
+stamps the result with the git revision and date, and appends it to the
+history file's "runs" list. The newest run is also mirrored at the top
+level under "latest" for easy reading.
+
+--baseline-check exits nonzero unless the rack workload shows >= 3x
+events/sec for the timer wheel against the pre-PR configuration (legacy
+heap queue); it compares against the recorded pre-PR baseline if one
+exists under "pre_pr_baseline", else against the legacy-heap A/B leg of
+the same run.
+
+Only the standard library is used.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_revision():
+    try:
+        out = subprocess.run(
+            ["git", "-C", REPO_ROOT, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_bench(build_dir, smoke):
+    bench = os.path.join(build_dir, "bench", "bench_sim_speed")
+    if not os.path.exists(bench):
+        sys.exit(f"error: {bench} not found (build the repo first: "
+                 f"cmake --build {build_dir} --target bench_sim_speed)")
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json",
+                                     delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        cmd = [bench, "--json", tmp_path] + (["--smoke"] if smoke else [])
+        subprocess.run(cmd, check=True)
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
+def load_history(path):
+    if os.path.exists(path):
+        with open(path) as f:
+            return json.load(f)
+    return {"runs": []}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_sim_speed.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the reduced CI workload")
+    parser.add_argument("--baseline-check", action="store_true",
+                        help="fail unless rack events/sec >= 3x the "
+                             "pre-PR heap baseline")
+    args = parser.parse_args()
+
+    result = run_bench(args.build_dir, args.smoke)
+    entry = {
+        "git_revision": git_revision(),
+        "date": datetime.datetime.now(datetime.timezone.utc)
+                .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "smoke": result.get("smoke", args.smoke),
+        "benchmarks": result["benchmarks"],
+    }
+
+    history = load_history(args.out)
+    history.setdefault("runs", []).append(entry)
+    history["latest"] = entry
+    with open(args.out, "w") as f:
+        json.dump(history, f, indent=2)
+        f.write("\n")
+    print(f"appended run {entry['git_revision']} to {args.out} "
+          f"({len(history['runs'])} runs recorded)")
+
+    rack = entry["benchmarks"].get("rack_fig6b", {})
+    wheel = rack.get("timer_wheel", {}).get("events_per_sec", 0.0)
+    baseline = history.get("pre_pr_baseline", {}).get("events_per_sec")
+    baseline_name = "recorded pre-PR baseline"
+    if baseline is None:
+        baseline = rack.get("legacy_heap", {}).get("events_per_sec", 0.0)
+        baseline_name = "legacy-heap leg of this run"
+    if baseline:
+        ratio = wheel / baseline
+        print(f"rack events/sec: wheel {wheel:,.0f} vs {baseline_name} "
+              f"{baseline:,.0f} -> {ratio:.2f}x (target >= 3x)")
+        if args.baseline_check and ratio < 3.0:
+            sys.exit("baseline check FAILED: speedup below 3x")
+
+
+if __name__ == "__main__":
+    main()

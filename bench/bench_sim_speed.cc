@@ -145,8 +145,7 @@ Measurement MeasureCancelChurn(EventQueueKind kind, int64_t total_events) {
 // way.
 constexpr int kRackTrials = 3;
 
-Measurement MeasureRack(EventQueueKind kind, SimDuration warmup,
-                        SimDuration window) {
+RpcRackConfig RackConfig(EventQueueKind kind) {
   RpcRackConfig config;
   config.hosts = 6;
   config.jobs_per_host = 3;
@@ -158,6 +157,12 @@ Measurement MeasureRack(EventQueueKind kind, SimDuration warmup,
   config.host_options.group.mode = SchedulingMode::kSpreadingEngines;
   config.host_options.group.dedicated_cores = {0, 1};
   config.host_options.cpu.num_cores = 10;
+  return config;
+}
+
+Measurement MeasureRack(EventQueueKind kind, SimDuration warmup,
+                        SimDuration window) {
+  RpcRackConfig config = RackConfig(kind);
   Measurement best;
   for (int trial = 0; trial < kRackTrials; ++trial) {
     Timed timed;
@@ -206,6 +211,7 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
   std::string only;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -213,8 +219,12 @@ int Main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
       only = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH] [--only CASE]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--only CASE] "
+                   "[--trace PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -284,6 +294,24 @@ int Main(int argc, char** argv) {
   if (rack.wall_sec > 0) {
     std::printf("  rack sim-time/wall-time: %.1fx (%.3f sim-sec in %.3f s)\n",
                 rack.sim_sec / rack.wall_sec, rack.sim_sec, rack.wall_sec);
+  }
+
+  // Dedicated traced run (never timed): writes a Chrome-trace JSON of the
+  // rack workload for chrome://tracing / Perfetto / tools/trace_report.py,
+  // and prints the telemetry dashboard for the same run.
+  if (!trace_path.empty()) {
+    TraceRecorder tracer;
+    RpcRackConfig config = RackConfig(EventQueueKind::kTimerWheel);
+    config.tracer = &tracer;
+    RpcRackResult result = RunPonyRpcRack(config, rack_warmup, rack_window);
+    if (!tracer.WriteJson(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%zu trace events, %.3f sim-sec)\n",
+                trace_path.c_str(), tracer.size(),
+                ToSec(result.sim_end_time));
+    std::printf("%s", result.telemetry_dashboard.c_str());
   }
 
   if (!json_path.empty()) {

@@ -24,6 +24,10 @@ struct RpcRackConfig {
   // are identical either way).
   EventQueueKind queue_kind = kDefaultEventQueueKind;
   NicParams nic_params;
+  // Optional flight recorder attached to the rack's simulator
+  // (bench_sim_speed --trace). Tracing never changes results, only
+  // wall-clock speed, so traced runs are excluded from measurements.
+  TraceRecorder* tracer = nullptr;
 };
 
 struct RpcRackResult {
@@ -36,6 +40,8 @@ struct RpcRackResult {
   int64_t sim_events = 0;         // events fired by the event queue
   int64_t fabric_packets = 0;     // packets delivered by the fabric
   SimTime sim_end_time = 0;       // total simulated time covered
+  // Telemetry dashboard text, captured only for traced runs.
+  std::string telemetry_dashboard;
 };
 
 // Runs the rack over Pony Express engines.
@@ -43,6 +49,9 @@ inline RpcRackResult RunPonyRpcRack(const RpcRackConfig& config,
                                     SimDuration warmup, SimDuration window) {
   Rack rack(config.seed, config.hosts, config.host_options,
             config.queue_kind, config.nic_params);
+  if (config.tracer != nullptr) {
+    rack.sim().set_tracer(config.tracer);
+  }
   double per_job_rate =
       config.offered_gbps_per_host * 1e9 /
       (8.0 * static_cast<double>(config.response_bytes) *
@@ -154,6 +163,11 @@ inline RpcRackResult RunPonyRpcRack(const RpcRackConfig& config,
   result.sim_events = rack.sim().event_queue().stats().fired;
   result.fabric_packets = rack.fabric().stats().delivered;
   result.sim_end_time = rack.sim().now();
+  if (config.tracer != nullptr) {
+    rack.sim().event_queue().ExportStats(&rack.sim().telemetry(),
+                                         "sim/event_queue");
+    result.telemetry_dashboard = rack.sim().telemetry().DumpDashboard();
+  }
   return result;
 }
 

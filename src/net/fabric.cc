@@ -1,5 +1,6 @@
 #include "src/net/fabric.h"
 
+#include "src/net/nic.h"
 #include "src/util/logging.h"
 
 namespace snap {
@@ -35,6 +36,7 @@ void Fabric::Route(PacketPtr packet, SimTime wire_time) {
 }
 
 void Fabric::EnqueueAtPort(PacketPtr packet, SimTime wire_time) {
+  TracePacketPoint(sim_, *packet, "fabric_enq");
   // Propagate to the switch, then contend for the destination egress port.
   SimTime switch_arrival = wire_time + params_.propagation_delay;
   Port& port = ports_[packet->dst_host];

@@ -131,6 +131,7 @@ bool Nic::Transmit(PacketPtr packet) {
   ++tx_outstanding_;
   ++stats_.tx_packets;
   stats_.tx_bytes += packet->wire_bytes;
+  TracePacketPoint(sim_, *packet, "nic_tx");
   if (tx_tap_) {
     tx_tap_(*packet);
   }
@@ -155,6 +156,7 @@ void Nic::DeliverFromWire(PacketPtr packet) {
   ++stats_.rx_packets;
   stats_.rx_bytes += packet->wire_bytes;
   packet->rx_time = sim_->now();
+  TracePacketPoint(sim_, *packet, "nic_rx");
   if (rx_tap_) {
     rx_tap_(*packet);
   }

@@ -151,6 +151,31 @@ class Nic {
   Stats stats_;
 };
 
+// Records one packet-lifecycle flow point for a sampled Pony message: a
+// "msg" flow bound by op id, with the lifecycle stage in args ("engine_tx",
+// "nic_tx", "fabric_enq", "nic_rx", ...). Pure observation on the hot path
+// — one null test when tracing is disabled — and compiled out entirely with
+// -DSNAP_TRACE_PACKET_LIFECYCLE=OFF.
+inline void TracePacketPoint(
+    Simulator* sim, const Packet& packet, const char* point,
+    int fallback_track = TraceRecorder::kFabricTrack) {
+#ifndef SNAP_DISABLE_PACKET_TRACE
+  TraceRecorder* tracer = sim->tracer();
+  if (tracer == nullptr || packet.proto != WireProtocol::kPony ||
+      !tracer->ShouldSampleMessage(packet.pony.op_id)) {
+    return;
+  }
+  tracer->FlowPoint('t', sim->now(), tracer->current_core_or(fallback_track),
+                    packet.pony.op_id, "msg", "pkt",
+                    TraceArgStr("point", point));
+#else
+  (void)sim;
+  (void)packet;
+  (void)point;
+  (void)fallback_track;
+#endif
+}
+
 }  // namespace snap
 
 #endif  // SRC_NET_NIC_H_

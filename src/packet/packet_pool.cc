@@ -1,15 +1,13 @@
 #include "src/packet/packet_pool.h"
 
-#include "src/stats/metrics.h"
+#include "src/stats/telemetry.h"
 
 namespace snap {
 
-void PacketPool::ExportStats(MetricRegistry* registry,
+void PacketPool::ExportStats(Telemetry* telemetry,
                              const std::string& prefix) const {
   auto set = [&](const char* name, int64_t v) {
-    Counter* c = registry->GetCounter(prefix + "." + name);
-    c->Reset();
-    c->Add(v);
+    telemetry->SetCounter(prefix + "/" + name, v);
   };
   set("allocated", stats_.allocated);
   set("peak_allocated", stats_.peak_allocated);

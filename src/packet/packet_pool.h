@@ -26,7 +26,7 @@
 
 namespace snap {
 
-class MetricRegistry;
+class Telemetry;
 
 class PacketPool {
  public:
@@ -100,9 +100,9 @@ class PacketPool {
   const Stats& stats() const { return stats_; }
   const std::string& owner() const { return owner_; }
 
-  // Publishes pool counters as "<prefix>.allocated" etc. (defined in
-  // packet_pool.cc to keep the MetricRegistry dependency out of line).
-  void ExportStats(MetricRegistry* registry, const std::string& prefix) const;
+  // Publishes pool counters as "<prefix>/allocated" etc. into the Telemetry
+  // registry (defined in packet_pool.cc to keep the dependency out of line).
+  void ExportStats(Telemetry* telemetry, const std::string& prefix) const;
 
   // Resets every field to its default while keeping `data`'s heap buffer.
   // Exposed for tests and for callers that recycle packets privately.

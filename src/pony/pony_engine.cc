@@ -8,6 +8,30 @@
 
 namespace snap {
 
+namespace {
+
+// Start/end points of a sampled message's lifecycle flow (the mid-flow
+// packet points are emitted via TracePacketPoint in src/net/nic.h).
+inline void TraceMessagePoint(Simulator* sim, char phase, uint64_t op_id,
+                              const char* point) {
+#ifndef SNAP_DISABLE_PACKET_TRACE
+  TraceRecorder* tracer = sim->tracer();
+  if (tracer == nullptr || !tracer->ShouldSampleMessage(op_id)) {
+    return;
+  }
+  tracer->FlowPoint(phase, sim->now(),
+                    tracer->current_core_or(TraceRecorder::kFabricTrack),
+                    op_id, "msg", "pkt", TraceArgStr("point", point));
+#else
+  (void)sim;
+  (void)phase;
+  (void)op_id;
+  (void)point;
+#endif
+}
+
+}  // namespace
+
 PonyEngine::PonyEngine(std::string name, Simulator* sim, Nic* nic,
                        uint32_t engine_id, const PonyParams& params,
                        const TimelyParams& timely_params,
@@ -233,6 +257,7 @@ Engine::PollResult PonyEngine::Poll(SimTime now, SimDuration budget_ns) {
 void PonyEngine::HandleRxPacket(PacketPtr packet, SimTime now,
                                 SimDuration* cost) {
   ++stats_.rx_packets;
+  TracePacketPoint(sim_, *packet, "rx_engine");
   if (packet->pony.type == PonyPacketType::kAck ||
       packet->pony.type == PonyPacketType::kCredit) {
     // Header-only control packets take a short path through the engine.
@@ -399,8 +424,10 @@ void PonyEngine::DeliverOrStall(Flow& flow, PonyIncomingMessage&& msg) {
     return;  // no application attached; drop (credits never granted)
   }
   int64_t len = msg.length;
+  uint64_t op_id = msg.op_id;
   // Earlier stalled deliveries must drain first or they would be overtaken.
   if (stalled_messages_.empty() && target->DeliverMessage(std::move(msg))) {
+    TraceMessagePoint(sim_, 'f', op_id, "deliver");
     ++stats_.messages_delivered;
     stats_.message_bytes_delivered += len;
     // Receiver-driven flow control: delivering into the application's
@@ -576,6 +603,7 @@ void PonyEngine::HandleCommand(PonyClient* client, PonyCommand cmd,
   Flow& flow = GetOrCreateFlow(cmd.peer, 0);
   switch (cmd.type) {
     case PonyCommandType::kSendMessage: {
+      TraceMessagePoint(sim_, 's', cmd.op_id, "app_enqueue");
       // Fragment the message across MTU-sized packets; all fragments share
       // the op id for reassembly. TX is zero-copy (Section 6.2).
       int64_t length = std::max<int64_t>(
@@ -707,6 +735,7 @@ bool PonyEngine::TransmitFromFlows(SimTime now, SimDuration budget,
         ++stats_.tx_packets;
         ++(*work);
         sent_any = true;
+        TracePacketPoint(sim_, *p, "engine_tx");
         nic_->Transmit(std::move(p));
       }
     }
@@ -758,9 +787,11 @@ void PonyEngine::RetryPendingDeliveries(int* work) {
     auto& [client, message] = stalled_messages_.front();
     PonyAddress from = message.from;
     int64_t len = message.length;
+    uint64_t op_id = message.op_id;
     if (!client->DeliverMessage(std::move(message))) {
       break;
     }
+    TraceMessagePoint(sim_, 'f', op_id, "deliver");
     stalled_messages_.erase(stalled_messages_.begin());
     ++stats_.messages_delivered;
     stats_.message_bytes_delivered += len;

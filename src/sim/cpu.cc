@@ -5,7 +5,9 @@
 namespace snap {
 
 CpuScheduler::CpuScheduler(Simulator* sim, const CpuParams& params)
-    : sim_(sim), params_(params) {
+    : sim_(sim),
+      params_(params),
+      trace_track_base_(sim->AllocateTraceTracks(params.num_cores)) {
   SNAP_CHECK_GT(params.num_cores, 0);
   cores_.resize(params.num_cores);
   for (int i = 0; i < params.num_cores; ++i) {
@@ -103,6 +105,11 @@ void CpuScheduler::Wake(SimTask* task, bool remote) {
   s.wake_time = sim_->now();
   s.latency_pending = true;
   int core_id = PlaceTask(task);
+  if (TraceRecorder* tracer = sim_->tracer()) {
+    tracer->Instant(sim_->now(), TraceRecorder::kSchedTrack,
+                    "wake:" + task->name(), "sched",
+                    TraceArgInt("core", trace_track(core_id)));
+  }
   SimDuration extra = remote ? params_.ipi_cost : 0;
   EnqueueTask(cores_[core_id], task, extra);
 }
@@ -312,7 +319,14 @@ void CpuScheduler::StepOnce(Core& core) {
     }
     budget = std::min(budget, rem);
   }
+  TraceRecorder* tracer = sim_->tracer();
+  if (tracer != nullptr) {
+    tracer->set_current_core(trace_track(core.id));
+  }
   StepResult result = task->Step(now, budget);
+  if (tracer != nullptr) {
+    tracer->set_current_core(-1);
+  }
   SimDuration charged = result.cpu_ns;
   SNAP_CHECK_GE(charged, 0);
   if (!result.non_preemptible && charged > budget) {
@@ -330,6 +344,9 @@ void CpuScheduler::StepOnce(Core& core) {
     return;
   }
   SimDuration total = charged + core.pending_switch_cost;
+  if (tracer != nullptr && total > 0) {
+    tracer->Complete(now, total, trace_track(core.id), task->name(), "task");
+  }
   overhead_ns_ += core.pending_switch_cost;
   core.pending_switch_cost = 0;
   core.step_in_progress = true;
@@ -438,6 +455,11 @@ bool CpuScheduler::ShouldSwitch(const Core& core, const SimTask& current) const 
 
 void CpuScheduler::ThrottleMq(Core& core, SimTask* task) {
   using RunState = SimTask::SchedState::RunState;
+  if (TraceRecorder* tracer = sim_->tracer()) {
+    tracer->Instant(sim_->now(), TraceRecorder::kSchedTrack,
+                    "mq_throttle:" + task->name(), "sched",
+                    TraceArgInt("core", core.id));
+  }
   auto& s = task->sched;
   s.state = RunState::kThrottled;
   s.queued_core = -1;

@@ -161,6 +161,11 @@ class CpuScheduler {
   const CpuParams& params() const { return params_; }
   Simulator* sim() { return sim_; }
 
+  // Trace track (tid) for one of this scheduler's cores. Each scheduler
+  // gets its own contiguous range from the simulator, so cores of
+  // different hosts never share a track.
+  int trace_track(int core) const { return trace_track_base_ + core; }
+
   // True if the given core currently has a running or queued task.
   bool CoreBusy(int core) const;
 
@@ -218,6 +223,7 @@ class CpuScheduler {
 
   Simulator* sim_;
   CpuParams params_;
+  int trace_track_base_ = 0;
   std::vector<Core> cores_;
   std::vector<SimTask*> tasks_;
   int64_t overhead_ns_ = 0;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/stats/metrics.h"
+#include "src/stats/telemetry.h"
 
 namespace snap {
 
@@ -140,13 +140,11 @@ void TimerWheelEventQueue::AdvanceAndHarvest() {
   }
 }
 
-void EventQueue::ExportStats(MetricRegistry* registry,
+void EventQueue::ExportStats(Telemetry* telemetry,
                              const std::string& prefix) const {
   const EventQueueStats& s = stats();
   auto set = [&](const char* name, int64_t v) {
-    Counter* c = registry->GetCounter(prefix + "." + name);
-    c->Reset();
-    c->Add(v);
+    telemetry->SetCounter(prefix + "/" + name, v);
   };
   set("scheduled", s.scheduled);
   set("fired", s.fired);

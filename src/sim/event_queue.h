@@ -42,7 +42,7 @@
 
 namespace snap {
 
-class MetricRegistry;
+class Telemetry;
 class TimerWheelEventQueue;
 
 // Which implementation backs an EventQueue. The compile-time default is
@@ -600,9 +600,9 @@ class EventQueue {
     return wheel() ? wheel_.stats() : heap_.stats();
   }
 
-  // Publishes the queue's counters as "<prefix>.scheduled" etc. into a
-  // MetricRegistry (src/stats/metrics.h). In event_queue.cc.
-  void ExportStats(MetricRegistry* registry, const std::string& prefix) const;
+  // Publishes the queue's counters as "<prefix>/scheduled" etc. into the
+  // Telemetry registry (src/stats/telemetry.h). In event_queue.cc.
+  void ExportStats(Telemetry* telemetry, const std::string& prefix) const;
 
  private:
   bool wheel() const { return kind_ == EventQueueKind::kTimerWheel; }

@@ -7,6 +7,8 @@
 #include <functional>
 
 #include "src/sim/event_queue.h"
+#include "src/stats/telemetry.h"
+#include "src/stats/trace.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/time_types.h"
@@ -75,10 +77,32 @@ class Simulator {
   // The backing event queue (stats, implementation kind).
   const EventQueue& event_queue() const { return events_; }
 
+  // Unified metric registry shared by every component of this simulation.
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
+
+  // Flight recorder; nullptr (the default) disables tracing. Recording is
+  // pure observation: attaching a recorder never changes simulation
+  // results. The recorder must outlive its attachment.
+  TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
+  // Hands out contiguous trace-track (tid) ranges so cores of different
+  // hosts land on distinct tracks in multi-host simulations. Allocation
+  // order is construction order, hence deterministic.
+  int AllocateTraceTracks(int count) {
+    int base = next_trace_track_;
+    next_trace_track_ += count;
+    return base;
+  }
+
  private:
   SimTime now_ = 0;
   EventQueue events_;
   Rng rng_;
+  Telemetry telemetry_;
+  TraceRecorder* tracer_ = nullptr;
+  int next_trace_track_ = 0;
 };
 
 }  // namespace snap

@@ -19,6 +19,8 @@
 
 namespace snap {
 
+class Histogram;
+
 class Engine {
  public:
   struct PollResult {
@@ -64,6 +66,11 @@ class Engine {
   const std::string& name() const { return name_; }
   EngineMailbox* mailbox() { return &mailbox_; }
 
+  // Optional per-engine poll-duration histogram (telemetry:
+  // "snap/<engine>/poll_ns"); groups install it when the engine is added.
+  void set_poll_histogram(Histogram* h) { poll_hist_ = h; }
+  Histogram* poll_histogram() const { return poll_hist_; }
+
   // Hosting scheduler's wake hook; producers call NotifyWork() when they
   // make the engine runnable (NIC interrupt, application doorbell, an
   // upstream engine's output queue).
@@ -89,6 +96,7 @@ class Engine {
   std::string name_;
   EngineMailbox mailbox_;
   std::function<void()> wake_hook_;
+  Histogram* poll_hist_ = nullptr;
 };
 
 }  // namespace snap

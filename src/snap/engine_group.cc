@@ -16,10 +16,30 @@ namespace {
 constexpr SimDuration kRebalanceBaseCost = 400 * kNsec;
 constexpr SimDuration kRebalancePerEngineCost = 80 * kNsec;
 
+// Records one engine poll pass into its telemetry histogram and (when a
+// recorder is attached) as a trace slice. `poll_start` is the reconstructed
+// intra-step start time: sim time is frozen during a task step, so passes
+// are laid out by accumulated modeled cost to nest under the task slice.
+inline void NotePollPass(Simulator* sim, Engine* e, SimTime poll_start,
+                         SimDuration cpu_ns) {
+  if (cpu_ns <= 0) {
+    return;  // idle passes would drown the distribution in zeros
+  }
+  if (Histogram* h = e->poll_histogram()) {
+    h->Record(cpu_ns);
+  }
+  if (TraceRecorder* tracer = sim->tracer()) {
+    tracer->Complete(poll_start, cpu_ns,
+                     tracer->current_core_or(TraceRecorder::kSchedTrack),
+                     e->name(), "poll");
+  }
+}
+
 // Polls `engines` round-robin starting at *cursor until budget exhausts or
 // nothing makes progress. Shared by all three modes.
-Engine::PollResult PollEngines(std::vector<Engine*>& engines, size_t* cursor,
-                               SimTime now, SimDuration budget) {
+Engine::PollResult PollEngines(Simulator* sim, std::vector<Engine*>& engines,
+                               size_t* cursor, SimTime now,
+                               SimDuration budget) {
   Engine::PollResult total;
   if (engines.empty()) {
     return total;
@@ -31,7 +51,9 @@ Engine::PollResult PollEngines(std::vector<Engine*>& engines, size_t* cursor,
     Engine* e = engines[i % n];
     SimDuration mailbox_cost = e->RunMailbox();
     total.cpu_ns += mailbox_cost;
+    SimTime poll_start = now + total.cpu_ns;
     Engine::PollResult r = e->Poll(now, budget - total.cpu_ns);
+    NotePollPass(sim, e, poll_start, r.cpu_ns);
     total.cpu_ns += r.cpu_ns;
     total.work_items += r.work_items;
     if (r.work_items == 0 && mailbox_cost == 0) {
@@ -43,6 +65,20 @@ Engine::PollResult PollEngines(std::vector<Engine*>& engines, size_t* cursor,
   }
   *cursor = i % n;
   return total;
+}
+
+// Installs the per-engine poll-duration histogram when the engine joins a
+// group ("snap/<engine>/poll_ns").
+inline void InstallPollHistogram(Simulator* sim, Engine* engine) {
+  engine->set_poll_histogram(
+      sim->telemetry().GetHistogram("snap/" + engine->name() + "/poll_ns"));
+}
+
+// Installs the per-task scheduling-delay histogram
+// ("snap/<task>/sched_delay_ns") measuring wake-to-run latency.
+inline void InstallSchedDelayHistogram(Simulator* sim, SimTask* task) {
+  task->set_sched_latency_histogram(sim->telemetry().GetHistogram(
+      "snap/" + task->name() + "/sched_delay_ns"));
 }
 
 // ---------------------------------------------------------------------------
@@ -57,9 +93,10 @@ class DedicatedGroup : public EngineGroup {
     SNAP_CHECK(!options.dedicated_cores.empty())
         << "dedicated mode requires reserved cores";
     for (int core : options.dedicated_cores) {
-      auto task = std::make_unique<CoreTask>(name_ + "/core" +
-                                             std::to_string(core));
+      auto task = std::make_unique<CoreTask>(
+          name_ + "/core" + std::to_string(core), sim_);
       sched_->AddTask(task.get());
+      InstallSchedDelayHistogram(sim_, task.get());
       sched_->ReserveCore(task.get(), core);
       sched_->Wake(task.get(), /*remote=*/false);
       tasks_.push_back(std::move(task));
@@ -75,6 +112,7 @@ class DedicatedGroup : public EngineGroup {
       }
     }
     best->engines.push_back(engine);
+    InstallPollHistogram(sim_, engine);
     CoreTask* task = best;
     CpuScheduler* sched = sched_;
     engine->SetWakeHook([sched, task] { sched->Wake(task, false); });
@@ -105,13 +143,14 @@ class DedicatedGroup : public EngineGroup {
  private:
   class CoreTask : public SimTask {
    public:
-    explicit CoreTask(std::string name)
-        : SimTask(std::move(name), SchedClass::kDedicated) {
+    CoreTask(std::string name, Simulator* sim)
+        : SimTask(std::move(name), SchedClass::kDedicated), sim_(sim) {
       set_container("snap");
     }
 
     StepResult Step(SimTime now, SimDuration budget_ns) override {
-      Engine::PollResult r = PollEngines(engines, &cursor_, now, budget_ns);
+      Engine::PollResult r =
+          PollEngines(sim_, engines, &cursor_, now, budget_ns);
       StepResult out;
       out.cpu_ns = r.cpu_ns;
       out.next = (r.work_items > 0) ? StepResult::Next::kYield
@@ -122,6 +161,7 @@ class DedicatedGroup : public EngineGroup {
     std::vector<Engine*> engines;
 
    private:
+    Simulator* sim_;
     size_t cursor_ = 0;
   };
 
@@ -146,11 +186,16 @@ class SpreadingGroup : public EngineGroup {
 
   void AddEngine(Engine* engine) override {
     auto task = std::make_unique<EngineTask>(
-        name_ + "/" + engine->name(), engine,
+        name_ + "/" + engine->name(), sim_, engine,
         options_.spreading_use_cfs ? SchedClass::kCfs
                                    : SchedClass::kMicroQuanta,
         options_.spreading_cfs_weight);
     sched_->AddTask(task.get());
+    InstallPollHistogram(sim_, engine);
+    // Spreading wakes pay a scheduling delay per wake (Fig. 6(d)'s tail
+    // driver); record it under the engine's own name.
+    task->set_sched_latency_histogram(sim_->telemetry().GetHistogram(
+        "snap/" + engine->name() + "/sched_delay_ns"));
     if (!options_.spreading_use_cfs) {
       sched_->SetMicroQuantaBandwidth(task.get(), options_.mq_runtime,
                                       options_.mq_period);
@@ -185,9 +230,11 @@ class SpreadingGroup : public EngineGroup {
  private:
   class EngineTask : public SimTask {
    public:
-    EngineTask(std::string name, Engine* engine, SchedClass sched_class,
-               double weight)
-        : SimTask(std::move(name), sched_class, weight), engine_(engine) {
+    EngineTask(std::string name, Simulator* sim, Engine* engine,
+               SchedClass sched_class, double weight)
+        : SimTask(std::move(name), sched_class, weight),
+          sim_(sim),
+          engine_(engine) {
       set_container("snap");
     }
 
@@ -201,7 +248,9 @@ class SpreadingGroup : public EngineGroup {
         return out;
       }
       out.cpu_ns += engine_->RunMailbox();
+      SimTime poll_start = now + out.cpu_ns;
       Engine::PollResult r = engine_->Poll(now, budget_ns - out.cpu_ns);
+      NotePollPass(sim_, engine_, poll_start, r.cpu_ns);
       out.cpu_ns += r.cpu_ns;
       if (r.work_items > 0 || engine_->HasWork(now)) {
         out.next = StepResult::Next::kYield;
@@ -216,6 +265,7 @@ class SpreadingGroup : public EngineGroup {
     }
 
    private:
+    Simulator* sim_;
     Engine* engine_;
     bool retired_ = false;
   };
@@ -245,6 +295,7 @@ class CompactingGroup : public EngineGroup {
       auto w = std::make_unique<Worker>(
           name_ + "/worker" + std::to_string(i), this, i);
       sched_->AddTask(w.get());
+      InstallSchedDelayHistogram(sim_, w.get());
       sched_->SetMicroQuantaBandwidth(w.get(), options_.mq_runtime,
                                       options_.mq_period);
       workers_.push_back(std::move(w));
@@ -255,6 +306,7 @@ class CompactingGroup : public EngineGroup {
 
   void AddEngine(Engine* engine) override {
     workers_.front()->engines.push_back(engine);
+    InstallPollHistogram(sim_, engine);
     owner_[engine] = 0;
     CompactingGroup* group = this;
     engine->SetWakeHook([group, engine] { group->OnEngineWork(engine); });
@@ -306,7 +358,8 @@ class CompactingGroup : public EngineGroup {
 
     StepResult Step(SimTime now, SimDuration budget_ns) override {
       StepResult out;
-      Engine::PollResult r = PollEngines(engines, &cursor_, now, budget_ns);
+      Engine::PollResult r =
+          PollEngines(group_->sim_, engines, &cursor_, now, budget_ns);
       out.cpu_ns = r.cpu_ns;
       // The primary interleaves rebalancing with engine execution.
       if (index_ == 0 && now >= next_rebalance_) {
@@ -384,6 +437,7 @@ class CompactingGroup : public EngineGroup {
         if (to >= 0 && fewest < workers_[from]->engines.size()) {
           MoveEngine(worst, from, to);
           ++scale_outs_;
+          NoteRebalance(now, "scale_out", worst);
           sched_->Wake(workers_[to].get(), /*remote=*/true);
         }
       }
@@ -397,8 +451,10 @@ class CompactingGroup : public EngineGroup {
         idle_rounds_ = 0;
         for (int i = static_cast<int>(workers_.size()) - 1; i >= 1; --i) {
           if (!workers_[i]->engines.empty()) {
-            MoveEngine(workers_[i]->engines.back(), i, 0);
+            Engine* moved = workers_[i]->engines.back();
+            MoveEngine(moved, i, 0);
             ++compactions_;
+            NoteRebalance(now, "compaction", moved);
             break;
           }
         }
@@ -407,6 +463,20 @@ class CompactingGroup : public EngineGroup {
       idle_rounds_ = 0;
     }
     return cost;
+  }
+
+  // Publishes one rebalancer decision: telemetry counter, trace instant,
+  // and the evolving active-worker count as a trace counter series.
+  void NoteRebalance(SimTime now, const char* kind, Engine* engine) {
+    sim_->telemetry()
+        .GetCounter("snap/" + name_ + "/rebalance/" + kind + "s")
+        ->Increment();
+    if (TraceRecorder* tracer = sim_->tracer()) {
+      tracer->Instant(now, TraceRecorder::kSchedTrack,
+                      std::string("rebalance_") + kind + ":" + engine->name(),
+                      "sched");
+      tracer->CounterValue(now, name_ + "/active_workers", active_workers());
+    }
   }
 
   void MoveEngine(Engine* engine, int from, int to) {

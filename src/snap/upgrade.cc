@@ -56,14 +56,27 @@ void UpgradeManager::MigrateNext(std::shared_ptr<Migration> m) {
       static_cast<double>(control_bytes) / params_.brownout_bytes_per_sec *
       1e9);
 
+  uint64_t span_id = ++next_span_id_;
+  if (TraceRecorder* tracer = sim_->tracer()) {
+    tracer->AsyncBegin(sim_->now(), span_id, "brownout", "upgrade",
+                       TraceArgStr("engine", name));
+  }
+
   sim_->Schedule(brownout, [this, m, name, module_name, group_name, fp,
-                            brownout]() mutable {
+                            brownout, span_id]() mutable {
     // --- Blackout: cease packet processing, detach RX filters, serialize.
     SimTime blackout_start = sim_->now();
+    if (TraceRecorder* tracer = sim_->tracer()) {
+      tracer->AsyncEnd(blackout_start, span_id, "brownout", "upgrade");
+    }
     std::unique_ptr<Engine> old_engine = m->from->ExtractEngine(name);
     if (old_engine == nullptr) {
       MigrateNext(std::move(m));
       return;
+    }
+    if (TraceRecorder* tracer = sim_->tracer()) {
+      tracer->AsyncBegin(blackout_start, span_id, "blackout", "upgrade",
+                         TraceArgStr("engine", name));
     }
     old_engine->Detach();
     auto writer = std::make_shared<StateWriter>();
@@ -75,8 +88,8 @@ void UpgradeManager::MigrateNext(std::shared_ptr<Migration> m) {
     auto old_holder =
         std::make_shared<std::unique_ptr<Engine>>(std::move(old_engine));
     sim_->Schedule(transfer, [this, m, name, module_name, group_name, fp,
-                              brownout, writer, old_holder,
-                              blackout_start]() mutable {
+                              brownout, writer, old_holder, blackout_start,
+                              span_id]() mutable {
       Module* module = m->to->module(module_name);
       SNAP_CHECK(module != nullptr)
           << "new instance missing module " << module_name;
@@ -89,6 +102,9 @@ void UpgradeManager::MigrateNext(std::shared_ptr<Migration> m) {
       SNAP_CHECK_OK(st);
       SimDuration blackout = sim_->now() - blackout_start;
       blackout_hist_.Record(blackout);
+      if (TraceRecorder* tracer = sim_->tracer()) {
+        tracer->AsyncEnd(sim_->now(), span_id, "blackout", "upgrade");
+      }
       EngineResult er;
       er.engine_name = name;
       er.brownout = brownout;

@@ -71,6 +71,8 @@ class UpgradeManager {
   Simulator* sim_;
   UpgradeParams params_;
   Histogram blackout_hist_;
+  // Async-span ids for brownout/blackout trace pairs (one per migration).
+  uint64_t next_span_id_ = 0;
 };
 
 }  // namespace snap

@@ -127,6 +127,37 @@ int64_t Histogram::Percentile(double p) const {
   return max_;
 }
 
+std::string Histogram::ToJson() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%lld,\"min\":%lld,\"max\":%lld,\"mean\":%.3f,"
+                "\"p50\":%lld,\"p90\":%lld,\"p99\":%lld,\"p999\":%lld,"
+                "\"buckets\":[",
+                static_cast<long long>(count_),
+                static_cast<long long>(min()),
+                static_cast<long long>(max()), Mean(),
+                static_cast<long long>(P50()), static_cast<long long>(P90()),
+                static_cast<long long>(P99()),
+                static_cast<long long>(P999()));
+  std::string out = buf;
+  bool first = true;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), "[%lld,%lld]",
+                  static_cast<long long>(BucketUpperBound(static_cast<int>(i))),
+                  static_cast<long long>(buckets_[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
 std::string Histogram::SummaryNs() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

@@ -41,6 +41,11 @@ class Histogram {
   // Human-readable one-line summary, values interpreted as nanoseconds.
   std::string SummaryNs() const;
 
+  // Full distribution as JSON: summary fields plus every non-empty bucket
+  // as [upper_bound, count] pairs in value order. Telemetry snapshots embed
+  // this so exports carry whole distributions, not just point percentiles.
+  std::string ToJson() const;
+
  private:
   // 32 linear sub-buckets per power-of-two magnitude.
   static constexpr int kSubBucketBits = 5;

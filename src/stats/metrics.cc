@@ -11,14 +11,20 @@ void RateSeries::Sample(SimTime now, int64_t cumulative) {
     last_count_ = cumulative;
     return;
   }
-  while (now >= window_start_ + window_) {
-    // Close the current window. We attribute all the delta to the closing
-    // window; sub-window interpolation is unnecessary for dashboards.
-    double delta = static_cast<double>(cumulative - last_count_);
-    rates_.push_back(delta / ToSec(window_));
-    last_count_ = cumulative;
-    window_start_ += window_;
+  int64_t windows = (now - window_start_) / window_;
+  if (windows <= 0) {
+    return;
   }
+  // Spread the delta evenly over every window crossed (see header): a
+  // sample arriving after a long gap closes all intervening windows with
+  // equal rates rather than one spike and a run of zeros.
+  double delta = static_cast<double>(cumulative - last_count_);
+  double rate = delta / ToSec(window_) / static_cast<double>(windows);
+  for (int64_t i = 0; i < windows; ++i) {
+    rates_.push_back(rate);
+  }
+  last_count_ = cumulative;
+  window_start_ += windows * window_;
 }
 
 double RateSeries::MaxRate() const {
@@ -37,18 +43,6 @@ double RateSeries::MeanRate() const {
     sum += r;
   }
   return sum / static_cast<double>(rates_.size());
-}
-
-Counter* MetricRegistry::GetCounter(const std::string& name) {
-  return &counters_[name];
-}
-
-std::map<std::string, int64_t> MetricRegistry::Snapshot() const {
-  std::map<std::string, int64_t> out;
-  for (const auto& [name, counter] : counters_) {
-    out[name] = counter.value();
-  }
-  return out;
 }
 
 }  // namespace snap

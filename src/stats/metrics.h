@@ -1,12 +1,12 @@
-// Simple named-counter registry plus a windowed rate tracker. Used by
-// engines and benchmarks to export throughput/ops counters the way Snap's
-// production dashboards do (Figure 8 of the paper reports per-minute IOPS of
-// the hottest machine from such counters).
+// Counter primitive plus a windowed rate tracker. Used by engines and
+// benchmarks to export throughput/ops counters the way Snap's production
+// dashboards do (Figure 8 of the paper reports per-minute IOPS of the
+// hottest machine from such counters). Named registration lives in the
+// Telemetry registry (src/stats/telemetry.h).
 #ifndef SRC_STATS_METRICS_H_
 #define SRC_STATS_METRICS_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +33,13 @@ class RateSeries {
 
   // Feed the current cumulative count at time `now`; emits one sample per
   // complete window boundary crossed.
+  //
+  // Multi-window semantics: when `now` skips several window boundaries
+  // since the previous sample, the counter delta is attributed uniformly
+  // across every window crossed. Sampling cannot tell when within the gap
+  // the counts accrued; even spreading preserves the series integral
+  // (sum(rate * window) == total delta) without inventing a spurious
+  // one-window burst followed by zeros.
   void Sample(SimTime now, int64_t cumulative);
 
   const std::vector<double>& rates_per_sec() const { return rates_; }
@@ -45,16 +52,6 @@ class RateSeries {
   int64_t last_count_ = 0;
   bool started_ = false;
   std::vector<double> rates_;
-};
-
-// A registry of named counters; cheap lookup by stable pointer.
-class MetricRegistry {
- public:
-  Counter* GetCounter(const std::string& name);
-  std::map<std::string, int64_t> Snapshot() const;
-
- private:
-  std::map<std::string, Counter> counters_;
 };
 
 }  // namespace snap

@@ -1,0 +1,113 @@
+#include "src/stats/telemetry.h"
+
+#include <cstdio>
+
+namespace snap {
+
+Counter* Telemetry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Histogram* Telemetry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+void Telemetry::RegisterGauge(const std::string& name,
+                              std::function<int64_t()> fn) {
+  gauges_[name] = std::move(fn);
+}
+
+void Telemetry::UnregisterGauge(const std::string& name) {
+  gauges_.erase(name);
+}
+
+void Telemetry::SetCounter(const std::string& name, int64_t value) {
+  Counter* c = GetCounter(name);
+  c->Reset();
+  c->Add(value);
+}
+
+std::map<std::string, int64_t> Telemetry::SnapshotValues() const {
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter.value();
+  }
+  for (const auto& [name, fn] : gauges_) {
+    out[name] = fn();
+  }
+  return out;
+}
+
+std::string Telemetry::SnapshotJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, fn] : gauges_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(fn());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + hist->ToJson();
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string Telemetry::DumpDashboard() const {
+  std::string out;
+  char line[256];
+  if (!histograms_.empty()) {
+    out += "-- latency/size distributions --\n";
+    std::snprintf(line, sizeof(line), "%-44s %10s %10s %10s %10s %10s %10s\n",
+                  "name", "count", "p50", "p90", "p99", "p999", "max");
+    out += line;
+    for (const auto& [name, hist] : histograms_) {
+      std::snprintf(line, sizeof(line),
+                    "%-44s %10lld %10lld %10lld %10lld %10lld %10lld\n",
+                    name.c_str(), static_cast<long long>(hist->count()),
+                    static_cast<long long>(hist->P50()),
+                    static_cast<long long>(hist->P90()),
+                    static_cast<long long>(hist->P99()),
+                    static_cast<long long>(hist->P999()),
+                    static_cast<long long>(hist->max()));
+      out += line;
+    }
+  }
+  if (!counters_.empty() || !gauges_.empty()) {
+    out += "-- counters & gauges --\n";
+    for (const auto& [name, counter] : counters_) {
+      std::snprintf(line, sizeof(line), "%-60s %14lld\n", name.c_str(),
+                    static_cast<long long>(counter.value()));
+      out += line;
+    }
+    for (const auto& [name, fn] : gauges_) {
+      std::snprintf(line, sizeof(line), "%-60s %14lld (gauge)\n",
+                    name.c_str(), static_cast<long long>(fn()));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,78 @@
+// Unified telemetry registry: counters, gauges, and histograms addressed by
+// hierarchical slash-separated names ("snap/engine0/poll_ns"). Components
+// register their metrics once and keep the returned pointer hot — lookups
+// never happen on the data plane. Gauges are pull-model (a callback read at
+// snapshot time) so existing ad-hoc Stats structs can publish live values
+// without double bookkeeping; the caller guarantees the gauge callback
+// outlives the registry or deregisters it.
+//
+// Export surfaces:
+//  - SnapshotValues(): counters + gauges as a flat name->int64 map, for
+//    programmatic diffing;
+//  - SnapshotJson(): everything (histograms included, full bucket data via
+//    Histogram::ToJson) as one JSON document benches can diff across runs;
+//  - DumpDashboard(): a fixed-width text view in the spirit of the paper's
+//    Fig. 5 (latency percentiles per engine) and Fig. 8 (ops counters).
+//
+// Naming convention (docs/OBSERVABILITY.md): <subsystem>/<instance>/<metric>
+// with units suffixed (_ns, _bytes). Iteration is over std::map, so every
+// export is deterministically name-ordered.
+#ifndef SRC_STATS_TELEMETRY_H_
+#define SRC_STATS_TELEMETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/stats/histogram.h"
+#include "src/stats/metrics.h"
+
+namespace snap {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Creates-or-returns; the pointer is stable for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Registers (or replaces) a pull-model gauge.
+  void RegisterGauge(const std::string& name, std::function<int64_t()> fn);
+  void UnregisterGauge(const std::string& name);
+
+  // Convenience for ExportStats-style publishing: overwrite the counter
+  // `name` with an absolute value.
+  void SetCounter(const std::string& name, int64_t value);
+
+  // Counters + gauges as a flat map (gauges evaluated now).
+  std::map<std::string, int64_t> SnapshotValues() const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{...}}}, all keys
+  // name-sorted.
+  std::string SnapshotJson() const;
+
+  // Fixed-width text dashboard: histogram percentiles, then counters and
+  // gauges.
+  std::string DumpDashboard() const;
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  // unique_ptr for address stability (Histogram is large; map nodes would
+  // be stable too, but this keeps the intent explicit).
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<int64_t()>> gauges_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_STATS_TELEMETRY_H_

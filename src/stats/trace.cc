@@ -1,0 +1,232 @@
+#include "src/stats/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace snap {
+
+namespace {
+
+// Escapes a string for embedding in a JSON string literal. Event names are
+// engine/task names we control, but quoting defensively keeps the exporter
+// total.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Nanoseconds as fixed-point microseconds ("12.345"): integer arithmetic
+// only, so the formatting is byte-stable across runs and platforms.
+void AppendUs(std::string* out, int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+void TraceRecorder::Complete(SimTime start, SimDuration dur, int tid,
+                             std::string name, const char* category,
+                             std::string args) {
+  TraceEvent e;
+  e.phase = 'X';
+  e.ts = start;
+  e.dur = dur;
+  e.tid = tid;
+  e.name = std::move(name);
+  e.category = category;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::Instant(SimTime ts, int tid, std::string name,
+                            const char* category, std::string args) {
+  TraceEvent e;
+  e.phase = 'i';
+  e.ts = ts;
+  e.tid = tid;
+  e.name = std::move(name);
+  e.category = category;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::CounterValue(SimTime ts, std::string name,
+                                 int64_t value) {
+  TraceEvent e;
+  e.phase = 'C';
+  e.ts = ts;
+  e.tid = kSchedTrack;
+  e.name = std::move(name);
+  e.category = "counter";
+  e.args = TraceArgInt("value", value);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::AsyncBegin(SimTime ts, uint64_t id, std::string name,
+                               const char* category, std::string args) {
+  TraceEvent e;
+  e.phase = 'b';
+  e.ts = ts;
+  e.tid = kUpgradeTrack;
+  e.id = id;
+  e.name = std::move(name);
+  e.category = category;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::AsyncEnd(SimTime ts, uint64_t id, std::string name,
+                             const char* category) {
+  TraceEvent e;
+  e.phase = 'e';
+  e.ts = ts;
+  e.tid = kUpgradeTrack;
+  e.id = id;
+  e.name = std::move(name);
+  e.category = category;
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::FlowPoint(char phase, SimTime ts, int tid, uint64_t id,
+                              std::string name, const char* category,
+                              std::string args) {
+  TraceEvent e;
+  e.phase = phase;
+  e.ts = ts;
+  e.tid = tid;
+  e.id = id;
+  e.name = std::move(name);
+  e.category = category;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::AsyncSpans(
+    const std::string& name) const {
+  std::vector<Span> spans;
+  for (const TraceEvent& e : events_) {
+    if (e.name != name) {
+      continue;
+    }
+    if (e.phase == 'b') {
+      Span s;
+      s.id = e.id;
+      s.begin = e.ts;
+      s.args = e.args;
+      spans.push_back(std::move(s));
+    } else if (e.phase == 'e') {
+      for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+        if (it->id == e.id && it->end < 0) {
+          it->end = e.ts;
+          break;
+        }
+      }
+    }
+  }
+  return spans;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    out += e.category;
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    AppendUs(&out, e.ts);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      AppendUs(&out, e.dur);
+    }
+    if (e.phase == 'b' || e.phase == 'e' || e.phase == 's' ||
+        e.phase == 't' || e.phase == 'f') {
+      out += ",\"id\":\"";
+      out += std::to_string(e.id);
+      out += "\"";
+    }
+    if (e.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (e.phase == 'f') {
+      out += ",\"bp\":\"e\"";  // bind flow end to enclosing slice
+    }
+    if (!e.args.empty()) {
+      out += ",\"args\":";
+      out += e.args;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  f << ToJson();
+  return f.good();
+}
+
+std::string TraceArgInt(const char* key, int64_t value) {
+  std::string out = "{\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+  out += "}";
+  return out;
+}
+
+std::string TraceArgStr(const char* key, const std::string& value) {
+  std::string out = "{\"";
+  out += key;
+  out += "\":\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,133 @@
+// Deterministic flight recorder: records simulation events in sim time and
+// exports them as Chrome-trace-event/Perfetto-compatible JSON
+// ("traceEvents" array, ts/dur in microseconds). Because every timestamp is
+// simulated, the trace is an exact, replayable account of where time went —
+// the attribution real host stacks approximate with sampling profilers.
+//
+// Determinism contract: recording draws no randomness and never feeds back
+// into the simulation, so (a) the same seed yields a byte-identical trace
+// and (b) enabling or disabling tracing cannot change simulation results.
+// Near-zero cost when disabled: components hold a TraceRecorder* that is
+// nullptr unless a recorder was attached (Simulator::set_tracer), so the
+// disabled path is one pointer test. The per-packet lifecycle hooks can
+// additionally be compiled out with -DSNAP_TRACE_PACKET_LIFECYCLE=OFF
+// (which defines SNAP_DISABLE_PACKET_TRACE).
+//
+// Event vocabulary (docs/OBSERVABILITY.md):
+//   Complete ("X")  task steps and engine poll passes, one track per core;
+//   Instant  ("i")  scheduler decisions (wakes, rebalances, throttles) and
+//                   chaos injections;
+//   Counter  ("C")  evolving values (active compacting workers);
+//   Async    ("b"/"e")  upgrade brownout/blackout phases, Gilbert-Elliott
+//                   bad-state bursts;
+//   Flow     ("s"/"t"/"f")  sampled one-in-N message lifecycles across
+//                   app enqueue -> engine TX -> NIC ring -> fabric queue ->
+//                   RX engine -> completion delivery.
+#ifndef SRC_STATS_TRACE_H_
+#define SRC_STATS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time_types.h"
+
+namespace snap {
+
+struct TraceEvent {
+  char phase = 'X';        // Chrome trace "ph"
+  SimTime ts = 0;          // ns (exported as fractional microseconds)
+  SimDuration dur = 0;     // ns; complete events only
+  int tid = 0;             // track: core id, or a k*Track constant
+  uint64_t id = 0;         // async-span / flow binding id
+  std::string name;
+  const char* category = "";
+  std::string args;        // pre-rendered JSON object ("{...}") or empty
+};
+
+class TraceRecorder {
+ public:
+  struct Options {
+    // One in N Pony messages (by op id) gets packet-lifecycle flow events.
+    // <= 0 disables packet-lifecycle sampling entirely.
+    int packet_sample_every = 16;
+  };
+
+  // Virtual tracks for events not attributable to one simulated core.
+  // Cores use their id (0..num_cores-1) as tid directly.
+  static constexpr int kSchedTrack = 900;
+  static constexpr int kFabricTrack = 901;
+  static constexpr int kChaosTrack = 902;
+  static constexpr int kUpgradeTrack = 903;
+
+  TraceRecorder() = default;
+  explicit TraceRecorder(Options options) : options_(options) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- Event emission (all timestamps are simulated ns) ---
+  void Complete(SimTime start, SimDuration dur, int tid, std::string name,
+                const char* category, std::string args = "");
+  void Instant(SimTime ts, int tid, std::string name, const char* category,
+               std::string args = "");
+  void CounterValue(SimTime ts, std::string name, int64_t value);
+  void AsyncBegin(SimTime ts, uint64_t id, std::string name,
+                  const char* category, std::string args = "");
+  void AsyncEnd(SimTime ts, uint64_t id, std::string name,
+                const char* category);
+  // phase: 's' start, 't' step, 'f' end. Chrome binds flow arrows by
+  // (category, id, name), so every point of one flow shares its name; the
+  // lifecycle stage goes in args ({"point":...}).
+  void FlowPoint(char phase, SimTime ts, int tid, uint64_t id,
+                 std::string name, const char* category,
+                 std::string args = "");
+
+  // Deterministic one-in-N message sampling by op id (op id 0 = not a
+  // Pony operation, never sampled).
+  bool ShouldSampleMessage(uint64_t op_id) const {
+    return op_id != 0 && options_.packet_sample_every > 0 &&
+           op_id % static_cast<uint64_t>(options_.packet_sample_every) == 0;
+  }
+
+  // The core whose task step is currently executing; set by CpuScheduler
+  // around SimTask::Step so nested events (engine polls) land on the right
+  // track without plumbing a core id through every layer.
+  void set_current_core(int core) { current_core_ = core; }
+  int current_core_or(int fallback) const {
+    return current_core_ >= 0 ? current_core_ : fallback;
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  const Options& options() const { return options_; }
+
+  // Structured span lookup so tests can check durations without parsing
+  // JSON. Matches AsyncBegin/AsyncEnd pairs by (name, id), in begin order.
+  struct Span {
+    uint64_t id = 0;
+    SimTime begin = 0;
+    SimTime end = -1;  // -1: still open
+    std::string args;
+  };
+  std::vector<Span> AsyncSpans(const std::string& name) const;
+
+  // Chrome trace format: {"displayTimeUnit":"ns","traceEvents":[...]}.
+  // Byte-identical for identical event sequences (fixed-point timestamp
+  // formatting, no floating-point round-trips).
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  Options options_;
+  int current_core_ = -1;
+  std::vector<TraceEvent> events_;
+};
+
+// JSON argument helpers for building TraceEvent::args.
+std::string TraceArgInt(const char* key, int64_t value);
+std::string TraceArgStr(const char* key, const std::string& value);
+
+}  // namespace snap
+
+#endif  // SRC_STATS_TRACE_H_

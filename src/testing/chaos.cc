@@ -18,6 +18,15 @@ uint64_t DeriveSeed(uint64_t seed, uint64_t salt) {
   return z ^ (z >> 31);
 }
 
+// Marks one injected fault on the chaos track. Pure observation: reads no
+// RNG and never feeds back into the simulation, so traces on/off cannot
+// change chaos-sweep digests.
+void ChaosInstant(Simulator* sim, SimTime ts, const char* what) {
+  if (TraceRecorder* tracer = sim->tracer()) {
+    tracer->Instant(ts, TraceRecorder::kChaosTrack, what, "chaos");
+  }
+}
+
 }  // namespace
 
 ChaosLink::ChaosLink(Simulator* sim, const ChaosProfile& profile,
@@ -59,10 +68,18 @@ void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
   if (bad_state_) {
     if (rng_.NextBernoulli(profile_.p_bad_to_good)) {
       bad_state_ = false;
+      if (TraceRecorder* tracer = sim_->tracer(); tracer && ge_span_id_) {
+        tracer->AsyncEnd(wire_time, ge_span_id_, "ge_bad", "chaos");
+        ge_span_id_ = 0;
+      }
     }
   } else {
     if (rng_.NextBernoulli(profile_.p_good_to_bad)) {
       bad_state_ = true;
+      if (TraceRecorder* tracer = sim_->tracer()) {
+        ge_span_id_ = profile_.seed + ++ge_spans_started_;
+        tracer->AsyncBegin(wire_time, ge_span_id_, "ge_bad", "chaos");
+      }
     }
   }
   if (bad_state_) {
@@ -71,6 +88,7 @@ void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
   double loss = bad_state_ ? profile_.loss_bad : profile_.loss_good;
   if (loss > 0 && rng_.NextBernoulli(loss)) {
     ++stats_.dropped;
+    ChaosInstant(sim_, wire_time, "chaos_drop");
     return;
   }
 
@@ -80,6 +98,7 @@ void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
   if (profile_.duplicate_probability > 0 &&
       rng_.NextBernoulli(profile_.duplicate_probability)) {
     ++stats_.duplicated;
+    ChaosInstant(sim_, wire_time, "chaos_duplicate");
     auto clone = std::make_unique<Packet>(*packet);
     Packet* raw = clone.release();
     sim_->Schedule(profile_.duplicate_delay, [this, raw] {
@@ -99,6 +118,7 @@ void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
   if (profile_.reorder_probability > 0 &&
       rng_.NextBernoulli(profile_.reorder_probability)) {
     ++stats_.reordered;
+    ChaosInstant(sim_, wire_time, "chaos_hold");
     int64_t id = next_held_id_++;
     Held held;
     held.packet = std::move(packet);
@@ -154,6 +174,7 @@ void ChaosLink::ReleaseHeld(int64_t id, bool timed_out) {
   held_.erase(it);
   if (timed_out) {
     ++stats_.reorder_timeouts;
+    ChaosInstant(sim_, sim_->now(), "chaos_reorder_timeout");
   }
   ++stats_.forwarded;
   deliver_(std::move(packet), sim_->now());
@@ -167,6 +188,7 @@ void ChaosLink::FlushHeld() {
 
 void ChaosLink::Corrupt(Packet* packet) {
   ++stats_.corrupted;
+  ChaosInstant(sim_, sim_->now(), "chaos_corrupt");
   packet->chaos_corrupted = true;
   if (!packet->data.empty()) {
     // Flip one payload bit.

@@ -121,6 +121,10 @@ class ChaosLink {
   DeliverFn deliver_;
   Rng rng_;
   bool bad_state_ = false;
+  // Open "ge_bad" trace span id (0 = none). Ids are derived from the link's
+  // seed so spans from different links never collide in the trace.
+  uint64_t ge_span_id_ = 0;
+  uint64_t ge_spans_started_ = 0;
   std::map<int64_t, Held> held_;
   int64_t next_held_id_ = 0;
   Stats stats_;

@@ -96,6 +96,10 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
                                        const ChaosProfile& profile) {
   const SeedSweepOptions& opt = options_;
   Simulator sim(seed, opt.queue_kind);
+  TraceRecorder trace_recorder;
+  if (opt.enable_trace) {
+    sim.set_tracer(&trace_recorder);
+  }
   Fabric fabric(&sim, NicParams{});
   PonyDirectory directory;
 

@@ -43,6 +43,10 @@ struct SeedSweepOptions {
   // same (seed, profile) grid under both kinds and comparing trace digests
   // proves the implementations are observably identical.
   EventQueueKind queue_kind = kDefaultEventQueueKind;
+  // Attach a TraceRecorder to every run's Simulator. Tracing is pure
+  // observation, so sweeping with this on and off must yield identical
+  // trace digests (covered by determinism_test).
+  bool enable_trace = false;
 };
 
 struct SweepRunResult {

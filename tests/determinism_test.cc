@@ -13,6 +13,7 @@
 
 #include "src/apps/pony_apps.h"
 #include "src/apps/simhost.h"
+#include "src/stats/trace.h"
 #include "src/testing/seed_sweep.h"
 
 namespace snap {
@@ -36,8 +37,12 @@ struct RunOutcome {
 };
 
 RunOutcome RunWorkload(uint64_t seed, double drop_probability,
-                       EventQueueKind queue_kind = kDefaultEventQueueKind) {
+                       EventQueueKind queue_kind = kDefaultEventQueueKind,
+                       TraceRecorder* tracer = nullptr) {
   Simulator sim(seed, queue_kind);
+  if (tracer != nullptr) {
+    sim.set_tracer(tracer);
+  }
   Fabric fabric(&sim, NicParams{});
   fabric.set_random_drop_probability(drop_probability);
   PonyDirectory directory;
@@ -141,6 +146,68 @@ TEST(DeterminismTest, TimerWheelMatchesHeapDigestsAcrossChaosSweep) {
   for (size_t i = 0; i < wheel.size(); ++i) {
     EXPECT_EQ(wheel[i], heap[i])
         << "trace digest diverged between event-queue implementations";
+  }
+}
+
+// The flight-recorder determinism contract, both directions:
+//  - same seed => byte-identical trace JSON across runs;
+//  - attaching a tracer never perturbs simulation outcomes.
+TEST(DeterminismTest, SameSeedProducesByteIdenticalTrace) {
+  TraceRecorder first_trace;
+  TraceRecorder second_trace;
+  RunOutcome first =
+      RunWorkload(1234, 0.0, kDefaultEventQueueKind, &first_trace);
+  RunOutcome second =
+      RunWorkload(1234, 0.0, kDefaultEventQueueKind, &second_trace);
+  EXPECT_TRUE(first == second);
+  ASSERT_GT(first_trace.size(), 1000u) << "trace suspiciously small";
+  EXPECT_EQ(first_trace.size(), second_trace.size());
+  EXPECT_EQ(first_trace.ToJson(), second_trace.ToJson());
+}
+
+TEST(DeterminismTest, TracingDoesNotPerturbOutcomes) {
+  TraceRecorder tracer;
+  RunOutcome traced = RunWorkload(99, 0.03, kDefaultEventQueueKind, &tracer);
+  RunOutcome untraced = RunWorkload(99, 0.03);
+  EXPECT_TRUE(traced == untraced);
+  EXPECT_GT(traced.retransmits, 0);
+}
+
+// Chaos-sweep digests cover every received packet in execution order; they
+// must be bit-identical whether tracing is enabled or disabled, because
+// recording draws no randomness and never feeds back into the simulation.
+TEST(DeterminismTest, ChaosSweepDigestsUnchangedByTracing) {
+  auto sweep = [](bool enable_trace) {
+    SeedSweepOptions options;
+    options.num_seeds = 4;
+    options.first_seed = 1;
+    options.check_replay = false;
+    options.enable_trace = enable_trace;
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    std::vector<ChaosProfile> selected = {profiles.front(), profiles.back()};
+
+    std::vector<std::pair<std::string, uint64_t>> digests;
+    for (const ChaosProfile& profile : selected) {
+      for (int s = 0; s < options.num_seeds; ++s) {
+        SweepRunResult result = runner.RunOne(options.first_seed + s, profile);
+        EXPECT_TRUE(result.ok)
+            << "invariants violated under " << profile.name << " seed "
+            << options.first_seed + s << " trace=" << enable_trace;
+        digests.emplace_back(
+            profile.name + "/" + std::to_string(options.first_seed + s),
+            result.trace_digest);
+      }
+    }
+    return digests;
+  };
+
+  auto untraced = sweep(false);
+  auto traced = sweep(true);
+  ASSERT_EQ(untraced.size(), traced.size());
+  for (size_t i = 0; i < untraced.size(); ++i) {
+    EXPECT_EQ(untraced[i], traced[i])
+        << "chaos digest changed when tracing was enabled";
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/stats/histogram.h"
 #include "src/stats/metrics.h"
+#include "src/stats/telemetry.h"
 #include "src/util/rng.h"
 #include "src/util/time_types.h"
 
@@ -152,25 +153,30 @@ TEST(RateSeriesTest, EmitsOneRatePerWindow) {
   EXPECT_NEAR(series.MeanRate(), 1.5e6, 1);
 }
 
-TEST(RateSeriesTest, SkippedWindowsCountAsBursts) {
+TEST(RateSeriesTest, SkippedWindowsSpreadTheDelta) {
   RateSeries series(1 * kMsec);
   series.Sample(0, 0);
-  // Jump three windows at once: delta attributed to the first closing
-  // window, then two zero windows.
+  // Jump three windows at once: the delta is spread uniformly across all
+  // three crossed windows — no spurious spike in the first one.
   series.Sample(3 * kMsec, 900);
   ASSERT_EQ(series.rates_per_sec().size(), 3u);
-  EXPECT_NEAR(series.rates_per_sec()[0], 9e5, 1);
-  EXPECT_NEAR(series.rates_per_sec()[1], 0, 1);
+  EXPECT_NEAR(series.rates_per_sec()[0], 3e5, 1);
+  EXPECT_NEAR(series.rates_per_sec()[1], 3e5, 1);
+  EXPECT_NEAR(series.rates_per_sec()[2], 3e5, 1);
+  // The series integral equals the total count: 3 windows * 300/ms * 1ms.
+  EXPECT_NEAR(series.MeanRate() * 3e-3, 900, 1e-6);
 }
 
-TEST(MetricRegistryTest, CountersByName) {
-  MetricRegistry registry;
-  registry.GetCounter("rx")->Add(5);
-  registry.GetCounter("rx")->Increment();
-  registry.GetCounter("tx")->Add(2);
-  auto snapshot = registry.Snapshot();
-  EXPECT_EQ(snapshot["rx"], 6);
-  EXPECT_EQ(snapshot["tx"], 2);
+TEST(RateSeriesTest, SpreadWindowsResumeNormalAttribution) {
+  RateSeries series(1 * kMsec);
+  series.Sample(0, 0);
+  series.Sample(2 * kMsec, 400);   // two windows @ 200/ms
+  series.Sample(3 * kMsec, 1400);  // one window @ 1000/ms
+  ASSERT_EQ(series.rates_per_sec().size(), 3u);
+  EXPECT_NEAR(series.rates_per_sec()[0], 2e5, 1);
+  EXPECT_NEAR(series.rates_per_sec()[1], 2e5, 1);
+  EXPECT_NEAR(series.rates_per_sec()[2], 1e6, 1);
+  EXPECT_NEAR(series.MaxRate(), 1e6, 1);
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 #include "src/packet/crc32.h"
 #include "src/packet/packet_pool.h"
 #include "src/packet/wire.h"
-#include "src/stats/metrics.h"
+#include "src/stats/telemetry.h"
 
 namespace snap {
 namespace {
@@ -279,18 +279,22 @@ TEST(PacketPoolTest, ClassForSizeBoundaries) {
 }
 
 TEST(PacketPoolTest, ExportStatsPublishesCounters) {
-  MetricRegistry registry;
+  Telemetry telemetry;
   PacketPool pool(4, "engine0");
   PacketPtr p = pool.Allocate(100);
   p->data.resize(100);
   pool.Free(std::move(p));
   pool.Allocate(100);
-  pool.ExportStats(&registry, "pool.engine0");
-  auto snap = registry.Snapshot();
-  EXPECT_EQ(snap["pool.engine0.total_allocs"], 2);
-  EXPECT_EQ(snap["pool.engine0.recycled"], 1);
-  EXPECT_EQ(snap["pool.engine0.recycled_with_capacity"], 1);
-  EXPECT_EQ(snap["pool.engine0.allocated"], 1);
+  pool.ExportStats(&telemetry, "snap/engine0/pool");
+  auto snap = telemetry.SnapshotValues();
+  EXPECT_EQ(snap["snap/engine0/pool/total_allocs"], 2);
+  EXPECT_EQ(snap["snap/engine0/pool/recycled"], 1);
+  EXPECT_EQ(snap["snap/engine0/pool/recycled_with_capacity"], 1);
+  EXPECT_EQ(snap["snap/engine0/pool/allocated"], 1);
+  // Re-export publishes absolute values, not deltas.
+  pool.ExportStats(&telemetry, "snap/engine0/pool");
+  snap = telemetry.SnapshotValues();
+  EXPECT_EQ(snap["snap/engine0/pool/total_allocs"], 2);
 }
 
 }  // namespace

@@ -1,0 +1,322 @@
+// Flight-recorder layer: TraceRecorder event emission and JSON export,
+// Telemetry registry (counters/gauges/histograms, snapshots, dashboard),
+// Histogram JSON export, and an end-to-end check that a traced simulation
+// produces the expected event vocabulary (poll slices, scheduler instants,
+// sampled packet-lifecycle flows).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/apps/pony_apps.h"
+#include "src/apps/simhost.h"
+#include "src/stats/histogram.h"
+#include "src/stats/telemetry.h"
+#include "src/stats/trace.h"
+#include "src/util/rng.h"
+
+namespace snap {
+namespace {
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// --- TraceRecorder ---------------------------------------------------------
+
+TEST(TraceRecorderTest, CompleteEventJson) {
+  TraceRecorder trace;
+  trace.Complete(/*start=*/1500, /*dur=*/2250, /*tid=*/3, "engine0", "poll");
+  std::string json = trace.ToJson();
+  // ns exported as fixed-point microseconds.
+  EXPECT_NE(json.find("\"name\":\"engine0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"poll\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.250"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, InstantAndCounterEvents) {
+  TraceRecorder trace;
+  trace.Instant(1000, TraceRecorder::kSchedTrack, "wake:engine0", "sched",
+                TraceArgInt("core", 2));
+  trace.CounterValue(2000, "grp/active_workers", 3);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"core\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":3}"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, AsyncSpansMatchBeginEndPairs) {
+  TraceRecorder trace;
+  trace.AsyncBegin(100, 1, "brownout", "upgrade",
+                   TraceArgStr("engine", "ea"));
+  trace.AsyncBegin(200, 2, "brownout", "upgrade");
+  trace.AsyncEnd(250, 2, "brownout", "upgrade");
+  trace.AsyncEnd(400, 1, "brownout", "upgrade");
+  trace.AsyncBegin(500, 3, "blackout", "upgrade");  // still open
+
+  auto brownouts = trace.AsyncSpans("brownout");
+  ASSERT_EQ(brownouts.size(), 2u);
+  EXPECT_EQ(brownouts[0].begin, 100);
+  EXPECT_EQ(brownouts[0].end, 400);
+  EXPECT_EQ(brownouts[0].args, TraceArgStr("engine", "ea"));
+  EXPECT_EQ(brownouts[1].begin, 200);
+  EXPECT_EQ(brownouts[1].end, 250);
+
+  auto blackouts = trace.AsyncSpans("blackout");
+  ASSERT_EQ(blackouts.size(), 1u);
+  EXPECT_EQ(blackouts[0].end, -1);  // unterminated span stays open
+}
+
+TEST(TraceRecorderTest, FlowPointsShareNameAndCarryStageInArgs) {
+  TraceRecorder trace;
+  trace.FlowPoint('s', 100, 0, 16, "msg", "pkt",
+                  TraceArgStr("point", "app_enqueue"));
+  trace.FlowPoint('t', 200, TraceRecorder::kFabricTrack, 16, "msg", "pkt",
+                  TraceArgStr("point", "fabric_enq"));
+  trace.FlowPoint('f', 300, 1, 16, "msg", "pkt",
+                  TraceArgStr("point", "deliver"));
+  std::string json = trace.ToJson();
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"msg\""), 3);
+  EXPECT_EQ(CountOccurrences(json, "\"id\":\"16\""), 3);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  // Flow end binds to the enclosing slice.
+  EXPECT_NE(json.find("\"ph\":\"f\",\"pid\":1,\"tid\":1,\"ts\":0.300,"
+                      "\"id\":\"16\",\"bp\":\"e\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceRecorderTest, DeterministicSampling) {
+  TraceRecorder::Options options;
+  options.packet_sample_every = 16;
+  TraceRecorder trace(options);
+  EXPECT_FALSE(trace.ShouldSampleMessage(0));  // op 0 = not a Pony op
+  EXPECT_FALSE(trace.ShouldSampleMessage(1));
+  EXPECT_TRUE(trace.ShouldSampleMessage(16));
+  EXPECT_TRUE(trace.ShouldSampleMessage(32));
+  EXPECT_FALSE(trace.ShouldSampleMessage(33));
+
+  TraceRecorder::Options off;
+  off.packet_sample_every = 0;
+  TraceRecorder disabled(off);
+  EXPECT_FALSE(disabled.ShouldSampleMessage(16));
+}
+
+TEST(TraceRecorderTest, CurrentCoreFallback) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.current_core_or(TraceRecorder::kFabricTrack),
+            TraceRecorder::kFabricTrack);
+  trace.set_current_core(2);
+  EXPECT_EQ(trace.current_core_or(TraceRecorder::kFabricTrack), 2);
+  trace.set_current_core(-1);
+  EXPECT_EQ(trace.current_core_or(0), 0);
+}
+
+TEST(TraceRecorderTest, EscapesNamesInJson) {
+  TraceRecorder trace;
+  trace.Instant(0, 0, "we\"ird\\name", "cat");
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos) << json;
+}
+
+TEST(TraceRecorderTest, WriteJsonRoundTrip) {
+  TraceRecorder trace;
+  trace.Complete(0, 1000, 0, "slice", "task");
+  std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(trace.WriteJson(path));
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), trace.ToJson());
+  std::remove(path.c_str());
+}
+
+// --- Telemetry -------------------------------------------------------------
+
+TEST(TelemetryTest, CounterPointersAreStable) {
+  Telemetry telemetry;
+  Counter* rx = telemetry.GetCounter("snap/e0/rx");
+  rx->Add(5);
+  // Creating more counters must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    telemetry.GetCounter("snap/e0/c" + std::to_string(i))->Increment();
+  }
+  EXPECT_EQ(telemetry.GetCounter("snap/e0/rx"), rx);
+  rx->Increment();
+  EXPECT_EQ(telemetry.SnapshotValues()["snap/e0/rx"], 6);
+}
+
+TEST(TelemetryTest, SetCounterPublishesAbsoluteValues) {
+  Telemetry telemetry;
+  telemetry.SetCounter("snap/e0/tx", 10);
+  telemetry.SetCounter("snap/e0/tx", 7);  // absolute, not cumulative
+  EXPECT_EQ(telemetry.SnapshotValues()["snap/e0/tx"], 7);
+}
+
+TEST(TelemetryTest, GaugesEvaluateAtSnapshotTime) {
+  Telemetry telemetry;
+  int64_t live = 3;
+  telemetry.RegisterGauge("snap/grp/active_workers", [&live] { return live; });
+  EXPECT_EQ(telemetry.SnapshotValues()["snap/grp/active_workers"], 3);
+  live = 5;
+  EXPECT_EQ(telemetry.SnapshotValues()["snap/grp/active_workers"], 5);
+  telemetry.UnregisterGauge("snap/grp/active_workers");
+  EXPECT_EQ(telemetry.num_gauges(), 0u);
+}
+
+TEST(TelemetryTest, SnapshotJsonContainsAllSections) {
+  Telemetry telemetry;
+  telemetry.GetCounter("snap/e0/rx")->Add(2);
+  telemetry.RegisterGauge("snap/e0/queue_depth", [] { return int64_t{4}; });
+  telemetry.GetHistogram("snap/e0/poll_ns")->Record(1000);
+  std::string json = telemetry.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap/e0/rx\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap/e0/queue_depth\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap/e0/poll_ns\""), std::string::npos);
+}
+
+TEST(TelemetryTest, DashboardListsHistogramsAndCounters) {
+  Telemetry telemetry;
+  Histogram* h = telemetry.GetHistogram("snap/e0/sched_delay_ns");
+  for (int i = 1; i <= 100; ++i) {
+    h->Record(i * 1000);
+  }
+  telemetry.GetCounter("snap/e0/rx_packets")->Add(42);
+  std::string dash = telemetry.DumpDashboard();
+  EXPECT_NE(dash.find("snap/e0/sched_delay_ns"), std::string::npos) << dash;
+  EXPECT_NE(dash.find("snap/e0/rx_packets"), std::string::npos);
+  EXPECT_NE(dash.find("42"), std::string::npos);
+}
+
+// --- Histogram JSON --------------------------------------------------------
+
+TEST(HistogramJsonTest, SummaryFieldsAndBuckets) {
+  Histogram h;
+  h.Record(10);
+  h.Record(10);
+  h.Record(1000);
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  // Exactly the two non-empty buckets appear: [upper,count] pairs.
+  EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "],["), 1);
+}
+
+TEST(HistogramJsonTest, EmptyHistogram) {
+  Histogram h;
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[]"), std::string::npos);
+}
+
+// Merge must preserve the distribution: percentiles of (a merged with b)
+// match a histogram fed the union of samples, bucket-exactly.
+TEST(HistogramJsonTest, MergePercentileRoundTrip) {
+  Rng rng(42);
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.NextExponential(20000.0));
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(a.ToJson(), combined.ToJson());
+}
+
+// --- End-to-end: a traced simulation produces the expected vocabulary -----
+
+TEST(TraceIntegrationTest, SimulationEmitsPollSchedAndFlowEvents) {
+  Simulator sim(1234);
+  TraceRecorder trace;
+  sim.set_tracer(&trace);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kCompactingEngines;
+  SimHost a(&sim, &fabric, &directory, options);
+  SimHost b(&sim, &fabric, &directory, options);
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+  PonyEngine* eb = b.CreatePonyEngine("eb");
+  auto ca = a.CreateClient(ea, "appA");
+  auto cb = b.CreateClient(eb, "appB");
+  PonyStreamReceiverTask receiver("rx", b.cpu(), cb.get());
+  receiver.Start();
+  PonyStreamSenderTask::Options so;
+  so.peer = eb->address();
+  so.message_bytes = 16 * 1024;
+  so.num_streams = 4;
+  PonyStreamSenderTask sender("tx", a.cpu(), ca.get(), so);
+  sender.Start();
+  sim.RunFor(20 * kMsec);
+
+  int polls = 0;
+  int task_slices = 0;
+  int flow_starts = 0;
+  int flow_steps = 0;
+  int flow_ends = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 'X' && std::string(e.category) == "poll") {
+      ++polls;
+      EXPECT_GT(e.dur, 0);
+      // Poll slices are attributed to a real core track, not a virtual one.
+      EXPECT_LT(e.tid, TraceRecorder::kSchedTrack);
+    }
+    if (e.phase == 'X' && std::string(e.category) == "task") {
+      ++task_slices;
+    }
+    if (e.phase == 's') ++flow_starts;
+    if (e.phase == 't') ++flow_steps;
+    if (e.phase == 'f') ++flow_ends;
+  }
+  EXPECT_GT(polls, 100);
+  EXPECT_GT(task_slices, 100);
+#ifndef SNAP_DISABLE_PACKET_TRACE
+  EXPECT_GT(flow_starts, 0);
+  EXPECT_GT(flow_steps, flow_starts);  // several hops per sampled message
+  EXPECT_GT(flow_ends, 0);
+  EXPECT_LE(flow_ends, flow_starts);
+#endif
+
+  // Per-engine poll histograms got installed and populated via Telemetry.
+  auto json = sim.telemetry().SnapshotJson();
+  EXPECT_NE(json.find("\"snap/ea/poll_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap/eb/poll_ns\""), std::string::npos);
+  EXPECT_GT(sim.telemetry().GetHistogram("snap/ea/poll_ns")->count(), 0);
+
+  // The trace exports as structurally sane JSON.
+  std::string traced = trace.ToJson();
+  EXPECT_EQ(traced.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(traced.back(), '\n');
+}
+
+}  // namespace
+}  // namespace snap

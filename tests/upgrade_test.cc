@@ -8,6 +8,7 @@
 #include "src/apps/pony_apps.h"
 #include "src/apps/simhost.h"
 #include "src/snap/upgrade.h"
+#include "src/stats/trace.h"
 
 namespace snap {
 namespace {
@@ -227,6 +228,44 @@ TEST_F(UpgradeTest, BlackoutHistogramAccumulates) {
   EXPECT_EQ(manager.blackout_histogram().count(), 2);
   UpgradeParams defaults;
   EXPECT_GE(manager.blackout_histogram().min(), defaults.blackout_fixed);
+}
+
+// The flight recorder's async spans must reproduce the brownout/blackout
+// durations the upgrade manager reports — the trace IS the measurement,
+// not an approximation of it.
+TEST_F(UpgradeTest, TraceSpansMatchReportedBrownoutAndBlackout) {
+  TraceRecorder trace;
+  sim_->set_tracer(&trace);
+  a_->CreatePonyEngine("e1");
+  a_->CreatePonyEngine("e2");
+  std::unique_ptr<SnapInstance> v2 = MakeNewInstance();
+  UpgradeManager manager(sim_.get(), UpgradeParams{});
+  UpgradeManager::Result result;
+  bool done = false;
+  manager.StartUpgrade(a_->snap(), v2.get(), [&](const auto& r) {
+    result = r;
+    done = true;
+  });
+  sim_->RunFor(5000 * kMsec);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(result.engines.size(), 2u);
+
+  auto brownouts = trace.AsyncSpans("brownout");
+  auto blackouts = trace.AsyncSpans("blackout");
+  ASSERT_EQ(brownouts.size(), result.engines.size());
+  ASSERT_EQ(blackouts.size(), result.engines.size());
+  for (size_t i = 0; i < result.engines.size(); ++i) {
+    const auto& er = result.engines[i];
+    ASSERT_GE(brownouts[i].end, 0) << "brownout span left open";
+    ASSERT_GE(blackouts[i].end, 0) << "blackout span left open";
+    EXPECT_EQ(brownouts[i].end - brownouts[i].begin, er.brownout)
+        << "engine " << er.engine_name;
+    EXPECT_EQ(blackouts[i].end - blackouts[i].begin, er.blackout)
+        << "engine " << er.engine_name;
+    // Phases are contiguous: blackout starts when brownout ends.
+    EXPECT_EQ(blackouts[i].begin, brownouts[i].end);
+    EXPECT_EQ(brownouts[i].args, TraceArgStr("engine", er.engine_name));
+  }
 }
 
 TEST_F(UpgradeTest, PendingOneSidedOpsCompleteAfterUpgrade) {

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Latency-breakdown report over a flight-recorder trace.
+
+Usage:
+    tools/trace_report.py TRACE.json [--top N] [--check]
+
+Reads a Chrome-trace-event JSON written by TraceRecorder (bench_sim_speed
+--trace, or any test that calls WriteJson) and prints:
+  - per-engine CPU share: total "poll" slice time per engine, as absolute
+    time and as a share of all polling (the Fig. 5 attribution view);
+  - per-core utilization from "task" slices;
+  - top async spans by duration (upgrade brownout/blackout phases,
+    Gilbert-Elliott bad-state bursts), plus per-name totals — the upgrade
+    section reports the blackout durations the paper's Section 4 measures;
+  - sampled message-lifecycle summary: flow point counts per stage and
+    end-to-end latency percentiles for flows that completed.
+
+--check exits nonzero unless the trace is structurally sound: parses as
+JSON, timestamps non-negative, complete events have non-negative
+durations, every async end has a matching begin, and every sampled flow
+('s'/'t'/'f' events sharing an id) starts with 's'. CI smoke-runs this
+over a tiny traced rack run.
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("no traceEvents array")
+    return events
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return "%.3f s" % (us / 1e6)
+    if us >= 1e3:
+        return "%.3f ms" % (us / 1e3)
+    return "%.3f us" % us
+
+
+def percentile(sorted_values, p):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(p / 100.0 * len(sorted_values)))
+    return sorted_values[index]
+
+
+def report(events, top_n):
+    # --- Per-engine CPU share from "poll" complete events. ---
+    poll_time = defaultdict(float)     # engine name -> total us
+    task_time = defaultdict(float)     # tid -> total us
+    span_end = 0.0
+    for e in events:
+        span_end = max(span_end, e.get("ts", 0) + e.get("dur", 0))
+        if e.get("ph") == "X":
+            if e.get("cat") == "poll":
+                poll_time[e["name"]] += e.get("dur", 0)
+            elif e.get("cat") == "task":
+                task_time[e.get("tid", 0)] += e.get("dur", 0)
+
+    total_poll = sum(poll_time.values())
+    print("== Per-engine CPU (poll slices) ==")
+    if total_poll == 0:
+        print("  (no poll events)")
+    for name, us in sorted(poll_time.items(), key=lambda kv: -kv[1])[:top_n]:
+        print("  %-40s %12s  %5.1f%%" %
+              (name, fmt_us(us), 100.0 * us / total_poll))
+    if len(poll_time) > top_n:
+        print("  ... and %d more engines" % (len(poll_time) - top_n))
+
+    print("\n== Per-core busy time (task slices) ==")
+    for tid in sorted(task_time):
+        us = task_time[tid]
+        share = 100.0 * us / span_end if span_end > 0 else 0.0
+        print("  core %-3d %12s busy  %5.1f%% of trace span" %
+              (tid, fmt_us(us), share))
+
+    # --- Async spans (brownout/blackout, chaos bursts). ---
+    opens = {}                       # (name, id) -> begin ts
+    spans = defaultdict(list)        # name -> [duration us]
+    longest = []                     # (dur, name, begin)
+    for e in events:
+        ph = e.get("ph")
+        if ph == "b":
+            opens[(e["name"], e.get("id"))] = e.get("ts", 0)
+        elif ph == "e":
+            key = (e["name"], e.get("id"))
+            begin = opens.pop(key, None)
+            if begin is not None:
+                dur = e.get("ts", 0) - begin
+                spans[e["name"]].append(dur)
+                longest.append((dur, e["name"], begin))
+    print("\n== Async spans ==")
+    if not spans:
+        print("  (none)")
+    for name in sorted(spans):
+        durations = sorted(spans[name])
+        print("  %-16s count %-5d total %12s  max %12s" %
+              (name, len(durations), fmt_us(sum(durations)),
+               fmt_us(durations[-1])))
+    for dur, name, begin in sorted(longest, reverse=True)[:top_n]:
+        print("    longest: %-16s %12s at ts=%s" %
+              (name, fmt_us(dur), fmt_us(begin)))
+
+    # --- Sampled message lifecycles. ---
+    stage_counts = defaultdict(int)
+    flow_first = {}
+    flow_last = {}
+    flow_done = set()
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("s", "t", "f"):
+            continue
+        stage = (e.get("args") or {}).get("point", "?")
+        stage_counts[stage] += 1
+        fid = e.get("id")
+        ts = e.get("ts", 0)
+        if ph == "s":
+            flow_first.setdefault(fid, ts)
+        flow_last[fid] = ts
+        if ph == "f":
+            flow_done.add(fid)
+    print("\n== Sampled message lifecycles ==")
+    if not stage_counts:
+        print("  (no packet-lifecycle events; sampling off or compiled out)")
+    for stage in sorted(stage_counts, key=lambda s: -stage_counts[s]):
+        print("  %-16s %8d points" % (stage, stage_counts[stage]))
+    latencies = sorted(flow_last[f] - flow_first[f]
+                       for f in flow_done if f in flow_first)
+    if latencies:
+        print("  completed flows: %d   latency p50 %s  p99 %s  max %s" %
+              (len(latencies), fmt_us(percentile(latencies, 50)),
+               fmt_us(percentile(latencies, 99)), fmt_us(latencies[-1])))
+
+
+def check(events):
+    """Structural validation; returns a list of problem strings."""
+    problems = []
+    opens = set()
+    flow_started = set()
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if "name" not in e or ph is None:
+            problems.append("event %d: missing name/ph" % i)
+            continue
+        if e.get("ts", 0) < 0:
+            problems.append("event %d (%s): negative ts" % (i, e["name"]))
+        if ph == "X" and e.get("dur", 0) < 0:
+            problems.append("event %d (%s): negative dur" % (i, e["name"]))
+        if ph == "b":
+            opens.add((e["name"], e.get("id")))
+        elif ph == "e":
+            key = (e["name"], e.get("id"))
+            if key not in opens:
+                problems.append("event %d: async end without begin: %s/%s" %
+                                (i, e["name"], e.get("id")))
+            else:
+                opens.discard(key)
+        elif ph == "s":
+            flow_started.add(e.get("id"))
+        elif ph == "f":
+            # 't' points without an 's' are legal (sampled one-sided ops
+            # have no message-enqueue), but a completion delivery is always
+            # preceded by the sender's app_enqueue in the same trace.
+            if e.get("id") not in flow_started:
+                problems.append("event %d: flow end without 's' start: %s" %
+                                (i, e.get("id")))
+    # Open async spans at trace end are legal (e.g. a chaos bad state when
+    # the run stops) — only report them, don't fail.
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="TraceRecorder JSON file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per section (default 10)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero on structural problems")
+    args = parser.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print("trace_report: cannot read %s: %s" % (args.trace, err),
+              file=sys.stderr)
+        return 2
+
+    print("trace: %s (%d events)\n" % (args.trace, len(events)))
+    report(events, args.top)
+
+    if args.check:
+        problems = check(events)
+        if problems:
+            print("\nCHECK FAILED: %d problems" % len(problems),
+                  file=sys.stderr)
+            for p in problems[:20]:
+                print("  " + p, file=sys.stderr)
+            return 1
+        print("\ncheck: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

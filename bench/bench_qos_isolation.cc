@@ -1,0 +1,328 @@
+// Noisy-neighbor isolation benchmark for the multi-tenant QoS subsystem
+// (src/qos/): a weight-3 "victim" tenant offering a fixed ~3 Gbps of
+// 32 KiB RPCs shares one Pony engine and one 10 Gbps uplink with a
+// weight-1 "aggressor" tenant offering 4x the link across 8 remote
+// engines. Three configurations:
+//
+//   qos_off               flat round-robin everywhere (the pre-QoS path);
+//                         the victim collapses toward a 1/9 flow share
+//   qos_weights           DRR at the engine + WFQ at the NIC (3:1)
+//   qos_weights_admission qos_weights plus a client-side token bucket
+//                         throttling the aggressor at the app boundary
+//
+// Reports victim/aggressor goodput, the victim's p50/p99 latency, the
+// admission-throttle count, and the per-tenant telemetry dashboard.
+//
+// Usage:
+//   bench_qos_isolation [--smoke] [--json PATH] [--trace PATH]
+// --smoke shrinks the windows for CI and double-runs one configuration
+// to assert bit-identical determinism; --json writes machine-readable
+// results for tools/bench_trajectory.py (BENCH_qos_isolation.json),
+// whose gate tracks the isolation ratio; --trace re-runs the admission
+// configuration under the flight recorder and writes a Chrome-trace JSON
+// (tools/trace_report.py rolls up the per-tenant qos_admission_block /
+// unblock instants it contains).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/qos/tenant.h"
+#include "src/stats/telemetry.h"
+#include "src/stats/trace.h"
+
+namespace snap {
+namespace {
+
+constexpr int kAggressorServers = 8;
+constexpr int64_t kRequestBytes = 32 * 1024;
+constexpr double kLinkGbps = 10.0;
+constexpr double kVictimOfferedGbps = 3.0;
+// 4x overload, offered by the aggressor against the 10 Gbps uplink.
+constexpr double kAggressorOfferedGbps = 4.0 * kLinkGbps;
+
+struct ScenarioConfig {
+  bool qos_weights = false;
+  // Aggressor client-side admission cap (bytes/sec); 0 = unlimited. Only
+  // meaningful with qos_weights (tenants must be tagged to be throttled).
+  double aggressor_admission_bytes_per_sec = 0;
+  uint64_t seed = 7;
+  SimDuration warmup = 20 * kMsec;
+  SimDuration window = 100 * kMsec;
+  bool dump_dashboard = false;
+  TraceRecorder* tracer = nullptr;
+};
+
+struct Outcome {
+  double victim_gbps = 0;
+  double aggressor_gbps = 0;
+  int64_t victim_p50_ns = 0;
+  int64_t victim_p99_ns = 0;
+  int64_t victim_rpcs = 0;
+  int64_t aggressor_rpcs = 0;
+  int64_t admission_throttled = 0;
+
+  double victim_share_of_offered() const {
+    return victim_gbps / kVictimOfferedGbps;
+  }
+};
+
+Outcome RunScenario(const ScenarioConfig& cfg) {
+  Simulator sim(cfg.seed);
+  sim.set_tracer(cfg.tracer);
+  NicParams nic_params;
+  nic_params.link_gbps = kLinkGbps;  // the contended resource
+  Fabric fabric(&sim, nic_params);
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.dedicated_cores = {0, 1, 2, 3};
+  SimHost a(&sim, &fabric, &directory, options);
+  SimHost b(&sim, &fabric, &directory, options);
+
+  PonyEngine* ea = a.CreatePonyEngine("ea");
+
+  struct Server {
+    PonyEngine* engine = nullptr;
+    std::unique_ptr<PonyClient> sink;
+    std::unique_ptr<PonyRpcServerTask> task;
+  };
+  std::vector<Server> servers;  // [0] = victim's, rest = aggressor's
+  for (int i = 0; i <= kAggressorServers; ++i) {
+    const std::string name =
+        i == 0 ? "vsrv" : "asrv" + std::to_string(i - 1);
+    Server s;
+    s.engine = b.CreatePonyEngine(name);
+    s.sink = b.CreateClient(s.engine, name + "_srv");
+    s.engine->SetDefaultSink(s.sink.get());
+    s.task = std::make_unique<PonyRpcServerTask>(name + "_task", b.cpu(),
+                                                 s.sink.get());
+    s.task->Start();
+    servers.push_back(std::move(s));
+  }
+
+  std::unique_ptr<PonyClient> victim_client = a.CreateClient(ea, "victim");
+  std::unique_ptr<PonyClient> aggr_client = a.CreateClient(ea, "aggr");
+
+  qos::TenantRegistry registry;
+  if (cfg.qos_weights) {
+    qos::TenantSpec victim{.id = 1, .name = "victim", .weight = 3};
+    qos::TenantSpec aggressor{.id = 2, .name = "aggressor", .weight = 1};
+    aggressor.admission_rate_bytes_per_sec =
+        cfg.aggressor_admission_bytes_per_sec;
+    registry.Register(victim);
+    registry.Register(aggressor);
+    victim_client->SetTenant(victim);
+    aggr_client->SetTenant(aggressor);
+    ea->EnableQos(&registry);
+    a.nic()->EnableQosTx(&registry);
+  }
+
+  PonyRpcClientTask::Options vo;
+  vo.peers = {servers[0].engine->address()};
+  vo.request_bytes = kRequestBytes;
+  vo.response_bytes = 64;
+  vo.rpcs_per_sec = kVictimOfferedGbps * 1e9 / (8.0 * kRequestBytes);
+  vo.rng_seed = cfg.seed + 11;
+  PonyRpcClientTask victim_task("victim_task", a.cpu(),
+                                victim_client.get(), vo);
+
+  PonyRpcClientTask::Options ao;
+  for (int i = 1; i <= kAggressorServers; ++i) {
+    ao.peers.push_back(servers[i].engine->address());
+  }
+  ao.request_bytes = kRequestBytes;
+  ao.response_bytes = 64;
+  ao.rpcs_per_sec = kAggressorOfferedGbps * 1e9 / (8.0 * kRequestBytes);
+  ao.max_outstanding = 256;  // bound queued memory; the link stays loaded
+  ao.rng_seed = cfg.seed + 23;
+  PonyRpcClientTask aggr_task("aggr_task", a.cpu(), aggr_client.get(), ao);
+
+  victim_task.Start();
+  aggr_task.Start();
+
+  sim.RunFor(cfg.warmup);
+  victim_task.ResetStats();
+  aggr_task.ResetStats();
+  sim.RunFor(cfg.window);
+
+  Outcome out;
+  double sec = ToSec(cfg.window);
+  out.victim_rpcs = victim_task.rpcs_completed();
+  out.aggressor_rpcs = aggr_task.rpcs_completed();
+  out.victim_gbps = static_cast<double>(out.victim_rpcs) * kRequestBytes *
+                    8.0 / sec / 1e9;
+  out.aggressor_gbps = static_cast<double>(out.aggressor_rpcs) *
+                       kRequestBytes * 8.0 / sec / 1e9;
+  out.victim_p50_ns = victim_task.latency().P50();
+  out.victim_p99_ns = victim_task.latency().P99();
+  out.admission_throttled = aggr_client->admission_throttled();
+
+  if (cfg.dump_dashboard && cfg.qos_weights) {
+    ea->ExportQosStats(&sim.telemetry(), "qos/tenant");
+    a.nic()->ExportQosStats(&sim.telemetry(), "qos/tenant");
+    std::printf("%s", sim.telemetry().DumpDashboard().c_str());
+  }
+  return out;
+}
+
+void PrintOutcome(const char* label, const Outcome& o) {
+  std::printf(
+      "  %-22s victim %6.2f Gbps (%5.1f%% of offered)  "
+      "aggressor %6.2f Gbps  victim p50/p99 %7.0f/%9.0f us  throttled %lld\n",
+      label, o.victim_gbps, 100.0 * o.victim_share_of_offered(),
+      o.aggressor_gbps, static_cast<double>(o.victim_p50_ns) / 1e3,
+      static_cast<double>(o.victim_p99_ns) / 1e3,
+      static_cast<long long>(o.admission_throttled));
+}
+
+void JsonOutcome(FILE* f, const char* name, const Outcome& o, bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\n"
+               "      \"victim_gbps\": %.4f,\n"
+               "      \"aggressor_gbps\": %.4f,\n"
+               "      \"victim_share_of_offered\": %.4f,\n"
+               "      \"victim_p50_us\": %.3f,\n"
+               "      \"victim_p99_us\": %.3f,\n"
+               "      \"victim_rpcs\": %lld,\n"
+               "      \"aggressor_rpcs\": %lld,\n"
+               "      \"admission_throttled\": %lld\n"
+               "    }%s\n",
+               name, o.victim_gbps, o.aggressor_gbps,
+               o.victim_share_of_offered(),
+               static_cast<double>(o.victim_p50_ns) / 1e3,
+               static_cast<double>(o.victim_p99_ns) / 1e3,
+               static_cast<long long>(o.victim_rpcs),
+               static_cast<long long>(o.aggressor_rpcs),
+               static_cast<long long>(o.admission_throttled),
+               last ? "" : ",");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH] [--trace PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  ScenarioConfig base;
+  base.warmup = smoke ? 5 * kMsec : 20 * kMsec;
+  base.window = smoke ? 15 * kMsec : 100 * kMsec;
+
+  PrintHeader(smoke ? "QoS noisy-neighbor isolation (smoke)"
+                    : "QoS noisy-neighbor isolation");
+  std::printf(
+      "  victim: weight 3, offered %.1f Gbps | aggressor: weight 1, "
+      "offered %.0f Gbps (%.0fx the %.0f Gbps uplink)\n",
+      kVictimOfferedGbps, kAggressorOfferedGbps,
+      kAggressorOfferedGbps / kLinkGbps, kLinkGbps);
+
+  ScenarioConfig off = base;
+  Outcome off_out = RunScenario(off);
+  PrintOutcome("qos_off", off_out);
+
+  ScenarioConfig weights = base;
+  weights.qos_weights = true;
+  weights.dump_dashboard = !smoke;
+  Outcome weights_out = RunScenario(weights);
+  PrintOutcome("qos_weights", weights_out);
+
+  ScenarioConfig admission = weights;
+  admission.dump_dashboard = false;
+  // Cap the aggressor's submissions at 1.5 Gbps at the app boundary, well
+  // below what scheduling alone would leave it.
+  admission.aggressor_admission_bytes_per_sec = 1.5e9 / 8.0;
+  Outcome admission_out = RunScenario(admission);
+  PrintOutcome("qos_weights_admission", admission_out);
+
+  const double isolation_ratio = weights_out.victim_share_of_offered();
+  const double collapse_ratio = off_out.victim_share_of_offered();
+  std::printf(
+      "  isolation ratio (victim share of offered, qos on): %.3f\n"
+      "  collapse ratio  (victim share of offered, qos off): %.3f\n",
+      isolation_ratio, collapse_ratio);
+
+  if (smoke) {
+    // Same seed, same configuration: the outcome must be bit-identical.
+    Outcome replay = RunScenario(weights);
+    if (replay.victim_rpcs != weights_out.victim_rpcs ||
+        replay.aggressor_rpcs != weights_out.aggressor_rpcs ||
+        replay.victim_p99_ns != weights_out.victim_p99_ns) {
+      std::fprintf(stderr, "FAIL: qos_weights replay diverged\n");
+      return 1;
+    }
+    std::printf("  replay: bit-identical\n");
+    // The smoke run doubles as a coarse acceptance gate for CI.
+    if (isolation_ratio < 0.9) {
+      std::fprintf(stderr, "FAIL: isolation ratio %.3f < 0.9\n",
+                   isolation_ratio);
+      return 1;
+    }
+    if (collapse_ratio > 0.7) {
+      std::fprintf(stderr,
+                   "FAIL: qos_off victim did not collapse (%.3f)\n",
+                   collapse_ratio);
+      return 1;
+    }
+  }
+
+  // Dedicated traced run (never timed): repeats the admission scenario
+  // under the flight recorder so the per-tenant qos_admission_block /
+  // unblock instants land in a Chrome-trace JSON that
+  // tools/trace_report.py can roll up (and --check can validate).
+  if (!trace_path.empty()) {
+    TraceRecorder tracer;
+    ScenarioConfig traced = admission;
+    traced.dump_dashboard = false;
+    traced.tracer = &tracer;
+    RunScenario(traced);
+    if (!tracer.WriteJson(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%zu trace events)\n", trace_path.c_str(),
+                tracer.size());
+  }
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"smoke\": %s,\n"
+                 "  \"link_gbps\": %.1f,\n"
+                 "  \"victim_offered_gbps\": %.1f,\n"
+                 "  \"aggressor_offered_gbps\": %.1f,\n"
+                 "  \"isolation_ratio\": %.4f,\n"
+                 "  \"collapse_ratio\": %.4f,\n"
+                 "  \"benchmarks\": {\n",
+                 smoke ? "true" : "false", kLinkGbps, kVictimOfferedGbps,
+                 kAggressorOfferedGbps, isolation_ratio, collapse_ratio);
+    JsonOutcome(f, "qos_off", off_out, false);
+    JsonOutcome(f, "qos_weights", weights_out, false);
+    JsonOutcome(f, "qos_weights_admission", admission_out, true);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace snap
+
+int main(int argc, char** argv) { return snap::Main(argc, argv); }

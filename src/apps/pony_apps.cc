@@ -291,9 +291,13 @@ void PonyRpcClientTask::IssueRpc(SimTime now, CpuCostSink* cost) {
   const PonyAddress& peer =
       options_.peers[rng_.NextBounded(options_.peers.size())];
   uint64_t corr = next_corr_++;
-  client_->SendMessage(peer, streams_[peer], options_.request_bytes,
-                       EncodeRpcRequest(options_.response_bytes, corr),
-                       cost);
+  uint64_t op =
+      client_->SendMessage(peer, streams_[peer], options_.request_bytes,
+                           EncodeRpcRequest(options_.response_bytes, corr),
+                           cost);
+  if (options_.max_outstanding > 0 && op == 0) {
+    return;  // closed-loop mode: a rejected send is not outstanding
+  }
   pending_[corr] = now;
   ++rpcs_issued_;
   bytes_transferred_ += options_.request_bytes;
@@ -332,7 +336,10 @@ StepResult PonyRpcClientTask::Step(SimTime now, SimDuration budget_ns) {
         rng_.NextExponential(1e9 / options_.rpcs_per_sec));
   }
   while (now >= next_arrival_ && cost.ns < budget_ns) {
-    IssueRpc(now, &cost);
+    if (options_.max_outstanding == 0 ||
+        static_cast<int64_t>(pending_.size()) < options_.max_outstanding) {
+      IssueRpc(now, &cost);
+    }
     next_arrival_ += static_cast<SimDuration>(
         rng_.NextExponential(1e9 / options_.rpcs_per_sec));
   }

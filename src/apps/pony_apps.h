@@ -166,6 +166,12 @@ class PonyRpcClientTask : public PonyAppTask {
     int64_t response_bytes = 1 << 20;
     bool spin = false;
     uint64_t rng_seed = 1;
+    // Closed-loop cap: arrivals are skipped (not deferred) while this many
+    // RPCs are outstanding, and a failed send is not counted as issued.
+    // 0 = pure open loop, the historical behavior. QoS overload scenarios
+    // use the cap so a 4x-overload aggressor keeps the fabric saturated
+    // without queuing unbounded message memory.
+    int64_t max_outstanding = 0;
   };
 
   PonyRpcClientTask(std::string name, CpuScheduler* sched,

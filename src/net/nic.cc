@@ -1,6 +1,7 @@
 #include "src/net/nic.h"
 
 #include "src/net/fabric.h"
+#include "src/stats/telemetry.h"
 #include "src/util/logging.h"
 
 namespace snap {
@@ -135,6 +136,16 @@ bool Nic::Transmit(PacketPtr packet) {
   if (tx_tap_) {
     tx_tap_(*packet);
   }
+  if (qos_tx_ != nullptr) {
+    // QoS TX: park the packet in its tenant's WFQ queue (it keeps its ring
+    // slot) and make sure a drain is scheduled for when the link frees up.
+    uint32_t tenant = packet->tenant;
+    qos_tx_->wfq.Enqueue(tenant, std::move(packet));
+    if (!qos_tx_->drain_pending) {
+      ScheduleQosDrain(std::max(now, tx_busy_until_));
+    }
+    return true;
+  }
   // Serialize onto the uplink behind any packets already queued in the
   // ring. The NIC pipeline delay is pure latency: it delays delivery but
   // does not occupy the link.
@@ -150,6 +161,84 @@ bool Nic::Transmit(PacketPtr packet) {
     fabric_->Route(std::move(p), done);
   });
   return true;
+}
+
+void Nic::EnableQosTx(const qos::TenantRegistry* tenants) {
+  if (qos_tx_ != nullptr) {
+    return;
+  }
+  qos_tx_ = std::make_unique<QosTx>();
+  qos_tx_->tenants = tenants;
+  if (tenants != nullptr) {
+    tenants->ForEach([this](const qos::TenantSpec& spec) {
+      qos_tx_->wfq.SetWeight(spec.id, spec.weight);
+    });
+  }
+}
+
+void Nic::ScheduleQosDrain(SimTime at) {
+  qos_tx_->drain_pending = true;
+  sim_->ScheduleAt(std::max(at, sim_->now()), [this] { QosDrain(); });
+}
+
+void Nic::QosDrain() {
+  qos_tx_->drain_pending = false;
+  if (qos_tx_->wfq.empty()) {
+    return;
+  }
+  SimTime now = sim_->now();
+  if (tx_busy_until_ > now) {
+    // A competing drain already claimed the link; come back when it frees.
+    ScheduleQosDrain(tx_busy_until_);
+    return;
+  }
+  // One packet per drain event: the WFQ decision is re-made at each link
+  // idle edge so a latecomer high-weight tenant is never stuck behind a
+  // burst that was queued first.
+  PacketPtr packet = qos_tx_->wfq.Dequeue();
+  TenantTxStats& tstats = qos_tx_->per_tenant[packet->tenant];
+  ++tstats.tx_packets;
+  tstats.tx_bytes += packet->wire_bytes;
+  SimDuration queue_delay = now - packet->enqueue_time;
+  tstats.queue_delay_total += queue_delay;
+  tstats.queue_delay_max = std::max(tstats.queue_delay_max, queue_delay);
+  SimTime serialized =
+      now + SerializationDelay(packet->wire_bytes, params_.link_gbps);
+  tx_busy_until_ = serialized;
+  SimTime done = serialized + params_.nic_pipeline_delay;
+  sim_->ScheduleAt(done, [this, done, p = std::move(packet)]() mutable {
+    --tx_outstanding_;
+    fabric_->Route(std::move(p), done);
+  });
+  if (!qos_tx_->wfq.empty()) {
+    ScheduleQosDrain(serialized);
+  }
+}
+
+const std::map<uint32_t, Nic::TenantTxStats>& Nic::tenant_tx_stats() const {
+  static const std::map<uint32_t, TenantTxStats> kEmpty;
+  return qos_tx_ == nullptr ? kEmpty : qos_tx_->per_tenant;
+}
+
+void Nic::ExportQosStats(Telemetry* telemetry,
+                         const std::string& prefix) const {
+  if (qos_tx_ == nullptr) {
+    return;
+  }
+  for (const auto& [tenant, tstats] : qos_tx_->per_tenant) {
+    std::string name = qos_tx_->tenants != nullptr
+                           ? qos_tx_->tenants->DisplayName(tenant)
+                           : "t" + std::to_string(tenant);
+    const std::string base = prefix + "/" + name;
+    telemetry->SetCounter(base + "/nic_tx_packets", tstats.tx_packets);
+    telemetry->SetCounter(base + "/nic_tx_bytes", tstats.tx_bytes);
+    int64_t mean_delay =
+        tstats.tx_packets > 0 ? tstats.queue_delay_total / tstats.tx_packets
+                              : 0;
+    telemetry->SetCounter(base + "/nic_queue_delay_mean_ns", mean_delay);
+    telemetry->SetCounter(base + "/nic_queue_delay_max_ns",
+                          tstats.queue_delay_max);
+  }
 }
 
 void Nic::DeliverFromWire(PacketPtr packet) {

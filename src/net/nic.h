@@ -17,9 +17,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/packet/packet.h"
+#include "src/qos/scheduler.h"
+#include "src/qos/tenant.h"
 #include "src/sim/model_params.h"
 #include "src/sim/simulator.h"
 #include "src/util/status.h"
@@ -28,6 +31,7 @@ namespace snap {
 
 class Fabric;
 class Nic;
+class Telemetry;
 
 // One NIC receive queue: a bounded descriptor ring plus interrupt state.
 class RxQueue {
@@ -110,6 +114,27 @@ class Nic {
   bool Transmit(PacketPtr packet);
   int TxSlotsAvailable() const;
 
+  // Multi-tenant QoS (src/qos/): switches the TX path from FIFO link
+  // serialization to per-tenant queues drained by weighted fair queuing.
+  // `tenants` supplies weights and must outlive the NIC. Default off; the
+  // legacy path is untouched and event-for-event identical.
+  void EnableQosTx(const qos::TenantRegistry* tenants);
+  bool qos_tx_enabled() const { return qos_tx_ != nullptr; }
+
+  struct TenantTxStats {
+    int64_t tx_packets = 0;
+    int64_t tx_bytes = 0;
+    // Time from Transmit() to the packet winning the WFQ drain (the
+    // per-tenant queue delay the scheduler is supposed to bound).
+    SimDuration queue_delay_total = 0;
+    SimDuration queue_delay_max = 0;
+  };
+  // Per-tenant TX accounting; empty unless QoS TX is enabled.
+  const std::map<uint32_t, TenantTxStats>& tenant_tx_stats() const;
+  // Registers per-tenant counters/gauges under
+  // "<prefix>/<tenant-name>/..." (see docs/QOS.md).
+  void ExportQosStats(Telemetry* telemetry, const std::string& prefix) const;
+
   // Fabric side: a packet arrived addressed to this host.
   void DeliverFromWire(PacketPtr packet);
 
@@ -137,6 +162,20 @@ class Nic {
   const Stats& stats() const { return stats_; }
 
  private:
+  // QoS TX state: the WFQ holds packets that have consumed a TX ring slot
+  // but not yet won the link; a self-rescheduling drain event serializes
+  // the WFQ winner whenever the link goes free, so ring occupancy
+  // semantics (tx_outstanding_ <= tx_ring_entries across queued +
+  // in-flight packets) match the legacy path exactly.
+  struct QosTx {
+    const qos::TenantRegistry* tenants = nullptr;
+    qos::WfqScheduler wfq;
+    bool drain_pending = false;
+    std::map<uint32_t, TenantTxStats> per_tenant;
+  };
+  void ScheduleQosDrain(SimTime at);
+  void QosDrain();
+
   Simulator* sim_;
   Fabric* fabric_;
   int host_id_;
@@ -148,6 +187,7 @@ class Nic {
   int tx_outstanding_ = 0;
   std::function<void(const Packet&)> tx_tap_;
   std::function<void(const Packet&)> rx_tap_;
+  std::unique_ptr<QosTx> qos_tx_;
   Stats stats_;
 };
 

@@ -104,6 +104,10 @@ struct Packet {
   // Simulation bookkeeping.
   SimTime enqueue_time = 0;  // when it entered the TX path
   SimTime rx_time = 0;       // when the destination NIC received it
+  // QoS tenant tag (src/qos/tenant.h); 0 = untagged / default tenant.
+  // Bookkeeping, not a wire field: it is outside the CRC-covered
+  // PonyHeader, the way a production stack would derive it from the flow.
+  uint32_t tenant = 0;
 
   // Set by fault injection (src/testing/chaos.h) when the packet's CRC-
   // covered bytes were flipped in flight. Receivers must never consume such

@@ -1,5 +1,7 @@
 #include "src/pony/client.h"
 
+#include <algorithm>
+
 #include "src/pony/pony_engine.h"
 #include "src/util/logging.h"
 
@@ -23,8 +25,37 @@ PonyClient::PonyClient(std::string app_name, uint64_t client_id,
 
 PonyClient::~PonyClient() = default;
 
+void PonyClient::SetTenant(const qos::TenantSpec& spec) {
+  tenant_ = spec.id;
+  admission_limited_ = spec.admission_rate_bytes_per_sec > 0;
+  if (admission_limited_) {
+    admission_ = qos::TokenBucket(spec.admission_rate_bytes_per_sec,
+                                  spec.admission_burst_bytes);
+  }
+}
+
 uint64_t PonyClient::Submit(PonyCommand cmd, CpuCostSink* cost) {
   cost->Charge(params_.submit_cost);
+  cmd.tenant = tenant_;
+  if (admission_limited_) {
+    if (commands_.full()) {
+      return 0;  // queue full either way; don't burn tokens
+    }
+    int64_t bytes = std::max<int64_t>(
+        {cmd.length, static_cast<int64_t>(cmd.data.size()), 1});
+    if (!admission_.TryConsume(engine_->now(), static_cast<double>(bytes))) {
+      ++admission_throttled_;
+      if (!admission_blocked_) {
+        admission_blocked_ = true;
+        engine_->TraceQosAdmission(tenant_, /*blocked=*/true);
+      }
+      return 0;  // backpressure at the app boundary; the application retries
+    }
+    if (admission_blocked_) {
+      admission_blocked_ = false;
+      engine_->TraceQosAdmission(tenant_, /*blocked=*/false);
+    }
+  }
   // Op ids are globally unique per initiating engine: client id in the
   // upper bits, per-client sequence below.
   uint64_t op_id = (client_id_ << 32) | next_op_;

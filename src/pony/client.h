@@ -19,6 +19,8 @@
 #include "src/kernel/kstack.h"  // CpuCostSink
 #include "src/pony/memory_region.h"
 #include "src/pony/pony_types.h"
+#include "src/qos/tenant.h"
+#include "src/qos/token_bucket.h"
 #include "src/queue/spsc_ring.h"
 #include "src/sim/model_params.h"
 
@@ -78,6 +80,16 @@ class PonyClient {
   const std::string& app_name() const { return app_name_; }
   PonyEngine* engine() { return engine_; }
 
+  // --- QoS (src/qos/) ---
+  // Binds this client to a tenant: every submitted command carries the
+  // tenant id, and if the spec sets admission_rate_bytes_per_sec > 0 a
+  // token bucket gates Submit so an aggressor is backpressured at the app
+  // boundary (Submit returns 0, the same signal as a full command queue).
+  void SetTenant(const qos::TenantSpec& spec);
+  qos::TenantId tenant() const { return tenant_; }
+  // Submissions rejected by the admission bucket (not queue-full).
+  int64_t admission_throttled() const { return admission_throttled_; }
+
   // Upgrade support: shared memory (rings, regions) survives; only the
   // engine pointer is swapped (Section 4: "authenticated application
   // connections remain established").
@@ -118,6 +130,11 @@ class PonyClient {
   uint64_t next_op_ = 1;
   uint64_t next_region_ = 1;
   uint64_t next_stream_ = 1;
+  qos::TenantId tenant_ = qos::kDefaultTenant;
+  qos::TokenBucket admission_;
+  bool admission_limited_ = false;
+  bool admission_blocked_ = false;  // tracing edge state
+  int64_t admission_throttled_ = 0;
 };
 
 }  // namespace snap

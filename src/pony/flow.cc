@@ -200,6 +200,7 @@ PacketPtr Flow::MakePacket(const TxRecord& record, SimTime now,
   p->payload_bytes = record.payload_bytes;
   p->data = record.data;  // copy retained for retransmission
   p->wire_bytes = record.payload_bytes + params_->header_bytes;
+  p->tenant = tenant_;  // QoS bookkeeping tag, outside the CRC-covered header
   ack_pending_ = false;  // piggybacked
   unacked_rx_ = 0;
   first_unacked_rx_ = kSimTimeNever;
@@ -455,6 +456,7 @@ void Flow::Serialize(StateWriter* w) const {
   w->PutI64(key_.remote_host);
   w->PutU32(key_.remote_engine);
   w->PutU16(wire_version_);
+  w->PutU32(tenant_);
   w->PutU64(next_seq_);
   w->PutU64(last_ack_seen_);
   w->PutU64(rcv_nxt_);
@@ -511,6 +513,7 @@ Flow Flow::Deserialize(StateReader* r, int local_host, uint32_t local_engine,
   uint16_t wire_version = r->GetU16();
   Flow flow(key, local_host, local_engine, wire_version, timely_params,
             pony_params);
+  flow.tenant_ = r->GetU32();
   flow.next_seq_ = r->GetU64();
   flow.last_ack_seen_ = r->GetU64();
   flow.rcv_nxt_ = r->GetU64();

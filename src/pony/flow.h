@@ -76,6 +76,14 @@ class Flow {
   const FlowKey& key() const { return key_; }
   uint16_t wire_version() const { return wire_version_; }
 
+  // QoS tenant owning this flow (src/qos/tenant.h). Assigned by the engine
+  // from the creating command (or inherited from the first arriving tagged
+  // packet), stamped into every outgoing packet, and round-tripped through
+  // Serialize/Deserialize. Does not affect inert(): the tag changes who is
+  // charged, never whether work exists.
+  uint32_t tenant() const { return tenant_; }
+  void set_tenant(uint32_t tenant) { tenant_ = tenant; }
+
   // --- Transmit side ---
   // Message data (uses_credit) queues per stream and is serviced
   // round-robin so one large message cannot head-of-line block others
@@ -245,6 +253,7 @@ class Flow {
   int local_host_;
   uint32_t local_engine_;
   uint16_t wire_version_;
+  uint32_t tenant_ = 0;  // qos::kDefaultTenant
   const PonyParams* params_;
   TimelyController timely_;
 

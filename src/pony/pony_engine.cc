@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/packet/wire.h"
+#include "src/stats/telemetry.h"
 #include "src/util/logging.h"
 
 namespace snap {
@@ -119,14 +120,23 @@ Flow* PonyEngine::FindFlow(PonyAddress peer) {
 }
 
 Flow& PonyEngine::GetOrCreateFlow(PonyAddress peer,
-                                  uint16_t wire_version_hint) {
+                                  uint16_t wire_version_hint,
+                                  qos::TenantId tenant) {
   FlowKey key{peer.host, peer.engine_id};
   if (last_flow_ != nullptr && last_flow_->key() == key) {
+    if (tenant != qos::kDefaultTenant &&
+        last_flow_->tenant() == qos::kDefaultTenant) {
+      QosRetagFlow(last_flow_, tenant);
+    }
     return *last_flow_;
   }
   auto it = flows_.find(key);
   if (it != flows_.end()) {
     last_flow_ = &it->second;
+    if (tenant != qos::kDefaultTenant &&
+        it->second.tenant() == qos::kDefaultTenant) {
+      QosRetagFlow(&it->second, tenant);
+    }
     return it->second;
   }
   // Version negotiation over the out-of-band channel: highest version both
@@ -148,10 +158,52 @@ Flow& PonyEngine::GetOrCreateFlow(PonyAddress peer,
   auto [fit, inserted] = flows_.emplace(
       key, Flow(key, nic_->host_id(), engine_id_, version, timely_params_,
                 &params_));
+  fit->second.set_tenant(tenant);
   InstallAckObserver(&fit->second);
   RebuildFlowSeq();
+  QosAddFlow(&fit->second);
   last_flow_ = &fit->second;
   return fit->second;
+}
+
+void PonyEngine::EnableQos(const qos::TenantRegistry* tenants) {
+  if (qos_ != nullptr) {
+    return;
+  }
+  qos_ = std::make_unique<QosState>();
+  qos_->tenants = tenants;
+  if (tenants != nullptr) {
+    tenants->ForEach([this](const qos::TenantSpec& spec) {
+      qos_->drr.SetWeight(spec.id, spec.weight);
+    });
+  }
+  // Flows that predate the switch (e.g. deserialized state) keep their
+  // serialized tenant tags; bucket them now.
+  for (Flow* flow : flow_seq_) {
+    QosAddFlow(flow);
+  }
+}
+
+void PonyEngine::QosAddFlow(Flow* flow) {
+  if (qos_ == nullptr) {
+    return;
+  }
+  qos_->groups[flow->tenant()].flows.push_back(flow);
+}
+
+void PonyEngine::QosRetagFlow(Flow* flow, qos::TenantId tenant) {
+  qos::TenantId old_tenant = flow->tenant();
+  flow->set_tenant(tenant);
+  if (qos_ == nullptr || old_tenant == tenant) {
+    return;
+  }
+  TenantGroup& from = qos_->groups[old_tenant];
+  auto& flows = from.flows;
+  flows.erase(std::remove(flows.begin(), flows.end(), flow), flows.end());
+  if (from.cursor >= flows.size()) {
+    from.cursor = 0;
+  }
+  qos_->groups[tenant].flows.push_back(flow);
 }
 
 void PonyEngine::RebuildFlowSeq() {
@@ -242,8 +294,15 @@ Engine::PollResult PonyEngine::Poll(SimTime now, SimDuration budget_ns) {
   // 3. Deliveries that previously hit full client queues.
   RetryPendingDeliveries(&result.work_items);
 
-  // 4. Timers (RTO) and just-in-time packet generation.
-  TransmitFromFlows(now, budget_ns, &result.cpu_ns, &result.work_items);
+  // 4. Timers (RTO) and just-in-time packet generation: deficit-weighted
+  // round robin across per-tenant flow lists when QoS is on, flat
+  // round-robin over flow_seq_ otherwise.
+  if (qos_ != nullptr) {
+    TransmitFromFlowsQos(now, budget_ns, &result.cpu_ns,
+                         &result.work_items);
+  } else {
+    TransmitFromFlows(now, budget_ns, &result.cpu_ns, &result.work_items);
+  }
 
   // 5. Acks and credit grants for flows touched this pass.
   FlushAcksAndCredits(now, &result.cpu_ns, &result.work_items);
@@ -258,16 +317,18 @@ void PonyEngine::HandleRxPacket(PacketPtr packet, SimTime now,
                                 SimDuration* cost) {
   ++stats_.rx_packets;
   TracePacketPoint(sim_, *packet, "rx_engine");
+  SimDuration rx_cost;
   if (packet->pony.type == PonyPacketType::kAck ||
       packet->pony.type == PonyPacketType::kCredit) {
     // Header-only control packets take a short path through the engine.
-    *cost += 100 * kNsec;
+    rx_cost = 100 * kNsec;
   } else {
-    *cost += params_.per_packet_cost +
-             static_cast<SimDuration>(params_.proc_ns_per_byte *
-                                      static_cast<double>(
-                                          packet->payload_bytes));
+    rx_cost = params_.per_packet_cost +
+              static_cast<SimDuration>(params_.proc_ns_per_byte *
+                                       static_cast<double>(
+                                           packet->payload_bytes));
   }
+  *cost += rx_cost;
   // End-to-end CRC verification (offloaded on real NICs; Section 3.4).
   // Every packet built by a Flow carries a CRC over header + payload;
   // crc32 == 0 marks hand-built test packets that opted out.
@@ -283,7 +344,15 @@ void PonyEngine::HandleRxPacket(PacketPtr packet, SimTime now,
   }
   PonyAddress peer{packet->src_host,
                    static_cast<uint32_t>(packet->pony.flow_id >> 32)};
-  Flow& flow = GetOrCreateFlow(peer, packet->pony.version);
+  // RX-created flows inherit the arriving packet's tenant tag, so a
+  // server-side engine attributes its reverse flows correctly.
+  Flow& flow = GetOrCreateFlow(peer, packet->pony.version, packet->tenant);
+  if (qos_ != nullptr) {
+    TenantStats& tstats = qos_->groups[flow.tenant()].stats;
+    ++tstats.rx_packets;
+    tstats.rx_bytes += packet->wire_bytes;
+    tstats.cpu_ns += rx_cost;
+  }
   Flow::RxResult rx = flow.OnReceive(*packet, now);
   if (!rx.deliver) {
     return;
@@ -430,6 +499,11 @@ void PonyEngine::DeliverOrStall(Flow& flow, PonyIncomingMessage&& msg) {
     TraceMessagePoint(sim_, 'f', op_id, "deliver");
     ++stats_.messages_delivered;
     stats_.message_bytes_delivered += len;
+    if (qos_ != nullptr) {
+      TenantStats& tstats = qos_->groups[flow.tenant()].stats;
+      ++tstats.messages_delivered;
+      tstats.message_bytes_delivered += len;
+    }
     // Receiver-driven flow control: delivering into the application's
     // posted receive ring frees pool buffers; grant credit back. Large
     // (posted-buffer) messages never consumed pool credit.
@@ -600,7 +674,7 @@ void PonyEngine::HandleOpResponse(const Packet& packet, SimTime now,
 
 void PonyEngine::HandleCommand(PonyClient* client, PonyCommand cmd,
                                SimTime now, SimDuration* cost) {
-  Flow& flow = GetOrCreateFlow(cmd.peer, 0);
+  Flow& flow = GetOrCreateFlow(cmd.peer, 0, cmd.tenant);
   switch (cmd.type) {
     case PonyCommandType::kSendMessage: {
       TraceMessagePoint(sim_, 's', cmd.op_id, "app_enqueue");
@@ -747,6 +821,135 @@ bool PonyEngine::TransmitFromFlows(SimTime now, SimDuration budget,
   return sent_any;
 }
 
+bool PonyEngine::TransmitFromFlowsQos(SimTime now, SimDuration budget,
+                                      SimDuration* cost, int* work) {
+  if (flows_.empty()) {
+    return false;
+  }
+  // Timer checks run in the legacy visit order (flow key order) for every
+  // flow, so RTO-driven retransmits are queued independently of how the
+  // tenant schedule unfolds below.
+  for (Flow* flow : flow_seq_) {
+    if (!flow->inert()) {
+      flow->OnTimerCheck(now);
+    }
+  }
+  // Only tenants with sendable work participate in (and are replenished
+  // by) the DRR pass; an idle tenant banking credit would defeat
+  // isolation.
+  for (auto& [tenant, group] : qos_->groups) {
+    bool sendable = false;
+    for (Flow* flow : group.flows) {
+      if (!flow->inert() && flow->CanSend(now)) {
+        sendable = true;
+        break;
+      }
+    }
+    if (sendable) {
+      qos_->drr.Activate(tenant);
+    } else {
+      qos_->drr.Deactivate(tenant);
+    }
+  }
+  bool sent_any = false;
+  // Serves one packet per call: round-robin across the tenant's flows via
+  // the group cursor, deficit charged with the actual wire bytes.
+  auto serve = [&](qos::TenantId tenant) -> int64_t {
+    if (*cost >= budget || nic_->TxSlotsAvailable() <= 0) {
+      return -1;  // out of budget / TX slots: abort the pass
+    }
+    TenantGroup& group = qos_->groups[tenant];
+    size_t n = group.flows.size();
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = (group.cursor + i) % n;
+      Flow& flow = *group.flows[idx];
+      if (flow.inert()) {
+        continue;
+      }
+      PacketPtr p = flow.BuildNextPacket(now);
+      if (p == nullptr) {
+        continue;
+      }
+      group.cursor = (idx + 1) % n;
+      SimDuration pkt_cost =
+          params_.per_packet_cost +
+          static_cast<SimDuration>(params_.proc_ns_per_byte *
+                                   static_cast<double>(p->payload_bytes));
+      *cost += pkt_cost;
+      int64_t wire = p->wire_bytes;
+      ++stats_.tx_packets;
+      ++(*work);
+      sent_any = true;
+      ++group.stats.tx_packets;
+      group.stats.tx_bytes += wire;
+      group.stats.cpu_ns += pkt_cost;
+      TracePacketPoint(sim_, *p, "engine_tx");
+      nic_->Transmit(std::move(p));
+      return wire;
+    }
+    return 0;  // nothing sendable right now
+  };
+  qos_->drr.RunPass(serve);
+  return sent_any;
+}
+
+void PonyEngine::ForEachTenant(
+    const std::function<void(const TenantSnapshot&)>& fn) const {
+  if (qos_ == nullptr) {
+    return;
+  }
+  SimTime now = sim_->now();
+  for (const auto& [tenant, group] : qos_->groups) {
+    TenantSnapshot snap;
+    snap.id = tenant;
+    snap.deficit = qos_->drr.deficit(tenant);
+    snap.flows = group.flows.size();
+    snap.stats = group.stats;
+    for (const Flow* flow : group.flows) {
+      if (!flow->inert() && flow->CanSend(now)) {
+        snap.sendable = true;
+        break;
+      }
+    }
+    fn(snap);
+  }
+}
+
+void PonyEngine::ExportQosStats(Telemetry* telemetry,
+                                const std::string& prefix) const {
+  if (qos_ == nullptr) {
+    return;
+  }
+  for (const auto& [tenant, group] : qos_->groups) {
+    std::string tname = qos_->tenants != nullptr
+                            ? qos_->tenants->DisplayName(tenant)
+                            : "t" + std::to_string(tenant);
+    const std::string base = prefix + "/" + tname;
+    telemetry->SetCounter(base + "/engine_tx_packets",
+                          group.stats.tx_packets);
+    telemetry->SetCounter(base + "/engine_tx_bytes", group.stats.tx_bytes);
+    telemetry->SetCounter(base + "/engine_rx_packets",
+                          group.stats.rx_packets);
+    telemetry->SetCounter(base + "/engine_rx_bytes", group.stats.rx_bytes);
+    telemetry->SetCounter(base + "/messages_delivered",
+                          group.stats.messages_delivered);
+    telemetry->SetCounter(base + "/goodput_bytes",
+                          group.stats.message_bytes_delivered);
+    telemetry->SetCounter(base + "/engine_cpu_ns", group.stats.cpu_ns);
+  }
+}
+
+void PonyEngine::TraceQosAdmission(qos::TenantId tenant, bool blocked) {
+  TraceRecorder* tracer = sim_->tracer();
+  if (tracer == nullptr) {
+    return;
+  }
+  tracer->Instant(sim_->now(), TraceRecorder::kSchedTrack,
+                  blocked ? "qos_admission_block" : "qos_admission_unblock",
+                  "qos",
+                  TraceArgInt("tenant", static_cast<int64_t>(tenant)));
+}
+
 void PonyEngine::FlushAcksAndCredits(SimTime now, SimDuration* cost,
                                      int* work) {
   for (Flow* flow_ptr : flow_seq_) {
@@ -795,6 +998,14 @@ void PonyEngine::RetryPendingDeliveries(int* work) {
     stalled_messages_.erase(stalled_messages_.begin());
     ++stats_.messages_delivered;
     stats_.message_bytes_delivered += len;
+    if (qos_ != nullptr) {
+      Flow* src = FindFlow(from);
+      qos::TenantId tenant =
+          src != nullptr ? src->tenant() : qos::kDefaultTenant;
+      TenantStats& tstats = qos_->groups[tenant].stats;
+      ++tstats.messages_delivered;
+      tstats.message_bytes_delivered += len;
+    }
     if (len <= params_.credit_message_threshold) {
       Flow* flow = FindFlow(from);
       if (flow != nullptr) {
@@ -965,6 +1176,9 @@ void PonyEngine::DeserializeState(StateReader* r) {
                                   timely_params_, &params_);
     auto [it, inserted] = flows_.emplace(flow.key(), std::move(flow));
     InstallAckObserver(&it->second);
+    if (inserted) {
+      QosAddFlow(&it->second);  // tenant tag round-trips with the flow
+    }
   }
   RebuildFlowSeq();
   uint32_t n_streams = r->GetU32();

@@ -27,6 +27,8 @@
 #include "src/pony/flow.h"
 #include "src/pony/memory_region.h"
 #include "src/pony/pony_types.h"
+#include "src/qos/scheduler.h"
+#include "src/qos/tenant.h"
 #include "src/sim/model_params.h"
 #include "src/sim/simulator.h"
 #include "src/snap/engine.h"
@@ -34,6 +36,7 @@
 namespace snap {
 
 class PonyDirectory;
+class Telemetry;
 
 class PonyEngine : public Engine {
  public:
@@ -108,6 +111,46 @@ class PonyEngine : public Engine {
     }
   }
 
+  // --- Multi-tenant QoS (src/qos/) ---
+  // Switches flow servicing from flat round-robin over flow_seq_ to
+  // deficit-weighted round robin across per-tenant flow lists. Weights
+  // come from `tenants` (must outlive the engine). Default off; the
+  // legacy path is untouched and bit-identical.
+  void EnableQos(const qos::TenantRegistry* tenants);
+  bool qos_enabled() const { return qos_ != nullptr; }
+  const qos::TenantRegistry* tenant_registry() const {
+    return qos_ == nullptr ? nullptr : qos_->tenants;
+  }
+  const Nic* nic() const { return nic_; }
+
+  struct TenantStats {
+    int64_t tx_packets = 0;
+    int64_t tx_bytes = 0;
+    int64_t rx_packets = 0;
+    int64_t rx_bytes = 0;
+    int64_t messages_delivered = 0;
+    int64_t message_bytes_delivered = 0;
+    // Modeled engine CPU attributed to this tenant (TX packet generation
+    // + RX processing), the CPU-share half of the QoS telemetry.
+    int64_t cpu_ns = 0;
+  };
+  struct TenantSnapshot {
+    qos::TenantId id = qos::kDefaultTenant;
+    int64_t deficit = 0;      // current DRR deficit (may be negative debt)
+    bool sendable = false;    // some flow of this tenant could TX right now
+    size_t flows = 0;
+    TenantStats stats;
+  };
+  // Per-tenant scheduling state for invariant checkers / telemetry, in
+  // ascending tenant id. Empty unless QoS is enabled.
+  void ForEachTenant(const std::function<void(const TenantSnapshot&)>& fn)
+      const;
+  // Registers per-tenant counters under "<prefix>/<tenant-name>/...".
+  void ExportQosStats(Telemetry* telemetry, const std::string& prefix) const;
+  // Emits a trace instant for a client-side admission block/unblock edge
+  // (called by PonyClient when its token bucket starts/stops throttling).
+  void TraceQosAdmission(qos::TenantId tenant, bool blocked);
+
  private:
   struct PendingOp {
     uint64_t client_id = 0;
@@ -143,9 +186,16 @@ class PonyEngine : public Engine {
     PonyAddress peer;
   };
 
-  Flow& GetOrCreateFlow(PonyAddress peer, uint16_t wire_version_hint);
+  Flow& GetOrCreateFlow(PonyAddress peer, uint16_t wire_version_hint,
+                        qos::TenantId tenant = qos::kDefaultTenant);
   // Rebuilds flow_seq_ (key-ordered Flow pointers) after a flows_ insert.
   void RebuildFlowSeq();
+  // QoS bookkeeping: buckets a new flow under its tenant; retags a
+  // default-tenant flow the first time tagged traffic claims it.
+  void QosAddFlow(Flow* flow);
+  void QosRetagFlow(Flow* flow, qos::TenantId tenant);
+  bool TransmitFromFlowsQos(SimTime now, SimDuration budget,
+                            SimDuration* cost, int* work);
   void InstallAckObserver(Flow* flow);
   void OnFragmentAcked(const TxRecord& record);
   void HandleRxPacket(PacketPtr packet, SimTime now, SimDuration* cost);
@@ -221,6 +271,21 @@ class PonyEngine : public Engine {
   EventHandle wake_timer_;
   size_t flow_cursor_ = 0;
   Stats stats_;
+
+  // QoS state (null when disabled). Flows are bucketed per tenant; the DRR
+  // scheduler picks the tenant to serve and each tenant group keeps its own
+  // round-robin cursor over its flow list.
+  struct TenantGroup {
+    std::vector<Flow*> flows;
+    size_t cursor = 0;
+    TenantStats stats;
+  };
+  struct QosState {
+    const qos::TenantRegistry* tenants = nullptr;
+    qos::DrrScheduler drr;
+    std::map<qos::TenantId, TenantGroup> groups;
+  };
+  std::unique_ptr<QosState> qos_;
 };
 
 // Directory of Pony engines on the fabric: models the out-of-band TCP

@@ -51,6 +51,7 @@ struct PonyCommand {
   uint16_t batch = 1;         // kIndirectRead: number of indirections
   uint64_t scan_match = 0;    // kScanAndRead: value to match
   SimTime submit_time = 0;
+  uint32_t tenant = 0;        // qos::TenantId of the submitting client
 };
 
 enum class PonyOpStatus : uint16_t {

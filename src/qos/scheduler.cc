@@ -1,0 +1,160 @@
+#include "src/qos/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace snap::qos {
+
+void DrrScheduler::SetWeight(TenantId id, uint32_t weight) {
+  tenants_[id].weight = weight < 1 ? 1 : weight;
+}
+
+uint32_t DrrScheduler::weight(TenantId id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? 1 : it->second.weight;
+}
+
+void DrrScheduler::Activate(TenantId id) {
+  tenants_.try_emplace(id);  // default weight 1, zero deficit
+  active_.insert(id);
+}
+
+void DrrScheduler::Deactivate(TenantId id) {
+  if (active_.erase(id) == 0) {
+    return;
+  }
+  // An idle tenant must not bank credit (that would let it burst far past
+  // its share later); debt from an overdrawn final packet still carries.
+  State& state = tenants_[id];
+  state.deficit = std::min<int64_t>(state.deficit, 0);
+}
+
+int64_t DrrScheduler::deficit(TenantId id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? 0 : it->second.deficit;
+}
+
+int64_t DrrScheduler::RunPass(const std::function<int64_t(TenantId)>& serve) {
+  if (active_.empty()) {
+    return 0;
+  }
+  // Snapshot the visit order up front (ascending ids from the cursor,
+  // wrapping once) so serve() callbacks may activate/deactivate tenants
+  // without perturbing this pass.
+  std::vector<TenantId> order;
+  order.reserve(active_.size());
+  auto it = active_.lower_bound(cursor_);
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (it == active_.end()) {
+      it = active_.begin();
+    }
+    order.push_back(*it);
+    ++it;
+  }
+  int64_t total = 0;
+  for (TenantId id : order) {
+    if (active_.count(id) == 0) {
+      continue;  // deactivated mid-pass by a serve() callback
+    }
+    State& state = tenants_[id];
+    state.deficit +=
+        static_cast<int64_t>(state.weight) * options_.quantum_bytes;
+    while (state.deficit > 0) {
+      int64_t bytes = serve(id);
+      if (bytes < 0) {
+        // External budget exhausted: keep every deficit (including this
+        // tenant's fresh replenish) and resume here next pass.
+        cursor_ = id;
+        return total;
+      }
+      if (bytes == 0) {
+        // Nothing sendable: forfeit the surplus, carry any debt.
+        state.deficit = std::min<int64_t>(state.deficit, 0);
+        break;
+      }
+      state.deficit -= bytes;
+      total += bytes;
+    }
+  }
+  // Completed pass: start the next one just after this pass's first stop.
+  cursor_ = order.front() + 1;
+  return total;
+}
+
+void WfqScheduler::SetWeight(TenantId id, uint32_t weight) {
+  queues_[id].weight = weight < 1 ? 1 : weight;
+}
+
+uint32_t WfqScheduler::weight(TenantId id) const {
+  auto it = queues_.find(id);
+  return it == queues_.end() ? 1 : it->second.weight;
+}
+
+void WfqScheduler::Enqueue(TenantId id, PacketPtr packet) {
+  SNAP_CHECK(packet != nullptr);
+  TenantQueue& queue = queues_[id];
+  Entry entry;
+  entry.start_tag = std::max(virtual_time_, queue.last_finish);
+  entry.finish_tag =
+      entry.start_tag + packet->wire_bytes * kWeightScale /
+                            static_cast<int64_t>(queue.weight);
+  queue.last_finish = entry.finish_tag;
+  queued_bytes_ += packet->wire_bytes;
+  entry.packet = std::move(packet);
+  queue.fifo.push_back(std::move(entry));
+  ++size_;
+}
+
+std::map<TenantId, WfqScheduler::TenantQueue>::iterator
+WfqScheduler::MinQueue() {
+  auto best = queues_.end();
+  for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+    if (it->second.fifo.empty()) {
+      continue;
+    }
+    if (best == queues_.end() ||
+        it->second.fifo.front().finish_tag <
+            best->second.fifo.front().finish_tag) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+PacketPtr WfqScheduler::Dequeue() {
+  auto it = MinQueue();
+  if (it == queues_.end()) {
+    return nullptr;
+  }
+  Entry entry = std::move(it->second.fifo.front());
+  it->second.fifo.pop_front();
+  --size_;
+  queued_bytes_ -= entry.packet->wire_bytes;
+  virtual_time_ = std::max(virtual_time_, entry.start_tag);
+  if (size_ == 0) {
+    // Fully drained: reset tags so long-idle tenants do not inherit stale
+    // (and ever-growing) virtual-time state.
+    virtual_time_ = 0;
+    queued_bytes_ = 0;
+    for (auto& [id, queue] : queues_) {
+      queue.last_finish = 0;
+    }
+  }
+  return std::move(entry.packet);
+}
+
+TenantId WfqScheduler::HeadTenant() const {
+  auto best = const_cast<WfqScheduler*>(this)->MinQueue();
+  SNAP_CHECK(best != queues_.end()) << "HeadTenant on empty WfqScheduler";
+  return best->first;
+}
+
+size_t WfqScheduler::queued(TenantId id) const {
+  auto it = queues_.find(id);
+  return it == queues_.end() ? 0 : it->second.fifo.size();
+}
+
+}  // namespace snap::qos

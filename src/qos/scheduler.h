@@ -1,0 +1,143 @@
+// Deterministic weighted-fair scheduler cores for multi-tenant QoS.
+//
+// DrrScheduler: deficit-weighted round robin over the set of active
+// tenants. PonyEngine::Poll uses it to pick which tenant's flow list to
+// service next, replacing flat flow_seq_ iteration when QoS is enabled.
+//
+// WfqScheduler: start-time fair queuing (SFQ) over per-tenant packet
+// FIFOs. The Nic TX path uses it to drain per-tenant queues in weighted
+// order when QoS is enabled.
+//
+// Both are plain data structures with no clocks or RNG: given the same
+// call sequence they make the same decisions, so enabling QoS keeps the
+// simulation bit-identical across reruns. Ties break toward the lower
+// tenant id. Arithmetic is integer-only.
+#ifndef SRC_QOS_SCHEDULER_H_
+#define SRC_QOS_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/packet/packet.h"
+#include "src/qos/tenant.h"
+
+namespace snap::qos {
+
+// Deficit round robin with per-tenant weights (DRR, Shreedhar &
+// Varghese). Each pass visits every active tenant once in ascending id
+// order starting from a rotating cursor; a visit replenishes the tenant's
+// deficit by weight * quantum and then serves packets while the deficit
+// stays positive. Deficits persist across passes: a tenant that
+// overdraws (packets are indivisible) carries debt, and a pass aborted by
+// an external budget resumes at the same tenant with its deficit intact —
+// the "byte-deficit carryover" that makes long-run service proportional
+// to weight.
+class DrrScheduler {
+ public:
+  struct Options {
+    // Bytes added per unit weight at each visit. Should be at least one
+    // MTU so a weight-1 tenant can always send a full packet per pass.
+    int64_t quantum_bytes = 32 * 1024;
+  };
+
+  DrrScheduler() = default;
+  explicit DrrScheduler(Options options) : options_(options) {}
+
+  // Weight used at the next replenish; unknown tenants default to 1.
+  void SetWeight(TenantId id, uint32_t weight);
+  uint32_t weight(TenantId id) const;
+
+  // Active tenants are the ones with sendable work; only they are visited
+  // (and replenished) by RunPass. Activation state is orthogonal to the
+  // deficit, which persists across deactivate/activate.
+  void Activate(TenantId id);
+  void Deactivate(TenantId id);
+  bool active(TenantId id) const { return active_.count(id) != 0; }
+  size_t active_count() const { return active_.size(); }
+
+  int64_t deficit(TenantId id) const;
+  int64_t quantum_bytes() const { return options_.quantum_bytes; }
+
+  // Runs one DRR pass. `serve` is called repeatedly for the tenant under
+  // the cursor and returns:
+  //   > 0  bytes just sent on behalf of the tenant (charged to its
+  //        deficit; called again while the deficit stays positive),
+  //   0    the tenant has nothing sendable right now — its unspent
+  //        surplus is forfeited (classic DRR resets an emptied queue)
+  //        but accumulated debt still carries; the pass moves on,
+  //   < 0  abort the pass (caller ran out of CPU budget or TX slots);
+  //        all deficits are preserved and the next pass resumes at the
+  //        aborted tenant.
+  // Returns total bytes served this pass.
+  int64_t RunPass(const std::function<int64_t(TenantId)>& serve);
+
+ private:
+  struct State {
+    uint32_t weight = 1;
+    int64_t deficit = 0;
+  };
+
+  Options options_;
+  std::map<TenantId, State> tenants_;
+  std::set<TenantId> active_;
+  // First tenant id to consider next pass (lower_bound into active_).
+  TenantId cursor_ = 0;
+};
+
+// Start-time fair queuing over per-tenant FIFOs. Every enqueued packet
+// gets a start tag max(virtual_time, tenant's last finish tag) and a
+// finish tag start + wire_bytes * kWeightScale / weight; Dequeue returns
+// the packet with the minimum finish tag (ties -> lower tenant id) and
+// advances virtual time to that packet's start tag. When the scheduler
+// drains completely all tags reset to zero, keeping values small and the
+// state independent of ancient history.
+class WfqScheduler {
+ public:
+  // Fixed-point scale for finish-tag arithmetic: tags advance by
+  // bytes * kWeightScale / weight, so weight w tenants age 1/w as fast.
+  static constexpr int64_t kWeightScale = 1 << 16;
+
+  void SetWeight(TenantId id, uint32_t weight);
+  uint32_t weight(TenantId id) const;
+
+  void Enqueue(TenantId id, PacketPtr packet);
+  // Removes and returns the packet with the minimum finish tag; nullptr
+  // when empty.
+  PacketPtr Dequeue();
+  // Tenant Dequeue would serve next (meaningful only when !empty()).
+  TenantId HeadTenant() const;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t queued(TenantId id) const;
+  int64_t queued_bytes() const { return queued_bytes_; }
+  int64_t virtual_time() const { return virtual_time_; }
+
+ private:
+  struct Entry {
+    PacketPtr packet;
+    int64_t start_tag = 0;
+    int64_t finish_tag = 0;
+  };
+  struct TenantQueue {
+    uint32_t weight = 1;
+    int64_t last_finish = 0;
+    std::deque<Entry> fifo;
+  };
+
+  // The non-empty queue with the minimum head finish tag (ascending-id
+  // map scan, so ties resolve to the lower tenant id).
+  std::map<TenantId, TenantQueue>::iterator MinQueue();
+
+  std::map<TenantId, TenantQueue> queues_;
+  int64_t virtual_time_ = 0;
+  size_t size_ = 0;
+  int64_t queued_bytes_ = 0;
+};
+
+}  // namespace snap::qos
+
+#endif  // SRC_QOS_SCHEDULER_H_

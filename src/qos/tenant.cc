@@ -1,0 +1,62 @@
+#include "src/qos/tenant.h"
+
+#include <utility>
+
+namespace snap::qos {
+
+const char* TenantPriorityName(TenantPriority priority) {
+  switch (priority) {
+    case TenantPriority::kLatencySensitive:
+      return "latency_sensitive";
+    case TenantPriority::kNormal:
+      return "normal";
+    case TenantPriority::kScavenger:
+      return "scavenger";
+  }
+  return "unknown";
+}
+
+TenantRegistry::TenantRegistry() {
+  TenantSpec def;
+  def.id = kDefaultTenant;
+  def.name = "default";
+  specs_[def.id] = std::move(def);
+}
+
+const TenantSpec& TenantRegistry::Register(TenantSpec spec) {
+  if (spec.weight < 1) {
+    spec.weight = 1;
+  }
+  TenantId id = spec.id;
+  specs_[id] = std::move(spec);
+  return specs_[id];
+}
+
+const TenantSpec* TenantRegistry::Find(TenantId id) const {
+  auto it = specs_.find(id);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+uint32_t TenantRegistry::weight(TenantId id) const {
+  const TenantSpec* spec = Find(id);
+  return spec == nullptr ? 1 : spec->weight;
+}
+
+std::string TenantRegistry::DisplayName(TenantId id) const {
+  const TenantSpec* spec = Find(id);
+  if (spec != nullptr && !spec->name.empty()) {
+    return spec->name;
+  }
+  std::string fallback = "t";
+  fallback += std::to_string(id);
+  return fallback;
+}
+
+void TenantRegistry::ForEach(
+    const std::function<void(const TenantSpec&)>& fn) const {
+  for (const auto& [id, spec] : specs_) {
+    fn(spec);
+  }
+}
+
+}  // namespace snap::qos

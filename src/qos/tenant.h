@@ -1,0 +1,77 @@
+// Multi-tenant QoS: tenant identity and the registry of per-tenant policy
+// (weight, priority class, admission rate limit).
+//
+// A tenant models one application sharing a Snap host (paper Section 2:
+// many clients of one engine; Figure 2's "shaping" policy concern). Tenant
+// ids ride on PonyCommand, Flow and Packet as plain integers; tenant 0 is
+// the implicit default so untagged traffic behaves exactly as before QoS
+// existed. All containers iterate in ascending tenant id so every consumer
+// (DRR, WFQ, telemetry, invariant checks) is deterministic.
+#ifndef SRC_QOS_TENANT_H_
+#define SRC_QOS_TENANT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace snap::qos {
+
+using TenantId = uint32_t;
+
+// Untagged traffic. Always registered, weight 1, no rate limit.
+inline constexpr TenantId kDefaultTenant = 0;
+
+// Priority class, coarser than weights: latency-sensitive tenants sort
+// ahead of normal ones at equal finish tags, scavengers behind. (The
+// schedulers today use it only as a documented tie-break input; weights do
+// the heavy lifting.)
+enum class TenantPriority : uint8_t {
+  kLatencySensitive = 0,
+  kNormal = 1,
+  kScavenger = 2,
+};
+
+const char* TenantPriorityName(TenantPriority priority);
+
+struct TenantSpec {
+  TenantId id = kDefaultTenant;
+  std::string name = "default";
+  // Relative share for DRR (engine) and WFQ (NIC TX). Must be >= 1.
+  uint32_t weight = 1;
+  TenantPriority priority = TenantPriority::kNormal;
+  // Client-side admission token bucket (bytes/sec); <= 0 means no limit.
+  // Enforced in PonyClient::Submit so an aggressor is backpressured at the
+  // app boundary rather than inside the engine.
+  double admission_rate_bytes_per_sec = 0;
+  int64_t admission_burst_bytes = 256 * 1024;
+};
+
+// Registry of tenant specs shared by engines, NICs and clients. Built once
+// at scenario setup and treated as immutable while the simulation runs, so
+// raw pointers to it are safe to hand out.
+class TenantRegistry {
+ public:
+  // Tenant 0 ("default", weight 1, unlimited) is always present.
+  TenantRegistry();
+
+  // Adds or replaces a tenant. Weight is clamped to >= 1.
+  const TenantSpec& Register(TenantSpec spec);
+
+  const TenantSpec* Find(TenantId id) const;
+  // Weight for scheduling; unknown tenants get weight 1.
+  uint32_t weight(TenantId id) const;
+  // Display name; unknown tenants render as "t<id>".
+  std::string DisplayName(TenantId id) const;
+  size_t size() const { return specs_.size(); }
+
+  // Ascending tenant id.
+  void ForEach(const std::function<void(const TenantSpec&)>& fn) const;
+
+ private:
+  std::map<TenantId, TenantSpec> specs_;
+};
+
+}  // namespace snap::qos
+
+#endif  // SRC_QOS_TENANT_H_

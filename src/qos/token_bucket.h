@@ -1,0 +1,91 @@
+// Token-bucket rate limiting, shared by the ShapingEngine's
+// RateLimiterElement (src/snap/elements.h) and per-tenant client-side
+// admission (PonyClient::Submit). One implementation, one set of tests;
+// the arithmetic is the historical RateLimiterElement math verbatim so
+// shaping traces are unchanged by the dedupe.
+#ifndef SRC_QOS_TOKEN_BUCKET_H_
+#define SRC_QOS_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "src/util/time_types.h"
+
+namespace snap::qos {
+
+class TokenBucket {
+ public:
+  // Default-constructed buckets are unlimited (every TryConsume succeeds).
+  TokenBucket() = default;
+  // rate <= 0 also means unlimited. The bucket starts full.
+  TokenBucket(double rate_bytes_per_sec, int64_t burst_bytes)
+      : rate_(rate_bytes_per_sec),
+        burst_(burst_bytes),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  bool unlimited() const { return rate_ <= 0; }
+  double rate_bytes_per_sec() const { return rate_; }
+  int64_t burst_bytes() const { return burst_; }
+  double tokens() const { return tokens_; }
+
+  // Accrues tokens for the time since the last refill, capped at burst.
+  void Refill(SimTime now) {
+    if (unlimited() || now <= last_refill_) {
+      return;
+    }
+    double accrued = tokens_ + rate_ * ToSec(now - last_refill_);
+    double cap = static_cast<double>(burst_);
+    tokens_ = accrued < cap ? accrued : cap;
+    last_refill_ = now;
+  }
+
+  // Refills, then consumes `bytes` tokens if available.
+  bool TryConsume(SimTime now, double bytes) {
+    if (unlimited()) {
+      return true;
+    }
+    Refill(now);
+    if (tokens_ < bytes) {
+      return false;
+    }
+    tokens_ -= bytes;
+    return true;
+  }
+
+  // Peeks whether `bytes` tokens are available after refilling.
+  bool CanConsume(SimTime now, double bytes) {
+    if (unlimited()) {
+      return true;
+    }
+    Refill(now);
+    return tokens_ >= bytes;
+  }
+
+  // Returns unused tokens (e.g. a consume whose packet was then dropped).
+  void Refund(double bytes) {
+    if (unlimited()) {
+      return;
+    }
+    double cap = static_cast<double>(burst_);
+    tokens_ = tokens_ + bytes < cap ? tokens_ + bytes : cap;
+  }
+
+  // Earliest time `bytes` tokens will be available, extrapolating from the
+  // last refill. Returns the last refill time when already available.
+  SimTime AvailableAt(double bytes) const {
+    if (unlimited() || tokens_ >= bytes) {
+      return last_refill_;
+    }
+    double wait_sec = (bytes - tokens_) / rate_;
+    return last_refill_ + static_cast<SimDuration>(wait_sec * 1e9);
+  }
+
+ private:
+  double rate_ = 0;  // bytes per second; <= 0 disables limiting
+  int64_t burst_ = 0;
+  double tokens_ = 0;
+  SimTime last_refill_ = 0;
+};
+
+}  // namespace snap::qos
+
+#endif  // SRC_QOS_TOKEN_BUCKET_H_

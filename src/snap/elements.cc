@@ -38,25 +38,16 @@ RateLimiterElement::RateLimiterElement(std::string name,
                                        int64_t burst_bytes,
                                        size_t max_queue_packets)
     : Element(std::move(name)),
-      rate_(rate_bytes_per_sec),
-      burst_(burst_bytes),
-      max_queue_(max_queue_packets),
-      tokens_(static_cast<double>(burst_bytes)) {}
-
-void RateLimiterElement::Refill(SimTime now) {
-  if (now <= last_refill_) {
-    return;
-  }
-  tokens_ = std::min(static_cast<double>(burst_),
-                     tokens_ + rate_ * ToSec(now - last_refill_));
-  last_refill_ = now;
-}
+      bucket_(rate_bytes_per_sec, burst_bytes),
+      max_queue_(max_queue_packets) {}
 
 ElementVerdict RateLimiterElement::Process(SimTime now, PacketPtr& packet) {
-  Refill(now);
+  // Refill up front (not lazily inside TryConsume) so last_refill_ — the
+  // anchor NextReleaseTime extrapolates from — advances even when the
+  // packet only joins the queue.
+  bucket_.Refill(now);
   double need = static_cast<double>(packet->wire_bytes);
-  if (queue_.empty() && tokens_ >= need) {
-    tokens_ -= need;
+  if (queue_.empty() && bucket_.TryConsume(now, need)) {
     return ElementVerdict::kPass;
   }
   if (queue_.size() >= max_queue_) {
@@ -70,14 +61,13 @@ ElementVerdict RateLimiterElement::Process(SimTime now, PacketPtr& packet) {
 
 int RateLimiterElement::Release(SimTime now,
                                 const std::function<void(PacketPtr)>& out) {
-  Refill(now);
+  bucket_.Refill(now);
   int released = 0;
   while (!queue_.empty()) {
     double need = static_cast<double>(queue_.front().packet->wire_bytes);
-    if (tokens_ < need) {
+    if (!bucket_.TryConsume(now, need)) {
       break;
     }
-    tokens_ -= need;
     out(std::move(queue_.front().packet));
     queue_.pop_front();
     ++released;
@@ -90,11 +80,7 @@ SimTime RateLimiterElement::NextReleaseTime() const {
     return kSimTimeNever;
   }
   double need = static_cast<double>(queue_.front().packet->wire_bytes);
-  if (tokens_ >= need) {
-    return last_refill_;
-  }
-  double wait_sec = (need - tokens_) / rate_;
-  return last_refill_ + static_cast<SimDuration>(wait_sec * 1e9);
+  return bucket_.AvailableAt(need);
 }
 
 ElementVerdict CrcCheckElement::Process(SimTime now, PacketPtr& packet) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/packet/packet.h"
+#include "src/qos/token_bucket.h"
 #include "src/util/time_types.h"
 
 namespace snap {
@@ -114,7 +115,8 @@ class AclElement : public Element {
 
 // Token-bucket rate limiter ("shaping" for bandwidth enforcement). Packets
 // over the rate are queued and released as tokens refill; queue overflow
-// drops.
+// drops. The bucket arithmetic lives in qos::TokenBucket, shared with the
+// per-tenant admission control in PonyClient.
 class RateLimiterElement : public Element {
  public:
   RateLimiterElement(std::string name, double rate_bytes_per_sec,
@@ -136,13 +138,8 @@ class RateLimiterElement : public Element {
   }
 
  private:
-  void Refill(SimTime now);
-
-  double rate_;  // bytes per second
-  int64_t burst_;
+  qos::TokenBucket bucket_;
   size_t max_queue_;
-  double tokens_;
-  SimTime last_refill_ = 0;
   struct Queued {
     PacketPtr packet;
     SimTime arrival;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/stats/telemetry.h"
+
 namespace snap {
 
 ShapingEngine::ShapingEngine(std::string name, Simulator* sim, Nic* nic,
@@ -26,11 +28,21 @@ ShapingEngine::ShapingEngine(std::string name, Simulator* sim, Nic* nic,
 
 bool ShapingEngine::Inject(PacketPtr packet) {
   packet->enqueue_time = 0;  // stamped by the NIC on transmit
+  if (options_.tenant_classifier) {
+    packet->tenant = options_.tenant_classifier(*packet);
+  }
+  qos::TenantId tenant = packet->tenant;
+  int64_t wire_bytes = packet->wire_bytes;
   if (!input_.TryPush(std::move(packet))) {
     ++stats_.input_drops;
     return false;
   }
   ++stats_.injected;
+  if (options_.tenant_classifier) {
+    TenantShapeStats& tstats = tenant_stats_[tenant];
+    ++tstats.injected;
+    tstats.injected_bytes += wire_bytes;
+  }
   NotifyWork();
   return true;
 }
@@ -38,9 +50,12 @@ bool ShapingEngine::Inject(PacketPtr packet) {
 Engine::PollResult ShapingEngine::Poll(SimTime now, SimDuration budget_ns) {
   PollResult result;
   // Release any packets the shaper has accumulated tokens for.
-  int released = shaper_->Release(now, [this, &result](PacketPtr p) {
+  int released = shaper_->Release(now, [this](PacketPtr p) {
+    qos::TenantId tenant = p->tenant;
+    int64_t wire_bytes = p->wire_bytes;
     if (nic_->Transmit(std::move(p))) {
       ++stats_.transmitted;
+      RecordTenantTx(tenant, wire_bytes);
     }
   });
   if (released > 0) {
@@ -59,8 +74,11 @@ Engine::PollResult ShapingEngine::Poll(SimTime now, SimDuration budget_ns) {
     Pipeline::RunResult run = pipeline_.Run(now, packet);
     result.cpu_ns += run.cpu_ns;
     if (run.verdict == ElementVerdict::kPass) {
+      qos::TenantId tenant = packet->tenant;
+      int64_t wire_bytes = packet->wire_bytes;
       if (nic_->Transmit(std::move(packet))) {
         ++stats_.transmitted;
+        RecordTenantTx(tenant, wire_bytes);
       }
     }
     // kDrop / kConsume: the pipeline took care of the packet.
@@ -75,6 +93,31 @@ Engine::PollResult ShapingEngine::Poll(SimTime now, SimDuration budget_ns) {
                                    [self] { self->NotifyWork(); });
   }
   return result;
+}
+
+void ShapingEngine::RecordTenantTx(qos::TenantId tenant, int64_t wire_bytes) {
+  if (!options_.tenant_classifier) {
+    return;  // untagged mode: keep the map empty (and iteration costs zero)
+  }
+  TenantShapeStats& tstats = tenant_stats_[tenant];
+  ++tstats.transmitted;
+  tstats.transmitted_bytes += wire_bytes;
+}
+
+void ShapingEngine::ExportQosStats(Telemetry* telemetry,
+                                   const std::string& prefix) const {
+  for (const auto& [tenant, tstats] : tenant_stats_) {
+    std::string name = options_.tenants != nullptr
+                           ? options_.tenants->DisplayName(tenant)
+                           : "t" + std::to_string(tenant);
+    const std::string base = prefix + "/" + name;
+    telemetry->SetCounter(base + "/shaper_injected", tstats.injected);
+    telemetry->SetCounter(base + "/shaper_injected_bytes",
+                          tstats.injected_bytes);
+    telemetry->SetCounter(base + "/shaper_transmitted", tstats.transmitted);
+    telemetry->SetCounter(base + "/shaper_transmitted_bytes",
+                          tstats.transmitted_bytes);
+  }
 }
 
 bool ShapingEngine::HasWork(SimTime now) const {

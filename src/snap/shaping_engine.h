@@ -8,16 +8,21 @@
 #ifndef SRC_SNAP_SHAPING_ENGINE_H_
 #define SRC_SNAP_SHAPING_ENGINE_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "src/net/nic.h"
+#include "src/qos/tenant.h"
 #include "src/queue/spsc_ring.h"
 #include "src/sim/simulator.h"
 #include "src/snap/elements.h"
 #include "src/snap/engine.h"
 
 namespace snap {
+
+class Telemetry;
 
 class ShapingEngine : public Engine {
  public:
@@ -28,6 +33,12 @@ class ShapingEngine : public Engine {
     size_t input_ring_entries = 1024;
     int batch = 16;
     SimDuration per_packet_cost = 150 * kNsec;
+    // QoS: classifies injected packets into tenants (src/qos/tenant.h);
+    // the tag rides the packet through the NIC's per-tenant WFQ when
+    // Nic::EnableQosTx is on. Null = everything stays on tenant 0.
+    std::function<qos::TenantId(const Packet&)> tenant_classifier;
+    // Optional, for display names in exported telemetry.
+    const qos::TenantRegistry* tenants = nullptr;
   };
 
   ShapingEngine(std::string name, Simulator* sim, Nic* nic,
@@ -51,7 +62,22 @@ class ShapingEngine : public Engine {
   };
   const Stats& stats() const { return stats_; }
 
+  // Per-tenant shaping counters (populated only when a classifier is set).
+  struct TenantShapeStats {
+    int64_t injected = 0;
+    int64_t injected_bytes = 0;
+    int64_t transmitted = 0;
+    int64_t transmitted_bytes = 0;
+  };
+  const std::map<qos::TenantId, TenantShapeStats>& tenant_stats() const {
+    return tenant_stats_;
+  }
+  // Emits qos counters as `<prefix>/<tenant>/shaper_*`.
+  void ExportQosStats(Telemetry* telemetry, const std::string& prefix) const;
+
  private:
+  void RecordTenantTx(qos::TenantId tenant, int64_t wire_bytes);
+
   Simulator* sim_;
   Nic* nic_;
   Options options_;
@@ -64,6 +90,7 @@ class ShapingEngine : public Engine {
   RateLimiterElement* shaper_;
   SimTime oldest_input_ = kSimTimeNever;
   Stats stats_;
+  std::map<qos::TenantId, TenantShapeStats> tenant_stats_;
 };
 
 }  // namespace snap

@@ -107,6 +107,43 @@ std::string Telemetry::DumpDashboard() const {
       out += line;
     }
   }
+  // Per-tenant QoS rollup: counters exported as qos/tenant/<name>/<metric>
+  // (PonyEngine/Nic/ShapingEngine ExportQosStats) pivot into one row per
+  // tenant. The raw counters also appear above; this is the summary view.
+  constexpr char kQosPrefix[] = "qos/tenant/";
+  constexpr size_t kQosPrefixLen = sizeof(kQosPrefix) - 1;
+  std::map<std::string, std::map<std::string, int64_t>> tenants;
+  for (const auto& [name, counter] : counters_) {
+    if (name.compare(0, kQosPrefixLen, kQosPrefix) != 0) {
+      continue;
+    }
+    std::string rest = name.substr(kQosPrefixLen);
+    size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+      continue;
+    }
+    tenants[rest.substr(0, slash)][rest.substr(slash + 1)] = counter.value();
+  }
+  if (!tenants.empty()) {
+    out += "-- qos tenants --\n";
+    std::snprintf(line, sizeof(line), "%-16s %10s %10s %14s %14s %12s\n",
+                  "tenant", "tx_pkts", "rx_pkts", "goodput_B", "cpu_ns",
+                  "nicq_ns");
+    out += line;
+    for (const auto& [tenant, metrics] : tenants) {
+      auto metric = [&metrics](const char* key) -> long long {
+        auto it = metrics.find(key);
+        return it == metrics.end() ? 0 : static_cast<long long>(it->second);
+      };
+      std::snprintf(line, sizeof(line),
+                    "%-16s %10lld %10lld %14lld %14lld %12lld\n",
+                    tenant.c_str(), metric("engine_tx_packets"),
+                    metric("engine_rx_packets"), metric("goodput_bytes"),
+                    metric("engine_cpu_ns"),
+                    metric("nic_queue_delay_mean_ns"));
+      out += line;
+    }
+  }
   return out;
 }
 

@@ -88,6 +88,7 @@ void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
   double loss = bad_state_ ? profile_.loss_bad : profile_.loss_good;
   if (loss > 0 && rng_.NextBernoulli(loss)) {
     ++stats_.dropped;
+    ++tenant_stats_[packet->tenant].dropped;
     ChaosInstant(sim_, wire_time, "chaos_drop");
     return;
   }
@@ -98,6 +99,7 @@ void ChaosLink::Process(PacketPtr packet, SimTime wire_time) {
   if (profile_.duplicate_probability > 0 &&
       rng_.NextBernoulli(profile_.duplicate_probability)) {
     ++stats_.duplicated;
+    ++tenant_stats_[packet->tenant].duplicated;
     ChaosInstant(sim_, wire_time, "chaos_duplicate");
     auto clone = std::make_unique<Packet>(*packet);
     Packet* raw = clone.release();
@@ -178,6 +180,14 @@ void ChaosLink::ReleaseHeld(int64_t id, bool timed_out) {
   }
   ++stats_.forwarded;
   deliver_(std::move(packet), sim_->now());
+}
+
+std::map<uint32_t, int64_t> ChaosLink::HeldNowByTenant() const {
+  std::map<uint32_t, int64_t> held;
+  for (const auto& [id, h] : held_) {
+    ++held[h.packet->tenant];
+  }
+  return held;
 }
 
 void ChaosLink::FlushHeld() {

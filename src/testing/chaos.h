@@ -105,6 +105,19 @@ class ChaosLink {
   int64_t held_now() const { return static_cast<int64_t>(held_.size()); }
   const ChaosProfile& profile() const { return profile_; }
 
+  // Per-tenant fault attribution (keyed by Packet::tenant), for the
+  // per-tenant packet-conservation invariant. Always maintained; untagged
+  // traffic all lands on tenant 0.
+  struct TenantChaosStats {
+    int64_t dropped = 0;
+    int64_t duplicated = 0;
+  };
+  const std::map<uint32_t, TenantChaosStats>& tenant_stats() const {
+    return tenant_stats_;
+  }
+  // Packets currently held for reordering, by tenant.
+  std::map<uint32_t, int64_t> HeldNowByTenant() const;
+
  private:
   struct Held {
     PacketPtr packet;
@@ -128,6 +141,7 @@ class ChaosLink {
   std::map<int64_t, Held> held_;
   int64_t next_held_id_ = 0;
   Stats stats_;
+  std::map<uint32_t, TenantChaosStats> tenant_stats_;
 };
 
 }  // namespace snap

@@ -107,6 +107,9 @@ void InvariantChecker::AttachFabric(Fabric* fabric) {
   for (int h = 0; h < fabric->num_hosts(); ++h) {
     fabric->nic(h)->SetRxTap(
         [this, h](const Packet& p) { RecordTrace(h, p); });
+    // TX tap: per-tenant conservation needs the send-side tally too.
+    fabric->nic(h)->SetTxTap(
+        [this](const Packet& p) { ++tenant_packets_[p.tenant].tx; });
   }
 }
 
@@ -120,6 +123,7 @@ void InvariantChecker::RecordTrace(int host, const Packet& packet) {
   rec.crc = packet.pony.crc32;
   rec.wire_bytes = packet.wire_bytes;
   trace_.push_back(rec);
+  ++tenant_packets_[packet.tenant].rx;
 }
 
 uint64_t InvariantChecker::TraceDigest() const {
@@ -251,32 +255,73 @@ void InvariantChecker::SampleFlowsNow() {
   }
 }
 
+void InvariantChecker::SampleTenantsNow() {
+  if (!engine_lister_) {
+    return;
+  }
+  for (const PonyEngine* engine : engine_lister_()) {
+    if (!engine->qos_enabled()) {
+      continue;
+    }
+    std::ostringstream os;
+    os << "h" << engine->address().host << ":e"
+       << engine->address().engine_id;
+    std::string engine_label = os.str();
+    // A saturated NIC ring is legitimate global backpressure, not a
+    // scheduling failure; skip the sample entirely.
+    bool nic_full =
+        engine->nic() != nullptr && engine->nic()->TxSlotsAvailable() <= 0;
+    engine->ForEachTenant([&](const PonyEngine::TenantSnapshot& snap) {
+      TenantProgress& progress =
+          tenant_progress_[{engine_label, snap.id}];
+      bool made_progress =
+          snap.stats.tx_packets != progress.last_tx_packets;
+      progress.last_tx_packets = snap.stats.tx_packets;
+      if (made_progress || !snap.sendable || snap.deficit <= 0 ||
+          nic_full) {
+        progress.stalled_samples = 0;
+        return;
+      }
+      if (++progress.stalled_samples >= kStarvationSamples) {
+        std::ostringstream v;
+        v << engine_label << " tenant " << snap.id << ": sendable with "
+          << snap.deficit << " deficit bytes but no TX progress across "
+          << progress.stalled_samples << " samples";
+        AddViolation("tenant-starvation", v.str());
+        progress.stalled_samples = 0;  // rate-limit repeats
+      }
+    });
+  }
+}
+
 void InvariantChecker::StartSampling(SimDuration period) {
   sample_period_ = period;
   sample_timer_.Cancel();
   sample_timer_ = sim_->Schedule(period, [this] {
     SampleFlowsNow();
+    SampleTenantsNow();
     StartSampling(sample_period_);
   });
 }
 
-void InvariantChecker::CheckCreditConservation(const Flow& sender,
-                                               const Flow& receiver,
-                                               const std::string& label) {
+int64_t InvariantChecker::CheckCreditConservation(const Flow& sender,
+                                                  const Flow& receiver,
+                                                  const std::string& label) {
   // Grants issued by the receiver that the sender has not applied yet
   // (lost-and-not-yet-healed or genuinely in flight at non-quiesce).
   int64_t on_wire = static_cast<int64_t>(static_cast<uint32_t>(
       receiver.granted_total() - sender.last_credit_seen()));
   int64_t total = sender.credit() + receiver.pending_grant() + on_wire;
-  if (total != Flow::kInitialCreditBytes) {
+  int64_t leak = Flow::kInitialCreditBytes - total;
+  if (leak != 0) {
     std::ostringstream os;
-    os << label << ": credit pool leaks " << std::showpos
-       << (Flow::kInitialCreditBytes - total) << std::noshowpos
-       << " bytes (sender pool " << sender.credit() << " + pending grant "
-       << receiver.pending_grant() << " + on-wire " << on_wire << " != "
-       << Flow::kInitialCreditBytes << ")";
+    os << label << ": credit pool leaks " << std::showpos << leak
+       << std::noshowpos << " bytes (sender pool " << sender.credit()
+       << " + pending grant " << receiver.pending_grant() << " + on-wire "
+       << on_wire << " != " << Flow::kInitialCreditBytes << ")";
     AddViolation("credit-conservation", os.str());
   }
+  return leak;
 }
 
 void InvariantChecker::CheckFinal(bool require_quiesce) {
@@ -311,6 +356,8 @@ void InvariantChecker::CheckFinal(bool require_quiesce) {
 
   // 3. Flow-level checks (monotonicity state, bounds, quiesce, credit).
   SampleFlowsNow();
+  SampleTenantsNow();
+  std::map<uint32_t, int64_t> tenant_credit_leak;
   std::map<PonyAddress, const PonyEngine*> by_addr;
   for (const PonyEngine* engine : engines) {
     by_addr[engine->address()] = engine;
@@ -342,9 +389,20 @@ void InvariantChecker::CheckFinal(bool require_quiesce) {
         }
       });
       if (reverse != nullptr && require_quiesce) {
-        CheckCreditConservation(flow, *reverse, label);
+        tenant_credit_leak[flow.tenant()] +=
+            CheckCreditConservation(flow, *reverse, label);
       }
     });
+  }
+  // 3b. Per-tenant credit rollup: attribute any leak to the sending
+  // flow's tenant so a multi-tenant run pinpoints whose pool broke.
+  for (const auto& [tenant, leak] : tenant_credit_leak) {
+    if (leak != 0) {
+      std::ostringstream os;
+      os << "tenant " << tenant << ": credit pools leak " << std::showpos
+         << leak << std::noshowpos << " bytes in aggregate";
+      AddViolation("tenant-credit-conservation", os.str());
+    }
   }
 
   // 4. Fabric packet conservation.
@@ -392,6 +450,40 @@ void InvariantChecker::CheckFinal(bool require_quiesce) {
            << ", bad-addr " << fs.dropped_bad_address << ", chaos-drop "
            << chaos_dropped << ", chaos-held " << chaos_held << ")";
         AddViolation("packet-conservation", os.str());
+      }
+    }
+
+    // 4b. Per-tenant packet conservation: when no queue anywhere dropped a
+    // packet (so the only sinks are per-tenant-attributable chaos faults),
+    // each tenant's NIC TX count plus its clean duplicates must equal its
+    // RX count plus its chaos drops and held packets.
+    if (require_quiesce && fs.dropped_queue_full == 0 &&
+        fs.dropped_random == 0 && fs.dropped_bad_address == 0 &&
+        ring_drops == 0 && no_filter == 0) {
+      std::map<uint32_t, ChaosLink::TenantChaosStats> chaos_by_tenant;
+      std::map<uint32_t, int64_t> held_by_tenant;
+      for (const ChaosLink* link : chaos_) {
+        for (const auto& [tenant, tstats] : link->tenant_stats()) {
+          chaos_by_tenant[tenant].dropped += tstats.dropped;
+          chaos_by_tenant[tenant].duplicated += tstats.duplicated;
+        }
+        for (const auto& [tenant, held] : link->HeldNowByTenant()) {
+          held_by_tenant[tenant] += held;
+        }
+      }
+      for (const auto& [tenant, packets] : tenant_packets_) {
+        int64_t sent = packets.tx + chaos_by_tenant[tenant].duplicated;
+        int64_t accounted = packets.rx + chaos_by_tenant[tenant].dropped +
+                            held_by_tenant[tenant];
+        if (sent != accounted) {
+          std::ostringstream os;
+          os << "tenant " << tenant << ": tx " << packets.tx << " + dup "
+             << chaos_by_tenant[tenant].duplicated << " = " << sent
+             << " but accounted " << accounted << " (rx " << packets.rx
+             << ", chaos-drop " << chaos_by_tenant[tenant].dropped
+             << ", chaos-held " << held_by_tenant[tenant] << ")";
+          AddViolation("tenant-packet-conservation", os.str());
+        }
       }
     }
 

@@ -120,11 +120,19 @@ class InvariantChecker {
                       uint64_t rcv_nxt);
   // Credit conservation for one direction: `sender` is the flow that
   // spends credit, `receiver` its peer that grants it. Only meaningful at
-  // quiesce (no message bytes in flight, everything delivered).
-  void CheckCreditConservation(const Flow& sender, const Flow& receiver,
-                               const std::string& label);
+  // quiesce (no message bytes in flight, everything delivered). Returns
+  // the leaked byte count (0 when conserved) so callers can roll leaks up
+  // per tenant.
+  int64_t CheckCreditConservation(const Flow& sender, const Flow& receiver,
+                                  const std::string& label);
   // Samples every flow of every listed engine now.
   void SampleFlowsNow();
+  // Samples per-tenant scheduling progress on every QoS-enabled engine:
+  // a tenant that stays sendable with positive deficit but makes no TX
+  // progress across kStarvationSamples consecutive samples (while the NIC
+  // has free TX slots) is flagged as starved.
+  void SampleTenantsNow();
+  static constexpr int kStarvationSamples = 3;
 
   // End-of-run checks: completeness, packet conservation, CRC accounting,
   // credit conservation, corruption acceptance. `require_quiesce` also
@@ -139,6 +147,16 @@ class InvariantChecker {
 
   const std::vector<TraceRecord>& trace() const { return trace_; }
   uint64_t TraceDigest() const;
+
+  // Per-tenant packet tallies observed at the NIC taps (TX claimed via
+  // Nic::SetTxTap by AttachFabric; RX shares the trace tap).
+  struct TenantPackets {
+    int64_t tx = 0;
+    int64_t rx = 0;
+  };
+  const std::map<uint32_t, TenantPackets>& tenant_packets() const {
+    return tenant_packets_;
+  }
 
  private:
   void RecordTrace(int host, const Packet& packet);
@@ -156,6 +174,16 @@ class InvariantChecker {
 
   // Per flow label: last observed (ack, rcv_nxt).
   std::map<std::string, std::pair<uint64_t, uint64_t>> flow_samples_;
+
+  // Per-tenant accounting and starvation-progress state.
+  std::map<uint32_t, TenantPackets> tenant_packets_;
+  struct TenantProgress {
+    int64_t last_tx_packets = -1;
+    int stalled_samples = 0;
+  };
+  // Keyed by (engine label, tenant id).
+  std::map<std::pair<std::string, uint32_t>, TenantProgress>
+      tenant_progress_;
 
   std::vector<TraceRecord> trace_;
   std::vector<Violation> violations_;

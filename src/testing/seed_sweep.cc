@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/apps/simhost.h"
+#include "src/qos/tenant.h"
 #include "src/util/logging.h"
 
 namespace snap {
@@ -92,6 +93,19 @@ std::vector<ChaosProfile> SeedSweepRunner::DefaultProfiles() {
   return profiles;
 }
 
+ChaosProfile SeedSweepRunner::AggressorTenantProfile() {
+  ChaosProfile profile;
+  profile.name = "aggressor-tenant";
+  profile.p_good_to_bad = 0.01;
+  profile.p_bad_to_good = 0.3;
+  profile.loss_good = 0.002;
+  profile.loss_bad = 0.3;
+  profile.reorder_probability = 0.02;
+  profile.reorder_span = 8;
+  profile.jitter_max = 2 * kUsec;
+  return profile;
+}
+
 SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
                                        const ChaosProfile& profile) {
   const SeedSweepOptions& opt = options_;
@@ -113,6 +127,41 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   auto ca = a.CreateClient(ea, "chaosA");
   auto cb = b.CreateClient(eb, "chaosB");
 
+  // QoS aggressor-tenant mode: a second engine on B receives bulk traffic
+  // from a second client on A, so ea schedules two tenants (victim flow
+  // vs. aggressor flow) via DRR and A's NIC runs per-tenant WFQ. Fully
+  // gated: with qos_aggressor off nothing below allocates or schedules.
+  qos::TenantRegistry registry;
+  PonyEngine* eb2 = nullptr;
+  std::unique_ptr<PonyClient> ca2;
+  std::unique_ptr<PonyClient> cb2;
+  if (opt.qos_aggressor) {
+    qos::TenantSpec victim;
+    victim.id = 1;
+    victim.name = "victim";
+    victim.weight = 3;
+    qos::TenantSpec aggressor;
+    aggressor.id = 2;
+    aggressor.name = "aggressor";
+    aggressor.weight = 1;
+    // Throttle the aggressor's submissions through the client-side token
+    // bucket as well, so sweeps exercise admission control under chaos
+    // (generous enough that the run still completes).
+    aggressor.admission_rate_bytes_per_sec = 4e8;
+    aggressor.admission_burst_bytes = 32 * 1024;
+    registry.Register(victim);
+    registry.Register(aggressor);
+    eb2 = b.CreatePonyEngine("eb2");
+    ca2 = a.CreateClient(ea, "aggrA");
+    cb2 = b.CreateClient(eb2, "aggrB");
+    ca->SetTenant(victim);
+    ca2->SetTenant(aggressor);
+    ea->EnableQos(&registry);
+    eb->EnableQos(&registry);
+    eb2->EnableQos(&registry);
+    a.nic()->EnableQosTx(&registry);
+  }
+
   ChaosProfile seeded = profile;
   seeded.seed = seed;
   auto chaos_to_a = ChaosLink::AttachToFabric(&fabric, a.host_id(), seeded);
@@ -122,10 +171,16 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   checker.AttachFabric(&fabric);
   checker.AttachChaos(chaos_to_a.get());
   checker.AttachChaos(chaos_to_b.get());
-  checker.SetEngineLister(
-      [ea, eb] { return std::vector<const PonyEngine*>{ea, eb}; });
+  std::vector<const PonyEngine*> engines{ea, eb};
+  if (eb2 != nullptr) {
+    engines.push_back(eb2);
+  }
+  checker.SetEngineLister([engines] { return engines; });
   checker.WatchClient(ca.get(), "A");
   checker.WatchClient(cb.get(), "B");
+  if (opt.qos_aggressor) {
+    checker.WatchClient(cb2.get(), "AGG");
+  }
 
   CpuCostSink sink;
   std::vector<uint64_t> streams;
@@ -137,6 +192,12 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   }
   const int64_t total = static_cast<int64_t>(opt.num_streams) *
                         opt.messages_per_stream;
+  uint64_t aggressor_stream = 0;
+  if (opt.qos_aggressor) {
+    aggressor_stream = ca2->CreateStream(eb2->address());
+    checker.ExpectDeliveries("AGG", aggressor_stream,
+                             opt.aggressor_messages);
+  }
 
   // Sender: one message per tick, round-robin across streams.
   int64_t sent = 0;
@@ -186,6 +247,35 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   });
   echo.Start();
 
+  // Aggressor tenant: floods eb2 with bulk messages; a drain loop on cb2
+  // keeps its message ring from stalling deliveries.
+  int64_t aggr_sent = 0;
+  Periodic aggressor_sender(
+      &sim, opt.aggressor_send_interval, [&]() -> bool {
+        if (aggr_sent >= opt.aggressor_messages) {
+          return false;
+        }
+        auto payload = EncodeChaosPayload(aggressor_stream,
+                                          static_cast<uint64_t>(aggr_sent),
+                                          opt.aggressor_message_bytes);
+        if (ca2->SendMessage(eb2->address(), aggressor_stream, 0,
+                             std::move(payload), &sink) == 0) {
+          return true;  // queue full or admission-throttled; retry
+        }
+        ++aggr_sent;
+        return true;
+      });
+  // Runs through the quiesce drain too (polling never blocks quiesce).
+  Periodic aggressor_drain(&sim, opt.echo_poll_interval, [&]() -> bool {
+    while (cb2->PollMessage(&sink).has_value()) {
+    }
+    return true;
+  });
+  if (opt.qos_aggressor) {
+    aggressor_sender.Start();
+    aggressor_drain.Start();
+  }
+
   checker.StartSampling(opt.sample_period);
 
   auto all_done = [&]() -> bool {
@@ -194,6 +284,11 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     for (uint64_t id : streams) {
       at_a += checker.delivered("A", id);
       at_b += checker.delivered("B", id);
+    }
+    if (opt.qos_aggressor &&
+        checker.delivered("AGG", aggressor_stream) <
+            opt.aggressor_messages) {
+      return false;
     }
     return at_a >= total && at_b >= total;
   };
@@ -212,7 +307,7 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
       return false;
     }
     bool idle = true;
-    for (const PonyEngine* e : {ea, eb}) {
+    for (const PonyEngine* e : engines) {
       e->ForEachFlow([&idle](const Flow& f) {
         if (f.unacked_packets() > 0 || f.tx_backlog() > 0) {
           idle = false;
@@ -241,7 +336,7 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     result.chaos_corrupted += link->stats().corrupted;
     result.chaos_reordered += link->stats().reordered;
   }
-  for (const PonyEngine* e : {ea, eb}) {
+  for (const PonyEngine* e : engines) {
     result.crc_drops += e->stats().crc_drops;
     result.messages_held_for_order += e->stats().messages_held_for_order;
     e->ForEachFlow([&result](const Flow& f) {

@@ -47,6 +47,17 @@ struct SeedSweepOptions {
   // observation, so sweeping with this on and off must yield identical
   // trace digests (covered by determinism_test).
   bool enable_trace = false;
+
+  // QoS aggressor-tenant mode: the echo client becomes a weight-3
+  // "victim" tenant, a second client on host A floods a second engine on
+  // host B as a weight-1 "aggressor" tenant, DRR/WFQ scheduling is enabled
+  // on every engine and on host A's NIC, and the per-tenant invariants
+  // (packet/credit conservation, no-starvation) audit the run. Default
+  // off: no extra objects are created and trace digests are unchanged.
+  bool qos_aggressor = false;
+  int aggressor_messages = 64;
+  int64_t aggressor_message_bytes = 4096;
+  SimDuration aggressor_send_interval = 5 * kUsec;
 };
 
 struct SweepRunResult {
@@ -76,6 +87,11 @@ class SeedSweepRunner {
   // The five standard profiles: bursty loss, bounded reordering,
   // duplication, corruption, and everything combined.
   static std::vector<ChaosProfile> DefaultProfiles();
+
+  // Chaos profile for qos_aggressor sweeps: light bursty loss, mild
+  // reordering and jitter — enough churn to stress DRR/WFQ bookkeeping
+  // under retransmission without making runs take forever to quiesce.
+  static ChaosProfile AggressorTenantProfile();
 
   // One deterministic echo scenario under (seed, profile).
   SweepRunResult RunOne(uint64_t seed, const ChaosProfile& profile);

@@ -1,21 +1,26 @@
 #!/usr/bin/env python3
-"""Perf-trajectory runner: executes bench_sim_speed and appends the results
-to BENCH_sim_speed.json so every PR leaves a recorded speed datapoint.
+"""Perf-trajectory runner: executes a benchmark binary and appends the
+results to BENCH_<name>.json so every PR leaves a recorded datapoint.
 
 Usage:
-    tools/bench_trajectory.py [--build-dir build] [--out BENCH_sim_speed.json]
+    tools/bench_trajectory.py [--bench sim_speed|qos_isolation]
+                              [--build-dir build] [--out BENCH_<name>.json]
                               [--smoke] [--baseline-check]
 
-Runs <build-dir>/bench/bench_sim_speed (building is the caller's job),
+Runs <build-dir>/bench/bench_<name> (building is the caller's job),
 stamps the result with the git revision and date, and appends it to the
 history file's "runs" list. The newest run is also mirrored at the top
 level under "latest" for easy reading.
 
---baseline-check exits nonzero unless the rack workload shows >= 3x
-events/sec for the timer wheel against the pre-PR configuration (legacy
-heap queue); it compares against the recorded pre-PR baseline if one
-exists under "pre_pr_baseline", else against the legacy-heap A/B leg of
-the same run.
+--baseline-check gates per bench:
+  sim_speed      rack workload must show >= 3x events/sec for the timer
+                 wheel against the pre-PR configuration (legacy heap
+                 queue); compares against the recorded "pre_pr_baseline"
+                 if present, else the legacy-heap A/B leg of the same run.
+  qos_isolation  the weight-3 victim must retain >= 0.9 of its offered
+                 goodput under the 4x aggressor (isolation_ratio), and
+                 the qos-off run must still show the collapse the
+                 subsystem exists to fix (collapse_ratio <= 0.7).
 
 Only the standard library is used.
 """
@@ -41,11 +46,11 @@ def git_revision():
         return "unknown"
 
 
-def run_bench(build_dir, smoke):
-    bench = os.path.join(build_dir, "bench", "bench_sim_speed")
+def run_bench(build_dir, name, smoke):
+    bench = os.path.join(build_dir, "bench", f"bench_{name}")
     if not os.path.exists(bench):
         sys.exit(f"error: {bench} not found (build the repo first: "
-                 f"cmake --build {build_dir} --target bench_sim_speed)")
+                 f"cmake --build {build_dir} --target bench_{name})")
     with tempfile.NamedTemporaryFile(mode="r", suffix=".json",
                                      delete=False) as tmp:
         tmp_path = tmp.name
@@ -67,19 +72,22 @@ def load_history(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="sim_speed",
+                        choices=["sim_speed", "qos_isolation"])
     parser.add_argument("--build-dir",
                         default=os.path.join(REPO_ROOT, "build"))
-    parser.add_argument("--out",
-                        default=os.path.join(REPO_ROOT,
-                                             "BENCH_sim_speed.json"))
+    parser.add_argument("--out", default=None,
+                        help="history file (default BENCH_<bench>.json)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the reduced CI workload")
     parser.add_argument("--baseline-check", action="store_true",
-                        help="fail unless rack events/sec >= 3x the "
-                             "pre-PR heap baseline")
+                        help="fail unless this bench's gate holds (see "
+                             "module docstring)")
     args = parser.parse_args()
+    if args.out is None:
+        args.out = os.path.join(REPO_ROOT, f"BENCH_{args.bench}.json")
 
-    result = run_bench(args.build_dir, args.smoke)
+    result = run_bench(args.build_dir, args.bench, args.smoke)
     entry = {
         "git_revision": git_revision(),
         "date": datetime.datetime.now(datetime.timezone.utc)
@@ -87,6 +95,10 @@ def main():
         "smoke": result.get("smoke", args.smoke),
         "benchmarks": result["benchmarks"],
     }
+    for key in ("isolation_ratio", "collapse_ratio", "link_gbps",
+                "victim_offered_gbps", "aggressor_offered_gbps"):
+        if key in result:
+            entry[key] = result[key]
 
     history = load_history(args.out)
     history.setdefault("runs", []).append(entry)
@@ -96,6 +108,21 @@ def main():
         f.write("\n")
     print(f"appended run {entry['git_revision']} to {args.out} "
           f"({len(history['runs'])} runs recorded)")
+
+    if args.bench == "qos_isolation":
+        isolation = entry.get("isolation_ratio", 0.0)
+        collapse = entry.get("collapse_ratio", 1.0)
+        print(f"qos isolation ratio: {isolation:.3f} (target >= 0.9), "
+              f"collapse ratio without qos: {collapse:.3f} "
+              f"(target <= 0.7)")
+        if args.baseline_check:
+            if isolation < 0.9:
+                sys.exit(f"baseline check FAILED: isolation ratio "
+                         f"{isolation:.3f} < 0.9")
+            if collapse > 0.7:
+                sys.exit(f"baseline check FAILED: qos-off victim did not "
+                         f"collapse ({collapse:.3f} > 0.7)")
+        return
 
     rack = entry["benchmarks"].get("rack_fig6b", {})
     wheel = rack.get("timer_wheel", {}).get("events_per_sec", 0.0)

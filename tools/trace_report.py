@@ -13,13 +13,17 @@ Reads a Chrome-trace-event JSON written by TraceRecorder (bench_sim_speed
     Gilbert-Elliott bad-state bursts), plus per-name totals — the upgrade
     section reports the blackout durations the paper's Section 4 measures;
   - sampled message-lifecycle summary: flow point counts per stage and
-    end-to-end latency percentiles for flows that completed.
+    end-to-end latency percentiles for flows that completed;
+  - per-tenant QoS admission rollup: qos_admission_block/unblock instants
+    are edge-triggered per tenant, so consecutive pairs are throttle
+    episodes; reports episode count and total/max throttled time.
 
 --check exits nonzero unless the trace is structurally sound: parses as
 JSON, timestamps non-negative, complete events have non-negative
-durations, every async end has a matching begin, and every sampled flow
-('s'/'t'/'f' events sharing an id) starts with 's'. CI smoke-runs this
-over a tiny traced rack run.
+durations, every async end has a matching begin, every sampled flow
+('s'/'t'/'f' events sharing an id) starts with 's', and per-tenant QoS
+admission instants alternate block/unblock. CI smoke-runs this over a
+tiny traced rack run.
 
 Only the standard library is used.
 """
@@ -142,12 +146,45 @@ def report(events, top_n):
               (len(latencies), fmt_us(percentile(latencies, 50)),
                fmt_us(percentile(latencies, 99)), fmt_us(latencies[-1])))
 
+    # --- Per-tenant QoS admission throttling. ---
+    # qos_admission_block/unblock instants are edge-triggered per tenant,
+    # so a block followed by the tenant's next unblock is one throttle
+    # episode. A block still open at trace end counts against the span end.
+    episodes = defaultdict(list)     # tenant -> [episode us]
+    open_block = {}                  # tenant -> block ts
+    for e in events:
+        if e.get("ph") != "i":
+            continue
+        name = e.get("name")
+        if name not in ("qos_admission_block", "qos_admission_unblock"):
+            continue
+        tenant = (e.get("args") or {}).get("tenant", "?")
+        ts = e.get("ts", 0)
+        if name == "qos_admission_block":
+            open_block.setdefault(tenant, ts)
+        else:
+            begin = open_block.pop(tenant, None)
+            if begin is not None:
+                episodes[tenant].append(ts - begin)
+    for tenant, begin in open_block.items():
+        episodes[tenant].append(span_end - begin)
+    print("\n== QoS admission throttling (per tenant) ==")
+    if not episodes:
+        print("  (no qos admission events; QoS admission off or unthrottled)")
+    for tenant in sorted(episodes):
+        durs = episodes[tenant]
+        still_open = " (1 open at trace end)" if tenant in open_block else ""
+        print("  tenant %-6s %6d episodes  total %12s  max %12s%s" %
+              (tenant, len(durs), fmt_us(sum(durs)), fmt_us(max(durs)),
+               still_open))
+
 
 def check(events):
     """Structural validation; returns a list of problem strings."""
     problems = []
     opens = set()
     flow_started = set()
+    admission_blocked = set()        # tenants currently in a blocked episode
     for i, e in enumerate(events):
         ph = e.get("ph")
         if "name" not in e or ph is None:
@@ -175,8 +212,23 @@ def check(events):
             if e.get("id") not in flow_started:
                 problems.append("event %d: flow end without 's' start: %s" %
                                 (i, e.get("id")))
-    # Open async spans at trace end are legal (e.g. a chaos bad state when
-    # the run stops) — only report them, don't fail.
+        elif ph == "i" and e["name"] in ("qos_admission_block",
+                                         "qos_admission_unblock"):
+            tenant = (e.get("args") or {}).get("tenant", "?")
+            if e["name"] == "qos_admission_block":
+                if tenant in admission_blocked:
+                    problems.append(
+                        "event %d: double qos_admission_block for tenant %s"
+                        % (i, tenant))
+                admission_blocked.add(tenant)
+            else:
+                if tenant not in admission_blocked:
+                    problems.append(
+                        "event %d: qos_admission_unblock without block for "
+                        "tenant %s" % (i, tenant))
+                admission_blocked.discard(tenant)
+    # Open async spans (or a blocked tenant) at trace end are legal (e.g. a
+    # chaos bad state when the run stops) — only report them, don't fail.
     return problems
 
 

@@ -5,6 +5,12 @@
 // Control plane: Post() returns false while a previous item is pending
 // (callers retry from their RPC loop). Engine: RunPending() executes at most
 // one posted closure per call, from the engine's own Poll loop.
+//
+// Parameterized over an atomics policy (see atomics_policy.h) so the model
+// checker in src/verify/ can exhaustively explore its interleavings; the
+// `EngineMailbox` alias below is the production instantiation and is
+// unchanged. The work slot is a Policy::Cell because its safety depends
+// entirely on the state-machine's acquire/release edges.
 #ifndef SRC_QUEUE_MAILBOX_H_
 #define SRC_QUEUE_MAILBOX_H_
 
@@ -12,15 +18,18 @@
 #include <functional>
 #include <utility>
 
+#include "src/queue/atomics_policy.h"
+
 namespace snap {
 
-class EngineMailbox {
+template <typename Policy>
+class BasicEngineMailbox {
  public:
   using WorkItem = std::function<void()>;
 
-  EngineMailbox() = default;
-  EngineMailbox(const EngineMailbox&) = delete;
-  EngineMailbox& operator=(const EngineMailbox&) = delete;
+  BasicEngineMailbox() = default;
+  BasicEngineMailbox(const BasicEngineMailbox&) = delete;
+  BasicEngineMailbox& operator=(const BasicEngineMailbox&) = delete;
 
   // Control-plane side: posts `work` for the engine thread. Returns false
   // if the mailbox already holds a pending item.
@@ -30,7 +39,7 @@ class EngineMailbox {
                                         std::memory_order_acquire)) {
       return false;
     }
-    work_ = std::move(work);
+    work_.Set(std::move(work));
     state_.store(State::kReady, std::memory_order_release);
     return true;
   }
@@ -42,8 +51,8 @@ class EngineMailbox {
                                         std::memory_order_acquire)) {
       return false;
     }
-    WorkItem work = std::move(work_);
-    work_ = nullptr;
+    WorkItem work = work_.Take();
+    work_.Set(nullptr);
     state_.store(State::kEmpty, std::memory_order_release);
     work();
     return true;
@@ -56,9 +65,12 @@ class EngineMailbox {
  private:
   enum class State : int { kEmpty, kWriting, kReady, kRunning };
 
-  std::atomic<State> state_{State::kEmpty};
-  WorkItem work_;
+  typename Policy::template Atomic<State> state_{State::kEmpty};
+  typename Policy::template Cell<WorkItem> work_;
 };
+
+// Production instantiation (real std::atomic).
+using EngineMailbox = BasicEngineMailbox<StdAtomics>;
 
 }  // namespace snap
 

@@ -3,43 +3,54 @@
 // (e.g. load-balancing messages between engine-group scheduler threads,
 // Section 2.4: "a message passing mechanism similar to the engine mailbox,
 // but non-blocking on both sides").
+//
+// Parameterized over an atomics policy (see atomics_policy.h) so the model
+// checker in src/verify/ can exhaustively explore its interleavings; the
+// `MpscQueue` / `MpscNode` aliases below are the production instantiation
+// and are unchanged.
 #ifndef SRC_QUEUE_MPSC_QUEUE_H_
 #define SRC_QUEUE_MPSC_QUEUE_H_
 
 #include <atomic>
 #include <cstddef>
 
+#include "src/queue/atomics_policy.h"
+
 namespace snap {
 
 // Node type to embed in queued objects.
-struct MpscNode {
-  std::atomic<MpscNode*> next{nullptr};
+template <typename Policy>
+struct BasicMpscNode {
+  typename Policy::template Atomic<BasicMpscNode<Policy>*> next{nullptr};
 };
 
 // Intrusive MPSC queue. Push is lock-free and safe from any thread;
 // Pop must be called from a single consumer thread. Objects must outlive
 // their time in the queue; the queue does not own them.
-class MpscQueue {
+template <typename Policy>
+class BasicMpscQueue {
  public:
-  MpscQueue() : head_(&stub_), tail_(&stub_) {
+  using Node = BasicMpscNode<Policy>;
+
+  BasicMpscQueue() : head_(&stub_), tail_(&stub_) {
     stub_.next.store(nullptr, std::memory_order_relaxed);
   }
 
-  MpscQueue(const MpscQueue&) = delete;
-  MpscQueue& operator=(const MpscQueue&) = delete;
+  BasicMpscQueue(const BasicMpscQueue&) = delete;
+  BasicMpscQueue& operator=(const BasicMpscQueue&) = delete;
 
   // Producer: enqueue `node`. Wait-free.
-  void Push(MpscNode* node) {
+  void Push(Node* node) {
     node->next.store(nullptr, std::memory_order_relaxed);
-    MpscNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
     prev->next.store(node, std::memory_order_release);
   }
 
   // Consumer: dequeue one node, or nullptr if empty (or momentarily
   // inconsistent while a producer is mid-push — caller retries later).
-  MpscNode* Pop() {
-    MpscNode* tail = tail_;
-    MpscNode* next = tail->next.load(std::memory_order_acquire);
+  Node* Pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
     if (tail == &stub_) {
       if (next == nullptr) {
         return nullptr;
@@ -52,7 +63,7 @@ class MpscQueue {
       tail_ = next;
       return tail;
     }
-    MpscNode* head = head_.load(std::memory_order_acquire);
+    Node* head = head_.load(std::memory_order_acquire);
     if (tail != head) {
       return nullptr;  // producer mid-push; retry later
     }
@@ -72,10 +83,14 @@ class MpscQueue {
   }
 
  private:
-  std::atomic<MpscNode*> head_;
-  MpscNode* tail_;  // consumer-owned
-  MpscNode stub_;
+  typename Policy::template Atomic<Node*> head_;
+  Node* tail_;  // consumer-owned
+  Node stub_;
 };
+
+// Production instantiations (real std::atomic).
+using MpscNode = BasicMpscNode<StdAtomics>;
+using MpscQueue = BasicMpscQueue<StdAtomics>;
 
 }  // namespace snap
 

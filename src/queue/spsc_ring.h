@@ -10,6 +10,11 @@
 // The implementation is a standard power-of-two ring with cached
 // head/tail indices to minimize cross-core cache traffic. It is safe for
 // exactly one producer thread and one consumer thread.
+//
+// The ring is parameterized over an atomics policy (see atomics_policy.h)
+// so the model checker in src/verify/ can exhaustively explore its
+// interleavings; production code uses the default StdAtomics policy and is
+// unchanged.
 #ifndef SRC_QUEUE_SPSC_RING_H_
 #define SRC_QUEUE_SPSC_RING_H_
 
@@ -19,11 +24,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/queue/atomics_policy.h"
 #include "src/util/logging.h"
 
 namespace snap {
 
-template <typename T>
+template <typename T, typename Policy = StdAtomics>
 class SpscRing {
  public:
   // Capacity is rounded up to a power of two; the ring holds up to
@@ -52,7 +58,7 @@ class SpscRing {
         return false;
       }
     }
-    slots_[tail & mask_] = std::move(value);
+    slots_[tail & mask_].Set(std::move(value));
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
@@ -66,7 +72,7 @@ class SpscRing {
         return std::nullopt;
       }
     }
-    T value = std::move(slots_[head & mask_]);
+    T value = slots_[head & mask_].Take();
     head_.store(head + 1, std::memory_order_release);
     return value;
   }
@@ -78,7 +84,7 @@ class SpscRing {
     if (head == tail) {
       return nullptr;
     }
-    return &slots_[head & mask_];
+    return &slots_[head & mask_].Get();
   }
 
   // Approximate size; exact when called from either endpoint's thread
@@ -93,12 +99,16 @@ class SpscRing {
   bool full() const { return size() > mask_; }
 
  private:
-  std::vector<T> slots_;
+  template <typename U>
+  using Atomic = typename Policy::template Atomic<U>;
+  using Slot = typename Policy::template Cell<T>;
+
+  std::vector<Slot> slots_;
   size_t mask_ = 0;
 
-  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) Atomic<size_t> head_{0};
   alignas(64) size_t cached_tail_ = 0;   // consumer-local
-  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) Atomic<size_t> tail_{0};
   alignas(64) size_t cached_head_ = 0;   // producer-local
 };
 

@@ -1,0 +1,571 @@
+// Deterministic model checking of the lock-free queue primitives
+// (src/verify/). Each test enumerates every interleaving (within the
+// preemption bound) of small producer/consumer programs against the real
+// queue templates instantiated with verify::ModelAtomics, checking the
+// queues' core claims: no lost or duplicated elements, FIFO per producer,
+// no out-of-thin-air reads (a load can only observe a value some store
+// actually wrote), and safe slot reuse across capacity wraparound.
+//
+// Deliberately broken queue variants (a missing release on the publish
+// store, a missing acquire on the index refresh) prove the checker finds
+// seeded ordering bugs and emits a replayable counterexample schedule.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/queue/mailbox.h"
+#include "src/queue/mpsc_queue.h"
+#include "src/queue/spsc_ring.h"
+#include "src/verify/model.h"
+#include "src/verify/model_atomic.h"
+
+namespace snap {
+namespace {
+
+using verify::Explore;
+using verify::JoinAll;
+using verify::ModelAssert;
+using verify::Options;
+using verify::Result;
+using verify::Spawn;
+using verify::Yield;
+
+using ModelRing = SpscRing<int, verify::ModelAtomics>;
+using ModelMpscQueue = BasicMpscQueue<verify::ModelAtomics>;
+using ModelMpscNode = BasicMpscNode<verify::ModelAtomics>;
+using ModelMailbox = BasicEngineMailbox<verify::ModelAtomics>;
+
+void ReportSchedules(const char* what, const Result& r) {
+  std::printf("[ model ] %s: explored %ld schedules%s\n", what, r.schedules,
+              r.exhausted ? " (exhausted)" : "");
+  ::testing::Test::RecordProperty(what, static_cast<int>(r.schedules));
+}
+
+// --- SpscRing: correctness under all interleavings ------------------------
+
+TEST(ModelSpscRingTest, NoLossNoDupFifoAcrossWraparound) {
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, [] {
+    // Capacity 2, three values: the third push reuses slot 0, so every
+    // schedule crosses the wraparound boundary.
+    ModelRing ring(2);
+    std::vector<int> popped;
+    int pushed = 0;
+    Spawn([&] {
+      for (int v = 0; v < 3; ++v) {
+        int attempts = 0;
+        while (!ring.TryPush(v)) {
+          // Bounded retry keeps the DFS finite; two attempts still cover
+          // the observe-stale-head-then-refresh path.
+          if (++attempts > 2) return;
+          Yield();
+        }
+        ++pushed;
+      }
+    });
+    Spawn([&] {
+      int empty_polls = 0;
+      while (static_cast<int>(popped.size()) < 3 && empty_polls < 4) {
+        std::optional<int> v = ring.TryPop();
+        if (v.has_value()) {
+          popped.push_back(*v);
+        } else {
+          ++empty_polls;
+          Yield();
+        }
+      }
+    });
+    JoinAll();
+    // Drain what the consumer gave up on; JoinAll establishes the
+    // happens-before edge that makes this safe.
+    while (std::optional<int> v = ring.TryPop()) {
+      popped.push_back(*v);
+    }
+    // No loss, no duplication, and FIFO: exactly the pushed prefix, in
+    // order. Values can only come from actual pushes (no out-of-thin-air
+    // reads), so popped[i] == i is the full check.
+    ModelAssert(static_cast<int>(popped.size()) == pushed,
+                "popped count != pushed count (lost or duplicated element)");
+    for (size_t i = 0; i < popped.size(); ++i) {
+      ModelAssert(popped[i] == static_cast<int>(i),
+                  "FIFO order violated or out-of-thin-air value");
+    }
+  });
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.exhausted) << "exploration hit a safety cap";
+  EXPECT_GT(r.schedules, 100) << "suspiciously small schedule space";
+  ReportSchedules("spsc_wraparound", r);
+}
+
+TEST(ModelSpscRingTest, CapacityOneRingAlternatesSafely) {
+  // A one-slot ring maximally stresses the cached_head_/cached_tail_
+  // staleness paths: every push after the first must observe the
+  // consumer's head release, every pop must observe the tail release.
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, [] {
+    ModelRing ring(1);
+    std::vector<int> popped;
+    int pushed = 0;
+    Spawn([&] {
+      for (int v = 0; v < 2; ++v) {
+        int attempts = 0;
+        while (!ring.TryPush(v)) {
+          if (++attempts > 2) return;
+          Yield();
+        }
+        ++pushed;
+      }
+    });
+    Spawn([&] {
+      int empty_polls = 0;
+      while (static_cast<int>(popped.size()) < 2 && empty_polls < 4) {
+        std::optional<int> v = ring.TryPop();
+        if (v.has_value()) {
+          popped.push_back(*v);
+        } else {
+          ++empty_polls;
+          Yield();
+        }
+      }
+    });
+    JoinAll();
+    while (std::optional<int> v = ring.TryPop()) {
+      popped.push_back(*v);
+    }
+    ModelAssert(static_cast<int>(popped.size()) == pushed,
+                "popped count != pushed count");
+    for (size_t i = 0; i < popped.size(); ++i) {
+      ModelAssert(popped[i] == static_cast<int>(i), "FIFO order violated");
+    }
+    ModelAssert(!ring.TryPop().has_value(), "ring not empty after drain");
+  });
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.exhausted);
+  ReportSchedules("spsc_capacity_one", r);
+}
+
+// --- MpscQueue: multi-producer delivery ------------------------------------
+
+struct ModelTestNode {
+  ModelMpscNode node;
+  verify::ModelCell<int> value;
+};
+
+TEST(ModelMpscQueueTest, TwoProducersDeliverEverythingPerProducerFifo) {
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, [] {
+    ModelMpscQueue queue;
+    // Producer 0 pushes nodes 0,1 (values 0,1); producer 1 pushes node 2
+    // (value 100). Intrusive nodes carry race-checked payload cells.
+    std::array<ModelTestNode, 3> nodes;
+    std::vector<int> popped;
+    Spawn([&] {
+      for (int i = 0; i < 2; ++i) {
+        nodes[i].value.Set(i);
+        queue.Push(&nodes[i].node);
+      }
+    });
+    Spawn([&] {
+      nodes[2].value.Set(100);
+      queue.Push(&nodes[2].node);
+    });
+    Spawn([&] {
+      int empty_polls = 0;
+      while (static_cast<int>(popped.size()) < 3 && empty_polls < 4) {
+        ModelMpscNode* n = queue.Pop();
+        if (n == nullptr) {
+          ++empty_polls;
+          Yield();
+          continue;
+        }
+        for (auto& cand : nodes) {
+          if (&cand.node == n) popped.push_back(cand.value.Get());
+        }
+      }
+    });
+    JoinAll();
+    while (ModelMpscNode* n = queue.Pop()) {
+      for (auto& cand : nodes) {
+        if (&cand.node == n) popped.push_back(cand.value.Get());
+      }
+    }
+    ModelAssert(popped.size() == 3, "element lost or duplicated");
+    // Exactly-once delivery of each value.
+    int seen0 = 0, seen1 = 0, seen100 = 0;
+    size_t pos0 = 0, pos1 = 0;
+    for (size_t i = 0; i < popped.size(); ++i) {
+      if (popped[i] == 0) { ++seen0; pos0 = i; }
+      if (popped[i] == 1) { ++seen1; pos1 = i; }
+      if (popped[i] == 100) ++seen100;
+    }
+    ModelAssert(seen0 == 1 && seen1 == 1 && seen100 == 1,
+                "each pushed value must be delivered exactly once");
+    // FIFO per producer: producer 0's value 0 precedes its value 1.
+    ModelAssert(pos0 < pos1, "per-producer FIFO violated");
+    ModelAssert(queue.empty(), "queue not empty after drain");
+  });
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.schedules, 100);
+  ReportSchedules("mpsc_two_producers", r);
+}
+
+// --- EngineMailbox: depth-1 exactly-once hand-off ---------------------------
+
+TEST(ModelMailboxTest, PostersAndEngineAgreeOnExecutedCount) {
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, [] {
+    ModelMailbox mailbox;
+    int executed = 0;
+    int posted = 0;
+    Spawn([&] {
+      for (int i = 0; i < 2; ++i) {
+        int attempts = 0;
+        while (!mailbox.Post([&executed] { ++executed; })) {
+          if (++attempts > 2) return;
+          Yield();
+        }
+        ++posted;
+      }
+    });
+    Spawn([&] {
+      int idle = 0;
+      while (idle < 4) {
+        if (!mailbox.RunPending()) {
+          ++idle;
+          Yield();
+        }
+      }
+    });
+    JoinAll();
+    while (mailbox.RunPending()) {
+    }
+    ModelAssert(executed == posted,
+                "every accepted Post must run exactly once");
+    ModelAssert(!mailbox.pending(), "mailbox still pending after drain");
+  });
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.exhausted);
+  ReportSchedules("mailbox_exactly_once", r);
+}
+
+// --- seeded bugs: the checker must find them -------------------------------
+
+// SpscRing with the publish store downgraded to relaxed: the consumer can
+// observe the new tail without the slot write being visible. On real
+// weakly-ordered hardware this loses or corrupts elements; the model
+// checker reports it as a data race on the payload cell.
+template <typename T, typename Policy>
+class RelaxedPublishRing {
+ public:
+  explicit RelaxedPublishRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  bool TryPush(T value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_].Set(std::move(value));
+    tail_.store(tail + 1, std::memory_order_relaxed);  // BUG: no release
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return std::nullopt;
+    }
+    T value = slots_[head & mask_].Take();
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+ private:
+  std::vector<typename Policy::template Cell<T>> slots_;
+  size_t mask_ = 0;
+  typename Policy::template Atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  typename Policy::template Atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+};
+
+TEST(ModelSeededBugTest, RelaxedPublishIsCaughtAndReplays) {
+  auto body = [] {
+    RelaxedPublishRing<int, verify::ModelAtomics> ring(2);
+    Spawn([&] { ring.TryPush(7); });
+    Spawn([&] {
+      int empty_polls = 0;
+      while (empty_polls < 4) {
+        if (ring.TryPop().has_value()) return;
+        ++empty_polls;
+        Yield();
+      }
+    });
+    JoinAll();
+  };
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, body);
+  EXPECT_FALSE(r.ok) << "checker failed to find the seeded relaxed-publish "
+                        "bug";
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.trace.empty());
+  std::printf("[ model ] seeded relaxed-publish bug found after %ld "
+              "schedules; counterexample schedule \"%s\"\n",
+              r.schedules, r.trace.c_str());
+
+  // The counterexample replays: the exact failing schedule reproduces the
+  // violation in a single run.
+  Options replay;
+  replay.replay = r.trace;
+  Result r2 = Explore(replay, body);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.schedules, 1);
+  EXPECT_NE(r2.message.find("data race"), std::string::npos);
+}
+
+// SpscRing with the producer's head refresh downgraded to relaxed: the
+// producer can reuse a slot without observing that the consumer finished
+// reading it — a wraparound overwrite race.
+template <typename T, typename Policy>
+class RelaxedHeadRefreshRing {
+ public:
+  explicit RelaxedHeadRefreshRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  bool TryPush(T value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_relaxed);  // BUG: no acquire
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_].Set(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return std::nullopt;
+    }
+    T value = slots_[head & mask_].Take();
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+ private:
+  std::vector<typename Policy::template Cell<T>> slots_;
+  size_t mask_ = 0;
+  typename Policy::template Atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  typename Policy::template Atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+};
+
+TEST(ModelSeededBugTest, RelaxedHeadRefreshWraparoundOverwriteIsCaught) {
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, [] {
+    RelaxedHeadRefreshRing<int, verify::ModelAtomics> ring(1);
+    Spawn([&] {
+      for (int v = 0; v < 2; ++v) {
+        int attempts = 0;
+        while (!ring.TryPush(v)) {
+          if (++attempts > 4) return;
+          Yield();
+        }
+      }
+    });
+    Spawn([&] {
+      int empty_polls = 0;
+      int got = 0;
+      while (got < 2 && empty_polls < 8) {
+        if (ring.TryPop().has_value()) {
+          ++got;
+        } else {
+          ++empty_polls;
+          Yield();
+        }
+      }
+    });
+    JoinAll();
+  });
+  EXPECT_FALSE(r.ok) << "checker failed to find the seeded relaxed head "
+                        "refresh bug";
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.trace.empty());
+  std::printf("[ model ] seeded head-refresh bug found after %ld schedules\n",
+              r.schedules);
+}
+
+// MpscQueue with the next-pointer publish downgraded to relaxed: the
+// consumer can traverse to a node whose payload write is not yet visible.
+template <typename Policy>
+class RelaxedLinkMpscQueue {
+ public:
+  using Node = BasicMpscNode<Policy>;
+
+  RelaxedLinkMpscQueue() : head_(&stub_), tail_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+
+  void Push(Node* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_relaxed);  // BUG: no release
+  }
+
+  Node* Pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    Node* head = head_.load(std::memory_order_acquire);
+    if (tail != head) return nullptr;
+    Push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;
+  }
+
+ private:
+  typename Policy::template Atomic<Node*> head_;
+  Node* tail_;
+  Node stub_;
+};
+
+TEST(ModelSeededBugTest, RelaxedNextLinkIsCaught) {
+  // Two nodes matter: popping the *first* of two queued nodes takes the
+  // early next-pointer path, which relies on the (here missing) release on
+  // the link store. A single node is popped via head_'s acq_rel exchange,
+  // which would mask the bug.
+  Options opts;
+  opts.max_preemptions = 2;
+  Result r = Explore(opts, [] {
+    RelaxedLinkMpscQueue<verify::ModelAtomics> queue;
+    std::array<ModelTestNode, 2> nodes;
+    Spawn([&] {
+      for (int i = 0; i < 2; ++i) {
+        nodes[i].value.Set(42 + i);
+        queue.Push(&nodes[i].node);
+      }
+    });
+    Spawn([&] {
+      int empty_polls = 0;
+      while (empty_polls < 6) {
+        ModelMpscNode* n = queue.Pop();
+        if (n != nullptr) {
+          for (auto& cand : nodes) {
+            if (&cand.node == n) {
+              ModelAssert(cand.value.Get() >= 42, "payload not visible");
+            }
+          }
+          return;
+        }
+        ++empty_polls;
+        Yield();
+      }
+    });
+    JoinAll();
+  });
+  EXPECT_FALSE(r.ok) << "checker failed to find the seeded relaxed-link bug";
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  std::printf("[ model ] seeded mpsc relaxed-link bug found after %ld "
+              "schedules\n",
+              r.schedules);
+}
+
+// --- checker self-tests -----------------------------------------------------
+
+TEST(ModelRuntimeTest, AssertionFailuresCarryReplayableTrace) {
+  Options opts;
+  Result r = Explore(opts, [] {
+    int x = 0;
+    Spawn([&x] { x = 1; });
+    JoinAll();
+    ModelAssert(x == 2, "seeded assertion failure");
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("seeded assertion failure"), std::string::npos);
+}
+
+TEST(ModelRuntimeTest, PreemptionBoundLimitsScheduleGrowth) {
+  // The same program explored with widening preemption budgets must visit
+  // a monotonically growing schedule space.
+  auto run = [](int preemptions) {
+    Options opts;
+    opts.max_preemptions = preemptions;
+    return Explore(opts, [] {
+      SpscRing<int, verify::ModelAtomics> ring(2);
+      Spawn([&] {
+        ring.TryPush(1);
+        ring.TryPush(2);
+      });
+      Spawn([&] {
+        ring.TryPop();
+        ring.TryPop();
+      });
+      JoinAll();
+    });
+  };
+  Result r0 = run(0);
+  Result r1 = run(1);
+  Result r2 = run(2);
+  EXPECT_TRUE(r0.ok) << r0.message;
+  EXPECT_TRUE(r1.ok) << r1.message;
+  EXPECT_TRUE(r2.ok) << r2.message;
+  EXPECT_TRUE(r2.exhausted);
+  EXPECT_LE(r0.schedules, r1.schedules);
+  EXPECT_LE(r1.schedules, r2.schedules);
+  std::printf("[ model ] preemption bound 0/1/2 -> %ld/%ld/%ld schedules\n",
+              r0.schedules, r1.schedules, r2.schedules);
+}
+
+TEST(ModelRuntimeTest, MissingJoinAllIsReported) {
+  Options opts;
+  opts.max_schedules = 1;
+  Result r = Explore(opts, [] {
+    // Forgetting JoinAll would let the body's locals die under a live
+    // virtual thread; the runtime reports it instead of crashing.
+    [[maybe_unused]] static int sink = 0;
+    Spawn([] { sink = 1; });
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("JoinAll"), std::string::npos) << r.message;
+}
+
+}  // namespace
+}  // namespace snap

@@ -69,6 +69,75 @@ TEST(SpscRingTest, WrapsAroundManyTimes) {
   }
 }
 
+TEST(SpscRingTest, FullEmptyAlternationAcrossWraparound) {
+  // Drive the ring through repeated full->empty cycles so the full() and
+  // empty() boundary conditions are checked at every index wrap offset.
+  SpscRing<int> ring(2);
+  int next = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    ASSERT_TRUE(ring.empty());
+    ASSERT_FALSE(ring.TryPop().has_value());
+    ASSERT_TRUE(ring.TryPush(next++));
+    ASSERT_TRUE(ring.TryPush(next++));
+    ASSERT_TRUE(ring.full());
+    ASSERT_FALSE(ring.TryPush(-1));
+    ASSERT_EQ(ring.TryPop().value(), next - 2);
+    ASSERT_EQ(ring.TryPop().value(), next - 1);
+  }
+}
+
+TEST(SpscRingTest, CachedHeadRefreshUnblocksPushAfterPop) {
+  // The producer caches the consumer index: a push that sees an
+  // apparently-full ring must refresh cached_head_ and succeed once the
+  // consumer has freed a slot. (The equivalent claim under weak memory is
+  // model-checked in model_check_test.cc.)
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.TryPush(1));
+  ASSERT_TRUE(ring.TryPush(2));
+  ASSERT_FALSE(ring.TryPush(3));  // primes a stale cached_head_
+  ASSERT_EQ(ring.TryPop().value(), 1);
+  EXPECT_TRUE(ring.TryPush(3));   // must observe the freed slot
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SpscRingTest, CachedTailRefreshUnblocksPopAfterPush) {
+  // Mirror image: a pop that sees an apparently-empty ring must refresh
+  // cached_tail_ and succeed once the producer has published.
+  SpscRing<int> ring(2);
+  ASSERT_FALSE(ring.TryPop().has_value());  // primes a stale cached_tail_
+  ASSERT_TRUE(ring.TryPush(7));
+  auto v = ring.TryPop();
+  ASSERT_TRUE(v.has_value());               // must observe the new element
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(SpscRingTest, CapacityOneDegenerateRing) {
+  // One-slot ring: every operation sits on the full/empty boundary and
+  // every push reuses the same slot.
+  SpscRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_TRUE(ring.full());
+    ASSERT_FALSE(ring.TryPush(-1));
+    ASSERT_EQ(ring.TryPop().value(), i);
+    ASSERT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRingTest, PeekTracksHeadAcrossWraparound) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.TryPush(0));
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));  // keep one in flight, wrap constantly
+    ASSERT_NE(ring.Peek(), nullptr);
+    ASSERT_EQ(*ring.Peek(), i - 1);
+    ASSERT_EQ(ring.TryPop().value(), i - 1);
+  }
+  ASSERT_EQ(ring.TryPop().value(), 100);
+  EXPECT_EQ(ring.Peek(), nullptr);
+}
+
 TEST(SpscRingTest, ConcurrentProducerConsumerPreservesFifo) {
   SpscRing<int> ring(64);
   // Modest count with yields: the CI machine may have a single core, so

@@ -11,8 +11,14 @@
 // --smoke shrinks every workload for CI (runs in ~seconds, labeled
 // `bench` in ctest); --json writes machine-readable results for
 // tools/bench_trajectory.py, which maintains BENCH_sim_speed.json;
-// --only runs a single case (event_churn / cancel_churn / rack_fig6b),
-// mainly so a profiler sees one workload (incompatible with --json).
+// --only runs a single case (event_churn / cancel_churn / rack_fig6b /
+// rack_scaling), mainly so a profiler sees one workload (incompatible
+// with --json).
+//
+// The rack_scaling case sweeps rack sizes x shard counts on the sharded
+// conservative-sync engine (bench/sharded_rack.h), reporting wall-clock
+// events/sec alongside the deterministic critical-path speedup, with a
+// parity check that delivered work is invariant across shard counts.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,6 +29,7 @@
 
 #include "bench/bench_common.h"
 #include "bench/rpc_rack.h"
+#include "bench/sharded_rack.h"
 
 // ---------------------------------------------------------------------------
 // Allocation counting: every global new/delete in this binary bumps a
@@ -207,6 +214,65 @@ void JsonMeasurement(FILE* f, const char* kind, const Measurement& m,
                m.sim_sec, last ? "" : ",");
 }
 
+// ---------------------------------------------------------------------------
+// Rack-scaling leg: the all-to-all RPC rack at increasing sizes, executed
+// by the sharded conservative-sync engine at increasing shard counts.
+//
+// Two readings per point:
+//   - wall-clock events/sec (honest, machine-dependent: on a single-core
+//     runner the threaded shards time-slice one core and cannot beat
+//     serial);
+//   - speedup_critical_path = events_fired / critical_path_events, the
+//     deterministic events/sec speedup an ideal one-core-per-shard machine
+//     would see. It is a pure function of the simulation (epoch structure
+//     is thread-count invariant), so it is stable across runners and is
+//     what the scaling gate checks.
+// Parity: delivered packets and completed RPCs must be identical across
+// every shard count at every rack size (the conservative engine may not
+// change simulated results, only how they are computed).
+// ---------------------------------------------------------------------------
+struct ScalingPoint {
+  int hosts = 0;
+  int shards = 0;
+  Measurement m;
+  int64_t epochs = 0;
+  int64_t critical_path_events = 0;
+  int64_t handoffs = 0;
+  int64_t cross_shard = 0;
+  int64_t rpcs = 0;
+  double speedup_cp = 0;
+};
+
+ScalingPoint MeasureShardedRack(int hosts, int shards, SimDuration warmup,
+                                SimDuration window) {
+  RpcRackConfig config = RackConfig(EventQueueKind::kTimerWheel);
+  config.hosts = hosts;
+  // Big racks run one background job per host: the sweep scales the
+  // fabric and host count, not the per-host app mix.
+  config.jobs_per_host = hosts > 6 ? 1 : 3;
+  ScalingPoint point;
+  point.hosts = hosts;
+  point.shards = shards;
+  Timed timed;
+  // Worker threads = shards (capped by the machine); results are
+  // bit-identical to sequential execution, so wall time is the only thing
+  // the thread count can change.
+  int threads = shards > 1 ? shards : 0;
+  ShardedRackResult result =
+      RunPonyRpcRackSharded(config, shards, threads, warmup, window);
+  timed.Finish(&point.m);
+  point.m.events = result.rack.sim_events;
+  point.m.packets = result.rack.fabric_packets;
+  point.m.sim_sec = ToSec(result.rack.sim_end_time);
+  point.epochs = result.epochs;
+  point.critical_path_events = result.critical_path_events;
+  point.handoffs = result.exchange_handoffs;
+  point.cross_shard = result.exchange_cross_shard;
+  point.rpcs = result.rack.background_rpcs;
+  point.speedup_cp = result.speedup_critical_path();
+  return point;
+}
+
 int Main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
@@ -296,6 +362,64 @@ int Main(int argc, char** argv) {
                 rack.sim_sec / rack.wall_sec, rack.sim_sec, rack.wall_sec);
   }
 
+  // Rack-scaling leg: rack sizes x shard counts on the sharded engine.
+  std::vector<ScalingPoint> scaling;
+  bool scaling_parity_ok = true;
+  double scaling_speedup_best = 0;
+  if (want("rack_scaling")) {
+    const std::vector<int> rack_sizes =
+        smoke ? std::vector<int>{6, 24} : std::vector<int>{6, 96, 384};
+    const std::vector<int> shard_counts = {1, 2, 4, 8};
+    std::printf("  rack scaling (sharded engine, conservative sync):\n");
+    for (int hosts : rack_sizes) {
+      // Window shrinks with rack size so every point stays minutes-cheap;
+      // the per-point simulated work is what the critical-path ratio
+      // normalizes over, so points remain comparable.
+      SimDuration sc_warmup, sc_window;
+      if (smoke) {
+        sc_warmup = 1 * kMsec;
+        sc_window = hosts > 6 ? 2 * kMsec : 3 * kMsec;
+      } else {
+        sc_warmup = hosts > 96 ? 1 * kMsec : (hosts > 6 ? 2 * kMsec : 5 * kMsec);
+        sc_window = hosts > 96 ? 4 * kMsec : (hosts > 6 ? 8 * kMsec : 20 * kMsec);
+      }
+      int64_t first_packets = -1;
+      int64_t first_rpcs = -1;
+      for (int shards : shard_counts) {
+        ScalingPoint p = MeasureShardedRack(hosts, shards, sc_warmup,
+                                            sc_window);
+        if (first_packets < 0) {
+          first_packets = p.m.packets;
+          first_rpcs = p.rpcs;
+        } else if (p.m.packets != first_packets || p.rpcs != first_rpcs) {
+          scaling_parity_ok = false;
+          std::printf("  PARITY FAIL: %d hosts, %d shards: packets %lld vs "
+                      "%lld, rpcs %lld vs %lld\n",
+                      hosts, shards, static_cast<long long>(p.m.packets),
+                      static_cast<long long>(first_packets),
+                      static_cast<long long>(p.rpcs),
+                      static_cast<long long>(first_rpcs));
+        }
+        if (hosts == rack_sizes.back() && shards == shard_counts.back()) {
+          scaling_speedup_best = p.speedup_cp;
+        }
+        std::printf("    %4d hosts %2d shards  %8.3fs wall  %8.2fM events  "
+                    "%7.2fM ev/s  cp-speedup %5.2fx  %7lld epochs  "
+                    "%9lld handoffs (%lld cross)\n",
+                    p.hosts, p.shards, p.m.wall_sec,
+                    static_cast<double>(p.m.events) / 1e6,
+                    p.m.events_per_sec() / 1e6, p.speedup_cp,
+                    static_cast<long long>(p.epochs),
+                    static_cast<long long>(p.handoffs),
+                    static_cast<long long>(p.cross_shard));
+        scaling.push_back(p);
+      }
+    }
+    std::printf("  rack scaling parity (packets+rpcs invariant across "
+                "shard counts): %s\n",
+                scaling_parity_ok ? "OK" : "FAILED");
+  }
+
   // Dedicated traced run (never timed): writes a Chrome-trace JSON of the
   // rack workload for chrome://tracing / Perfetto / tools/trace_report.py,
   // and prints the telemetry dashboard for the same run.
@@ -333,6 +457,35 @@ int Main(int argc, char** argv) {
               : 0;
       std::fprintf(f, "      \"speedup_events_per_sec\": %.4f\n    }%s\n",
                    speedup, i + 1 < 3 ? "," : "");
+    }
+    if (!scaling.empty()) {
+      std::fprintf(f, "    ,\"rack_scaling\": {\n      \"points\": [\n");
+      for (size_t i = 0; i < scaling.size(); ++i) {
+        const ScalingPoint& p = scaling[i];
+        std::fprintf(
+            f,
+            "        {\"hosts\": %d, \"shards\": %d, \"wall_sec\": %.6f, "
+            "\"events\": %lld, \"events_per_sec\": %.1f, "
+            "\"packets\": %lld, \"rpcs\": %lld, \"epochs\": %lld, "
+            "\"critical_path_events\": %lld, "
+            "\"speedup_critical_path\": %.4f, \"handoffs\": %lld, "
+            "\"cross_shard\": %lld}%s\n",
+            p.hosts, p.shards, p.m.wall_sec,
+            static_cast<long long>(p.m.events), p.m.events_per_sec(),
+            static_cast<long long>(p.m.packets),
+            static_cast<long long>(p.rpcs),
+            static_cast<long long>(p.epochs),
+            static_cast<long long>(p.critical_path_events), p.speedup_cp,
+            static_cast<long long>(p.handoffs),
+            static_cast<long long>(p.cross_shard),
+            i + 1 < scaling.size() ? "," : "");
+      }
+      std::fprintf(f,
+                   "      ],\n      \"parity_ok\": %s,\n"
+                   "      \"speedup_critical_path_max_rack\": %.4f\n"
+                   "    }\n",
+                   scaling_parity_ok ? "true" : "false",
+                   scaling_speedup_best);
     }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);

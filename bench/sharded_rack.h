@@ -1,0 +1,228 @@
+// Sharded variant of the Fig. 6(b) RPC rack: the same all-to-all Pony
+// workload assembled over a ShardedSim + ShardedFabricGroup, hosts dealt
+// round-robin across shards. bench_sim_speed's rack-scaling leg sweeps
+// --shards over rack sizes to measure how the conservative-sync engine
+// scales, and cross-checks that delivered work is identical no matter
+// how many shards (or worker threads) execute it.
+#ifndef BENCH_SHARDED_RACK_H_
+#define BENCH_SHARDED_RACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/rpc_rack.h"
+#include "src/net/shard_net.h"
+#include "src/sim/sharded_sim.h"
+
+namespace snap {
+
+// A rack of identical SimHosts spread across a sharded fabric. Host h
+// lives on shard h % num_shards; ids stay global (the group pads every
+// other shard's host table), so the workload wiring is identical to the
+// serial Rack's.
+class ShardedRack {
+ public:
+  ShardedRack(uint64_t seed, int num_hosts, const SimHostOptions& options,
+              int num_shards, int num_threads,
+              EventQueueKind queue_kind = kDefaultEventQueueKind,
+              const NicParams& nic_params = NicParams{})
+      : sharded_([&] {
+          ShardedSim::Options o;
+          o.num_shards = num_shards;
+          o.seed = seed;
+          o.queue_kind = queue_kind;
+          o.lookahead = nic_params.propagation_delay;
+          o.num_threads = num_threads;
+          return o;
+        }()),
+        group_(&sharded_, nic_params) {
+    for (int i = 0; i < num_hosts; ++i) {
+      int shard = i % num_shards;
+      hosts_.push_back(std::make_unique<SimHost>(
+          sharded_.sim(shard), group_.fabric(shard), &directory_, options));
+    }
+  }
+
+  ShardedSim& sharded() { return sharded_; }
+  ShardedFabricGroup& group() { return group_; }
+  PonyDirectory& directory() { return directory_; }
+  SimHost* host(int i) { return hosts_[i].get(); }
+  int size() const { return static_cast<int>(hosts_.size()); }
+
+  int64_t TotalEventsFired() const {
+    int64_t total = 0;
+    for (int s = 0; s < sharded_.num_shards(); ++s) {
+      total += sharded_.sim(s)->event_queue().stats().fired;
+    }
+    return total;
+  }
+
+ private:
+  ShardedSim sharded_;
+  PonyDirectory directory_;
+  ShardedFabricGroup group_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+};
+
+// Extra accounting the sharded leg reports on top of RpcRackResult.
+struct ShardedRackResult {
+  RpcRackResult rack;
+  int64_t epochs = 0;
+  int64_t events_fired = 0;
+  int64_t critical_path_events = 0;
+  int64_t exchange_handoffs = 0;
+  int64_t exchange_cross_shard = 0;
+  // events_fired / critical_path_events: the speedup an ideal machine
+  // with one core per shard would see. Wall-clock numbers sit next to
+  // this in the JSON; on a single-core runner they cannot show parallel
+  // speedup, the critical-path ratio is the scaling signal.
+  double speedup_critical_path() const {
+    return critical_path_events > 0
+               ? static_cast<double>(events_fired) /
+                     static_cast<double>(critical_path_events)
+               : 0;
+  }
+};
+
+// The RunPonyRpcRack workload on a ShardedRack. Keep the assembly in
+// lockstep with rpc_rack.h: same engine/job/prober layout, same seeds,
+// so the delivered work is comparable serial-vs-sharded.
+inline ShardedRackResult RunPonyRpcRackSharded(const RpcRackConfig& config,
+                                               int num_shards,
+                                               int num_threads,
+                                               SimDuration warmup,
+                                               SimDuration window) {
+  ShardedRack rack(config.seed, config.hosts, config.host_options,
+                   num_shards, num_threads, config.queue_kind,
+                   config.nic_params);
+  double per_job_rate =
+      config.offered_gbps_per_host * 1e9 /
+      (8.0 * static_cast<double>(config.response_bytes) *
+       config.jobs_per_host);
+
+  struct Job {
+    PonyEngine* engine;
+    std::unique_ptr<PonyClient> client_side;
+    std::unique_ptr<PonyClient> server_side;
+    std::unique_ptr<PonyRpcClientTask> client_task;
+    std::unique_ptr<PonyRpcServerTask> server_task;
+  };
+  std::vector<std::vector<Job>> jobs(config.hosts);
+  std::vector<PonyAddress> all_addresses;
+
+  for (int h = 0; h < config.hosts; ++h) {
+    for (int j = 0; j < config.jobs_per_host; ++j) {
+      Job job;
+      job.engine = rack.host(h)->CreatePonyEngine(
+          "job" + std::to_string(h) + "_" + std::to_string(j));
+      job.client_side = rack.host(h)->CreateClient(job.engine, "cli");
+      job.server_side = rack.host(h)->CreateClient(job.engine, "srv");
+      job.engine->SetDefaultSink(job.server_side.get());
+      all_addresses.push_back(job.engine->address());
+      jobs[h].push_back(std::move(job));
+    }
+  }
+  std::vector<std::unique_ptr<PonyClient>> prober_clients;
+  std::vector<std::unique_ptr<PonyRpcClientTask>> probers;
+  for (int h = 0; h < config.hosts; ++h) {
+    PonyEngine* pe = rack.host(h)->CreatePonyEngine(
+        "prober" + std::to_string(h));
+    prober_clients.push_back(rack.host(h)->CreateClient(pe, "prober"));
+    PonyRpcClientTask::Options po;
+    po.rpcs_per_sec = config.prober_qps;
+    po.request_bytes = 64;
+    po.response_bytes = 64;
+    po.spin = config.prober_spins;
+    po.rng_seed = config.seed + 1000 + h;
+    for (const PonyAddress& addr : all_addresses) {
+      if (addr.host != h) {
+        po.peers.push_back(addr);
+      }
+    }
+    probers.push_back(std::make_unique<PonyRpcClientTask>(
+        "prober" + std::to_string(h), rack.host(h)->cpu(),
+        prober_clients.back().get(), po));
+  }
+  for (int h = 0; h < config.hosts; ++h) {
+    for (int j = 0; j < config.jobs_per_host; ++j) {
+      Job& job = jobs[h][j];
+      job.server_task = std::make_unique<PonyRpcServerTask>(
+          "rpc_srv", rack.host(h)->cpu(), job.server_side.get());
+      job.server_task->Start();
+      PonyRpcClientTask::Options co;
+      co.rpcs_per_sec = per_job_rate;
+      co.request_bytes = 64;
+      co.response_bytes = config.response_bytes;
+      co.rng_seed = config.seed + h * 100 + j;
+      for (const PonyAddress& addr : all_addresses) {
+        if (!(addr == job.engine->address())) {
+          co.peers.push_back(addr);
+        }
+      }
+      job.client_task = std::make_unique<PonyRpcClientTask>(
+          "rpc_cli", rack.host(h)->cpu(), job.client_side.get(), co);
+      job.client_task->Start();
+    }
+  }
+  for (auto& p : probers) {
+    p->Start();
+  }
+
+  rack.sharded().RunFor(warmup);
+  for (auto& per_host : jobs) {
+    for (auto& job : per_host) {
+      job.client_task->ResetStats();
+    }
+  }
+  for (auto& p : probers) {
+    p->ResetStats();
+  }
+  // Per-host CPU totals, windowed like CpuSnapshot but over the sharded
+  // rack's hosts.
+  auto cpu_total = [&rack] {
+    int64_t total = 0;
+    for (int i = 0; i < rack.size(); ++i) {
+      SimHost* h = rack.host(i);
+      total += h->SnapCpuNs() + h->KernelCpuNs() + h->AppCpuNs();
+    }
+    return total;
+  };
+  int64_t cpu0 = cpu_total();
+  const ShardedSim::Progress progress0 = rack.sharded().progress();
+  rack.sharded().RunFor(window);
+  int64_t cpu1 = cpu_total();
+
+  ShardedRackResult result;
+  result.rack.cpu_per_machine = static_cast<double>(cpu1 - cpu0) /
+                                static_cast<double>(window) / config.hosts;
+  int64_t bytes = 0;
+  for (auto& per_host : jobs) {
+    for (auto& job : per_host) {
+      bytes += job.client_task->bytes_transferred();
+      result.rack.background_rpcs += job.client_task->rpcs_completed();
+    }
+  }
+  result.rack.gbps_per_machine = static_cast<double>(bytes) * 2.0 * 8.0 /
+                                 ToSec(window) / 1e9 / config.hosts;
+  for (auto& p : probers) {
+    result.rack.prober_latency.Merge(p->latency());
+  }
+  result.rack.sim_events = rack.TotalEventsFired();
+  result.rack.fabric_packets = rack.group().AggregateStats().delivered;
+  result.rack.sim_end_time = rack.sharded().now();
+
+  const ShardedSim::Progress& progress = rack.sharded().progress();
+  result.epochs = progress.epochs - progress0.epochs;
+  result.events_fired = progress.events_fired - progress0.events_fired;
+  result.critical_path_events =
+      progress.critical_path_events - progress0.critical_path_events;
+  result.exchange_handoffs = rack.group().exchange_stats().handoffs;
+  result.exchange_cross_shard = rack.group().exchange_stats().cross_shard;
+  return result;
+}
+
+}  // namespace snap
+
+#endif  // BENCH_SHARDED_RACK_H_

@@ -9,15 +9,33 @@ Fabric::Fabric(Simulator* sim, const NicParams& params)
     : sim_(sim), params_(params) {}
 
 Nic* Fabric::AddHost() {
+  // Let the shard router pad the other shards' host tables first so host
+  // ids stay global: the id this fabric assigns below is the same id every
+  // other shard reserves as a remote placeholder.
+  if (router_ != nullptr) {
+    router_->OnAddHost(this);
+  }
   int id = static_cast<int>(nics_.size());
   nics_.push_back(std::make_unique<Nic>(sim_, this, id, params_));
   ports_.emplace_back();
   return nics_.back().get();
 }
 
+void Fabric::AddRemoteHost() {
+  nics_.push_back(nullptr);
+  ports_.emplace_back();
+}
+
 void Fabric::Route(PacketPtr packet, SimTime wire_time) {
   if (packet->dst_host < 0 || packet->dst_host >= num_hosts()) {
     ++stats_.dropped_bad_address;
+    return;
+  }
+  if (router_ != nullptr) {
+    // Sharded path: the router stages the packet toward the destination
+    // host's shard; random drop, delivery hooks and port contention all
+    // run on that shard (DeliverAtSwitch) at the next epoch barrier.
+    router_->RouteFromShard(this, std::move(packet), wire_time);
     return;
   }
   if (drop_probability_ > 0 &&
@@ -35,10 +53,24 @@ void Fabric::Route(PacketPtr packet, SimTime wire_time) {
   EnqueueAtPort(std::move(packet), wire_time);
 }
 
+void Fabric::DeliverAtSwitch(PacketPtr packet, SimTime switch_arrival) {
+  if (packet->dst_host < static_cast<int>(delivery_hooks_.size())) {
+    auto& hook = delivery_hooks_[packet->dst_host];
+    if (hook) {
+      hook(std::move(packet), switch_arrival);
+      return;
+    }
+  }
+  EnqueueAtPort(std::move(packet), switch_arrival);
+}
+
 void Fabric::EnqueueAtPort(PacketPtr packet, SimTime wire_time) {
   TracePacketPoint(sim_, *packet, "fabric_enq");
   // Propagate to the switch, then contend for the destination egress port.
-  SimTime switch_arrival = wire_time + params_.propagation_delay;
+  // In arrival-time mode the caller's timestamp already includes the
+  // propagation hop (sharded fabrics deliver in the arrival frame).
+  SimTime switch_arrival =
+      arrival_time_mode_ ? wire_time : wire_time + params_.propagation_delay;
   Port& port = ports_[packet->dst_host];
   if (port.queued_bytes + packet->wire_bytes > params_.port_queue_bytes) {
     ++stats_.dropped_queue_full;

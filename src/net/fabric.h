@@ -18,15 +18,44 @@
 
 namespace snap {
 
+class Fabric;
+
+// Routes packets between per-shard Fabrics in a sharded simulation
+// (src/net/shard_net.h). A Fabric with a shard router installed hands it
+// every routed packet instead of queueing locally; the router stages the
+// packet for delivery on the destination host's shard at the next epoch
+// barrier.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  // Called at the top of Fabric::AddHost on `adder`, before the host id is
+  // assigned, so the router can pad every other shard's host table and
+  // keep host ids global across shards.
+  virtual void OnAddHost(Fabric* adder) = 0;
+  // Takes ownership of a packet leaving `src`'s wire at `wire_time`.
+  virtual void RouteFromShard(Fabric* src, PacketPtr packet,
+                              SimTime wire_time) = 0;
+};
+
 class Fabric {
  public:
   Fabric(Simulator* sim, const NicParams& params);
 
   // Creates a new host with one NIC attached to the fabric; hosts are
-  // numbered densely from 0.
+  // numbered densely from 0 (globally, across shards, when a shard router
+  // is installed).
   Nic* AddHost();
 
+  // Records a host that lives on another shard's fabric: reserves its id
+  // locally (nullptr NIC, placeholder port) so host ids index the same
+  // tables on every shard. Only shard routers call this.
+  void AddRemoteHost();
+
+  // nullptr when the host lives on another shard's fabric.
   Nic* nic(int host) { return nics_[host].get(); }
+  bool host_is_local(int host) const {
+    return host >= 0 && host < num_hosts() && nics_[host] != nullptr;
+  }
   int num_hosts() const { return static_cast<int>(nics_.size()); }
 
   // Called by a NIC when a packet finishes serializing onto its uplink at
@@ -35,11 +64,36 @@ class Fabric {
 
   // Second half of Route: contend for the destination's egress port queue
   // and schedule delivery. Public so delivery hooks can re-inject packets
-  // they intercepted (possibly delayed/cloned/corrupted).
+  // they intercepted (possibly delayed/cloned/corrupted). The time
+  // argument is the source wire time normally, or the switch-arrival time
+  // when arrival-time mode is on (see set_arrival_time_mode).
   void EnqueueAtPort(PacketPtr packet, SimTime wire_time);
+
+  // Delivery entry point used by shard routers at epoch barriers: the
+  // packet has already crossed the fabric (switch_arrival = wire_time +
+  // propagation_delay), so this runs the delivery hook / port contention
+  // in the arrival time frame.
+  void DeliverAtSwitch(PacketPtr packet, SimTime switch_arrival);
+
+  // Installs the cross-shard router; this fabric then owns only shard
+  // `shard_id`'s hosts and forwards every routed packet to the router.
+  void set_shard_router(ShardRouter* router, int shard_id) {
+    router_ = router;
+    shard_id_ = shard_id;
+  }
+  int shard_id() const { return shard_id_; }
+
+  // In arrival-time mode, EnqueueAtPort's time argument is interpreted as
+  // the switch-arrival time (propagation already elapsed) instead of the
+  // source wire time. Sharded fabrics run this way: their delivery hooks
+  // (chaos links) execute on the destination shard at wire + propagation,
+  // so re-injected packets must not pay propagation twice.
+  void set_arrival_time_mode(bool on) { arrival_time_mode_ = on; }
 
   // Fault injection: drop each packet independently with this probability.
   void set_random_drop_probability(double p) { drop_probability_ = p; }
+  double random_drop_probability() const { return drop_probability_; }
+  void CountRandomDrop() { ++stats_.dropped_random; }
 
   // Interposes on every packet routed toward `dst_host`, after the random-
   // drop stage and before port queueing. The hook owns the packet; it
@@ -98,6 +152,9 @@ class Fabric {
   std::deque<Port> ports_;
   std::vector<std::function<void(PacketPtr, SimTime)>> delivery_hooks_;
   double drop_probability_ = 0;
+  ShardRouter* router_ = nullptr;
+  int shard_id_ = 0;
+  bool arrival_time_mode_ = false;
   Stats stats_;
 };
 

@@ -6,6 +6,13 @@
 
 namespace snap {
 
+namespace {
+// Shared empty map for NICs without QoS TX state. Namespace-scope (not a
+// function-local static) so concurrent shard threads never touch a
+// magic-static guard.
+const std::map<uint32_t, Nic::TenantTxStats> kEmptyTenantTxStats;
+}  // namespace
+
 // --------------------------------------------------------------------------
 // RxQueue
 // --------------------------------------------------------------------------
@@ -216,8 +223,7 @@ void Nic::QosDrain() {
 }
 
 const std::map<uint32_t, Nic::TenantTxStats>& Nic::tenant_tx_stats() const {
-  static const std::map<uint32_t, TenantTxStats> kEmpty;
-  return qos_tx_ == nullptr ? kEmpty : qos_tx_->per_tenant;
+  return qos_tx_ == nullptr ? kEmptyTenantTxStats : qos_tx_->per_tenant;
 }
 
 void Nic::ExportQosStats(Telemetry* telemetry,

@@ -1,0 +1,151 @@
+#include "src/net/shard_net.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+// Ring capacity per directed shard pair. Sized for a burst of one epoch's
+// traffic between two shards; overflow degrades to the spill vector, not
+// to loss.
+constexpr size_t kChannelCapacity = 1024;
+}  // namespace
+
+ShardedFabricGroup::ShardedFabricGroup(ShardedSim* sharded,
+                                       const NicParams& params)
+    : sharded_(sharded), params_(params) {
+  // Conservative sync is only sound if nothing crosses shards faster than
+  // the lookahead the coordinator runs epochs with.
+  SNAP_CHECK_LE(sharded_->lookahead(), params_.propagation_delay);
+  int n = sharded_->num_shards();
+  fabrics_.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    auto fabric = std::make_unique<Fabric>(sharded_->sim(s), params_);
+    fabric->set_shard_router(this, s);
+    fabric->set_arrival_time_mode(true);
+    fabrics_.push_back(std::move(fabric));
+  }
+  channels_.reserve(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n * n; ++i) {
+    channels_.push_back(std::make_unique<Channel>(kChannelCapacity));
+  }
+  per_source_.resize(n);
+  sharded_->AddBarrierHook([this] { Exchange(); });
+}
+
+ShardedFabricGroup::~ShardedFabricGroup() {
+  // Reclaim packets still staged (simulation torn down mid-flight).
+  for (auto& ch : channels_) {
+    while (auto h = ch->ring.TryPop()) delete h->packet;
+    for (auto& h : ch->spill) delete h.packet;
+    ch->spill.clear();
+  }
+}
+
+void ShardedFabricGroup::OnAddHost(Fabric* adder) {
+  host_shard_.push_back(adder->shard_id());
+  for (auto& fabric : fabrics_) {
+    if (fabric.get() != adder) {
+      fabric->AddRemoteHost();
+    }
+  }
+}
+
+void ShardedFabricGroup::RouteFromShard(Fabric* src, PacketPtr packet,
+                                        SimTime wire_time) {
+  // Random drop runs at route time on the source shard (its rng), keeping
+  // the serial path's semantics. Note: nonzero drop probability consumes
+  // per-shard rng draws in shard-dependent order, so exact serial digest
+  // parity is only promised at drop_probability == 0 (chaos links do
+  // their loss injection with their own per-link rngs and stay parity-
+  // exact; see docs/PARALLEL.md).
+  if (src->random_drop_probability() > 0 &&
+      src->sim()->rng().NextBernoulli(src->random_drop_probability())) {
+    src->CountRandomDrop();
+    return;
+  }
+  int s = src->shard_id();
+  int d = host_shard_[packet->dst_host];
+  PerSource& ps = per_source_[s];
+  Handoff h{wire_time, packet->src_host, ps.next_seq++, packet.release()};
+  Channel& ch = channel(s, d);
+  if (!ch.ring.TryPush(h)) {
+    ch.spill.push_back(h);
+    ++ps.ring_overflow;
+  }
+  ++ps.handoffs;
+  if (s != d) ++ps.cross_shard;
+}
+
+void ShardedFabricGroup::Exchange() {
+  int n = num_shards();
+  bool moved = false;
+  for (int dst = 0; dst < n; ++dst) {
+    scratch_.clear();
+    for (int src = 0; src < n; ++src) {
+      Channel& ch = channel(src, dst);
+      while (auto h = ch.ring.TryPop()) {
+        scratch_.push_back(*h);
+      }
+      for (const Handoff& h : ch.spill) {
+        scratch_.push_back(h);
+      }
+      ch.spill.clear();
+    }
+    if (scratch_.empty()) continue;
+    moved = true;
+    // Canonical order: a pure function of the traffic, independent of the
+    // shard layout. seq ties only arise within one source shard, where it
+    // reproduces emission order.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const Handoff& a, const Handoff& b) {
+                if (a.wire_time != b.wire_time) {
+                  return a.wire_time < b.wire_time;
+                }
+                if (a.src_host != b.src_host) {
+                  return a.src_host < b.src_host;
+                }
+                return a.seq < b.seq;
+              });
+    Fabric* dfab = fabrics_[dst].get();
+    Simulator* dsim = sharded_->sim(dst);
+    for (Handoff& h : scratch_) {
+      SimTime arrival = h.wire_time + params_.propagation_delay;
+      dsim->ScheduleAt(arrival,
+                       [dfab, arrival, p = PacketPtr(h.packet)]() mutable {
+                         dfab->DeliverAtSwitch(std::move(p), arrival);
+                       });
+      h.packet = nullptr;
+    }
+  }
+  if (moved) ++exchanges_;
+}
+
+Fabric::Stats ShardedFabricGroup::AggregateStats() const {
+  Fabric::Stats total;
+  for (const auto& fabric : fabrics_) {
+    const Fabric::Stats& s = fabric->stats();
+    total.delivered += s.delivered;
+    total.dropped_queue_full += s.dropped_queue_full;
+    total.dropped_random += s.dropped_random;
+    total.dropped_bad_address += s.dropped_bad_address;
+    total.drain_events += s.drain_events;
+  }
+  return total;
+}
+
+ShardedFabricGroup::ExchangeStats ShardedFabricGroup::exchange_stats() const {
+  ExchangeStats out;
+  for (const PerSource& ps : per_source_) {
+    out.handoffs += ps.handoffs;
+    out.cross_shard += ps.cross_shard;
+    out.ring_overflow += ps.ring_overflow;
+  }
+  out.exchanges = exchanges_;
+  return out;
+}
+
+}  // namespace snap

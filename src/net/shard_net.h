@@ -1,0 +1,132 @@
+// Shard-aware fabric: one Fabric per ShardedSim shard, cross-shard packet
+// hand-off over the model-checked SpscRing, canonical arrival ordering at
+// epoch barriers.
+//
+// Topology. Host ids are global: every AddHost() on any shard's fabric
+// reserves the same id on every other shard (placeholder port, nullptr
+// NIC), so Packet::dst_host indexes the same tables everywhere. Each
+// shard's Fabric routes every wire departure to this group's
+// RouteFromShard, which stages a Handoff in the SPSC ring for the
+// (source shard, destination shard) channel — including same-shard
+// traffic, so the delivery pipeline is identical no matter where the two
+// hosts live.
+//
+// Exchange. At every epoch barrier (all shard threads parked) the
+// coordinator drains each destination's inbound channels and sorts the
+// handoffs by the canonical key (wire_time, src_host, seq), where seq is
+// a per-source-shard staging counter. Equal (wire_time, src_host) implies
+// the same source shard, so seq reproduces the source's emission order;
+// across sources, the key is a pure function of the simulated traffic.
+// Arrival events are then scheduled in that order at wire_time +
+// propagation_delay — the event queue breaks same-time ties by insertion
+// order, so execution order is canonical too. This is what makes trace
+// digests invariant across shard counts and equal to the serial engine's
+// (docs/PARALLEL.md spells out the argument and its edge cases).
+//
+// Safety. The conservative horizon (ShardedSim) guarantees every handoff
+// staged during an epoch has arrival >= the epoch's end, so barrier-time
+// ScheduleAt never rewinds a destination shard's clock. The group CHECKs
+// lookahead <= propagation_delay at construction.
+//
+// Time frame. Delivery hooks (chaos links) and port contention run on the
+// destination shard at the switch-arrival time, so per-shard fabrics are
+// switched into arrival-time mode: EnqueueAtPort must not add propagation
+// a second time. Chaos links schedule everything relative to now() and
+// work unchanged.
+#ifndef SRC_NET_SHARD_NET_H_
+#define SRC_NET_SHARD_NET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/queue/spsc_ring.h"
+#include "src/sim/model_params.h"
+#include "src/sim/sharded_sim.h"
+
+namespace snap {
+
+class ShardedFabricGroup : public ShardRouter {
+ public:
+  ShardedFabricGroup(ShardedSim* sharded, const NicParams& params);
+  ~ShardedFabricGroup() override;
+
+  ShardedFabricGroup(const ShardedFabricGroup&) = delete;
+  ShardedFabricGroup& operator=(const ShardedFabricGroup&) = delete;
+
+  int num_shards() const { return static_cast<int>(fabrics_.size()); }
+  Fabric* fabric(int shard) { return fabrics_[shard].get(); }
+  int num_hosts() const { return static_cast<int>(host_shard_.size()); }
+
+  int shard_of_host(int host) const { return host_shard_[host]; }
+  Fabric* host_fabric(int host) { return fabrics_[host_shard_[host]].get(); }
+  Simulator* host_sim(int host) { return sharded_->sim(host_shard_[host]); }
+
+  // ShardRouter interface (called by the per-shard Fabrics).
+  void OnAddHost(Fabric* adder) override;
+  void RouteFromShard(Fabric* src, PacketPtr packet,
+                      SimTime wire_time) override;
+
+  // Sum of every shard fabric's delivery/drop counters.
+  Fabric::Stats AggregateStats() const;
+
+  struct ExchangeStats {
+    int64_t handoffs = 0;       // packets staged through the barriers
+    int64_t cross_shard = 0;    // staged toward a different shard
+    int64_t ring_overflow = 0;  // staged via the spill path (ring full)
+    int64_t exchanges = 0;      // barrier exchanges that moved packets
+  };
+  ExchangeStats exchange_stats() const;
+
+ private:
+  // One staged packet. The pointer is released from its unique_ptr so the
+  // Handoff is trivially copyable through the ring; ownership transfers to
+  // the arrival event at exchange (or back to ~ShardedFabricGroup).
+  struct Handoff {
+    SimTime wire_time = 0;
+    int src_host = -1;
+    uint64_t seq = 0;
+    Packet* packet = nullptr;
+  };
+
+  // Directed (src shard -> dst shard) channel. The ring is SPSC: the
+  // source shard's thread produces during the epoch, the coordinator
+  // consumes at the barrier. Overflow spills to a source-owned vector;
+  // once the ring fills it stays full until the barrier, so every spilled
+  // handoff was staged after every ringed one and per-channel FIFO order
+  // survives (the canonical sort re-establishes total order anyway).
+  struct Channel {
+    explicit Channel(size_t capacity) : ring(capacity) {}
+    SpscRing<Handoff> ring;
+    std::vector<Handoff> spill;
+  };
+
+  // Per-source-shard mutable state, cache-line separated so shard threads
+  // never share a line.
+  struct alignas(64) PerSource {
+    uint64_t next_seq = 0;
+    int64_t handoffs = 0;
+    int64_t cross_shard = 0;
+    int64_t ring_overflow = 0;
+  };
+
+  Channel& channel(int src, int dst) {
+    return *channels_[src * num_shards() + dst];
+  }
+
+  // Runs at every epoch barrier: drain, sort, schedule arrivals.
+  void Exchange();
+
+  ShardedSim* sharded_;
+  NicParams params_;
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<PerSource> per_source_;
+  std::vector<int> host_shard_;
+  std::vector<Handoff> scratch_;  // coordinator-only sort buffer
+  int64_t exchanges_ = 0;
+};
+
+}  // namespace snap
+
+#endif  // SRC_NET_SHARD_NET_H_

@@ -12,10 +12,13 @@ namespace snap {
 namespace {
 
 // Table-driven CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+// Built at compile time: a function-local static here would put a guarded
+// magic-static check on one of the simulator's hottest leaves, and with
+// sharded simulations many worker threads hit it concurrently.
 struct Crc32cTable {
   uint32_t entries[256];
 
-  Crc32cTable() {
+  constexpr Crc32cTable() : entries() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t crc = i;
       for (int bit = 0; bit < 8; ++bit) {
@@ -26,15 +29,11 @@ struct Crc32cTable {
   }
 };
 
-const Crc32cTable& Table() {
-  static const Crc32cTable table;
-  return table;
-}
+constexpr Crc32cTable kCrc32cTable;
 
 uint32_t Crc32cSoftware(const uint8_t* bytes, size_t len, uint32_t crc) {
-  const Crc32cTable& table = Table();
   for (size_t i = 0; i < len; ++i) {
-    crc = table.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+    crc = kCrc32cTable.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
   }
   return crc;
 }

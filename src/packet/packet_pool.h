@@ -12,6 +12,14 @@
 // caller of a compatible size, so steady-state traffic allocates no
 // payload memory at all. Size classes keep 5kB-MTU data packets and
 // ~100-byte acks from thrashing each other's buffers.
+//
+// Ownership: a pool belongs to exactly one shard (one engine / one
+// simulation thread). Freelists and counters are deliberately unlocked —
+// sharded simulations give each shard its own pool rather than sharing
+// one behind a lock (docs/PARALLEL.md). Debug builds assert the
+// single-thread discipline: every Allocate/Free after the first must come
+// from the thread that first used the pool (call ResetOwnerThread if a
+// pool legitimately migrates between phases, e.g. setup vs. run).
 #ifndef SRC_PACKET_PACKET_POOL_H_
 #define SRC_PACKET_PACKET_POOL_H_
 
@@ -19,10 +27,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/packet/packet.h"
+#include "src/util/logging.h"
 
 namespace snap {
 
@@ -53,6 +63,7 @@ class PacketPool {
   // The returned packet is indistinguishable from a fresh Packet{} except
   // for `data.capacity()`.
   PacketPtr Allocate(size_t payload_hint = 0) {
+    AssertOwnerThread();
     if (stats_.allocated >= capacity_) {
       ++stats_.failed_allocs;
       return nullptr;
@@ -85,6 +96,7 @@ class PacketPool {
   // Returns a packet to the pool. The payload buffer is kept (cleared,
   // not shrunk) and filed by its capacity.
   void Free(PacketPtr packet) {
+    AssertOwnerThread();
     if (packet == nullptr) {
       return;
     }
@@ -99,6 +111,15 @@ class PacketPool {
   int64_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
   const std::string& owner() const { return owner_; }
+
+  // Forgets the owning thread; the next Allocate/Free claims ownership.
+  // For pools built during single-threaded setup and then handed to a
+  // shard worker.
+  void ResetOwnerThread() {
+#ifndef NDEBUG
+    owner_thread_ = std::thread::id{};
+#endif
+  }
 
   // Publishes pool counters as "<prefix>/allocated" etc. into the Telemetry
   // registry (defined in packet_pool.cc to keep the dependency out of line).
@@ -130,6 +151,17 @@ class PacketPool {
  private:
   static constexpr size_t kMaxRecycledPerClass = 1024;
 
+  void AssertOwnerThread() {
+#ifndef NDEBUG
+    if (owner_thread_ == std::thread::id{}) {
+      owner_thread_ = std::this_thread::get_id();
+    }
+    SNAP_CHECK(owner_thread_ == std::this_thread::get_id())
+        << "PacketPool '" << owner_
+        << "' used from two threads; give each shard its own pool";
+#endif
+  }
+
   PacketPtr TakeRecycled(int c, size_t payload_hint) {
     PacketPtr p = std::move(free_lists_[c].back());
     free_lists_[c].pop_back();
@@ -146,6 +178,9 @@ class PacketPool {
   std::string owner_;
   Stats stats_;
   std::vector<PacketPtr> free_lists_[kNumClasses];
+#ifndef NDEBUG
+  std::thread::id owner_thread_{};
+#endif
 };
 
 }  // namespace snap

@@ -1,0 +1,126 @@
+#include "src/sim/sharded_sim.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+ShardedSim::ShardedSim(const Options& options) : options_(options) {
+  SNAP_CHECK_GE(options_.num_shards, 1);
+  SNAP_CHECK_GT(options_.lookahead, 0);
+  sims_.reserve(options_.num_shards);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    sims_.push_back(
+        std::make_unique<Simulator>(options_.seed, options_.queue_kind));
+  }
+  fired_at_epoch_start_.resize(options_.num_shards, 0);
+}
+
+ShardedSim::~ShardedSim() { StopWorkers(); }
+
+SimTime ShardedSim::NextEventTime() const {
+  SimTime next = kSimTimeNever;
+  for (const auto& sim : sims_) {
+    next = std::min(next, sim->NextEventTime());
+  }
+  return next;
+}
+
+void ShardedSim::RunUntil(SimTime until) {
+  SNAP_CHECK_GE(until, now_);
+  while (true) {
+    // Barrier point: all shards are parked at now_. Exchange staged
+    // cross-shard work (hooks schedule arrival events), then compute the
+    // next conservative horizon from the post-exchange event set.
+    for (auto& hook : barrier_hooks_) hook();
+    SimTime next = NextEventTime();
+    if (next == kSimTimeNever || next + options_.lookahead >= until) {
+      // Final chunk: run inclusive to `until`, mirroring
+      // Simulator::RunUntil semantics so a sharded run observes the same
+      // clock landings (and the same events-at-until execution) as the
+      // serial engine at every RunFor boundary.
+      RunShardsTo(until);
+      now_ = until;
+      // One more exchange so work staged during the final chunk is
+      // delivered (its arrivals land at > until and run next time).
+      for (auto& hook : barrier_hooks_) hook();
+      return;
+    }
+    // Interior epoch: every shard may run events strictly before
+    // next + lookahead. Any handoff staged during this epoch has
+    // wire_time >= next, hence arrival >= next + lookahead, so scheduling
+    // it at the barrier never rewinds any shard's clock.
+    SimTime end = next + options_.lookahead;
+    RunShardsTo(end - 1);
+    now_ = end;
+  }
+}
+
+void ShardedSim::RunShardsTo(SimTime target) {
+  ++progress_.epochs;
+  for (int i = 0; i < num_shards(); ++i) {
+    fired_at_epoch_start_[i] = sims_[i]->event_queue().stats().fired;
+  }
+  int threads = std::min(options_.num_threads, num_shards());
+  if (threads <= 1) {
+    for (auto& sim : sims_) sim->RunUntil(target);
+  } else {
+    if (!workers_started_) StartWorkers();
+    target_ = target;
+    start_barrier_->arrive_and_wait();
+    done_barrier_->arrive_and_wait();
+  }
+  int64_t max_delta = 0;
+  for (int i = 0; i < num_shards(); ++i) {
+    int64_t delta =
+        sims_[i]->event_queue().stats().fired - fired_at_epoch_start_[i];
+    progress_.events_fired += delta;
+    max_delta = std::max(max_delta, delta);
+  }
+  progress_.critical_path_events += max_delta;
+}
+
+void ShardedSim::StartWorkers() {
+  num_worker_threads_ = std::min(options_.num_threads, num_shards());
+  start_barrier_ = std::make_unique<std::barrier<>>(num_worker_threads_ + 1);
+  done_barrier_ = std::make_unique<std::barrier<>>(num_worker_threads_ + 1);
+  workers_.reserve(num_worker_threads_);
+  for (int w = 0; w < num_worker_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  workers_started_ = true;
+}
+
+void ShardedSim::StopWorkers() {
+  if (!workers_started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  start_barrier_->arrive_and_wait();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  workers_started_ = false;
+}
+
+void ShardedSim::WorkerLoop(int worker_index) {
+  while (true) {
+    start_barrier_->arrive_and_wait();
+    if (stop_.load(std::memory_order_relaxed)) return;
+    for (int i = worker_index; i < num_shards(); i += num_worker_threads_) {
+      sims_[i]->RunUntil(target_);
+    }
+    done_barrier_->arrive_and_wait();
+  }
+}
+
+std::map<std::string, int64_t> ShardedSim::MergedTelemetryValues() const {
+  std::map<std::string, int64_t> merged;
+  for (const auto& sim : sims_) {
+    for (const auto& [name, value] : sim->telemetry().SnapshotValues()) {
+      merged[name] += value;
+    }
+  }
+  return merged;
+}
+
+}  // namespace snap

@@ -1,0 +1,141 @@
+// Conservative parallel discrete-event simulation across shards.
+//
+// A ShardedSim owns N independent Simulators ("shards"); a partitioned
+// model assigns every host (and its NIC, engines, telemetry) to exactly
+// one shard, so a shard's event queue only ever touches shard-local
+// state. Shards synchronize with classic conservative epochs: if the
+// earliest pending event anywhere is at time `next`, and any work one
+// shard produces for another cannot take effect before `lookahead` has
+// elapsed (the fabric's propagation delay), then every shard may run
+// freely to the horizon `next + lookahead` without ever observing a
+// message from the past. At each epoch barrier all shards are parked,
+// the registered barrier hooks run on the coordinating thread (this is
+// where src/net/shard_net.h drains the inter-shard SpscRings and
+// schedules arrival events in canonical order), and the next horizon is
+// computed from the new global event set.
+//
+// Because the horizon is a pure function of the global set of pending
+// event times, the epoch structure — and therefore every exchange — is
+// identical no matter how many worker threads execute the shards. With
+// `num_threads <= 1` the shards run round-robin on the caller's thread
+// and the results are bit-identical to the threaded run by construction;
+// tests exploit this to pin the threaded backend against the sequential
+// one, and the chaos-sweep digest tests pin both against the serial
+// single-Simulator engine (docs/PARALLEL.md).
+//
+// The idle skip-ahead in the horizon computation (`next + lookahead`
+// rather than `now + lookahead`) matters: quiescent stretches (RTO
+// waits, drained chaos sweeps) advance in one epoch instead of millions
+// of empty lookahead-sized steps.
+#ifndef SRC_SIM_SHARDED_SIM_H_
+#define SRC_SIM_SHARDED_SIM_H_
+
+#include <atomic>
+#include <barrier>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+class ShardedSim {
+ public:
+  struct Options {
+    int num_shards = 1;
+    uint64_t seed = 1;
+    EventQueueKind queue_kind = kDefaultEventQueueKind;
+    // Conservative synchronization horizon: the minimum model-time delay
+    // before work produced on one shard can take effect on another. For
+    // fabric workloads this is NicParams::propagation_delay (the model
+    // enforces lookahead <= propagation_delay in shard_net.h).
+    SimDuration lookahead = 1 * kUsec;
+    // Worker threads executing shards; <= 1 runs every shard round-robin
+    // on the caller's thread (bit-identical results either way).
+    int num_threads = 0;
+  };
+
+  explicit ShardedSim(const Options& options);
+  ~ShardedSim();
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  int num_shards() const { return static_cast<int>(sims_.size()); }
+  Simulator* sim(int shard) { return sims_[shard].get(); }
+  const Simulator* sim(int shard) const { return sims_[shard].get(); }
+  SimDuration lookahead() const { return options_.lookahead; }
+
+  // Barrier (= global simulated) time: every shard has executed all its
+  // events strictly before now(), and none at or after it except during
+  // the final inclusive chunk of a RunUntil (mirroring Simulator::RunUntil,
+  // whose clock lands exactly on `until` with events at `until` executed).
+  SimTime now() const { return now_; }
+
+  // Registers a hook that runs on the coordinating thread at every epoch
+  // barrier, with all shards parked. Hooks run in registration order;
+  // cross-shard exchanges and barrier-time sampling live here. Register
+  // before the first Run* call.
+  void AddBarrierHook(std::function<void()> hook) {
+    barrier_hooks_.push_back(std::move(hook));
+  }
+
+  // Conservative epoch execution to `until` (inclusive, like
+  // Simulator::RunUntil). Returns with now() == until and all staged
+  // cross-shard work exchanged.
+  void RunUntil(SimTime until);
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  // Earliest pending event time across all shards (kSimTimeNever if idle).
+  SimTime NextEventTime() const;
+
+  struct Progress {
+    int64_t epochs = 0;
+    int64_t events_fired = 0;  // total across shards
+    // Sum over epochs of the busiest shard's events that epoch: the
+    // events on the parallel critical path. events_fired /
+    // critical_path_events is the speedup an ideal machine with one core
+    // per shard would see (bench_sim_speed records it as
+    // speedup_critical_path; measured wall-clock numbers sit next to it).
+    int64_t critical_path_events = 0;
+  };
+  const Progress& progress() const { return progress_; }
+
+  // Deterministic merge of every shard's telemetry registry: counters and
+  // gauges summed into one name-ordered map (shards register disjoint
+  // per-host metric names, so the merge is a union; shared names sum).
+  std::map<std::string, int64_t> MergedTelemetryValues() const;
+
+ private:
+  void RunShardsTo(SimTime target);
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerLoop(int worker_index);
+
+  Options options_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::function<void()>> barrier_hooks_;
+  SimTime now_ = 0;
+  Progress progress_;
+  std::vector<int64_t> fired_at_epoch_start_;
+
+  // Worker-pool state (threaded mode only). `target_` is written by the
+  // coordinator strictly between the two barriers, so workers read it
+  // race-free; the barriers provide all ordering.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> start_barrier_;
+  std::unique_ptr<std::barrier<>> done_barrier_;
+  SimTime target_ = 0;
+  int num_worker_threads_ = 0;
+  std::atomic<bool> stop_{false};
+  bool workers_started_ = false;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SIM_SHARDED_SIM_H_

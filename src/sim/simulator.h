@@ -74,6 +74,10 @@ class Simulator {
 
   size_t pending_events() const { return events_.size(); }
 
+  // Earliest pending event time (kSimTimeNever when idle). Non-const
+  // because the timer-wheel backend may cascade buckets to answer.
+  SimTime NextEventTime() { return events_.NextEventTime(); }
+
   // The backing event queue (stats, implementation kind).
   const EventQueue& event_queue() const { return events_; }
 

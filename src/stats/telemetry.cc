@@ -31,6 +31,18 @@ void Telemetry::SetCounter(const std::string& name, int64_t value) {
   c->Add(value);
 }
 
+void Telemetry::MergeFrom(const Telemetry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[name].Add(counter.value());
+  }
+  for (const auto& [name, fn] : other.gauges_) {
+    counters_[name].Add(fn());
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    GetHistogram(name)->Merge(*hist);
+  }
+}
+
 std::map<std::string, int64_t> Telemetry::SnapshotValues() const {
   std::map<std::string, int64_t> out;
   for (const auto& [name, counter] : counters_) {

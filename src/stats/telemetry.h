@@ -53,6 +53,16 @@ class Telemetry {
   // Counters + gauges as a flat map (gauges evaluated now).
   std::map<std::string, int64_t> SnapshotValues() const;
 
+  // Deterministic merge of another registry into this one: counters are
+  // summed (created if absent), histograms bucket-merged via
+  // Histogram::Merge. Gauges are pull-model callbacks into the other
+  // registry's components and are snapshotted into counters of the same
+  // name instead of being re-registered, so the merged registry never
+  // holds callbacks into state it does not own. Used by ShardedSim to
+  // fold per-shard registries into one shard-count-invariant snapshot at
+  // epoch barriers (all shards parked; plain single-threaded code).
+  void MergeFrom(const Telemetry& other);
+
   // {"counters":{...},"gauges":{...},"histograms":{name:{...}}}, all keys
   // name-sorted.
   std::string SnapshotJson() const;

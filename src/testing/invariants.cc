@@ -103,31 +103,59 @@ bool DecodeChaosPayload(const std::vector<uint8_t>& data, uint64_t* stream_id,
 }
 
 void InvariantChecker::AttachFabric(Fabric* fabric) {
-  fabric_ = fabric;
+  fabrics_.push_back(fabric);
   for (int h = 0; h < fabric->num_hosts(); ++h) {
-    fabric->nic(h)->SetRxTap(
-        [this, h](const Packet& p) { RecordTrace(h, p); });
+    if (!fabric->host_is_local(h)) {
+      continue;  // this host's NIC taps are installed on its own shard
+    }
+    PerHost& obs = hosts_[h];
+    obs.sim = fabric->sim();
+    PerHost* obs_ptr = &obs;
+    fabric->nic(h)->SetRxTap([this, obs_ptr, h](const Packet& p) {
+      RecordTrace(obs_ptr, h, p);
+    });
     // TX tap: per-tenant conservation needs the send-side tally too.
     fabric->nic(h)->SetTxTap(
-        [this](const Packet& p) { ++tenant_packets_[p.tenant].tx; });
+        [obs_ptr](const Packet& p) { ++obs_ptr->tenant[p.tenant].tx; });
   }
 }
 
-void InvariantChecker::RecordTrace(int host, const Packet& packet) {
+void InvariantChecker::RecordTrace(PerHost* host_obs, int host,
+                                   const Packet& packet) {
   TraceRecord rec;
-  rec.t = sim_->now();
+  rec.t = host_obs->sim->now();
   rec.host = host;
   rec.flow_id = packet.pony.flow_id;
   rec.seq = packet.pony.seq;
   rec.type = static_cast<uint8_t>(packet.pony.type);
   rec.crc = packet.pony.crc32;
   rec.wire_bytes = packet.wire_bytes;
-  trace_.push_back(rec);
-  ++tenant_packets_[packet.tenant].rx;
+  host_obs->trace.push_back(rec);
+  ++host_obs->tenant[packet.tenant].rx;
+}
+
+std::vector<TraceRecord> InvariantChecker::CanonicalTrace() const {
+  std::vector<TraceRecord> all;
+  size_t total = 0;
+  for (const auto& [host, obs] : hosts_) {
+    total += obs.trace.size();
+  }
+  all.reserve(total);
+  for (const auto& [host, obs] : hosts_) {
+    all.insert(all.end(), obs.trace.begin(), obs.trace.end());
+  }
+  // stable_sort by (t, host): same-(t, host) records keep the host's
+  // arrival order (they came from one per-host buffer, already in order).
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.host < b.host;
+                   });
+  return all;
 }
 
 uint64_t InvariantChecker::TraceDigest() const {
-  // FNV-1a over every field of every record.
+  // FNV-1a over every field of every record, in canonical order.
   uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -135,7 +163,7 @@ uint64_t InvariantChecker::TraceDigest() const {
       h *= 0x100000001b3ULL;
     }
   };
-  for (const TraceRecord& r : trace_) {
+  for (const TraceRecord& r : CanonicalTrace()) {
     mix(static_cast<uint64_t>(r.t));
     mix(static_cast<uint64_t>(r.host));
     mix(r.flow_id);
@@ -147,11 +175,39 @@ uint64_t InvariantChecker::TraceDigest() const {
   return h;
 }
 
+std::map<uint32_t, InvariantChecker::TenantPackets>
+InvariantChecker::tenant_packets() const {
+  std::map<uint32_t, TenantPackets> out;
+  for (const auto& [host, obs] : hosts_) {
+    for (const auto& [tenant, counts] : obs.tenant) {
+      out[tenant].tx += counts.tx;
+      out[tenant].rx += counts.rx;
+    }
+  }
+  return out;
+}
+
+InvariantChecker::ClientWatch* InvariantChecker::FindOrCreateWatch(
+    const std::string& label) {
+  for (ClientWatch& watch : watches_) {
+    if (watch.label == label) {
+      return &watch;
+    }
+  }
+  watches_.emplace_back();
+  watches_.back().label = label;
+  return &watches_.back();
+}
+
 void InvariantChecker::WatchClient(PonyClient* client,
                                    const std::string& label) {
+  // The watch pointer is captured once, at attach time: the observer then
+  // only ever touches its own watch, so concurrent deliveries on
+  // different shards never share state.
+  ClientWatch* watch = FindOrCreateWatch(label);
   client->SetDeliveryObserver(
-      [this, label](const PonyIncomingMessage& msg) {
-        OnDelivery(label, msg);
+      [this, watch](const PonyIncomingMessage& msg) {
+        OnDeliveryToWatch(watch, msg);
       });
 }
 
@@ -162,14 +218,37 @@ void InvariantChecker::ExpectDeliveries(const std::string& label,
 
 int64_t InvariantChecker::delivered(const std::string& label,
                                     uint64_t stream_id) const {
-  auto it = delivered_.find({label, stream_id});
-  return it == delivered_.end() ? 0 : it->second;
+  int64_t total = 0;
+  for (const ClientWatch& watch : watches_) {
+    if (watch.label != label) {
+      continue;
+    }
+    auto it = watch.delivered.find(stream_id);
+    if (it != watch.delivered.end()) {
+      total += it->second;
+    }
+  }
+  return total;
+}
+
+int64_t InvariantChecker::total_delivered() const {
+  int64_t total = 0;
+  for (const ClientWatch& watch : watches_) {
+    total += watch.total_delivered;
+  }
+  return total;
 }
 
 void InvariantChecker::OnDelivery(const std::string& label,
                                   const PonyIncomingMessage& msg) {
-  ++total_delivered_;
-  ++delivered_[{label, msg.stream_id}];
+  OnDeliveryToWatch(FindOrCreateWatch(label), msg);
+}
+
+void InvariantChecker::OnDeliveryToWatch(ClientWatch* watch,
+                                         const PonyIncomingMessage& msg) {
+  const std::string& label = watch->label;
+  ++watch->total_delivered;
+  ++watch->delivered[msg.stream_id];
   uint64_t stream_id = 0;
   uint64_t index = 0;
   std::string error;
@@ -178,27 +257,27 @@ void InvariantChecker::OnDelivery(const std::string& label,
     os << label << " stream " << msg.stream_id
        << ": corrupt/unverifiable payload delivered to application ("
        << error << ")";
-    AddViolation("payload-integrity", os.str());
+    AddWatchViolation(watch, "payload-integrity", os.str());
     return;
   }
   if (stream_id != msg.stream_id) {
     std::ostringstream os;
     os << label << ": payload encoded for stream " << stream_id
        << " arrived on stream " << msg.stream_id;
-    AddViolation("stream-mismatch", os.str());
+    AddWatchViolation(watch, "stream-mismatch", os.str());
     return;
   }
-  uint64_t& next = next_index_[{label, msg.stream_id}];
+  uint64_t& next = watch->next_index[msg.stream_id];
   if (index < next) {
     std::ostringstream os;
     os << label << " stream " << msg.stream_id << ": message " << index
        << " delivered again (next expected " << next << ")";
-    AddViolation("duplicate-delivery", os.str());
+    AddWatchViolation(watch, "duplicate-delivery", os.str());
   } else if (index > next) {
     std::ostringstream os;
     os << label << " stream " << msg.stream_id << ": message " << index
        << " overtook message " << next;
-    AddViolation("out-of-order-delivery", os.str());
+    AddWatchViolation(watch, "out-of-order-delivery", os.str());
   }
   next = std::max(next, index + 1);
 }
@@ -405,19 +484,32 @@ void InvariantChecker::CheckFinal(bool require_quiesce) {
     }
   }
 
-  // 4. Fabric packet conservation.
-  if (fabric_ != nullptr) {
+  // 4. Fabric packet conservation, summed across shard fabrics (one
+  // fabric total in serial runs).
+  if (!fabrics_.empty()) {
     int64_t tx = 0;
     int64_t rx = 0;
     int64_t ring_drops = 0;
     int64_t no_filter = 0;
-    for (int h = 0; h < fabric_->num_hosts(); ++h) {
-      Nic* nic = fabric_->nic(h);
-      tx += nic->stats().tx_packets;
-      rx += nic->stats().rx_packets;
-      no_filter += nic->stats().rx_no_filter_drops;
-      for (int q = 0; q < nic->num_queues(); ++q) {
-        ring_drops += nic->queue(q)->stats().dropped_ring_full;
+    Fabric::Stats fs;
+    for (Fabric* fabric : fabrics_) {
+      const Fabric::Stats& s = fabric->stats();
+      fs.delivered += s.delivered;
+      fs.dropped_queue_full += s.dropped_queue_full;
+      fs.dropped_random += s.dropped_random;
+      fs.dropped_bad_address += s.dropped_bad_address;
+      fs.drain_events += s.drain_events;
+      for (int h = 0; h < fabric->num_hosts(); ++h) {
+        if (!fabric->host_is_local(h)) {
+          continue;
+        }
+        Nic* nic = fabric->nic(h);
+        tx += nic->stats().tx_packets;
+        rx += nic->stats().rx_packets;
+        no_filter += nic->stats().rx_no_filter_drops;
+        for (int q = 0; q < nic->num_queues(); ++q) {
+          ring_drops += nic->queue(q)->stats().dropped_ring_full;
+        }
       }
     }
     int64_t chaos_dropped = 0;
@@ -430,7 +522,6 @@ void InvariantChecker::CheckFinal(bool require_quiesce) {
       chaos_corrupted += link->stats().corrupted;
       chaos_held += link->held_now();
     }
-    const Fabric::Stats& fs = fabric_->stats();
     if (fs.delivered != rx) {
       std::ostringstream os;
       os << "fabric delivered " << fs.delivered << " != NIC rx " << rx;
@@ -471,7 +562,7 @@ void InvariantChecker::CheckFinal(bool require_quiesce) {
           held_by_tenant[tenant] += held;
         }
       }
-      for (const auto& [tenant, packets] : tenant_packets_) {
+      for (const auto& [tenant, packets] : tenant_packets()) {
         int64_t sent = packets.tx + chaos_by_tenant[tenant].duplicated;
         int64_t accounted = packets.rx + chaos_by_tenant[tenant].dropped +
                             held_by_tenant[tenant];
@@ -514,16 +605,53 @@ void InvariantChecker::AddViolation(const std::string& check,
   violations_.push_back(Violation{check, detail});
 }
 
-std::string InvariantChecker::ViolationSummary() const {
-  std::ostringstream os;
-  size_t shown = std::min<size_t>(violations_.size(), 10);
-  for (size_t i = 0; i < shown; ++i) {
-    os << "[" << violations_[i].check << "] " << violations_[i].detail
-       << "\n";
+void InvariantChecker::AddWatchViolation(ClientWatch* watch,
+                                         const std::string& check,
+                                         const std::string& detail) {
+  if (watch->violations.size() >= kMaxViolations) {
+    ++watch->suppressed;
+    return;
   }
-  if (violations_.size() > shown) {
-    os << "... and " << (violations_.size() - shown + suppressed_violations_)
-       << " more\n";
+  watch->violations.push_back(Violation{check, detail});
+}
+
+bool InvariantChecker::ok() const {
+  if (!violations_.empty()) {
+    return false;
+  }
+  for (const ClientWatch& watch : watches_) {
+    if (!watch.violations.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<Violation>& InvariantChecker::violations() const {
+  merged_violations_.clear();
+  merged_violations_.insert(merged_violations_.end(), violations_.begin(),
+                            violations_.end());
+  for (const ClientWatch& watch : watches_) {
+    merged_violations_.insert(merged_violations_.end(),
+                              watch.violations.begin(),
+                              watch.violations.end());
+  }
+  return merged_violations_;
+}
+
+std::string InvariantChecker::ViolationSummary() const {
+  const std::vector<Violation>& all = violations();
+  int64_t suppressed = suppressed_violations_;
+  for (const ClientWatch& watch : watches_) {
+    suppressed += watch.suppressed;
+  }
+  std::ostringstream os;
+  size_t shown = std::min<size_t>(all.size(), 10);
+  for (size_t i = 0; i < shown; ++i) {
+    os << "[" << all[i].check << "] " << all[i].detail << "\n";
+  }
+  if (all.size() > shown) {
+    os << "... and " << (all.size() - shown + suppressed) << " more\n";
   }
   return os.str();
 }

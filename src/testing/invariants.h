@@ -19,10 +19,21 @@
 //
 // It also records a per-packet RX trace whose digest is bit-identical
 // across same-seed runs (determinism / replay checking).
+//
+// Sharded simulations: observation state is partitioned by writer so the
+// checker can watch a multi-threaded ShardedSim without locks. NIC taps
+// write per-host buffers (a host's NIC fires only on its own shard's
+// thread), delivery observers write per-watch buffers (a client lives on
+// one shard), and everything else — sampling, final checks, digesting —
+// runs on the coordinator with all shards parked at a barrier. The trace
+// digest is computed over the canonical order (time, then host id, with
+// per-host arrival order preserved), which is identical for serial and
+// sharded runs of the same workload (docs/PARALLEL.md).
 #ifndef SRC_TESTING_INVARIANTS_H_
 #define SRC_TESTING_INVARIANTS_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -81,9 +92,10 @@ class InvariantChecker {
   InvariantChecker(const InvariantChecker&) = delete;
   InvariantChecker& operator=(const InvariantChecker&) = delete;
 
-  // Installs RX taps on every NIC currently on the fabric (trace recording)
-  // and remembers the fabric for conservation checks. Call after all hosts
-  // exist.
+  // Installs RX taps on every local NIC currently on the fabric (trace
+  // recording) and remembers the fabric for conservation checks. Call
+  // after all hosts exist. May be called once per shard fabric in a
+  // sharded simulation; conservation checks then sum across fabrics.
   void AttachFabric(Fabric* fabric);
 
   // Includes a chaos link's drops/duplicates in packet conservation.
@@ -105,11 +117,29 @@ class InvariantChecker {
   void ExpectDeliveries(const std::string& label, uint64_t stream_id,
                         int64_t count);
   int64_t delivered(const std::string& label, uint64_t stream_id) const;
-  int64_t total_delivered() const { return total_delivered_; }
+  int64_t total_delivered() const;
 
-  // Periodic flow sampling (ack/rcv_nxt monotonicity, credit bounds).
+  // Periodic flow sampling (ack/rcv_nxt monotonicity, credit bounds),
+  // driven by a self-rescheduling event on sim_ (serial runs).
   void StartSampling(SimDuration period);
   void StopSampling() { sample_timer_.Cancel(); }
+
+  // Sharded alternative: no event is scheduled (that would perturb the
+  // epoch structure relative to shard count); instead the driver calls
+  // SampleAtBarrier from a ShardedSim barrier hook and sampling happens
+  // on the coordinator whenever at least `period` has elapsed.
+  void StartBarrierSampling(SimDuration period) {
+    barrier_sample_period_ = period;
+    barrier_sample_due_ = period;
+  }
+  void SampleAtBarrier(SimTime now) {
+    if (barrier_sample_period_ <= 0 || now < barrier_sample_due_) {
+      return;
+    }
+    SampleFlowsNow();
+    SampleTenantsNow();
+    barrier_sample_due_ = now + barrier_sample_period_;
+  }
 
   // --- Individual predicates (public so unit tests can drive them with
   // hand-built violations) ---
@@ -140,56 +170,88 @@ class InvariantChecker {
   // (the caller promised the run drained).
   void CheckFinal(bool require_quiesce = true);
 
+  // Records a violation found by coordinator-side code (sampling, final
+  // checks, tests). Shard-side observers use their own buffers; see
+  // ClientWatch.
   void AddViolation(const std::string& check, const std::string& detail);
-  bool ok() const { return violations_.empty(); }
-  const std::vector<Violation>& violations() const { return violations_; }
+  bool ok() const;
+  // All violations: coordinator-side first, then each watch's in watch
+  // creation order. Rebuilt on every call (the backing buffers are
+  // per-writer); do not hold the reference across checker mutations.
+  const std::vector<Violation>& violations() const;
   std::string ViolationSummary() const;
 
-  const std::vector<TraceRecord>& trace() const { return trace_; }
+  // The RX trace in canonical order: sorted by (time, host id) with each
+  // host's arrival order preserved. Identical for serial and sharded runs
+  // of the same workload.
+  std::vector<TraceRecord> CanonicalTrace() const;
   uint64_t TraceDigest() const;
 
   // Per-tenant packet tallies observed at the NIC taps (TX claimed via
-  // Nic::SetTxTap by AttachFabric; RX shares the trace tap).
+  // Nic::SetTxTap by AttachFabric; RX shares the trace tap), aggregated
+  // across hosts.
   struct TenantPackets {
     int64_t tx = 0;
     int64_t rx = 0;
   };
-  const std::map<uint32_t, TenantPackets>& tenant_packets() const {
-    return tenant_packets_;
-  }
+  std::map<uint32_t, TenantPackets> tenant_packets() const;
 
  private:
-  void RecordTrace(int host, const Packet& packet);
+  // Observations made at one host's NIC. Written only by that host's
+  // shard thread; read by the coordinator with shards parked.
+  struct PerHost {
+    Simulator* sim = nullptr;  // the host's shard clock
+    std::vector<TraceRecord> trace;
+    std::map<uint32_t, TenantPackets> tenant;
+  };
+
+  // Observations made through one client's delivery observer. Written
+  // only by that client's shard thread.
+  struct ClientWatch {
+    std::string label;
+    std::map<uint64_t, uint64_t> next_index;  // per stream
+    std::map<uint64_t, int64_t> delivered;    // per stream
+    int64_t total_delivered = 0;
+    std::vector<Violation> violations;
+    int64_t suppressed = 0;
+  };
+
+  void RecordTrace(PerHost* host_obs, int host, const Packet& packet);
+  void OnDeliveryToWatch(ClientWatch* watch, const PonyIncomingMessage& msg);
+  static void AddWatchViolation(ClientWatch* watch, const std::string& check,
+                                const std::string& detail);
+  ClientWatch* FindOrCreateWatch(const std::string& label);
 
   Simulator* sim_;
-  Fabric* fabric_ = nullptr;
+  std::vector<Fabric*> fabrics_;
   std::vector<ChaosLink*> chaos_;
   std::function<std::vector<const PonyEngine*>()> engine_lister_;
 
-  // Per (label, stream): next expected payload index and delivered count.
-  std::map<std::pair<std::string, uint64_t>, uint64_t> next_index_;
-  std::map<std::pair<std::string, uint64_t>, int64_t> delivered_;
+  // deque: taps and observers capture element addresses, which must
+  // survive later attachments.
+  std::map<int, PerHost> hosts_;
+  std::deque<ClientWatch> watches_;
+
   std::map<std::pair<std::string, uint64_t>, int64_t> expected_;
-  int64_t total_delivered_ = 0;
 
   // Per flow label: last observed (ack, rcv_nxt).
   std::map<std::string, std::pair<uint64_t, uint64_t>> flow_samples_;
 
-  // Per-tenant accounting and starvation-progress state.
-  std::map<uint32_t, TenantPackets> tenant_packets_;
+  // Per-tenant starvation-progress state, keyed by (engine label, tenant).
   struct TenantProgress {
     int64_t last_tx_packets = -1;
     int stalled_samples = 0;
   };
-  // Keyed by (engine label, tenant id).
   std::map<std::pair<std::string, uint32_t>, TenantProgress>
       tenant_progress_;
 
-  std::vector<TraceRecord> trace_;
   std::vector<Violation> violations_;
   int64_t suppressed_violations_ = 0;
+  mutable std::vector<Violation> merged_violations_;
   EventHandle sample_timer_;
   SimDuration sample_period_ = 0;
+  SimDuration barrier_sample_period_ = 0;
+  SimTime barrier_sample_due_ = 0;
 };
 
 }  // namespace snap

@@ -2,11 +2,14 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "src/apps/simhost.h"
+#include "src/net/shard_net.h"
 #include "src/qos/tenant.h"
+#include "src/sim/sharded_sim.h"
 #include "src/util/logging.h"
 
 namespace snap {
@@ -109,19 +112,48 @@ ChaosProfile SeedSweepRunner::AggressorTenantProfile() {
 SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
                                        const ChaosProfile& profile) {
   const SeedSweepOptions& opt = options_;
-  Simulator sim(seed, opt.queue_kind);
+  const bool sharded_mode = opt.shards > 1;
+  const NicParams nic_params{};
+
+  // Exactly one of (serial simulator + fabric) or (sharded sim + fabric
+  // group) exists; the rest of the scenario is written against sim_a/sim_b
+  // and fabric_a/fabric_b so both paths share one construction order.
+  std::optional<Simulator> serial_sim;
+  std::optional<Fabric> serial_fabric;
+  std::optional<ShardedSim> sharded;
+  std::optional<ShardedFabricGroup> shard_group;
   TraceRecorder trace_recorder;
-  if (opt.enable_trace) {
-    sim.set_tracer(&trace_recorder);
+  if (!sharded_mode) {
+    serial_sim.emplace(seed, opt.queue_kind);
+    if (opt.enable_trace) {
+      serial_sim->set_tracer(&trace_recorder);
+    }
+    serial_fabric.emplace(&*serial_sim, nic_params);
+  } else {
+    ShardedSim::Options shard_options;
+    shard_options.num_shards = opt.shards;
+    shard_options.seed = seed;
+    shard_options.queue_kind = opt.queue_kind;
+    shard_options.lookahead = nic_params.propagation_delay;
+    shard_options.num_threads = opt.shard_threads;
+    sharded.emplace(shard_options);
+    shard_group.emplace(&*sharded, nic_params);
   }
-  Fabric fabric(&sim, NicParams{});
   PonyDirectory directory;
 
   SimHostOptions host_options;
   host_options.group.mode = SchedulingMode::kDedicatedCores;
   host_options.group.dedicated_cores = {0};
-  SimHost a(&sim, &fabric, &directory, host_options);
-  SimHost b(&sim, &fabric, &directory, host_options);
+  const int shard_a = 0;
+  const int shard_b = sharded_mode ? 1 % opt.shards : 0;
+  Simulator* sim_a = sharded_mode ? sharded->sim(shard_a) : &*serial_sim;
+  Simulator* sim_b = sharded_mode ? sharded->sim(shard_b) : &*serial_sim;
+  Fabric* fabric_a =
+      sharded_mode ? shard_group->fabric(shard_a) : &*serial_fabric;
+  Fabric* fabric_b =
+      sharded_mode ? shard_group->fabric(shard_b) : &*serial_fabric;
+  SimHost a(sim_a, fabric_a, &directory, host_options);
+  SimHost b(sim_b, fabric_b, &directory, host_options);
   PonyEngine* ea = a.CreatePonyEngine("ea");
   PonyEngine* eb = b.CreatePonyEngine("eb");
   auto ca = a.CreateClient(ea, "chaosA");
@@ -164,11 +196,20 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
 
   ChaosProfile seeded = profile;
   seeded.seed = seed;
-  auto chaos_to_a = ChaosLink::AttachToFabric(&fabric, a.host_id(), seeded);
-  auto chaos_to_b = ChaosLink::AttachToFabric(&fabric, b.host_id(), seeded);
+  // Chaos links attach to the destination host's own fabric: in a sharded
+  // run the link then lives on that host's shard and processes arrivals
+  // in the arrival time frame (same absolute delivery times as serial).
+  auto chaos_to_a = ChaosLink::AttachToFabric(fabric_a, a.host_id(), seeded);
+  auto chaos_to_b = ChaosLink::AttachToFabric(fabric_b, b.host_id(), seeded);
 
-  InvariantChecker checker(&sim);
-  checker.AttachFabric(&fabric);
+  InvariantChecker checker(sim_a);
+  if (sharded_mode) {
+    for (int s = 0; s < sharded->num_shards(); ++s) {
+      checker.AttachFabric(shard_group->fabric(s));
+    }
+  } else {
+    checker.AttachFabric(&*serial_fabric);
+  }
   checker.AttachChaos(chaos_to_a.get());
   checker.AttachChaos(chaos_to_b.get());
   std::vector<const PonyEngine*> engines{ea, eb};
@@ -182,7 +223,11 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     checker.WatchClient(cb2.get(), "AGG");
   }
 
-  CpuCostSink sink;
+  // One CPU-cost sink per host so each sink is written by exactly one
+  // shard. The sinks are write-only accumulators, so the split does not
+  // change any simulation observable in the serial path either.
+  CpuCostSink sink_a;
+  CpuCostSink sink_b;
   std::vector<uint64_t> streams;
   for (int s = 0; s < opt.num_streams; ++s) {
     uint64_t id = ca->CreateStream(eb->address());
@@ -199,9 +244,11 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
                              opt.aggressor_messages);
   }
 
-  // Sender: one message per tick, round-robin across streams.
+  // Sender: one message per tick, round-robin across streams. Drivers run
+  // on their host's simulator, so in a sharded run each one executes on
+  // its host's shard thread.
   int64_t sent = 0;
-  Periodic sender(&sim, opt.send_interval, [&]() -> bool {
+  Periodic sender(sim_a, opt.send_interval, [&]() -> bool {
     if (sent >= total) {
       return false;
     }
@@ -210,7 +257,7 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     auto payload =
         EncodeChaosPayload(streams[s], index, opt.message_bytes);
     if (ca->SendMessage(eb->address(), streams[s], 0, std::move(payload),
-                        &sink) == 0) {
+                        &sink_a) == 0) {
       return true;  // command queue full; retry next tick
     }
     ++sent;
@@ -222,24 +269,24 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   // the stream it arrived on (bound at A, so the echo lands in ca's ring).
   bool stop_echo = false;
   std::deque<std::pair<uint64_t, std::vector<uint8_t>>> echo_retry;
-  Periodic echo(&sim, opt.echo_poll_interval, [&]() -> bool {
+  Periodic echo(sim_b, opt.echo_poll_interval, [&]() -> bool {
     if (stop_echo) {
       return false;
     }
     while (!echo_retry.empty()) {
       auto& [stream_id, data] = echo_retry.front();
-      if (cb->SendMessage(ea->address(), stream_id, 0, data, &sink) == 0) {
+      if (cb->SendMessage(ea->address(), stream_id, 0, data, &sink_b) == 0) {
         return true;
       }
       echo_retry.pop_front();
     }
     while (true) {
-      auto msg = cb->PollMessage(&sink);
+      auto msg = cb->PollMessage(&sink_b);
       if (!msg.has_value()) {
         break;
       }
       if (cb->SendMessage(ea->address(), msg->stream_id, 0, msg->data,
-                          &sink) == 0) {
+                          &sink_b) == 0) {
         echo_retry.emplace_back(msg->stream_id, std::move(msg->data));
       }
     }
@@ -251,7 +298,7 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   // keeps its message ring from stalling deliveries.
   int64_t aggr_sent = 0;
   Periodic aggressor_sender(
-      &sim, opt.aggressor_send_interval, [&]() -> bool {
+      sim_a, opt.aggressor_send_interval, [&]() -> bool {
         if (aggr_sent >= opt.aggressor_messages) {
           return false;
         }
@@ -259,15 +306,15 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
                                           static_cast<uint64_t>(aggr_sent),
                                           opt.aggressor_message_bytes);
         if (ca2->SendMessage(eb2->address(), aggressor_stream, 0,
-                             std::move(payload), &sink) == 0) {
+                             std::move(payload), &sink_a) == 0) {
           return true;  // queue full or admission-throttled; retry
         }
         ++aggr_sent;
         return true;
       });
   // Runs through the quiesce drain too (polling never blocks quiesce).
-  Periodic aggressor_drain(&sim, opt.echo_poll_interval, [&]() -> bool {
-    while (cb2->PollMessage(&sink).has_value()) {
+  Periodic aggressor_drain(sim_b, opt.echo_poll_interval, [&]() -> bool {
+    while (cb2->PollMessage(&sink_b).has_value()) {
     }
     return true;
   });
@@ -276,7 +323,29 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     aggressor_drain.Start();
   }
 
-  checker.StartSampling(opt.sample_period);
+  if (sharded_mode) {
+    // No sampling event: an extra scheduled event would change the epoch
+    // structure with shard count. The checker samples on the coordinator
+    // at epoch barriers instead (same invariants, coarser cadence).
+    checker.StartBarrierSampling(opt.sample_period);
+    ShardedSim* sharded_ptr = &*sharded;
+    sharded->AddBarrierHook([&checker, sharded_ptr] {
+      checker.SampleAtBarrier(sharded_ptr->now());
+    });
+  } else {
+    checker.StartSampling(opt.sample_period);
+  }
+
+  auto run_for = [&](SimDuration d) {
+    if (sharded_mode) {
+      sharded->RunFor(d);
+    } else {
+      serial_sim->RunFor(d);
+    }
+  };
+  auto now = [&]() -> SimTime {
+    return sharded_mode ? sharded->now() : serial_sim->now();
+  };
 
   auto all_done = [&]() -> bool {
     int64_t at_a = 0;
@@ -292,8 +361,8 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     }
     return at_a >= total && at_b >= total;
   };
-  while (sim.now() < opt.run_limit && !all_done()) {
-    sim.RunFor(1 * kMsec);
+  while (now() < opt.run_limit && !all_done()) {
+    run_for(1 * kMsec);
   }
   SweepRunResult result;
   result.completed = all_done();
@@ -316,9 +385,9 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     }
     return idle;
   };
-  sim.RunFor(10 * kMsec);
+  run_for(10 * kMsec);
   for (int i = 0; i < 100 && !quiesced(); ++i) {
-    sim.RunFor(10 * kMsec);
+    run_for(10 * kMsec);
   }
   checker.StopSampling();
   checker.CheckFinal(/*require_quiesce=*/true);
@@ -328,7 +397,7 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
   result.ok = checker.ok();
   result.violations = checker.violations();
   result.trace_digest = checker.TraceDigest();
-  result.finish_time = sim.now();
+  result.finish_time = now();
   result.delivered_messages = checker.total_delivered();
   for (const ChaosLink* link : {chaos_to_a.get(), chaos_to_b.get()}) {
     result.chaos_dropped += link->stats().dropped;
@@ -343,6 +412,15 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
       result.retransmits += f.stats().retransmits;
       result.spurious_retransmits += f.stats().spurious_retransmits;
     });
+  }
+  if (sharded_mode) {
+    result.telemetry = sharded->MergedTelemetryValues();
+    result.epochs = sharded->progress().epochs;
+    ShardedFabricGroup::ExchangeStats xs = shard_group->exchange_stats();
+    result.exchange_handoffs = xs.handoffs;
+    result.exchange_cross_shard = xs.cross_shard;
+  } else {
+    result.telemetry = serial_sim->telemetry().SnapshotValues();
   }
   return result;
 }

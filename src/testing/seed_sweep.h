@@ -12,6 +12,7 @@
 #define SRC_TESTING_SEED_SWEEP_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,8 +46,20 @@ struct SeedSweepOptions {
   EventQueueKind queue_kind = kDefaultEventQueueKind;
   // Attach a TraceRecorder to every run's Simulator. Tracing is pure
   // observation, so sweeping with this on and off must yield identical
-  // trace digests (covered by determinism_test).
+  // trace digests (covered by determinism_test). Serial runs only; a
+  // sharded run ignores it (the flight recorder is per-Simulator and has
+  // no cross-shard merge yet).
   bool enable_trace = false;
+
+  // Number of simulation shards. 1 (the default) runs the exact legacy
+  // single-Simulator path; > 1 runs host A on shard 0 and host B on shard
+  // 1 % shards over a ShardedFabricGroup with conservative epoch sync.
+  // Trace digests are bit-identical to the serial engine for any shard
+  // count (the parallel-vs-serial determinism gate).
+  int shards = 1;
+  // Worker threads for the sharded path; <= 1 executes shards round-robin
+  // on the calling thread with bit-identical results.
+  int shard_threads = 0;
 
   // QoS aggressor-tenant mode: the echo client becomes a weight-3
   // "victim" tenant, a second client on host A floods a second engine on
@@ -78,6 +91,14 @@ struct SweepRunResult {
   int64_t retransmits = 0;
   int64_t spurious_retransmits = 0;
   int64_t messages_held_for_order = 0;
+  // Final telemetry snapshot: the per-Simulator registry in serial runs,
+  // the deterministic merge of every shard's registry in sharded runs.
+  // Identical for identical workloads regardless of shard count.
+  std::map<std::string, int64_t> telemetry;
+  // Sharded runs only (0 otherwise): epoch/exchange accounting.
+  int64_t epochs = 0;
+  int64_t exchange_handoffs = 0;
+  int64_t exchange_cross_shard = 0;
 };
 
 class SeedSweepRunner {

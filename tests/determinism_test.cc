@@ -149,6 +149,52 @@ TEST(DeterminismTest, TimerWheelMatchesHeapDigestsAcrossChaosSweep) {
   }
 }
 
+// The hard acceptance gate for the sharded simulator: the chaos seed
+// sweep must produce bit-identical trace digests whether it runs on the
+// serial single-Simulator engine (shards=1) or on the conservative
+// parallel engine at any shard count. The digest covers every received
+// packet's (time, host, flow, seq, type, crc, wire_bytes) in canonical
+// order, so any divergence in delivery times, chaos decisions, retransmit
+// schedules, or cross-shard exchange ordering shows up here.
+TEST(DeterminismTest, ParallelShardsMatchSerialDigestsAcrossChaosSweep) {
+  auto sweep = [](int shards) {
+    SeedSweepOptions options;
+    options.num_seeds = 8;
+    options.first_seed = 1;
+    options.check_replay = false;
+    options.shards = shards;
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    // Two contrasting profiles: pure bursty loss, and everything at once.
+    std::vector<ChaosProfile> selected = {profiles.front(), profiles.back()};
+
+    std::vector<std::pair<std::string, uint64_t>> digests;
+    for (const ChaosProfile& profile : selected) {
+      for (int s = 0; s < options.num_seeds; ++s) {
+        SweepRunResult result = runner.RunOne(options.first_seed + s, profile);
+        EXPECT_TRUE(result.ok)
+            << "invariants violated under " << profile.name << " seed "
+            << options.first_seed + s << " shards " << shards << ":\n";
+        digests.emplace_back(
+            profile.name + "/" + std::to_string(options.first_seed + s),
+            result.trace_digest);
+      }
+    }
+    return digests;
+  };
+
+  auto serial = sweep(1);
+  for (int shards : {2, 4, 8}) {
+    auto parallel = sweep(shards);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i])
+          << "trace digest diverged between serial and " << shards
+          << "-shard engines";
+    }
+  }
+}
+
 // The flight-recorder determinism contract, both directions:
 //  - same seed => byte-identical trace JSON across runs;
 //  - attaching a tracer never perturbs simulation outcomes.

@@ -17,6 +17,13 @@ level under "latest" for easy reading.
                  wheel against the pre-PR configuration (legacy heap
                  queue); compares against the recorded "pre_pr_baseline"
                  if present, else the legacy-heap A/B leg of the same run.
+                 The rack_scaling leg additionally requires delivered
+                 work to be identical across shard counts (parity_ok)
+                 and the critical-path speedup at 8 shards on the
+                 largest rack to reach 3x (1.5x under --smoke, where the
+                 rack is small). The critical-path ratio is a
+                 deterministic property of the simulation, so this gate
+                 is runner-independent, unlike wall-clock events/sec.
   qos_isolation  the weight-3 victim must retain >= 0.9 of its offered
                  goodput under the 4x aggressor (isolation_ratio), and
                  the qos-off run must still show the collapse the
@@ -123,6 +130,22 @@ def main():
                 sys.exit(f"baseline check FAILED: qos-off victim did not "
                          f"collapse ({collapse:.3f} > 0.7)")
         return
+
+    scaling = entry["benchmarks"].get("rack_scaling")
+    if scaling is not None:
+        parity = scaling.get("parity_ok", False)
+        cp_speedup = scaling.get("speedup_critical_path_max_rack", 0.0)
+        cp_floor = 1.5 if entry.get("smoke") else 3.0
+        print(f"rack scaling: parity {'OK' if parity else 'FAILED'}, "
+              f"critical-path speedup at max rack/shards "
+              f"{cp_speedup:.2f}x (floor {cp_floor}x)")
+        if args.baseline_check:
+            if not parity:
+                sys.exit("baseline check FAILED: delivered work changed "
+                         "with shard count (rack_scaling parity)")
+            if cp_speedup < cp_floor:
+                sys.exit(f"baseline check FAILED: critical-path speedup "
+                         f"{cp_speedup:.2f}x below {cp_floor}x")
 
     rack = entry["benchmarks"].get("rack_fig6b", {})
     wheel = rack.get("timer_wheel", {}).get("events_per_sec", 0.0)

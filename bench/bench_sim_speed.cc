@@ -19,6 +19,7 @@
 // conservative-sync engine (bench/sharded_rack.h), reporting wall-clock
 // events/sec alongside the deterministic critical-path speedup, with a
 // parity check that delivered work is invariant across shard counts.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +27,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "bench/rpc_rack.h"
@@ -234,32 +236,60 @@ void JsonMeasurement(FILE* f, const char* kind, const Measurement& m,
 struct ScalingPoint {
   int hosts = 0;
   int shards = 0;
+  int num_threads = 0;  // worker threads actually used (0 = caller thread)
   Measurement m;
   int64_t epochs = 0;
   int64_t critical_path_events = 0;
   int64_t handoffs = 0;
+  int64_t local_direct = 0;
   int64_t cross_shard = 0;
+  int64_t exchanges = 0;
   int64_t rpcs = 0;
   double speedup_cp = 0;
+  double speedup_wall = 0;  // vs the 1-shard point of the same rack
 };
 
-ScalingPoint MeasureShardedRack(int hosts, int shards, SimDuration warmup,
-                                SimDuration window) {
+// Scaling racks bigger than the Fig. 6(b) baseline are clustered: bulk
+// RPC traffic stays inside clusters of `cluster_hosts` consecutive hosts
+// (probers remain all-to-all) and crossing a cluster boundary costs extra
+// propagation. This is the shape the tentpole optimizations exploit —
+// traffic-aware placement packs whole clusters onto shards, and the
+// per-pair lookahead matrix lets cluster-disjoint shard pairs run
+// inter-cluster-latency-long epochs.
+RpcRackConfig ScalingRackConfig(int hosts) {
   RpcRackConfig config = RackConfig(EventQueueKind::kTimerWheel);
   config.hosts = hosts;
   // Big racks run one background job per host: the sweep scales the
   // fabric and host count, not the per-host app mix.
   config.jobs_per_host = hosts > 6 ? 1 : 3;
+  if (hosts > 6) {
+    config.cluster_hosts = std::max(6, hosts / 16);
+    config.nic_params.hosts_per_cluster = config.cluster_hosts;
+    config.nic_params.inter_cluster_extra_delay = 4 * kUsec;
+  }
+  return config;
+}
+
+ScalingPoint MeasureShardedRack(int hosts, int shards, SimDuration warmup,
+                                SimDuration window) {
+  RpcRackConfig config = ScalingRackConfig(hosts);
   ScalingPoint point;
   point.hosts = hosts;
   point.shards = shards;
+  // Worker threads = shards, capped by the machine's cores (threads
+  // beyond that only time-slice); results are bit-identical to
+  // sequential execution, so wall time is the only thing the thread
+  // count can change.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  point.num_threads =
+      shards > 1 ? std::min(shards, std::max(1, hw)) : 0;
+  // Traffic-aware placement from the workload-declared matrix; the
+  // 1-shard point trivially places everything on shard 0.
+  Placement placement = Placement::TrafficAware(
+      BuildRackTrafficMatrix(config), shards);
   Timed timed;
-  // Worker threads = shards (capped by the machine); results are
-  // bit-identical to sequential execution, so wall time is the only thing
-  // the thread count can change.
-  int threads = shards > 1 ? shards : 0;
-  ShardedRackResult result =
-      RunPonyRpcRackSharded(config, shards, threads, warmup, window);
+  ShardedRackResult result = RunPonyRpcRackSharded(
+      config, shards, point.num_threads, warmup, window, &placement);
   timed.Finish(&point.m);
   point.m.events = result.rack.sim_events;
   point.m.packets = result.rack.fabric_packets;
@@ -267,7 +297,9 @@ ScalingPoint MeasureShardedRack(int hosts, int shards, SimDuration warmup,
   point.epochs = result.epochs;
   point.critical_path_events = result.critical_path_events;
   point.handoffs = result.exchange_handoffs;
+  point.local_direct = result.exchange_local_direct;
   point.cross_shard = result.exchange_cross_shard;
+  point.exchanges = result.exchanges;
   point.rpcs = result.rack.background_rpcs;
   point.speedup_cp = result.speedup_critical_path();
   return point;
@@ -369,9 +401,19 @@ int Main(int argc, char** argv) {
   if (want("rack_scaling")) {
     const std::vector<int> rack_sizes =
         smoke ? std::vector<int>{6, 24} : std::vector<int>{6, 96, 384};
-    const std::vector<int> shard_counts = {1, 2, 4, 8};
-    std::printf("  rack scaling (sharded engine, conservative sync):\n");
+    const int hw_cores =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    std::printf("  rack scaling (sharded engine, conservative sync, "
+                "%d hw cores):\n",
+                hw_cores);
     for (int hosts : rack_sizes) {
+      // The largest rack adds a 16-shard point: the critical-path speedup
+      // is bounded by the shard count, so the headline number needs more
+      // shards than the mid-sweep points.
+      std::vector<int> shard_counts = {1, 2, 4, 8};
+      if (hosts == rack_sizes.back()) {
+        shard_counts.push_back(16);
+      }
       // Window shrinks with rack size so every point stays minutes-cheap;
       // the per-point simulated work is what the critical-path ratio
       // normalizes over, so points remain comparable.
@@ -385,12 +427,14 @@ int Main(int argc, char** argv) {
       }
       int64_t first_packets = -1;
       int64_t first_rpcs = -1;
+      double serial_wall = 0;
       for (int shards : shard_counts) {
         ScalingPoint p = MeasureShardedRack(hosts, shards, sc_warmup,
                                             sc_window);
         if (first_packets < 0) {
           first_packets = p.m.packets;
           first_rpcs = p.rpcs;
+          serial_wall = p.m.wall_sec;
         } else if (p.m.packets != first_packets || p.rpcs != first_rpcs) {
           scaling_parity_ok = false;
           std::printf("  PARITY FAIL: %d hosts, %d shards: packets %lld vs "
@@ -400,19 +444,33 @@ int Main(int argc, char** argv) {
                       static_cast<long long>(p.rpcs),
                       static_cast<long long>(first_rpcs));
         }
+        p.speedup_wall =
+            p.m.wall_sec > 0 ? serial_wall / p.m.wall_sec : 0;
         if (hosts == rack_sizes.back() && shards == shard_counts.back()) {
           scaling_speedup_best = p.speedup_cp;
         }
-        std::printf("    %4d hosts %2d shards  %8.3fs wall  %8.2fM events  "
-                    "%7.2fM ev/s  cp-speedup %5.2fx  %7lld epochs  "
-                    "%9lld handoffs (%lld cross)\n",
-                    p.hosts, p.shards, p.m.wall_sec,
+        std::printf("    %4d hosts %2d shards %2d thr  %8.3fs wall "
+                    "(%4.2fx)  %8.2fM events  %7.2fM ev/s  cp-speedup "
+                    "%5.2fx  %7lld epochs  %6lld exch  %9lld handoffs "
+                    "(%lld cross, %lld local)\n",
+                    p.hosts, p.shards, p.num_threads, p.m.wall_sec,
+                    p.speedup_wall,
                     static_cast<double>(p.m.events) / 1e6,
                     p.m.events_per_sec() / 1e6, p.speedup_cp,
                     static_cast<long long>(p.epochs),
+                    static_cast<long long>(p.exchanges),
                     static_cast<long long>(p.handoffs),
-                    static_cast<long long>(p.cross_shard));
+                    static_cast<long long>(p.cross_shard),
+                    static_cast<long long>(p.local_direct));
         scaling.push_back(p);
+      }
+      if (hw_cores < shard_counts.back()) {
+        // Soft gate only: wall-clock numbers on an undersized runner
+        // time-slice shards onto too few cores; the critical-path ratio
+        // is the machine-independent scaling signal.
+        std::printf("  note: %d hw cores < %d shards; wall-clock speedups "
+                    "above are core-starved (cp-speedup is the signal)\n",
+                    hw_cores, shard_counts.back());
       }
     }
     std::printf("  rack scaling parity (packets+rpcs invariant across "
@@ -464,27 +522,34 @@ int Main(int argc, char** argv) {
         const ScalingPoint& p = scaling[i];
         std::fprintf(
             f,
-            "        {\"hosts\": %d, \"shards\": %d, \"wall_sec\": %.6f, "
+            "        {\"hosts\": %d, \"shards\": %d, \"num_threads\": %d, "
+            "\"wall_sec\": %.6f, \"speedup_wall\": %.4f, "
             "\"events\": %lld, \"events_per_sec\": %.1f, "
             "\"packets\": %lld, \"rpcs\": %lld, \"epochs\": %lld, "
             "\"critical_path_events\": %lld, "
             "\"speedup_critical_path\": %.4f, \"handoffs\": %lld, "
-            "\"cross_shard\": %lld}%s\n",
-            p.hosts, p.shards, p.m.wall_sec,
+            "\"local_direct\": %lld, \"cross_shard\": %lld, "
+            "\"exchanges\": %lld}%s\n",
+            p.hosts, p.shards, p.num_threads, p.m.wall_sec, p.speedup_wall,
             static_cast<long long>(p.m.events), p.m.events_per_sec(),
             static_cast<long long>(p.m.packets),
             static_cast<long long>(p.rpcs),
             static_cast<long long>(p.epochs),
             static_cast<long long>(p.critical_path_events), p.speedup_cp,
             static_cast<long long>(p.handoffs),
+            static_cast<long long>(p.local_direct),
             static_cast<long long>(p.cross_shard),
+            static_cast<long long>(p.exchanges),
             i + 1 < scaling.size() ? "," : "");
       }
+      const int hw_cores = std::max(
+          1, static_cast<int>(std::thread::hardware_concurrency()));
       std::fprintf(f,
-                   "      ],\n      \"parity_ok\": %s,\n"
+                   "      ],\n      \"hw_cores\": %d,\n"
+                   "      \"parity_ok\": %s,\n"
                    "      \"speedup_critical_path_max_rack\": %.4f\n"
                    "    }\n",
-                   scaling_parity_ok ? "true" : "false",
+                   hw_cores, scaling_parity_ok ? "true" : "false",
                    scaling_speedup_best);
     }
     std::fprintf(f, "  }\n}\n");

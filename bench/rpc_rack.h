@@ -18,6 +18,13 @@ struct RpcRackConfig {
   int64_t response_bytes = 1 << 20;
   double prober_qps = 500.0;
   bool prober_spins = false;  // isolate app wakeup from transport wakeup
+  // Background-job peer locality: > 0 restricts each job's 1MB-RPC peers
+  // to jobs on hosts in its own cluster of `cluster_hosts` consecutive
+  // hosts (probers stay all-to-all). Set alongside
+  // nic_params.hosts_per_cluster to model a rack of racks whose bulk
+  // traffic is cluster-local — the shape traffic-aware shard placement
+  // (src/sim/placement.h) exploits.
+  int cluster_hosts = 0;
   uint64_t seed = 7;
   SimHostOptions host_options;
   // Simulator internals under test (bench_sim_speed A/Bs these; results
@@ -117,9 +124,14 @@ inline RpcRackResult RunPonyRpcRack(const RpcRackConfig& config,
       co.response_bytes = config.response_bytes;
       co.rng_seed = config.seed + h * 100 + j;
       for (const PonyAddress& addr : all_addresses) {
-        if (!(addr == job.engine->address())) {
-          co.peers.push_back(addr);
+        if (addr == job.engine->address()) {
+          continue;
         }
+        if (config.cluster_hosts > 0 &&
+            addr.host / config.cluster_hosts != h / config.cluster_hosts) {
+          continue;  // bulk traffic stays cluster-local
+        }
+        co.peers.push_back(addr);
       }
       job.client_task = std::make_unique<PonyRpcClientTask>(
           "rpc_cli", rack.host(h)->cpu(), job.client_side.get(), co);

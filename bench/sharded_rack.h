@@ -1,9 +1,10 @@
 // Sharded variant of the Fig. 6(b) RPC rack: the same all-to-all Pony
-// workload assembled over a ShardedSim + ShardedFabricGroup, hosts dealt
-// round-robin across shards. bench_sim_speed's rack-scaling leg sweeps
-// --shards over rack sizes to measure how the conservative-sync engine
-// scales, and cross-checks that delivered work is identical no matter
-// how many shards (or worker threads) execute it.
+// workload assembled over a ShardedSim + ShardedFabricGroup, hosts placed
+// on shards by a pluggable Placement (round-robin by default).
+// bench_sim_speed's rack-scaling leg sweeps --shards over rack sizes to
+// measure how the conservative-sync engine scales, and cross-checks that
+// delivered work is identical no matter how many shards (or worker
+// threads, or placements) execute it.
 #ifndef BENCH_SHARDED_RACK_H_
 #define BENCH_SHARDED_RACK_H_
 
@@ -14,20 +15,24 @@
 #include "bench/bench_common.h"
 #include "bench/rpc_rack.h"
 #include "src/net/shard_net.h"
+#include "src/sim/placement.h"
 #include "src/sim/sharded_sim.h"
 
 namespace snap {
 
-// A rack of identical SimHosts spread across a sharded fabric. Host h
-// lives on shard h % num_shards; ids stay global (the group pads every
-// other shard's host table), so the workload wiring is identical to the
-// serial Rack's.
+// A rack of identical SimHosts spread across a sharded fabric. Host ids
+// stay global (the group pads every other shard's host table), so the
+// workload wiring is identical to the serial Rack's no matter where each
+// host is placed; `placement` (nullptr = round-robin) only chooses which
+// shard simulates which host — it may change epoch/exchange counts and
+// wall time, never simulated results.
 class ShardedRack {
  public:
   ShardedRack(uint64_t seed, int num_hosts, const SimHostOptions& options,
               int num_shards, int num_threads,
               EventQueueKind queue_kind = kDefaultEventQueueKind,
-              const NicParams& nic_params = NicParams{})
+              const NicParams& nic_params = NicParams{},
+              const Placement* placement = nullptr)
       : sharded_([&] {
           ShardedSim::Options o;
           o.num_shards = num_shards;
@@ -38,8 +43,13 @@ class ShardedRack {
           return o;
         }()),
         group_(&sharded_, nic_params) {
+    if (placement != nullptr) {
+      SNAP_CHECK_EQ(placement->num_hosts(), num_hosts);
+      SNAP_CHECK_LE(placement->num_shards, num_shards);
+    }
     for (int i = 0; i < num_hosts; ++i) {
-      int shard = i % num_shards;
+      int shard = placement != nullptr ? placement->shard(i)
+                                       : i % num_shards;
       hosts_.push_back(std::make_unique<SimHost>(
           sharded_.sim(shard), group_.fabric(shard), &directory_, options));
     }
@@ -73,7 +83,9 @@ struct ShardedRackResult {
   int64_t events_fired = 0;
   int64_t critical_path_events = 0;
   int64_t exchange_handoffs = 0;
+  int64_t exchange_local_direct = 0;
   int64_t exchange_cross_shard = 0;
+  int64_t exchanges = 0;  // barrier exchanges that moved packets
   // events_fired / critical_path_events: the speedup an ideal machine
   // with one core per shard would see. Wall-clock numbers sit next to
   // this in the JSON; on a single-core runner they cannot show parallel
@@ -86,6 +98,32 @@ struct ShardedRackResult {
   }
 };
 
+// Workload-declared traffic hint for shard placement: the rack's offered
+// load as a host-to-host weight matrix, built from the same peer rules
+// the assembly below uses (bulk jobs peer cluster-locally when
+// cluster_hosts > 0, probers all-to-all), so
+// Placement::TrafficAware(BuildRackTrafficMatrix(config), shards) packs
+// each cluster's heavy mutual traffic onto one shard. Weights are
+// per-pair offered bytes up to a common scale factor — only ratios
+// matter to the partitioner.
+inline TrafficMatrix BuildRackTrafficMatrix(const RpcRackConfig& config) {
+  TrafficMatrix traffic(config.hosts);
+  for (int a = 0; a < config.hosts; ++a) {
+    for (int b = a + 1; b < config.hosts; ++b) {
+      // Tiny prober RPCs: 64B request + 64B response, all-to-all.
+      int64_t weight = 128;
+      if (config.cluster_hosts <= 0 ||
+          a / config.cluster_hosts == b / config.cluster_hosts) {
+        // Bulk 1MB RPCs between every job pair on the two hosts.
+        weight += static_cast<int64_t>(config.jobs_per_host) *
+                  (config.response_bytes + 64);
+      }
+      traffic.Add(a, b, weight);
+    }
+  }
+  return traffic;
+}
+
 // The RunPonyRpcRack workload on a ShardedRack. Keep the assembly in
 // lockstep with rpc_rack.h: same engine/job/prober layout, same seeds,
 // so the delivered work is comparable serial-vs-sharded.
@@ -93,10 +131,12 @@ inline ShardedRackResult RunPonyRpcRackSharded(const RpcRackConfig& config,
                                                int num_shards,
                                                int num_threads,
                                                SimDuration warmup,
-                                               SimDuration window) {
+                                               SimDuration window,
+                                               const Placement* placement =
+                                                   nullptr) {
   ShardedRack rack(config.seed, config.hosts, config.host_options,
                    num_shards, num_threads, config.queue_kind,
-                   config.nic_params);
+                   config.nic_params, placement);
   double per_job_rate =
       config.offered_gbps_per_host * 1e9 /
       (8.0 * static_cast<double>(config.response_bytes) *
@@ -157,9 +197,14 @@ inline ShardedRackResult RunPonyRpcRackSharded(const RpcRackConfig& config,
       co.response_bytes = config.response_bytes;
       co.rng_seed = config.seed + h * 100 + j;
       for (const PonyAddress& addr : all_addresses) {
-        if (!(addr == job.engine->address())) {
-          co.peers.push_back(addr);
+        if (addr == job.engine->address()) {
+          continue;
         }
+        if (config.cluster_hosts > 0 &&
+            addr.host / config.cluster_hosts != h / config.cluster_hosts) {
+          continue;  // bulk traffic stays cluster-local (as in rpc_rack.h)
+        }
+        co.peers.push_back(addr);
       }
       job.client_task = std::make_unique<PonyRpcClientTask>(
           "rpc_cli", rack.host(h)->cpu(), job.client_side.get(), co);
@@ -218,8 +263,11 @@ inline ShardedRackResult RunPonyRpcRackSharded(const RpcRackConfig& config,
   result.events_fired = progress.events_fired - progress0.events_fired;
   result.critical_path_events =
       progress.critical_path_events - progress0.critical_path_events;
-  result.exchange_handoffs = rack.group().exchange_stats().handoffs;
-  result.exchange_cross_shard = rack.group().exchange_stats().cross_shard;
+  const ShardedFabricGroup::ExchangeStats xs = rack.group().exchange_stats();
+  result.exchange_handoffs = xs.handoffs;
+  result.exchange_local_direct = xs.local_direct;
+  result.exchange_cross_shard = xs.cross_shard;
+  result.exchanges = xs.exchanges;
   return result;
 }
 

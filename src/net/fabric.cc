@@ -1,9 +1,24 @@
 #include "src/net/fabric.h"
 
+#include <algorithm>
+
 #include "src/net/nic.h"
 #include "src/util/logging.h"
 
 namespace snap {
+
+namespace {
+
+// SplitMix64 finalizer (same constants as src/util/rng.h): full-avalanche
+// mixing so consecutive departure sequence numbers decorrelate.
+uint64_t MixDropHash(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Fabric::Fabric(Simulator* sim, const NicParams& params)
     : sim_(sim), params_(params) {}
@@ -31,16 +46,19 @@ void Fabric::Route(PacketPtr packet, SimTime wire_time) {
     ++stats_.dropped_bad_address;
     return;
   }
-  if (router_ != nullptr) {
-    // Sharded path: the router stages the packet toward the destination
-    // host's shard; random drop, delivery hooks and port contention all
-    // run on that shard (DeliverAtSwitch) at the next epoch barrier.
-    router_->RouteFromShard(this, std::move(packet), wire_time);
+  // Hashed random drop runs on the source's fabric before any shard
+  // routing, so the drop pattern — a pure function of (seed, src, dst,
+  // departure seq) — is the same on the serial engine and on every
+  // sharding/placement of the same workload.
+  if (drop_probability_ > 0 && DropsPacket(*packet)) {
+    ++stats_.dropped_random;
     return;
   }
-  if (drop_probability_ > 0 &&
-      sim_->rng().NextBernoulli(drop_probability_)) {
-    ++stats_.dropped_random;
+  if (router_ != nullptr) {
+    // Sharded path: the router stages the packet toward the destination
+    // host's shard; delivery hooks and port contention run on that shard
+    // (DeliverAtSwitch) in the arrival time frame.
+    router_->RouteFromShard(this, std::move(packet), wire_time);
     return;
   }
   if (packet->dst_host < static_cast<int>(delivery_hooks_.size())) {
@@ -51,6 +69,20 @@ void Fabric::Route(PacketPtr packet, SimTime wire_time) {
     }
   }
   EnqueueAtPort(std::move(packet), wire_time);
+}
+
+bool Fabric::DropsPacket(const Packet& packet) {
+  const int src = packet.src_host >= 0 ? packet.src_host : 0;
+  if (src >= static_cast<int>(drop_seq_.size())) {
+    drop_seq_.resize(src + 1, 0);
+  }
+  const uint64_t seq = drop_seq_[src]++;
+  uint64_t x = sim_->seed();
+  x = MixDropHash(x ^ (static_cast<uint64_t>(src) + 1));
+  x = MixDropHash(x ^ (static_cast<uint64_t>(packet.dst_host) + 1));
+  x = MixDropHash(x ^ seq);
+  // Top 53 bits -> uniform double in [0, 1), same scheme as Rng::NextDouble.
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < drop_probability_;
 }
 
 void Fabric::DeliverAtSwitch(PacketPtr packet, SimTime switch_arrival) {
@@ -70,7 +102,10 @@ void Fabric::EnqueueAtPort(PacketPtr packet, SimTime wire_time) {
   // In arrival-time mode the caller's timestamp already includes the
   // propagation hop (sharded fabrics deliver in the arrival frame).
   SimTime switch_arrival =
-      arrival_time_mode_ ? wire_time : wire_time + params_.propagation_delay;
+      arrival_time_mode_
+          ? wire_time
+          : wire_time +
+                params_.propagation_between(packet->src_host, packet->dst_host);
   Port& port = ports_[packet->dst_host];
   if (port.queued_bytes + packet->wire_bytes > params_.port_queue_bytes) {
     ++stats_.dropped_queue_full;
@@ -103,6 +138,62 @@ void Fabric::EnqueueAtPort(PacketPtr packet, SimTime wire_time) {
   if (!port.drain_armed) {
     port.drain_armed = true;
     sim_->ScheduleAt(port.pending.front().at, [this, dst] { DrainPort(dst); });
+  }
+}
+
+void Fabric::StageArrival(PacketPtr packet, SimTime arrival,
+                          SimTime wire_time, int src_host, uint64_t seq) {
+  SNAP_CHECK(arrival_time_mode_);
+  const int dst = packet->dst_host;
+  Port& port = ports_[dst];
+  port.staged.push_back(
+      StagedArrival{arrival, wire_time, src_host, seq, std::move(packet)});
+  if (port.sequencer_armed_at < 0 || arrival < port.sequencer_armed_at) {
+    // An earlier arrival than the armed one: rearm. (Cancel is a no-op on
+    // a default-constructed or spent handle.)
+    port.sequencer_event.Cancel();
+    port.sequencer_armed_at = arrival;
+    port.sequencer_event =
+        sim_->ScheduleAt(arrival, [this, dst] { DrainArrivals(dst); });
+  }
+}
+
+void Fabric::DrainArrivals(int dst) {
+  Port& port = ports_[dst];
+  port.sequencer_armed_at = -1;
+  const SimTime now = sim_->now();
+  // Split off everything due now. The staged set is small: packets in
+  // flight toward one port within one propagation window.
+  std::vector<StagedArrival> due;
+  size_t keep = 0;
+  for (size_t i = 0; i < port.staged.size(); ++i) {
+    if (port.staged[i].at == now) {
+      due.push_back(std::move(port.staged[i]));
+    } else {
+      if (keep != i) {
+        port.staged[keep] = std::move(port.staged[i]);
+      }
+      ++keep;
+    }
+  }
+  port.staged.resize(keep);
+  std::sort(due.begin(), due.end(),
+            [](const StagedArrival& a, const StagedArrival& b) {
+              if (a.wire_time != b.wire_time) return a.wire_time < b.wire_time;
+              if (a.src_host != b.src_host) return a.src_host < b.src_host;
+              return a.seq < b.seq;
+            });
+  for (StagedArrival& a : due) {
+    DeliverAtSwitch(std::move(a.packet), now);
+  }
+  if (!port.staged.empty() && port.sequencer_armed_at < 0) {
+    SimTime next_at = port.staged.front().at;
+    for (const StagedArrival& a : port.staged) {
+      next_at = std::min(next_at, a.at);
+    }
+    port.sequencer_armed_at = next_at;
+    port.sequencer_event =
+        sim_->ScheduleAt(next_at, [this, dst] { DrainArrivals(dst); });
   }
 }
 

@@ -71,9 +71,21 @@ class Fabric {
 
   // Delivery entry point used by shard routers at epoch barriers: the
   // packet has already crossed the fabric (switch_arrival = wire_time +
-  // propagation_delay), so this runs the delivery hook / port contention
-  // in the arrival time frame.
+  // propagation), so this runs the delivery hook / port contention in the
+  // arrival time frame.
   void DeliverAtSwitch(PacketPtr packet, SimTime switch_arrival);
+
+  // Canonically ordered arrival staging (arrival-time-mode fabrics only).
+  // The packet is parked on its destination port and delivered — via
+  // DeliverAtSwitch — by a per-port sequencer event at `arrival`; arrivals
+  // sharing a (port, arrival) pair are delivered in (wire_time, src_host,
+  // seq) order no matter what order they were staged in. This is what
+  // makes same-instant tie order placement- and shard-count-invariant:
+  // cross-shard packets are staged here at epoch barriers while same-shard
+  // packets are staged eagerly at route time, and both meet in one
+  // canonical queue. `arrival` must be >= the owning simulator's clock.
+  void StageArrival(PacketPtr packet, SimTime arrival, SimTime wire_time,
+                    int src_host, uint64_t seq);
 
   // Installs the cross-shard router; this fabric then owns only shard
   // `shard_id`'s hosts and forwards every routed packet to the router.
@@ -91,6 +103,12 @@ class Fabric {
   void set_arrival_time_mode(bool on) { arrival_time_mode_ = on; }
 
   // Fault injection: drop each packet independently with this probability.
+  // The decision is a deterministic per-packet hash of (simulation seed,
+  // src, dst, per-source departure sequence) rather than an RNG draw: a
+  // host's departures are totally ordered by its own timeline, so the
+  // sequence numbers — and hence the drop pattern — are identical no
+  // matter how hosts are sharded or placed, which keeps drop_probability >
+  // 0 digest-comparable between serial and sharded runs.
   void set_random_drop_probability(double p) { drop_probability_ = p; }
   double random_drop_probability() const { return drop_probability_; }
   void CountRandomDrop() { ++stats_.dropped_random; }
@@ -131,6 +149,14 @@ class Fabric {
     SimTime at;
     PacketPtr packet;
   };
+  // An arrival staged by StageArrival, waiting for the port sequencer.
+  struct StagedArrival {
+    SimTime at;
+    SimTime wire_time;
+    int src_host;
+    uint64_t seq;
+    PacketPtr packet;
+  };
   struct Port {
     SimTime busy_until = 0;
     int64_t queued_bytes = 0;
@@ -138,12 +164,23 @@ class Fabric {
     // Exactly one drain event is in flight per port while pending is
     // non-empty; it fires at pending.front().at.
     bool drain_armed = false;
+    // Arrival sequencer state (arrival-time mode): staged arrivals not yet
+    // handed to DeliverAtSwitch, and the one armed sequencer event
+    // (rearmed earlier whenever an earlier arrival is staged).
+    std::vector<StagedArrival> staged;
+    SimTime sequencer_armed_at = -1;
+    EventHandle sequencer_event;
   };
 
   // Delivers every pending packet whose time has come, then re-arms at the
   // next pending delivery time (batched path).
   void DrainPort(int dst);
   void DeliverOne(int dst, PacketPtr packet);
+  // Port sequencer: delivers every staged arrival due now in canonical
+  // (wire_time, src_host, seq) order, then re-arms at the next staged time.
+  void DrainArrivals(int dst);
+  // Deterministic hashed drop decision for a packet leaving `src_host`.
+  bool DropsPacket(const Packet& packet);
 
   Simulator* sim_;
   NicParams params_;
@@ -152,6 +189,8 @@ class Fabric {
   std::deque<Port> ports_;
   std::vector<std::function<void(PacketPtr, SimTime)>> delivery_hooks_;
   double drop_probability_ = 0;
+  // Per-source-host departure counters feeding the hashed drop decision.
+  std::vector<uint64_t> drop_seq_;
   ShardRouter* router_ = nullptr;
   int shard_id_ = 0;
   bool arrival_time_mode_ = false;

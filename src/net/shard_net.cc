@@ -8,17 +8,20 @@
 namespace snap {
 
 namespace {
-// Ring capacity per directed shard pair. Sized for a burst of one epoch's
-// traffic between two shards; overflow degrades to the spill vector, not
-// to loss.
-constexpr size_t kChannelCapacity = 1024;
+// Ring capacity per directed shard pair, in batches (so
+// kChannelBatches * kHandoffBatchSize packets). Sized for a burst of one
+// epoch's traffic between two shards; overflow degrades to the spill
+// vector, not to loss.
+constexpr size_t kChannelBatches = 64;
 }  // namespace
 
 ShardedFabricGroup::ShardedFabricGroup(ShardedSim* sharded,
                                        const NicParams& params)
     : sharded_(sharded), params_(params) {
   // Conservative sync is only sound if nothing crosses shards faster than
-  // the lookahead the coordinator runs epochs with.
+  // the lookahead the coordinator runs epochs with. propagation_delay is
+  // the topology's minimum hop; RefreshPairLookaheads raises individual
+  // pairs when their hosts are provably further apart.
   SNAP_CHECK_LE(sharded_->lookahead(), params_.propagation_delay);
   int n = sharded_->num_shards();
   fabrics_.reserve(n);
@@ -30,7 +33,7 @@ ShardedFabricGroup::ShardedFabricGroup(ShardedSim* sharded,
   }
   channels_.reserve(static_cast<size_t>(n) * n);
   for (int i = 0; i < n * n; ++i) {
-    channels_.push_back(std::make_unique<Channel>(kChannelCapacity));
+    channels_.push_back(std::make_unique<Channel>(kChannelBatches));
   }
   per_source_.resize(n);
   sharded_->AddBarrierHook([this] { Exchange(); });
@@ -39,14 +42,23 @@ ShardedFabricGroup::ShardedFabricGroup(ShardedSim* sharded,
 ShardedFabricGroup::~ShardedFabricGroup() {
   // Reclaim packets still staged (simulation torn down mid-flight).
   for (auto& ch : channels_) {
-    while (auto h = ch->ring.TryPop()) delete h->packet;
-    for (auto& h : ch->spill) delete h.packet;
+    while (auto b = ch->ring.TryPop()) {
+      for (int i = 0; i < b->count; ++i) delete b->items[i].packet;
+    }
+    for (auto& b : ch->spill) {
+      for (int i = 0; i < b.count; ++i) delete b.items[i].packet;
+    }
     ch->spill.clear();
+    for (int i = 0; i < ch->staging.count; ++i) {
+      delete ch->staging.items[i].packet;
+    }
+    ch->staging.count = 0;
   }
 }
 
 void ShardedFabricGroup::OnAddHost(Fabric* adder) {
   host_shard_.push_back(adder->shard_id());
+  lookahead_dirty_ = true;
   for (auto& fabric : fabrics_) {
     if (fabric.get() != adder) {
       fabric->AddRemoteHost();
@@ -54,52 +66,106 @@ void ShardedFabricGroup::OnAddHost(Fabric* adder) {
   }
 }
 
+void ShardedFabricGroup::RefreshPairLookaheads() {
+  lookahead_dirty_ = false;
+  const int n = num_shards();
+  if (n <= 1) return;
+  // Which clusters each shard owns hosts in.
+  std::vector<std::vector<int>> clusters(n);
+  for (int h = 0; h < num_hosts(); ++h) {
+    auto& mine = clusters[host_shard_[h]];
+    int c = params_.cluster_of(h);
+    if (std::find(mine.begin(), mine.end(), c) == mine.end()) {
+      mine.push_back(c);
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      bool share_cluster = false;
+      for (int c : clusters[s]) {
+        if (std::find(clusters[d].begin(), clusters[d].end(), c) !=
+            clusters[d].end()) {
+          share_cluster = true;
+          break;
+        }
+      }
+      // Minimum latency from any host of s to any host of d. An empty
+      // shard conservatively gets the flat minimum only when it shares a
+      // cluster, which it never does, so it lands on the (still sound)
+      // maximum — it has no hosts to send from anyway.
+      sharded_->set_pair_lookahead(s, d,
+                                   share_cluster
+                                       ? params_.propagation_delay
+                                       : params_.max_propagation_delay());
+    }
+  }
+}
+
 void ShardedFabricGroup::RouteFromShard(Fabric* src, PacketPtr packet,
                                         SimTime wire_time) {
-  // Random drop runs at route time on the source shard (its rng), keeping
-  // the serial path's semantics. Note: nonzero drop probability consumes
-  // per-shard rng draws in shard-dependent order, so exact serial digest
-  // parity is only promised at drop_probability == 0 (chaos links do
-  // their loss injection with their own per-link rngs and stay parity-
-  // exact; see docs/PARALLEL.md).
-  if (src->random_drop_probability() > 0 &&
-      src->sim()->rng().NextBernoulli(src->random_drop_probability())) {
-    src->CountRandomDrop();
+  const int s = src->shard_id();
+  const int d = host_shard_[packet->dst_host];
+  const int src_host = packet->src_host;
+  const int dst_host = packet->dst_host;
+  PerSource& ps = per_source_[s];
+  ++ps.handoffs;
+  const uint64_t seq = ps.next_seq++;
+  if (s == d) {
+    // Same-shard traffic bypasses rings and barriers entirely: stage it
+    // on our own destination port's sequencer at its exact arrival time.
+    // The sequencer orders same-instant ties by the same canonical key
+    // the exchange sorts by, so the delivery order matches what a
+    // barrier crossing would have produced.
+    ++ps.local_direct;
+    src->StageArrival(std::move(packet),
+                      wire_time + params_.propagation_between(src_host,
+                                                              dst_host),
+                      wire_time, src_host, seq);
     return;
   }
-  int s = src->shard_id();
-  int d = host_shard_[packet->dst_host];
-  PerSource& ps = per_source_[s];
-  Handoff h{wire_time, packet->src_host, ps.next_seq++, packet.release()};
+  ++ps.cross_shard;
   Channel& ch = channel(s, d);
-  if (!ch.ring.TryPush(h)) {
-    ch.spill.push_back(h);
-    ++ps.ring_overflow;
+  HandoffBatch& batch = ch.staging;
+  batch.items[batch.count++] =
+      Handoff{wire_time, src_host, seq, packet.release()};
+  if (batch.count == kHandoffBatchSize) {
+    if (!ch.ring.TryPush(batch)) {
+      ch.spill.push_back(batch);
+      ++ps.ring_overflow;
+    }
+    batch.count = 0;
   }
-  ++ps.handoffs;
-  if (s != d) ++ps.cross_shard;
 }
 
 void ShardedFabricGroup::Exchange() {
+  if (lookahead_dirty_) RefreshPairLookaheads();
   int n = num_shards();
   bool moved = false;
   for (int dst = 0; dst < n; ++dst) {
     scratch_.clear();
     for (int src = 0; src < n; ++src) {
+      if (src == dst) continue;  // same-shard traffic never staged here
       Channel& ch = channel(src, dst);
-      while (auto h = ch.ring.TryPop()) {
-        scratch_.push_back(*h);
+      while (auto b = ch.ring.TryPop()) {
+        for (int i = 0; i < b->count; ++i) scratch_.push_back(b->items[i]);
       }
-      for (const Handoff& h : ch.spill) {
-        scratch_.push_back(h);
+      for (const HandoffBatch& b : ch.spill) {
+        for (int i = 0; i < b.count; ++i) scratch_.push_back(b.items[i]);
       }
       ch.spill.clear();
+      for (int i = 0; i < ch.staging.count; ++i) {
+        scratch_.push_back(ch.staging.items[i]);
+      }
+      ch.staging.count = 0;
     }
     if (scratch_.empty()) continue;
     moved = true;
     // Canonical order: a pure function of the traffic, independent of the
     // shard layout. seq ties only arise within one source shard, where it
-    // reproduces emission order.
+    // reproduces emission order. (Same-instant arrival ties are
+    // re-canonicalized by the port sequencer; sorting here keeps the
+    // staging near-ordered so sequencers rarely re-arm.)
     std::sort(scratch_.begin(), scratch_.end(),
               [](const Handoff& a, const Handoff& b) {
                 if (a.wire_time != b.wire_time) {
@@ -111,14 +177,13 @@ void ShardedFabricGroup::Exchange() {
                 return a.seq < b.seq;
               });
     Fabric* dfab = fabrics_[dst].get();
-    Simulator* dsim = sharded_->sim(dst);
     for (Handoff& h : scratch_) {
-      SimTime arrival = h.wire_time + params_.propagation_delay;
-      dsim->ScheduleAt(arrival,
-                       [dfab, arrival, p = PacketPtr(h.packet)]() mutable {
-                         dfab->DeliverAtSwitch(std::move(p), arrival);
-                       });
+      PacketPtr p(h.packet);
       h.packet = nullptr;
+      SimTime arrival =
+          h.wire_time + params_.propagation_between(h.src_host, p->dst_host);
+      dfab->StageArrival(std::move(p), arrival, h.wire_time, h.src_host,
+                         h.seq);
     }
   }
   if (moved) ++exchanges_;
@@ -141,6 +206,7 @@ ShardedFabricGroup::ExchangeStats ShardedFabricGroup::exchange_stats() const {
   ExchangeStats out;
   for (const PerSource& ps : per_source_) {
     out.handoffs += ps.handoffs;
+    out.local_direct += ps.local_direct;
     out.cross_shard += ps.cross_shard;
     out.ring_overflow += ps.ring_overflow;
   }

@@ -1,32 +1,50 @@
 // Shard-aware fabric: one Fabric per ShardedSim shard, cross-shard packet
-// hand-off over the model-checked SpscRing, canonical arrival ordering at
-// epoch barriers.
+// hand-off in fixed-size batches over the model-checked SpscRing, canonical
+// arrival ordering via the per-port sequencer.
 //
 // Topology. Host ids are global: every AddHost() on any shard's fabric
 // reserves the same id on every other shard (placeholder port, nullptr
 // NIC), so Packet::dst_host indexes the same tables everywhere. Each
 // shard's Fabric routes every wire departure to this group's
-// RouteFromShard, which stages a Handoff in the SPSC ring for the
-// (source shard, destination shard) channel — including same-shard
-// traffic, so the delivery pipeline is identical no matter where the two
-// hosts live.
+// RouteFromShard. Same-shard traffic is delivered eagerly: it is staged
+// straight onto the destination port's arrival sequencer
+// (Fabric::StageArrival) at its exact arrival time, never touching a ring
+// or a barrier — which both removes it from the exchange entirely and
+// frees the conservative horizon from the intra-shard propagation delay
+// (ShardedSim's per-destination horizon skips the diagonal).
 //
-// Exchange. At every epoch barrier (all shard threads parked) the
-// coordinator drains each destination's inbound channels and sorts the
-// handoffs by the canonical key (wire_time, src_host, seq), where seq is
-// a per-source-shard staging counter. Equal (wire_time, src_host) implies
-// the same source shard, so seq reproduces the source's emission order;
-// across sources, the key is a pure function of the simulated traffic.
-// Arrival events are then scheduled in that order at wire_time +
-// propagation_delay — the event queue breaks same-time ties by insertion
-// order, so execution order is canonical too. This is what makes trace
-// digests invariant across shard counts and equal to the serial engine's
-// (docs/PARALLEL.md spells out the argument and its edge cases).
+// Exchange. Cross-shard departures accumulate in a per-(src,dst)-channel
+// staging batch (kHandoffBatchSize handoffs); full batches go through the
+// SPSC ring — one push per batch instead of per packet — produced by the
+// shard thread during the epoch and consumed by the coordinator at the
+// barrier. A full ring spills whole batches to a source-owned vector, and
+// the coordinator also reads the final partial staging batch directly (the
+// epoch barriers provide the happens-before in both directions), so
+// per-channel order is ring, then spill, then staging = exact emission
+// order. At each barrier the coordinator drains every destination's
+// inbound channels, sorts by the canonical key (wire_time, src_host, seq)
+// — seq is a per-source-shard staging counter, so equal (wire_time,
+// src_host) ties reproduce the source's emission order and the key is a
+// pure function of the simulated traffic — and stages each handoff on the
+// destination fabric's arrival sequencer at wire_time + propagation
+// between the two hosts. The sequencer re-sorts same-(port, instant)
+// arrivals by the same canonical key at delivery, so tie order is
+// identical no matter how hosts are placed or how many shards exist; this
+// is what makes trace digests invariant across shard counts and
+// placements, and equal to the serial engine's (docs/PARALLEL.md).
+//
+// Lookahead. The group derives ShardedSim's per-pair lookahead matrix from
+// the topology: L(s, d) = propagation_delay if shards s and d own hosts in
+// a common cluster, else propagation_delay + inter_cluster_extra_delay
+// (the minimum latency between any host of s and any host of d). Shard
+// pairs coupled only across clusters run longer epochs with fewer
+// barriers. The matrix is recomputed lazily at the first exchange after a
+// host is added.
 //
 // Safety. The conservative horizon (ShardedSim) guarantees every handoff
-// staged during an epoch has arrival >= the epoch's end, so barrier-time
-// ScheduleAt never rewinds a destination shard's clock. The group CHECKs
-// lookahead <= propagation_delay at construction.
+// staged during an epoch has arrival >= the destination's horizon, so
+// barrier-time staging never rewinds a destination shard's clock. The
+// group CHECKs lookahead <= propagation_delay at construction.
 //
 // Time frame. Delivery hooks (chaos links) and port contention run on the
 // destination shard at the switch-arrival time, so per-shard fabrics are
@@ -71,17 +89,22 @@ class ShardedFabricGroup : public ShardRouter {
   Fabric::Stats AggregateStats() const;
 
   struct ExchangeStats {
-    int64_t handoffs = 0;       // packets staged through the barriers
-    int64_t cross_shard = 0;    // staged toward a different shard
-    int64_t ring_overflow = 0;  // staged via the spill path (ring full)
+    int64_t handoffs = 0;      // packets routed through the group
+    int64_t local_direct = 0;  // same-shard, delivered eagerly (no barrier)
+    int64_t cross_shard = 0;   // staged toward a different shard
+    int64_t ring_overflow = 0;  // batches spilled (ring full)
     int64_t exchanges = 0;      // barrier exchanges that moved packets
   };
   ExchangeStats exchange_stats() const;
 
+  // Cross-shard handoffs per batch pushed through a ring.
+  static constexpr int kHandoffBatchSize = 16;
+
  private:
   // One staged packet. The pointer is released from its unique_ptr so the
   // Handoff is trivially copyable through the ring; ownership transfers to
-  // the arrival event at exchange (or back to ~ShardedFabricGroup).
+  // the destination port's sequencer at exchange (or back to
+  // ~ShardedFabricGroup).
   struct Handoff {
     SimTime wire_time = 0;
     int src_host = -1;
@@ -89,16 +112,27 @@ class ShardedFabricGroup : public ShardRouter {
     Packet* packet = nullptr;
   };
 
+  struct HandoffBatch {
+    int32_t count = 0;
+    Handoff items[kHandoffBatchSize];
+  };
+
   // Directed (src shard -> dst shard) channel. The ring is SPSC: the
-  // source shard's thread produces during the epoch, the coordinator
-  // consumes at the barrier. Overflow spills to a source-owned vector;
-  // once the ring fills it stays full until the barrier, so every spilled
-  // handoff was staged after every ringed one and per-channel FIFO order
-  // survives (the canonical sort re-establishes total order anyway).
+  // source shard's thread produces full batches during the epoch, the
+  // coordinator consumes at the barrier. Overflow spills whole batches to
+  // a source-owned vector; once the ring fills it stays full until the
+  // barrier, so every spilled batch was staged after every ringed one and
+  // per-channel FIFO order survives (the canonical sort re-establishes
+  // total order anyway). `staging` is the producer's partial batch; the
+  // coordinator reads and resets it at the barrier, which is race-free for
+  // the same reason the spill vector is (the epoch barriers order every
+  // producer write before the coordinator's read, and the reset before the
+  // producer resumes).
   struct Channel {
     explicit Channel(size_t capacity) : ring(capacity) {}
-    SpscRing<Handoff> ring;
-    std::vector<Handoff> spill;
+    SpscRing<HandoffBatch> ring;
+    std::vector<HandoffBatch> spill;
+    HandoffBatch staging;
   };
 
   // Per-source-shard mutable state, cache-line separated so shard threads
@@ -106,6 +140,7 @@ class ShardedFabricGroup : public ShardRouter {
   struct alignas(64) PerSource {
     uint64_t next_seq = 0;
     int64_t handoffs = 0;
+    int64_t local_direct = 0;
     int64_t cross_shard = 0;
     int64_t ring_overflow = 0;
   };
@@ -114,8 +149,11 @@ class ShardedFabricGroup : public ShardRouter {
     return *channels_[src * num_shards() + dst];
   }
 
-  // Runs at every epoch barrier: drain, sort, schedule arrivals.
+  // Runs at every epoch barrier: drain, sort, stage arrivals.
   void Exchange();
+  // Recomputes the per-pair lookahead matrix from each shard's cluster
+  // footprint (lazy, after host additions).
+  void RefreshPairLookaheads();
 
   ShardedSim* sharded_;
   NicParams params_;
@@ -125,6 +163,7 @@ class ShardedFabricGroup : public ShardRouter {
   std::vector<int> host_shard_;
   std::vector<Handoff> scratch_;  // coordinator-only sort buffer
   int64_t exchanges_ = 0;
+  bool lookahead_dirty_ = false;
 };
 
 }  // namespace snap

@@ -73,6 +73,15 @@ struct NicParams {
   double link_gbps = 100.0;
   // One-way propagation through the ToR switch (same-rack).
   SimDuration propagation_delay = 1 * kUsec;
+  // Optional two-level topology: hosts come in clusters of
+  // `hosts_per_cluster` consecutive ids (0 = flat rack, every pair one
+  // switch hop apart). A packet crossing clusters pays
+  // `inter_cluster_extra_delay` on top of `propagation_delay` (an
+  // aggregation-switch hop). Besides modeling pod-style racks, the gap
+  // between intra- and inter-cluster latency is what gives the sharded
+  // engine a per-shard-pair lookahead larger than the base delay.
+  int hosts_per_cluster = 0;
+  SimDuration inter_cluster_extra_delay = 0;
   // Fixed per-packet PCIe/NIC pipeline traversal (each direction).
   SimDuration nic_pipeline_delay = 1400 * kNsec;
   // RX/TX descriptor ring size, in packets.
@@ -90,6 +99,23 @@ struct NicParams {
   // event per packet; each packet is still delivered at its exact modeled
   // time. OFF reverts to per-packet events for A/B benchmarking.
   bool batched_delivery = true;
+
+  int cluster_of(int host) const {
+    return hosts_per_cluster > 0 ? host / hosts_per_cluster : 0;
+  }
+  // One-way propagation between two specific hosts under the (possibly
+  // two-level) topology above.
+  SimDuration propagation_between(int src_host, int dst_host) const {
+    return cluster_of(src_host) == cluster_of(dst_host)
+               ? propagation_delay
+               : propagation_delay + inter_cluster_extra_delay;
+  }
+  // The largest propagation_between() over any host pair.
+  SimDuration max_propagation_delay() const {
+    return hosts_per_cluster > 0
+               ? propagation_delay + inter_cluster_extra_delay
+               : propagation_delay;
+  }
 };
 
 // ---------------------------------------------------------------------------

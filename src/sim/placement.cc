@@ -1,0 +1,166 @@
+#include "src/sim/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+TrafficMatrix::TrafficMatrix(int num_hosts) : n_(num_hosts) {
+  SNAP_CHECK_GE(num_hosts, 0);
+  w_.assign(static_cast<size_t>(n_) * n_, 0);
+}
+
+void TrafficMatrix::Add(int a, int b, int64_t weight) {
+  SNAP_CHECK_GE(a, 0);
+  SNAP_CHECK_LT(a, n_);
+  SNAP_CHECK_GE(b, 0);
+  SNAP_CHECK_LT(b, n_);
+  SNAP_CHECK_GE(weight, 0);
+  if (a == b) {
+    return;
+  }
+  w_[a * n_ + b] += weight;
+  w_[b * n_ + a] += weight;
+}
+
+int64_t TrafficMatrix::total_weight(int host) const {
+  const int64_t* row = &w_[static_cast<size_t>(host) * n_];
+  return std::accumulate(row, row + n_, int64_t{0});
+}
+
+Placement Placement::RoundRobin(int num_hosts, int num_shards) {
+  SNAP_CHECK_GE(num_shards, 1);
+  Placement p;
+  p.num_shards = num_shards;
+  p.shard_of_host.resize(num_hosts);
+  for (int h = 0; h < num_hosts; ++h) {
+    p.shard_of_host[h] = h % num_shards;
+  }
+  return p;
+}
+
+Placement Placement::Contiguous(int num_hosts, int num_shards) {
+  SNAP_CHECK_GE(num_shards, 1);
+  Placement p;
+  p.num_shards = num_shards;
+  p.shard_of_host.resize(num_hosts);
+  int block = (num_hosts + num_shards - 1) / num_shards;
+  block = std::max(block, 1);
+  for (int h = 0; h < num_hosts; ++h) {
+    p.shard_of_host[h] = std::min(h / block, num_shards - 1);
+  }
+  return p;
+}
+
+Placement Placement::TrafficAware(const TrafficMatrix& traffic, int num_shards,
+                                  double balance_slack) {
+  SNAP_CHECK_GE(num_shards, 1);
+  SNAP_CHECK_GE(balance_slack, 1.0);
+  const int n = traffic.num_hosts();
+  Placement p;
+  p.num_shards = num_shards;
+  p.shard_of_host.assign(n, -1);
+
+  // Balance bound: never let a shard exceed ceil(n / k * slack) hosts (and
+  // never below ceil(n / k), or a perfectly even split would be illegal).
+  const int even = (n + num_shards - 1) / std::max(num_shards, 1);
+  const int cap = std::max(
+      even, static_cast<int>(static_cast<double>(n) / num_shards *
+                                 balance_slack +
+                             0.999999));
+
+  // Heaviest talkers first: they anchor the partitions their peers then
+  // join. Ties break on host id for determinism.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return traffic.total_weight(a) > traffic.total_weight(b);
+  });
+
+  std::vector<int> shard_size(num_shards, 0);
+  // affinity[s] = traffic between the candidate host and hosts already on s.
+  std::vector<int64_t> affinity(num_shards);
+  for (int h : order) {
+    std::fill(affinity.begin(), affinity.end(), 0);
+    for (int other = 0; other < n; ++other) {
+      if (p.shard_of_host[other] >= 0) {
+        affinity[p.shard_of_host[other]] += traffic.weight(h, other);
+      }
+    }
+    int best = -1;
+    for (int s = 0; s < num_shards; ++s) {
+      if (shard_size[s] >= cap) {
+        continue;
+      }
+      if (best < 0 || affinity[s] > affinity[best] ||
+          (affinity[s] == affinity[best] &&
+           shard_size[s] < shard_size[best])) {
+        best = s;
+      }
+    }
+    SNAP_CHECK_GE(best, 0);  // cap * num_shards >= n, so a slot always exists
+    p.shard_of_host[h] = best;
+    ++shard_size[best];
+  }
+
+  // Refinement: the greedy pass can strand the tail of a cluster on the
+  // wrong shard — a host joins the open shard its few cross edges point at
+  // before its own cluster has anchored elsewhere, and once that shard
+  // fills, later cluster members cascade onto the next one. Sweep hosts in
+  // id order and move any host whose affinity to another non-full shard
+  // strictly beats its affinity to its current shard. Each move strictly
+  // increases total intra-shard weight, so the loop terminates; fixed sweep
+  // order and tie-breaks keep the result deterministic.
+  for (bool improved = true; improved;) {
+    improved = false;
+    for (int h = 0; h < n; ++h) {
+      std::fill(affinity.begin(), affinity.end(), 0);
+      for (int other = 0; other < n; ++other) {
+        affinity[p.shard_of_host[other]] += traffic.weight(h, other);
+      }
+      const int cur = p.shard_of_host[h];
+      int best = cur;
+      for (int s = 0; s < num_shards; ++s) {
+        if (s == cur || shard_size[s] >= cap) {
+          continue;
+        }
+        if (affinity[s] > affinity[best]) {
+          best = s;
+        }
+      }
+      if (best != cur) {
+        p.shard_of_host[h] = best;
+        --shard_size[cur];
+        ++shard_size[best];
+        improved = true;
+      }
+    }
+  }
+  return p;
+}
+
+int64_t Placement::CrossShardWeight(const TrafficMatrix& traffic) const {
+  const int n = std::min(num_hosts(), traffic.num_hosts());
+  int64_t cross = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (shard_of_host[a] != shard_of_host[b]) {
+        cross += traffic.weight(a, b);
+      }
+    }
+  }
+  return cross;
+}
+
+int Placement::max_shard_size() const {
+  std::vector<int> size(num_shards, 0);
+  int max_size = 0;
+  for (int s : shard_of_host) {
+    max_size = std::max(max_size, ++size[s]);
+  }
+  return max_size;
+}
+
+}  // namespace snap

@@ -1,0 +1,80 @@
+// Host-to-shard placement for the sharded simulator.
+//
+// Where a host lives decides whether its packets cross a shard boundary
+// (ring handoff + barrier) or stay local (direct delivery, no sync). The
+// TrafficMatrix records who talks to whom — either declared up front by the
+// workload harness (the hint API used by bench/sharded_rack.h) or filled
+// from a profiling pre-run — and Placement::TrafficAware greedily
+// graph-partitions hosts onto shards to minimize cross-shard traffic under
+// a load-balance bound. Every constructor is deterministic, and simulation
+// digests are byte-identical across placements (gated in placement_test /
+// determinism_test): placement is a pure performance knob.
+#ifndef SRC_SIM_PLACEMENT_H_
+#define SRC_SIM_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace snap {
+
+// Symmetric host-to-host traffic weights. Units are whatever the caller
+// declares (bytes, packets) — only relative magnitudes matter to the
+// partitioner.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int num_hosts);
+
+  int num_hosts() const { return n_; }
+
+  // Accumulates `weight` onto the (a, b) pair, both directions (the
+  // partitioner cares about coupling, not direction). Self-traffic is
+  // ignored. weight >= 0.
+  void Add(int a, int b, int64_t weight);
+
+  int64_t weight(int a, int b) const { return w_[a * n_ + b]; }
+
+  // Total coupling of `host` to everyone else.
+  int64_t total_weight(int host) const;
+
+ private:
+  int n_;
+  std::vector<int64_t> w_;
+};
+
+// A host -> shard assignment. Everything that builds a sharded topology
+// (bench/sharded_rack.h, seed_sweep) takes one of these; all constructors
+// map every host into [0, num_shards).
+struct Placement {
+  int num_shards = 1;
+  std::vector<int> shard_of_host;
+
+  int shard(int host) const { return shard_of_host[host]; }
+  int num_hosts() const { return static_cast<int>(shard_of_host.size()); }
+
+  // host % num_shards — the legacy striping, adversarial for
+  // cluster-local traffic (neighbors always land apart).
+  static Placement RoundRobin(int num_hosts, int num_shards);
+
+  // Blocks of ceil(num_hosts / num_shards) consecutive hosts — ideal when
+  // traffic is cluster-local and clusters align with the block size,
+  // adversarial tie-breaking exercise otherwise.
+  static Placement Contiguous(int num_hosts, int num_shards);
+
+  // Greedy graph partition: hosts in decreasing total-traffic order (id
+  // ascending on ties) are assigned to the shard they have the most
+  // already-placed traffic with, subject to the balance bound
+  //   shard size <= ceil(num_hosts / num_shards * balance_slack).
+  // Ties pick the smaller shard, then the lower shard id. Deterministic.
+  static Placement TrafficAware(const TrafficMatrix& traffic, int num_shards,
+                                double balance_slack = 1.2);
+
+  // Total traffic weight crossing shard boundaries under this placement
+  // (each unordered pair counted once).
+  int64_t CrossShardWeight(const TrafficMatrix& traffic) const;
+
+  int max_shard_size() const;
+};
+
+}  // namespace snap
+
+#endif  // SRC_SIM_PLACEMENT_H_

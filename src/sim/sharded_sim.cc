@@ -7,6 +7,12 @@
 
 namespace snap {
 
+namespace {
+// "Unreachable" sentinel for the closed lookahead matrix, far enough from
+// kSimTimeNever that next + distance cannot overflow.
+constexpr SimDuration kLookaheadInf = kSimTimeNever / 4;
+}  // namespace
+
 ShardedSim::ShardedSim(const Options& options) : options_(options) {
   SNAP_CHECK_GE(options_.num_shards, 1);
   SNAP_CHECK_GT(options_.lookahead, 0);
@@ -15,10 +21,51 @@ ShardedSim::ShardedSim(const Options& options) : options_(options) {
     sims_.push_back(
         std::make_unique<Simulator>(options_.seed, options_.queue_kind));
   }
-  fired_at_epoch_start_.resize(options_.num_shards, 0);
+  const int n = options_.num_shards;
+  pair_lookahead_.assign(static_cast<size_t>(n) * n, options_.lookahead);
+  fired_at_epoch_start_.resize(n, 0);
+  next_scratch_.resize(n);
+  horizon_scratch_.resize(n);
+  targets_.resize(n, 0);
 }
 
 ShardedSim::~ShardedSim() { StopWorkers(); }
+
+void ShardedSim::set_pair_lookahead(int src, int dst, SimDuration lookahead) {
+  SNAP_CHECK_GE(src, 0);
+  SNAP_CHECK_LT(src, num_shards());
+  SNAP_CHECK_GE(dst, 0);
+  SNAP_CHECK_LT(dst, num_shards());
+  SNAP_CHECK_GT(lookahead, 0);
+  pair_lookahead_[src * num_shards() + dst] = lookahead;
+  closure_dirty_ = true;
+}
+
+void ShardedSim::RefreshLookaheadClosure() {
+  closure_dirty_ = false;
+  const int n = num_shards();
+  closed_lookahead_.assign(static_cast<size_t>(n) * n, kLookaheadInf);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) closed_lookahead_[s * n + d] = pair_lookahead_[s * n + d];
+    }
+  }
+  // Floyd-Warshall min-plus closure. With the diagonal initialized to
+  // infinity, closed[d][d] converges to the shortest cycle through d —
+  // the earliest a shard's own work can come back at it via a relay.
+  for (int k = 0; k < n; ++k) {
+    for (int s = 0; s < n; ++s) {
+      const SimDuration sk = closed_lookahead_[s * n + k];
+      if (sk >= kLookaheadInf) continue;
+      for (int d = 0; d < n; ++d) {
+        const SimDuration kd = closed_lookahead_[k * n + d];
+        if (kd >= kLookaheadInf) continue;
+        SimDuration& sd = closed_lookahead_[s * n + d];
+        sd = std::min(sd, sk + kd);
+      }
+    }
+  }
+}
 
 SimTime ShardedSim::NextEventTime() const {
   SimTime next = kSimTimeNever;
@@ -30,45 +77,72 @@ SimTime ShardedSim::NextEventTime() const {
 
 void ShardedSim::RunUntil(SimTime until) {
   SNAP_CHECK_GE(until, now_);
+  const int n = num_shards();
   while (true) {
-    // Barrier point: all shards are parked at now_. Exchange staged
-    // cross-shard work (hooks schedule arrival events), then compute the
-    // next conservative horizon from the post-exchange event set.
+    // Barrier point: all shards are parked. Exchange staged cross-shard
+    // work (hooks schedule arrival events), then compute per-destination
+    // horizons from the post-exchange event set.
     for (auto& hook : barrier_hooks_) hook();
-    SimTime next = NextEventTime();
-    if (next == kSimTimeNever || next + options_.lookahead >= until) {
+    if (closure_dirty_) RefreshLookaheadClosure();
+    for (int s = 0; s < n; ++s) {
+      next_scratch_[s] = sims_[s]->NextEventTime();
+    }
+    SimTime min_horizon = kSimTimeNever;
+    for (int d = 0; d < n; ++d) {
+      SimTime h = kSimTimeNever;
+      for (int s = 0; s < n; ++s) {
+        if (next_scratch_[s] == kSimTimeNever) continue;
+        const SimDuration dist = closed_lookahead_[s * n + d];
+        if (dist >= kLookaheadInf) continue;
+        h = std::min(h, next_scratch_[s] + dist);
+      }
+      horizon_scratch_[d] = h;
+      min_horizon = std::min(min_horizon, h);
+    }
+    if (min_horizon >= until) {
       // Final chunk: run inclusive to `until`, mirroring
       // Simulator::RunUntil semantics so a sharded run observes the same
       // clock landings (and the same events-at-until execution) as the
-      // serial engine at every RunFor boundary.
-      RunShardsTo(until);
+      // serial engine at every RunFor boundary. With one shard — or all
+      // shards idle — this is the only epoch.
+      for (int d = 0; d < n; ++d) targets_[d] = until;
+      RunShardsToTargets();
       now_ = until;
       // One more exchange so work staged during the final chunk is
       // delivered (its arrivals land at > until and run next time).
       for (auto& hook : barrier_hooks_) hook();
       return;
     }
-    // Interior epoch: every shard may run events strictly before
-    // next + lookahead. Any handoff staged during this epoch has
-    // wire_time >= next, hence arrival >= next + lookahead, so scheduling
-    // it at the barrier never rewinds any shard's clock.
-    SimTime end = next + options_.lookahead;
-    RunShardsTo(end - 1);
-    now_ = end;
+    // Interior epoch: destination d may run events strictly before its
+    // own horizon. A handoff staged by shard s during this epoch has
+    // wire_time >= next(s), hence arrival >= next(s) + L(s, d) >= H(d) —
+    // beyond every target granted here — so the barrier-time exchange
+    // never rewinds a shard's clock. Per-shard horizons are not monotone
+    // across epochs (a previously idle shard can pull one back in), but
+    // Simulator::RunUntil treats a stale lower target as a no-op and the
+    // safety bound above is per-epoch, so that is harmless.
+    for (int d = 0; d < n; ++d) {
+      targets_[d] = horizon_scratch_[d] == kSimTimeNever
+                        ? until
+                        : std::min(horizon_scratch_[d] - 1, until);
+    }
+    RunShardsToTargets();
+    now_ = min_horizon;  // strictly increases: every H > global next
   }
 }
 
-void ShardedSim::RunShardsTo(SimTime target) {
+void ShardedSim::RunShardsToTargets() {
   ++progress_.epochs;
   for (int i = 0; i < num_shards(); ++i) {
     fired_at_epoch_start_[i] = sims_[i]->event_queue().stats().fired;
   }
   int threads = std::min(options_.num_threads, num_shards());
   if (threads <= 1) {
-    for (auto& sim : sims_) sim->RunUntil(target);
+    for (int i = 0; i < num_shards(); ++i) {
+      sims_[i]->RunUntil(targets_[i]);
+    }
   } else {
     if (!workers_started_) StartWorkers();
-    target_ = target;
     start_barrier_->arrive_and_wait();
     done_barrier_->arrive_and_wait();
   }
@@ -107,7 +181,7 @@ void ShardedSim::WorkerLoop(int worker_index) {
     start_barrier_->arrive_and_wait();
     if (stop_.load(std::memory_order_relaxed)) return;
     for (int i = worker_index; i < num_shards(); i += num_worker_threads_) {
-      sims_[i]->RunUntil(target_);
+      sims_[i]->RunUntil(targets_[i]);
     }
     done_barrier_->arrive_and_wait();
   }
@@ -119,6 +193,42 @@ std::map<std::string, int64_t> ShardedSim::MergedTelemetryValues() const {
     for (const auto& [name, value] : sim->telemetry().SnapshotValues()) {
       merged[name] += value;
     }
+  }
+  return merged;
+}
+
+void ShardedSim::EnableTracing() {
+  if (!tracers_.empty()) return;
+  tracers_.reserve(sims_.size());
+  for (auto& sim : sims_) {
+    tracers_.push_back(std::make_unique<TraceRecorder>());
+    sim->set_tracer(tracers_.back().get());
+  }
+}
+
+std::unique_ptr<TraceRecorder> ShardedSim::MergedTrace() const {
+  auto merged = std::make_unique<TraceRecorder>();
+  struct Ref {
+    SimTime ts;
+    int shard;
+    size_t index;
+  };
+  std::vector<Ref> refs;
+  for (int s = 0; s < static_cast<int>(tracers_.size()); ++s) {
+    const auto& events = tracers_[s]->events();
+    for (size_t i = 0; i < events.size(); ++i) {
+      refs.push_back(Ref{events[i].ts, s, i});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.index < b.index;
+  });
+  for (const Ref& r : refs) {
+    TraceEvent event = tracers_[r.shard]->events()[r.index];
+    event.tid += r.shard * kShardTrackStride;
+    merged->AppendRaw(std::move(event));
   }
   return merged;
 }

@@ -3,30 +3,54 @@
 // A ShardedSim owns N independent Simulators ("shards"); a partitioned
 // model assigns every host (and its NIC, engines, telemetry) to exactly
 // one shard, so a shard's event queue only ever touches shard-local
-// state. Shards synchronize with classic conservative epochs: if the
-// earliest pending event anywhere is at time `next`, and any work one
-// shard produces for another cannot take effect before `lookahead` has
-// elapsed (the fabric's propagation delay), then every shard may run
-// freely to the horizon `next + lookahead` without ever observing a
-// message from the past. At each epoch barrier all shards are parked,
-// the registered barrier hooks run on the coordinating thread (this is
-// where src/net/shard_net.h drains the inter-shard SpscRings and
-// schedules arrival events in canonical order), and the next horizon is
-// computed from the new global event set.
+// state. Shards synchronize with classic conservative epochs driven by a
+// per-shard-pair lookahead matrix: L(s, d) is the minimum model-time
+// delay before work produced on shard s can take effect on shard d (for
+// fabric workloads, the minimum propagation delay between any host of s
+// and any host of d — shard_net.h computes it from the topology). The
+// engine closes the matrix under chaining (min-plus shortest paths,
+// Floyd-Warshall): D(s, d) also bounds s's effect on d through relays —
+// an event on s can wake shard e, whose immediate response reaches d no
+// sooner than L(s, e) + L(e, d) — and the diagonal D(d, d) is the
+// shortest cycle through d, bounding how soon d's own work can boomerang
+// back via a neighbor. Each destination shard d then gets its own
+// horizon
 //
-// Because the horizon is a pure function of the global set of pending
-// event times, the epoch structure — and therefore every exchange — is
-// identical no matter how many worker threads execute the shards. With
-// `num_threads <= 1` the shards run round-robin on the caller's thread
-// and the results are bit-identical to the threaded run by construction;
-// tests exploit this to pin the threaded backend against the sequential
-// one, and the chaos-sweep digest tests pin both against the serial
-// single-Simulator engine (docs/PARALLEL.md).
+//   H(d) = min over all s of  next(s) + D(s, d)
 //
-// The idle skip-ahead in the horizon computation (`next + lookahead`
-// rather than `now + lookahead`) matters: quiescent stretches (RTO
-// waits, drained chaos sweeps) advance in one epoch instead of millions
-// of empty lookahead-sized steps.
+// where next(s) is s's earliest pending event; d may run freely to
+// H(d) - 1 without ever observing a message from the past. Same-shard
+// traffic is delivered eagerly by the router (never crosses a barrier),
+// so there is no direct diagonal term — and a single-shard run needs no
+// barriers at all (H = never; one epoch per RunUntil). At each epoch
+// barrier all shards are parked, the registered barrier hooks run on the
+// coordinating thread (this is where src/net/shard_net.h drains the
+// inter-shard rings and stages arrivals in canonical order), and new
+// horizons are computed from the post-exchange event set.
+//
+// Safety: any future arrival at d descends from a chain rooted at some
+// currently-pending event, so it lands at or beyond next(s) + D(s, d) >=
+// H(d) — past every clock the epoch grants d. The closure's triangle
+// inequality makes each destination's horizon non-decreasing across
+// epochs (next-epoch events are themselves bounded below through D), so
+// the grant stays safe even for shards that ran far ahead while others
+// idled; the one-hop matrix alone would not be (an idle shard woken by a
+// neighbor could answer below the far-ahead shard's clock).
+// Progress: every horizon exceeds the global minimum event time by at
+// least the smallest lookahead, so barrier time strictly advances; the
+// `next(s)` form (rather than `now + L`) lets quiescent stretches (RTO
+// waits, drained runs) advance in one epoch instead of millions of empty
+// lookahead-sized steps.
+//
+// The horizons are a pure function of the pending event times and the
+// lookahead matrix, so the epoch structure is identical no matter how
+// many worker threads execute the shards — with `num_threads <= 1` the
+// shards run round-robin on the caller's thread and results are
+// bit-identical to the threaded run by construction. Results are also
+// byte-identical to the serial single-Simulator engine for every shard
+// count and host placement (the epoch/exchange *counts* differ across
+// shard counts — fewer barriers is the point — but the simulated outcome
+// does not); docs/PARALLEL.md has the full determinism contract.
 #ifndef SRC_SIM_SHARDED_SIM_H_
 #define SRC_SIM_SHARDED_SIM_H_
 
@@ -50,10 +74,10 @@ class ShardedSim {
     int num_shards = 1;
     uint64_t seed = 1;
     EventQueueKind queue_kind = kDefaultEventQueueKind;
-    // Conservative synchronization horizon: the minimum model-time delay
-    // before work produced on one shard can take effect on another. For
-    // fabric workloads this is NicParams::propagation_delay (the model
-    // enforces lookahead <= propagation_delay in shard_net.h).
+    // Default conservative lookahead, used for every shard pair until
+    // set_pair_lookahead overrides it (shard_net.h installs per-pair
+    // values derived from the fabric topology). Must be <= the minimum
+    // cross-shard propagation delay.
     SimDuration lookahead = 1 * kUsec;
     // Worker threads executing shards; <= 1 runs every shard round-robin
     // on the caller's thread (bit-identical results either way).
@@ -70,6 +94,18 @@ class ShardedSim {
   Simulator* sim(int shard) { return sims_[shard].get(); }
   const Simulator* sim(int shard) const { return sims_[shard].get(); }
   SimDuration lookahead() const { return options_.lookahead; }
+
+  // The one-hop lookahead matrix: minimum model-time delay from work on
+  // `src` to any direct effect on `dst`. Larger values mean longer
+  // epochs between that pair; correctness requires value <= the true
+  // minimum cross-shard latency. The diagonal is ignored (same-shard
+  // work never crosses a barrier; the engine derives the diagonal bound
+  // as the shortest cycle when it closes the matrix). Set before or
+  // between Run* calls.
+  void set_pair_lookahead(int src, int dst, SimDuration lookahead);
+  SimDuration pair_lookahead(int src, int dst) const {
+    return pair_lookahead_[src * num_shards() + dst];
+  }
 
   // Barrier (= global simulated) time: every shard has executed all its
   // events strictly before now(), and none at or after it except during
@@ -111,26 +147,50 @@ class ShardedSim {
   // per-host metric names, so the merge is a union; shared names sum).
   std::map<std::string, int64_t> MergedTelemetryValues() const;
 
+  // Flight recording across shards. EnableTracing (call before building
+  // hosts) attaches one TraceRecorder per shard; MergedTrace folds them
+  // into a single deterministic trace: events interleaved by timestamp
+  // (ties broken by shard, then per-shard emission order) with every
+  // track id remapped to shard * kShardTrackStride + tid, so per-shard
+  // tracks — including the virtual scheduler/fabric/chaos tracks — stay
+  // distinct and stable. Which track a host's cores land on depends on
+  // its shard, so traces are comparable between runs of the same
+  // placement; the simulation itself is unaffected (pure observation).
+  static constexpr int kShardTrackStride = 100000;
+  void EnableTracing();
+  bool tracing_enabled() const { return !tracers_.empty(); }
+  TraceRecorder* shard_tracer(int shard) { return tracers_[shard].get(); }
+  std::unique_ptr<TraceRecorder> MergedTrace() const;
+
  private:
-  void RunShardsTo(SimTime target);
+  void RunShardsToTargets();
+  void RefreshLookaheadClosure();
   void StartWorkers();
   void StopWorkers();
   void WorkerLoop(int worker_index);
 
   Options options_;
   std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<SimDuration> pair_lookahead_;  // num_shards^2, row = src
+  // Min-plus closure of pair_lookahead_ (diagonal = shortest cycle);
+  // entries >= kLookaheadInf mean "unreachable". Rebuilt lazily.
+  std::vector<SimDuration> closed_lookahead_;
+  bool closure_dirty_ = true;
   std::vector<std::function<void()>> barrier_hooks_;
+  std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   SimTime now_ = 0;
   Progress progress_;
   std::vector<int64_t> fired_at_epoch_start_;
+  std::vector<SimTime> next_scratch_;
+  std::vector<SimTime> horizon_scratch_;
 
-  // Worker-pool state (threaded mode only). `target_` is written by the
+  // Worker-pool state (threaded mode only). `targets_` is written by the
   // coordinator strictly between the two barriers, so workers read it
   // race-free; the barriers provide all ordering.
   std::vector<std::thread> workers_;
   std::unique_ptr<std::barrier<>> start_barrier_;
   std::unique_ptr<std::barrier<>> done_barrier_;
-  SimTime target_ = 0;
+  std::vector<SimTime> targets_;
   int num_worker_threads_ = 0;
   std::atomic<bool> stop_{false};
   bool workers_started_ = false;

@@ -19,13 +19,17 @@ class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1,
                      EventQueueKind queue_kind = kDefaultEventQueueKind)
-      : events_(queue_kind), rng_(seed) {}
+      : events_(queue_kind), rng_(seed), seed_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
+  // The seed this simulation was constructed with. Components that need
+  // per-object deterministic randomness independent of global draw order
+  // (e.g. the fabric's hashed packet drop) key their hashes off this.
+  uint64_t seed() const { return seed_; }
 
   // Schedules `cb` to run `delay` from now (delay >= 0).
   EventHandle Schedule(SimDuration delay, EventQueue::Callback cb) {
@@ -104,6 +108,7 @@ class Simulator {
   SimTime now_ = 0;
   EventQueue events_;
   Rng rng_;
+  uint64_t seed_ = 1;
   Telemetry telemetry_;
   TraceRecorder* tracer_ = nullptr;
   int next_trace_track_ = 0;

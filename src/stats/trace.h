@@ -99,6 +99,11 @@ class TraceRecorder {
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Raw event append, for deterministic cross-recorder merging
+  // (ShardedSim::MergedTrace). Not an emission API: the caller is
+  // responsible for timestamps and track ids making sense together.
+  void AppendRaw(TraceEvent event) { events_.push_back(std::move(event)); }
   size_t size() const { return events_.size(); }
   const Options& options() const { return options_; }
 

@@ -129,6 +129,7 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
       serial_sim->set_tracer(&trace_recorder);
     }
     serial_fabric.emplace(&*serial_sim, nic_params);
+    serial_fabric->set_random_drop_probability(opt.fabric_drop_probability);
   } else {
     ShardedSim::Options shard_options;
     shard_options.num_shards = opt.shards;
@@ -137,15 +138,24 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     shard_options.lookahead = nic_params.propagation_delay;
     shard_options.num_threads = opt.shard_threads;
     sharded.emplace(shard_options);
+    if (opt.enable_trace) {
+      sharded->EnableTracing();
+    }
     shard_group.emplace(&*sharded, nic_params);
+    for (int s = 0; s < sharded->num_shards(); ++s) {
+      shard_group->fabric(s)->set_random_drop_probability(
+          opt.fabric_drop_probability);
+    }
   }
   PonyDirectory directory;
 
   SimHostOptions host_options;
   host_options.group.mode = SchedulingMode::kDedicatedCores;
   host_options.group.dedicated_cores = {0};
-  const int shard_a = 0;
-  const int shard_b = sharded_mode ? 1 % opt.shards : 0;
+  const bool placed = sharded_mode && opt.shard_of_host.size() >= 2;
+  const int shard_a = placed ? opt.shard_of_host[0] : 0;
+  const int shard_b =
+      sharded_mode ? (placed ? opt.shard_of_host[1] : 1 % opt.shards) : 0;
   Simulator* sim_a = sharded_mode ? sharded->sim(shard_a) : &*serial_sim;
   Simulator* sim_b = sharded_mode ? sharded->sim(shard_b) : &*serial_sim;
   Fabric* fabric_a =
@@ -419,8 +429,14 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     ShardedFabricGroup::ExchangeStats xs = shard_group->exchange_stats();
     result.exchange_handoffs = xs.handoffs;
     result.exchange_cross_shard = xs.cross_shard;
+    if (opt.enable_trace) {
+      result.merged_trace_json = sharded->MergedTrace()->ToJson();
+    }
   } else {
     result.telemetry = serial_sim->telemetry().SnapshotValues();
+    if (opt.enable_trace) {
+      result.merged_trace_json = trace_recorder.ToJson();
+    }
   }
   return result;
 }

@@ -46,9 +46,9 @@ struct SeedSweepOptions {
   EventQueueKind queue_kind = kDefaultEventQueueKind;
   // Attach a TraceRecorder to every run's Simulator. Tracing is pure
   // observation, so sweeping with this on and off must yield identical
-  // trace digests (covered by determinism_test). Serial runs only; a
-  // sharded run ignores it (the flight recorder is per-Simulator and has
-  // no cross-shard merge yet).
+  // trace digests (covered by determinism_test). Sharded runs attach one
+  // recorder per shard (ShardedSim::EnableTracing) and fold them into one
+  // deterministic trace (SweepRunResult::merged_trace_json).
   bool enable_trace = false;
 
   // Number of simulation shards. 1 (the default) runs the exact legacy
@@ -60,6 +60,15 @@ struct SeedSweepOptions {
   // Worker threads for the sharded path; <= 1 executes shards round-robin
   // on the calling thread with bit-identical results.
   int shard_threads = 0;
+  // Sharded runs: explicit shard for each of the two hosts (A, B); empty
+  // keeps the default {0, 1 % shards}. Digests must not depend on this
+  // (the placement axis of the parity gate; placement_test sweeps it).
+  std::vector<int> shard_of_host;
+  // Fabric-level hashed random drop (Fabric::set_random_drop_probability),
+  // applied identically in serial and sharded runs — the drop decision is
+  // a per-packet hash, not an RNG draw, so digests stay comparable across
+  // engines with loss enabled.
+  double fabric_drop_probability = 0;
 
   // QoS aggressor-tenant mode: the echo client becomes a weight-3
   // "victim" tenant, a second client on host A floods a second engine on
@@ -99,6 +108,11 @@ struct SweepRunResult {
   int64_t epochs = 0;
   int64_t exchange_handoffs = 0;
   int64_t exchange_cross_shard = 0;
+  // enable_trace runs only: the full flight-recorder JSON — the serial
+  // recorder's, or the deterministic cross-shard merge
+  // (ShardedSim::MergedTrace) in sharded runs. Byte-identical across
+  // reruns of the same (seed, profile, shards, placement).
+  std::string merged_trace_json;
 };
 
 class SeedSweepRunner {

@@ -195,6 +195,55 @@ TEST(DeterminismTest, ParallelShardsMatchSerialDigestsAcrossChaosSweep) {
   }
 }
 
+// Fabric-level random loss with the sharded engine: the drop decision is
+// a per-packet hash of (seed, src, dst, per-source departure seq), not an
+// RNG draw, so the drop pattern — and therefore every retransmission and
+// digest — is identical on the serial engine and on every shard count.
+// (A global-RNG Bernoulli could never pass this: shards draw in
+// different orders.)
+TEST(DeterminismTest, FabricDropParitySerialVsSharded) {
+  auto sweep = [](int shards) {
+    SeedSweepOptions options;
+    options.num_seeds = 4;
+    options.first_seed = 1;
+    options.check_replay = false;
+    options.shards = shards;
+    options.fabric_drop_probability = 0.02;
+    SeedSweepRunner runner(options);
+    // No chaos-link churn: all loss comes from the fabric's hashed drop.
+    ChaosProfile calm;
+    calm.name = "fabric-drop-only";
+
+    std::vector<std::pair<std::string, uint64_t>> digests;
+    int64_t retransmits = 0;
+    for (int s = 0; s < options.num_seeds; ++s) {
+      SweepRunResult result = runner.RunOne(options.first_seed + s, calm);
+      EXPECT_TRUE(result.ok) << "invariants violated, seed "
+                             << options.first_seed + s << " shards "
+                             << shards;
+      EXPECT_TRUE(result.completed);
+      retransmits += result.retransmits;
+      digests.emplace_back(std::to_string(options.first_seed + s),
+                           result.trace_digest);
+    }
+    return std::make_pair(digests, retransmits);
+  };
+
+  auto [serial, serial_retx] = sweep(1);
+  // The hashed drop actually dropped something: recovery ran.
+  EXPECT_GT(serial_retx, 0);
+  for (int shards : {2, 4}) {
+    auto [parallel, parallel_retx] = sweep(shards);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i])
+          << "drop-enabled digest diverged between serial and " << shards
+          << "-shard engines";
+    }
+    EXPECT_EQ(serial_retx, parallel_retx);
+  }
+}
+
 // The flight-recorder determinism contract, both directions:
 //  - same seed => byte-identical trace JSON across runs;
 //  - attaching a tracer never perturbs simulation outcomes.

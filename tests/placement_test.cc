@@ -1,0 +1,143 @@
+// Host-to-shard placement: the greedy traffic-aware partitioner and the
+// contract that placement is a pure performance knob — simulation digests
+// are byte-identical to the serial engine for every placement at every
+// shard count (the placement axis of the parity gate).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/placement.h"
+#include "src/testing/seed_sweep.h"
+
+namespace snap {
+namespace {
+
+TEST(PlacementTest, RoundRobinAndContiguousCoverAllShards) {
+  for (int shards : {1, 2, 3, 4}) {
+    Placement rr = Placement::RoundRobin(10, shards);
+    Placement contig = Placement::Contiguous(10, shards);
+    ASSERT_EQ(rr.num_hosts(), 10);
+    ASSERT_EQ(contig.num_hosts(), 10);
+    for (int h = 0; h < 10; ++h) {
+      EXPECT_GE(rr.shard(h), 0);
+      EXPECT_LT(rr.shard(h), shards);
+      EXPECT_EQ(rr.shard(h), h % shards);
+      EXPECT_GE(contig.shard(h), 0);
+      EXPECT_LT(contig.shard(h), shards);
+    }
+    // Contiguous keeps blocks together: shard ids are non-decreasing.
+    for (int h = 1; h < 10; ++h) {
+      EXPECT_GE(contig.shard(h), contig.shard(h - 1));
+    }
+    // Both are balanced to within the ceiling.
+    EXPECT_LE(rr.max_shard_size(), (10 + shards - 1) / shards);
+    EXPECT_LE(contig.max_shard_size(), (10 + shards - 1) / shards);
+  }
+}
+
+TEST(PlacementTest, TrafficMatrixAccumulatesSymmetrically) {
+  TrafficMatrix traffic(4);
+  traffic.Add(0, 1, 10);
+  traffic.Add(1, 0, 5);
+  traffic.Add(2, 2, 100);  // self-traffic ignored
+  EXPECT_EQ(traffic.weight(0, 1), 15);
+  EXPECT_EQ(traffic.weight(1, 0), 15);
+  EXPECT_EQ(traffic.weight(2, 2), 0);
+  EXPECT_EQ(traffic.total_weight(0), 15);
+  EXPECT_EQ(traffic.total_weight(2), 0);
+}
+
+// Adversarial star: every host couples only to host 0, so an unbounded
+// greedy would pile everyone onto host 0's shard. The balance bound must
+// cap shards at ceil(n / k * slack).
+TEST(PlacementTest, TrafficAwareHonorsBalanceBoundOnStarMatrix) {
+  const int kHosts = 16;
+  const int kShards = 4;
+  TrafficMatrix star(kHosts);
+  for (int h = 1; h < kHosts; ++h) {
+    star.Add(0, h, 1000);
+  }
+  Placement p = Placement::TrafficAware(star, kShards, /*balance_slack=*/1.2);
+  ASSERT_EQ(p.num_hosts(), kHosts);
+  for (int h = 0; h < kHosts; ++h) {
+    EXPECT_GE(p.shard(h), 0);
+    EXPECT_LT(p.shard(h), kShards);
+  }
+  // cap = ceil(16 / 4 * 1.2) = 5.
+  EXPECT_LE(p.max_shard_size(), 5);
+}
+
+// Clustered matrix (3 clusters of 4 with heavy internal coupling): the
+// partitioner should rediscover the clusters, cutting orders of magnitude
+// less traffic than round-robin striping, which splits every cluster.
+TEST(PlacementTest, TrafficAwareBeatsRoundRobinOnClusteredMatrix) {
+  const int kHosts = 12;
+  const int kShards = 3;
+  const int kCluster = 4;
+  TrafficMatrix traffic(kHosts);
+  for (int a = 0; a < kHosts; ++a) {
+    for (int b = a + 1; b < kHosts; ++b) {
+      traffic.Add(a, b, a / kCluster == b / kCluster ? 1000 : 1);
+    }
+  }
+  Placement aware = Placement::TrafficAware(traffic, kShards);
+  Placement rr = Placement::RoundRobin(kHosts, kShards);
+  int64_t aware_cross = aware.CrossShardWeight(traffic);
+  int64_t rr_cross = rr.CrossShardWeight(traffic);
+  EXPECT_LT(aware_cross, rr_cross);
+  // Perfect partition: only the weight-1 inter-cluster pairs cross.
+  // 3 cluster pairs x 4 x 4 hosts x weight 1 = 48.
+  EXPECT_EQ(aware_cross, 48);
+  EXPECT_EQ(aware.max_shard_size(), kCluster);
+}
+
+TEST(PlacementTest, TrafficAwareIsDeterministic) {
+  TrafficMatrix traffic(9);
+  for (int a = 0; a < 9; ++a) {
+    for (int b = a + 1; b < 9; ++b) {
+      traffic.Add(a, b, (a * 7 + b * 13) % 29);
+    }
+  }
+  Placement first = Placement::TrafficAware(traffic, 3);
+  Placement second = Placement::TrafficAware(traffic, 3);
+  EXPECT_EQ(first.shard_of_host, second.shard_of_host);
+}
+
+// The parity gate's placement axis: chaos-sweep digests are byte-identical
+// to the serial engine no matter where the two hosts are placed — default
+// striping, both on one shard (pure eager-local delivery), or reversed
+// (adversarial to the default) — at every shard count.
+TEST(PlacementTest, DigestsInvariantAcrossPlacements) {
+  auto run = [](int shards, std::vector<int> shard_of_host) {
+    SeedSweepOptions options;
+    options.num_seeds = 1;
+    options.check_replay = false;
+    options.shards = shards;
+    options.shard_of_host = std::move(shard_of_host);
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    SweepRunResult result = runner.RunOne(31, profiles.back());
+    EXPECT_TRUE(result.ok) << shards << " shards";
+    return result;
+  };
+  SweepRunResult serial = run(1, {});
+  ASSERT_TRUE(serial.completed);
+  for (int shards : {2, 4, 8}) {
+    const std::vector<std::vector<int>> placements = {
+        {},                // default: {0, 1 % shards}
+        {0, 0},            // same shard: everything eager-local
+        {shards - 1, 0},   // reversed, hosts on the extreme shards
+    };
+    for (const auto& placement : placements) {
+      SweepRunResult sharded = run(shards, placement);
+      EXPECT_EQ(serial.trace_digest, sharded.trace_digest)
+          << shards << " shards, placement variant";
+      EXPECT_EQ(serial.delivered_messages, sharded.delivered_messages);
+      EXPECT_EQ(serial.telemetry, sharded.telemetry);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snap

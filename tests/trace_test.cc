@@ -13,9 +13,11 @@
 
 #include "src/apps/pony_apps.h"
 #include "src/apps/simhost.h"
+#include "src/sim/sharded_sim.h"
 #include "src/stats/histogram.h"
 #include "src/stats/telemetry.h"
 #include "src/stats/trace.h"
+#include "src/testing/seed_sweep.h"
 #include "src/util/rng.h"
 
 namespace snap {
@@ -316,6 +318,62 @@ TEST(TraceIntegrationTest, SimulationEmitsPollSchedAndFlowEvents) {
   std::string traced = trace.ToJson();
   EXPECT_EQ(traced.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
   EXPECT_EQ(traced.back(), '\n');
+}
+
+// --- Cross-shard flight-recorder merge ------------------------------------
+
+// A sharded sweep with tracing on: per-shard recorders fold into one
+// deterministic trace (ShardedSim::MergedTrace). Byte-identical across
+// reruns, tracks remapped per shard, and — tracing being pure
+// observation — the simulation digest is unchanged traced vs untraced.
+TEST(TraceIntegrationTest, ShardedSweepMergedTraceDeterministic) {
+  auto run = [](int shards, bool enable_trace) {
+    SeedSweepOptions options;
+    options.num_seeds = 1;
+    options.check_replay = false;
+    options.shards = shards;
+    options.enable_trace = enable_trace;
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    SweepRunResult result = runner.RunOne(5, profiles.back());
+    EXPECT_TRUE(result.ok);
+    return result;
+  };
+  SweepRunResult first = run(4, true);
+  SweepRunResult second = run(4, true);
+  ASSERT_FALSE(first.merged_trace_json.empty());
+  EXPECT_GT(first.merged_trace_json.size(), 10000u)
+      << "merged trace suspiciously small";
+  EXPECT_EQ(first.merged_trace_json, second.merged_trace_json);
+  // Host B lives on shard 1: its tracks are remapped by the shard track
+  // stride, so the merged trace contains shard-1 scheduler events.
+  EXPECT_NE(first.merged_trace_json.find(
+                "\"tid\":" + std::to_string(ShardedSim::kShardTrackStride +
+                                            TraceRecorder::kSchedTrack)),
+            std::string::npos);
+  // Tracing is pure observation: the simulation digest matches the
+  // untraced run exactly.
+  SweepRunResult untraced = run(4, false);
+  EXPECT_EQ(untraced.trace_digest, first.trace_digest)
+      << "tracing perturbed a sharded run";
+  EXPECT_EQ(untraced.delivered_messages, first.delivered_messages);
+}
+
+// The serial path reports the same field, so trace-based tooling works
+// unchanged at shards=1.
+TEST(TraceIntegrationTest, SerialSweepTraceJsonPopulated) {
+  SeedSweepOptions options;
+  options.num_seeds = 1;
+  options.check_replay = false;
+  options.enable_trace = true;
+  SeedSweepRunner runner(options);
+  auto profiles = SeedSweepRunner::DefaultProfiles();
+  SweepRunResult result = runner.RunOne(5, profiles.front());
+  EXPECT_TRUE(result.ok);
+  ASSERT_FALSE(result.merged_trace_json.empty());
+  EXPECT_EQ(result.merged_trace_json.find(
+                "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["),
+            0u);
 }
 
 }  // namespace

@@ -19,11 +19,15 @@ level under "latest" for easy reading.
                  if present, else the legacy-heap A/B leg of the same run.
                  The rack_scaling leg additionally requires delivered
                  work to be identical across shard counts (parity_ok)
-                 and the critical-path speedup at 8 shards on the
-                 largest rack to reach 3x (1.5x under --smoke, where the
-                 rack is small). The critical-path ratio is a
-                 deterministic property of the simulation, so this gate
-                 is runner-independent, unlike wall-clock events/sec.
+                 and the critical-path speedup at the highest shard
+                 count on the largest rack to reach 8x (4x under
+                 --smoke, where the rack is small). The critical-path
+                 ratio is a deterministic property of the simulation, so
+                 this gate is runner-independent, unlike wall-clock
+                 events/sec. Wall-clock thread scaling is recorded per
+                 point (num_threads, speedup_wall) but only soft-gated:
+                 when the runner has fewer cores than the widest shard
+                 count, a warning is printed instead of a failure.
   qos_isolation  the weight-3 victim must retain >= 0.9 of its offered
                  goodput under the 4x aggressor (isolation_ratio), and
                  the qos-off run must still show the collapse the
@@ -135,10 +139,23 @@ def main():
     if scaling is not None:
         parity = scaling.get("parity_ok", False)
         cp_speedup = scaling.get("speedup_critical_path_max_rack", 0.0)
-        cp_floor = 1.5 if entry.get("smoke") else 3.0
+        cp_floor = 4.0 if entry.get("smoke") else 8.0
+        hw_cores = scaling.get("hw_cores", 0)
+        points = scaling.get("points", [])
+        max_shards = max((p.get("shards", 0) for p in points), default=0)
+        best_wall = max((p.get("speedup_wall", 0.0) for p in points),
+                        default=0.0)
         print(f"rack scaling: parity {'OK' if parity else 'FAILED'}, "
               f"critical-path speedup at max rack/shards "
-              f"{cp_speedup:.2f}x (floor {cp_floor}x)")
+              f"{cp_speedup:.2f}x (floor {cp_floor}x), "
+              f"best wall-clock speedup {best_wall:.2f}x on "
+              f"{hw_cores} core(s)")
+        if hw_cores and max_shards and hw_cores < max_shards:
+            # Soft gate only: cp-speedup is the runner-independent
+            # signal; wall-clock cannot scale past the core count.
+            print(f"warning: runner has {hw_cores} core(s) but the sweep "
+                  f"reaches {max_shards} shards -- wall-clock speedups "
+                  f"are core-starved and not gated")
         if args.baseline_check:
             if not parity:
                 sys.exit("baseline check FAILED: delivered work changed "

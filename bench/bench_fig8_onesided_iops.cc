@@ -10,7 +10,7 @@
 #include <cstring>
 
 #include "bench/bench_common.h"
-#include "src/stats/metrics.h"
+#include "src/stats/time_series.h"
 
 namespace snap {
 namespace {
@@ -71,16 +71,18 @@ IopsResult RunOneSided(OneSidedLoadTask::Mode mode, uint16_t batch,
   }
   int64_t server_cpu0 = rack.host(0)->SnapCpuNs();
   int64_t accesses0 = 0;
-  // Dashboard-style rate series over the window.
-  RateSeries series(10 * kMsec);
-  int64_t cumulative = 0;
+  // Dashboard-style rate series over the window: fixed-memory TimeSeries
+  // fed per-sample access deltas, one 10ms bucket per sample.
+  TimeSeries series(10 * kMsec, 64);
+  int64_t last_cumulative = 0;
   for (SimDuration t = 0; t < kWindow; t += 10 * kMsec) {
     rack.sim().RunFor(10 * kMsec);
-    cumulative = 0;
+    int64_t cumulative = 0;
     for (auto& task : tasks) {
       cumulative += task->accesses_completed();
     }
-    series.Sample(rack.sim().now(), cumulative);
+    series.Record(rack.sim().now() - 1, cumulative - last_cumulative);
+    last_cumulative = cumulative;
   }
   IopsResult result;
   int64_t accesses = 0;
@@ -95,7 +97,10 @@ IopsResult RunOneSided(OneSidedLoadTask::Mode mode, uint16_t batch,
   result.server_cores =
       static_cast<double>(rack.host(0)->SnapCpuNs() - server_cpu0) /
       static_cast<double>(kWindow);
-  result.dashboard = series.rates_per_sec();
+  result.dashboard.reserve(series.num_buckets());
+  for (int i = 0; i < series.num_buckets(); ++i) {
+    result.dashboard.push_back(series.RatePerSec(i));
+  }
   return result;
 }
 

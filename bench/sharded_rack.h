@@ -127,16 +127,37 @@ inline TrafficMatrix BuildRackTrafficMatrix(const RpcRackConfig& config) {
 // The RunPonyRpcRack workload on a ShardedRack. Keep the assembly in
 // lockstep with rpc_rack.h: same engine/job/prober layout, same seeds,
 // so the delivered work is comparable serial-vs-sharded.
+// `enable_profiling` arms the engine profiler (wall-clock busy/wait per
+// shard + deterministic epoch counters) and barrier-driven series
+// sampling; `profile_json`, when non-null, receives
+// ShardedSim::ProfileJson() after the run (bench_sim_speed --profile).
+// `merged_trace_json`, when non-null, arms per-shard tracing and
+// receives the merged Chrome-trace JSON (shard-stride tid remap) — with
+// profiling also on, the trace carries the prof/ counter tracks that
+// tools/trace_report.py rolls up.
 inline ShardedRackResult RunPonyRpcRackSharded(const RpcRackConfig& config,
                                                int num_shards,
                                                int num_threads,
                                                SimDuration warmup,
                                                SimDuration window,
                                                const Placement* placement =
+                                                   nullptr,
+                                               bool enable_profiling = false,
+                                               std::string* profile_json =
+                                                   nullptr,
+                                               std::string* merged_trace_json =
                                                    nullptr) {
   ShardedRack rack(config.seed, config.hosts, config.host_options,
                    num_shards, num_threads, config.queue_kind,
                    config.nic_params, placement);
+  if (merged_trace_json != nullptr) {
+    rack.sharded().EnableTracing();
+  }
+  if (enable_profiling) {
+    rack.sharded().EnableProfiling();
+    rack.sharded().EnableSeriesSampling(/*cadence=*/500 * kUsec);
+    rack.group().EnableProfiling();
+  }
   double per_job_rate =
       config.offered_gbps_per_host * 1e9 /
       (8.0 * static_cast<double>(config.response_bytes) *
@@ -268,6 +289,12 @@ inline ShardedRackResult RunPonyRpcRackSharded(const RpcRackConfig& config,
   result.exchange_local_direct = xs.local_direct;
   result.exchange_cross_shard = xs.cross_shard;
   result.exchanges = xs.exchanges;
+  if (profile_json != nullptr && enable_profiling) {
+    *profile_json = rack.sharded().ProfileJson();
+  }
+  if (merged_trace_json != nullptr) {
+    *merged_trace_json = rack.sharded().MergedTrace()->ToJson();
+  }
   return result;
 }
 

@@ -324,6 +324,9 @@ StepResult PonyRpcClientTask::Step(SimTime now, SimDuration budget_ns) {
       auto it = pending_.find(corr);
       if (it != pending_.end()) {
         latency_.Record(now - it->second);
+        if (completion_listener_) {
+          completion_listener_(now, now - it->second, msg->length);
+        }
         pending_.erase(it);
         ++rpcs_completed_;
       }

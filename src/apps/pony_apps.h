@@ -12,6 +12,7 @@
 #define SRC_APPS_PONY_APPS_H_
 
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -183,6 +184,15 @@ class PonyRpcClientTask : public PonyAppTask {
   int64_t bytes_transferred() const { return bytes_transferred_; }
   int64_t rpcs_completed() const { return rpcs_completed_; }
   int64_t rpcs_issued() const { return rpcs_issued_; }
+
+  // Observer invoked at each RPC completion with (completion time, measured
+  // latency, response bytes). Pure observation — SLO monitors and tests hang
+  // off this; it must never feed back into the workload.
+  using CompletionListener =
+      std::function<void(SimTime, SimDuration, int64_t)>;
+  void set_completion_listener(CompletionListener listener) {
+    completion_listener_ = std::move(listener);
+  }
   void ResetStats() {
     latency_.Reset();
     bytes_transferred_ = 0;
@@ -204,6 +214,7 @@ class PonyRpcClientTask : public PonyAppTask {
   int64_t bytes_transferred_ = 0;
   int64_t rpcs_completed_ = 0;
   int64_t rpcs_issued_ = 0;
+  CompletionListener completion_listener_;
 };
 
 // --- Figure 8: closed-loop one-sided operation load ---------------------

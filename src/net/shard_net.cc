@@ -40,6 +40,16 @@ ShardedFabricGroup::ShardedFabricGroup(ShardedSim* sharded,
 }
 
 ShardedFabricGroup::~ShardedFabricGroup() {
+  // Profiling gauges capture `this`; pull them before the callbacks
+  // dangle (the group usually dies before its ShardedSim).
+  if (profiling_) {
+    for (int d = 0; d < num_shards(); ++d) {
+      Telemetry& t = sharded_->sim(d)->telemetry();
+      const std::string base = "net/shard/" + std::to_string(d);
+      t.UnregisterGauge(base + "/handoff_ring_max_batches");
+      t.UnregisterGauge(base + "/handoff_max_inbound");
+    }
+  }
   // Reclaim packets still staged (simulation torn down mid-flight).
   for (auto& ch : channels_) {
     while (auto b = ch->ring.TryPop()) {
@@ -147,8 +157,14 @@ void ShardedFabricGroup::Exchange() {
     for (int src = 0; src < n; ++src) {
       if (src == dst) continue;  // same-shard traffic never staged here
       Channel& ch = channel(src, dst);
+      int64_t ring_batches = 0;
       while (auto b = ch.ring.TryPop()) {
+        ++ring_batches;
         for (int i = 0; i < b->count; ++i) scratch_.push_back(b->items[i]);
+      }
+      if (profiling_) {
+        max_ring_batches_[dst] =
+            std::max(max_ring_batches_[dst], ring_batches);
       }
       for (const HandoffBatch& b : ch.spill) {
         for (int i = 0; i < b.count; ++i) scratch_.push_back(b.items[i]);
@@ -158,6 +174,19 @@ void ShardedFabricGroup::Exchange() {
         scratch_.push_back(ch.staging.items[i]);
       }
       ch.staging.count = 0;
+    }
+    if (profiling_ && !scratch_.empty()) {
+      const int64_t inbound = static_cast<int64_t>(scratch_.size());
+      prof_inbound_[dst]->Add(inbound);
+      max_inbound_[dst] = std::max(max_inbound_[dst], inbound);
+      if (sharded_->tracing_enabled()) {
+        // Deterministic: inbound depth is a pure function of the traffic
+        // and the (deterministic) epoch structure; the timestamp is the
+        // barrier's simulated time.
+        sharded_->shard_tracer(dst)->CounterValueOnTrack(
+            sharded_->now(), TraceRecorder::kProfilerTrack,
+            "handoff/inbound", inbound);
+      }
     }
     if (scratch_.empty()) continue;
     moved = true;
@@ -211,7 +240,31 @@ ShardedFabricGroup::ExchangeStats ShardedFabricGroup::exchange_stats() const {
     out.ring_overflow += ps.ring_overflow;
   }
   out.exchanges = exchanges_;
+  for (int64_t v : max_ring_batches_) {
+    out.max_ring_batches = std::max(out.max_ring_batches, v);
+  }
+  for (int64_t v : max_inbound_) {
+    out.max_inbound_handoffs = std::max(out.max_inbound_handoffs, v);
+  }
   return out;
+}
+
+void ShardedFabricGroup::EnableProfiling() {
+  if (profiling_) return;
+  profiling_ = true;
+  const int n = num_shards();
+  prof_inbound_.resize(n);
+  max_ring_batches_.assign(n, 0);
+  max_inbound_.assign(n, 0);
+  for (int d = 0; d < n; ++d) {
+    Telemetry& t = sharded_->sim(d)->telemetry();
+    const std::string base = "net/shard/" + std::to_string(d);
+    prof_inbound_[d] = t.GetCounter(base + "/handoff_in");
+    t.RegisterGauge(base + "/handoff_ring_max_batches",
+                    [this, d]() -> int64_t { return max_ring_batches_[d]; });
+    t.RegisterGauge(base + "/handoff_max_inbound",
+                    [this, d]() -> int64_t { return max_inbound_[d]; });
+  }
 }
 
 }  // namespace snap

@@ -94,8 +94,20 @@ class ShardedFabricGroup : public ShardRouter {
     int64_t cross_shard = 0;   // staged toward a different shard
     int64_t ring_overflow = 0;  // batches spilled (ring full)
     int64_t exchanges = 0;      // barrier exchanges that moved packets
+    // Profiling only (0 otherwise): deepest single-channel ring drain and
+    // largest per-destination inbound handoff burst seen at any barrier.
+    int64_t max_ring_batches = 0;
+    int64_t max_inbound_handoffs = 0;
   };
   ExchangeStats exchange_stats() const;
+
+  // Arms deterministic handoff-depth instrumentation: per-destination
+  // inbound-handoff counters and ring-occupancy gauges in each shard's
+  // Telemetry registry (net/shard/<d>/...), plus kProfilerTrack counter
+  // events in per-shard traces when tracing is on. Counts only — no wall
+  // clock — so output stays deterministic per seed; off by default so
+  // digests are unchanged from pre-profiler builds. Call before Run*.
+  void EnableProfiling();
 
   // Cross-shard handoffs per batch pushed through a ring.
   static constexpr int kHandoffBatchSize = 16;
@@ -164,6 +176,12 @@ class ShardedFabricGroup : public ShardRouter {
   std::vector<Handoff> scratch_;  // coordinator-only sort buffer
   int64_t exchanges_ = 0;
   bool lookahead_dirty_ = false;
+
+  // Profiling state (EnableProfiling), written only at barriers.
+  bool profiling_ = false;
+  std::vector<Counter*> prof_inbound_;     // per dst shard
+  std::vector<int64_t> max_ring_batches_;  // per dst, running max
+  std::vector<int64_t> max_inbound_;       // per dst, running max
 };
 
 }  // namespace snap

@@ -1,0 +1,227 @@
+#include "src/qos/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace snap::qos {
+
+SloMonitor::SloMonitor(Options options) : options_(options) {
+  SNAP_CHECK_GT(options_.slot_width, 0);
+  SNAP_CHECK_GE(options_.fast_window_slots, 1);
+  SNAP_CHECK_GE(options_.slow_window_slots, options_.fast_window_slots);
+}
+
+void SloMonitor::SetTarget(TenantId tenant, const std::string& name,
+                           SloTarget target) {
+  TenantState& ts = tenants_[tenant];
+  ts.name = name;
+  ts.target = target;
+  // The budget is fixed at registration so burn math is pure integer
+  // arithmetic afterwards.
+  ts.budget_ppm = std::max<int64_t>(
+      1, std::llround((1.0 - target.latency_objective) * 1e6));
+  ts.min_bytes_per_slot =
+      target.min_goodput_bytes_per_sec > 0
+          ? target.min_goodput_bytes_per_sec * options_.slot_width / kSec
+          : 0;
+  ts.ring.assign(options_.slow_window_slots, Slot{});
+}
+
+void SloMonitor::RecordLatency(TenantId tenant, SimTime now,
+                               SimDuration latency) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Advance(now);
+  Slot& s = it->second.current;
+  if (latency > it->second.target.latency_threshold) {
+    ++s.bad;
+  } else {
+    ++s.good;
+  }
+}
+
+void SloMonitor::RecordThrottle(TenantId tenant, SimTime now) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Advance(now);
+  ++it->second.current.bad;
+}
+
+void SloMonitor::RecordGoodput(TenantId tenant, SimTime now, int64_t bytes) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Advance(now);
+  it->second.current.bytes += bytes;
+}
+
+void SloMonitor::Advance(SimTime now) {
+  while ((closed_slots_ + 1) * options_.slot_width <= now) {
+    CloseSlot((closed_slots_ + 1) * options_.slot_width);
+  }
+}
+
+int64_t SloMonitor::LatencyBurnMilli(const TenantState& ts,
+                                     int window) const {
+  int64_t good = 0;
+  int64_t bad = 0;
+  const int have = static_cast<int>(
+      std::min<int64_t>(ts.closed, options_.slow_window_slots));
+  for (int i = 0; i < std::min(window, have); ++i) {
+    const Slot& s =
+        ts.ring[(ts.closed - 1 - i) % options_.slow_window_slots];
+    good += s.good;
+    bad += s.bad;
+  }
+  const int64_t total = good + bad;
+  if (total == 0) return 0;
+  // burn = (bad/total) / (budget_ppm/1e6), scaled x1000:
+  return bad * 1000000000 / (total * ts.budget_ppm);
+}
+
+int64_t SloMonitor::GoodputBurnMilli(const TenantState& ts,
+                                     int window) const {
+  if (ts.min_bytes_per_slot <= 0) return 0;
+  const int have = static_cast<int>(
+      std::min<int64_t>(ts.closed, options_.slow_window_slots));
+  const int n = std::min(window, have);
+  if (n == 0) return 0;
+  int64_t bad_slots = 0;
+  for (int i = 0; i < n; ++i) {
+    const Slot& s =
+        ts.ring[(ts.closed - 1 - i) % options_.slow_window_slots];
+    if (s.bytes < ts.min_bytes_per_slot) ++bad_slots;
+  }
+  // Bad-slot fraction against a fixed 5% budget, x1000. (A 10% budget
+  // would cap the burn at 10x, below the 14.4x fast threshold — the
+  // alert could never fire.)
+  return bad_slots * 20000 / n;
+}
+
+void SloMonitor::Transition(TenantId id, TenantState* ts, const char* kind,
+                            bool* firing, SimTime at, int64_t fast,
+                            int64_t slow) {
+  const bool above = fast > options_.fast_burn_threshold_milli &&
+                     slow > options_.slow_burn_threshold_milli;
+  const bool below = fast <= options_.fast_burn_threshold_milli &&
+                     slow <= options_.slow_burn_threshold_milli;
+  bool changed = false;
+  if (!*firing && above) {
+    *firing = true;
+    changed = true;
+  } else if (*firing && below) {
+    *firing = false;
+    changed = true;
+  }
+  if (!changed) return;
+  SloAlertEvent event;
+  event.tenant = id;
+  event.kind = kind;
+  event.firing = *firing;
+  event.at = at;
+  event.fast_burn_milli = fast;
+  event.slow_burn_milli = slow;
+  events_.push_back(event);
+  if (telemetry_ != nullptr) {
+    const std::string base = "qos/slo/" + ts->name + "/";
+    if (*firing) {
+      telemetry_->GetCounter(base + kind + "_alerts")->Increment();
+    } else {
+      telemetry_->GetCounter(base + kind + "_clears")->Increment();
+    }
+  }
+  if (tracer_ != nullptr) {
+    std::string name = (*firing ? "slo_fire:" : "slo_clear:") + ts->name +
+                       "/" + kind;
+    std::string args = "{\"fast_milli\":" + std::to_string(fast) +
+                       ",\"slow_milli\":" + std::to_string(slow) + "}";
+    tracer_->Instant(at, TraceRecorder::kSloTrack, std::move(name), "slo",
+                     std::move(args));
+  }
+}
+
+void SloMonitor::CloseSlot(SimTime boundary) {
+  for (auto& [id, ts] : tenants_) {
+    ts.ring[ts.closed % options_.slow_window_slots] = ts.current;
+    ts.current = Slot{};
+    ++ts.closed;
+    const int64_t lat_fast = LatencyBurnMilli(ts, options_.fast_window_slots);
+    const int64_t lat_slow = LatencyBurnMilli(ts, options_.slow_window_slots);
+    ts.last_fast_burn_milli = lat_fast;
+    ts.last_slow_burn_milli = lat_slow;
+    Transition(id, &ts, "latency", &ts.latency_firing, boundary, lat_fast,
+               lat_slow);
+    if (ts.min_bytes_per_slot > 0) {
+      const int64_t gp_fast = GoodputBurnMilli(ts, options_.fast_window_slots);
+      const int64_t gp_slow = GoodputBurnMilli(ts, options_.slow_window_slots);
+      ts.goodput_fast_milli = gp_fast;
+      ts.goodput_slow_milli = gp_slow;
+      Transition(id, &ts, "goodput", &ts.goodput_firing, boundary, gp_fast,
+                 gp_slow);
+    }
+  }
+  ++closed_slots_;
+}
+
+bool SloMonitor::latency_firing(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.latency_firing;
+}
+
+bool SloMonitor::goodput_firing(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.goodput_firing;
+}
+
+int64_t SloMonitor::fast_burn_milli(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.last_fast_burn_milli;
+}
+
+int64_t SloMonitor::slow_burn_milli(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.last_slow_burn_milli;
+}
+
+std::string SloMonitor::SnapshotJson() const {
+  std::string out =
+      "{\"slot_width_ns\":" + std::to_string(options_.slot_width) +
+      ",\"fast_window_slots\":" + std::to_string(options_.fast_window_slots) +
+      ",\"slow_window_slots\":" + std::to_string(options_.slow_window_slots) +
+      ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [id, ts] : tenants_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + ts.name + "\":{";
+    out += "\"tenant_id\":" + std::to_string(id);
+    out += ",\"latency_firing\":";
+    out += ts.latency_firing ? "true" : "false";
+    out += ",\"goodput_firing\":";
+    out += ts.goodput_firing ? "true" : "false";
+    out += ",\"fast_burn_milli\":" + std::to_string(ts.last_fast_burn_milli);
+    out += ",\"slow_burn_milli\":" + std::to_string(ts.last_slow_burn_milli);
+    out += ",\"goodput_fast_milli\":" + std::to_string(ts.goodput_fast_milli);
+    out += ",\"goodput_slow_milli\":" + std::to_string(ts.goodput_slow_milli);
+    out += ",\"closed_slots\":" + std::to_string(ts.closed);
+    out += "}";
+  }
+  out += "},\"alerts\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ",";
+    const SloAlertEvent& e = events_[i];
+    out += "{\"tenant\":" + std::to_string(e.tenant);
+    out += ",\"kind\":\"" + std::string(e.kind) + "\"";
+    out += ",\"firing\":";
+    out += e.firing ? "true" : "false";
+    out += ",\"at_ns\":" + std::to_string(e.at);
+    out += ",\"fast_milli\":" + std::to_string(e.fast_burn_milli);
+    out += ",\"slow_milli\":" + std::to_string(e.slow_burn_milli);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace snap::qos

@@ -1,0 +1,152 @@
+// Per-tenant SLO monitor with multi-window burn-rate alerting.
+//
+// A tenant's SLO has two parts: a latency objective ("99.9% of requests
+// complete under T") and an optional goodput floor ("the tenant moves at
+// least B bytes/sec"). The monitor consumes per-request latencies,
+// admission-throttle events (a throttled request never completes, so it
+// counts against the latency objective), and per-delivery byte counts,
+// all in simulated time, and evaluates SRE-style multi-window burn-rate
+// alerts at fixed slot boundaries: an alert fires only when BOTH a fast
+// window (catches sudden budget burn: upgrade blackouts, brownout
+// stalls) and a slow window (filters one-slot blips) exceed their burn
+// thresholds, and clears only when both drop back below. Burn rate =
+// bad-fraction / error-budget-fraction; a burn of 1.0 consumes the
+// budget exactly at the objective's rate.
+//
+// Memory is O(tenants * slow_window_slots): one Slot ring per tenant,
+// no per-request state. Everything is integer arithmetic on
+// deterministic inputs, so for a given seed the alert sequence — event
+// kinds, firing times (always slot boundaries), burn values — is
+// byte-reproducible, and exports to trace (kSloTrack instants),
+// Telemetry (qos/slo/<tenant>/... counters) and SnapshotJson are
+// deterministic too. The monitor is pure observation: it never feeds
+// back into the simulation.
+#ifndef SRC_QOS_SLO_H_
+#define SRC_QOS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/stats/telemetry.h"
+#include "src/stats/trace.h"
+#include "src/util/time_types.h"
+
+namespace snap::qos {
+
+using TenantId = uint32_t;
+
+struct SloTarget {
+  // A request is "bad" when its latency exceeds this (or it was
+  // admission-throttled).
+  SimDuration latency_threshold = 1 * kMsec;
+  // Fraction of requests that must be good (0.999 => 0.1% error budget).
+  double latency_objective = 0.999;
+  // Goodput floor in bytes/sec; <= 0 disables the goodput SLO. A slot is
+  // "bad" when the tenant moved fewer bytes than the floor pro-rated to
+  // the slot width; the burn rate is the bad-slot fraction against a 5%
+  // budget (the floor is expected to be met ~always).
+  int64_t min_goodput_bytes_per_sec = 0;
+};
+
+struct SloAlertEvent {
+  TenantId tenant = 0;
+  const char* kind = "latency";  // "latency" | "goodput"
+  bool firing = false;           // true = fired, false = cleared
+  SimTime at = 0;                // always a slot boundary
+  int64_t fast_burn_milli = 0;   // burn rate x1000 at evaluation
+  int64_t slow_burn_milli = 0;
+};
+
+class SloMonitor {
+ public:
+  struct Options {
+    SimDuration slot_width = 1 * kMsec;
+    int fast_window_slots = 5;   // 5ms at the default slot width
+    int slow_window_slots = 60;  // 60ms
+    // Thresholds x1000. The defaults are the classic 14.4x/6x pair
+    // (fast catches a full-budget burn in minutes-equivalent, slow
+    // confirms it is sustained).
+    int64_t fast_burn_threshold_milli = 14400;
+    int64_t slow_burn_threshold_milli = 6000;
+  };
+
+  SloMonitor() : SloMonitor(Options()) {}
+  explicit SloMonitor(Options options);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  // Declares a tenant worth monitoring. `name` labels trace/telemetry
+  // output. Call before feeding data.
+  void SetTarget(TenantId tenant, const std::string& name, SloTarget target);
+
+  // Optional export surfaces; alerts are recorded internally either way.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  // --- Data feeds (sim-time order; unknown tenants are ignored) ---
+  void RecordLatency(TenantId tenant, SimTime now, SimDuration latency);
+  // Admission throttle / brownout rejection: counts as a bad request.
+  void RecordThrottle(TenantId tenant, SimTime now);
+  void RecordGoodput(TenantId tenant, SimTime now, int64_t bytes);
+
+  // Closes every slot boundary <= now and evaluates alerts. Call from a
+  // periodic event (serial) or a barrier hook (sharded); cadence coarser
+  // than slot_width just closes several slots at once.
+  void Advance(SimTime now);
+
+  bool latency_firing(TenantId tenant) const;
+  bool goodput_firing(TenantId tenant) const;
+  // Latest evaluated latency burn rates (x1000), 0 before any slot closed.
+  int64_t fast_burn_milli(TenantId tenant) const;
+  int64_t slow_burn_milli(TenantId tenant) const;
+
+  // Every fire/clear transition, in order. Deterministic per seed.
+  const std::vector<SloAlertEvent>& events() const { return events_; }
+
+  // {"slot_width_ns":...,"tenants":{"<name>":{"latency_firing":...,
+  //  "fast_burn_milli":...,...}}} — consumed by tools/snaptop.py.
+  std::string SnapshotJson() const;
+
+ private:
+  struct Slot {
+    int64_t good = 0;
+    int64_t bad = 0;
+    int64_t bytes = 0;
+  };
+  struct TenantState {
+    std::string name;
+    SloTarget target;
+    int64_t budget_ppm = 1000;      // latency error budget, parts/million
+    int64_t min_bytes_per_slot = 0;  // goodput floor pro-rated to a slot
+    std::vector<Slot> ring;          // slow_window_slots closed slots
+    Slot current;                    // the open slot
+    int64_t closed = 0;              // slots closed since start
+    bool latency_firing = false;
+    bool goodput_firing = false;
+    int64_t last_fast_burn_milli = 0;
+    int64_t last_slow_burn_milli = 0;
+    int64_t goodput_fast_milli = 0;
+    int64_t goodput_slow_milli = 0;
+  };
+
+  void CloseSlot(SimTime boundary);
+  // Burn x1000 over the most recent `window` closed slots.
+  int64_t LatencyBurnMilli(const TenantState& ts, int window) const;
+  int64_t GoodputBurnMilli(const TenantState& ts, int window) const;
+  void Transition(TenantId id, TenantState* ts, const char* kind,
+                  bool* firing, SimTime at, int64_t fast, int64_t slow);
+
+  Options options_;
+  TraceRecorder* tracer_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
+  std::map<TenantId, TenantState> tenants_;
+  int64_t closed_slots_ = 0;  // global slot clock: slot k = [k*w, (k+1)*w)
+  std::vector<SloAlertEvent> events_;
+};
+
+}  // namespace snap::qos
+
+#endif  // SRC_QOS_SLO_H_

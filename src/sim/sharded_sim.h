@@ -142,6 +142,52 @@ class ShardedSim {
   };
   const Progress& progress() const { return progress_; }
 
+  // --- Wall-clock engine profiler (docs/OBSERVABILITY.md) ---
+  //
+  // Per-shard accounting of where wall-clock time goes while the engine
+  // runs: busy (inside Simulator::RunUntil), wait (parked while other
+  // shards finish the epoch — barrier wait in threaded mode, run-queue
+  // wait in round-robin mode), and the coordinator's exchange/hook time.
+  // Wall-clock numbers are inherently nondeterministic, so they live ONLY
+  // in this struct and ProfileJson(): they are never written to Telemetry
+  // or the trace. The deterministic side of the profiler — per-shard
+  // per-epoch event counts and the epoch-imbalance ratio — goes into each
+  // shard's Telemetry registry (sim/shard/<s>/...) and, when tracing is
+  // on, onto per-shard kProfilerTrack counter tracks in the merged trace.
+  // With profiling disabled nothing is recorded and every output is
+  // byte-identical to a build without the profiler (the determinism gate
+  // covers this).
+  struct ShardProfile {
+    int64_t busy_ns = 0;          // wall time executing this shard's events
+    int64_t wait_ns = 0;          // epoch wall time minus busy time
+    int64_t events = 0;           // deterministic: events fired (per shard)
+    int64_t max_epoch_events = 0; // deterministic: busiest single epoch
+  };
+  struct Profile {
+    bool enabled = false;
+    int64_t epoch_wall_ns = 0;     // wall time inside RunShardsToTargets
+    int64_t exchange_wall_ns = 0;  // coordinator wall time in barrier hooks
+    std::vector<ShardProfile> shards;
+  };
+  // Arms the profiler; call before the first Run*. Idempotent.
+  void EnableProfiling();
+  bool profiling_enabled() const { return profile_.enabled; }
+  const Profile& profile() const { return profile_; }
+  // {"enabled":...,"epochs":N,"epoch_wall_ns":...,"exchange_wall_ns":...,
+  //  "shards":[{"busy_ns":...,"wait_ns":...,"events":...,
+  //             "max_epoch_events":...},...]}
+  std::string ProfileJson() const;
+
+  // Arms fixed-memory time-series sampling on every shard's Telemetry
+  // registry, driven from the epoch barrier (a scheduled sampling event
+  // would change the epoch structure with shard count; the barrier hook
+  // is free). Samples land at barrier time whenever at least `cadence`
+  // of simulated time has passed since the previous sample. Call before
+  // the first Run*.
+  void EnableSeriesSampling(SimDuration cadence,
+                            SimDuration bucket_width = 0,
+                            int max_buckets = 64);
+
   // Deterministic merge of every shard's telemetry registry: counters and
   // gauges summed into one name-ordered map (shards register disjoint
   // per-host metric names, so the merge is a union; shared names sum).
@@ -164,6 +210,8 @@ class ShardedSim {
 
  private:
   void RunShardsToTargets();
+  void RunBarrierHooks();
+  void RecordEpochProfile();
   void RefreshLookaheadClosure();
   void StartWorkers();
   void StopWorkers();
@@ -180,6 +228,18 @@ class ShardedSim {
   std::vector<std::unique_ptr<TraceRecorder>> tracers_;
   SimTime now_ = 0;
   Progress progress_;
+  Profile profile_;
+  // Per-shard Telemetry counters registered by EnableProfiling; each is
+  // written only at barriers (all shards parked).
+  std::vector<Counter*> prof_epoch_events_;
+  std::vector<Counter*> prof_epochs_;
+  // Per-shard wall busy accumulator for the current epoch, written by the
+  // thread executing that shard and read by the coordinator after the
+  // done barrier (the barrier provides the happens-before edge).
+  std::vector<int64_t> busy_scratch_ns_;
+  std::vector<int64_t> delta_scratch_;  // per-epoch fired deltas (profiling)
+  SimDuration series_cadence_ = 0;
+  SimTime last_series_sample_ = -1;
   std::vector<int64_t> fired_at_epoch_start_;
   std::vector<SimTime> next_scratch_;
   std::vector<SimTime> horizon_scratch_;

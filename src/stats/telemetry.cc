@@ -2,13 +2,51 @@
 
 #include <cstdio>
 
+#include "src/util/logging.h"
+
 namespace snap {
 
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Slashes and any
+// other byte outside that set become '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void Telemetry::CheckKind(const std::string& name, Kind kind) const {
+  SNAP_CHECK(kind == Kind::kCounter || counters_.find(name) == counters_.end())
+      << "telemetry name registered twice with different types: \"" << name
+      << "\" is already a counter";
+  SNAP_CHECK(kind == Kind::kGauge || gauges_.find(name) == gauges_.end())
+      << "telemetry name registered twice with different types: \"" << name
+      << "\" is already a gauge";
+  SNAP_CHECK(kind == Kind::kHistogram ||
+             histograms_.find(name) == histograms_.end())
+      << "telemetry name registered twice with different types: \"" << name
+      << "\" is already a histogram";
+  SNAP_CHECK(kind == Kind::kSeries || series_.find(name) == series_.end())
+      << "telemetry name registered twice with different types: \"" << name
+      << "\" is already a series";
+}
+
 Counter* Telemetry::GetCounter(const std::string& name) {
+  CheckKind(name, Kind::kCounter);
   return &counters_[name];
 }
 
 Histogram* Telemetry::GetHistogram(const std::string& name) {
+  CheckKind(name, Kind::kHistogram);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>();
@@ -16,8 +54,19 @@ Histogram* Telemetry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+TimeSeries* Telemetry::GetSeries(const std::string& name,
+                                 SimDuration bucket_width, int max_buckets) {
+  CheckKind(name, Kind::kSeries);
+  auto& slot = series_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<TimeSeries>(bucket_width, max_buckets);
+  }
+  return slot.get();
+}
+
 void Telemetry::RegisterGauge(const std::string& name,
                               std::function<int64_t()> fn) {
+  CheckKind(name, Kind::kGauge);
   gauges_[name] = std::move(fn);
 }
 
@@ -41,6 +90,46 @@ void Telemetry::MergeFrom(const Telemetry& other) {
   for (const auto& [name, hist] : other.histograms_) {
     GetHistogram(name)->Merge(*hist);
   }
+}
+
+void Telemetry::EnableSeriesSampling(SimDuration bucket_width,
+                                     int max_buckets) {
+  SNAP_CHECK_GT(bucket_width, 0);
+  series_sampling_enabled_ = true;
+  series_bucket_width_ = bucket_width;
+  series_max_buckets_ = max_buckets;
+}
+
+void Telemetry::SampleSeriesAt(SimTime now) {
+  if (!series_sampling_enabled_) return;
+  // Counters sample as deltas (bucket sum == increments inside the
+  // bucket, so sum/width is a rate); gauges sample their current value.
+  for (const auto& [name, counter] : counters_) {
+    SampledSeries& slot = sampled_series_[name];
+    if (slot.series == nullptr) {
+      slot.series = std::make_unique<TimeSeries>(series_bucket_width_,
+                                                 series_max_buckets_);
+      slot.last_value = 0;
+    }
+    slot.series->Record(now, counter.value() - slot.last_value);
+    slot.last_value = counter.value();
+  }
+  for (const auto& [name, fn] : gauges_) {
+    SampledSeries& slot = sampled_series_[name];
+    if (slot.series == nullptr) {
+      slot.series = std::make_unique<TimeSeries>(series_bucket_width_,
+                                                 series_max_buckets_);
+    }
+    slot.series->Record(now, fn());
+  }
+}
+
+const TimeSeries* Telemetry::FindSeries(const std::string& name) const {
+  auto it = series_.find(name);
+  if (it != series_.end()) return it->second.get();
+  auto st = sampled_series_.find(name);
+  if (st != sampled_series_.end()) return st->second.series.get();
+  return nullptr;
 }
 
 std::map<std::string, int64_t> Telemetry::SnapshotValues() const {
@@ -82,7 +171,88 @@ std::string Telemetry::SnapshotJson() const {
     first = false;
     out += "\"" + name + "\":" + hist->ToJson();
   }
+  // Directly-fed and sampled series share the "series" section; the two
+  // maps hold disjoint names (CheckKind guards the directly-fed ones and
+  // sampled names mirror counters/gauges), and both are name-ordered, so
+  // a simple ordered merge keeps the export deterministic.
+  out += "},\"series\":{";
+  first = true;
+  auto emit = [&out, &first](const std::string& name, const TimeSeries& ts) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + ts.ToJson();
+  };
+  auto it = series_.begin();
+  auto st = sampled_series_.begin();
+  while (it != series_.end() || st != sampled_series_.end()) {
+    if (st == sampled_series_.end() ||
+        (it != series_.end() && it->first < st->first)) {
+      emit(it->first, *it->second);
+      ++it;
+    } else {
+      if (st->second.series != nullptr) {
+        emit(st->first, *st->second.series);
+      }
+      ++st;
+    }
+  }
   out += "}}\n";
+  return out;
+}
+
+std::string Telemetry::PrometheusText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::string n = SanitizeMetricName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, fn] : gauges_) {
+    std::string n = SanitizeMetricName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(fn()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::string n = SanitizeMetricName(name);
+    out += "# TYPE " + n + " summary\n";
+    static constexpr struct {
+      const char* label;
+      double p;
+    } kQuantiles[] = {{"0.5", 50}, {"0.9", 90}, {"0.99", 99}, {"0.999", 99.9}};
+    for (const auto& q : kQuantiles) {
+      std::snprintf(line, sizeof(line), "%s{quantile=\"%s\"} %lld\n",
+                    n.c_str(), q.label,
+                    static_cast<long long>(hist->Percentile(q.p)));
+      out += line;
+    }
+    out += n + "_count " + std::to_string(hist->count()) + "\n";
+    out += n + "_max " + std::to_string(hist->max()) + "\n";
+  }
+  auto emit_series = [&out, &line](const std::string& name,
+                                   const TimeSeries& ts) {
+    std::string n = SanitizeMetricName(name);
+    out += "# TYPE " + n + "_last_bucket_sum gauge\n";
+    int64_t sum = 0;
+    for (int i = ts.num_buckets() - 1; i >= 0; --i) {
+      if (!ts.bucket(i).empty()) {
+        sum = ts.bucket(i).sum;
+        break;
+      }
+    }
+    std::snprintf(line, sizeof(line), "%s_last_bucket_sum{window_ns=\"%lld\"} %lld\n",
+                  n.c_str(), static_cast<long long>(ts.bucket_width()),
+                  static_cast<long long>(sum));
+    out += line;
+  };
+  for (const auto& [name, ts] : series_) {
+    emit_series(name, *ts);
+  }
+  for (const auto& [name, slot] : sampled_series_) {
+    if (slot.series != nullptr) emit_series(name, *slot.series);
+  }
   return out;
 }
 

@@ -1,18 +1,35 @@
-// Unified telemetry registry: counters, gauges, and histograms addressed by
-// hierarchical slash-separated names ("snap/engine0/poll_ns"). Components
-// register their metrics once and keep the returned pointer hot — lookups
-// never happen on the data plane. Gauges are pull-model (a callback read at
-// snapshot time) so existing ad-hoc Stats structs can publish live values
-// without double bookkeeping; the caller guarantees the gauge callback
-// outlives the registry or deregisters it.
+// Unified telemetry registry: counters, gauges, histograms, and windowed
+// time-series addressed by hierarchical slash-separated names
+// ("snap/engine0/poll_ns"). Components register their metrics once and
+// keep the returned pointer hot — lookups never happen on the data plane.
+// Gauges are pull-model (a callback read at snapshot time) so existing
+// ad-hoc Stats structs can publish live values without double
+// bookkeeping; the caller guarantees the gauge callback outlives the
+// registry or deregisters it.
+//
+// A name belongs to exactly one metric type for the registry's lifetime:
+// registering "x" as a counter and later as a gauge (or histogram, or
+// series) is a programming error and CHECK-fails loudly instead of
+// silently shadowing one export surface with another.
 //
 // Export surfaces:
 //  - SnapshotValues(): counters + gauges as a flat name->int64 map, for
 //    programmatic diffing;
 //  - SnapshotJson(): everything (histograms included, full bucket data via
-//    Histogram::ToJson) as one JSON document benches can diff across runs;
+//    Histogram::ToJson; time-series via TimeSeries::ToJson) as one JSON
+//    document benches can diff across runs;
+//  - PrometheusText(): Prometheus-style text exposition (counters, gauges,
+//    histogram summaries, series-rate gauges);
 //  - DumpDashboard(): a fixed-width text view in the spirit of the paper's
 //    Fig. 5 (latency percentiles per engine) and Fig. 8 (ops counters).
+//
+// Time-series sampling: EnableSeriesSampling arms a fixed-memory
+// TimeSeries per counter/gauge; each SampleSeriesAt(now) folds the delta
+// since the previous sample (counters) or the instantaneous value
+// (gauges) into the bucket covering `now`. The caller drives the cadence
+// — a scheduled periodic event in serial runs, a barrier hook in sharded
+// runs (an extra scheduled event would change the epoch structure; see
+// src/testing/seed_sweep.cc).
 //
 // Naming convention (docs/OBSERVABILITY.md): <subsystem>/<instance>/<metric>
 // with units suffixed (_ns, _bytes). Iteration is over std::map, so every
@@ -27,9 +44,24 @@
 #include <string>
 
 #include "src/stats/histogram.h"
-#include "src/stats/metrics.h"
+#include "src/stats/time_series.h"
+#include "src/util/time_types.h"
 
 namespace snap {
+
+// Monotonic counter. Named registration lives in Telemetry; engines and
+// benchmarks keep the returned pointer hot (the paper's Figure 8 per-
+// machine IOPS dashboards come from counters like these).
+class Counter {
+ public:
+  void Add(int64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
 
 class Telemetry {
  public:
@@ -39,8 +71,15 @@ class Telemetry {
   Telemetry& operator=(const Telemetry&) = delete;
 
   // Creates-or-returns; the pointer is stable for the registry's lifetime.
+  // CHECK-fails if `name` is already registered as a different type.
   Counter* GetCounter(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  // Creates-or-returns a directly-fed time-series (width/max_buckets are
+  // ignored when the series already exists). Distinct from the sampled
+  // series EnableSeriesSampling derives from counters/gauges.
+  TimeSeries* GetSeries(const std::string& name, SimDuration bucket_width,
+                        int max_buckets = 64);
 
   // Registers (or replaces) a pull-model gauge.
   void RegisterGauge(const std::string& name, std::function<int64_t()> fn);
@@ -63,9 +102,28 @@ class Telemetry {
   // epoch barriers (all shards parked; plain single-threaded code).
   void MergeFrom(const Telemetry& other);
 
-  // {"counters":{...},"gauges":{...},"histograms":{name:{...}}}, all keys
-  // name-sorted.
+  // --- Fixed-memory time-series sampling (docs/OBSERVABILITY.md) ---
+  // Arms per-metric TimeSeries: every counter and gauge known at sample
+  // time gets one, fed by SampleSeriesAt. O(metrics * max_buckets) memory
+  // regardless of run length.
+  void EnableSeriesSampling(SimDuration bucket_width, int max_buckets = 64);
+  bool series_sampling_enabled() const { return series_sampling_enabled_; }
+  // Folds one sample per counter (delta since previous sample) and per
+  // gauge (instantaneous value) into the bucket covering `now`. Sample
+  // times must be non-decreasing.
+  void SampleSeriesAt(SimTime now);
+
+  // {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}},
+  // all keys name-sorted. Sampled series export as "<name>" and directly
+  // fed series (GetSeries) under their registered names.
   std::string SnapshotJson() const;
+
+  // Prometheus text exposition: one line per sample, names sanitized
+  // ([a-zA-Z0-9_:] only; '/' becomes '_'), deterministically ordered.
+  // Counters emit `# TYPE <n> counter`; gauges `gauge`; histograms a
+  // summary (quantile labels + _count/_max); series the most recent
+  // non-empty bucket as `<n>_last_bucket_sum` with a window label.
+  std::string PrometheusText() const;
 
   // Fixed-width text dashboard: histogram percentiles, then counters and
   // gauges.
@@ -74,13 +132,32 @@ class Telemetry {
   size_t num_counters() const { return counters_.size(); }
   size_t num_histograms() const { return histograms_.size(); }
   size_t num_gauges() const { return gauges_.size(); }
+  size_t num_series() const {
+    return series_.size() + sampled_series_.size();
+  }
+  const TimeSeries* FindSeries(const std::string& name) const;
 
  private:
+  enum class Kind { kCounter, kGauge, kHistogram, kSeries };
+  // CHECK-fails when `name` is already registered under a different kind.
+  void CheckKind(const std::string& name, Kind kind) const;
+
+  struct SampledSeries {
+    // Deferred construction: width/max set by EnableSeriesSampling.
+    std::unique_ptr<TimeSeries> series;
+    int64_t last_value = 0;  // counters: previous sample, for deltas
+  };
+
   std::map<std::string, Counter> counters_;
   // unique_ptr for address stability (Histogram is large; map nodes would
   // be stable too, but this keeps the intent explicit).
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::function<int64_t()>> gauges_;
+  std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+  std::map<std::string, SampledSeries> sampled_series_;
+  bool series_sampling_enabled_ = false;
+  SimDuration series_bucket_width_ = 0;
+  int series_max_buckets_ = 64;
 };
 
 }  // namespace snap

@@ -1,0 +1,127 @@
+#include "src/stats/time_series.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+void TimeSeries::Bucket::Fold(int64_t value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  last = value;
+}
+
+void TimeSeries::Bucket::Merge(const Bucket& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  last = other.last;  // `other` is the newer bucket (see Downsample)
+}
+
+TimeSeries::TimeSeries(SimDuration initial_bucket_width, int max_buckets)
+    : bucket_width_(initial_bucket_width), max_buckets_(max_buckets) {
+  SNAP_CHECK_GT(bucket_width_, 0);
+  SNAP_CHECK_GE(max_buckets_, 2);
+  SNAP_CHECK_EQ(max_buckets_ % 2, 0);
+  buckets_.reserve(max_buckets_);
+}
+
+void TimeSeries::Record(SimTime t, int64_t value) {
+  if (!started_) {
+    started_ = true;
+    // Align the origin down to a bucket boundary so series sampled on the
+    // same cadence share bucket edges regardless of first-sample time.
+    origin_ = (t / bucket_width_) * bucket_width_;
+  }
+  SNAP_CHECK_GE(t, origin_);
+  int64_t index = (t - origin_) / bucket_width_;
+  // Downsampling halves occupancy and doubles width, so each pass at
+  // least halves `index`; the loop terminates.
+  while (index >= max_buckets_) {
+    Downsample();
+    index = (t - origin_) / bucket_width_;
+  }
+  if (index >= static_cast<int64_t>(buckets_.size())) {
+    buckets_.resize(index + 1);  // zero-fill skipped buckets
+  }
+  buckets_[index].Fold(value);
+  ++total_count_;
+  total_sum_ += value;
+}
+
+void TimeSeries::Downsample() {
+  // Pairwise merge: bucket 2i and 2i+1 become new bucket i covering the
+  // doubled width. `last` must come from the later of the pair when it is
+  // non-empty (Merge keeps other.last, and we merge the odd — newer —
+  // half into the even half).
+  const size_t pairs = (buckets_.size() + 1) / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    Bucket merged = buckets_[2 * i];
+    if (2 * i + 1 < buckets_.size()) {
+      merged.Merge(buckets_[2 * i + 1]);
+    }
+    buckets_[i] = merged;
+  }
+  buckets_.resize(pairs);
+  bucket_width_ *= 2;
+  ++downsamples_;
+}
+
+double TimeSeries::RatePerSec(int i) const {
+  return static_cast<double>(buckets_[i].sum) / ToSec(bucket_width_);
+}
+
+double TimeSeries::MaxRatePerSec() const {
+  double best = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    best = std::max(best, RatePerSec(i));
+  }
+  return best;
+}
+
+double TimeSeries::MeanRatePerSec() const {
+  if (buckets_.empty()) return 0;
+  double sum = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    sum += RatePerSec(i);
+  }
+  return sum / static_cast<double>(buckets_.size());
+}
+
+std::string TimeSeries::ToJson() const {
+  std::string out = "{\"width_ns\":" + std::to_string(bucket_width_) +
+                    ",\"origin_ns\":" + std::to_string(origin_) +
+                    ",\"downsamples\":" + std::to_string(downsamples_) +
+                    ",\"buckets\":[";
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (i > 0) out += ",";
+    const Bucket& b = buckets_[i];
+    if (b.empty()) {
+      out += "{}";
+      continue;
+    }
+    out += "{\"count\":" + std::to_string(b.count) +
+           ",\"sum\":" + std::to_string(b.sum) +
+           ",\"min\":" + std::to_string(b.min) +
+           ",\"max\":" + std::to_string(b.max) +
+           ",\"last\":" + std::to_string(b.last) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace snap

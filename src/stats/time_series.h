@@ -1,0 +1,91 @@
+// Fixed-memory time-series: a windowed ring of buckets with power-of-two
+// downsampling. A TimeSeries holds at most `max_buckets` buckets no matter
+// how long the run is — when an append lands past the window, adjacent
+// bucket pairs are merged and the bucket width doubles, so memory stays
+// O(max_buckets) while the series keeps covering the entire run at
+// progressively coarser (but still uniform) resolution. This is the
+// dashboard primitive ROADMAP item 5 asks for: per-metric memory is a
+// small constant, independent of run length or flow count, unlike the
+// retired RateSeries whose vector grew one slot per window forever.
+//
+// Semantics. The series is a sequence of equal-width buckets starting at
+// `origin`. Record(t, v) folds v into the bucket covering t (count/sum/
+// min/max/last); Observe-style cumulative counters should be fed as
+// deltas by the caller (Telemetry::SampleSeries does this). Appends must
+// be non-decreasing in time — feeding sim time keeps that true by
+// construction. Everything is integer arithmetic on int64 sim-time
+// nanoseconds; exports are deterministic (byte-identical per seed).
+#ifndef SRC_STATS_TIME_SERIES_H_
+#define SRC_STATS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time_types.h"
+
+namespace snap {
+
+class TimeSeries {
+ public:
+  struct Bucket {
+    int64_t count = 0;  // samples folded into this bucket
+    int64_t sum = 0;    // sum of sample values
+    int64_t min = 0;    // min/max only meaningful when count > 0
+    int64_t max = 0;
+    int64_t last = 0;   // most recent sample value
+
+    bool empty() const { return count == 0; }
+    void Fold(int64_t value);
+    void Merge(const Bucket& other);
+  };
+
+  // `initial_bucket_width`: finest resolution; doubles on every
+  // downsample. `max_buckets` must be an even number >= 2 so pairwise
+  // merging halves the occupancy exactly.
+  explicit TimeSeries(SimDuration initial_bucket_width,
+                      int max_buckets = 64);
+
+  // Folds `value` into the bucket covering `t`. Time must be
+  // non-decreasing across calls.
+  void Record(SimTime t, int64_t value);
+
+  // Accessors. Buckets are returned oldest-first; index i covers
+  // [origin + i*width, origin + (i+1)*width).
+  SimDuration bucket_width() const { return bucket_width_; }
+  SimTime origin() const { return origin_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int max_buckets() const { return max_buckets_; }
+  const Bucket& bucket(int i) const { return buckets_[i]; }
+  int downsamples() const { return downsamples_; }
+  int64_t total_count() const { return total_count_; }
+  int64_t total_sum() const { return total_sum_; }
+
+  // sum/width for bucket i, in units-per-second (rate view for
+  // delta-fed counters).
+  double RatePerSec(int i) const;
+  double MaxRatePerSec() const;
+  double MeanRatePerSec() const;
+
+  // {"width_ns":...,"origin_ns":...,"downsamples":N,
+  //  "buckets":[{"count":..,"sum":..,"min":..,"max":..,"last":..},...]}
+  // Empty buckets serialize as {} to keep snapshots small. Byte-stable.
+  std::string ToJson() const;
+
+ private:
+  // Halves occupancy by merging adjacent pairs; doubles bucket_width_.
+  void Downsample();
+
+  SimDuration bucket_width_;
+  int max_buckets_;
+  SimTime origin_ = 0;
+  bool started_ = false;
+  int downsamples_ = 0;
+  int64_t total_count_ = 0;
+  int64_t total_sum_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace snap
+
+#endif  // SRC_STATS_TIME_SERIES_H_

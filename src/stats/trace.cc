@@ -77,10 +77,15 @@ void TraceRecorder::Instant(SimTime ts, int tid, std::string name,
 
 void TraceRecorder::CounterValue(SimTime ts, std::string name,
                                  int64_t value) {
+  CounterValueOnTrack(ts, kSchedTrack, std::move(name), value);
+}
+
+void TraceRecorder::CounterValueOnTrack(SimTime ts, int tid, std::string name,
+                                        int64_t value) {
   TraceEvent e;
   e.phase = 'C';
   e.ts = ts;
-  e.tid = kSchedTrack;
+  e.tid = tid;
   e.name = std::move(name);
   e.category = "counter";
   e.args = TraceArgInt("value", value);

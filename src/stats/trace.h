@@ -59,6 +59,8 @@ class TraceRecorder {
   static constexpr int kFabricTrack = 901;
   static constexpr int kChaosTrack = 902;
   static constexpr int kUpgradeTrack = 903;
+  static constexpr int kSloTrack = 904;       // tenant SLO fire/clear
+  static constexpr int kProfilerTrack = 905;  // sharded-engine epoch counters
 
   TraceRecorder() = default;
   explicit TraceRecorder(Options options) : options_(options) {}
@@ -72,6 +74,11 @@ class TraceRecorder {
   void Instant(SimTime ts, int tid, std::string name, const char* category,
                std::string args = "");
   void CounterValue(SimTime ts, std::string name, int64_t value);
+  // Counter on an explicit track (ShardedSim's profiler puts per-shard
+  // epoch counters on kProfilerTrack so the merged trace's shard-stride
+  // tid remap keeps them distinct per shard).
+  void CounterValueOnTrack(SimTime ts, int tid, std::string name,
+                           int64_t value);
   void AsyncBegin(SimTime ts, uint64_t id, std::string name,
                   const char* category, std::string args = "");
   void AsyncEnd(SimTime ts, uint64_t id, std::string name,

@@ -141,7 +141,14 @@ SweepRunResult SeedSweepRunner::RunOne(uint64_t seed,
     if (opt.enable_trace) {
       sharded->EnableTracing();
     }
+    if (opt.enable_profiling) {
+      sharded->EnableProfiling();
+      sharded->EnableSeriesSampling(opt.sample_period);
+    }
     shard_group.emplace(&*sharded, nic_params);
+    if (opt.enable_profiling) {
+      shard_group->EnableProfiling();
+    }
     for (int s = 0; s < sharded->num_shards(); ++s) {
       shard_group->fabric(s)->set_random_drop_probability(
           opt.fabric_drop_probability);

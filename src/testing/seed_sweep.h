@@ -64,6 +64,14 @@ struct SeedSweepOptions {
   // keeps the default {0, 1 % shards}. Digests must not depend on this
   // (the placement axis of the parity gate; placement_test sweeps it).
   std::vector<int> shard_of_host;
+  // Arms the sharded engine's deterministic profiler surfaces
+  // (ShardedSim::EnableProfiling + ShardedFabricGroup::EnableProfiling)
+  // and barrier-driven series sampling. Pure observation: the simulated
+  // outcome must be identical with this on or off; with tracing enabled
+  // the profiled trace additionally carries kProfilerTrack counters, so
+  // profiled digests are compared against profiled digests only
+  // (determinism_test gates both directions). Ignored in serial runs.
+  bool enable_profiling = false;
   // Fabric-level hashed random drop (Fabric::set_random_drop_probability),
   // applied identically in serial and sharded runs — the drop decision is
   // a per-packet hash, not an RNG draw, so digests stay comparable across

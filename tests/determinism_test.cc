@@ -195,6 +195,50 @@ TEST(DeterminismTest, ParallelShardsMatchSerialDigestsAcrossChaosSweep) {
   }
 }
 
+// The sharded engine's profiler and series sampler are pure observation:
+// the delivery digest of a profiled sharded chaos run is bit-identical to
+// the unprofiled serial baseline (wall-clock numbers stay confined to
+// ShardedSim::Profile; the deterministic counters never feed back into
+// the simulation), and the profiled run's own outputs reproduce exactly
+// per seed.
+TEST(DeterminismTest, ChaosSweepDigestsUnchangedByProfiling) {
+  auto sweep = [](int shards, bool profiled) {
+    SeedSweepOptions options;
+    options.num_seeds = 4;
+    options.first_seed = 1;
+    options.check_replay = false;
+    options.shards = shards;
+    options.enable_profiling = profiled;
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    std::vector<ChaosProfile> selected = {profiles.front(), profiles.back()};
+    std::vector<uint64_t> digests;
+    std::vector<std::map<std::string, int64_t>> telemetry;
+    for (const ChaosProfile& profile : selected) {
+      for (int s = 0; s < options.num_seeds; ++s) {
+        SweepRunResult result = runner.RunOne(options.first_seed + s, profile);
+        EXPECT_TRUE(result.ok)
+            << profile.name << " seed " << options.first_seed + s;
+        digests.push_back(result.trace_digest);
+        telemetry.push_back(std::move(result.telemetry));
+      }
+    }
+    return std::make_pair(digests, telemetry);
+  };
+  auto serial = sweep(1, false);
+  auto profiled = sweep(4, true);
+  auto profiled_again = sweep(4, true);
+  ASSERT_EQ(serial.first.size(), profiled.first.size());
+  for (size_t i = 0; i < serial.first.size(); ++i) {
+    // Profiling off vs on: the simulated outcome is byte-identical.
+    EXPECT_EQ(serial.first[i], profiled.first[i]) << "digest " << i;
+    // Profiled runs reproduce exactly, profiler telemetry included.
+    EXPECT_EQ(profiled.first[i], profiled_again.first[i]) << "digest " << i;
+    EXPECT_EQ(profiled.second[i], profiled_again.second[i])
+        << "profiled telemetry diverged, run " << i;
+  }
+}
+
 // Fabric-level random loss with the sharded engine: the drop decision is
 // a per-packet hash of (seed, src, dst, per-source departure seq), not an
 // RNG draw, so the drop pattern — and therefore every retransmission and

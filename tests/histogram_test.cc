@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "src/stats/histogram.h"
-#include "src/stats/metrics.h"
 #include "src/stats/telemetry.h"
+#include "src/stats/time_series.h"
 #include "src/util/rng.h"
 #include "src/util/time_types.h"
 
@@ -139,44 +139,84 @@ TEST_P(HistogramAccuracyTest, ApproximatesTruePercentiles) {
 INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
-// --- RateSeries -----------------------------------------------------------
+// --- TimeSeries -----------------------------------------------------------
 
-TEST(RateSeriesTest, EmitsOneRatePerWindow) {
-  RateSeries series(1 * kMsec);
-  series.Sample(0, 0);
-  series.Sample(1 * kMsec, 1000);
-  series.Sample(2 * kMsec, 3000);
-  ASSERT_EQ(series.rates_per_sec().size(), 2u);
-  EXPECT_NEAR(series.rates_per_sec()[0], 1e6, 1);     // 1000 per ms
-  EXPECT_NEAR(series.rates_per_sec()[1], 2e6, 1);
-  EXPECT_NEAR(series.MaxRate(), 2e6, 1);
-  EXPECT_NEAR(series.MeanRate(), 1.5e6, 1);
+TEST(TimeSeriesTest, FoldsSamplesIntoBuckets) {
+  TimeSeries series(1 * kMsec, 8);
+  series.Record(100 * kUsec, 1000);  // bucket 0
+  series.Record(1100 * kUsec, 1500);  // bucket 1
+  series.Record(1200 * kUsec, 500);   // bucket 1 again
+  ASSERT_EQ(series.num_buckets(), 2);
+  EXPECT_EQ(series.bucket(0).count, 1);
+  EXPECT_EQ(series.bucket(0).sum, 1000);
+  EXPECT_EQ(series.bucket(1).count, 2);
+  EXPECT_EQ(series.bucket(1).sum, 2000);
+  EXPECT_EQ(series.bucket(1).min, 500);
+  EXPECT_EQ(series.bucket(1).max, 1500);
+  EXPECT_EQ(series.bucket(1).last, 500);
+  EXPECT_NEAR(series.RatePerSec(0), 1e6, 1);  // 1000 per ms
+  EXPECT_NEAR(series.RatePerSec(1), 2e6, 1);
+  EXPECT_NEAR(series.MaxRatePerSec(), 2e6, 1);
+  EXPECT_NEAR(series.MeanRatePerSec(), 1.5e6, 1);
 }
 
-TEST(RateSeriesTest, SkippedWindowsSpreadTheDelta) {
-  RateSeries series(1 * kMsec);
-  series.Sample(0, 0);
-  // Jump three windows at once: the delta is spread uniformly across all
-  // three crossed windows — no spurious spike in the first one.
-  series.Sample(3 * kMsec, 900);
-  ASSERT_EQ(series.rates_per_sec().size(), 3u);
-  EXPECT_NEAR(series.rates_per_sec()[0], 3e5, 1);
-  EXPECT_NEAR(series.rates_per_sec()[1], 3e5, 1);
-  EXPECT_NEAR(series.rates_per_sec()[2], 3e5, 1);
-  // The series integral equals the total count: 3 windows * 300/ms * 1ms.
-  EXPECT_NEAR(series.MeanRate() * 3e-3, 900, 1e-6);
+TEST(TimeSeriesTest, SkippedBucketsStayEmpty) {
+  TimeSeries series(1 * kMsec, 8);
+  series.Record(0, 100);
+  series.Record(3 * kMsec + 1, 900);  // skips buckets 1 and 2
+  ASSERT_EQ(series.num_buckets(), 4);
+  EXPECT_TRUE(series.bucket(1).empty());
+  EXPECT_TRUE(series.bucket(2).empty());
+  EXPECT_EQ(series.bucket(3).sum, 900);
+  EXPECT_EQ(series.total_count(), 2);
+  EXPECT_EQ(series.total_sum(), 1000);
 }
 
-TEST(RateSeriesTest, SpreadWindowsResumeNormalAttribution) {
-  RateSeries series(1 * kMsec);
-  series.Sample(0, 0);
-  series.Sample(2 * kMsec, 400);   // two windows @ 200/ms
-  series.Sample(3 * kMsec, 1400);  // one window @ 1000/ms
-  ASSERT_EQ(series.rates_per_sec().size(), 3u);
-  EXPECT_NEAR(series.rates_per_sec()[0], 2e5, 1);
-  EXPECT_NEAR(series.rates_per_sec()[1], 2e5, 1);
-  EXPECT_NEAR(series.rates_per_sec()[2], 1e6, 1);
-  EXPECT_NEAR(series.MaxRate(), 1e6, 1);
+TEST(TimeSeriesTest, DownsamplesPastTheWindow) {
+  // 4 buckets of 1ms: recording at 5ms forces a pairwise merge to 2ms
+  // buckets. Memory never exceeds max_buckets; totals are preserved.
+  TimeSeries series(1 * kMsec, 4);
+  for (int i = 0; i < 4; ++i) {
+    series.Record(i * kMsec, 10 * (i + 1));
+  }
+  ASSERT_EQ(series.num_buckets(), 4);
+  series.Record(5 * kMsec, 99);
+  EXPECT_EQ(series.bucket_width(), 2 * kMsec);
+  EXPECT_EQ(series.downsamples(), 1);
+  ASSERT_LE(series.num_buckets(), 4);
+  // Old buckets merged pairwise: {10,20} -> 30, {30,40} -> 70.
+  EXPECT_EQ(series.bucket(0).sum, 30);
+  EXPECT_EQ(series.bucket(0).count, 2);
+  EXPECT_EQ(series.bucket(0).last, 20);
+  EXPECT_EQ(series.bucket(1).sum, 70);
+  EXPECT_EQ(series.bucket(2).sum, 99);  // [4ms, 6ms)
+  EXPECT_EQ(series.total_sum(), 100 + 99);
+  EXPECT_EQ(series.total_count(), 5);
+}
+
+TEST(TimeSeriesTest, MemoryStaysBoundedOverLongRuns) {
+  TimeSeries series(1 * kUsec, 16);
+  for (int64_t i = 0; i < 100000; ++i) {
+    series.Record(i * 7 * kUsec, 1);
+  }
+  EXPECT_LE(series.num_buckets(), 16);
+  EXPECT_EQ(series.total_count(), 100000);
+  EXPECT_EQ(series.total_sum(), 100000);
+  EXPECT_GT(series.downsamples(), 10);
+}
+
+TEST(TimeSeriesTest, JsonIsByteStable) {
+  auto build = [] {
+    TimeSeries series(1 * kMsec, 4);
+    series.Record(100, 5);
+    series.Record(2 * kMsec, 7);
+    return series.ToJson();
+  };
+  std::string a = build();
+  std::string b = build();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"width_ns\":1000000"), std::string::npos);
+  EXPECT_NE(a.find("{}"), std::string::npos);  // empty bucket elided
 }
 
 }  // namespace

@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/sharded_rack.h"
 #include "src/net/shard_net.h"
 #include "src/packet/packet.h"
 #include "src/packet/packet_pool.h"
+#include "src/sim/placement.h"
 #include "src/sim/sharded_sim.h"
 #include "src/testing/seed_sweep.h"
 
@@ -299,6 +301,134 @@ TEST(ShardedSimTest, ThreadedExecutionBitIdenticalToSequential) {
   EXPECT_EQ(sequential.telemetry, threaded.telemetry);
   EXPECT_EQ(sequential.epochs, threaded.epochs);
   EXPECT_EQ(sequential.exchange_handoffs, threaded.exchange_handoffs);
+}
+
+TEST(ShardedSimTest, MergedTelemetryAtSixteenShardsMatchesSerial) {
+  auto run = [](int shards) {
+    SeedSweepOptions options;
+    options.num_seeds = 1;
+    options.check_replay = false;
+    options.shards = shards;
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    return runner.RunOne(13, profiles.back());
+  };
+  SweepRunResult serial = run(1);
+  SweepRunResult wide = run(16);  // 14 shards own no hosts at all
+  EXPECT_TRUE(serial.ok);
+  EXPECT_TRUE(wide.ok);
+  EXPECT_EQ(serial.trace_digest, wide.trace_digest);
+  // The merged registry is a name-ordered map: equality is byte-for-byte
+  // identical names AND values, independent of where hosts ran.
+  EXPECT_EQ(serial.telemetry, wide.telemetry);
+}
+
+// MergedTelemetryValues must be a pure function of the workload: a tiny
+// clustered RPC rack run at 16 shards under round-robin, contiguous, and
+// traffic-aware placements — and at one shard — produces one identical
+// merged snapshot.
+TEST(ShardedSimTest, MergedTelemetryInvariantUnderTrafficAwarePlacement) {
+  RpcRackConfig config;
+  config.hosts = 16;
+  config.jobs_per_host = 1;
+  config.offered_gbps_per_host = 1.0;
+  config.response_bytes = 64 * 1024;
+  config.prober_qps = 200.0;
+  config.cluster_hosts = 4;
+  config.nic_params.hosts_per_cluster = 4;
+  config.nic_params.inter_cluster_extra_delay = 2 * kUsec;
+  config.seed = 5;
+  config.host_options.group.mode = SchedulingMode::kDedicatedCores;
+  config.host_options.group.dedicated_cores = {0};
+
+  auto run = [&](int shards, const Placement* placement) {
+    ShardedRack rack(config.seed, config.hosts, config.host_options, shards,
+                     /*num_threads=*/0, config.queue_kind, config.nic_params,
+                     placement);
+    // Ring workload: host h streams a few messages to host h+1, so every
+    // placement splits some pairs across shards and keeps others local.
+    std::vector<PonyEngine*> engines;
+    std::vector<std::unique_ptr<PonyClient>> clients;
+    for (int h = 0; h < config.hosts; ++h) {
+      engines.push_back(rack.host(h)->CreatePonyEngine("e"));
+      clients.push_back(rack.host(h)->CreateClient(engines.back(), "app"));
+    }
+    CpuCostSink cost;
+    for (int h = 0; h < config.hosts; ++h) {
+      PonyAddress peer = engines[(h + 1) % config.hosts]->address();
+      uint64_t stream = clients[h]->CreateStream(peer);
+      for (int m = 0; m < 4; ++m) {
+        clients[h]->SendMessage(peer, stream, 2000, {}, &cost);
+      }
+    }
+    rack.sharded().RunFor(20 * kMsec);
+    // Publish per-host receive totals into each host's home registry:
+    // every placement must merge to the same map (engine counters are only
+    // populated by rebalance events, so the workload provides the values).
+    for (int h = 0; h < config.hosts; ++h) {
+      int64_t msgs = 0;
+      int64_t bytes = 0;
+      while (auto m = clients[h]->PollMessage(&cost)) {
+        ++msgs;
+        bytes += m->length;
+      }
+      Telemetry& t = rack.host(h)->sim()->telemetry();
+      t.GetCounter("app/host" + std::to_string(h) + "/rx_msgs")->Add(msgs);
+      t.GetCounter("app/host" + std::to_string(h) + "/rx_bytes")->Add(bytes);
+    }
+    return rack.sharded().MergedTelemetryValues();
+  };
+
+  TrafficMatrix traffic = BuildRackTrafficMatrix(config);
+  Placement aware = Placement::TrafficAware(traffic, 16);
+  Placement contiguous = Placement::Contiguous(config.hosts, 16);
+  std::map<std::string, int64_t> serial = run(1, nullptr);
+  std::map<std::string, int64_t> round_robin = run(16, nullptr);
+  std::map<std::string, int64_t> aware_values = run(16, &aware);
+  std::map<std::string, int64_t> contiguous_values = run(16, &contiguous);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, round_robin);
+  EXPECT_EQ(serial, aware_values);
+  EXPECT_EQ(serial, contiguous_values);
+}
+
+// The profiler is pure observation: arming it must not change the
+// simulated outcome, and two profiled runs of the same seed must agree
+// byte-for-byte on every deterministic surface (trace digest included —
+// profiled traces carry the extra kProfilerTrack counters, so they are
+// compared against profiled traces).
+TEST(ShardedSimTest, ProfilingIsPureObservation) {
+  auto run = [](bool profiled) {
+    SeedSweepOptions options;
+    options.num_seeds = 1;
+    options.check_replay = false;
+    options.shards = 4;
+    options.enable_profiling = profiled;
+    SeedSweepRunner runner(options);
+    auto profiles = SeedSweepRunner::DefaultProfiles();
+    return runner.RunOne(29, profiles.back());
+  };
+  SweepRunResult plain = run(false);
+  SweepRunResult profiled = run(true);
+  SweepRunResult profiled2 = run(true);
+  EXPECT_TRUE(plain.ok);
+  EXPECT_TRUE(profiled.ok);
+  EXPECT_EQ(plain.delivered_messages, profiled.delivered_messages);
+  EXPECT_EQ(plain.retransmits, profiled.retransmits);
+  EXPECT_EQ(plain.epochs, profiled.epochs);
+  // Simulated outcome identical: every metric the plain run had exists
+  // with the same value in the profiled run (which adds sim/shard/* and
+  // net/shard/* profiler metrics on top).
+  for (const auto& [name, value] : plain.telemetry) {
+    auto it = profiled.telemetry.find(name);
+    ASSERT_NE(it, profiled.telemetry.end()) << name;
+    EXPECT_EQ(it->second, value) << name;
+  }
+  EXPECT_GT(profiled.telemetry.count("sim/shard/0/epochs"), 0u);
+  EXPECT_GT(profiled.telemetry.count("net/shard/0/handoff_in"), 0u);
+  // Deterministic per seed: profiled == profiled, bit for bit.
+  EXPECT_EQ(profiled.trace_digest, profiled2.trace_digest);
+  EXPECT_EQ(profiled.telemetry, profiled2.telemetry);
 }
 
 TEST(ShardedSimTest, MergedTelemetrySumsAcrossShards) {

@@ -1,0 +1,281 @@
+// Tenant SLO monitor tests: multi-window burn-rate semantics on synthetic
+// feeds, deterministic alert timing, and the end-to-end scenario the
+// monitor exists for — a transparent upgrade's blackout window driving a
+// tenant's latency SLO into a deterministic alert.
+#include <gtest/gtest.h>
+
+#include "src/apps/pony_apps.h"
+#include "src/apps/simhost.h"
+#include "src/qos/slo.h"
+#include "src/snap/upgrade.h"
+#include "src/stats/trace.h"
+
+namespace snap {
+namespace {
+
+using qos::SloAlertEvent;
+using qos::SloMonitor;
+using qos::SloTarget;
+
+SloMonitor::Options SmallOptions() {
+  SloMonitor::Options o;
+  o.slot_width = 1 * kMsec;
+  o.fast_window_slots = 5;
+  o.slow_window_slots = 60;
+  return o;
+}
+
+TEST(SloMonitorTest, AllBadTrafficFiresAtFirstSlotBoundary) {
+  SloMonitor mon(SmallOptions());
+  SloTarget target;
+  target.latency_threshold = 100 * kUsec;
+  target.latency_objective = 0.999;
+  mon.SetTarget(1, "t1", target);
+
+  // Ten requests, all over threshold, inside slot 0.
+  for (int i = 0; i < 10; ++i) {
+    mon.RecordLatency(1, i * 10 * kUsec, 5 * kMsec);
+  }
+  EXPECT_FALSE(mon.latency_firing(1));  // slot still open
+  mon.Advance(1 * kMsec);
+  ASSERT_TRUE(mon.latency_firing(1));
+  ASSERT_EQ(mon.events().size(), 1u);
+  const SloAlertEvent& e = mon.events()[0];
+  EXPECT_STREQ(e.kind, "latency");
+  EXPECT_TRUE(e.firing);
+  EXPECT_EQ(e.at, 1 * kMsec);  // the slot boundary, not a request time
+  // 100% bad over a 0.1% budget = burn 1000x = 1000000 milli.
+  EXPECT_EQ(e.fast_burn_milli, 1000000);
+  EXPECT_EQ(e.slow_burn_milli, 1000000);
+}
+
+TEST(SloMonitorTest, GoodTrafficWithinBudgetNeverFires) {
+  SloMonitor mon(SmallOptions());
+  SloTarget target;
+  target.latency_threshold = 100 * kUsec;
+  mon.SetTarget(1, "t1", target);
+  for (int slot = 0; slot < 100; ++slot) {
+    for (int i = 0; i < 20; ++i) {
+      mon.RecordLatency(1, slot * kMsec + i * 10 * kUsec, 50 * kUsec);
+    }
+  }
+  mon.Advance(100 * kMsec);
+  EXPECT_FALSE(mon.latency_firing(1));
+  EXPECT_TRUE(mon.events().empty());
+  EXPECT_EQ(mon.fast_burn_milli(1), 0);
+}
+
+TEST(SloMonitorTest, ClearsOnlyWhenSlowWindowForgetsTheBurst) {
+  SloMonitor mon(SmallOptions());
+  SloTarget target;
+  target.latency_threshold = 100 * kUsec;
+  mon.SetTarget(1, "t1", target);
+
+  // One all-bad slot, then all-good forever.
+  for (int i = 0; i < 10; ++i) {
+    mon.RecordLatency(1, i * 10 * kUsec, 5 * kMsec);
+  }
+  for (int slot = 1; slot < 80; ++slot) {
+    for (int i = 0; i < 10; ++i) {
+      mon.RecordLatency(1, slot * kMsec + i * 10 * kUsec, 50 * kUsec);
+    }
+  }
+  mon.Advance(80 * kMsec);
+  ASSERT_EQ(mon.events().size(), 2u);
+  EXPECT_TRUE(mon.events()[0].firing);
+  EXPECT_EQ(mon.events()[0].at, 1 * kMsec);
+  EXPECT_FALSE(mon.events()[1].firing);
+  // The fast window forgets the burst after 5 slots, but the slow window
+  // holds it for its full 60: 10 bad of 600 = burn 16.7x > 6x. The alert
+  // clears exactly when the bad slot leaves the slow window.
+  EXPECT_EQ(mon.events()[1].at, 61 * kMsec);
+  EXPECT_FALSE(mon.latency_firing(1));
+}
+
+TEST(SloMonitorTest, ThrottlesCountAgainstTheLatencyBudget) {
+  SloMonitor mon(SmallOptions());
+  SloTarget target;
+  target.latency_threshold = 100 * kUsec;
+  mon.SetTarget(1, "t1", target);
+  for (int i = 0; i < 10; ++i) {
+    mon.RecordThrottle(1, i * 10 * kUsec);
+  }
+  mon.Advance(1 * kMsec);
+  EXPECT_TRUE(mon.latency_firing(1));
+}
+
+TEST(SloMonitorTest, GoodputFloorFiresOnSustainedStarvation) {
+  SloMonitor mon(SmallOptions());
+  SloTarget target;
+  target.min_goodput_bytes_per_sec = 1000000;  // 1000 bytes per 1ms slot
+  mon.SetTarget(1, "t1", target);
+
+  // Healthy goodput for 60 slots, then starvation.
+  for (int slot = 0; slot < 60; ++slot) {
+    mon.RecordGoodput(1, slot * kMsec, 2000);
+  }
+  mon.Advance(60 * kMsec);
+  EXPECT_FALSE(mon.goodput_firing(1));
+  mon.Advance(120 * kMsec);  // 60 empty slots close
+  ASSERT_TRUE(mon.goodput_firing(1));
+  // Fast window all-bad fires at 20x immediately; the slow window (5%
+  // budget, 6x threshold) needs bad_slots/60 * 20 > 6, i.e. 19 bad slots:
+  // boundary 60+19 = 79ms.
+  const SloAlertEvent* fire = nullptr;
+  for (const SloAlertEvent& e : mon.events()) {
+    if (e.kind == std::string("goodput") && e.firing) fire = &e;
+  }
+  ASSERT_NE(fire, nullptr);
+  EXPECT_EQ(fire->at, 79 * kMsec);
+}
+
+TEST(SloMonitorTest, UnknownTenantIsIgnored) {
+  SloMonitor mon(SmallOptions());
+  mon.RecordLatency(42, 0, 5 * kMsec);
+  mon.RecordThrottle(42, 0);
+  mon.RecordGoodput(42, 0, 100);
+  mon.Advance(10 * kMsec);
+  EXPECT_TRUE(mon.events().empty());
+  EXPECT_FALSE(mon.latency_firing(42));
+}
+
+TEST(SloMonitorTest, ExportsAreDeterministicAndComplete) {
+  auto feed = [](SloMonitor* mon) {
+    SloTarget target;
+    target.latency_threshold = 100 * kUsec;
+    mon->SetTarget(1, "web", target);
+    mon->SetTarget(2, "batch", target);
+    for (int i = 0; i < 10; ++i) {
+      mon->RecordLatency(1, i * 10 * kUsec, 5 * kMsec);
+      mon->RecordLatency(2, i * 10 * kUsec, 50 * kUsec);
+    }
+    mon->Advance(3 * kMsec);
+  };
+  SloMonitor a(SmallOptions());
+  SloMonitor b(SmallOptions());
+  Telemetry telemetry;
+  TraceRecorder trace;
+  a.set_telemetry(&telemetry);
+  a.set_tracer(&trace);
+  feed(&a);
+  feed(&b);
+  EXPECT_EQ(a.SnapshotJson(), b.SnapshotJson());
+  EXPECT_NE(a.SnapshotJson().find("\"web\""), std::string::npos);
+  EXPECT_EQ(telemetry.GetCounter("qos/slo/web/latency_alerts")->value(), 1);
+  // The fire instant landed on the SLO track at the slot boundary.
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].tid, TraceRecorder::kSloTrack);
+  EXPECT_EQ(trace.events()[0].name, "slo_fire:web/latency");
+  EXPECT_EQ(trace.events()[0].ts, 1 * kMsec);
+}
+
+// --- End-to-end: an upgrade blackout burns a tenant's latency SLO -------
+
+struct ScenarioResult {
+  std::vector<SloAlertEvent> events;
+  SimTime upgrade_started = 0;
+  int64_t completions = 0;
+};
+
+// RPC client on host A against a server on host B; at 200ms an upgrade of
+// host A's Snap instance begins, and its ~45ms blackout delays responses
+// far past the tenant's 2ms threshold. The monitor hangs off the client's
+// completion listener — pure observation, so the simulation timeline is
+// identical with and without it.
+ScenarioResult RunUpgradeBrownoutScenario() {
+  ScenarioResult out;
+  Simulator sim(71);
+  Fabric fabric(&sim, NicParams{});
+  PonyDirectory directory;
+  SimHostOptions options;
+  options.group.mode = SchedulingMode::kDedicatedCores;
+  options.group.dedicated_cores = {0};
+  SimHost a(&sim, &fabric, &directory, options);
+  SimHost b(&sim, &fabric, &directory, options);
+  PonyEngine* ea = a.CreatePonyEngine("engine0");
+  PonyEngine* eb = b.CreatePonyEngine("peer");
+  auto ca = a.CreateClient(ea, "app");
+  auto cb = b.CreateClient(eb, "peer_app");
+
+  PonyRpcServerTask server("rpc_server", b.cpu(), cb.get());
+  server.Start();
+  PonyRpcClientTask::Options client_options;
+  client_options.peers = {eb->address()};
+  client_options.rpcs_per_sec = 2000.0;
+  client_options.request_bytes = 64;
+  client_options.response_bytes = 512;
+  client_options.rng_seed = 9;
+  PonyRpcClientTask client("rpc_client", a.cpu(), ca.get(), client_options);
+
+  SloMonitor::Options mon_options;
+  mon_options.slot_width = 1 * kMsec;
+  SloMonitor monitor(mon_options);
+  SloTarget target;
+  target.latency_threshold = 2 * kMsec;
+  target.latency_objective = 0.999;
+  monitor.SetTarget(1, "tenant_a", target);
+  client.set_completion_listener(
+      [&](SimTime now, SimDuration latency, int64_t bytes) {
+        monitor.RecordLatency(1, now, latency);
+        monitor.RecordGoodput(1, now, bytes);
+        ++out.completions;
+      });
+  client.Start();
+
+  // Healthy traffic fills the burn windows with good slots.
+  sim.RunFor(200 * kMsec);
+
+  auto v2 = std::make_unique<SnapInstance>("snap-v2", &sim, a.cpu(), a.nic());
+  v2->RegisterModule(std::make_unique<PonyModule>(
+      &sim, a.nic(), &directory, a.options().pony, a.options().timely,
+      a.options().app));
+  EngineGroup::Options group_options;
+  group_options.mode = SchedulingMode::kDedicatedCores;
+  group_options.dedicated_cores = {1};
+  v2->CreateGroup("default", group_options);
+  UpgradeManager manager(&sim, UpgradeParams{});
+  out.upgrade_started = sim.now();
+  bool done = false;
+  manager.StartUpgrade(a.snap(), v2.get(), [&](const auto&) { done = true; });
+  sim.RunFor(800 * kMsec);
+  EXPECT_TRUE(done);
+  monitor.Advance(sim.now());
+  out.events = monitor.events();
+  return out;
+}
+
+TEST(SloScenarioTest, UpgradeBlackoutFiresLatencyAlertDeterministically) {
+  ScenarioResult first = RunUpgradeBrownoutScenario();
+  ASSERT_GT(first.completions, 0);
+
+  // The blackout's delayed completions must have fired the latency SLO,
+  // after the upgrade started, at a slot boundary.
+  const SloAlertEvent* fire = nullptr;
+  for (const SloAlertEvent& e : first.events) {
+    if (e.kind == std::string("latency") && e.firing) {
+      fire = &e;
+      break;
+    }
+  }
+  ASSERT_NE(fire, nullptr) << "blackout did not trip the latency SLO";
+  EXPECT_GT(fire->at, first.upgrade_started);
+  EXPECT_EQ(fire->at % (1 * kMsec), 0);
+  EXPECT_GT(fire->fast_burn_milli, 14400);
+
+  // Deterministic per seed: a second identical run reproduces the exact
+  // alert sequence — kinds, directions, boundary times, burn values.
+  ScenarioResult second = RunUpgradeBrownoutScenario();
+  ASSERT_EQ(second.events.size(), first.events.size());
+  for (size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_STREQ(second.events[i].kind, first.events[i].kind);
+    EXPECT_EQ(second.events[i].firing, first.events[i].firing);
+    EXPECT_EQ(second.events[i].at, first.events[i].at);
+    EXPECT_EQ(second.events[i].fast_burn_milli,
+              first.events[i].fast_burn_milli);
+    EXPECT_EQ(second.events[i].slow_burn_milli,
+              first.events[i].slow_burn_milli);
+  }
+}
+
+}  // namespace
+}  // namespace snap

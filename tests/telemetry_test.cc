@@ -1,0 +1,130 @@
+// Telemetry registry tests: type-collision CHECKs, fixed-memory series
+// sampling, Prometheus text exposition, and snapshot determinism.
+#include <gtest/gtest.h>
+
+#include "src/stats/telemetry.h"
+
+namespace snap {
+namespace {
+
+TEST(TelemetryTest, CounterAndHistogramPointersAreStable) {
+  Telemetry t;
+  Counter* c = t.GetCounter("a/b");
+  c->Add(3);
+  EXPECT_EQ(t.GetCounter("a/b"), c);
+  EXPECT_EQ(t.GetCounter("a/b")->value(), 3);
+  Histogram* h = t.GetHistogram("a/h");
+  EXPECT_EQ(t.GetHistogram("a/h"), h);
+}
+
+TEST(TelemetryTest, NameRegisteredTwiceWithDifferentTypeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Telemetry t;
+  t.GetCounter("x/metric");
+  EXPECT_DEATH(t.GetHistogram("x/metric"),
+               "registered twice with different types");
+  EXPECT_DEATH(t.RegisterGauge("x/metric", [] { return int64_t{0}; }),
+               "registered twice with different types");
+  EXPECT_DEATH(t.GetSeries("x/metric", 1 * kMsec),
+               "registered twice with different types");
+  t.GetHistogram("x/hist");
+  EXPECT_DEATH(t.GetCounter("x/hist"),
+               "registered twice with different types");
+  t.RegisterGauge("x/gauge", [] { return int64_t{7}; });
+  EXPECT_DEATH(t.GetCounter("x/gauge"),
+               "registered twice with different types");
+}
+
+TEST(TelemetryTest, SameTypeReRegistrationIsFine) {
+  Telemetry t;
+  t.GetCounter("c");
+  t.GetCounter("c")->Increment();
+  t.RegisterGauge("g", [] { return int64_t{1}; });
+  t.RegisterGauge("g", [] { return int64_t{2}; });  // replace is allowed
+  EXPECT_EQ(t.SnapshotValues()["g"], 2);
+}
+
+TEST(TelemetryTest, SampledSeriesRecordCounterDeltasAndGaugeValues) {
+  Telemetry t;
+  Counter* c = t.GetCounter("events");
+  int64_t depth = 5;
+  t.RegisterGauge("depth", [&] { return depth; });
+  t.EnableSeriesSampling(1 * kMsec, 8);
+  ASSERT_TRUE(t.series_sampling_enabled());
+
+  c->Add(100);
+  t.SampleSeriesAt(1 * kMsec);
+  c->Add(40);
+  depth = 9;
+  t.SampleSeriesAt(2 * kMsec);
+
+  const TimeSeries* events = t.FindSeries("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->total_sum(), 140);  // deltas: 100 then 40
+  EXPECT_EQ(events->total_count(), 2);
+  const TimeSeries* d = t.FindSeries("depth");
+  ASSERT_NE(d, nullptr);
+  // Gauge samples are instantaneous values, not deltas. The series origin
+  // aligns to the first sample (1ms), so the samples land in buckets 0, 1.
+  EXPECT_EQ(d->bucket(0).last, 5);
+  EXPECT_EQ(d->bucket(1).last, 9);
+}
+
+TEST(TelemetryTest, DirectlyFedSeriesAppearInSnapshotJson) {
+  Telemetry t;
+  TimeSeries* s = t.GetSeries("rate", 1 * kMsec, 8);
+  s->Record(500 * kUsec, 42);
+  EXPECT_EQ(t.GetSeries("rate", 99 * kMsec), s);  // width ignored on reuse
+  std::string json = t.SnapshotJson();
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate\""), std::string::npos);
+  EXPECT_EQ(t.num_series(), 1u);
+}
+
+TEST(TelemetryTest, PrometheusTextIsOrderedAndSanitized) {
+  Telemetry t;
+  t.GetCounter("snap/engine0/polls")->Add(7);
+  t.RegisterGauge("queue/depth", [] { return int64_t{3}; });
+  t.GetHistogram("rpc/latency_ns")->Record(1000);
+  std::string text = t.PrometheusText();
+  EXPECT_NE(text.find("# TYPE snap_engine0_polls counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("snap_engine0_polls 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("rpc_latency_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  // No raw slashes survive sanitization in metric names.
+  EXPECT_EQ(text.find("snap/engine0"), std::string::npos);
+}
+
+TEST(TelemetryTest, SnapshotJsonIsByteStableAcrossIdenticalFeeds) {
+  auto feed = [](Telemetry* t) {
+    t->GetCounter("b")->Add(2);
+    t->GetCounter("a")->Add(1);
+    t->GetHistogram("h")->Record(10);
+    t->EnableSeriesSampling(1 * kMsec, 8);
+    t->SampleSeriesAt(1 * kMsec);
+  };
+  Telemetry t1;
+  Telemetry t2;
+  feed(&t1);
+  feed(&t2);
+  EXPECT_EQ(t1.SnapshotJson(), t2.SnapshotJson());
+  EXPECT_EQ(t1.PrometheusText(), t2.PrometheusText());
+}
+
+TEST(TelemetryTest, MergeFromSumsCountersAndSnapshotsGauges) {
+  Telemetry a;
+  Telemetry b;
+  a.GetCounter("shared")->Add(1);
+  b.GetCounter("shared")->Add(2);
+  b.RegisterGauge("depth", [] { return int64_t{5}; });
+  a.MergeFrom(b);
+  auto values = a.SnapshotValues();
+  EXPECT_EQ(values["shared"], 3);
+  EXPECT_EQ(values["depth"], 5);  // snapshotted, not re-registered
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""snaptop: terminal dashboard over the engine profiler and SLO monitor.
+
+Usage:
+    tools/snaptop.py [--profile PROF.json] [--slo SLO.json]
+                     [--telemetry TELEM.json] [--width N] [--check]
+
+Renders, from whichever inputs are given:
+  - per-shard busy/wait bars from a ShardedSim::ProfileJson() file
+    (bench_sim_speed --profile): wall-clock busy share per shard, event
+    counts, the busiest single epoch, and the engine-level epoch /
+    exchange totals — the at-a-glance view of how well the conservative
+    sync engine is keeping its shards fed;
+  - tenant SLO burn-rate gauges from an SloMonitor::SnapshotJson() file:
+    fast/slow-window burn (in units of the error budget) per tenant for
+    latency and goodput, FIRING markers, and the alert log;
+  - optional deterministic profiler counters from a Telemetry
+    SnapshotJson() (sim/shard/<s>/* and net/shard/<d>/* keys) when no
+    wall-clock profile is available.
+
+Everything is a static render of snapshot files — the simulator has no
+live endpoint; "top" refers to the layout, not a refresh loop. Only the
+standard library is used.
+
+--check exits nonzero unless every given input parses and is internally
+consistent (shard counts match array lengths, burn values non-negative,
+alerts alternate fire/clear per tenant+kind). CI smoke-runs this over
+the bench profiler output.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.2f s" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2f ms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.2f us" % (ns / 1e3)
+    return "%d ns" % ns
+
+
+def bar(fraction, width):
+    fraction = max(0.0, min(1.0, fraction))
+    full = int(round(fraction * width))
+    return "#" * full + "." * (width - full)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def render_profile(prof, width):
+    print("== Shard profile (wall clock) ==")
+    if not prof.get("enabled", False):
+        print("  profiling was not enabled for this run")
+        return
+    shards = prof.get("shards", [])
+    n = len(shards)
+    epochs = prof.get("epochs", 0)
+    events = prof.get("events_fired", 0)
+    cp = prof.get("critical_path_events", 0)
+    print("  %d shards, %d worker threads, %d epochs, %d events"
+          % (prof.get("num_shards", n), prof.get("num_threads", 0),
+             epochs, events))
+    if cp > 0:
+        print("  critical path %d events -> ideal speedup %.2fx"
+              % (cp, events / cp))
+    print("  epoch wall %s, exchange wall %s"
+          % (fmt_ns(prof.get("epoch_wall_ns", 0)),
+             fmt_ns(prof.get("exchange_wall_ns", 0))))
+    print()
+    print("  shard    busy%  " + "busy".ljust(width) +
+          "      busy wall      events  max/epoch")
+    for s, sp in enumerate(shards):
+        busy = sp.get("busy_ns", 0)
+        wait = sp.get("wait_ns", 0)
+        total = busy + wait
+        frac = busy / total if total > 0 else 0.0
+        print("  %5d  %5.1f%%  [%s]  %12s  %10d  %9d"
+              % (s, 100.0 * frac, bar(frac, width - 2), fmt_ns(busy),
+                 sp.get("events", 0), sp.get("max_epoch_events", 0)))
+    busiest = max(shards, key=lambda sp: sp.get("events", 0), default=None)
+    idlest = min(shards, key=lambda sp: sp.get("events", 0), default=None)
+    if busiest and idlest and idlest.get("events", 0) > 0:
+        print("  event imbalance: busiest/idlest shard = %.2fx"
+              % (busiest["events"] / idlest["events"]))
+    elif busiest and busiest.get("events", 0) > 0:
+        print("  event imbalance: some shards ran no events "
+              "(placement left them empty)")
+
+
+def render_telemetry(telem, width):
+    """Deterministic profiler counters out of a Telemetry SnapshotJson."""
+    counters = telem.get("counters", telem if isinstance(telem, dict) else {})
+    shard_events = {}
+    shard_epochs = {}
+    handoff_in = {}
+    for name, value in counters.items():
+        parts = name.split("/")
+        if name.startswith("sim/shard/") and len(parts) == 4:
+            if parts[3] == "epoch_events":
+                shard_events[int(parts[2])] = value
+            elif parts[3] == "epochs":
+                shard_epochs[int(parts[2])] = value
+        elif name.startswith("net/shard/") and len(parts) == 4:
+            if parts[3] == "handoff_in":
+                handoff_in[int(parts[2])] = value
+    if not shard_events:
+        return
+    print("== Shard events (deterministic counters) ==")
+    peak = max(shard_events.values())
+    for s in sorted(shard_events):
+        ev = shard_events[s]
+        frac = ev / peak if peak > 0 else 0.0
+        extra = ""
+        if s in handoff_in:
+            extra = "  %10d handoffs-in" % handoff_in[s]
+        print("  %5d  [%s]  %10d events  %8d epochs%s"
+              % (s, bar(frac, width - 2), ev, shard_epochs.get(s, 0), extra))
+
+
+def burn_gauge(milli, threshold_milli, width):
+    """Burn bar scaled so the firing threshold sits at 2/3 of the bar."""
+    scale = threshold_milli * 1.5 if threshold_milli > 0 else 1.0
+    return bar(milli / scale, width)
+
+
+def render_slo(slo, width):
+    print("== Tenant SLO burn rate ==")
+    slot_ns = slo.get("slot_width_ns", 0)
+    fast_n = slo.get("fast_window_slots", 0)
+    slow_n = slo.get("slow_window_slots", 0)
+    print("  slot %s, fast window %d slots, slow window %d slots"
+          % (fmt_ns(slot_ns), fast_n, slow_n))
+    tenants = slo.get("tenants", {})
+    if not tenants:
+        print("  (no tenants registered)")
+    for name in sorted(tenants):
+        t = tenants[name]
+        rows = [("latency", t.get("fast_burn_milli", 0),
+                 t.get("slow_burn_milli", 0), t.get("latency_firing", False))]
+        if t.get("goodput_fast_milli", 0) or t.get("goodput_slow_milli", 0) \
+                or t.get("goodput_firing", False):
+            rows.append(("goodput", t.get("goodput_fast_milli", 0),
+                         t.get("goodput_slow_milli", 0),
+                         t.get("goodput_firing", False)))
+        print("  tenant %-12s (%d closed slots)"
+              % (name, t.get("closed_slots", 0)))
+        for kind, fast, slow, firing in rows:
+            state = " *** FIRING ***" if firing else ""
+            print("    %-8s fast %7.2fx [%s]%s"
+                  % (kind, fast / 1000.0, burn_gauge(fast, 14400, width - 2),
+                     state))
+            print("    %-8s slow %7.2fx [%s]"
+                  % ("", slow / 1000.0, burn_gauge(slow, 6000, width - 2)))
+    alerts = slo.get("alerts", [])
+    print("\n== SLO alert log (%d events) ==" % len(alerts))
+    for a in alerts:
+        print("  %12s  %-7s %-8s fast %7.2fx slow %7.2fx  tenant %s"
+              % (fmt_ns(a.get("at_ns", 0)),
+                 "FIRE" if a.get("firing") else "clear",
+                 a.get("kind", "?"), a.get("fast_milli", 0) / 1000.0,
+                 a.get("slow_milli", 0) / 1000.0, a.get("tenant", "?")))
+
+
+def check_profile(prof):
+    problems = []
+    if not prof.get("enabled", False):
+        problems.append("profile: enabled is false")
+        return problems
+    shards = prof.get("shards", [])
+    if prof.get("num_shards") != len(shards):
+        problems.append("profile: num_shards %s != len(shards) %d"
+                        % (prof.get("num_shards"), len(shards)))
+    total_events = 0
+    for s, sp in enumerate(shards):
+        for key in ("busy_ns", "wait_ns", "events", "max_epoch_events"):
+            if sp.get(key, 0) < 0:
+                problems.append("profile: shard %d negative %s" % (s, key))
+        if sp.get("max_epoch_events", 0) > sp.get("events", 0):
+            problems.append("profile: shard %d max_epoch_events > events" % s)
+        total_events += sp.get("events", 0)
+    if total_events > prof.get("events_fired", 0):
+        problems.append("profile: per-shard events %d exceed total %d"
+                        % (total_events, prof.get("events_fired", 0)))
+    if prof.get("critical_path_events", 0) > prof.get("events_fired", 0):
+        problems.append("profile: critical path exceeds total events")
+    return problems
+
+
+def check_slo(slo):
+    problems = []
+    for name, t in slo.get("tenants", {}).items():
+        for key in ("fast_burn_milli", "slow_burn_milli",
+                    "goodput_fast_milli", "goodput_slow_milli"):
+            if t.get(key, 0) < 0:
+                problems.append("slo: tenant %s negative %s" % (name, key))
+    # Alerts must alternate fire/clear per (tenant, kind), starting fired.
+    firing = {}
+    slot_ns = slo.get("slot_width_ns", 0)
+    for i, a in enumerate(slo.get("alerts", [])):
+        key = (a.get("tenant"), a.get("kind"))
+        if a.get("firing") == firing.get(key, False):
+            problems.append("slo: alert %d repeats state %s for %s"
+                            % (i, a.get("firing"), key))
+        firing[key] = a.get("firing")
+        if slot_ns > 0 and a.get("at_ns", 0) % slot_ns != 0:
+            problems.append("slo: alert %d not on a slot boundary" % i)
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", help="ShardedSim ProfileJson file")
+    parser.add_argument("--slo", help="SloMonitor SnapshotJson file")
+    parser.add_argument("--telemetry",
+                        help="Telemetry SnapshotJson file (counters only)")
+    parser.add_argument("--width", type=int, default=40,
+                        help="bar width in characters (default 40)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero on inconsistent inputs")
+    args = parser.parse_args()
+    if not (args.profile or args.slo or args.telemetry):
+        parser.error("give at least one of --profile, --slo, --telemetry")
+
+    problems = []
+    first = True
+    for path, loader, checker in (
+            (args.profile, render_profile, check_profile),
+            (args.telemetry, render_telemetry, None),
+            (args.slo, render_slo, check_slo)):
+        if not path:
+            continue
+        try:
+            doc = load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print("snaptop: cannot read %s: %s" % (path, err),
+                  file=sys.stderr)
+            return 2
+        if not first:
+            print()
+        first = False
+        loader(doc, args.width)
+        if args.check and checker is not None:
+            problems.extend(checker(doc))
+
+    if args.check:
+        if problems:
+            print("\nCHECK FAILED: %d problems" % len(problems),
+                  file=sys.stderr)
+            for p in problems[:20]:
+                print("  " + p, file=sys.stderr)
+            return 1
+        print("\ncheck: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,14 +16,21 @@ Reads a Chrome-trace-event JSON written by TraceRecorder (bench_sim_speed
     end-to-end latency percentiles for flows that completed;
   - per-tenant QoS admission rollup: qos_admission_block/unblock instants
     are edge-triggered per tenant, so consecutive pairs are throttle
-    episodes; reports episode count and total/max throttled time.
+    episodes; reports episode count and total/max throttled time;
+  - sharded-engine profiler rollup: prof/epoch_events counters (track 905
+    + shard * 100000 in a merged sharded trace) give per-shard event
+    share and the worst/best shard ratio, prof/epoch_imbalance_pct gives
+    the per-epoch imbalance distribution (100 = perfectly balanced);
+  - tenant SLO alerts: slo_fire:/slo_clear: instants on track 904 with
+    their burn rates at the transition.
 
 --check exits nonzero unless the trace is structurally sound: parses as
 JSON, timestamps non-negative, complete events have non-negative
 durations, every async end has a matching begin, every sampled flow
-('s'/'t'/'f' events sharing an id) starts with 's', and per-tenant QoS
-admission instants alternate block/unblock. CI smoke-runs this over a
-tiny traced rack run.
+('s'/'t'/'f' events sharing an id) starts with 's', per-tenant QoS
+admission instants alternate block/unblock, profiler counters are
+positive with imbalance >= 100, and SLO alerts alternate fire/clear per
+tenant+kind. CI smoke-runs this over a tiny traced rack run.
 
 Only the standard library is used.
 """
@@ -32,6 +39,18 @@ import argparse
 import json
 import sys
 from collections import defaultdict
+
+# Virtual tracks from TraceRecorder (src/stats/trace.h). A merged sharded
+# trace remaps shard s's events to tid + s * SHARD_STRIDE
+# (ShardedSim::kShardTrackStride), so tid % SHARD_STRIDE recovers the
+# track and tid // SHARD_STRIDE the shard.
+SLO_TRACK = 904
+PROFILER_TRACK = 905
+SHARD_STRIDE = 100000
+
+
+def track_of(tid):
+    return tid % SHARD_STRIDE, tid // SHARD_STRIDE
 
 
 def load_events(path):
@@ -178,6 +197,60 @@ def report(events, top_n):
               (tenant, len(durs), fmt_us(sum(durs)), fmt_us(max(durs)),
                still_open))
 
+    # --- Sharded-engine profiler counters. ---
+    shard_events = defaultdict(int)   # shard -> sum of epoch event deltas
+    shard_epochs = defaultdict(int)   # shard -> epochs with events
+    imbalance = []                    # per-epoch imbalance_pct samples
+    for e in events:
+        if e.get("ph") != "C":
+            continue
+        track, shard = track_of(e.get("tid", 0))
+        if track != PROFILER_TRACK:
+            continue
+        value = (e.get("args") or {}).get("value", 0)
+        if e.get("name") == "prof/epoch_events":
+            shard_events[shard] += value
+            shard_epochs[shard] += 1
+        elif e.get("name") == "prof/epoch_imbalance_pct":
+            imbalance.append(value)
+    print("\n== Sharded-engine profiler (per-shard epoch counters) ==")
+    if not shard_events:
+        print("  (no prof/ counters; profiling or tracing off)")
+    else:
+        total_events = sum(shard_events.values())
+        for shard in sorted(shard_events):
+            ev = shard_events[shard]
+            print("  shard %-3d %10d events  %5.1f%% of work  "
+                  "%8d active epochs" %
+                  (shard, ev, 100.0 * ev / total_events,
+                   shard_epochs[shard]))
+        busiest = max(shard_events.values())
+        idlest = min(shard_events.values())
+        if idlest > 0:
+            print("  worst/best shard ratio: %.2fx" % (busiest / idlest))
+        if imbalance:
+            imbalance.sort()
+            print("  epoch imbalance pct: p50 %d  p99 %d  max %d  "
+                  "(100 = balanced)" %
+                  (percentile(imbalance, 50), percentile(imbalance, 99),
+                   imbalance[-1]))
+
+    # --- Tenant SLO alerts. ---
+    slo = [e for e in events
+           if e.get("ph") == "i" and
+           track_of(e.get("tid", 0))[0] == SLO_TRACK]
+    print("\n== Tenant SLO alerts ==")
+    if not slo:
+        print("  (no SLO instants; no SloMonitor attached to the trace)")
+    for e in slo[:top_n]:
+        burn = e.get("args") or {}
+        print("  %12s  %-40s fast %7.2fx  slow %7.2fx" %
+              (fmt_us(e.get("ts", 0)), e.get("name", "?"),
+               burn.get("fast_milli", 0) / 1000.0,
+               burn.get("slow_milli", 0) / 1000.0))
+    if len(slo) > top_n:
+        print("  ... and %d more alerts" % (len(slo) - top_n))
+
 
 def check(events):
     """Structural validation; returns a list of problem strings."""
@@ -185,6 +258,7 @@ def check(events):
     opens = set()
     flow_started = set()
     admission_blocked = set()        # tenants currently in a blocked episode
+    slo_firing = {}                  # (tenant, kind) -> currently firing
     for i, e in enumerate(events):
         ph = e.get("ph")
         if "name" not in e or ph is None:
@@ -227,6 +301,28 @@ def check(events):
                         "event %d: qos_admission_unblock without block for "
                         "tenant %s" % (i, tenant))
                 admission_blocked.discard(tenant)
+        elif ph == "i" and (e["name"].startswith("slo_fire:") or
+                            e["name"].startswith("slo_clear:")):
+            firing = e["name"].startswith("slo_fire:")
+            key = e["name"].split(":", 1)[1]   # "<tenant>/<kind>"
+            if slo_firing.get(key, False) == firing:
+                problems.append(
+                    "event %d: SLO alert %s repeats state (fire/clear must "
+                    "alternate)" % (i, e["name"]))
+            slo_firing[key] = firing
+        elif ph == "C" and track_of(e.get("tid", 0))[0] == PROFILER_TRACK:
+            value = (e.get("args") or {}).get("value", 0)
+            if e["name"] == "prof/epoch_events" and value <= 0:
+                # Zero-delta epochs are suppressed at emission; a
+                # non-positive sample means the emitter broke.
+                problems.append(
+                    "event %d: non-positive prof/epoch_events %d" %
+                    (i, value))
+            elif e["name"] == "prof/epoch_imbalance_pct" and value < 100:
+                # max/total*n*100 >= 100 by construction (max >= mean).
+                problems.append(
+                    "event %d: prof/epoch_imbalance_pct %d < 100" %
+                    (i, value))
     # Open async spans (or a blocked tenant) at trace end are legal (e.g. a
     # chaos bad state when the run stops) — only report them, don't fail.
     return problems

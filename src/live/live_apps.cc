@@ -1,0 +1,130 @@
+#include "src/live/live_apps.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/kernel/kstack.h"
+#include "src/live/live_executor.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+
+// App-side CPU costs are modeled quantities; in live mode real cycles are
+// spent, so the modeled charge is accumulated and discarded.
+CpuCostSink* Sink() {
+  thread_local CpuCostSink sink;
+  return &sink;
+}
+
+bool Expired(int64_t deadline_ns) { return MonotonicTimeNs() > deadline_ns; }
+
+}  // namespace
+
+LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
+                                PonyAddress peer, int64_t expected,
+                                int64_t deadline_ns) {
+  LiveAppResult result;
+  int64_t echoes_sent = 0;
+  while (result.messages_received < expected) {
+    if (Expired(deadline_ns)) {
+      result.timed_out = true;
+      return result;
+    }
+    if (auto msg = client->PollMessage(Sink())) {
+      result.messages_received++;
+      result.bytes_received += msg->length;
+      // Echo the payload back verbatim; retry on ring backpressure.
+      while (client->SendMessage(peer, reply_stream, msg->length, msg->data,
+                                 Sink()) == 0) {
+        result.submit_backpressure++;
+        if (Expired(deadline_ns)) {
+          result.timed_out = true;
+          return result;
+        }
+        // Let send completions drain so the command ring frees up.
+        while (auto done = client->PollCompletion(Sink())) {
+          result.send_completions++;
+          if (done->status != PonyOpStatus::kOk) {
+            result.send_errors++;
+          }
+        }
+      }
+      echoes_sent++;
+    }
+    while (auto done = client->PollCompletion(Sink())) {
+      result.send_completions++;
+      if (done->status != PonyOpStatus::kOk) {
+        result.send_errors++;
+      }
+    }
+  }
+  // Drain remaining send completions so the transport's work is accounted.
+  while (result.send_completions < echoes_sent) {
+    if (Expired(deadline_ns)) {
+      result.timed_out = true;
+      break;
+    }
+    while (auto done = client->PollCompletion(Sink())) {
+      result.send_completions++;
+      if (done->status != PonyOpStatus::kOk) {
+        result.send_errors++;
+      }
+    }
+  }
+  return result;
+}
+
+LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
+                               PonyAddress peer, int iterations,
+                               int64_t message_bytes, int outstanding,
+                               int64_t deadline_ns) {
+  SNAP_CHECK_GE(message_bytes, 16) << "payload carries seq + timestamp";
+  SNAP_CHECK_GE(outstanding, 1);
+  LiveAppResult result;
+  result.rtt_ns.reserve(static_cast<size_t>(iterations));
+  int64_t sent = 0;
+  int64_t in_flight = 0;
+  std::vector<uint8_t> payload(static_cast<size_t>(message_bytes), 0xa5);
+  while (result.rpcs_completed < iterations) {
+    if (Expired(deadline_ns)) {
+      result.timed_out = true;
+      break;
+    }
+    // Top up the closed-loop window.
+    while (in_flight < outstanding && sent < iterations) {
+      uint64_t seq = static_cast<uint64_t>(sent);
+      int64_t now = MonotonicTimeNs();
+      std::memcpy(payload.data(), &seq, sizeof(seq));
+      std::memcpy(payload.data() + 8, &now, sizeof(now));
+      if (client->SendMessage(peer, stream, message_bytes, payload, Sink()) ==
+          0) {
+        result.submit_backpressure++;
+        break;  // ring full; poll before retrying
+      }
+      sent++;
+      in_flight++;
+    }
+    while (auto done = client->PollCompletion(Sink())) {
+      result.send_completions++;
+      if (done->status != PonyOpStatus::kOk) {
+        result.send_errors++;
+      }
+    }
+    while (auto msg = client->PollMessage(Sink())) {
+      result.messages_received++;
+      result.bytes_received += msg->length;
+      in_flight--;
+      result.rpcs_completed++;
+      if (msg->data.size() >= 16) {
+        int64_t sent_at = 0;
+        std::memcpy(&sent_at, msg->data.data() + 8, sizeof(sent_at));
+        result.rtt_ns.push_back(MonotonicTimeNs() - sent_at);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace snap

@@ -1,0 +1,50 @@
+// Live application drivers: real threads talking to Pony engines over the
+// SPSC command/completion rings — the paper's "applications ... spin-poll
+// the completion queue" mode (Section 3.1).
+//
+// Streams are created in the setup phase (CreateStream mutates engine
+// maps, which only the engine thread may touch once running), so each
+// driver takes its pre-created stream id. Latency is measured end-to-end
+// on the client thread: the send timestamp rides in the message payload
+// and comes back in the echo.
+#ifndef SRC_LIVE_LIVE_APPS_H_
+#define SRC_LIVE_LIVE_APPS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/pony/client.h"
+#include "src/pony/pony_types.h"
+
+namespace snap {
+
+struct LiveAppResult {
+  int64_t rpcs_completed = 0;       // echoes received (client)
+  int64_t messages_received = 0;
+  int64_t bytes_received = 0;
+  int64_t send_completions = 0;
+  int64_t send_errors = 0;          // completions with non-OK status
+  int64_t submit_backpressure = 0;  // SendMessage returned 0 (queue full)
+  bool timed_out = false;
+  std::vector<int64_t> rtt_ns;      // per-RPC round-trip (client only)
+};
+
+// Echoes `expected` incoming messages back to `peer` on `reply_stream`,
+// then drains its own send completions. Sets timed_out and returns early
+// if `deadline_ns` (raw MonotonicTimeNs clock) passes.
+LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
+                                PonyAddress peer, int64_t expected,
+                                int64_t deadline_ns);
+
+// Closed-loop RPC client: keeps up to `outstanding` messages of
+// `message_bytes` (>= 16; the first 16 bytes carry seq + send timestamp)
+// in flight on `stream` until `iterations` echoes return.
+LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
+                               PonyAddress peer, int iterations,
+                               int64_t message_bytes, int outstanding,
+                               int64_t deadline_ns);
+
+}  // namespace snap
+
+#endif  // SRC_LIVE_LIVE_APPS_H_

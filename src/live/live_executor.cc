@@ -1,0 +1,171 @@
+#include "src/live/live_executor.h"
+
+#include <chrono>
+
+#include "src/util/logging.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace snap {
+
+int64_t MonotonicTimeNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+void PinToCore(int core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  // Best-effort: a container may expose fewer cores than requested; the
+  // thread still runs correctly unpinned.
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+LiveExecutor::LiveExecutor(uint64_t seed, int64_t epoch_ns, Options options)
+    : Substrate(seed), options_(std::move(options)), epoch_ns_(epoch_ns) {
+  set_now(MonotonicTimeNs() - epoch_ns_);
+}
+
+LiveExecutor::~LiveExecutor() { Stop(); }
+
+void LiveExecutor::AddEngine(Engine* engine) {
+  SNAP_CHECK(!running()) << "AddEngine after Start";
+  engines_.push_back(engine);
+  engine->SetWakeHook([this] { Wake(); });
+}
+
+void LiveExecutor::SetPollHook(std::function<int()> hook) {
+  SNAP_CHECK(!running()) << "SetPollHook after Start";
+  poll_hook_ = std::move(hook);
+}
+
+EventHandle LiveExecutor::ScheduleAt(SimTime when, EventQueue::Callback cb) {
+  // Late deadlines are normal on a wall clock; clamp instead of CHECK.
+  SimTime at = std::max(when, now());
+  return events_.ScheduleAt(at, std::move(cb));
+}
+
+void LiveExecutor::Start() {
+  SNAP_CHECK(!running()) << "executor already started";
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void LiveExecutor::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_seq_cst);
+  Wake();
+  thread_.join();
+}
+
+void LiveExecutor::Wake() {
+  wakes_.fetch_add(1, std::memory_order_relaxed);
+  wake_pending_.store(true, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst)) {
+    // Empty critical section: serialize with the thread entering wait so
+    // the notify cannot land between its predicate check and the wait.
+    { std::lock_guard<std::mutex> lock(park_mutex_); }
+    park_cv_.notify_one();
+  }
+}
+
+int LiveExecutor::RunDueTimers(SimTime now) {
+  int fired = 0;
+  SimTime when = 0;
+  EventQueue::Callback cb;
+  while (!events_.empty() && events_.NextEventTime() <= now) {
+    if (!events_.PopNext(&when, &cb)) {
+      break;
+    }
+    // Unlike the simulator, callbacks observe now() == the loop's clock
+    // read, which may be later than their deadline (late timers fire on
+    // the iteration that discovers them).
+    cb();
+    ++fired;
+  }
+  timer_fires_.fetch_add(fired, std::memory_order_relaxed);
+  return fired;
+}
+
+void LiveExecutor::Park(SimTime now) {
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  SimDuration wait = options_.max_park;
+  if (!events_.empty()) {
+    wait = std::min(wait, events_.NextEventTime() - now);
+  }
+  if (wait <= 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(park_mutex_);
+  parked_.store(true, std::memory_order_seq_cst);
+  park_cv_.wait_for(lock, std::chrono::nanoseconds(wait), [this] {
+    return wake_pending_.load(std::memory_order_seq_cst) ||
+           stop_.load(std::memory_order_relaxed);
+  });
+  parked_.store(false, std::memory_order_seq_cst);
+}
+
+void LiveExecutor::Run() {
+  if (options_.cpu_affinity >= 0) {
+    PinToCore(options_.cpu_affinity);
+  }
+  SimTime last_work = MonotonicTimeNs() - epoch_ns_;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    SimTime now = MonotonicTimeNs() - epoch_ns_;
+    set_now(now);
+    loop_iterations_.fetch_add(1, std::memory_order_relaxed);
+    // Consume the doorbell before polling: anything rung after this point
+    // triggers another full pass instead of being absorbed by this one.
+    wake_pending_.store(false, std::memory_order_seq_cst);
+
+    int64_t work = RunDueTimers(now);
+    if (poll_hook_) {
+      work += poll_hook_();
+    }
+    for (Engine* engine : engines_) {
+      if (engine->RunMailbox() > 0) {
+        ++work;
+      }
+      Engine::PollResult r = engine->Poll(now, options_.poll_budget);
+      work += r.work_items;
+    }
+    telemetry().MaybeSampleSeries(now);
+
+    if (work > 0) {
+      work_items_.fetch_add(work, std::memory_order_relaxed);
+      last_work = now;
+      continue;
+    }
+    if (now - last_work < options_.spin_before_park) {
+      continue;  // busy-poll window: lowest wake latency
+    }
+    Park(now);
+  }
+}
+
+LiveExecutor::Stats LiveExecutor::GetStats() const {
+  Stats s;
+  s.loop_iterations = loop_iterations_.load(std::memory_order_relaxed);
+  s.work_items = work_items_.load(std::memory_order_relaxed);
+  s.timer_fires = timer_fires_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakes = wakes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace snap

@@ -1,0 +1,132 @@
+// LiveExecutor: the live implementation of the Substrate interface — one
+// OS thread that runs a set of engines for real.
+//
+// This is the "engine scheduling runtime" of the paper's dedicating-cores
+// mode (Section 2.4) made literal: the thread spin-polls its engines,
+// optionally pinned to a core, and parks on a condition variable after a
+// configurable idle window so an idle stack costs ~0 CPU. The clock is
+// CLOCK_MONOTONIC nanoseconds since a shared runtime epoch, so SimTime
+// values stay small, comparable across the executors of one LiveRuntime,
+// and directly usable as trace timestamps.
+//
+// Threading contract:
+//  - Engines, the NIC, and all timers belong to the executor thread.
+//    AddEngine / ScheduleAt / SetPollHook are setup-thread-only before
+//    Start(); after Start(), ScheduleAt may only be called from the
+//    executor thread (engines re-arming their own wake timers).
+//  - Wake() is callable from any thread — it is the doorbell the SPSC
+//    rings ring: application submit, loopback push, UDP peer.
+//  - now() (Substrate) is a relaxed atomic read, callable from any thread.
+//
+// Timers reuse the simulator's EventQueue/EventHandle machinery
+// unchanged. One live-only difference: a deadline already in the past is
+// clamped to "now" instead of CHECK-failing — wall clocks advance between
+// computing a deadline and scheduling it, so late deadlines are normal
+// here and simply fire on the next loop iteration.
+#ifndef SRC_LIVE_LIVE_EXECUTOR_H_
+#define SRC_LIVE_LIVE_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/substrate.h"
+#include "src/snap/engine.h"
+#include "src/util/time_types.h"
+
+namespace snap {
+
+// Nanoseconds on the monotonic clock (the live time base).
+int64_t MonotonicTimeNs();
+
+class LiveExecutor final : public Substrate {
+ public:
+  struct Options {
+    std::string name = "live";
+    // Core to pin the thread to; -1 leaves placement to the OS.
+    int cpu_affinity = -1;
+    // Per-engine budget handed to Engine::Poll each pass.
+    SimDuration poll_budget = 100 * kUsec;
+    // Busy-poll this long after the last productive pass before parking.
+    SimDuration spin_before_park = 50 * kUsec;
+    // Longest single park: bounds staleness for event sources that cannot
+    // ring Wake() (a UDP peer in another process).
+    SimDuration max_park = 100 * kUsec;
+  };
+
+  // `epoch_ns` is the monotonic-clock origin of this executor's timeline;
+  // every executor of a runtime shares one epoch so their clocks agree.
+  LiveExecutor(uint64_t seed, int64_t epoch_ns, Options options);
+  ~LiveExecutor() override;
+
+  // --- Setup (before Start) ---
+  void AddEngine(Engine* engine);
+  // Runs on the executor thread once per loop iteration, before engine
+  // polls; returns the number of work items it produced (fabric drains
+  // deliver inbound packets here). At most one hook.
+  void SetPollHook(std::function<int()> hook);
+
+  // --- Substrate ---
+  EventHandle ScheduleAt(SimTime when, EventQueue::Callback cb) override;
+
+  // --- Run control ---
+  void Start();
+  // Signals the thread and joins it. Idempotent.
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  // Thread-safe doorbell: wakes the thread if parked. Cheap when it is
+  // already running (two uncontended atomic ops).
+  void Wake();
+
+  const std::string& name() const { return options_.name; }
+
+  struct Stats {
+    int64_t loop_iterations = 0;
+    int64_t work_items = 0;   // engine + hook + timer work
+    int64_t timer_fires = 0;
+    int64_t parks = 0;        // times the thread blocked when idle
+    int64_t wakes = 0;        // cross-thread Wake() calls
+  };
+  // Loop counters are written by the executor thread only; read them after
+  // Stop() for exact values (mid-run reads are tearing-free but stale).
+  Stats GetStats() const;
+
+ private:
+  void Run();
+  int RunDueTimers(SimTime now);
+  void Park(SimTime now);
+
+  Options options_;
+  int64_t epoch_ns_;
+  EventQueue events_;
+  std::vector<Engine*> engines_;
+  std::function<int()> poll_hook_;
+  std::thread thread_;
+
+  std::atomic<bool> stop_{false};
+  // Parking handshake (Dekker-style, seq_cst): the producer stores
+  // wake_pending_ then loads parked_; the thread stores parked_ (under
+  // the mutex) then loads wake_pending_. One side always observes the
+  // other, so no wake is lost without taking the mutex on the fast path.
+  std::atomic<bool> wake_pending_{false};
+  std::atomic<bool> parked_{false};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+
+  std::atomic<int64_t> loop_iterations_{0};
+  std::atomic<int64_t> work_items_{0};
+  std::atomic<int64_t> timer_fires_{0};
+  std::atomic<int64_t> parks_{0};
+  std::atomic<int64_t> wakes_{0};
+};
+
+}  // namespace snap
+
+#endif  // SRC_LIVE_LIVE_EXECUTOR_H_

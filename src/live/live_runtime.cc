@@ -1,0 +1,198 @@
+#include "src/live/live_runtime.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+std::unique_ptr<PonyClient> LiveHost::CreateClient(
+    const std::string& app_name) {
+  SNAP_CHECK(!executor_->running()) << "CreateClient is setup-phase only";
+  // Same global-uniqueness scheme as PonyModule::CreateClient: stream ids
+  // derive from client ids and demux at remote engines.
+  uint64_t client_id =
+      (static_cast<uint64_t>(host_id_ + 1) << 20) | next_client_id_++;
+  auto client = std::make_unique<PonyClient>(app_name, client_id,
+                                             engine_.get(), app_params_);
+  engine_->AttachClient(client.get());
+  return client;
+}
+
+LiveRuntime::LiveRuntime(const Options& options)
+    : options_(options), epoch_ns_(MonotonicTimeNs()) {
+  PacketEgress* egress = nullptr;
+  if (options_.fabric == FabricKind::kLoopback) {
+    loopback_ = std::make_unique<LoopbackFabric>(options_.num_hosts,
+                                                 options_.loopback);
+    egress = loopback_.get();
+  } else {
+    udp_ = std::make_unique<UdpFabric>(options_.num_hosts, options_.udp);
+    egress = udp_.get();
+  }
+  for (int h = 0; h < options_.num_hosts; ++h) {
+    auto host = std::unique_ptr<LiveHost>(new LiveHost());
+    host->host_id_ = h;
+    host->app_params_ = options_.app;
+    LiveExecutor::Options exec = options_.executor;
+    exec.name = "live-h" + std::to_string(h);
+    if (options_.pin_threads) {
+      exec.cpu_affinity = options_.pin_base_core + h;
+    }
+    host->executor_ = std::make_unique<LiveExecutor>(
+        options_.seed + static_cast<uint64_t>(h), epoch_ns_, exec);
+    host->nic_ = std::make_unique<Nic>(host->executor_.get(), egress, h,
+                                       options_.nic);
+    host->engine_ = std::make_unique<PonyEngine>(
+        "pony-h" + std::to_string(h), host->executor_.get(),
+        host->nic_.get(), directory_.AllocateEngineId(), options_.pony,
+        options_.timely, &directory_);
+    host->executor_->AddEngine(host->engine_.get());
+    hosts_.push_back(std::move(host));
+  }
+}
+
+LiveRuntime::~LiveRuntime() { Stop(); }
+
+Status LiveRuntime::Init() {
+  if (udp_ != nullptr) {
+    Status bound = udp_->Init();
+    if (!bound.ok()) {
+      return bound;
+    }
+  }
+  for (auto& host : hosts_) {
+    int h = host->host_id_;
+    Nic* nic = host->nic_.get();
+    LiveExecutor* exec = host->executor_.get();
+    if (loopback_ != nullptr) {
+      loopback_->AddHost(h, nic, exec);
+      LoopbackFabric* fabric = loopback_.get();
+      exec->SetPollHook([fabric, h] { return fabric->DrainTo(h); });
+    } else {
+      udp_->AddHost(h, nic, exec);
+      UdpFabric* fabric = udp_.get();
+      exec->SetPollHook([fabric, h] { return fabric->DrainTo(h); });
+    }
+  }
+  return OkStatus();
+}
+
+void LiveRuntime::EnableQos(const qos::TenantRegistry* tenants) {
+  SNAP_CHECK(!started_) << "EnableQos is setup-phase only";
+  for (auto& host : hosts_) {
+    host->engine_->EnableQos(tenants);
+    host->nic_->EnableQosTx(tenants);
+  }
+}
+
+void LiveRuntime::EnableSeriesSampling(SimDuration bucket_width,
+                                       int max_buckets) {
+  SNAP_CHECK(!started_) << "EnableSeriesSampling is setup-phase only";
+  for (auto& host : hosts_) {
+    host->executor_->telemetry().EnableSeriesSampling(bucket_width,
+                                                      max_buckets);
+  }
+}
+
+void LiveRuntime::EnableTracing() {
+  SNAP_CHECK(!started_) << "EnableTracing is setup-phase only";
+  for (auto& host : hosts_) {
+    host->tracer_ = std::make_unique<TraceRecorder>();
+    host->executor_->set_tracer(host->tracer_.get());
+  }
+}
+
+void LiveRuntime::Start() {
+  SNAP_CHECK(!started_) << "runtime already started";
+  started_ = true;
+  for (auto& host : hosts_) {
+    host->executor_->Start();
+  }
+}
+
+void LiveRuntime::Stop() {
+  for (auto& host : hosts_) {
+    host->executor_->Stop();
+  }
+  if (!started_ || stopped_) {
+    return;  // publish once, on the started -> stopped transition; the
+             // QoS registry may not outlive the first Stop()
+  }
+  stopped_ = true;
+  // Threads are joined: publish each host's final engine/executor stats
+  // into its registry (same shape sim scenarios export), so MergeTelemetry
+  // sees the run.
+  for (auto& host : hosts_) {
+    Telemetry& t = host->executor_->telemetry();
+    const std::string base = "live/h" + std::to_string(host->host_id_);
+    const PonyEngine::Stats& es = host->engine_->stats();
+    t.SetCounter(base + "/engine_tx_packets", es.tx_packets);
+    t.SetCounter(base + "/engine_rx_packets", es.rx_packets);
+    t.SetCounter(base + "/messages_delivered", es.messages_delivered);
+    t.SetCounter(base + "/goodput_bytes", es.message_bytes_delivered);
+    t.SetCounter(base + "/completions", es.completions);
+    t.SetCounter(base + "/op_errors", es.op_errors);
+    t.SetCounter(base + "/crc_drops", es.crc_drops);
+    LiveExecutor::Stats xs = host->executor_->GetStats();
+    t.SetCounter(base + "/loop_iterations", xs.loop_iterations);
+    t.SetCounter(base + "/work_items", xs.work_items);
+    t.SetCounter(base + "/timer_fires", xs.timer_fires);
+    t.SetCounter(base + "/parks", xs.parks);
+    t.SetCounter(base + "/wakes", xs.wakes);
+    host->engine_->ExportQosStats(&t, base + "/qos");
+  }
+}
+
+void LiveRuntime::MergeTelemetry(Telemetry* out) const {
+  for (const auto& host : hosts_) {
+    out->MergeFrom(host->executor_->telemetry());
+  }
+}
+
+std::unique_ptr<TraceRecorder> LiveRuntime::MergedTrace() const {
+  auto merged = std::make_unique<TraceRecorder>();
+  struct Ref {
+    SimTime ts;
+    int host;
+    size_t index;
+  };
+  std::vector<Ref> refs;
+  for (int h = 0; h < num_hosts(); ++h) {
+    const TraceRecorder* tracer = hosts_[h]->tracer_.get();
+    if (tracer == nullptr) {
+      continue;
+    }
+    const auto& events = tracer->events();
+    for (size_t i = 0; i < events.size(); ++i) {
+      refs.push_back(Ref{events[i].ts, h, i});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.host != b.host) return a.host < b.host;
+    return a.index < b.index;
+  });
+  for (const Ref& r : refs) {
+    TraceEvent event = hosts_[r.host]->tracer_->events()[r.index];
+    event.tid += r.host * kHostTrackStride;
+    merged->AppendRaw(std::move(event));
+  }
+  return merged;
+}
+
+LiveRuntime::FabricStats LiveRuntime::GetFabricStats() const {
+  FabricStats s;
+  if (loopback_ != nullptr) {
+    LoopbackFabric::Stats f = loopback_->GetStats();
+    s.delivered = f.delivered;
+    s.dropped = f.dropped_ring_full + f.dropped_bad_address;
+  } else if (udp_ != nullptr) {
+    UdpFabric::Stats f = udp_->GetStats();
+    s.delivered = f.delivered;
+    s.dropped = f.dropped_send + f.dropped_decode + f.dropped_bad_address;
+  }
+  return s;
+}
+
+}  // namespace snap

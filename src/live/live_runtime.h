@@ -1,0 +1,144 @@
+// LiveRuntime: assembles a rack of live hosts — per-host LiveExecutor +
+// Nic + PonyEngine over a shared fabric (loopback rings or UDP sockets) —
+// and runs them on real OS threads.
+//
+// This is the "one codebase, simulated and real" endpoint (ROADMAP item
+// 2): the engines, NIC model, QoS elements and telemetry are the exact
+// objects the simulator drives; only the substrate underneath differs.
+// Apps attach PonyClients and talk to engines over the same SPSC
+// command/completion rings, now genuinely concurrent.
+//
+// Phases and their threading rules:
+//  1. Construction + client/stream setup: single-threaded. Everything that
+//     mutates engine maps — CreateClient, CreateStream on the client,
+//     QoS enablement, tracing — happens here.
+//  2. Start()..Stop(): engine threads run. Apps may only submit commands,
+//     poll completions/messages, and read the clock.
+//  3. After Stop(): single-threaded again; stats, telemetry merges and
+//     trace extraction are exact.
+#ifndef SRC_LIVE_LIVE_RUNTIME_H_
+#define SRC_LIVE_LIVE_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/live/live_executor.h"
+#include "src/live/loopback_fabric.h"
+#include "src/live/udp_fabric.h"
+#include "src/net/nic.h"
+#include "src/pony/client.h"
+#include "src/pony/pony_engine.h"
+#include "src/qos/tenant.h"
+#include "src/sim/model_params.h"
+#include "src/stats/telemetry.h"
+#include "src/stats/trace.h"
+#include "src/util/status.h"
+
+namespace snap {
+
+class LiveRuntime;
+
+// One live machine: an executor thread hosting one Pony engine on one NIC.
+class LiveHost {
+ public:
+  LiveExecutor* executor() { return executor_.get(); }
+  Nic* nic() { return nic_.get(); }
+  PonyEngine* engine() { return engine_.get(); }
+  int host_id() const { return host_id_; }
+
+  // Application bootstrap (setup phase only): command/completion rings
+  // shared with the engine. Client ids follow the sim's global-uniqueness
+  // scheme so stream ids never collide across hosts.
+  std::unique_ptr<PonyClient> CreateClient(const std::string& app_name);
+
+ private:
+  friend class LiveRuntime;
+  LiveHost() = default;
+
+  int host_id_ = -1;
+  AppParams app_params_;
+  uint64_t next_client_id_ = 1;
+  std::unique_ptr<LiveExecutor> executor_;
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<PonyEngine> engine_;
+  std::unique_ptr<TraceRecorder> tracer_;
+};
+
+class LiveRuntime {
+ public:
+  enum class FabricKind { kLoopback, kUdp };
+
+  struct Options {
+    int num_hosts = 2;
+    FabricKind fabric = FabricKind::kLoopback;
+    NicParams nic;
+    PonyParams pony;
+    TimelyParams timely;
+    AppParams app;
+    LiveExecutor::Options executor;
+    LoopbackFabric::Options loopback;
+    UdpFabric::Options udp;
+    // Pin host i's engine thread to core (pin_base_core + i).
+    bool pin_threads = false;
+    int pin_base_core = 0;
+    uint64_t seed = 1;
+  };
+
+  explicit LiveRuntime(const Options& options);
+  ~LiveRuntime();
+
+  // Binds sockets (UDP) and wires poll hooks. Call once before Start().
+  Status Init();
+
+  LiveHost* host(int i) { return hosts_[i].get(); }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  PonyDirectory* directory() { return &directory_; }
+
+  // Setup phase: enables DRR flow scheduling on every engine and WFQ TX
+  // on every NIC. `tenants` must outlive the runtime.
+  void EnableQos(const qos::TenantRegistry* tenants);
+  // Setup phase: arms fixed-memory series sampling on every host's
+  // registry; the executors self-pace samples off the wall clock.
+  void EnableSeriesSampling(SimDuration bucket_width, int max_buckets = 64);
+  // Setup phase: attaches one flight recorder per host (wall-clock
+  // timestamps on the shared runtime epoch).
+  void EnableTracing();
+
+  void Start();
+  void Stop();  // idempotent; joins all engine threads
+
+  // Monotonic nanoseconds since the runtime epoch — the same timeline the
+  // executors and trace events use. Thread-safe.
+  SimTime NowNs() const { return MonotonicTimeNs() - epoch_ns_; }
+
+  // Post-Stop(): folds every host's registry into `out` (counters summed,
+  // histograms merged, gauges snapshotted).
+  void MergeTelemetry(Telemetry* out) const;
+
+  // Post-Stop(): one deterministic trace — events of all hosts interleaved
+  // by timestamp (shared epoch makes them comparable), host tracks offset
+  // by kHostTrackStride like the sharded sim's merge.
+  static constexpr int kHostTrackStride = 100000;
+  std::unique_ptr<TraceRecorder> MergedTrace() const;
+
+  struct FabricStats {
+    int64_t delivered = 0;
+    int64_t dropped = 0;
+  };
+  FabricStats GetFabricStats() const;
+
+ private:
+  Options options_;
+  int64_t epoch_ns_;
+  PonyDirectory directory_;
+  std::unique_ptr<LoopbackFabric> loopback_;
+  std::unique_ptr<UdpFabric> udp_;
+  std::vector<std::unique_ptr<LiveHost>> hosts_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace snap
+
+#endif  // SRC_LIVE_LIVE_RUNTIME_H_

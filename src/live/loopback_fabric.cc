@@ -1,0 +1,87 @@
+#include "src/live/loopback_fabric.h"
+
+#include "src/util/logging.h"
+
+namespace snap {
+
+LoopbackFabric::LoopbackFabric(int num_hosts)
+    : LoopbackFabric(num_hosts, Options()) {}
+
+LoopbackFabric::LoopbackFabric(int num_hosts, Options options)
+    : num_hosts_(num_hosts), options_(options) {
+  SNAP_CHECK_GT(num_hosts, 0);
+  rings_.reserve(static_cast<size_t>(num_hosts) * num_hosts);
+  for (int i = 0; i < num_hosts * num_hosts; ++i) {
+    rings_.push_back(std::make_unique<Ring>(options_.ring_entries));
+  }
+  nics_.resize(num_hosts, nullptr);
+  executors_.resize(num_hosts, nullptr);
+  for (int i = 0; i < num_hosts; ++i) {
+    delivered_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    dropped_full_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  }
+}
+
+LoopbackFabric::~LoopbackFabric() {
+  // Reclaim packets still in flight (executors must already be stopped).
+  for (auto& ring : rings_) {
+    while (auto p = ring->TryPop()) {
+      delete *p;
+    }
+  }
+}
+
+void LoopbackFabric::AddHost(int host_id, Nic* nic, LiveExecutor* executor) {
+  SNAP_CHECK_GE(host_id, 0);
+  SNAP_CHECK_LT(host_id, num_hosts_);
+  SNAP_CHECK(nics_[host_id] == nullptr) << "host registered twice";
+  nics_[host_id] = nic;
+  executors_[host_id] = executor;
+}
+
+void LoopbackFabric::Route(PacketPtr packet, SimTime wire_time) {
+  (void)wire_time;  // the wire has no modeled delay in-process
+  int dst = packet->dst_host;
+  if (dst < 0 || dst >= num_hosts_ || nics_[dst] == nullptr) {
+    dropped_bad_address_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  int src = packet->src_host;
+  SNAP_CHECK_GE(src, 0);
+  SNAP_CHECK_LT(src, num_hosts_);
+  if (!ring(src, dst).TryPush(packet.get())) {
+    dropped_full_[src]->fetch_add(1, std::memory_order_relaxed);
+    return;  // lossy fabric: the transport retransmits
+  }
+  packet.release();  // the ring owns it now
+  executors_[dst]->Wake();
+}
+
+int LoopbackFabric::DrainTo(int dst_host) {
+  int delivered = 0;
+  Nic* nic = nics_[dst_host];
+  for (int src = 0; src < num_hosts_; ++src) {
+    Ring& r = ring(src, dst_host);
+    while (auto p = r.TryPop()) {
+      nic->DeliverFromWire(PacketPtr(*p));
+      ++delivered;
+    }
+  }
+  if (delivered > 0) {
+    delivered_[dst_host]->fetch_add(delivered, std::memory_order_relaxed);
+  }
+  return delivered;
+}
+
+LoopbackFabric::Stats LoopbackFabric::GetStats() const {
+  Stats s;
+  for (int i = 0; i < num_hosts_; ++i) {
+    s.delivered += delivered_[i]->load(std::memory_order_relaxed);
+    s.dropped_ring_full += dropped_full_[i]->load(std::memory_order_relaxed);
+  }
+  s.dropped_bad_address =
+      dropped_bad_address_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace snap

@@ -1,0 +1,163 @@
+#include "src/live/udp_fabric.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/packet/wire.h"
+#include "src/util/logging.h"
+
+namespace snap {
+
+namespace {
+// Largest frame we expect: headers + a 5kB-MTU payload, with slack.
+constexpr size_t kMaxFrameBytes = 16 * 1024;
+}  // namespace
+
+UdpFabric::UdpFabric(int num_hosts) : UdpFabric(num_hosts, Options()) {}
+
+UdpFabric::UdpFabric(int num_hosts, Options options)
+    : num_hosts_(num_hosts), options_(std::move(options)) {
+  SNAP_CHECK_GT(num_hosts, 0);
+  fds_.resize(num_hosts, -1);
+  ports_.resize(num_hosts, 0);
+  nics_.resize(num_hosts, nullptr);
+  executors_.resize(num_hosts, nullptr);
+  for (int i = 0; i < num_hosts; ++i) {
+    delivered_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    dropped_send_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    dropped_decode_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  }
+}
+
+UdpFabric::~UdpFabric() {
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+Status UdpFabric::Init() {
+  for (int h = 0; h < num_hosts_; ++h) {
+    int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) {
+      return InternalError(std::string("socket: ") + strerror(errno));
+    }
+    fds_[h] = fd;
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      return InternalError(std::string("fcntl: ") + strerror(errno));
+    }
+    if (options_.socket_buffer_bytes > 0) {
+      // Best-effort: the kernel clamps to its limits.
+      int bytes = options_.socket_buffer_bytes;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    if (::inet_pton(AF_INET, options_.address.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("bad address: " + options_.address);
+    }
+    uint16_t want =
+        options_.base_port == 0
+            ? 0
+            : static_cast<uint16_t>(options_.base_port + h);
+    addr.sin_port = htons(want);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return InternalError(std::string("bind: ") + strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      return InternalError(std::string("getsockname: ") + strerror(errno));
+    }
+    ports_[h] = ntohs(bound.sin_port);
+  }
+  return OkStatus();
+}
+
+void UdpFabric::AddHost(int host_id, Nic* nic, LiveExecutor* executor) {
+  SNAP_CHECK_GE(host_id, 0);
+  SNAP_CHECK_LT(host_id, num_hosts_);
+  SNAP_CHECK(fds_[host_id] >= 0) << "AddHost before Init";
+  SNAP_CHECK(nics_[host_id] == nullptr) << "host registered twice";
+  nics_[host_id] = nic;
+  executors_[host_id] = executor;
+}
+
+void UdpFabric::Route(PacketPtr packet, SimTime wire_time) {
+  (void)wire_time;
+  int dst = packet->dst_host;
+  int src = packet->src_host;
+  if (dst < 0 || dst >= num_hosts_ || src < 0 || src >= num_hosts_) {
+    dropped_bad_address_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Reused per engine thread: encoding allocates nothing at steady state.
+  thread_local std::vector<uint8_t> frame;
+  Status encoded = EncodeWireFrame(*packet, &frame);
+  if (!encoded.ok()) {
+    dropped_send_[src]->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  ::inet_pton(AF_INET, options_.address.c_str(), &to.sin_addr);
+  to.sin_port = htons(ports_[dst]);
+  ssize_t sent = ::sendto(fds_[src], frame.data(), frame.size(), 0,
+                          reinterpret_cast<sockaddr*>(&to), sizeof(to));
+  if (sent < 0) {
+    // EAGAIN/ENOBUFS: the socket buffer is the congested egress port.
+    dropped_send_[src]->fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // In-process peers get their doorbell rung; remote peers rely on the
+  // receiver's bounded park.
+  if (executors_[dst] != nullptr) {
+    executors_[dst]->Wake();
+  }
+}
+
+int UdpFabric::DrainTo(int dst_host) {
+  int delivered = 0;
+  Nic* nic = nics_[dst_host];
+  int fd = fds_[dst_host];
+  uint8_t buf[kMaxFrameBytes];
+  for (int i = 0; i < options_.recv_batch; ++i) {
+    ssize_t n = ::recvfrom(fd, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (n < 0) {
+      break;  // EAGAIN: drained
+    }
+    StatusOr<PacketPtr> decoded = DecodeWireFrame(buf, static_cast<size_t>(n));
+    if (!decoded.ok()) {
+      dropped_decode_[dst_host]->fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    nic->DeliverFromWire(std::move(*decoded));
+    ++delivered;
+  }
+  if (delivered > 0) {
+    delivered_[dst_host]->fetch_add(delivered, std::memory_order_relaxed);
+  }
+  return delivered;
+}
+
+UdpFabric::Stats UdpFabric::GetStats() const {
+  Stats s;
+  for (int i = 0; i < num_hosts_; ++i) {
+    s.delivered += delivered_[i]->load(std::memory_order_relaxed);
+    s.dropped_send += dropped_send_[i]->load(std::memory_order_relaxed);
+    s.dropped_decode += dropped_decode_[i]->load(std::memory_order_relaxed);
+  }
+  s.dropped_bad_address =
+      dropped_bad_address_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace snap

@@ -1,0 +1,91 @@
+// UdpFabric: live fabric over real UDP sockets — one socket per host NIC,
+// real Pony Express frames on the wire (src/packet/wire.h full-frame
+// codec).
+//
+// Each host binds its own non-blocking datagram socket; Route() encodes
+// the packet and sendto()s it from the source host's engine thread, and
+// the destination's poll hook recvfrom()s in batches, decodes, and hands
+// packets to its NIC. Within one process this exercises the kernel's
+// loopback path; the address table is plain (address, port) pairs, so the
+// same code spans processes or machines once peers agree on ports.
+//
+// UDP is allowed to drop, duplicate, and reorder — exactly the lossy
+// fabric contract Pony Express is built against, so no reliability shim
+// sits between the socket and the transport. A send that fails with
+// EAGAIN (full socket buffer) counts as a fabric drop for the same
+// reason. Peers in other processes cannot ring a parked executor's
+// doorbell; LiveExecutor's bounded max_park covers that gap.
+#ifndef SRC_LIVE_UDP_FABRIC_H_
+#define SRC_LIVE_UDP_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/live/live_executor.h"
+#include "src/net/egress.h"
+#include "src/net/nic.h"
+#include "src/util/status.h"
+
+namespace snap {
+
+class UdpFabric : public PacketEgress {
+ public:
+  struct Options {
+    // Local address to bind every host socket on.
+    std::string address = "127.0.0.1";
+    // First port; host h binds base_port + h. 0 lets the kernel pick free
+    // ports (single-process runs, no port conflicts across CI jobs).
+    uint16_t base_port = 0;
+    // Datagrams drained per DrainTo call (bounds time in the poll hook).
+    int recv_batch = 64;
+    // Socket buffer request (0 keeps the kernel default).
+    int socket_buffer_bytes = 1 << 20;
+  };
+
+  explicit UdpFabric(int num_hosts);
+  UdpFabric(int num_hosts, Options options);
+  ~UdpFabric() override;
+
+  // Creates and binds all sockets; must succeed before AddHost/Start.
+  Status Init();
+
+  // Setup-thread-only, after Init().
+  void AddHost(int host_id, Nic* nic, LiveExecutor* executor);
+
+  // PacketEgress; called on the source host's engine thread.
+  void Route(PacketPtr packet, SimTime wire_time) override;
+
+  // Drains up to recv_batch datagrams for `dst_host` into its NIC; called
+  // from that host's executor thread. Returns packets delivered.
+  int DrainTo(int dst_host);
+
+  int num_hosts() const { return num_hosts_; }
+  // Port host `h` is bound to (after Init); useful when base_port was 0.
+  uint16_t port(int host) const { return ports_[host]; }
+
+  struct Stats {
+    int64_t delivered = 0;
+    int64_t dropped_send = 0;    // sendto failed (buffer full etc.)
+    int64_t dropped_decode = 0;  // undecodable / stray datagram
+    int64_t dropped_bad_address = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  int num_hosts_;
+  Options options_;
+  std::vector<int> fds_;
+  std::vector<uint16_t> ports_;
+  std::vector<Nic*> nics_;
+  std::vector<LiveExecutor*> executors_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> delivered_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> dropped_send_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> dropped_decode_;
+  std::atomic<int64_t> dropped_bad_address_{0};
+};
+
+}  // namespace snap
+
+#endif  // SRC_LIVE_UDP_FABRIC_H_

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/net/egress.h"
 #include "src/net/nic.h"
 #include "src/packet/packet.h"
 #include "src/sim/model_params.h"
@@ -37,7 +38,7 @@ class ShardRouter {
                               SimTime wire_time) = 0;
 };
 
-class Fabric {
+class Fabric : public PacketEgress {
  public:
   Fabric(Simulator* sim, const NicParams& params);
 
@@ -60,7 +61,7 @@ class Fabric {
 
   // Called by a NIC when a packet finishes serializing onto its uplink at
   // time `wire_time`. Routes through the destination's egress port.
-  void Route(PacketPtr packet, SimTime wire_time);
+  void Route(PacketPtr packet, SimTime wire_time) override;
 
   // Second half of Route: contend for the destination's egress port queue
   // and schedule delivery. Public so delivery hooks can re-inject packets
@@ -196,11 +197,6 @@ class Fabric {
   bool arrival_time_mode_ = false;
   Stats stats_;
 };
-
-// Nanoseconds to serialize `bytes` at `gbps`.
-inline SimDuration SerializationDelay(int64_t bytes, double gbps) {
-  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / gbps);
-}
 
 }  // namespace snap
 

@@ -1,6 +1,6 @@
 #include "src/net/nic.h"
 
-#include "src/net/fabric.h"
+#include "src/net/egress.h"
 #include "src/stats/telemetry.h"
 #include "src/util/logging.h"
 
@@ -17,7 +17,7 @@ const std::map<uint32_t, Nic::TenantTxStats> kEmptyTenantTxStats;
 // RxQueue
 // --------------------------------------------------------------------------
 
-RxQueue::RxQueue(Simulator* sim, const NicParams& params, int id)
+RxQueue::RxQueue(Substrate* sim, const NicParams& params, int id)
     : sim_(sim), params_(params), id_(id) {}
 
 PacketPtr RxQueue::Poll() {
@@ -97,8 +97,9 @@ void RxQueue::Fire() {
 // Nic
 // --------------------------------------------------------------------------
 
-Nic::Nic(Simulator* sim, Fabric* fabric, int host_id, const NicParams& params)
-    : sim_(sim), fabric_(fabric), host_id_(host_id), params_(params) {
+Nic::Nic(Substrate* sim, PacketEgress* egress, int host_id,
+         const NicParams& params)
+    : sim_(sim), egress_(egress), host_id_(host_id), params_(params) {
   // Queue 0: the host kernel's default queue.
   queues_.push_back(std::make_unique<RxQueue>(sim_, params_, 0));
 }
@@ -165,7 +166,7 @@ bool Nic::Transmit(PacketPtr packet) {
   // so packets still in flight when the simulation ends are reclaimed.
   sim_->ScheduleAt(done, [this, done, p = std::move(packet)]() mutable {
     --tx_outstanding_;
-    fabric_->Route(std::move(p), done);
+    egress_->Route(std::move(p), done);
   });
   return true;
 }
@@ -215,7 +216,7 @@ void Nic::QosDrain() {
   SimTime done = serialized + params_.nic_pipeline_delay;
   sim_->ScheduleAt(done, [this, done, p = std::move(packet)]() mutable {
     --tx_outstanding_;
-    fabric_->Route(std::move(p), done);
+    egress_->Route(std::move(p), done);
   });
   if (!qos_tx_->wfq.empty()) {
     ScheduleQosDrain(serialized);

@@ -20,23 +20,23 @@
 #include <string>
 #include <vector>
 
+#include "src/net/egress.h"
 #include "src/packet/packet.h"
 #include "src/qos/scheduler.h"
 #include "src/qos/tenant.h"
 #include "src/sim/model_params.h"
-#include "src/sim/simulator.h"
+#include "src/sim/substrate.h"
 #include "src/util/status.h"
 
 namespace snap {
 
-class Fabric;
 class Nic;
 class Telemetry;
 
 // One NIC receive queue: a bounded descriptor ring plus interrupt state.
 class RxQueue {
  public:
-  RxQueue(Simulator* sim, const NicParams& params, int id);
+  RxQueue(Substrate* sim, const NicParams& params, int id);
 
   // Consumer side: takes the next received packet, or nullptr.
   PacketPtr Poll();
@@ -80,7 +80,7 @@ class RxQueue {
   void MaybeInterrupt();
   void Fire();
 
-  Simulator* sim_;
+  Substrate* sim_;
   const NicParams params_;
   int id_;
   std::deque<PacketPtr> ring_;
@@ -97,7 +97,8 @@ class RxQueue {
 
 class Nic {
  public:
-  Nic(Simulator* sim, Fabric* fabric, int host_id, const NicParams& params);
+  Nic(Substrate* sim, PacketEgress* egress, int host_id,
+      const NicParams& params);
 
   // Creates an additional RX queue (queue 0 exists by default and is the
   // default steering target, i.e. the host kernel's queue).
@@ -176,8 +177,8 @@ class Nic {
   void ScheduleQosDrain(SimTime at);
   void QosDrain();
 
-  Simulator* sim_;
-  Fabric* fabric_;
+  Substrate* sim_;
+  PacketEgress* egress_;
   int host_id_;
   NicParams params_;
   std::vector<std::unique_ptr<RxQueue>> queues_;
@@ -197,7 +198,7 @@ class Nic {
 // — one null test when tracing is disabled — and compiled out entirely with
 // -DSNAP_TRACE_PACKET_LIFECYCLE=OFF.
 inline void TracePacketPoint(
-    Simulator* sim, const Packet& packet, const char* point,
+    Substrate* sim, const Packet& packet, const char* point,
     int fallback_track = TraceRecorder::kFabricTrack) {
 #ifndef SNAP_DISABLE_PACKET_TRACE
   TraceRecorder* tracer = sim->tracer();

@@ -121,6 +121,20 @@ class PacketPool {
 #endif
   }
 
+  // Explicit ownership transfer: the calling thread becomes the owner
+  // immediately. Unlike ResetOwnerThread (where whichever thread touches
+  // the pool next wins — fine for sharded sims whose workers start in
+  // lockstep), this is the handoff a live engine thread uses to claim a
+  // pool the setup thread built and warmed: the claim itself asserts the
+  // new discipline rather than leaving a window where any thread could.
+  // The caller must guarantee no other thread touches the pool
+  // concurrently with (or after) the transfer.
+  void AdoptOwnerThread() {
+#ifndef NDEBUG
+    owner_thread_ = std::this_thread::get_id();
+#endif
+  }
+
   // Publishes pool counters as "<prefix>/allocated" etc. into the Telemetry
   // registry (defined in packet_pool.cc to keep the dependency out of line).
   void ExportStats(Telemetry* telemetry, const std::string& prefix) const;

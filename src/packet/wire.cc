@@ -75,6 +75,16 @@ class Reader {
     return true;
   }
 
+  // Advances past `n` bytes, returning their start (nullptr if truncated).
+  const uint8_t* Skip(size_t n) {
+    if (pos_ + n > len_) {
+      return nullptr;
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
  private:
   const uint8_t* data_;
   size_t len_;
@@ -157,6 +167,86 @@ StatusOr<uint16_t> NegotiateWireVersion(uint16_t local_min, uint16_t local_max,
     return FailedPreconditionError("no common wire version");
   }
   return hi;
+}
+
+namespace {
+// Frame layout version, independent of the Pony header version it carries.
+constexpr uint16_t kWireFrameVersion = 1;
+}  // namespace
+
+Status EncodeWireFrame(const Packet& packet, std::vector<uint8_t>* out) {
+  if (packet.proto != WireProtocol::kPony) {
+    return InvalidArgumentError("only Pony packets have a frame encoding");
+  }
+  uint8_t header[kV2Size];
+  if (packet.pony.version < kPonyWireVersionMin ||
+      packet.pony.version > kPonyWireVersionMax) {
+    return InvalidArgumentError("unsupported wire version");
+  }
+  size_t header_len = EncodePonyHeaderRaw(packet.pony, header);
+  out->clear();
+  out->reserve(4 + 2 + 4 + 4 + 4 + 4 + 4 + 4 + 2 + header_len + 4 +
+               packet.data.size());
+  auto put = [out](const auto& value) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    out->insert(out->end(), p, p + sizeof(value));
+  };
+  put(kWireFrameMagic);
+  put(kWireFrameVersion);
+  put(static_cast<int32_t>(packet.src_host));
+  put(static_cast<int32_t>(packet.dst_host));
+  put(packet.steering_hash);
+  put(packet.tenant);
+  put(packet.payload_bytes);
+  put(packet.wire_bytes);
+  put(static_cast<uint16_t>(header_len));
+  out->insert(out->end(), header, header + header_len);
+  put(static_cast<uint32_t>(packet.data.size()));
+  out->insert(out->end(), packet.data.begin(), packet.data.end());
+  return OkStatus();
+}
+
+StatusOr<PacketPtr> DecodeWireFrame(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  uint32_t magic = 0;
+  uint16_t frame_version = 0;
+  if (!r.Get(&magic) || magic != kWireFrameMagic) {
+    return InvalidArgumentError("bad frame magic");
+  }
+  if (!r.Get(&frame_version) || frame_version != kWireFrameVersion) {
+    return InvalidArgumentError("unsupported frame version");
+  }
+  auto packet = std::make_unique<Packet>();
+  int32_t src = 0;
+  int32_t dst = 0;
+  uint16_t header_len = 0;
+  bool ok = r.Get(&src) && r.Get(&dst) && r.Get(&packet->steering_hash) &&
+            r.Get(&packet->tenant) && r.Get(&packet->payload_bytes) &&
+            r.Get(&packet->wire_bytes) && r.Get(&header_len);
+  if (!ok) {
+    return InvalidArgumentError("truncated frame");
+  }
+  packet->src_host = src;
+  packet->dst_host = dst;
+  const uint8_t* header = r.Skip(header_len);
+  if (header == nullptr) {
+    return InvalidArgumentError("truncated frame header");
+  }
+  StatusOr<PonyHeader> decoded = DecodePonyHeader(header, header_len);
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  packet->pony = *decoded;
+  uint32_t data_len = 0;
+  if (!r.Get(&data_len)) {
+    return InvalidArgumentError("truncated frame payload length");
+  }
+  const uint8_t* payload = r.Skip(data_len);
+  if (payload == nullptr) {
+    return InvalidArgumentError("truncated frame payload");
+  }
+  packet->data.assign(payload, payload + data_len);
+  return packet;
 }
 
 }  // namespace snap

@@ -55,6 +55,24 @@ StatusOr<uint16_t> NegotiateWireVersion(uint16_t local_min, uint16_t local_max,
                                         uint16_t remote_min,
                                         uint16_t remote_max);
 
+// --- Full-frame codec (live mode, src/live/udp_fabric.h) ------------------
+//
+// Serializes a whole Pony Packet — fabric addressing, header at its own
+// wire version, real payload bytes — into one datagram-sized frame so the
+// live UDP fabric can put real packets on a real wire. Simulation-only
+// bookkeeping (enqueue/rx times, chaos flags) intentionally does not
+// travel: the receiver stamps its own times.
+
+// Frames start with this magic so stray datagrams are rejected cheaply.
+inline constexpr uint32_t kWireFrameMagic = 0x534e5046;  // "SNPF"
+
+// Encodes `packet` into `out` (overwritten). Only WireProtocol::kPony
+// packets have a wire encoding; anything else is an error.
+Status EncodeWireFrame(const Packet& packet, std::vector<uint8_t>* out);
+
+// Parses a frame; fails on bad magic, truncation, or unsupported versions.
+StatusOr<PacketPtr> DecodeWireFrame(const uint8_t* data, size_t len);
+
 }  // namespace snap
 
 #endif  // SRC_PACKET_WIRE_H_

@@ -13,7 +13,7 @@ namespace {
 
 // Start/end points of a sampled message's lifecycle flow (the mid-flow
 // packet points are emitted via TracePacketPoint in src/net/nic.h).
-inline void TraceMessagePoint(Simulator* sim, char phase, uint64_t op_id,
+inline void TraceMessagePoint(Substrate* sim, char phase, uint64_t op_id,
                               const char* point) {
 #ifndef SNAP_DISABLE_PACKET_TRACE
   TraceRecorder* tracer = sim->tracer();
@@ -33,7 +33,7 @@ inline void TraceMessagePoint(Simulator* sim, char phase, uint64_t op_id,
 
 }  // namespace
 
-PonyEngine::PonyEngine(std::string name, Simulator* sim, Nic* nic,
+PonyEngine::PonyEngine(std::string name, Substrate* sim, Nic* nic,
                        uint32_t engine_id, const PonyParams& params,
                        const TimelyParams& timely_params,
                        PonyDirectory* directory)

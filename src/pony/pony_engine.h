@@ -30,7 +30,7 @@
 #include "src/qos/scheduler.h"
 #include "src/qos/tenant.h"
 #include "src/sim/model_params.h"
-#include "src/sim/simulator.h"
+#include "src/sim/substrate.h"
 #include "src/snap/engine.h"
 
 namespace snap {
@@ -40,7 +40,7 @@ class Telemetry;
 
 class PonyEngine : public Engine {
  public:
-  PonyEngine(std::string name, Simulator* sim, Nic* nic, uint32_t engine_id,
+  PonyEngine(std::string name, Substrate* sim, Nic* nic, uint32_t engine_id,
              const PonyParams& params, const TimelyParams& timely_params,
              PonyDirectory* directory);
   ~PonyEngine() override;
@@ -222,7 +222,7 @@ class PonyEngine : public Engine {
   SimDuration RxCopyCost(int64_t bytes) const;
 
   std::string module_name_;
-  Simulator* sim_;
+  Substrate* sim_;
   Nic* nic_;
   uint32_t engine_id_;
   PonyParams params_;

@@ -21,7 +21,7 @@ namespace snap {
 
 class PonyModule : public Module {
  public:
-  PonyModule(Simulator* sim, Nic* nic, PonyDirectory* directory,
+  PonyModule(Substrate* sim, Nic* nic, PonyDirectory* directory,
              const PonyParams& pony_params, const TimelyParams& timely_params,
              const AppParams& app_params)
       : Module("pony"),
@@ -55,7 +55,7 @@ class PonyModule : public Module {
   static std::vector<std::pair<uint64_t, MemoryRegion*>> RegionsOf(
       PonyClient* client);
 
-  Simulator* sim_;
+  Substrate* sim_;
   Nic* nic_;
   PonyDirectory* directory_;
   PonyParams pony_params_;

@@ -1,44 +1,34 @@
 // The global discrete-event simulator: a clock plus an event queue.
 // Every run with the same seed is bit-identical; there is no wall-clock
-// dependence anywhere in the simulation.
+// dependence anywhere in the simulation. This is the deterministic
+// implementation of the Substrate interface (src/sim/substrate.h); the
+// live substrate (src/live/) runs the same engines on real threads.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <functional>
+#include <utility>
 
 #include "src/sim/event_queue.h"
-#include "src/stats/telemetry.h"
-#include "src/stats/trace.h"
+#include "src/sim/substrate.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/time_types.h"
 
 namespace snap {
 
-class Simulator {
+// `final` so calls through a concrete Simulator* devirtualize: the sim hot
+// path pays nothing for the substrate split.
+class Simulator final : public Substrate {
  public:
   explicit Simulator(uint64_t seed = 1,
                      EventQueueKind queue_kind = kDefaultEventQueueKind)
-      : events_(queue_kind), rng_(seed), seed_(seed) {}
+      : Substrate(seed), events_(queue_kind), rng_(seed) {}
 
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-
-  SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
-  // The seed this simulation was constructed with. Components that need
-  // per-object deterministic randomness independent of global draw order
-  // (e.g. the fabric's hashed packet drop) key their hashes off this.
-  uint64_t seed() const { return seed_; }
 
-  // Schedules `cb` to run `delay` from now (delay >= 0).
-  EventHandle Schedule(SimDuration delay, EventQueue::Callback cb) {
-    SNAP_CHECK_GE(delay, 0);
-    return events_.ScheduleAt(now_ + delay, std::move(cb));
-  }
-
-  EventHandle ScheduleAt(SimTime when, EventQueue::Callback cb) {
-    SNAP_CHECK_GE(when, now_);
+  EventHandle ScheduleAt(SimTime when, EventQueue::Callback cb) override {
+    SNAP_CHECK_GE(when, now());
     return events_.ScheduleAt(when, std::move(cb));
   }
 
@@ -53,25 +43,25 @@ class Simulator {
       if (!events_.PopNext(&when, &cb)) {
         break;
       }
-      SNAP_CHECK_GE(when, now_);
-      now_ = when;
+      SNAP_CHECK_GE(when, now());
+      set_now(when);
       cb();
     }
-    if (now_ < until) {
-      now_ = until;
+    if (now() < until) {
+      set_now(until);
     }
   }
 
   // Runs `duration` more simulated time.
-  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+  void RunFor(SimDuration duration) { RunUntil(now() + duration); }
 
   // Runs all pending events (caller must guarantee termination).
   void RunAll() {
     SimTime when = 0;
     EventQueue::Callback cb;
     while (events_.PopNext(&when, &cb)) {
-      SNAP_CHECK_GE(when, now_);
-      now_ = when;
+      SNAP_CHECK_GE(when, now());
+      set_now(when);
       cb();
     }
   }
@@ -85,33 +75,9 @@ class Simulator {
   // The backing event queue (stats, implementation kind).
   const EventQueue& event_queue() const { return events_; }
 
-  // Unified metric registry shared by every component of this simulation.
-  Telemetry& telemetry() { return telemetry_; }
-  const Telemetry& telemetry() const { return telemetry_; }
-
-  // Flight recorder; nullptr (the default) disables tracing. Recording is
-  // pure observation: attaching a recorder never changes simulation
-  // results. The recorder must outlive its attachment.
-  TraceRecorder* tracer() const { return tracer_; }
-  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
-
-  // Hands out contiguous trace-track (tid) ranges so cores of different
-  // hosts land on distinct tracks in multi-host simulations. Allocation
-  // order is construction order, hence deterministic.
-  int AllocateTraceTracks(int count) {
-    int base = next_trace_track_;
-    next_trace_track_ += count;
-    return base;
-  }
-
  private:
-  SimTime now_ = 0;
   EventQueue events_;
   Rng rng_;
-  uint64_t seed_ = 1;
-  Telemetry telemetry_;
-  TraceRecorder* tracer_ = nullptr;
-  int next_trace_track_ = 0;
 };
 
 }  // namespace snap

@@ -20,7 +20,7 @@ constexpr SimDuration kRebalancePerEngineCost = 80 * kNsec;
 // recorder is attached) as a trace slice. `poll_start` is the reconstructed
 // intra-step start time: sim time is frozen during a task step, so passes
 // are laid out by accumulated modeled cost to nest under the task slice.
-inline void NotePollPass(Simulator* sim, Engine* e, SimTime poll_start,
+inline void NotePollPass(Substrate* sim, Engine* e, SimTime poll_start,
                          SimDuration cpu_ns) {
   if (cpu_ns <= 0) {
     return;  // idle passes would drown the distribution in zeros
@@ -37,7 +37,7 @@ inline void NotePollPass(Simulator* sim, Engine* e, SimTime poll_start,
 
 // Polls `engines` round-robin starting at *cursor until budget exhausts or
 // nothing makes progress. Shared by all three modes.
-Engine::PollResult PollEngines(Simulator* sim, std::vector<Engine*>& engines,
+Engine::PollResult PollEngines(Substrate* sim, std::vector<Engine*>& engines,
                                size_t* cursor, SimTime now,
                                SimDuration budget) {
   Engine::PollResult total;
@@ -69,14 +69,14 @@ Engine::PollResult PollEngines(Simulator* sim, std::vector<Engine*>& engines,
 
 // Installs the per-engine poll-duration histogram when the engine joins a
 // group ("snap/<engine>/poll_ns").
-inline void InstallPollHistogram(Simulator* sim, Engine* engine) {
+inline void InstallPollHistogram(Substrate* sim, Engine* engine) {
   engine->set_poll_histogram(
       sim->telemetry().GetHistogram("snap/" + engine->name() + "/poll_ns"));
 }
 
 // Installs the per-task scheduling-delay histogram
 // ("snap/<task>/sched_delay_ns") measuring wake-to-run latency.
-inline void InstallSchedDelayHistogram(Simulator* sim, SimTask* task) {
+inline void InstallSchedDelayHistogram(Substrate* sim, SimTask* task) {
   task->set_sched_latency_histogram(sim->telemetry().GetHistogram(
       "snap/" + task->name() + "/sched_delay_ns"));
 }
@@ -87,7 +87,7 @@ inline void InstallSchedDelayHistogram(Simulator* sim, SimTask* task) {
 // ---------------------------------------------------------------------------
 class DedicatedGroup : public EngineGroup {
  public:
-  DedicatedGroup(std::string name, Simulator* sim, CpuScheduler* sched,
+  DedicatedGroup(std::string name, Substrate* sim, CpuScheduler* sched,
                  const Options& options)
       : name_(std::move(name)), sim_(sim), sched_(sched) {
     SNAP_CHECK(!options.dedicated_cores.empty())
@@ -143,7 +143,7 @@ class DedicatedGroup : public EngineGroup {
  private:
   class CoreTask : public SimTask {
    public:
-    CoreTask(std::string name, Simulator* sim)
+    CoreTask(std::string name, Substrate* sim)
         : SimTask(std::move(name), SchedClass::kDedicated), sim_(sim) {
       set_container("snap");
     }
@@ -161,12 +161,12 @@ class DedicatedGroup : public EngineGroup {
     std::vector<Engine*> engines;
 
    private:
-    Simulator* sim_;
+    Substrate* sim_;
     size_t cursor_ = 0;
   };
 
   std::string name_;
-  Simulator* sim_;
+  Substrate* sim_;
   CpuScheduler* sched_;
   std::vector<std::unique_ptr<CoreTask>> tasks_;
 };
@@ -177,7 +177,7 @@ class DedicatedGroup : public EngineGroup {
 // ---------------------------------------------------------------------------
 class SpreadingGroup : public EngineGroup {
  public:
-  SpreadingGroup(std::string name, Simulator* sim, CpuScheduler* sched,
+  SpreadingGroup(std::string name, Substrate* sim, CpuScheduler* sched,
                  const Options& options)
       : name_(std::move(name)),
         sim_(sim),
@@ -230,7 +230,7 @@ class SpreadingGroup : public EngineGroup {
  private:
   class EngineTask : public SimTask {
    public:
-    EngineTask(std::string name, Simulator* sim, Engine* engine,
+    EngineTask(std::string name, Substrate* sim, Engine* engine,
                SchedClass sched_class, double weight)
         : SimTask(std::move(name), sched_class, weight),
           sim_(sim),
@@ -265,13 +265,13 @@ class SpreadingGroup : public EngineGroup {
     }
 
    private:
-    Simulator* sim_;
+    Substrate* sim_;
     Engine* engine_;
     bool retired_ = false;
   };
 
   std::string name_;
-  Simulator* sim_;
+  Substrate* sim_;
   CpuScheduler* sched_;
   Options options_;
   std::vector<std::unique_ptr<EngineTask>> tasks_;
@@ -284,7 +284,7 @@ class SpreadingGroup : public EngineGroup {
 // ---------------------------------------------------------------------------
 class CompactingGroup : public EngineGroup {
  public:
-  CompactingGroup(std::string name, Simulator* sim, CpuScheduler* sched,
+  CompactingGroup(std::string name, Substrate* sim, CpuScheduler* sched,
                   const Options& options)
       : name_(std::move(name)),
         sim_(sim),
@@ -487,7 +487,7 @@ class CompactingGroup : public EngineGroup {
   }
 
   std::string name_;
-  Simulator* sim_;
+  Substrate* sim_;
   CpuScheduler* sched_;
   Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -500,7 +500,7 @@ class CompactingGroup : public EngineGroup {
 }  // namespace
 
 std::unique_ptr<EngineGroup> EngineGroup::Create(std::string name,
-                                                 Simulator* sim,
+                                                 Substrate* sim,
                                                  CpuScheduler* sched,
                                                  const Options& options) {
   switch (options.mode) {

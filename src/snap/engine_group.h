@@ -68,7 +68,7 @@ class EngineGroup {
 
   // Factory.
   static std::unique_ptr<EngineGroup> Create(std::string name,
-                                             Simulator* sim,
+                                             Substrate* sim,
                                              CpuScheduler* sched,
                                              const Options& options);
 };

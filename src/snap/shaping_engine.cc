@@ -6,7 +6,7 @@
 
 namespace snap {
 
-ShapingEngine::ShapingEngine(std::string name, Simulator* sim, Nic* nic,
+ShapingEngine::ShapingEngine(std::string name, Substrate* sim, Nic* nic,
                              const Options& options)
     : Engine(std::move(name)),
       sim_(sim),

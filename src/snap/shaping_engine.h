@@ -16,7 +16,7 @@
 #include "src/net/nic.h"
 #include "src/qos/tenant.h"
 #include "src/queue/spsc_ring.h"
-#include "src/sim/simulator.h"
+#include "src/sim/substrate.h"
 #include "src/snap/elements.h"
 #include "src/snap/engine.h"
 
@@ -41,7 +41,7 @@ class ShapingEngine : public Engine {
     const qos::TenantRegistry* tenants = nullptr;
   };
 
-  ShapingEngine(std::string name, Simulator* sim, Nic* nic,
+  ShapingEngine(std::string name, Substrate* sim, Nic* nic,
                 const Options& options);
 
   // Producer side (kernel packet ring). Returns false when full.
@@ -78,7 +78,7 @@ class ShapingEngine : public Engine {
  private:
   void RecordTenantTx(qos::TenantId tenant, int64_t wire_bytes);
 
-  Simulator* sim_;
+  Substrate* sim_;
   Nic* nic_;
   Options options_;
   EventHandle wake_timer_;

@@ -32,7 +32,7 @@ PacketPtr GuestVnic::Receive() {
   return std::move(*packet);
 }
 
-VirtualSwitchEngine::VirtualSwitchEngine(std::string name, Simulator* sim,
+VirtualSwitchEngine::VirtualSwitchEngine(std::string name, Substrate* sim,
                                          Nic* nic, uint32_t engine_id,
                                          const Options& options)
     : Engine(std::move(name)),

@@ -16,7 +16,7 @@
 
 #include "src/net/nic.h"
 #include "src/queue/spsc_ring.h"
-#include "src/sim/simulator.h"
+#include "src/sim/substrate.h"
 #include "src/snap/elements.h"
 #include "src/snap/engine.h"
 
@@ -68,7 +68,7 @@ class VirtualSwitchEngine : public Engine {
     int64_t guest_burst_bytes = 128 * 1024;
   };
 
-  VirtualSwitchEngine(std::string name, Simulator* sim, Nic* nic,
+  VirtualSwitchEngine(std::string name, Substrate* sim, Nic* nic,
                       uint32_t engine_id, const Options& options);
   ~VirtualSwitchEngine() override;
 
@@ -113,7 +113,7 @@ class VirtualSwitchEngine : public Engine {
   void SwitchPacket(PacketPtr packet, SimTime now, SimDuration* cost);
   void DeliverToGuest(uint32_t vm_id, PacketPtr packet);
 
-  Simulator* sim_;
+  Substrate* sim_;
   Nic* nic_;
   uint32_t engine_id_;
   Options options_;

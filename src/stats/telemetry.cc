@@ -100,6 +100,15 @@ void Telemetry::EnableSeriesSampling(SimDuration bucket_width,
   series_max_buckets_ = max_buckets;
 }
 
+bool Telemetry::MaybeSampleSeries(SimTime now) {
+  if (!series_sampling_enabled_ || now < next_series_sample_) {
+    return false;
+  }
+  SampleSeriesAt(now);
+  next_series_sample_ = now + series_bucket_width_;
+  return true;
+}
+
 void Telemetry::SampleSeriesAt(SimTime now) {
   if (!series_sampling_enabled_) return;
   // Counters sample as deltas (bucket sum == increments inside the

@@ -112,6 +112,12 @@ class Telemetry {
   // gauge (instantaneous value) into the bucket covering `now`. Sample
   // times must be non-decreasing.
   void SampleSeriesAt(SimTime now);
+  // Self-pacing cadence: folds a sample iff `now` has advanced at least
+  // one bucket width past the previous sample, so callers can invoke it
+  // every loop iteration off any monotonic clock — the simulator drives
+  // it from a scheduled event, the live substrate straight from its
+  // poll loop's wall clock. Returns whether a sample was taken.
+  bool MaybeSampleSeries(SimTime now);
 
   // {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}},
   // all keys name-sorted. Sampled series export as "<name>" and directly
@@ -158,6 +164,7 @@ class Telemetry {
   bool series_sampling_enabled_ = false;
   SimDuration series_bucket_width_ = 0;
   int series_max_buckets_ = 64;
+  SimTime next_series_sample_ = 0;  // MaybeSampleSeries pacing
 };
 
 }  // namespace snap

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 
 #include "src/packet/crc32.h"
 #include "src/packet/packet_pool.h"
@@ -266,6 +267,34 @@ TEST(PacketPoolTest, FallbackCrossesClassesRatherThanAllocatingFresh) {
   EXPECT_EQ(pool.stats().fresh_allocs, 1);  // just the first Allocate
   EXPECT_EQ(pool.stats().recycled_with_capacity, 0);
   EXPECT_GE(q->data.capacity(), 5000u);  // hint pre-reserved
+}
+
+TEST(PacketPoolTest, AdoptOwnerThreadTransfersOwnershipAcrossThreads) {
+  // Regression for the live-mode handoff: a pool built and warmed on the
+  // setup thread is claimed by the engine thread with AdoptOwnerThread.
+  // Without the adopt, the worker's first Allocate would trip the
+  // single-owner assert in debug builds.
+  PacketPool pool(4, "handoff");
+  PacketPtr warm = pool.Allocate(5000);
+  warm->data.resize(5000);
+  pool.Free(std::move(warm));  // main thread is the owner now
+
+  std::thread worker([&pool] {
+    pool.AdoptOwnerThread();
+    PacketPtr p = pool.Allocate(5000);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(p->data.capacity(), 5000u);  // got the warmed buffer
+    pool.Free(std::move(p));
+  });
+  worker.join();
+
+  // The transfer is explicit each way: the main thread re-adopts before
+  // touching the pool again.
+  pool.AdoptOwnerThread();
+  PacketPtr p = pool.Allocate();
+  EXPECT_NE(p, nullptr);
+  pool.Free(std::move(p));
+  EXPECT_EQ(pool.stats().allocated, 0);
 }
 
 TEST(PacketPoolTest, ClassForSizeBoundaries) {

@@ -44,6 +44,29 @@ TEST(TelemetryTest, SameTypeReRegistrationIsFine) {
   EXPECT_EQ(t.SnapshotValues()["g"], 2);
 }
 
+TEST(TelemetryTest, MaybeSampleSeriesSelfPacesOffTheGivenClock) {
+  // Live executors cannot be driven by sim-scheduled sampling events; they
+  // call MaybeSampleSeries(now) every loop pass and the registry paces
+  // itself to one sample per bucket width.
+  Telemetry t;
+  Counter* c = t.GetCounter("events");
+  EXPECT_FALSE(t.MaybeSampleSeries(1 * kMsec));  // sampling not enabled
+  t.EnableSeriesSampling(1 * kMsec, 8);
+
+  c->Add(10);
+  EXPECT_TRUE(t.MaybeSampleSeries(1 * kMsec));   // first call samples
+  EXPECT_FALSE(t.MaybeSampleSeries(1 * kMsec));  // same instant: paced out
+  c->Add(5);
+  EXPECT_FALSE(t.MaybeSampleSeries(1 * kMsec + 1));  // within the bucket
+  EXPECT_TRUE(t.MaybeSampleSeries(2 * kMsec));       // next bucket due
+  EXPECT_FALSE(t.MaybeSampleSeries(2 * kMsec));
+
+  const TimeSeries* events = t.FindSeries("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->total_count(), 2);
+  EXPECT_EQ(events->total_sum(), 15);  // deltas: 10 then 5
+}
+
 TEST(TelemetryTest, SampledSeriesRecordCounterDeltasAndGaugeValues) {
   Telemetry t;
   Counter* c = t.GetCounter("events");

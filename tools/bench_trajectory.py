@@ -35,6 +35,12 @@ level under "latest" for easy reading.
                  goodput under the 4x aggressor (isolation_ratio), and
                  the qos-off run must still show the collapse the
                  subsystem exists to fix (collapse_ratio <= 0.7).
+  live_echo      every case that ran must have completed all its RPCs
+                 with zero transport errors (completeness is the only
+                 runner-independent property of a wall-clock benchmark);
+                 at least the two loopback cases must have run.
+                 Throughput and p50/p99 RTT are recorded as trajectory
+                 datapoints but not hard-gated.
 
 Only the standard library is used.
 """
@@ -87,7 +93,7 @@ def load_history(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", default="sim_speed",
-                        choices=["sim_speed", "qos_isolation"])
+                        choices=["sim_speed", "qos_isolation", "live_echo"])
     parser.add_argument("--build-dir",
                         default=os.path.join(REPO_ROOT, "build"))
     parser.add_argument("--out", default=None,
@@ -122,6 +128,32 @@ def main():
         f.write("\n")
     print(f"appended run {entry['git_revision']} to {args.out} "
           f"({len(history['runs'])} runs recorded)")
+
+    if args.bench == "live_echo":
+        ran = {name: b for name, b in entry["benchmarks"].items()
+               if b.get("ran")}
+        skipped = [name for name, b in entry["benchmarks"].items()
+                   if not b.get("ran")]
+        bad = [name for name, b in ran.items()
+               if not b.get("completed") or b.get("errors", 0) != 0]
+        for name, b in ran.items():
+            print(f"{name}: {b.get('rpcs_per_sec', 0):,.0f} rpc/s, "
+                  f"{b.get('goodput_mbps', 0):.1f} Mbps, "
+                  f"p50 {b.get('p50_rtt_us', 0):.1f}us / "
+                  f"p99 {b.get('p99_rtt_us', 0):.1f}us, "
+                  f"{'clean' if name not in bad else 'INCOMPLETE'}")
+        for name in skipped:
+            print(f"{name}: skipped "
+                  f"({entry['benchmarks'][name].get('skip_reason', '?')})")
+        if args.baseline_check:
+            if bad:
+                sys.exit(f"baseline check FAILED: incomplete or errored "
+                         f"cases: {', '.join(sorted(bad))}")
+            loopback = [n for n in ran if n.startswith("loopback_")]
+            if len(loopback) < 2:
+                sys.exit("baseline check FAILED: loopback cases did not "
+                         "run")
+        return
 
     if args.bench == "qos_isolation":
         isolation = entry.get("isolation_ratio", 0.0)

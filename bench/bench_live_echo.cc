@@ -1,13 +1,18 @@
 // Live-mode echo benchmark: real OS threads, real clocks — the wall-clock
 // counterpart of bench_fig6a_latency. Two live hosts run a closed-loop
-// echo RPC workload twice per fabric: a ping-pong leg (window 1, exact
-// RTTs) and a pipelined leg (window 16, throughput), over the in-process
-// loopback ring fabric and, when sockets are available, real UDP.
+// echo RPC workload per case: ping-pong (window 1, exact RTTs) and
+// pipelined (window 16, throughput) legs over the in-process loopback
+// ring fabric and real UDP, plus one leg per scheduling mode (dedicated /
+// spreading / compacting engine workers) and a blocking-notify leg where
+// the app threads sleep on the completion doorbell instead of
+// spin-polling.
 //
-// Numbers here are wall-clock on whatever machine runs this, so the
-// trajectory gate (tools/bench_trajectory.py --bench live_echo) is
-// completeness — every RPC finished, zero transport errors — with
-// latency/throughput recorded as soft datapoints, not hard bars.
+// Numbers here are wall-clock on whatever machine runs this, so the JSON
+// records hw_cores and per-case num_threads and the trajectory gate
+// (tools/bench_trajectory.py --bench live_echo) is completeness — every
+// RPC finished, zero transport errors — everywhere, with hard
+// latency/throughput bars applied only on runners with enough cores to
+// actually run the threads in parallel (core-starved runs warn instead).
 //
 // Usage:
 //   bench_live_echo [--smoke] [--json PATH]
@@ -20,6 +25,8 @@
 
 #include "src/live/live_apps.h"
 #include "src/live/live_runtime.h"
+#include "src/snap/engine_group.h"
+#include "src/util/doorbell.h"
 
 namespace snap {
 namespace {
@@ -31,8 +38,13 @@ struct CaseResult {
   int iterations = 0;
   int64_t message_bytes = 0;
   int outstanding = 0;
+  std::string mode = "dedicated";  // engine scheduling mode
+  bool blocking = false;           // app threads sleep on the doorbell
+  int num_threads = 0;             // scheduler workers + app threads
   bool completed = false;  // all RPCs finished before the deadline
   int64_t errors = 0;
+  int64_t client_poll_passes = 0;  // blocking-notify busy-poll signal
+  int64_t client_waits = 0;
   double wall_sec = 0;
   double rpcs_per_sec = 0;
   double goodput_mbps = 0;
@@ -53,16 +65,21 @@ double PercentileUs(std::vector<int64_t> rtts, double p) {
 }
 
 CaseResult RunCase(const std::string& name, LiveRuntime::FabricKind fabric,
-                   int iterations, int64_t message_bytes, int outstanding) {
+                   int iterations, int64_t message_bytes, int outstanding,
+                   SchedulingMode mode = SchedulingMode::kDedicatedCores,
+                   bool blocking = false) {
   CaseResult result;
   result.name = name;
   result.iterations = iterations;
   result.message_bytes = message_bytes;
   result.outstanding = outstanding;
+  result.mode = SchedulingModeName(mode);
+  result.blocking = blocking;
 
   LiveRuntime::Options options;
   options.num_hosts = 2;
   options.fabric = fabric;
+  options.scheduler.mode = mode;
   LiveRuntime runtime(options);
   Status init = runtime.Init();
   if (!init.ok()) {
@@ -75,23 +92,34 @@ CaseResult RunCase(const std::string& name, LiveRuntime::FabricKind fabric,
   PonyAddress server_addr = runtime.host(1)->engine()->address();
   uint64_t ping_stream = client->CreateStream(server_addr);
   uint64_t reply_stream = server->CreateStream(client_addr);
+  Doorbell client_bell, server_bell;
+  if (blocking) {
+    client->BindDoorbell(&client_bell);
+    server->BindDoorbell(&server_bell);
+  }
 
   runtime.Start();
+  // Engine workers plus the two app threads below.
+  result.num_threads = runtime.scheduler()->num_workers() + 2;
   int64_t deadline = MonotonicTimeNs() + 120LL * 1000 * 1000 * 1000;
   LiveAppResult client_result, server_result;
   std::thread server_thread([&] {
     server_result = RunLiveEchoServer(server.get(), reply_stream,
-                                      client_addr, iterations, deadline);
+                                      client_addr, iterations, deadline,
+                                      blocking ? &server_bell : nullptr);
   });
   int64_t t0 = MonotonicTimeNs();
   client_result = RunLiveRpcClient(client.get(), ping_stream, server_addr,
                                    iterations, message_bytes, outstanding,
-                                   deadline);
+                                   deadline,
+                                   blocking ? &client_bell : nullptr);
   int64_t t1 = MonotonicTimeNs();
   server_thread.join();
   runtime.Stop();
 
   result.ran = true;
+  result.client_poll_passes = client_result.poll_passes;
+  result.client_waits = client_result.waits;
   result.completed = !client_result.timed_out && !server_result.timed_out &&
                      client_result.rpcs_completed == iterations;
   result.errors = client_result.send_errors + server_result.send_errors;
@@ -135,6 +163,14 @@ void WriteJsonCase(std::FILE* f, const CaseResult& r, bool last) {
     std::fprintf(f, "      \"message_bytes\": %lld,\n",
                  static_cast<long long>(r.message_bytes));
     std::fprintf(f, "      \"outstanding\": %d,\n", r.outstanding);
+    std::fprintf(f, "      \"mode\": \"%s\",\n", r.mode.c_str());
+    std::fprintf(f, "      \"blocking\": %s,\n",
+                 r.blocking ? "true" : "false");
+    std::fprintf(f, "      \"num_threads\": %d,\n", r.num_threads);
+    std::fprintf(f, "      \"client_poll_passes\": %lld,\n",
+                 static_cast<long long>(r.client_poll_passes));
+    std::fprintf(f, "      \"client_waits\": %lld,\n",
+                 static_cast<long long>(r.client_waits));
     std::fprintf(f, "      \"completed\": %s,\n",
                  r.completed ? "true" : "false");
     std::fprintf(f, "      \"errors\": %lld,\n",
@@ -184,6 +220,22 @@ int Main(int argc, char** argv) {
                             lat_iters, lat_bytes, /*outstanding=*/1));
   results.push_back(RunCase("udp_throughput", LiveRuntime::FabricKind::kUdp,
                             tput_iters, tput_bytes, /*outstanding=*/16));
+  // Scheduling-mode legs (Section 2.4 live) and blocking notification
+  // (Section 3.1): same pipelined workload, different engine placement /
+  // app wakeup policy.
+  results.push_back(RunCase("loopback_spreading",
+                            LiveRuntime::FabricKind::kLoopback, tput_iters,
+                            tput_bytes, /*outstanding=*/16,
+                            SchedulingMode::kSpreadingEngines));
+  results.push_back(RunCase("loopback_compacting",
+                            LiveRuntime::FabricKind::kLoopback, tput_iters,
+                            tput_bytes, /*outstanding=*/16,
+                            SchedulingMode::kCompactingEngines));
+  results.push_back(RunCase("loopback_blocking",
+                            LiveRuntime::FabricKind::kLoopback, tput_iters,
+                            tput_bytes, /*outstanding=*/16,
+                            SchedulingMode::kSpreadingEngines,
+                            /*blocking=*/true));
   for (const CaseResult& r : results) {
     PrintCase(r);
   }
@@ -204,6 +256,8 @@ int Main(int argc, char** argv) {
       return 2;
     }
     std::fprintf(f, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"hw_cores\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"benchmarks\": {\n");
     for (size_t i = 0; i < results.size(); ++i) {
       WriteJsonCase(f, results[i], i + 1 == results.size());

@@ -20,11 +20,30 @@ CpuCostSink* Sink() {
 
 bool Expired(int64_t deadline_ns) { return MonotonicTimeNs() > deadline_ns; }
 
+// Longest single sleep in blocking mode: bounds staleness against wakeup
+// paths that cannot ring the bell (engine-side holds, remote peers).
+constexpr int64_t kBlockSliceNs = 1'000'000;
+
+// Blocking-notify idle step: called when a full poll pass made no
+// progress. The Consume at the caller's loop top latched any ring since
+// the previous pass; if the bell is still quiet, sleep until rung (the
+// engine rings on every completion/message delivery) or the slice ends.
+void IdleWait(Doorbell* doorbell, LiveAppResult* result) {
+  if (doorbell == nullptr) {
+    return;  // spin-poll mode
+  }
+  if (doorbell->pending()) {
+    return;  // rung during the pass; poll again immediately
+  }
+  result->waits++;
+  doorbell->WaitFor(kBlockSliceNs);
+}
+
 }  // namespace
 
 LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
                                 PonyAddress peer, int64_t expected,
-                                int64_t deadline_ns) {
+                                int64_t deadline_ns, Doorbell* doorbell) {
   LiveAppResult result;
   int64_t echoes_sent = 0;
   while (result.messages_received < expected) {
@@ -32,7 +51,13 @@ LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
       result.timed_out = true;
       return result;
     }
+    if (doorbell != nullptr) {
+      doorbell->Consume();
+    }
+    result.poll_passes++;
+    bool progress = false;
     if (auto msg = client->PollMessage(Sink())) {
+      progress = true;
       result.messages_received++;
       result.bytes_received += msg->length;
       // Echo the payload back verbatim; retry on ring backpressure.
@@ -54,10 +79,14 @@ LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
       echoes_sent++;
     }
     while (auto done = client->PollCompletion(Sink())) {
+      progress = true;
       result.send_completions++;
       if (done->status != PonyOpStatus::kOk) {
         result.send_errors++;
       }
+    }
+    if (!progress) {
+      IdleWait(doorbell, &result);
     }
   }
   // Drain remaining send completions so the transport's work is accounted.
@@ -66,11 +95,20 @@ LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
       result.timed_out = true;
       break;
     }
+    if (doorbell != nullptr) {
+      doorbell->Consume();
+    }
+    result.poll_passes++;
+    bool progress = false;
     while (auto done = client->PollCompletion(Sink())) {
+      progress = true;
       result.send_completions++;
       if (done->status != PonyOpStatus::kOk) {
         result.send_errors++;
       }
+    }
+    if (!progress) {
+      IdleWait(doorbell, &result);
     }
   }
   return result;
@@ -79,7 +117,7 @@ LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
 LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
                                PonyAddress peer, int iterations,
                                int64_t message_bytes, int outstanding,
-                               int64_t deadline_ns) {
+                               int64_t deadline_ns, Doorbell* doorbell) {
   SNAP_CHECK_GE(message_bytes, 16) << "payload carries seq + timestamp";
   SNAP_CHECK_GE(outstanding, 1);
   LiveAppResult result;
@@ -92,6 +130,11 @@ LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
       result.timed_out = true;
       break;
     }
+    if (doorbell != nullptr) {
+      doorbell->Consume();
+    }
+    result.poll_passes++;
+    bool progress = false;
     // Top up the closed-loop window.
     while (in_flight < outstanding && sent < iterations) {
       uint64_t seq = static_cast<uint64_t>(sent);
@@ -105,14 +148,17 @@ LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
       }
       sent++;
       in_flight++;
+      progress = true;
     }
     while (auto done = client->PollCompletion(Sink())) {
+      progress = true;
       result.send_completions++;
       if (done->status != PonyOpStatus::kOk) {
         result.send_errors++;
       }
     }
     while (auto msg = client->PollMessage(Sink())) {
+      progress = true;
       result.messages_received++;
       result.bytes_received += msg->length;
       in_flight--;
@@ -122,6 +168,9 @@ LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
         std::memcpy(&sent_at, msg->data.data() + 8, sizeof(sent_at));
         result.rtt_ns.push_back(MonotonicTimeNs() - sent_at);
       }
+    }
+    if (!progress) {
+      IdleWait(doorbell, &result);
     }
   }
   return result;

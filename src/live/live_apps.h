@@ -16,6 +16,7 @@
 
 #include "src/pony/client.h"
 #include "src/pony/pony_types.h"
+#include "src/util/doorbell.h"
 
 namespace snap {
 
@@ -26,6 +27,8 @@ struct LiveAppResult {
   int64_t send_completions = 0;
   int64_t send_errors = 0;          // completions with non-OK status
   int64_t submit_backpressure = 0;  // SendMessage returned 0 (queue full)
+  int64_t poll_passes = 0;          // outer poll-loop iterations
+  int64_t waits = 0;                // blocking mode: times the thread slept
   bool timed_out = false;
   std::vector<int64_t> rtt_ns;      // per-RPC round-trip (client only)
 };
@@ -33,17 +36,25 @@ struct LiveAppResult {
 // Echoes `expected` incoming messages back to `peer` on `reply_stream`,
 // then drains its own send completions. Sets timed_out and returns early
 // if `deadline_ns` (raw MonotonicTimeNs clock) passes.
+//
+// With `doorbell` non-null (bind it to the client first:
+// PonyClient::BindDoorbell), the thread sleeps on the bell whenever a
+// full poll pass makes no progress, instead of spin-polling —
+// poll_passes stays near the RPC count and waits counts the sleeps.
 LiveAppResult RunLiveEchoServer(PonyClient* client, uint64_t reply_stream,
                                 PonyAddress peer, int64_t expected,
-                                int64_t deadline_ns);
+                                int64_t deadline_ns,
+                                Doorbell* doorbell = nullptr);
 
 // Closed-loop RPC client: keeps up to `outstanding` messages of
 // `message_bytes` (>= 16; the first 16 bytes carry seq + send timestamp)
-// in flight on `stream` until `iterations` echoes return.
+// in flight on `stream` until `iterations` echoes return. Same optional
+// blocking-notify contract as the server.
 LiveAppResult RunLiveRpcClient(PonyClient* client, uint64_t stream,
                                PonyAddress peer, int iterations,
                                int64_t message_bytes, int outstanding,
-                               int64_t deadline_ns);
+                               int64_t deadline_ns,
+                               Doorbell* doorbell = nullptr);
 
 }  // namespace snap
 

@@ -1,7 +1,9 @@
 #include "src/live/live_executor.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "src/stats/trace.h"
 #include "src/util/logging.h"
 
 #if defined(__linux__)
@@ -17,9 +19,7 @@ int64_t MonotonicTimeNs() {
       .count();
 }
 
-namespace {
-
-void PinToCore(int core) {
+void PinThreadToCore(int core) {
 #if defined(__linux__)
   cpu_set_t set;
   CPU_ZERO(&set);
@@ -31,8 +31,6 @@ void PinToCore(int core) {
   (void)core;
 #endif
 }
-
-}  // namespace
 
 LiveExecutor::LiveExecutor(uint64_t seed, int64_t epoch_ns, Options options)
     : Substrate(seed), options_(std::move(options)), epoch_ns_(epoch_ns) {
@@ -69,19 +67,26 @@ void LiveExecutor::Stop() {
     return;
   }
   stop_.store(true, std::memory_order_seq_cst);
+  // Ring both bells: Wake() targets wherever wake_target_ points, which
+  // under a scheduler is a worker's doorbell, but the standalone loop
+  // parks on doorbell_ specifically.
   Wake();
+  doorbell_.Ring();
   thread_.join();
 }
 
 void LiveExecutor::Wake() {
   wakes_.fetch_add(1, std::memory_order_relaxed);
-  wake_pending_.store(true, std::memory_order_seq_cst);
-  if (parked_.load(std::memory_order_seq_cst)) {
-    // Empty critical section: serialize with the thread entering wait so
-    // the notify cannot land between its predicate check and the wait.
-    { std::lock_guard<std::mutex> lock(park_mutex_); }
-    park_cv_.notify_one();
-  }
+  wake_target_.load(std::memory_order_acquire)->Ring();
+}
+
+void LiveExecutor::SetWakeTarget(Doorbell* target) {
+  wake_target_.store(target != nullptr ? target : &doorbell_,
+                     std::memory_order_release);
+}
+
+void LiveExecutor::MarkRunning(bool running) {
+  externally_running_.store(running, std::memory_order_release);
 }
 
 int LiveExecutor::RunDueTimers(SimTime now) {
@@ -102,59 +107,86 @@ int LiveExecutor::RunDueTimers(SimTime now) {
   return fired;
 }
 
-void LiveExecutor::Park(SimTime now) {
-  parks_.fetch_add(1, std::memory_order_relaxed);
-  SimDuration wait = options_.max_park;
-  if (!events_.empty()) {
-    wait = std::min(wait, events_.NextEventTime() - now);
+int64_t LiveExecutor::NextTimerDelayNs() {
+  if (events_.empty()) {
+    return -1;
   }
-  if (wait <= 0) {
-    return;
+  // Fresh clock read: a bound computed from a pass-top "now" would
+  // overstate the delay by the duration of the pass and oversleep the
+  // deadline (the PR 10 park-bound fix).
+  int64_t delay = events_.NextEventTime() - (MonotonicTimeNs() - epoch_ns_);
+  return std::max<int64_t>(delay, 0);
+}
+
+int LiveExecutor::RunPass() {
+  SimTime now = MonotonicTimeNs() - epoch_ns_;
+  set_now(now);
+  loop_iterations_.fetch_add(1, std::memory_order_relaxed);
+
+  int work = RunDueTimers(now);
+  if (poll_hook_) {
+    work += poll_hook_();
   }
-  std::unique_lock<std::mutex> lock(park_mutex_);
-  parked_.store(true, std::memory_order_seq_cst);
-  park_cv_.wait_for(lock, std::chrono::nanoseconds(wait), [this] {
-    return wake_pending_.load(std::memory_order_seq_cst) ||
-           stop_.load(std::memory_order_relaxed);
-  });
-  parked_.store(false, std::memory_order_seq_cst);
+  SimDuration max_delay = 0;
+  for (Engine* engine : engines_) {
+    if (engine->RunMailbox() > 0) {
+      ++work;
+    }
+    Engine::PollResult r = engine->Poll(now, options_.poll_budget);
+    work += r.work_items;
+    max_delay = std::max(max_delay, engine->QueueingDelay(now));
+  }
+  queue_delay_ns_.store(max_delay, std::memory_order_relaxed);
+  telemetry().MaybeSampleSeries(now);
+
+  if (work > 0) {
+    work_items_.fetch_add(work, std::memory_order_relaxed);
+    busy_ns_.fetch_add(MonotonicTimeNs() - epoch_ns_ - now,
+                       std::memory_order_relaxed);
+  }
+  return work;
 }
 
 void LiveExecutor::Run() {
   if (options_.cpu_affinity >= 0) {
-    PinToCore(options_.cpu_affinity);
+    PinThreadToCore(options_.cpu_affinity);
   }
   SimTime last_work = MonotonicTimeNs() - epoch_ns_;
   while (!stop_.load(std::memory_order_relaxed)) {
-    SimTime now = MonotonicTimeNs() - epoch_ns_;
-    set_now(now);
-    loop_iterations_.fetch_add(1, std::memory_order_relaxed);
     // Consume the doorbell before polling: anything rung after this point
     // triggers another full pass instead of being absorbed by this one.
-    wake_pending_.store(false, std::memory_order_seq_cst);
+    doorbell_.Consume();
 
-    int64_t work = RunDueTimers(now);
-    if (poll_hook_) {
-      work += poll_hook_();
-    }
-    for (Engine* engine : engines_) {
-      if (engine->RunMailbox() > 0) {
-        ++work;
-      }
-      Engine::PollResult r = engine->Poll(now, options_.poll_budget);
-      work += r.work_items;
-    }
-    telemetry().MaybeSampleSeries(now);
-
+    int work = RunPass();
+    SimTime after = now();
     if (work > 0) {
-      work_items_.fetch_add(work, std::memory_order_relaxed);
-      last_work = now;
+      last_work = after;
       continue;
     }
-    if (now - last_work < options_.spin_before_park) {
+    if (after - last_work < options_.spin_before_park) {
       continue;  // busy-poll window: lowest wake latency
     }
-    Park(now);
+    // Park, bounded by the nearest timer (fresh clock) and max_park.
+    int64_t bound = options_.max_park;
+    int64_t timer_delay = NextTimerDelayNs();
+    if (timer_delay >= 0) {
+      bound = std::min(bound, timer_delay);
+    }
+    if (bound <= 0 || doorbell_.pending() ||
+        stop_.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer() != nullptr) {
+      tracer()->Instant(now(), TraceRecorder::kSchedTrack, "exec_park",
+                        "live_sched", TraceArgInt("bound_ns", bound));
+    }
+    bool rung = doorbell_.WaitFor(bound);
+    if (tracer() != nullptr) {
+      tracer()->Instant(MonotonicTimeNs() - epoch_ns_,
+                        TraceRecorder::kSchedTrack, "exec_wake", "live_sched",
+                        TraceArgInt("rung", rung ? 1 : 0));
+    }
   }
 }
 
@@ -165,6 +197,7 @@ LiveExecutor::Stats LiveExecutor::GetStats() const {
   s.timer_fires = timer_fires_.load(std::memory_order_relaxed);
   s.parks = parks_.load(std::memory_order_relaxed);
   s.wakes = wakes_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,22 +1,34 @@
-// LiveExecutor: the live implementation of the Substrate interface — one
-// OS thread that runs a set of engines for real.
+// LiveExecutor: the live implementation of the Substrate interface — the
+// per-host bundle of engines + timers + poll hook that some OS thread
+// runs for real.
 //
-// This is the "engine scheduling runtime" of the paper's dedicating-cores
-// mode (Section 2.4) made literal: the thread spin-polls its engines,
-// optionally pinned to a core, and parks on a condition variable after a
-// configurable idle window so an idle stack costs ~0 CPU. The clock is
-// CLOCK_MONOTONIC nanoseconds since a shared runtime epoch, so SimTime
-// values stay small, comparable across the executors of one LiveRuntime,
-// and directly usable as trace timestamps.
+// Two ways to run one:
+//  - Standalone (Start()/Stop()): the executor owns a thread that loops
+//    RunPass(), spin-polls through an idle window, and parks on its
+//    doorbell — the paper's dedicating-cores mode (Section 2.4) made
+//    literal for a single host.
+//  - Under a LiveScheduler (src/live/live_scheduler.h): scheduler worker
+//    threads call RunPass() directly and the executor's wake target is
+//    redirected to the worker's doorbell, so one worker can host many
+//    executors (spreading/compacting modes) and executors can migrate
+//    between workers at pass boundaries.
+//
+// The clock is CLOCK_MONOTONIC nanoseconds since a shared runtime epoch,
+// so SimTime values stay small, comparable across the executors of one
+// LiveRuntime, and directly usable as trace timestamps.
 //
 // Threading contract:
-//  - Engines, the NIC, and all timers belong to the executor thread.
-//    AddEngine / ScheduleAt / SetPollHook are setup-thread-only before
-//    Start(); after Start(), ScheduleAt may only be called from the
-//    executor thread (engines re-arming their own wake timers).
+//  - Engines, the NIC, and all timers belong to whichever thread runs
+//    RunPass(); exactly one thread may do so at a time, and handoffs
+//    between threads must happen-before (the scheduler's migration lists
+//    provide this). AddEngine / SetPollHook are setup-thread-only.
+//    After start, ScheduleAt may only be called from the running thread
+//    (engines re-arming their own wake timers).
 //  - Wake() is callable from any thread — it is the doorbell the SPSC
 //    rings ring: application submit, loopback push, UDP peer.
-//  - now() (Substrate) is a relaxed atomic read, callable from any thread.
+//  - now() (Substrate), busy_ns(), queue_delay_ns() are relaxed atomic
+//    reads, callable from any thread (the compacting rebalancer samples
+//    the last two as its load signal).
 //
 // Timers reuse the simulator's EventQueue/EventHandle machinery
 // unchanged. One live-only difference: a deadline already in the past is
@@ -27,9 +39,7 @@
 #define SRC_LIVE_LIVE_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -38,6 +48,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/substrate.h"
 #include "src/snap/engine.h"
+#include "src/util/doorbell.h"
 #include "src/util/time_types.h"
 
 namespace snap {
@@ -45,11 +56,14 @@ namespace snap {
 // Nanoseconds on the monotonic clock (the live time base).
 int64_t MonotonicTimeNs();
 
+// Pins the calling thread to `core` (best-effort; Linux only).
+void PinThreadToCore(int core);
+
 class LiveExecutor final : public Substrate {
  public:
   struct Options {
     std::string name = "live";
-    // Core to pin the thread to; -1 leaves placement to the OS.
+    // Core to pin the standalone thread to; -1 leaves placement to the OS.
     int cpu_affinity = -1;
     // Per-engine budget handed to Engine::Poll each pass.
     SimDuration poll_budget = 100 * kUsec;
@@ -67,41 +81,80 @@ class LiveExecutor final : public Substrate {
 
   // --- Setup (before Start) ---
   void AddEngine(Engine* engine);
-  // Runs on the executor thread once per loop iteration, before engine
-  // polls; returns the number of work items it produced (fabric drains
-  // deliver inbound packets here). At most one hook.
+  // Runs once per loop iteration, before engine polls; returns the number
+  // of work items it produced (fabric drains deliver inbound packets
+  // here). At most one hook.
   void SetPollHook(std::function<int()> hook);
 
   // --- Substrate ---
   EventHandle ScheduleAt(SimTime when, EventQueue::Callback cb) override;
 
-  // --- Run control ---
+  // --- Standalone run control ---
   void Start();
   // Signals the thread and joins it. Idempotent.
   void Stop();
-  bool running() const { return thread_.joinable(); }
+  // True while a thread (own or a scheduler worker) is driving RunPass().
+  bool running() const {
+    return thread_.joinable() ||
+           externally_running_.load(std::memory_order_acquire);
+  }
 
-  // Thread-safe doorbell: wakes the thread if parked. Cheap when it is
-  // already running (two uncontended atomic ops).
+  // --- Scheduler interface (src/live/live_scheduler.h) ---
+  // One full pass: advance the clock, run due timers, the poll hook, each
+  // engine's mailbox + Poll, and the self-paced telemetry sample. Returns
+  // the number of work items. Caller must be the (single) owning thread.
+  int RunPass();
+  // Nanoseconds until the next pending timer, from a FRESH clock read
+  // (never the stale pass-top time — a park bound computed from stale
+  // "now" oversleeps deadlines by up to one pass). -1 when no timer is
+  // pending. Owning thread only (may cascade the timer wheel).
+  int64_t NextTimerDelayNs();
+  // The doorbell Wake() rings by default (standalone mode parks on it).
+  Doorbell* doorbell() { return &doorbell_; }
+  // Redirects Wake() to `target` (a scheduler worker's doorbell); nullptr
+  // restores the executor's own bell. Any thread; takes effect on the
+  // next Wake(). A wake already in flight to the old target is covered by
+  // that worker's bounded park.
+  void SetWakeTarget(Doorbell* target);
+  // Scheduler bookkeeping so the setup/running-phase asserts (CreateClient
+  // and friends) hold when the executor has no thread of its own.
+  void MarkRunning(bool running);
+
+  // Thread-safe doorbell: wakes whichever thread currently runs this
+  // executor. Cheap when it is already running (two uncontended atomics).
   void Wake();
 
   const std::string& name() const { return options_.name; }
+  const Options& options() const { return options_; }
+
+  // --- Load signals (any thread, relaxed) ---
+  // Wall-clock ns spent in productive passes (work > 0) since start. The
+  // compacting scheduler's busy signal, in the mold of the PR 8 shard
+  // profiler's busy/wait split.
+  int64_t busy_ns() const {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+  // Max engine queueing delay observed by the latest pass — the paper's
+  // Shenango-style compacting-SLO input.
+  int64_t queue_delay_ns() const {
+    return queue_delay_ns_.load(std::memory_order_relaxed);
+  }
 
   struct Stats {
     int64_t loop_iterations = 0;
     int64_t work_items = 0;   // engine + hook + timer work
     int64_t timer_fires = 0;
-    int64_t parks = 0;        // times the thread blocked when idle
+    int64_t parks = 0;        // standalone mode: times the thread blocked
     int64_t wakes = 0;        // cross-thread Wake() calls
+    int64_t busy_ns = 0;      // wall clock inside productive passes
   };
-  // Loop counters are written by the executor thread only; read them after
+  // Loop counters are written by the running thread only; read them after
   // Stop() for exact values (mid-run reads are tearing-free but stale).
   Stats GetStats() const;
 
  private:
   void Run();
   int RunDueTimers(SimTime now);
-  void Park(SimTime now);
 
   Options options_;
   int64_t epoch_ns_;
@@ -111,20 +164,17 @@ class LiveExecutor final : public Substrate {
   std::thread thread_;
 
   std::atomic<bool> stop_{false};
-  // Parking handshake (Dekker-style, seq_cst): the producer stores
-  // wake_pending_ then loads parked_; the thread stores parked_ (under
-  // the mutex) then loads wake_pending_. One side always observes the
-  // other, so no wake is lost without taking the mutex on the fast path.
-  std::atomic<bool> wake_pending_{false};
-  std::atomic<bool> parked_{false};
-  std::mutex park_mutex_;
-  std::condition_variable park_cv_;
+  std::atomic<bool> externally_running_{false};
+  Doorbell doorbell_;
+  std::atomic<Doorbell*> wake_target_{&doorbell_};
 
   std::atomic<int64_t> loop_iterations_{0};
   std::atomic<int64_t> work_items_{0};
   std::atomic<int64_t> timer_fires_{0};
   std::atomic<int64_t> parks_{0};
   std::atomic<int64_t> wakes_{0};
+  std::atomic<int64_t> busy_ns_{0};
+  std::atomic<int64_t> queue_delay_ns_{0};
 };
 
 }  // namespace snap

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/live/live_executor.h"
+#include "src/live/live_scheduler.h"
 #include "src/live/loopback_fabric.h"
 #include "src/live/udp_fabric.h"
 #include "src/net/nic.h"
@@ -71,6 +72,11 @@ class LiveRuntime {
 
   struct Options {
     int num_hosts = 2;
+    // Hosts this process owns (cross-process UDP runs). Empty = all.
+    // Remote hosts get no executor/engine here — host(i) returns nullptr
+    // for them — but their engine addresses resolve through the
+    // rendezvous-fed PonyDirectory. UDP fabric only.
+    std::vector<int> local_hosts;
     FabricKind fabric = FabricKind::kLoopback;
     NicParams nic;
     PonyParams pony;
@@ -79,7 +85,11 @@ class LiveRuntime {
     LiveExecutor::Options executor;
     LoopbackFabric::Options loopback;
     UdpFabric::Options udp;
-    // Pin host i's engine thread to core (pin_base_core + i).
+    // How executors map onto worker threads (Section 2.4 made live).
+    // Default: dedicated mode, one worker per host — the PR 9 behavior.
+    // spin_before_park/max_park are taken from `executor` above.
+    LiveScheduler::Options scheduler;
+    // Pin worker i to core (pin_base_core + i).
     bool pin_threads = false;
     int pin_base_core = 0;
     uint64_t seed = 1;
@@ -91,9 +101,14 @@ class LiveRuntime {
   // Binds sockets (UDP) and wires poll hooks. Call once before Start().
   Status Init();
 
+  // Host i, or nullptr when host i lives in another process.
   LiveHost* host(int i) { return hosts_[i].get(); }
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
   PonyDirectory* directory() { return &directory_; }
+  // The engine scheduler (placement stats, rebalance decisions,
+  // ProfileJson). Setup-phase config like EnableProfileDump goes through
+  // here too.
+  LiveScheduler* scheduler() { return scheduler_.get(); }
 
   // Setup phase: enables DRR flow scheduling on every engine and WFQ TX
   // on every NIC. `tenants` must outlive the runtime.
@@ -111,6 +126,10 @@ class LiveRuntime {
   // Monotonic nanoseconds since the runtime epoch — the same timeline the
   // executors and trace events use. Thread-safe.
   SimTime NowNs() const { return MonotonicTimeNs() - epoch_ns_; }
+  // The epoch itself (raw CLOCK_MONOTONIC ns). Processes of one machine
+  // share the clock, so publishing this lets a multi-process merger
+  // re-base per-node trace timestamps onto one timeline.
+  int64_t epoch_ns() const { return epoch_ns_; }
 
   // Post-Stop(): folds every host's registry into `out` (counters summed,
   // histograms merged, gauges snapshotted).
@@ -135,6 +154,10 @@ class LiveRuntime {
   std::unique_ptr<LoopbackFabric> loopback_;
   std::unique_ptr<UdpFabric> udp_;
   std::vector<std::unique_ptr<LiveHost>> hosts_;
+  std::unique_ptr<LiveScheduler> scheduler_;
+  // sched_hosts_[i]: host id of the scheduler's executor i (local hosts
+  // only, in host order) — labels the placement counters.
+  std::vector<int> sched_hosts_;
   bool started_ = false;
   bool stopped_ = false;
 };

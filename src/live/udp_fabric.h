@@ -2,21 +2,39 @@
 // real Pony Express frames on the wire (src/packet/wire.h full-frame
 // codec).
 //
-// Each host binds its own non-blocking datagram socket; Route() encodes
-// the packet and sendto()s it from the source host's engine thread, and
-// the destination's poll hook recvfrom()s in batches, decodes, and hands
-// packets to its NIC. Within one process this exercises the kernel's
-// loopback path; the address table is plain (address, port) pairs, so the
-// same code spans processes or machines once peers agree on ports.
+// Each local host binds its own non-blocking datagram socket; Route()
+// encodes the packet and sendto()s it from the source host's engine
+// thread, and the destination's poll hook recvfrom()s in batches,
+// decodes, and hands packets to its NIC.
+//
+// Cross-process/machine operation: a fabric may own only a subset of the
+// rack's hosts (`local_hosts`), with every other host living in another
+// process. Peer endpoints are learned through a port-rendezvous handshake
+// against a directory (one process serves it, `directory_server`):
+//
+//   member    -> directory   ANNOUNCE {my hosts: ip, port, wire range}
+//   directory -> members     TABLE    {all hosts}   (once complete)
+//   member    -> directory   TABLE_ACK              (directory resends
+//                                                    until all ack)
+//
+// Control frames (kControlFrameMagic, versioned independently of data
+// frames) share the member's first data socket, so no extra ports are
+// needed; a stray TABLE resend arriving after rendezvous is re-acked from
+// the receive path. The announced wire-version range is how remote
+// engines advertise versions out-of-band (Section 3.1) — the runtime
+// registers them in the PonyDirectory so flow creation negotiates against
+// real peer limits before the first data frame.
 //
 // UDP is allowed to drop, duplicate, and reorder — exactly the lossy
 // fabric contract Pony Express is built against, so no reliability shim
 // sits between the socket and the transport. A send that fails with
 // EAGAIN (full socket buffer) counts as a fabric drop for the same
 // reason. Peers in other processes cannot ring a parked executor's
-// doorbell; LiveExecutor's bounded max_park covers that gap.
+// doorbell; the bounded max_park covers that gap.
 #ifndef SRC_LIVE_UDP_FABRIC_H_
 #define SRC_LIVE_UDP_FABRIC_H_
+
+#include <netinet/in.h>
 
 #include <atomic>
 #include <cstdint>
@@ -26,6 +44,7 @@
 #include "src/live/live_executor.h"
 #include "src/net/egress.h"
 #include "src/net/nic.h"
+#include "src/packet/wire.h"
 #include "src/util/status.h"
 
 namespace snap {
@@ -33,7 +52,9 @@ namespace snap {
 class UdpFabric : public PacketEgress {
  public:
   struct Options {
-    // Local address to bind every host socket on.
+    // Local address to bind every host socket on (and the address
+    // announced to the directory — set an externally routable IP for
+    // multi-machine runs).
     std::string address = "127.0.0.1";
     // First port; host h binds base_port + h. 0 lets the kernel pick free
     // ports (single-process runs, no port conflicts across CI jobs).
@@ -42,16 +63,33 @@ class UdpFabric : public PacketEgress {
     int recv_batch = 64;
     // Socket buffer request (0 keeps the kernel default).
     int socket_buffer_bytes = 1 << 20;
+
+    // --- Cross-process rendezvous (all optional) ---
+    // Hosts this process owns. Empty = all hosts (single-process legacy).
+    std::vector<int> local_hosts;
+    // Directory endpoint. directory_port == 0 disables rendezvous (then
+    // every host must be local).
+    std::string directory_address = "127.0.0.1";
+    uint16_t directory_port = 0;
+    // Exactly one process of the group serves the directory.
+    bool directory_server = false;
+    int rendezvous_timeout_ms = 10000;
+    int announce_interval_ms = 50;
+    // Wire-version range announced for this process's hosts.
+    uint16_t wire_min = kPonyWireVersionMin;
+    uint16_t wire_max = kPonyWireVersionMax;
   };
 
   explicit UdpFabric(int num_hosts);
   UdpFabric(int num_hosts, Options options);
   ~UdpFabric() override;
 
-  // Creates and binds all sockets; must succeed before AddHost/Start.
+  // Binds local sockets and, when a directory is configured, runs the
+  // blocking rendezvous until every host's endpoint is known (or the
+  // timeout fails the Init). Must succeed before AddHost/Start.
   Status Init();
 
-  // Setup-thread-only, after Init().
+  // Setup-thread-only, after Init(). Local hosts only.
   void AddHost(int host_id, Nic* nic, LiveExecutor* executor);
 
   // PacketEgress; called on the source host's engine thread.
@@ -62,28 +100,55 @@ class UdpFabric : public PacketEgress {
   int DrainTo(int dst_host);
 
   int num_hosts() const { return num_hosts_; }
-  // Port host `h` is bound to (after Init); useful when base_port was 0.
+  bool IsLocal(int host) const { return local_[host]; }
+  // Port host `h` is bound to (after Init); for remote hosts this is the
+  // rendezvous-learned peer port.
   uint16_t port(int host) const { return ports_[host]; }
+  // Advertised wire-version range of `host` (rendezvous-learned for
+  // remote hosts; this process's own range for local ones).
+  uint16_t peer_wire_min(int host) const { return peers_[host].wire_min; }
+  uint16_t peer_wire_max(int host) const { return peers_[host].wire_max; }
 
   struct Stats {
     int64_t delivered = 0;
     int64_t dropped_send = 0;    // sendto failed (buffer full etc.)
     int64_t dropped_decode = 0;  // undecodable / stray datagram
     int64_t dropped_bad_address = 0;
+    int64_t control_frames = 0;  // rendezvous traffic (both directions)
   };
   Stats GetStats() const;
 
  private:
+  struct Peer {
+    sockaddr_in addr{};
+    uint16_t wire_min = kPonyWireVersionMin;
+    uint16_t wire_max = kPonyWireVersionMax;
+    bool known = false;
+  };
+
+  Status BindLocalSockets();
+  Status Rendezvous();
+  void DirectoryLoop();
+  std::vector<ControlEntry> LocalEntries() const;
+  void AdoptTable(const ControlFrame& table);
+  void SendAck(int fd, const sockaddr_in& to);
+
   int num_hosts_;
   Options options_;
+  std::vector<bool> local_;
+  int first_local_ = -1;
   std::vector<int> fds_;
   std::vector<uint16_t> ports_;
+  std::vector<Peer> peers_;
   std::vector<Nic*> nics_;
   std::vector<LiveExecutor*> executors_;
+  int dir_fd_ = -1;
+  sockaddr_in dir_addr_{};
   std::vector<std::unique_ptr<std::atomic<int64_t>>> delivered_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> dropped_send_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> dropped_decode_;
   std::atomic<int64_t> dropped_bad_address_{0};
+  std::atomic<int64_t> control_frames_{0};
 };
 
 }  // namespace snap

@@ -249,4 +249,77 @@ StatusOr<PacketPtr> DecodeWireFrame(const uint8_t* data, size_t len) {
   return packet;
 }
 
+namespace {
+constexpr uint16_t kControlFrameVersion = 1;
+// A table never exceeds the rendezvous group; anything larger is a
+// corrupt or hostile frame.
+constexpr uint32_t kMaxControlEntries = 4096;
+}  // namespace
+
+bool IsControlFrame(const uint8_t* data, size_t len) {
+  uint32_t magic = 0;
+  if (len < sizeof(magic)) {
+    return false;
+  }
+  std::memcpy(&magic, data, sizeof(magic));
+  return magic == kControlFrameMagic;
+}
+
+Status EncodeControlFrame(const ControlFrame& frame,
+                          std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(4 + 2 + 1 + 4 + 4 + frame.entries.size() * 14);
+  auto put = [out](const auto& value) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    out->insert(out->end(), p, p + sizeof(value));
+  };
+  put(kControlFrameMagic);
+  put(kControlFrameVersion);
+  put(static_cast<uint8_t>(frame.type));
+  put(frame.sender);
+  put(static_cast<uint32_t>(frame.entries.size()));
+  for (const ControlEntry& e : frame.entries) {
+    put(e.host_id);
+    put(e.ipv4_be);
+    put(e.port);
+    put(e.wire_min);
+    put(e.wire_max);
+  }
+  return OkStatus();
+}
+
+StatusOr<ControlFrame> DecodeControlFrame(const uint8_t* data, size_t len) {
+  Reader r(data, len);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  if (!r.Get(&magic) || magic != kControlFrameMagic) {
+    return InvalidArgumentError("bad control magic");
+  }
+  if (!r.Get(&version) || version != kControlFrameVersion) {
+    return InvalidArgumentError("unsupported control version");
+  }
+  ControlFrame frame;
+  uint8_t type = 0;
+  uint32_t count = 0;
+  if (!r.Get(&type) || !r.Get(&frame.sender) || !r.Get(&count)) {
+    return InvalidArgumentError("truncated control frame");
+  }
+  if (type < static_cast<uint8_t>(ControlFrameType::kAnnounce) ||
+      type > static_cast<uint8_t>(ControlFrameType::kTableAck)) {
+    return InvalidArgumentError("unknown control frame type");
+  }
+  if (count > kMaxControlEntries) {
+    return InvalidArgumentError("oversized control table");
+  }
+  frame.type = static_cast<ControlFrameType>(type);
+  frame.entries.resize(count);
+  for (ControlEntry& e : frame.entries) {
+    if (!r.Get(&e.host_id) || !r.Get(&e.ipv4_be) || !r.Get(&e.port) ||
+        !r.Get(&e.wire_min) || !r.Get(&e.wire_max)) {
+      return InvalidArgumentError("truncated control entry");
+    }
+  }
+  return frame;
+}
+
 }  // namespace snap

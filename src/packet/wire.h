@@ -73,6 +73,51 @@ Status EncodeWireFrame(const Packet& packet, std::vector<uint8_t>* out);
 // Parses a frame; fails on bad magic, truncation, or unsupported versions.
 StatusOr<PacketPtr> DecodeWireFrame(const uint8_t* data, size_t len);
 
+// --- Control-plane frames (rendezvous, src/live/udp_fabric.h) -------------
+//
+// The out-of-band channel of Section 3.1: before any data frame flows
+// between processes, hosts exchange control frames with a directory to
+// learn each other's (address, port) endpoints and advertised wire-version
+// ranges. Control frames share the UDP sockets with data frames and are
+// told apart by their own magic in the first four bytes; they are
+// versioned independently of both the data-frame layout and the Pony
+// header.
+
+inline constexpr uint32_t kControlFrameMagic = 0x534e5043;  // "SNPC"
+
+enum class ControlFrameType : uint8_t {
+  kAnnounce = 1,  // member -> directory: here are my local hosts
+  kTable = 2,     // directory -> member: the complete endpoint table
+  kTableAck = 3,  // member -> directory: table received, stop resending
+};
+
+// One host's endpoint plus its advertised Pony wire-version range (the
+// rendezvous doubles as the version-advertisement channel, so remote
+// peers can negotiate before the first data frame).
+struct ControlEntry {
+  int32_t host_id = -1;
+  uint32_t ipv4_be = 0;  // network byte order, as in sockaddr_in
+  uint16_t port = 0;     // host byte order
+  uint16_t wire_min = kPonyWireVersionMin;
+  uint16_t wire_max = kPonyWireVersionMax;
+};
+
+struct ControlFrame {
+  ControlFrameType type = ControlFrameType::kAnnounce;
+  // Sender identity: the announcing member's first local host id, or -1
+  // from the directory.
+  int32_t sender = -1;
+  std::vector<ControlEntry> entries;
+};
+
+// True when `data` starts with the control-frame magic (cheap dispatch in
+// the shared-socket receive path).
+bool IsControlFrame(const uint8_t* data, size_t len);
+
+Status EncodeControlFrame(const ControlFrame& frame,
+                          std::vector<uint8_t>* out);
+StatusOr<ControlFrame> DecodeControlFrame(const uint8_t* data, size_t len);
+
 }  // namespace snap
 
 #endif  // SRC_PACKET_WIRE_H_

@@ -213,6 +213,9 @@ bool PonyClient::DeliverCompletion(PonyCompletion&& completion) {
     completion_notify_ = nullptr;
     cb();
   }
+  if (doorbell_ != nullptr) {
+    doorbell_->Ring();
+  }
   return true;
 }
 
@@ -228,6 +231,9 @@ bool PonyClient::DeliverMessage(PonyIncomingMessage&& message) {
     auto cb = std::move(message_notify_);
     message_notify_ = nullptr;
     cb();
+  }
+  if (doorbell_ != nullptr) {
+    doorbell_->Ring();
   }
   return true;
 }

@@ -23,6 +23,7 @@
 #include "src/qos/token_bucket.h"
 #include "src/queue/spsc_ring.h"
 #include "src/sim/model_params.h"
+#include "src/util/doorbell.h"
 
 namespace snap {
 
@@ -60,6 +61,16 @@ class PonyClient {
   // One-shot notification instead of spinning (edge-triggered).
   void ArmCompletionNotify(std::function<void()> cb, CpuCostSink* cost);
   void ArmMessageNotify(std::function<void()> cb, CpuCostSink* cost);
+
+  // Live blocking-notify path (Section 3.1 "receive a thread notification
+  // when a completion is written"): once bound (setup phase only), every
+  // completion or message delivered into the app-visible rings rings the
+  // doorbell, so an app thread can sleep in Doorbell::WaitFor instead of
+  // spin-polling. Level-style: the bell latches until consumed, so a
+  // delivery racing the poll loop is never lost. At most one app thread
+  // may wait on it (the Doorbell contract).
+  void BindDoorbell(Doorbell* doorbell) { doorbell_ = doorbell; }
+  Doorbell* doorbell() const { return doorbell_; }
 
   // --- Memory registration (proxied through the control plane) ---
   uint64_t RegisterRegion(size_t bytes, bool allow_remote_write);
@@ -126,6 +137,7 @@ class PonyClient {
   std::map<uint64_t, std::unique_ptr<MemoryRegion>> regions_;
   std::function<void()> completion_notify_;
   std::function<void()> message_notify_;
+  Doorbell* doorbell_ = nullptr;
   std::function<void(const PonyIncomingMessage&)> delivery_observer_;
   uint64_t next_op_ = 1;
   uint64_t next_region_ = 1;

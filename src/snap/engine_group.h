@@ -32,6 +32,37 @@ enum class SchedulingMode {
   kCompactingEngines,
 };
 
+// Canonical names shared by the sim-side EngineGroup and the live
+// scheduler (src/live/live_scheduler.h) — CLI flags, telemetry labels
+// and BENCH json all use these strings.
+inline const char* SchedulingModeName(SchedulingMode mode) {
+  switch (mode) {
+    case SchedulingMode::kDedicatedCores:
+      return "dedicated";
+    case SchedulingMode::kSpreadingEngines:
+      return "spreading";
+    case SchedulingMode::kCompactingEngines:
+      return "compacting";
+  }
+  return "unknown";
+}
+
+// Returns true and sets *mode on a recognized name ("dedicated",
+// "spreading", "compacting").
+inline bool SchedulingModeFromString(const std::string& name,
+                                     SchedulingMode* mode) {
+  if (name == "dedicated") {
+    *mode = SchedulingMode::kDedicatedCores;
+  } else if (name == "spreading") {
+    *mode = SchedulingMode::kSpreadingEngines;
+  } else if (name == "compacting") {
+    *mode = SchedulingMode::kCompactingEngines;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 // Abstract engine group: owns the host SimTasks for its engines.
 class EngineGroup {
  public:

@@ -205,6 +205,78 @@ TEST_F(EngineGroupTest, CompactingPrimarySpinsForLowLatencyWhenIdle) {
   EXPECT_LT(engine.service_latency().P99(), 3 * kUsec);
 }
 
+// Compacting migration is part of the modeled world, so it must be
+// bit-deterministic: two runs of the same seeded overload produce the
+// same serviced counts, the same CPU burn, and the same latency tail.
+// And migration must actually help — once scaled out, a later wave of
+// the same load is serviced with a tail bounded near the SLO, not the
+// overload backlog's.
+TEST_F(EngineGroupTest, CompactingMigrationDeterministicUnderSlo) {
+  constexpr SimDuration kSlo = 30 * kUsec;
+  struct RunOutcome {
+    int serviced_a = 0;
+    int serviced_b = 0;
+    int64_t cpu_ns = 0;
+    int64_t overload_p99 = 0;
+    int64_t steady_p99 = 0;
+  };
+  auto run_once = [&]() {
+    Simulator sim(7);
+    CpuParams params;
+    params.num_cores = 6;
+    CpuScheduler sched(&sim, params);
+    EngineGroup::Options options;
+    options.mode = SchedulingMode::kCompactingEngines;
+    options.compacting_slo = kSlo;
+    options.max_workers = 4;
+    auto group = EngineGroup::Create("g", &sim, &sched, options);
+    FakeEngine a("a", 4 * kUsec);
+    FakeEngine b("b", 4 * kUsec);
+    group->AddEngine(&a);
+    group->AddEngine(&b);
+    // Overload both engines past the SLO to force scale-out.
+    for (int i = 0; i < 300; ++i) {
+      a.AddWork(sim.now(), 4);
+      b.AddWork(sim.now(), 4);
+      sim.RunFor(20 * kUsec);
+    }
+    sim.RunFor(10 * kMsec);
+    RunOutcome outcome;
+    outcome.overload_p99 = a.service_latency().P99();
+    // Steady wave at the same offered rate on the scaled-out layout: the
+    // backlog is gone, so the tail reflects placement, not the queue.
+    FakeEngine steady("steady", 4 * kUsec);
+    group->AddEngine(&steady);
+    for (int i = 0; i < 200; ++i) {
+      steady.AddWork(sim.now(), 1);
+      a.AddWork(sim.now(), 1);
+      sim.RunFor(20 * kUsec);
+    }
+    sim.RunFor(10 * kMsec);
+    outcome.serviced_a = a.serviced();
+    outcome.serviced_b = b.serviced();
+    outcome.cpu_ns = group->CpuNs();
+    outcome.steady_p99 = steady.service_latency().P99();
+    EXPECT_EQ(steady.serviced(), 200);
+    return outcome;
+  };
+
+  RunOutcome first = run_once();
+  RunOutcome second = run_once();
+  EXPECT_EQ(first.serviced_a, second.serviced_a);
+  EXPECT_EQ(first.serviced_b, second.serviced_b);
+  EXPECT_EQ(first.cpu_ns, second.cpu_ns);
+  EXPECT_EQ(first.overload_p99, second.overload_p99);
+  EXPECT_EQ(first.steady_p99, second.steady_p99);
+  EXPECT_EQ(first.serviced_a, 1200 + 200);
+  EXPECT_EQ(first.serviced_b, 1200);
+  // The overload tail blew the SLO (that is what triggered scale-out);
+  // the steady tail on the migrated layout sits within a small multiple
+  // of it.
+  EXPECT_GT(first.overload_p99, kSlo);
+  EXPECT_LT(first.steady_p99, 4 * kSlo);
+}
+
 TEST_F(EngineGroupTest, MailboxWorkRunsOnEngineThread) {
   Init(2);
   EngineGroup::Options options;

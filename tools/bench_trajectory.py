@@ -36,11 +36,18 @@ level under "latest" for easy reading.
                  the qos-off run must still show the collapse the
                  subsystem exists to fix (collapse_ratio <= 0.7).
   live_echo      every case that ran must have completed all its RPCs
-                 with zero transport errors (completeness is the only
-                 runner-independent property of a wall-clock benchmark);
-                 at least the two loopback cases must have run.
-                 Throughput and p50/p99 RTT are recorded as trajectory
-                 datapoints but not hard-gated.
+                 with zero transport errors (the runner-independent
+                 property of a wall-clock benchmark); at least the two
+                 loopback cases must have run, and the blocking-notify
+                 case's client must have spent its idle time sleeping
+                 (poll passes bounded by a small multiple of the RPC
+                 count). On runners with >= 4 hardware cores — where the
+                 two engine workers and two app threads genuinely run in
+                 parallel — loopback_throughput is additionally
+                 hard-gated (>= 1500 rpc/s, p99 <= 50 ms); core-starved
+                 runners print a warning instead, since wall-clock
+                 numbers there measure the scheduler's time slicing, not
+                 the transport.
 
 Only the standard library is used.
 """
@@ -116,7 +123,8 @@ def main():
         "benchmarks": result["benchmarks"],
     }
     for key in ("isolation_ratio", "collapse_ratio", "link_gbps",
-                "victim_offered_gbps", "aggressor_offered_gbps"):
+                "victim_offered_gbps", "aggressor_offered_gbps",
+                "hw_cores"):
         if key in result:
             entry[key] = result[key]
 
@@ -153,6 +161,38 @@ def main():
             if len(loopback) < 2:
                 sys.exit("baseline check FAILED: loopback cases did not "
                          "run")
+            blocking = ran.get("loopback_blocking")
+            if blocking is not None:
+                # Blocking notify means the app thread sleeps when idle:
+                # a doorbell-driven client needs a handful of poll passes
+                # per RPC (wakeup, drain, window refill), not the
+                # millions a spin-poll loop burns.
+                passes = blocking.get("client_poll_passes", 0)
+                budget = 30 * blocking.get("iterations", 0) + 1000
+                if passes > budget:
+                    sys.exit(f"baseline check FAILED: blocking-notify "
+                             f"client busy-polled ({passes} poll passes "
+                             f"> budget {budget})")
+                if blocking.get("client_waits", 0) <= 0:
+                    sys.exit("baseline check FAILED: blocking-notify "
+                             "client never slept on the doorbell")
+            hw_cores = entry.get("hw_cores", 0)
+            tput = ran.get("loopback_throughput", {})
+            rpcs = tput.get("rpcs_per_sec", 0)
+            p99 = tput.get("p99_rtt_us", 0)
+            if hw_cores >= 4:
+                if rpcs < 1500:
+                    sys.exit(f"baseline check FAILED: loopback_throughput "
+                             f"{rpcs:,.0f} rpc/s < 1500 on a "
+                             f"{hw_cores}-core runner")
+                if p99 > 50000:
+                    sys.exit(f"baseline check FAILED: loopback_throughput "
+                             f"p99 {p99:,.0f}us > 50ms on a "
+                             f"{hw_cores}-core runner")
+            else:
+                print(f"warning: runner has {hw_cores} core(s); live "
+                      f"wall-clock bars not gated (loopback_throughput "
+                      f"{rpcs:,.0f} rpc/s, p99 {p99:,.0f}us)")
         return
 
     if args.bench == "qos_isolation":

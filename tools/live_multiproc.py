@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Launch a cross-process live rack and merge its artifacts.
+
+Usage:
+    tools/live_multiproc.py --nodes N [--live-node PATH]
+                            [--mode MODE] [--iterations I] [--bytes B]
+                            [--window W] [--blocking]
+                            [--hosts-per-node H] [--deadline-sec S]
+                            [--out-dir DIR]
+
+Starts N live_node processes on this machine, one rack host per node by
+default (--hosts-per-node packs more). Node 0 serves the rendezvous
+directory on a freshly allocated UDP port; every node gets
+--directory 127.0.0.1:PORT and they discover each other's data sockets
+through the ANNOUNCE/TABLE/ACK handshake — no endpoint is configured
+anywhere in this script, which is the point: the same flow works across
+machines by pointing --directory somewhere routable.
+
+Each node writes its per-node summary/telemetry/trace JSON into
+--out-dir; after all nodes exit the script merges them:
+  - summary.json: per-node results plus rack-level RPC totals,
+  - telemetry.json: counter sum across the nodes' telemetry snapshots,
+  - trace.json: all nodes' Chrome traces concatenated, node n's tracks
+    offset by n * NODE_STRIDE so they stay distinct in a viewer and in
+    tools/trace_report.py. Per-node timestamps are re-based onto one
+    timeline using each runtime's published epoch_ns (the nodes share
+    CLOCK_MONOTONIC on one machine), so cross-process message flows
+    keep their send-before-deliver order.
+
+Exit status is the CI gate: nonzero if any node exits nonzero, times
+out, or the merged RPC count misses nodes * hosts_per_node * iterations.
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+
+# Per-node track offset in the merged trace: one LiveRuntime already
+# spreads hosts/workers kHostTrackStride (100000) apart, so nodes get a
+# stride two orders above that.
+NODE_STRIDE = 10_000_000
+
+
+def free_udp_port():
+    s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def node_args(args, node, port, out_dir):
+    hosts = range(node * args.hosts_per_node,
+                  (node + 1) * args.hosts_per_node)
+    argv = [
+        args.live_node,
+        "--num-hosts", str(args.nodes * args.hosts_per_node),
+        "--local-hosts", ",".join(str(h) for h in hosts),
+        "--directory", "127.0.0.1:%d" % port,
+        "--mode", args.mode,
+        "--iterations", str(args.iterations),
+        "--bytes", str(args.bytes),
+        "--window", str(args.window),
+        "--deadline-sec", str(args.deadline_sec),
+        "--json", os.path.join(out_dir, "node%d.json" % node),
+        "--telemetry-out", os.path.join(out_dir,
+                                        "node%d_telemetry.json" % node),
+        "--trace-out", os.path.join(out_dir, "node%d_trace.json" % node),
+    ]
+    if node == 0:
+        argv.append("--serve-directory")
+        argv += ["--profile-out",
+                 os.path.join(out_dir, "node0_profile.json")]
+    if args.blocking:
+        argv.append("--blocking")
+    return argv
+
+
+def merge_summaries(args, out_dir, exit_codes):
+    nodes = []
+    total_rpcs = 0
+    ok = all(code == 0 for code in exit_codes)
+    for node in range(args.nodes):
+        path = os.path.join(out_dir, "node%d.json" % node)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                summary = json.load(f)
+        except (OSError, ValueError):
+            ok = False
+            nodes.append({"node": node, "exit": exit_codes[node],
+                          "error": "no summary"})
+            continue
+        summary["node"] = node
+        summary["exit"] = exit_codes[node]
+        ok = ok and summary.get("ok", False)
+        for host in summary.get("hosts", {}).values():
+            total_rpcs += host.get("pongs_received", 0)
+        nodes.append(summary)
+    expected = args.nodes * args.hosts_per_node * args.iterations
+    ok = ok and total_rpcs == expected
+    merged = {
+        "ok": ok,
+        "nodes": args.nodes,
+        "hosts_per_node": args.hosts_per_node,
+        "mode": args.mode,
+        "blocking": args.blocking,
+        "total_rpcs": total_rpcs,
+        "expected_rpcs": expected,
+        "node_results": nodes,
+    }
+    with open(os.path.join(out_dir, "summary.json"), "w",
+              encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+    return merged
+
+
+def merge_telemetry(args, out_dir):
+    counters = {}
+    for node in range(args.nodes):
+        path = os.path.join(out_dir, "node%d_telemetry.json" % node)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                snapshot = json.load(f)
+        except (OSError, ValueError):
+            continue
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+    with open(os.path.join(out_dir, "telemetry.json"), "w",
+              encoding="utf-8") as f:
+        json.dump({"counters": counters}, f, indent=2, sort_keys=True)
+    return counters
+
+
+def merge_traces(args, out_dir):
+    # Each node's trace timestamps count from its own runtime epoch; the
+    # summaries publish the epochs (same CLOCK_MONOTONIC), so shifting by
+    # epoch - min(epoch) puts every node on one comparable timeline.
+    epochs = {}
+    for node in range(args.nodes):
+        path = os.path.join(out_dir, "node%d.json" % node)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                epochs[node] = json.load(f).get("epoch_ns", 0)
+        except (OSError, ValueError):
+            epochs[node] = 0
+    base = min(epochs.values()) if epochs else 0
+    events = []
+    for node in range(args.nodes):
+        path = os.path.join(out_dir, "node%d_trace.json" % node)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            continue
+        shift_us = (epochs.get(node, 0) - base) / 1000.0
+        for event in doc.get("traceEvents", []):
+            if "tid" in event:
+                event["tid"] += node * NODE_STRIDE
+            if "ts" in event:
+                event["ts"] += shift_us
+            events.append(event)
+    events.sort(key=lambda e: e.get("ts", 0))
+    with open(os.path.join(out_dir, "trace.json"), "w",
+              encoding="utf-8") as f:
+        json.dump({"traceEvents": events}, f)
+    return len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="launch N live_node processes and merge the results")
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument("--hosts-per-node", type=int, default=1)
+    parser.add_argument("--live-node", default="build/src/live/live_node")
+    parser.add_argument("--mode", default="dedicated",
+                        choices=["dedicated", "spreading", "compacting"])
+    parser.add_argument("--iterations", type=int, default=1000)
+    parser.add_argument("--bytes", type=int, default=64)
+    parser.add_argument("--window", type=int, default=4)
+    parser.add_argument("--blocking", action="store_true")
+    parser.add_argument("--deadline-sec", type=int, default=120)
+    parser.add_argument("--out-dir", default="live_multiproc_out")
+    args = parser.parse_args()
+    if args.nodes < 2:
+        parser.error("--nodes must be >= 2 (that is the cross-process part)")
+    if args.nodes * args.hosts_per_node < 2:
+        parser.error("need at least 2 rack hosts")
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    port = free_udp_port()
+    print("directory 127.0.0.1:%d, %d nodes x %d hosts, mode=%s%s"
+          % (port, args.nodes, args.hosts_per_node, args.mode,
+             " blocking" if args.blocking else ""))
+
+    procs = []
+    for node in range(args.nodes):
+        argv = node_args(args, node, port, args.out_dir)
+        log = open(os.path.join(args.out_dir, "node%d.log" % node), "w",
+                   encoding="utf-8")
+        procs.append((subprocess.Popen(argv, stdout=log, stderr=log), log))
+
+    exit_codes = []
+    # Deadline + rendezvous + shutdown margin; the nodes themselves give
+    # up at --deadline-sec, so this only fires on a hang.
+    join_timeout = args.deadline_sec + 60
+    for node, (proc, log) in enumerate(procs):
+        try:
+            exit_codes.append(proc.wait(timeout=join_timeout))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            exit_codes.append(-1)
+        log.close()
+
+    merged = merge_summaries(args, args.out_dir, exit_codes)
+    counters = merge_telemetry(args, args.out_dir)
+    num_events = merge_traces(args, args.out_dir)
+
+    for node_result in merged["node_results"]:
+        status = "ok" if node_result.get("ok") else "FAIL"
+        print("node %d: exit %d %s wall %.3fs"
+              % (node_result["node"], node_result["exit"], status,
+                 node_result.get("wall_sec", 0.0)))
+    print("rack rpcs %d/%d, %d merged counters, %d trace events"
+          % (merged["total_rpcs"], merged["expected_rpcs"], len(counters),
+             num_events))
+    print("artifacts in %s" % args.out_dir)
+    if not merged["ok"]:
+        for node in range(args.nodes):
+            log_path = os.path.join(args.out_dir, "node%d.log" % node)
+            sys.stderr.write("---- %s ----\n" % log_path)
+            try:
+                with open(log_path, "r", encoding="utf-8") as f:
+                    sys.stderr.write(f.read())
+            except OSError:
+                pass
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

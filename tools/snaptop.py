@@ -3,7 +3,8 @@
 
 Usage:
     tools/snaptop.py [--profile PROF.json] [--slo SLO.json]
-                     [--telemetry TELEM.json] [--width N] [--check]
+                     [--telemetry TELEM.json] [--live-profile SCHED.json]
+                     [--follow SECONDS] [--width N] [--check]
 
 Renders, from whichever inputs are given:
   - per-shard busy/wait bars from a ShardedSim::ProfileJson() file
@@ -16,21 +17,30 @@ Renders, from whichever inputs are given:
     latency and goodput, FIRING markers, and the alert log;
   - optional deterministic profiler counters from a Telemetry
     SnapshotJson() (sim/shard/<s>/* and net/shard/<d>/* keys) when no
-    wall-clock profile is available.
+    wall-clock profile is available;
+  - live scheduler view from a LiveScheduler::ProfileJson() file
+    (live_node --profile-out, or LiveScheduler::EnableProfileDump):
+    scheduling mode, per-worker busy/park split with engine placement,
+    per-engine load signals (busy, queueing delay vs the 40 us SLO), and
+    the migration count.
 
-Everything is a static render of snapshot files — the simulator has no
-live endpoint; "top" refers to the layout, not a refresh loop. Only the
-standard library is used.
+Sim inputs are static renders of snapshot files. The live scheduler
+dumps its profile periodically while running (atomic rename), so
+--follow N re-reads and re-renders the --live-profile file every N
+seconds until the run stops updating it (or Ctrl-C) — the actual "top"
+loop. Only the standard library is used.
 
 --check exits nonzero unless every given input parses and is internally
 consistent (shard counts match array lengths, burn values non-negative,
-alerts alternate fire/clear per tenant+kind). CI smoke-runs this over
-the bench profiler output.
+alerts alternate fire/clear per tenant+kind, worker placement arrays
+consistent with executor owners). CI smoke-runs this over the bench
+profiler output and the live-multiproc scheduler profile.
 """
 
 import argparse
 import json
 import sys
+import time
 
 
 def fmt_ns(ns):
@@ -124,6 +134,89 @@ def render_telemetry(telem, width):
               % (s, bar(frac, width - 2), ev, shard_epochs.get(s, 0), extra))
 
 
+def render_live_profile(prof, width):
+    print("== Live scheduler (%s mode) ==" % prof.get("mode", "?"))
+    if not prof.get("enabled", False):
+        print("  scheduler was not running")
+        return
+    workers = prof.get("workers", [])
+    print("  %d workers, %d engines, SLO %s, %d migrations"
+          % (prof.get("num_workers", len(workers)),
+             prof.get("num_executors", 0),
+             fmt_ns(prof.get("slo_ns", 0)), prof.get("migrations", 0)))
+    print()
+    print("  worker   busy%  " + "busy".ljust(width) +
+          "      busy wall      passes     parks  engines")
+    for w, wp in enumerate(workers):
+        busy = wp.get("busy_ns", 0)
+        park = wp.get("park_ns", 0)
+        total = busy + park
+        frac = busy / total if total > 0 else 0.0
+        engines = ",".join(str(e) for e in wp.get("executors", []))
+        print("  %6d  %5.1f%%  [%s]  %12s  %10d  %8d  [%s]"
+              % (w, 100.0 * frac, bar(frac, width - 2), fmt_ns(busy),
+                 wp.get("passes", 0), wp.get("parks", 0), engines))
+    executors = prof.get("executors", [])
+    if executors:
+        slo = prof.get("slo_ns", 0)
+        print()
+        for e, ep in enumerate(executors):
+            delay = ep.get("queue_delay_ns", 0)
+            over = "  OVER SLO" if slo and delay > slo else ""
+            print("  engine %-3d on worker %-3d  busy %12s  queue delay "
+                  "%10s  %6d wakes%s"
+                  % (e, ep.get("worker", -1), fmt_ns(ep.get("busy_ns", 0)),
+                     fmt_ns(delay), ep.get("wakes", 0), over))
+
+
+def check_live_profile(prof):
+    problems = []
+    if not prof.get("enabled", False):
+        problems.append("live-profile: enabled is false")
+        return problems
+    if prof.get("mode") not in ("dedicated", "spreading", "compacting"):
+        problems.append("live-profile: unknown mode %r" % prof.get("mode"))
+    workers = prof.get("workers", [])
+    if prof.get("num_workers") != len(workers):
+        problems.append("live-profile: num_workers %s != len(workers) %d"
+                        % (prof.get("num_workers"), len(workers)))
+    executors = prof.get("executors", [])
+    if prof.get("num_executors") != len(executors):
+        problems.append(
+            "live-profile: num_executors %s != len(executors) %d"
+            % (prof.get("num_executors"), len(executors)))
+    placed = []
+    for w, wp in enumerate(workers):
+        for key in ("busy_ns", "park_ns", "passes", "parks", "work_items"):
+            if wp.get(key, 0) < 0:
+                problems.append("live-profile: worker %d negative %s"
+                                % (w, key))
+        placed.extend(wp.get("executors", []))
+    # Every engine sits on exactly one worker, and the worker lists agree
+    # with the executors' own owner fields (a migration in flight shows
+    # the engine on its destination in both views or neither — the dump
+    # reads owner_ for both sides).
+    if sorted(placed) != list(range(len(executors))):
+        problems.append("live-profile: placement %r is not a partition of "
+                        "%d engines" % (sorted(placed), len(executors)))
+    for e, ep in enumerate(executors):
+        w = ep.get("worker", -1)
+        if not 0 <= w < len(workers):
+            problems.append("live-profile: engine %d on bad worker %s"
+                            % (e, w))
+        elif e not in workers[w].get("executors", []):
+            problems.append("live-profile: engine %d claims worker %d but "
+                            "is not in its list" % (e, w))
+        if prof.get("mode") == "spreading" and len(executors) == \
+                len(workers) and w != e:
+            problems.append("live-profile: spreading engine %d on worker %d"
+                            % (e, w))
+    if prof.get("mode") != "compacting" and prof.get("migrations", 0) != 0:
+        problems.append("live-profile: %s mode reports migrations"
+                        % prof.get("mode"))
+    return problems
+
+
 def burn_gauge(milli, threshold_milli, width):
     """Burn bar scaled so the firing threshold sits at 2/3 of the bar."""
     scale = threshold_milli * 1.5 if threshold_milli > 0 else 1.0
@@ -214,25 +307,70 @@ def check_slo(slo):
     return problems
 
 
+def follow(path, interval, width):
+    """Poll a periodically-dumped live scheduler profile, top-style.
+
+    Exits cleanly once the file stops changing (the run finished its
+    final dump) or on Ctrl-C. Missing/partial files are retried: the
+    dumper renames into place atomically, but the run may not have
+    started yet.
+    """
+    last = None
+    stale_polls = 0
+    try:
+        while True:
+            try:
+                raw = open(path, "r", encoding="utf-8").read()
+                doc = json.loads(raw)
+            except (OSError, ValueError, json.JSONDecodeError):
+                raw, doc = None, None
+            if raw is not None and raw != last:
+                last = raw
+                stale_polls = 0
+                print("\n--- %s ---" % time.strftime("%H:%M:%S"))
+                render_live_profile(doc, width)
+            elif last is not None:
+                stale_polls += 1
+                if stale_polls >= 3:
+                    print("\n(profile stopped updating; run finished)")
+                    return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", help="ShardedSim ProfileJson file")
     parser.add_argument("--slo", help="SloMonitor SnapshotJson file")
     parser.add_argument("--telemetry",
                         help="Telemetry SnapshotJson file (counters only)")
+    parser.add_argument("--live-profile",
+                        help="LiveScheduler ProfileJson file")
+    parser.add_argument("--follow", type=float, metavar="SECONDS",
+                        help="re-render --live-profile every SECONDS while "
+                             "the run keeps updating it")
     parser.add_argument("--width", type=int, default=40,
                         help="bar width in characters (default 40)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero on inconsistent inputs")
     args = parser.parse_args()
-    if not (args.profile or args.slo or args.telemetry):
-        parser.error("give at least one of --profile, --slo, --telemetry")
+    if not (args.profile or args.slo or args.telemetry or
+            args.live_profile):
+        parser.error("give at least one of --profile, --slo, --telemetry, "
+                     "--live-profile")
+    if args.follow and not args.live_profile:
+        parser.error("--follow needs --live-profile")
+
+    if args.follow:
+        return follow(args.live_profile, args.follow, args.width)
 
     problems = []
     first = True
     for path, loader, checker in (
             (args.profile, render_profile, check_profile),
             (args.telemetry, render_telemetry, None),
+            (args.live_profile, render_live_profile, check_live_profile),
             (args.slo, render_slo, check_slo)):
         if not path:
             continue

@@ -235,6 +235,38 @@ def report(events, top_n):
                   (percentile(imbalance, 50), percentile(imbalance, 99),
                    imbalance[-1]))
 
+    # --- Live scheduler (park/wake/migrate instants, track 900 + worker
+    # stride in a merged live trace). ---
+    sched = [e for e in events
+             if e.get("ph") == "i" and
+             e.get("name") in ("exec_park", "exec_wake", "engine_migrate")]
+    print("\n== Live scheduler (park/wake/migrate instants) ==")
+    if not sched:
+        print("  (no scheduler instants; not a traced live run)")
+    else:
+        parks = defaultdict(int)
+        wakes = defaultdict(int)
+        migrations = []
+        for e in sched:
+            tid = e.get("tid", 0)
+            if e["name"] == "exec_park":
+                parks[tid] += 1
+            elif e["name"] == "exec_wake":
+                wakes[tid] += 1
+            else:
+                migrations.append(e)
+        for tid in sorted(set(parks) | set(wakes)):
+            print("  track %-10d %8d parks  %8d wakes" %
+                  (tid, parks[tid], wakes[tid]))
+        print("  %d migrations" % len(migrations))
+        for e in migrations[:top_n]:
+            args = e.get("args") or {}
+            print("    %12s  exec %s: worker %s -> %s" %
+                  (fmt_us(e.get("ts", 0)), args.get("exec", "?"),
+                   args.get("from", "?"), args.get("to", "?")))
+        if len(migrations) > top_n:
+            print("    ... and %d more" % (len(migrations) - top_n))
+
     # --- Tenant SLO alerts. ---
     slo = [e for e in events
            if e.get("ph") == "i" and
@@ -256,9 +288,14 @@ def check(events):
     """Structural validation; returns a list of problem strings."""
     problems = []
     opens = set()
-    flow_started = set()
+    # Flow starts are collected up front: live traces stamp events with
+    # the executor's pass-start time, so a receiver's 'f' can sort before
+    # the sender's 's' by up to a pass — presence is the invariant, not
+    # file order.
+    flow_started = {e.get("id") for e in events if e.get("ph") == "s"}
     admission_blocked = set()        # tenants currently in a blocked episode
     slo_firing = {}                  # (tenant, kind) -> currently firing
+    parked = {}                      # tid -> currently parked (live sched)
     for i, e in enumerate(events):
         ph = e.get("ph")
         if "name" not in e or ph is None:
@@ -277,8 +314,6 @@ def check(events):
                                 (i, e["name"], e.get("id")))
             else:
                 opens.discard(key)
-        elif ph == "s":
-            flow_started.add(e.get("id"))
         elif ph == "f":
             # 't' points without an 's' are legal (sampled one-sided ops
             # have no message-enqueue), but a completion delivery is always
@@ -310,6 +345,32 @@ def check(events):
                     "event %d: SLO alert %s repeats state (fire/clear must "
                     "alternate)" % (i, e["name"]))
             slo_firing[key] = firing
+        elif ph == "i" and e["name"] in ("exec_park", "exec_wake"):
+            # Live scheduler workers: a park instant precedes the doorbell
+            # wait and its wake follows the same wait, so per worker track
+            # the two strictly alternate starting with a park.
+            tid = e.get("tid", 0)
+            if e["name"] == "exec_park":
+                if parked.get(tid, False):
+                    problems.append(
+                        "event %d: exec_park while parked (tid %d)" %
+                        (i, tid))
+                parked[tid] = True
+            else:
+                if not parked.get(tid, False):
+                    problems.append(
+                        "event %d: exec_wake without exec_park (tid %d)" %
+                        (i, tid))
+                parked[tid] = False
+        elif ph == "i" and e["name"] == "engine_migrate":
+            args = e.get("args") or {}
+            if not all(k in args for k in ("exec", "from", "to")):
+                problems.append(
+                    "event %d: engine_migrate missing exec/from/to args" % i)
+            elif args["from"] == args["to"]:
+                problems.append(
+                    "event %d: engine_migrate with from == to (%s)" %
+                    (i, args["from"]))
         elif ph == "C" and track_of(e.get("tid", 0))[0] == PROFILER_TRACK:
             value = (e.get("args") or {}).get("value", 0)
             if e["name"] == "prof/epoch_events" and value <= 0:
